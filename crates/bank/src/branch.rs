@@ -1,0 +1,532 @@
+//! A bank branch: one replica of the accounts, clearing checks on local
+//! knowledge.
+//!
+//! "Imagine a replicated bank system which has two (or more) copies of
+//! my bank account, both of which are clearing checks. There is a small
+//! (but present) possibility that multiple checks presented to different
+//! replicas will cause an overdraft that is not detected in time to
+//! bounce one of the checks." (§6.2)
+//!
+//! The branch has the bank's two jobs: "First, it needs to decide if a
+//! check should clear based upon the best knowledge of the account's
+//! balance. Second, it needs to meticulously remember all the operations
+//! performed on the account." Decision = [`Branch::present`] (a guess,
+//! or a coordinated check for big-ticket items per the §5.5 risk
+//! policy); memory = the branch's [`OpLog`].
+
+use quicksand_core::op::{OpLog, Operation};
+use quicksand_core::rules::GuaranteeClass;
+use quicksand_core::uniquifier::Uniquifier;
+
+use crate::types::{AccountId, BankOp, BankState, Cents, Check, Standing};
+
+/// Why a presented check did not clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Refusal {
+    /// Insufficient funds on the deciding knowledge — the check bounces
+    /// at presentment (the good outcome for the bank).
+    InsufficientFunds {
+        /// The balance the decision was made against.
+        known_balance: Cents,
+    },
+    /// The same check was already cleared (here or at a branch we've
+    /// heard from) — retry collapsed.
+    Duplicate,
+}
+
+/// The outcome of presenting a check.
+pub type ClearingResult = Result<(), Refusal>;
+
+/// One branch (replica) of the bank.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// Branch id (for reports).
+    pub id: u32,
+    log: OpLog<BankOp>,
+    state: BankState,
+    /// Checks this branch itself cleared (candidates for reversal at
+    /// audit time).
+    cleared_here: Vec<Check>,
+    /// Guesses / refusals accounting.
+    cleared: u64,
+    refused: u64,
+    coordinated: u64,
+}
+
+impl Branch {
+    /// A fresh branch with empty books.
+    pub fn new(id: u32) -> Self {
+        Branch {
+            id,
+            log: OpLog::new(),
+            state: BankState::default(),
+            cleared_here: Vec::new(),
+            cleared: 0,
+            refused: 0,
+            coordinated: 0,
+        }
+    }
+
+    /// The branch's memory of operations.
+    pub fn log(&self) -> &OpLog<BankOp> {
+        &self.log
+    }
+
+    /// The branch's local opinion of an account's real balance.
+    pub fn balance(&self, account: AccountId) -> Cents {
+        self.state.balance(account)
+    }
+
+    /// The branch's local opinion of the spendable balance: real balance
+    /// minus active holds (§6.2).
+    pub fn available(&self, account: AccountId) -> Cents {
+        self.state.available(account)
+    }
+
+    /// The branch's local opinion of all balances.
+    pub fn balances(&self) -> &BankState {
+        &self.state
+    }
+
+    /// The full local state (balances and holds).
+    pub fn state(&self) -> &BankState {
+        &self.state
+    }
+
+    /// Checks cleared / refused / coordinated so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.cleared, self.refused, self.coordinated)
+    }
+
+    /// Record an operation (new knowledge), updating the cached state.
+    /// Returns `true` if it was new.
+    pub fn learn(&mut self, op: BankOp) -> bool {
+        if self.log.record(op.clone()) {
+            op.apply(&mut self.state);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Credit a deposit (a cash deposit, or a check deposited by a
+    /// customer in good standing: spendable immediately).
+    pub fn deposit(&mut self, id: Uniquifier, account: AccountId, amount: Cents) {
+        self.learn(BankOp::Deposit { id, account, amount });
+    }
+
+    /// Deposit a check according to the customer's standing (§6.2): a
+    /// good customer's funds are spendable now; a poor customer's are
+    /// credited but held until `now_round + hold_rounds` — "reserving
+    /// for a potential bounce."
+    pub fn deposit_check(
+        &mut self,
+        id: Uniquifier,
+        account: AccountId,
+        amount: Cents,
+        standing: Standing,
+        now_round: u64,
+        hold_rounds: u64,
+    ) {
+        self.learn(BankOp::Deposit { id, account, amount });
+        if standing == Standing::Poor {
+            self.learn(BankOp::hold_for(id, account, amount, now_round + hold_rounds));
+        }
+    }
+
+    /// The deposited check came back unpaid: claw back the credit and
+    /// charge the bounce fee. If the funds were still under hold, the
+    /// hold absorbed the risk — the claw-back cannot overdraw what was
+    /// never spendable.
+    pub fn return_deposit(&mut self, deposit_id: Uniquifier, account: AccountId, amount: Cents, fee: Cents) {
+        self.learn(BankOp::returned_deposit(deposit_id, account, amount));
+        self.learn(BankOp::BounceFee {
+            id: Uniquifier::derived_from_fields(&[
+                b"depfee",
+                &deposit_id.as_raw().to_le_bytes(),
+            ]),
+            account,
+            amount: fee,
+        });
+        // The hold (if any) has done its job; release it with the
+        // deterministic release op so every branch agrees.
+        let release = self
+            .log
+            .iter()
+            .find(|op| matches!(op, BankOp::PlaceHold { id, .. }
+                if *id == Uniquifier::derived_from_fields(&[b"hold", &deposit_id.as_raw().to_le_bytes()])))
+            .and_then(BankOp::release_for);
+        if let Some(r) = release {
+            self.learn(r);
+        }
+    }
+
+    /// Release every hold that has reached its scheduled round. The
+    /// release ops are derived from the holds, so every branch that
+    /// ticks generates the identical operations and the union collapses
+    /// them. Returns how many releases this call generated.
+    pub fn tick(&mut self, round: u64) -> usize {
+        let due: Vec<BankOp> = self
+            .log
+            .iter()
+            .filter(|op| matches!(op, BankOp::PlaceHold { release_round, .. } if *release_round <= round))
+            .filter_map(BankOp::release_for)
+            .filter(|rel| !self.log.contains(rel.id()))
+            .collect();
+        let n = due.len();
+        for rel in due {
+            self.learn(rel);
+        }
+        n
+    }
+
+    /// Present a check for clearing against this branch's knowledge
+    /// (the **guess** path). "Locally clear a check if the face value is
+    /// less than $10,000" (§5.5) — the caller chooses the path via its
+    /// risk policy; see [`present_coordinated`] for the other one.
+    pub fn present(&mut self, check: Check) -> ClearingResult {
+        let id = check.uniquifier();
+        if self.log.contains(id) {
+            return Err(Refusal::Duplicate);
+        }
+        // Decisions are made against the *spendable* balance: held funds
+        // are reserved against a potential bounce.
+        let known = self.available(check.account);
+        if known < check.amount {
+            self.refused += 1;
+            return Err(Refusal::InsufficientFunds { known_balance: known });
+        }
+        self.learn(BankOp::ClearCheck { id, account: check.account, amount: check.amount });
+        self.cleared_here.push(check);
+        self.cleared += 1;
+        Ok(())
+    }
+
+    /// Exchange knowledge with another branch, both ways. Returns (ops
+    /// learned here, ops learned there).
+    pub fn exchange(&mut self, other: &mut Branch) -> (usize, usize) {
+        let to_me = other.log.diff(&self.log);
+        let to_them = self.log.diff(&other.log);
+        let (a, b) = (to_me.len(), to_them.len());
+        for op in to_me {
+            self.learn(op);
+        }
+        for op in to_them {
+            other.learn(op);
+        }
+        (a, b)
+    }
+
+    /// Accounts currently overdrawn (real balance below zero) on this
+    /// branch's knowledge.
+    pub fn overdrafts(&self) -> Vec<(AccountId, Cents)> {
+        self.state
+            .balances
+            .iter()
+            .filter(|(_, b)| **b < 0)
+            .map(|(a, b)| (*a, *b))
+            .collect()
+    }
+
+    /// The apology path: for every account this branch now knows to be
+    /// overdrawn, bounce recently-cleared checks (reversal + fee) until
+    /// the account is whole. Reversal/fee uniquifiers are derived from
+    /// the check, so concurrent discoverers at other branches mint the
+    /// identical compensations and the union stays consistent. Returns
+    /// the checks bounced now.
+    pub fn audit_and_compensate(&mut self, fee: Cents) -> Vec<Check> {
+        let mut bounced = Vec::new();
+        let overdrawn: Vec<AccountId> =
+            self.overdrafts().into_iter().map(|(a, _)| a).collect();
+        for account in overdrawn {
+            // Candidate clearings on this account, keyed by the clearing
+            // op's uniquifier so every branch sorts them identically.
+            let mut cleared_ops: Vec<(Uniquifier, Cents)> = self
+                .log
+                .iter()
+                .filter_map(|op| match op {
+                    BankOp::ClearCheck { id, account: a, amount } if *a == account => {
+                        Some((*id, *amount))
+                    }
+                    _ => None,
+                })
+                .collect();
+            cleared_ops.sort_by_key(|c| std::cmp::Reverse(c.0)); // newest-id first (deterministic)
+            for (clearing_id, amount) in cleared_ops {
+                if self.balance(account) >= 0 {
+                    break;
+                }
+                let reverse_id = Uniquifier::derived_from_fields(&[
+                    b"reverse",
+                    &clearing_id.as_raw().to_le_bytes(),
+                ]);
+                if self.log.contains(reverse_id) {
+                    continue; // already bounced (possibly by another branch)
+                }
+                let fee_id = Uniquifier::derived_from_fields(&[
+                    b"fee",
+                    &clearing_id.as_raw().to_le_bytes(),
+                ]);
+                self.learn(BankOp::ReverseCheck {
+                    id: reverse_id,
+                    original: clearing_id,
+                    account,
+                    amount,
+                });
+                self.learn(BankOp::BounceFee { id: fee_id, account, amount: fee });
+                bounced.push(Check { account, number: 0, amount });
+            }
+        }
+        bounced
+    }
+}
+
+/// The **coordinate** path of the §5.5 risk policy: merge every branch's
+/// knowledge, decide on the union, and install the decision everywhere
+/// before answering — "if it exceeds $10,000, double check with all the
+/// replicas to make sure it clears".
+pub fn present_coordinated(branches: &mut [Branch], check: Check) -> ClearingResult {
+    assert!(!branches.is_empty());
+    // Full knowledge exchange (the latency the caller pays for).
+    let mut union: OpLog<BankOp> = OpLog::new();
+    for b in branches.iter() {
+        union.merge(b.log());
+    }
+    let id = check.uniquifier();
+    let install = |branches: &mut [Branch], union: &OpLog<BankOp>| {
+        for b in branches.iter_mut() {
+            for op in union.diff(b.log()) {
+                b.learn(op);
+            }
+        }
+    };
+    if union.contains(id) {
+        install(branches, &union);
+        return Err(Refusal::Duplicate);
+    }
+    let state = union.materialize();
+    let known = state.available(check.account);
+    if known < check.amount {
+        install(branches, &union);
+        // Account the refusal once, for the system.
+        if let Some(b) = branches.first_mut() {
+            b.refused += 1;
+        }
+        return Err(Refusal::InsufficientFunds { known_balance: known });
+    }
+    union.record(BankOp::ClearCheck { id, account: check.account, amount: check.amount });
+    install(branches, &union);
+    branches[0].cleared_here.push(check);
+    for b in branches.iter_mut() {
+        b.coordinated += 1;
+    }
+    branches[0].cleared += 1;
+    Ok(())
+}
+
+/// Which clearing path a check takes under the classic policy: the
+/// paper's $10,000 threshold expressed with the core crate's
+/// [`GuaranteeClass`].
+pub fn classify_check(check: &Check, threshold: Cents) -> GuaranteeClass {
+    if check.amount >= threshold {
+        GuaranteeClass::Coordinate
+    } else {
+        GuaranteeClass::Guess
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::inconsistent_digit_grouping)] // amounts written as dollars_cents
+mod tests {
+    use super::*;
+
+    fn dep(n: u64, account: AccountId, amount: Cents) -> (Uniquifier, AccountId, Cents) {
+        (Uniquifier::from_parts(1, n), account, amount)
+    }
+
+    #[test]
+    fn local_clearing_respects_local_balance() {
+        let mut b = Branch::new(0);
+        let (id, acct, amt) = dep(1, 42, 10_000);
+        b.deposit(id, acct, amt);
+        assert!(b.present(Check { account: 42, number: 1, amount: 6_000 }).is_ok());
+        match b.present(Check { account: 42, number: 2, amount: 6_000 }) {
+            Err(Refusal::InsufficientFunds { known_balance }) => assert_eq!(known_balance, 4_000),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.balance(42), 4_000);
+    }
+
+    #[test]
+    fn duplicate_presentment_is_collapsed() {
+        let mut a = Branch::new(0);
+        let mut c = Branch::new(1);
+        let (id, acct, amt) = dep(1, 7, 5_000);
+        a.deposit(id, acct, amt);
+        c.deposit(id, acct, amt); // same deposit known to both
+        let check = Check { account: 7, number: 100, amount: 1_000 };
+        assert!(a.present(check).is_ok());
+        a.exchange(&mut c);
+        assert_eq!(c.present(check), Err(Refusal::Duplicate));
+        assert_eq!(c.balance(7), 4_000);
+    }
+
+    #[test]
+    fn disconnected_branches_jointly_overdraw_then_compensate() {
+        let mut a = Branch::new(0);
+        let mut b = Branch::new(1);
+        let (id, acct, amt) = dep(1, 9, 10_000);
+        a.deposit(id, acct, amt);
+        b.learn(BankOp::Deposit { id, account: acct, amount: amt });
+        // Disconnected clearing: each branch clears an $80 check — both
+        // locally fine, jointly a $6,000 overdraft.
+        assert!(a.present(Check { account: 9, number: 1, amount: 8_000 }).is_ok());
+        assert!(b.present(Check { account: 9, number: 2, amount: 8_000 }).is_ok());
+        a.exchange(&mut b);
+        assert_eq!(a.balance(9), -6_000);
+        // Audit: bounce checks until whole, charging the fee. The first
+        // bounce (+8,000 − 3,000 fee) leaves −1,000, so a second check
+        // bounces too: −1,000 + 8,000 − 3,000 = 4,000.
+        let bounced = a.audit_and_compensate(30_00);
+        assert_eq!(bounced.len(), 2);
+        assert_eq!(a.balance(9), 4_000);
+        // b discovers the same overdraft and mints the *identical*
+        // compensation ops (derived uniquifiers), so the union holds
+        // exactly one reversal per check and balances agree.
+        let bounced_b = b.audit_and_compensate(30_00);
+        assert_eq!(bounced_b.len(), 2);
+        a.exchange(&mut b);
+        assert_eq!(a.balances(), b.balances());
+        let reversals = a
+            .log()
+            .iter()
+            .filter(|op| matches!(op, BankOp::ReverseCheck { .. }))
+            .count();
+        assert_eq!(reversals, 2);
+        assert_eq!(a.balance(9), 4_000);
+    }
+
+    #[test]
+    fn coordinated_clearing_prevents_the_overdraft() {
+        let mut branches = vec![Branch::new(0), Branch::new(1)];
+        let (id, acct, amt) = dep(1, 5, 10_000);
+        branches[0].deposit(id, acct, amt);
+        let c1 = Check { account: 5, number: 1, amount: 8_000 };
+        let c2 = Check { account: 5, number: 2, amount: 8_000 };
+        assert!(present_coordinated(&mut branches, c1).is_ok());
+        match present_coordinated(&mut branches, c2) {
+            Err(Refusal::InsufficientFunds { known_balance }) => {
+                assert_eq!(known_balance, 2_000)
+            }
+            other => panic!("{other:?}"),
+        }
+        for b in &branches {
+            assert_eq!(b.balance(5), 2_000);
+        }
+    }
+
+    #[test]
+    fn classify_matches_the_papers_threshold() {
+        let small = Check { account: 1, number: 1, amount: 9_999_99 };
+        let big = Check { account: 1, number: 2, amount: 10_000_00 };
+        assert_eq!(classify_check(&small, 10_000_00), GuaranteeClass::Guess);
+        assert_eq!(classify_check(&big, 10_000_00), GuaranteeClass::Coordinate);
+    }
+
+    #[test]
+    fn holds_block_spending_until_released() {
+        let mut b = Branch::new(0);
+        let dep_id = Uniquifier::composite("dep", 1);
+        // A poor-standing customer deposits $50 at round 0, held 5 rounds.
+        b.deposit_check(dep_id, 3, 5_000, Standing::Poor, 0, 5);
+        assert_eq!(b.balance(3), 5_000);
+        assert_eq!(b.available(3), 0, "held funds are not spendable");
+        // Spending against held funds bounces at presentment.
+        assert!(matches!(
+            b.present(Check { account: 3, number: 1, amount: 1_000 }),
+            Err(Refusal::InsufficientFunds { known_balance: 0 })
+        ));
+        // Too early: nothing released.
+        assert_eq!(b.tick(4), 0);
+        assert_eq!(b.available(3), 0);
+        // At the release round the hold lapses and spending works.
+        assert_eq!(b.tick(5), 1);
+        assert_eq!(b.available(3), 5_000);
+        assert!(b.present(Check { account: 3, number: 2, amount: 1_000 }).is_ok());
+        // Ticking again releases nothing new (derived release id).
+        assert_eq!(b.tick(6), 0);
+    }
+
+    #[test]
+    fn good_standing_deposits_are_spendable_immediately() {
+        let mut b = Branch::new(0);
+        b.deposit_check(Uniquifier::composite("dep", 2), 4, 5_000, Standing::Good, 0, 5);
+        assert_eq!(b.available(4), 5_000);
+    }
+
+    #[test]
+    fn hold_releases_collapse_across_branches() {
+        let mut a = Branch::new(0);
+        let mut b = Branch::new(1);
+        let dep_id = Uniquifier::composite("dep", 3);
+        a.deposit_check(dep_id, 5, 2_000, Standing::Poor, 0, 3);
+        a.exchange(&mut b);
+        // Both branches tick independently; the derived release ids make
+        // the two releases the same operation.
+        a.tick(3);
+        b.tick(3);
+        a.exchange(&mut b);
+        assert_eq!(a.available(5), 2_000);
+        assert_eq!(b.available(5), 2_000);
+        assert_eq!(a.balances(), b.balances());
+    }
+
+    #[test]
+    fn returned_deposit_with_hold_cannot_overdraw() {
+        // The §6.2 story: brother-in-law's $100 check. With a hold, the
+        // money was never spendable, so the claw-back (plus fee) lands on
+        // funds that are still there.
+        let mut b = Branch::new(0);
+        let dep_id = Uniquifier::composite("dep", 4);
+        b.deposit(Uniquifier::composite("opening", 4), 6, 1_000); // own $10
+        b.deposit_check(dep_id, 6, 10_000, Standing::Poor, 0, 10);
+        // The customer cannot spend the held $100 meanwhile.
+        assert_eq!(b.available(6), 1_000);
+        // The check bounces at round 5 (before the hold would lapse).
+        b.return_deposit(dep_id, 6, 10_000, 3_000);
+        // Balance: 1,000 + 10,000 - 10,000 - 3,000 fee = -2,000... the fee
+        // can still overdraw a small balance, but the $100 itself could
+        // never have been double-spent. Without the hold the customer
+        // could have spent the full 11,000 first.
+        assert_eq!(b.balance(6), -2_000);
+        assert_eq!(b.state().held(6), 0, "the hold was released by the return");
+    }
+
+    #[test]
+    fn returned_deposit_without_hold_enables_the_overdraft() {
+        let mut b = Branch::new(0);
+        let dep_id = Uniquifier::composite("dep", 5);
+        b.deposit(Uniquifier::composite("opening", 5), 7, 1_000);
+        // Good standing: no hold — "since you've been a good customer,
+        // there is no hold on the money."
+        b.deposit_check(dep_id, 7, 10_000, Standing::Good, 0, 10);
+        // The customer spends almost everything...
+        assert!(b.present(Check { account: 7, number: 1, amount: 10_500 }).is_ok());
+        // ...and then the deposited check bounces: deep overdraft.
+        b.return_deposit(dep_id, 7, 10_000, 3_000);
+        assert_eq!(b.balance(7), 1_000 + 10_000 - 10_500 - 10_000 - 3_000);
+        assert!(b.balance(7) < 0);
+    }
+
+    #[test]
+    fn exchange_converges_balances() {
+        let mut a = Branch::new(0);
+        let mut b = Branch::new(1);
+        a.deposit(Uniquifier::from_parts(1, 1), 1, 500);
+        b.deposit(Uniquifier::from_parts(1, 2), 2, 700);
+        a.exchange(&mut b);
+        assert_eq!(a.balances(), b.balances());
+        assert_eq!(a.balance(1), 500);
+        assert_eq!(a.balance(2), 700);
+    }
+}

@@ -1,0 +1,211 @@
+//! The deposit-risk harness (E13): quantifying §6.2's hold policy.
+//!
+//! "You deposit your brother-in-law's check for $100 into your bank
+//! account and, since you've been a good customer, there is no hold on
+//! the money... Later, when the check bounces, your account is debited
+//! $130." The hold is the bank's over-provisioning move: held funds
+//! cannot be spent, so a bounced deposit claws back money that is still
+//! there. This harness runs risky deposits and spending side by side,
+//! with and without holds, and measures the overdrafts that result.
+
+use quicksand_core::uniquifier::Uniquifier;
+use rand::Rng;
+use sim::SimRng;
+
+use crate::branch::Branch;
+use crate::types::{Cents, Check, Standing};
+
+/// Configuration for one deposit-risk run.
+#[derive(Debug, Clone)]
+pub struct DepositRiskConfig {
+    /// Customer accounts.
+    pub n_accounts: u64,
+    /// Opening balance of each customer's own money.
+    pub opening: Cents,
+    /// Rounds to run.
+    pub rounds: u64,
+    /// Risky check deposits per round.
+    pub deposits_per_round: u64,
+    /// Face value of each deposited check.
+    pub deposit_amount: Cents,
+    /// Probability a deposited check later bounces.
+    pub bounce_prob: f64,
+    /// Rounds until a bouncing check comes back.
+    pub bounce_delay: u64,
+    /// Spending attempts per round (checks drawn by the customers).
+    pub spends_per_round: u64,
+    /// Face value of spending checks.
+    pub spend_amount: Cents,
+    /// Hold length for poor-standing customers; `None` disables holds
+    /// entirely (every customer treated as good standing — the ablation).
+    pub hold_rounds: Option<u64>,
+    /// Fraction of accounts with poor standing.
+    pub poor_fraction: f64,
+    /// Bounce fee.
+    pub fee: Cents,
+}
+
+impl Default for DepositRiskConfig {
+    fn default() -> Self {
+        DepositRiskConfig {
+            n_accounts: 20,
+            opening: 2_000, // $20 of their own money
+            rounds: 120,
+            deposits_per_round: 2,
+            deposit_amount: 10_000, // the brother-in-law's $100
+            bounce_prob: 0.3,
+            bounce_delay: 8,
+            spends_per_round: 6,
+            spend_amount: 4_000,
+            hold_rounds: Some(10), // longer than the bounce delay
+            poor_fraction: 0.5,
+            fee: 3_000, // $30
+        }
+    }
+}
+
+/// What a deposit-risk run measured.
+#[derive(Debug, Clone, Default)]
+pub struct DepositRiskReport {
+    /// Risky deposits taken.
+    pub deposits: u64,
+    /// Deposits that bounced back.
+    pub bounced_deposits: u64,
+    /// Spending checks cleared.
+    pub spends_cleared: u64,
+    /// Spending checks refused (insufficient *available* funds).
+    pub spends_refused: u64,
+    /// Accounts that went overdrawn at any audit — the damage the hold
+    /// policy exists to prevent.
+    pub overdraft_episodes: u64,
+    /// Sum of negative balances observed at audits (apology dollars).
+    pub overdraft_cents: Cents,
+}
+
+/// Run a deposit-risk scenario on a single branch (the risk mechanics
+/// are orthogonal to replication, which E7 already covers).
+pub fn run_deposit_risk(cfg: &DepositRiskConfig, seed: u64) -> DepositRiskReport {
+    let mut rng = SimRng::new(seed);
+    let mut branch = Branch::new(0);
+    let mut report = DepositRiskReport::default();
+    // (deposit id, account, due round) for checks that will bounce.
+    let mut pending_bounces: Vec<(Uniquifier, u64, u64)> = Vec::new();
+    let mut deposit_seq = 0u64;
+    let mut check_no = 1u64;
+
+    let standing_of = |account: u64, cfg: &DepositRiskConfig| {
+        if cfg.hold_rounds.is_none() {
+            Standing::Good
+        } else if (account as f64 + 0.5) / cfg.n_accounts as f64 <= cfg.poor_fraction {
+            Standing::Poor
+        } else {
+            Standing::Good
+        }
+    };
+
+    for acct in 0..cfg.n_accounts {
+        branch.deposit(Uniquifier::composite("own-funds", acct), acct, cfg.opening);
+    }
+
+    for round in 0..cfg.rounds {
+        // Risky deposits arrive.
+        for _ in 0..cfg.deposits_per_round {
+            let account = rng.gen_range(0..cfg.n_accounts);
+            let id = Uniquifier::composite("risky-deposit", deposit_seq);
+            deposit_seq += 1;
+            let standing = standing_of(account, cfg);
+            branch.deposit_check(
+                id,
+                account,
+                cfg.deposit_amount,
+                standing,
+                round,
+                cfg.hold_rounds.unwrap_or(0),
+            );
+            report.deposits += 1;
+            if rng.gen_bool(cfg.bounce_prob) {
+                pending_bounces.push((id, account, round + cfg.bounce_delay));
+            }
+        }
+
+        // Customers spend.
+        for _ in 0..cfg.spends_per_round {
+            let account = rng.gen_range(0..cfg.n_accounts);
+            let check = Check { account, number: check_no, amount: cfg.spend_amount };
+            check_no += 1;
+            match branch.present(check) {
+                Ok(()) => report.spends_cleared += 1,
+                Err(_) => report.spends_refused += 1,
+            }
+        }
+
+        // Bounced deposits come back.
+        let (due, rest): (Vec<_>, Vec<_>) =
+            pending_bounces.into_iter().partition(|(_, _, r)| *r <= round);
+        pending_bounces = rest;
+        for (id, account, _) in due {
+            branch.return_deposit(id, account, cfg.deposit_amount, cfg.fee);
+            report.bounced_deposits += 1;
+        }
+
+        // Scheduled hold releases.
+        branch.tick(round);
+
+        // Audit.
+        for (_, balance) in branch.overdrafts() {
+            report.overdraft_episodes += 1;
+            report.overdraft_cents += -balance;
+        }
+        // Make overdrawn accounts whole so episodes stay comparable
+        // round to round (the bank eats it / collects out of band).
+        let overdrawn = branch.overdrafts();
+        for (account, balance) in overdrawn {
+            branch.deposit(
+                Uniquifier::composite("make-whole", round * 10_000 + account),
+                account,
+                -balance,
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_cut_deposit_driven_overdrafts() {
+        let with_holds = run_deposit_risk(&DepositRiskConfig::default(), 7);
+        let without = run_deposit_risk(
+            &DepositRiskConfig { hold_rounds: None, ..DepositRiskConfig::default() },
+            7,
+        );
+        assert!(
+            with_holds.overdraft_cents < without.overdraft_cents,
+            "holds {with_holds:?} vs none {without:?}"
+        );
+        assert!(with_holds.bounced_deposits > 0);
+    }
+
+    #[test]
+    fn holds_also_refuse_more_spending() {
+        // The price of the hold: the customer can't spend funds that are
+        // reserved — conservatism declines business (§7.1's tradeoff in
+        // bank clothing).
+        let with_holds = run_deposit_risk(&DepositRiskConfig::default(), 9);
+        let without = run_deposit_risk(
+            &DepositRiskConfig { hold_rounds: None, ..DepositRiskConfig::default() },
+            9,
+        );
+        assert!(with_holds.spends_refused > without.spends_refused);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_deposit_risk(&DepositRiskConfig::default(), 11);
+        let b = run_deposit_risk(&DepositRiskConfig::default(), 11);
+        assert_eq!(a.overdraft_cents, b.overdraft_cents);
+        assert_eq!(a.spends_cleared, b.spends_cleared);
+    }
+}

@@ -1,0 +1,38 @@
+//! # bank — check clearing and ledgers (§6.2 of *Building on Quicksand*)
+//!
+//! The paper's second worked example, and its oldest: "This mechanism
+//! has been used for many years and pre-dates computerized systems."
+//! Check numbers are the canonical **uniquifier**; debits and credits
+//! are the canonical **commutative operations**; the monthly statement
+//! is the canonical **immutable ledger** — and replicated clearing is
+//! the canonical **probabilistic business rule**: with branches clearing
+//! independently, "there is a small (but present) possibility that
+//! multiple checks presented to different replicas will cause an
+//! overdraft that is not detected in time to bounce one of the checks."
+//!
+//! - [`types`] — checks, ops (Deposit / ClearCheck / ReverseCheck /
+//!   BounceFee), all uniquified by *domain identity* so independent
+//!   replicas mint collapsing operations; certified ACID 2.0 in tests.
+//! - [`branch`] — a replica with the bank's two jobs: decide on best
+//!   local knowledge, remember everything; plus the coordinated path
+//!   for big checks (§5.5's $10,000 rule) and deterministic
+//!   compensation (bounce + fee) at audit.
+//! - [`statement`] — immutable monthly statements; late checks land next
+//!   month; March is never modified.
+//! - [`clearing`] — the E7/E8 harness sweeping disconnection windows and
+//!   risk thresholds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod clearing;
+pub mod deposits;
+pub mod statement;
+pub mod types;
+
+pub use branch::{classify_check, present_coordinated, Branch, ClearingResult, Refusal};
+pub use deposits::{run_deposit_risk, DepositRiskConfig, DepositRiskReport};
+pub use clearing::{run_clearing, ClearingConfig, ClearingReport};
+pub use statement::{Statement, StatementBook};
+pub use types::{AccountId, BankOp, BankState, Cents, Check, Standing};

@@ -1,0 +1,235 @@
+//! Monthly statements: the immutable ledger of §6.2.
+//!
+//! "At the end of the month, a statement is issued... Once it is issued,
+//! it is permanent and immutable. Errors in March's statement may be
+//! adjusted in April's statement but March's statement is never
+//! modified." A check floating across the period boundary "may land in
+//! this month's statement or in next month's statement" — which is
+//! exactly how [`StatementBook::close_period`] behaves: a statement
+//! carries every operation *known and not yet posted* at closing time;
+//! anything learned later lands on the next one.
+
+use std::collections::{HashMap, HashSet};
+
+use quicksand_core::op::{OpLog, Operation};
+use quicksand_core::uniquifier::Uniquifier;
+
+use crate::types::{AccountId, BankOp, BankState, Cents};
+
+/// One issued, immutable statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The account.
+    pub account: AccountId,
+    /// Statement sequence number for the account (0 = first month).
+    pub period: u32,
+    /// Balance carried in.
+    pub opening: Cents,
+    /// Balance carried out: opening plus the entries.
+    pub closing: Cents,
+    /// The posted operations: (uniquifier, signed impact).
+    pub entries: Vec<(Uniquifier, Cents)>,
+}
+
+/// Issues statements from a branch's operation memory.
+#[derive(Debug, Clone, Default)]
+pub struct StatementBook {
+    posted: HashSet<Uniquifier>,
+    statements: Vec<Statement>,
+    next_period: HashMap<AccountId, u32>,
+    last_closing: HashMap<AccountId, Cents>,
+}
+
+impl StatementBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        StatementBook::default()
+    }
+
+    /// Close the current period against the branch's memory: every known
+    /// account gets a statement carrying the operations not yet posted.
+    /// Returns the statements just issued.
+    pub fn close_period(&mut self, log: &OpLog<BankOp>) -> Vec<Statement> {
+        let mut per_account: HashMap<AccountId, Vec<(Uniquifier, Cents)>> = HashMap::new();
+        for op in log.iter() {
+            if !self.posted.contains(&op.id()) {
+                if op.signed_amount() == 0 {
+                    // Balance-neutral ops (holds and releases) are not
+                    // statement lines; mark them posted and move on.
+                    self.posted.insert(op.id());
+                    continue;
+                }
+                per_account
+                    .entry(op.account())
+                    .or_default()
+                    .push((op.id(), op.signed_amount()));
+            }
+        }
+        // Every account that has ever had a statement also closes this
+        // period (possibly with no entries), so period numbers advance
+        // uniformly.
+        let known: Vec<AccountId> = self
+            .next_period
+            .keys()
+            .copied()
+            .chain(per_account.keys().copied())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        let mut accounts: Vec<AccountId> = known;
+        accounts.sort_unstable();
+
+        let mut issued = Vec::new();
+        for account in accounts {
+            let entries = per_account.remove(&account).unwrap_or_default();
+            let opening = self.last_closing.get(&account).copied().unwrap_or(0);
+            let closing = opening + entries.iter().map(|(_, v)| v).sum::<Cents>();
+            let period = *self.next_period.entry(account).or_insert(0);
+            *self.next_period.get_mut(&account).expect("just inserted") += 1;
+            for (id, _) in &entries {
+                self.posted.insert(*id);
+            }
+            self.last_closing.insert(account, closing);
+            let st = Statement { account, period, opening, closing, entries };
+            self.statements.push(st.clone());
+            issued.push(st);
+        }
+        issued
+    }
+
+    /// Every statement issued, in issue order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// The statements of one account, in period order.
+    pub fn for_account(&self, account: AccountId) -> Vec<&Statement> {
+        self.statements.iter().filter(|s| s.account == account).collect()
+    }
+
+    /// Audit the book: openings chain from closings, closings equal
+    /// opening plus entries, and the last closing matches the supplied
+    /// balance for every account the book knows (accounts with
+    /// operations the book hasn't closed yet are reported).
+    pub fn verify(&self, current: &BankState) -> Result<(), String> {
+        let mut last: HashMap<AccountId, Cents> = HashMap::new();
+        for s in &self.statements {
+            let expected_opening = last.get(&s.account).copied().unwrap_or(0);
+            if s.opening != expected_opening {
+                return Err(format!(
+                    "account {} period {}: opening {} breaks the chain (expected {})",
+                    s.account, s.period, s.opening, expected_opening
+                ));
+            }
+            let sum: Cents = s.entries.iter().map(|(_, v)| v).sum();
+            if s.closing != s.opening + sum {
+                return Err(format!(
+                    "account {} period {}: closing {} != opening {} + entries {}",
+                    s.account, s.period, s.closing, s.opening, sum
+                ));
+            }
+            last.insert(s.account, s.closing);
+        }
+        for (account, closing) in &last {
+            if let Some(balance) = current.balances.get(account) {
+                if closing != balance {
+                    return Err(format!(
+                        "account {account}: final closing {closing} != current balance {balance} \
+                         (operations pending the next close?)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Check;
+
+    fn dep(n: u64, account: AccountId, amount: Cents) -> BankOp {
+        BankOp::Deposit { id: Uniquifier::from_parts(4, n), account, amount }
+    }
+
+    #[test]
+    fn statements_chain_and_balance() {
+        let mut log: OpLog<BankOp> = OpLog::new();
+        log.record(dep(1, 1, 10_000));
+        log.record(dep(2, 1, 5_000));
+        let mut book = StatementBook::new();
+        let march = book.close_period(&log);
+        assert_eq!(march.len(), 1);
+        assert_eq!(march[0].opening, 0);
+        assert_eq!(march[0].closing, 15_000);
+        assert_eq!(march[0].entries.len(), 2);
+
+        let check = Check { account: 1, number: 9, amount: 4_000 };
+        log.record(BankOp::ClearCheck {
+            id: check.uniquifier(),
+            account: 1,
+            amount: 4_000,
+        });
+        let april = book.close_period(&log);
+        assert_eq!(april[0].opening, 15_000);
+        assert_eq!(april[0].closing, 11_000);
+        book.verify(&log.materialize()).unwrap();
+    }
+
+    #[test]
+    fn late_arriving_op_lands_in_the_next_month_and_march_is_never_modified() {
+        let mut log: OpLog<BankOp> = OpLog::new();
+        log.record(dep(1, 1, 1_000));
+        let mut book = StatementBook::new();
+        let march = book.close_period(&log).remove(0);
+
+        // A check cleared "on midnight of the 31st" arrives after close.
+        log.record(dep(2, 1, 500));
+        let april = book.close_period(&log).remove(0);
+        assert_eq!(april.entries.len(), 1);
+        assert_eq!(april.closing, 1_500);
+
+        // March is byte-for-byte the statement that was issued.
+        assert_eq!(book.for_account(1)[0], &march);
+        book.verify(&log.materialize()).unwrap();
+    }
+
+    #[test]
+    fn empty_periods_still_issue_for_known_accounts() {
+        let mut log: OpLog<BankOp> = OpLog::new();
+        log.record(dep(1, 1, 100));
+        let mut book = StatementBook::new();
+        book.close_period(&log);
+        let second = book.close_period(&log);
+        assert_eq!(second.len(), 1);
+        assert!(second[0].entries.is_empty());
+        assert_eq!(second[0].opening, 100);
+        assert_eq!(second[0].closing, 100);
+    }
+
+    #[test]
+    fn verify_catches_tampering() {
+        let mut log: OpLog<BankOp> = OpLog::new();
+        log.record(dep(1, 1, 100));
+        let mut book = StatementBook::new();
+        book.close_period(&log);
+        // Fake a mismatched balance.
+        let mut bogus = BankState::default();
+        bogus.balances.insert(1, 999);
+        assert!(book.verify(&bogus).is_err());
+    }
+
+    #[test]
+    fn multiple_accounts_close_independently() {
+        let mut log: OpLog<BankOp> = OpLog::new();
+        log.record(dep(1, 1, 100));
+        log.record(dep(2, 2, 200));
+        let mut book = StatementBook::new();
+        let issued = book.close_period(&log);
+        assert_eq!(issued.len(), 2);
+        assert_eq!(book.for_account(1).len(), 1);
+        assert_eq!(book.for_account(2).len(), 1);
+        book.verify(&log.materialize()).unwrap();
+    }
+}

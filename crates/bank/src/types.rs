@@ -1,0 +1,334 @@
+//! The bank's domain types: checks, operations, and account state.
+//!
+//! "There is a reason for check-numbers on checks. The check numbers
+//! (combined with the bank-id and account-number) provide a unique
+//! identifier." (§6.2) Every operation below carries a uniquifier
+//! *derived from domain identity* — the check number for clearings, the
+//! original check's id for reversals and fees — so that replicas acting
+//! independently mint the *same* operation for the same business event
+//! and the op-set union collapses them.
+
+use quicksand_core::op::Operation;
+use quicksand_core::uniquifier::Uniquifier;
+use std::collections::BTreeMap;
+
+/// Money in cents.
+pub type Cents = i64;
+
+/// An account number.
+pub type AccountId = u64;
+
+/// A paper check drawn on an account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Check {
+    /// The account the check is drawn on.
+    pub account: AccountId,
+    /// The printed check number.
+    pub number: u64,
+    /// Face value, positive.
+    pub amount: Cents,
+}
+
+impl Check {
+    /// The check's uniquifier: bank + account + check number (§6.2 —
+    /// "a wonderful unique-id"). Functionally dependent on the check
+    /// itself, so every replica derives the same id.
+    pub fn uniquifier(&self) -> Uniquifier {
+        Uniquifier::composite(&format!("bank:quicksand/acct:{}", self.account), self.number)
+    }
+}
+
+/// A customer's standing with the bank, which drives the optimism of the
+/// deposit policy (§6.2: "the decision to be optimistic is based on YOUR
+/// good standing with the bank").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Standing {
+    /// Deposits are spendable immediately (no hold).
+    Good,
+    /// Deposits are held for a few rounds before they are spendable.
+    Poor,
+}
+
+/// One ledger operation. Debits and credits are commutative; every
+/// variant is uniquified, so the whole set is ACID 2.0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankOp {
+    /// Money in.
+    Deposit {
+        /// Uniquifier of the deposit event.
+        id: Uniquifier,
+        /// The credited account.
+        account: AccountId,
+        /// Amount, positive.
+        amount: Cents,
+    },
+    /// A cleared check: money out.
+    ClearCheck {
+        /// The check's derived uniquifier.
+        id: Uniquifier,
+        /// The debited account.
+        account: AccountId,
+        /// Face value, positive (applied as a debit).
+        amount: Cents,
+    },
+    /// A clearing reversed after the fact (the apology path): the check
+    /// is returned and the debit undone.
+    ReverseCheck {
+        /// Derived from the original check's id — every replica that
+        /// decides to bounce this check mints the identical operation.
+        id: Uniquifier,
+        /// The original clearing's uniquifier.
+        original: Uniquifier,
+        /// The credited-back account.
+        account: AccountId,
+        /// The amount returned, positive.
+        amount: Cents,
+    },
+    /// The bounce fee that accompanies a reversal (§6.2's "$30 bounce
+    /// fee").
+    BounceFee {
+        /// Derived from the original check's id.
+        id: Uniquifier,
+        /// The charged account.
+        account: AccountId,
+        /// Fee, positive (applied as a debit).
+        amount: Cents,
+    },
+    /// A hold on deposited funds for a customer of poor standing (§6.2).
+    /// Balance-neutral: it reduces the *available* balance until the
+    /// release round.
+    PlaceHold {
+        /// Derived from the deposit's id.
+        id: Uniquifier,
+        /// The account whose funds are held.
+        account: AccountId,
+        /// Amount held, positive.
+        amount: Cents,
+        /// Round at or after which any branch may release the hold —
+        /// embedded in the op so every replica derives the identical
+        /// release.
+        release_round: u64,
+    },
+    /// The scheduled release of a hold. Derived deterministically from
+    /// the hold, so concurrent releasers collapse.
+    ReleaseHold {
+        /// Derived from the hold's id.
+        id: Uniquifier,
+        /// The hold being released.
+        original: Uniquifier,
+        /// The account.
+        account: AccountId,
+        /// Amount released, positive.
+        amount: Cents,
+    },
+    /// A deposited check came back unpaid (§6.2's brother-in-law): the
+    /// credited amount is clawed back.
+    ReturnedDeposit {
+        /// Derived from the deposit's id.
+        id: Uniquifier,
+        /// The deposit being returned.
+        original: Uniquifier,
+        /// The debited account.
+        account: AccountId,
+        /// Amount clawed back, positive.
+        amount: Cents,
+    },
+}
+
+impl BankOp {
+    /// The reversal operation for a cleared check — deterministic, so
+    /// concurrent discoverers collapse (see module docs).
+    pub fn reversal_for(check: &Check) -> BankOp {
+        let original = check.uniquifier();
+        BankOp::ReverseCheck {
+            id: Uniquifier::derived_from_fields(&[b"reverse", &original.as_raw().to_le_bytes()]),
+            original,
+            account: check.account,
+            amount: check.amount,
+        }
+    }
+
+    /// The bounce fee paired with a reversal.
+    pub fn fee_for(check: &Check, fee: Cents) -> BankOp {
+        BankOp::BounceFee {
+            id: Uniquifier::derived_from_fields(&[
+                b"fee",
+                &check.uniquifier().as_raw().to_le_bytes(),
+            ]),
+            account: check.account,
+            amount: fee,
+        }
+    }
+
+    /// The hold placed alongside a deposit for a poor-standing customer.
+    pub fn hold_for(deposit_id: Uniquifier, account: AccountId, amount: Cents, release_round: u64) -> BankOp {
+        BankOp::PlaceHold {
+            id: Uniquifier::derived_from_fields(&[b"hold", &deposit_id.as_raw().to_le_bytes()]),
+            account,
+            amount,
+            release_round,
+        }
+    }
+
+    /// The deterministic release of a hold op.
+    pub fn release_for(hold: &BankOp) -> Option<BankOp> {
+        match hold {
+            BankOp::PlaceHold { id, account, amount, .. } => Some(BankOp::ReleaseHold {
+                id: Uniquifier::derived_from_fields(&[b"release", &id.as_raw().to_le_bytes()]),
+                original: *id,
+                account: *account,
+                amount: *amount,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The claw-back for a deposit whose underlying check bounced.
+    pub fn returned_deposit(deposit_id: Uniquifier, account: AccountId, amount: Cents) -> BankOp {
+        BankOp::ReturnedDeposit {
+            id: Uniquifier::derived_from_fields(&[b"returned", &deposit_id.as_raw().to_le_bytes()]),
+            original: deposit_id,
+            account,
+            amount,
+        }
+    }
+
+    /// The affected account.
+    pub fn account(&self) -> AccountId {
+        match self {
+            BankOp::Deposit { account, .. }
+            | BankOp::ClearCheck { account, .. }
+            | BankOp::ReverseCheck { account, .. }
+            | BankOp::BounceFee { account, .. }
+            | BankOp::PlaceHold { account, .. }
+            | BankOp::ReleaseHold { account, .. }
+            | BankOp::ReturnedDeposit { account, .. } => *account,
+        }
+    }
+
+    /// The signed balance impact. Holds and releases are balance-neutral
+    /// (they move money between "available" and "held", not in or out).
+    pub fn signed_amount(&self) -> Cents {
+        match self {
+            BankOp::Deposit { amount, .. } | BankOp::ReverseCheck { amount, .. } => *amount,
+            BankOp::ClearCheck { amount, .. }
+            | BankOp::BounceFee { amount, .. }
+            | BankOp::ReturnedDeposit { amount, .. } => -*amount,
+            BankOp::PlaceHold { .. } | BankOp::ReleaseHold { .. } => 0,
+        }
+    }
+}
+
+/// Account state: real balances plus funds under hold.
+///
+/// A hold (§6.2) does not change the balance — the money is credited —
+/// but it is not *spendable* until the deposited check has had time to
+/// clear. "A less desirable customer (like your brother-in-law) would
+/// have a hold placed on the money (reserving for a potential bounce)."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankState {
+    /// Real money per account.
+    pub balances: BTreeMap<AccountId, Cents>,
+    /// Amount currently under hold per account.
+    pub held: BTreeMap<AccountId, Cents>,
+}
+
+impl BankState {
+    /// The account's real balance.
+    pub fn balance(&self, account: AccountId) -> Cents {
+        self.balances.get(&account).copied().unwrap_or(0)
+    }
+
+    /// The amount under hold.
+    pub fn held(&self, account: AccountId) -> Cents {
+        self.held.get(&account).copied().unwrap_or(0)
+    }
+
+    /// What the customer may actually spend: balance minus holds.
+    pub fn available(&self, account: AccountId) -> Cents {
+        self.balance(account) - self.held(account)
+    }
+}
+
+impl Operation for BankOp {
+    type State = BankState;
+
+    fn id(&self) -> Uniquifier {
+        match self {
+            BankOp::Deposit { id, .. }
+            | BankOp::ClearCheck { id, .. }
+            | BankOp::ReverseCheck { id, .. }
+            | BankOp::BounceFee { id, .. }
+            | BankOp::PlaceHold { id, .. }
+            | BankOp::ReleaseHold { id, .. }
+            | BankOp::ReturnedDeposit { id, .. } => *id,
+        }
+    }
+
+    fn apply(&self, state: &mut BankState) {
+        *state.balances.entry(self.account()).or_insert(0) += self.signed_amount();
+        match self {
+            BankOp::PlaceHold { account, amount, .. } => {
+                *state.held.entry(*account).or_insert(0) += amount;
+            }
+            BankOp::ReleaseHold { account, amount, .. } => {
+                *state.held.entry(*account).or_insert(0) -= amount;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_core::acid2;
+    use rand::SeedableRng;
+
+    #[test]
+    fn check_uniquifier_is_functionally_dependent_on_the_check() {
+        let c1 = Check { account: 42, number: 1001, amount: 10_000 };
+        let c2 = Check { account: 42, number: 1001, amount: 10_000 };
+        let c3 = Check { account: 42, number: 1002, amount: 10_000 };
+        assert_eq!(c1.uniquifier(), c2.uniquifier());
+        assert_ne!(c1.uniquifier(), c3.uniquifier());
+    }
+
+    #[test]
+    fn reversal_and_fee_are_deterministic_per_check() {
+        let c = Check { account: 7, number: 55, amount: 3_000 };
+        assert_eq!(BankOp::reversal_for(&c), BankOp::reversal_for(&c));
+        assert_eq!(BankOp::fee_for(&c, 3_000), BankOp::fee_for(&c, 3_000));
+        assert_ne!(BankOp::reversal_for(&c).id(), BankOp::fee_for(&c, 3_000).id());
+        assert_ne!(BankOp::reversal_for(&c).id(), c.uniquifier());
+    }
+
+    #[test]
+    fn ops_apply_with_correct_signs() {
+        let mut state = BankState::default();
+        let c = Check { account: 1, number: 9, amount: 500 };
+        BankOp::Deposit { id: Uniquifier::from_parts(0, 1), account: 1, amount: 1_000 }
+            .apply(&mut state);
+        BankOp::ClearCheck { id: c.uniquifier(), account: 1, amount: 500 }.apply(&mut state);
+        assert_eq!(state.balance(1), 500);
+        BankOp::reversal_for(&c).apply(&mut state);
+        BankOp::fee_for(&c, 30_00).apply(&mut state);
+        assert_eq!(state.balance(1), 1_000 - 30_00);
+    }
+
+    #[test]
+    fn bank_ops_are_acid_2_0() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut ops = Vec::new();
+        for i in 0..10u64 {
+            ops.push(BankOp::Deposit {
+                id: Uniquifier::from_parts(9, i),
+                account: i % 3,
+                amount: 100 * i as i64,
+            });
+            let c = Check { account: i % 3, number: 500 + i, amount: 40 * i as i64 };
+            ops.push(BankOp::ClearCheck { id: c.uniquifier(), account: c.account, amount: c.amount });
+        }
+        acid2::certify(&ops, 40, &mut rng).expect("debits and credits commute");
+    }
+}

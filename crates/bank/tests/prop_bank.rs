@@ -1,0 +1,115 @@
+//! Property-based tests of the bank: arbitrary clearing workloads must
+//! converge, never double-post a check, and keep the statement book
+//! sound.
+
+use bank::{run_clearing, Branch, Check, ClearingConfig};
+use proptest::prelude::*;
+use quicksand_core::uniquifier::Uniquifier;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn clearing_invariants_hold_for_arbitrary_configs(
+        seed in 0u64..10_000,
+        n_branches in 2usize..5,
+        exchange_every in 1u64..40,
+        dup in 0.0f64..0.3,
+    ) {
+        let cfg = ClearingConfig {
+            n_branches,
+            n_accounts: 15,
+            rounds: 60,
+            checks_per_round: 8,
+            exchange_every,
+            dup_presentment_prob: dup,
+            ..ClearingConfig::default()
+        };
+        let r = run_clearing(&cfg, seed);
+        prop_assert!(r.converged, "{:?}", r);
+        prop_assert!(r.no_double_posting, "{:?}", r);
+        prop_assert!(r.statements_ok, "{:?}", r);
+        prop_assert_eq!(
+            r.presented,
+            cfg.rounds * cfg.checks_per_round
+        );
+    }
+}
+
+proptest! {
+    /// Pairwise exchange always converges two branches exactly, whatever
+    /// ops each saw.
+    #[test]
+    fn branch_exchange_converges(
+        deposits in prop::collection::vec((0u64..10, 1i64..1000), 0..30),
+        checks in prop::collection::vec((0u64..10, 0u64..50), 0..30),
+    ) {
+        let mut a = Branch::new(0);
+        let mut b = Branch::new(1);
+        for (i, (acct, amt)) in deposits.iter().enumerate() {
+            let id = Uniquifier::composite("pdep", i as u64);
+            if i % 2 == 0 {
+                a.deposit(id, *acct, *amt);
+            } else {
+                b.deposit(id, *acct, *amt);
+            }
+        }
+        for (i, (acct, num)) in checks.iter().enumerate() {
+            // "The payee and amount for a specific check are immutable"
+            // (§6.2): the amount is a function of the check's identity,
+            // so a duplicate presentment is a retry, not fraud.
+            let amount = 1 + ((*acct * 53 + *num * 37) % 499) as i64;
+            let check = Check { account: *acct, number: *num, amount };
+            if i % 2 == 0 {
+                let _ = a.present(check);
+            } else {
+                let _ = b.present(check);
+            }
+        }
+        a.exchange(&mut b);
+        prop_assert_eq!(a.balances(), b.balances());
+        prop_assert!(a.log().same_ops(b.log()));
+    }
+
+    /// Compensation always converges to identical books across
+    /// independent discoverers, because the apology ops derive their
+    /// identity from the check.
+    #[test]
+    fn compensation_is_deterministic_across_discoverers(
+        checks in prop::collection::vec(1u64..60, 1..12)
+    ) {
+        let mut a = Branch::new(0);
+        let mut b = Branch::new(1);
+        let dep = Uniquifier::composite("seed", 1);
+        a.deposit(dep, 7, 1_000);
+        b.deposit(dep, 7, 1_000);
+        for (i, num) in checks.iter().enumerate() {
+            let amount = 100 + ((num * 131) % 800) as i64;
+            let check = Check { account: 7, number: *num, amount };
+            if i % 2 == 0 {
+                let _ = a.present(check);
+            } else {
+                let _ = b.present(check);
+            }
+        }
+        a.exchange(&mut b);
+        // Both discover and compensate independently, then reconcile.
+        a.audit_and_compensate(30_00);
+        b.audit_and_compensate(30_00);
+        a.exchange(&mut b);
+        prop_assert_eq!(a.balances(), b.balances());
+        // Converged ledger has at most one reversal per cleared check.
+        use bank::BankOp;
+        let reversals: Vec<_> = a
+            .log()
+            .iter()
+            .filter_map(|op| match op {
+                BankOp::ReverseCheck { original, .. } => Some(*original),
+                _ => None,
+            })
+            .collect();
+        let mut unique = reversals.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), reversals.len(), "double reversal");
+    }
+}

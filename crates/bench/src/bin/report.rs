@@ -1,0 +1,42 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p bench --release --bin report            # all tables
+//! cargo run -p bench --release --bin report -- e7 e8   # a subset
+//! cargo run -p bench --release --bin report -- --seed 7 e1
+//! ```
+
+use bench::{all_tables, table_by_id, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        seed = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--seed needs a number");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    println!("Building on Quicksand — derived experiment report (seed {seed})");
+    println!("(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)\n");
+    if args.is_empty() {
+        for t in all_tables(seed) {
+            println!("{t}");
+        }
+    } else {
+        for id in &args {
+            match table_by_id(id, seed) {
+                Some(t) => println!("{t}"),
+                None => {
+                    eprintln!("unknown experiment id: {id} (try e1..e12, a1, a2)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! E7–E8: replicated check clearing (§6.2) and the risk threshold
+//! (§5.5).
+
+use bank::{run_clearing, ClearingConfig};
+
+use crate::table::{f, Table};
+
+fn base() -> ClearingConfig {
+    ClearingConfig {
+        n_branches: 3,
+        n_accounts: 30,
+        initial_deposit: 40_000, // $400: scarcity makes rules bind
+        rounds: 400,
+        checks_per_round: 15,
+        amount_mu: 8.8,
+        amount_sigma: 1.1,
+        coordinate_threshold: None,
+        ..ClearingConfig::default()
+    }
+}
+
+/// E7: overdraft probability vs the disconnection window.
+pub fn e7(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E7",
+        "Replicated clearing: overdrafts vs reconciliation interval",
+        "\"multiple checks presented to different replicas will cause an overdraft that is \
+         not detected in time to bounce one of the checks\" (§6.2); longer disconnection ⇒ \
+         more slippage (§5.2)",
+        &[
+            "exchange every (rounds)",
+            "cleared",
+            "refused",
+            "overdraft episodes",
+            "bounced checks",
+            "double-posted",
+            "converged",
+        ],
+    );
+    for window in [1u64, 5, 20, 50, 100] {
+        let cfg = ClearingConfig { exchange_every: window, ..base() };
+        let r = run_clearing(&cfg, seed);
+        t.row(vec![
+            window.to_string(),
+            (r.cleared_local + r.cleared_coordinated).to_string(),
+            r.refused.to_string(),
+            r.overdraft_episodes.to_string(),
+            r.bounced.to_string(),
+            if r.no_double_posting { "0".into() } else { "SOME".into() },
+            if r.converged { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E8: the "stomach for risk" dial — coordinate above a value threshold.
+pub fn e8(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E8",
+        "Risk threshold: clearing latency vs overdraft risk",
+        "\"Locally clear a check if the face value is less than $10,000. If it exceeds \
+         $10,000, double check with all the replicas\" (§5.5) — per-operation consistency \
+         choice inside one application",
+        &[
+            "threshold",
+            "cleared local",
+            "cleared coordinated",
+            "mean clear latency ms",
+            "overdraft episodes",
+            "bounced",
+        ],
+    );
+    let cases: [(&str, Option<i64>); 4] = [
+        ("never coordinate", None),
+        ("$100", Some(10_000)),
+        ("$20", Some(2_000)),
+        ("always coordinate", Some(0)),
+    ];
+    for (label, threshold) in cases {
+        let cfg = ClearingConfig {
+            exchange_every: 40,
+            coordinate_threshold: threshold,
+            ..base()
+        };
+        let r = run_clearing(&cfg, seed);
+        t.row(vec![
+            label.to_string(),
+            r.cleared_local.to_string(),
+            r.cleared_coordinated.to_string(),
+            f(r.mean_clear_latency_us / 1000.0),
+            r.overdraft_episodes.to_string(),
+            r.bounced.to_string(),
+        ]);
+    }
+    t
+}

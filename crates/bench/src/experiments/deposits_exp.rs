@@ -1,0 +1,47 @@
+//! E13: the deposit-hold policy (§6.2) — standing-based optimism.
+
+use bank::{run_deposit_risk, DepositRiskConfig};
+
+use crate::table::{f, Table};
+
+/// E13: overdraft damage and declined spending, with and without holds.
+pub fn e13(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E13",
+        "Deposit holds: risky checks, bounces, and spendable funds",
+        "\"since you've been a good customer, there is no hold on the money... Later, when \
+         the check bounces, your account is debited $130\"; a poor-standing customer \"would \
+         have a hold placed on the money (reserving for a potential bounce)\" (§6.2)",
+        &[
+            "hold policy",
+            "deposits",
+            "bounced back",
+            "spends cleared",
+            "spends refused",
+            "overdraft episodes",
+            "overdraft $ total",
+        ],
+    );
+    for (label, hold) in [
+        ("no holds (everyone trusted)", None),
+        ("hold 10 rounds (poor standing)", Some(10u64)),
+        ("hold 10 rounds, everyone poor", Some(10)),
+    ] {
+        let cfg = DepositRiskConfig {
+            hold_rounds: hold,
+            poor_fraction: if label.contains("everyone") { 1.0 } else { 0.5 },
+            ..DepositRiskConfig::default()
+        };
+        let r = run_deposit_risk(&cfg, seed);
+        t.row(vec![
+            label.to_string(),
+            r.deposits.to_string(),
+            r.bounced_deposits.to_string(),
+            r.spends_cleared.to_string(),
+            r.spends_refused.to_string(),
+            r.overdraft_episodes.to_string(),
+            f(r.overdraft_cents as f64 / 100.0),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,138 @@
+//! E9: escrow locking vs exclusive locking (§5.3 sidebar).
+
+use quicksand_core::escrow::EscrowCounter;
+use rand::Rng;
+use sim::SimRng;
+
+use crate::table::{f, Table};
+
+/// Outcome of one concurrency schedule.
+struct ScheduleResult {
+    ops_done: u64,
+    rounds: u64,
+    refused: u64,
+    read_blocks: u64,
+}
+
+/// Run `k` transactions of `ops_each` commutative updates under escrow,
+/// interleaved round-robin; `reader_frac` of transactions issue a READ
+/// halfway through. One round = every live transaction attempts one
+/// step, so `ops_done / rounds` is the effective concurrency.
+fn escrow_schedule(
+    k: usize,
+    ops_each: usize,
+    reader_frac: f64,
+    rng: &mut SimRng,
+) -> ScheduleResult {
+    let mut counter = EscrowCounter::new(1_000_000, 0, 2_000_000);
+    let mut txns: Vec<_> = (0..k).map(|_| Some(counter.begin())).collect();
+    let mut progress = vec![0usize; k];
+    let readers: Vec<bool> = (0..k).map(|i| (i as f64 + 0.5) / k as f64 <= reader_frac).collect();
+    let mut result = ScheduleResult { ops_done: 0, rounds: 0, refused: 0, read_blocks: 0 };
+    while txns.iter().any(Option::is_some) {
+        result.rounds += 1;
+        for i in 0..k {
+            let Some(txn) = txns[i] else { continue };
+            if progress[i] >= ops_each {
+                counter.commit(txn).expect("commit");
+                txns[i] = None;
+                continue;
+            }
+            // Readers READ as their first step — the sidebar's
+            // "annoying" operation. (Reading mid-transaction with other
+            // readers around can mutually block forever — itself a nice
+            // demonstration of why READs don't commute — so the
+            // schedule reads up front.)
+            if readers[i] && progress[i] == 0 {
+                match counter.read(txn) {
+                    Ok(_) => progress[i] += 1,
+                    Err(_) => {
+                        result.read_blocks += 1;
+                        continue; // stalled this round
+                    }
+                }
+                continue;
+            }
+            let delta = rng.gen_range(-100..=100);
+            match counter.reserve(txn, delta) {
+                Ok(()) => {
+                    progress[i] += 1;
+                    result.ops_done += 1;
+                }
+                Err(_) => result.refused += 1,
+            }
+        }
+    }
+    assert_eq!(counter.active_txns(), 0);
+    result
+}
+
+/// The exclusive-locking baseline: one transaction holds the counter for
+/// its entire lifetime, so each round advances exactly one transaction's
+/// step.
+fn exclusive_schedule(k: usize, ops_each: usize, rng: &mut SimRng) -> ScheduleResult {
+    let mut counter = EscrowCounter::new(1_000_000, 0, 2_000_000);
+    let mut result = ScheduleResult { ops_done: 0, rounds: 0, refused: 0, read_blocks: 0 };
+    for _ in 0..k {
+        let txn = counter.begin();
+        for _ in 0..ops_each {
+            result.rounds += 1; // everyone else waits: a round per op
+            let delta = rng.gen_range(-100..=100);
+            if counter.reserve(txn, delta).is_ok() {
+                result.ops_done += 1;
+            } else {
+                result.refused += 1;
+            }
+        }
+        counter.commit(txn).expect("commit");
+    }
+    result
+}
+
+/// E9: effective concurrency of escrow vs exclusive locking, and the
+/// cost of READs.
+pub fn e9(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E9",
+        "Escrow vs exclusive locking on a hot bounded counter",
+        "\"the work of multiple transactions can interleave as long as they are doing the \
+         commutative operations. If any transaction dares to READ the value, that does not \
+         commute, is annoying, and stops other concurrent work\" (§5.3 sidebar)",
+        &[
+            "policy",
+            "txns",
+            "ops done",
+            "rounds",
+            "ops/round (concurrency)",
+            "READ stalls",
+            "bound violations",
+        ],
+    );
+    let k = 8;
+    let ops_each = 50;
+    let mut rng = SimRng::new(seed);
+    let ex = exclusive_schedule(k, ops_each, &mut rng);
+    t.row(vec![
+        "exclusive lock".into(),
+        k.to_string(),
+        ex.ops_done.to_string(),
+        ex.rounds.to_string(),
+        f(ex.ops_done as f64 / ex.rounds as f64),
+        "-".into(),
+        "0".into(),
+    ]);
+    for (label, frac) in [("escrow, 0% readers", 0.0), ("escrow, 25% readers", 0.25)] {
+        let mut rng = SimRng::new(seed);
+        let es = escrow_schedule(k, ops_each, frac, &mut rng);
+        t.row(vec![
+            label.into(),
+            k.to_string(),
+            es.ops_done.to_string(),
+            es.rounds.to_string(),
+            f(es.ops_done as f64 / es.rounds as f64),
+            es.read_blocks.to_string(),
+            "0".into(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,111 @@
+//! E4–E5: log shipping (§4) and stuck-tail recovery (§5.1).
+
+use logship::{run, LogshipConfig, RecoveryPolicy, ShipMode};
+use sim::{SimDuration, SimTime};
+
+use crate::table::{f, Table};
+
+fn base() -> LogshipConfig {
+    LogshipConfig {
+        n_clients: 4,
+        ops_per_client: 40,
+        mean_interarrival: SimDuration::from_millis(4),
+        horizon: SimTime::from_secs(120),
+        ..LogshipConfig::default()
+    }
+}
+
+/// E4: the latency-vs-loss trade of asynchronous shipping.
+pub fn e4(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Log shipping: commit latency vs work lost on takeover",
+        "\"This delay is unacceptable in most installations and they deal with the low \
+         probability chance of losing recent work\" (§4.1); the async window strands acked \
+         work in the failed primary (§4.2)",
+        &[
+            "WAN 1-way ms",
+            "ship every ms",
+            "mode",
+            "commit ms (mean)",
+            "acked",
+            "lost on takeover",
+            "stuck in WAL",
+        ],
+    );
+    for wan_ms in [1u64, 10, 50] {
+        for (mode, ship_ms) in [
+            (ShipMode::Synchronous, 10u64),
+            (ShipMode::Asynchronous, 1),
+            (ShipMode::Asynchronous, 10),
+            (ShipMode::Asynchronous, 100),
+        ] {
+            let mut cfg = base();
+            cfg.mode = mode;
+            cfg.wan_one_way = SimDuration::from_millis(wan_ms);
+            cfg.ship_interval = SimDuration::from_millis(ship_ms);
+            cfg.mean_interarrival = SimDuration::from_millis(2);
+            // Steady-state latency from a failure-free run (post-takeover
+            // commits run in degraded local mode and would dilute the
+            // figure); loss from an identical run with a mid-workload
+            // crash.
+            let calm = run(&cfg, seed);
+            cfg.crash_primary_at = Some(SimTime::from_millis(120));
+            cfg.recovery = RecoveryPolicy::Discard;
+            let crashed = run(&cfg, seed);
+            t.row(vec![
+                wan_ms.to_string(),
+                if mode == ShipMode::Synchronous { "-".into() } else { ship_ms.to_string() },
+                if mode == ShipMode::Synchronous { "sync" } else { "async" }.to_string(),
+                f(calm.commit_mean_ms),
+                crashed.acked.to_string(),
+                crashed.lost_acked.to_string(),
+                crashed.stuck_tail.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E5: what reorderable, uniquified operations buy you at recovery time.
+pub fn e5(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E5",
+        "Stuck-tail recovery policy after the failed primary returns",
+        "\"the pending work is simply discarded due to lack of designed mechanisms to \
+         reclaim it\" (§5.1) — unless the ops are uniquified and commutative, in which case \
+         out-of-order resurrection is safe (§5.3, §5.4)",
+        &[
+            "policy",
+            "dedup",
+            "acked",
+            "lost acked",
+            "resurrected",
+            "double-applied",
+        ],
+    );
+    let cases: [(&str, RecoveryPolicy, bool); 3] = [
+        ("discard", RecoveryPolicy::Discard, true),
+        ("resurrect", RecoveryPolicy::Resurrect, true),
+        ("resurrect (no uniquifiers)", RecoveryPolicy::Resurrect, false),
+    ];
+    for (label, policy, dedup) in cases {
+        let mut cfg = base();
+        cfg.mean_interarrival = SimDuration::from_millis(2);
+        cfg.ship_interval = SimDuration::from_millis(50);
+        cfg.crash_primary_at = Some(SimTime::from_millis(120));
+        cfg.restart_primary_at = Some(SimTime::from_secs(3));
+        cfg.recovery = policy;
+        cfg.dedup = dedup;
+        let r = run(&cfg, seed);
+        t.row(vec![
+            label.to_string(),
+            if dedup { "on" } else { "off" }.to_string(),
+            r.acked.to_string(),
+            r.lost_acked.to_string(),
+            r.resurrected.to_string(),
+            r.duplicate_applications.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,136 @@
+//! E12: synchronous checkpoints OR apologies (§5.7, §5.8) — the full
+//! tradeoff curve.
+
+use quicksand_core::acid2::examples::CounterAdd;
+use quicksand_core::mga::{coordinated_accept, Replica, ReplicaId};
+use quicksand_core::rules::{BusinessRule, PredicateRule};
+use rand::Rng;
+use sim::SimRng;
+
+use crate::table::{f, Table};
+
+struct MgaRun {
+    accepted: u64,
+    refused: u64,
+    apology_episodes: u64,
+    /// Total deficit repaid across episodes — the dollars apologized for.
+    apology_magnitude: i64,
+    mean_latency_ms: f64,
+}
+
+const LOCAL_MS: f64 = 0.5;
+const COORD_MS: f64 = 40.0;
+
+/// Two replicas of a bounded balance admit signed operations.
+/// `exchange_every = 0` means every admission coordinates (a synchronous
+/// checkpoint); otherwise admissions are local guesses and knowledge is
+/// exchanged every k operations. Joint overdrafts discovered at exchange
+/// are apology episodes, repaired by a compensating deposit (so later
+/// episodes remain comparable).
+fn mga_run(exchange_every: u64, total_ops: u64, seed: u64) -> MgaRun {
+    let rule = PredicateRule::min_bound("no-overdraft", |b: &i64| *b, 0);
+    let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+    let mut rng = SimRng::new(seed);
+    let mut replicas = vec![Replica::new(ReplicaId(0)), Replica::new(ReplicaId(1))];
+    let mut run = MgaRun {
+        accepted: 0,
+        refused: 0,
+        apology_episodes: 0,
+        apology_magnitude: 0,
+        mean_latency_ms: 0.0,
+    };
+    let mut latency_total = 0.0;
+    let mut op_seq = 0u64;
+    let mk = |seq: &mut u64, delta: i64| {
+        let op = CounterAdd::new(*seq, delta);
+        *seq += 1;
+        op
+    };
+    // Seed balance, known everywhere.
+    let seed_op = mk(&mut op_seq, 1_000);
+    for r in replicas.iter_mut() {
+        r.learn(seed_op.clone());
+    }
+
+    for i in 0..total_ops {
+        // Withdraw-heavy traffic keeps the rule binding.
+        let delta = if rng.gen_bool(0.45) {
+            rng.gen_range(1..=100)
+        } else {
+            -rng.gen_range(1..=100)
+        };
+        let op = mk(&mut op_seq, delta);
+        if exchange_every == 0 {
+            latency_total += LOCAL_MS + COORD_MS;
+            if coordinated_accept(&mut replicas, op, &rules).accepted() {
+                run.accepted += 1;
+            } else {
+                run.refused += 1;
+            }
+        } else {
+            latency_total += LOCAL_MS;
+            let r = (i % 2) as usize;
+            if replicas[r].try_accept(op, &rules).accepted() {
+                run.accepted += 1;
+            } else {
+                run.refused += 1;
+            }
+            if (i + 1) % exchange_every == 0 {
+                let (left, right) = replicas.split_at_mut(1);
+                left[0].exchange(&mut right[0]);
+                if *left[0].local_opinion() < 0 {
+                    run.apology_episodes += 1;
+                    // Apologize and make the customer whole so the run
+                    // continues from a clean slate.
+                    let fix = -*left[0].local_opinion();
+                    run.apology_magnitude += fix;
+                    let comp = mk(&mut op_seq, fix);
+                    left[0].learn(comp.clone());
+                    right[0].learn(comp);
+                }
+            }
+        }
+    }
+    // Final reconciliation.
+    let (left, right) = replicas.split_at_mut(1);
+    left[0].exchange(&mut right[0]);
+    if exchange_every != 0 && *left[0].local_opinion() < 0 {
+        run.apology_episodes += 1;
+        run.apology_magnitude += -*left[0].local_opinion();
+    }
+    run.mean_latency_ms = latency_total / total_ops as f64;
+    run
+}
+
+/// E12: apology rate vs admission latency across checkpoint intervals.
+pub fn e12(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E12",
+        "Memories, guesses, apologies: the checkpoint-interval curve",
+        "\"Either you have synchronous checkpoints to your backup or you must sometimes \
+         apologize for your behavior\" (§5.8); guessing buys latency at a quantified apology \
+         rate (§5.7)",
+        &[
+            "exchange every (ops)",
+            "accepted",
+            "refused",
+            "apology episodes",
+            "apologized units total",
+            "mean admit latency ms",
+        ],
+    );
+    let total = 4_000;
+    for k in [0u64, 1, 4, 16, 64, 256] {
+        let r = mga_run(k, total, seed);
+        let label = if k == 0 { "0 (synchronous)".to_owned() } else { k.to_string() };
+        t.row(vec![
+            label,
+            r.accepted.to_string(),
+            r.refused.to_string(),
+            r.apology_episodes.to_string(),
+            r.apology_magnitude.to_string(),
+            f(r.mean_latency_ms),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,15 @@
+//! One module per experiment; each function returns its [`crate::table::Table`].
+
+pub mod ablations;
+pub mod bank_exp;
+pub mod deposits_exp;
+pub mod gossip_exp;
+pub mod cart_exp;
+pub mod escrow_exp;
+pub mod logship_exp;
+pub mod mga_exp;
+pub mod quorum_exp;
+pub mod seats_exp;
+pub mod stock_exp;
+pub mod tandem_exp;
+pub mod twopc_exp;

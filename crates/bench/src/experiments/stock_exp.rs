@@ -1,0 +1,60 @@
+//! E10: over-provisioning vs over-booking vs sliding (§7.1, §7.2).
+
+use inventory::{run_stock, StockConfig, StockPolicy};
+
+use crate::table::{f, Table};
+
+/// E10: declined business vs apologies across allocation policies and
+/// demand skew.
+pub fn e10(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E10",
+        "Stock allocation policy under disconnection and skewed demand",
+        "\"You may accept the business on a disconnected replica without the confidence that \
+         you will be able to keep your commitments. You can dynamically slide between these \
+         positions\" (§7.1); and reality (§7.2's forklift) apologizes regardless",
+        &[
+            "policy",
+            "demand skew",
+            "orders",
+            "accepted",
+            "declined",
+            "oversold",
+            "forklift",
+            "fill %",
+            "apology %",
+        ],
+    );
+    for skew in [0.0f64, 1.0, 2.0] {
+        for (label, policy) in [
+            ("over-provision", StockPolicy::OverProvision),
+            ("over-book 1.00", StockPolicy::OverBook { factor: 1.0 }),
+            ("over-book 1.15", StockPolicy::OverBook { factor: 1.15 }),
+            ("sliding", StockPolicy::Sliding),
+        ] {
+            let cfg = StockConfig {
+                policy,
+                n_replicas: 4,
+                total_stock: 400,
+                rounds: 100,
+                orders_per_round: 8,
+                demand_skew: skew,
+                forklift_prob: 0.01,
+                sync_every: 5,
+            };
+            let r = run_stock(&cfg, seed);
+            t.row(vec![
+                label.to_string(),
+                f(skew),
+                r.orders.to_string(),
+                r.accepted.to_string(),
+                r.declined.to_string(),
+                r.oversold.to_string(),
+                r.forklift_apologies.to_string(),
+                f(r.fill_rate() * 100.0),
+                f(r.apology_rate() * 100.0),
+            ]);
+        }
+    }
+    t
+}

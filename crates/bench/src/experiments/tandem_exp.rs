@@ -1,0 +1,116 @@
+//! E1–E3: the Tandem story (§3).
+
+use sim::{SimDuration, SimTime};
+use tandem::{run, Mode, TandemConfig};
+
+use crate::table::{f, Table};
+
+fn base(mode: Mode, writes: u32) -> TandemConfig {
+    TandemConfig {
+        mode,
+        n_dps: 2,
+        n_apps: 4,
+        txns_per_app: 50,
+        writes_per_txn: writes,
+        mean_interarrival: SimDuration::from_millis(8),
+        horizon: SimTime::from_secs(120),
+        ..TandemConfig::default()
+    }
+}
+
+/// E1: DP1's per-WRITE checkpoint vs DP2's log-as-checkpoint — message
+/// cost and WRITE latency per transaction size.
+pub fn e1(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E1",
+        "DP1 (1984) vs DP2 (1986): checkpoint cost per WRITE",
+        "\"A WRITE to DP2 could be performed without checkpointing to the backup... a \
+         dramatic savings in CPU cost and an even more dramatic savings in latency\" (§3.2)",
+        &[
+            "writes/txn",
+            "mode",
+            "ckpt msgs/txn",
+            "write ack ms (mean)",
+            "commit ms (mean)",
+            "msgs total",
+        ],
+    );
+    for writes in [1u32, 4, 16] {
+        for mode in [Mode::Dp1, Mode::Dp2] {
+            let r = run(&base(mode, writes), seed);
+            assert_eq!(r.lost_committed, 0);
+            t.row(vec![
+                writes.to_string(),
+                mode.to_string(),
+                f(r.checkpoint_msgs as f64 / r.committed.max(1) as f64),
+                f(r.write_ack_mean_ms),
+                f(r.commit_mean_ms),
+                r.messages.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E2: takeover semantics — DP1 transparent, DP2 aborts in-flight work,
+/// neither loses committed work.
+pub fn e2(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E2",
+        "Primary disk-process crash mid-workload: takeover semantics",
+        "\"a processor failure may result in the loss of the ongoing transaction\" under DP2, \
+         never under DP1; committed work survives both (§3.1–3.3)",
+        &["mode", "committed", "aborted", "unresolved", "lost committed"],
+    );
+    for mode in [Mode::Dp1, Mode::Dp2] {
+        let mut cfg = base(mode, 4);
+        cfg.txns_per_app = 60;
+        cfg.mean_interarrival = SimDuration::from_millis(3);
+        cfg.crash_primary_at = Some(SimTime::from_millis(100));
+        let r = run(&cfg, seed);
+        t.row(vec![
+            mode.to_string(),
+            r.committed.to_string(),
+            r.aborted.to_string(),
+            r.unresolved.to_string(),
+            r.lost_committed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3: group commit at the audit disk — the city bus vs the car.
+pub fn e3(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E3",
+        "Audit-disk group commit under increasing load",
+        "\"a city bus sweeping up all the passengers\" reduces total work and, under load, \
+         latency (§3.2, citing [11])",
+        &[
+            "interarrival ms",
+            "adp batching",
+            "throughput txn/s",
+            "commit ms (mean)",
+            "commit ms (p99)",
+            "adp IOs",
+        ],
+    );
+    for inter_ms in [10u64, 4, 2] {
+        for bus in [true, false] {
+            let mut cfg = base(Mode::Dp2, 4);
+            cfg.mean_interarrival = SimDuration::from_millis(inter_ms);
+            cfg.adp_group_commit = bus;
+            cfg.txns_per_app = 80;
+            let r = run(&cfg, seed);
+            t.row(vec![
+                inter_ms.to_string(),
+                if bus { "bus (group)" } else { "car (per-append)" }.to_string(),
+                f(r.throughput()),
+                f(r.commit_mean_ms),
+                f(r.commit_p99_ms),
+                r.adp_ios.to_string(),
+            ]);
+        }
+    }
+    t
+}

@@ -1,0 +1,125 @@
+//! Fixed-width text tables for the experiment report.
+//!
+//! The paper has no tables of its own, so these are the derived tables
+//! defined in DESIGN.md; EXPERIMENTS.md records a captured copy of each
+//! alongside the paper's qualitative prediction.
+
+use std::fmt;
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id ("E1", "A2", ...).
+    pub id: String,
+    /// What the table shows.
+    pub title: String,
+    /// The paper claim being tested (section reference included).
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+}
+
+/// Format a float tersely for table cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(out, "== {} — {}", self.id, self.title)?;
+        writeln!(out, "   claim: {}", self.claim)?;
+        let line = |out: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(out, "   +")?;
+            for w in &widths {
+                write!(out, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(out)
+        };
+        line(out)?;
+        write!(out, "   |")?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(out, " {h:<w$} |")?;
+        }
+        writeln!(out)?;
+        line(out)?;
+        for row in &self.rows {
+            write!(out, "   |")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(out, " {c:>w$} |")?;
+            }
+            writeln!(out)?;
+        }
+        line(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", "none (§0)", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000000".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== E0 — demo"));
+        assert!(s.contains("| long-header |"));
+        assert!(s.lines().count() >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new("E0", "demo", "none", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting_is_tidy() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234"); // ties-to-even
+        assert_eq!(f(4.25971), "4.26");
+        assert_eq!(f(0.0123), "0.0123");
+    }
+}

@@ -1,0 +1,256 @@
+//! The E6 scenario: concurrent shoppers on one cart across a partition,
+//! with convergence verification and anomaly accounting.
+
+use std::collections::BTreeMap;
+
+use dynamo::{build_cluster, DynamoConfig, DynamoMsg, StoreNode};
+use sim::{NodeId, SimDuration, SimTime, Simulation};
+
+use crate::op::{CartAction, CartBlob};
+use crate::shopper::Shopper;
+
+/// Configuration of a cart scenario.
+#[derive(Debug, Clone)]
+pub struct CartScenario {
+    /// Store configuration (quorums, sloppiness, gossip).
+    pub dynamo: DynamoConfig,
+    /// Number of stores.
+    pub n_stores: u32,
+    /// Shopper edit plans (one shopper each).
+    pub plans: Vec<Vec<CartAction>>,
+    /// Think time between a shopper's edits.
+    pub think: SimDuration,
+    /// Partition the cluster+shoppers into two halves over this window.
+    pub partition: Option<(SimTime, SimTime)>,
+    /// Run until here.
+    pub horizon: SimTime,
+}
+
+impl Default for CartScenario {
+    fn default() -> Self {
+        CartScenario {
+            dynamo: DynamoConfig::default(),
+            n_stores: 5,
+            plans: vec![
+                vec![
+                    CartAction::Add { item: 1, qty: 1 },
+                    CartAction::Add { item: 2, qty: 2 },
+                    CartAction::Remove { item: 1 },
+                ],
+                vec![
+                    CartAction::Add { item: 3, qty: 1 },
+                    CartAction::ChangeQty { item: 3, qty: 4 },
+                    CartAction::Add { item: 1, qty: 5 },
+                ],
+            ],
+            think: SimDuration::from_millis(50),
+            partition: None,
+            horizon: SimTime::from_secs(30),
+        }
+    }
+}
+
+/// What the scenario measured.
+#[derive(Debug, Clone, Default)]
+pub struct CartReport {
+    /// Edits acknowledged to shoppers.
+    pub edits_acked: u64,
+    /// Acked edits missing from the converged ledger — must be zero:
+    /// "items added to the cart will not be lost" (§6.4).
+    pub lost_edits: u64,
+    /// GETs that surfaced siblings for the application to reconcile.
+    pub sibling_reconciliations: u64,
+    /// GETs that failed; the shopper proceeded on an empty view.
+    pub get_failures: u64,
+    /// PUTs that failed outright.
+    pub put_failures: u64,
+    /// PUT attempts (availability denominator).
+    pub put_attempts: u64,
+    /// Items in the final cart whose latest real-time acked edit was a
+    /// Remove — the documented resurrection anomaly (§6.4).
+    pub resurrected_items: u64,
+    /// The converged materialized cart.
+    pub final_cart: BTreeMap<u64, u32>,
+    /// True if all replicas converged to the same sibling set.
+    pub converged: bool,
+}
+
+impl CartReport {
+    /// Fraction of PUT attempts that succeeded.
+    pub fn put_availability(&self) -> f64 {
+        if self.put_attempts == 0 {
+            1.0
+        } else {
+            1.0 - self.put_failures as f64 / self.put_attempts as f64
+        }
+    }
+}
+
+/// The cart key every shopper edits.
+pub const CART_KEY: u64 = 777;
+
+/// Run a cart scenario and verify convergence.
+pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
+    let mut sim: Simulation<DynamoMsg<CartBlob>> = Simulation::new(seed);
+    let cluster = build_cluster(&mut sim, scenario.n_stores, &scenario.dynamo);
+
+    // Shoppers attach to disjoint halves of the store fleet so a
+    // partition separates them fully.
+    let half = (scenario.n_stores as usize).div_ceil(2);
+    let left: Vec<NodeId> = cluster.stores[..half].to_vec();
+    let right: Vec<NodeId> = cluster.stores[half..].to_vec();
+    let mut shopper_nodes = Vec::new();
+    for (i, plan) in scenario.plans.iter().enumerate() {
+        let coords = if i % 2 == 0 { left.clone() } else { right.clone() };
+        let node = sim.add_node(Shopper::new(
+            i as u32,
+            CART_KEY,
+            coords,
+            plan.clone(),
+            scenario.think,
+        ));
+        shopper_nodes.push(node);
+    }
+
+    if let Some((start, end)) = scenario.partition {
+        // Shoppers are partitioned along with their stores.
+        let mut left_side = left.clone();
+        let mut right_side = right.clone();
+        for (i, n) in shopper_nodes.iter().enumerate() {
+            if i % 2 == 0 {
+                left_side.push(*n);
+            } else {
+                right_side.push(*n);
+            }
+        }
+        sim.schedule_partition(start, &left_side, &right_side);
+        sim.schedule_heal(end);
+    }
+
+    sim.run_until(scenario.horizon);
+
+    let mut report = CartReport::default();
+
+    // Collect shopper-side accounting.
+    let mut acked = Vec::new();
+    for n in &shopper_nodes {
+        let s: &Shopper = sim.actor(*n);
+        report.edits_acked += s.acked.len() as u64;
+        report.get_failures += s.get_failures;
+        report.put_failures += s.put_failures;
+        report.put_attempts += s.put_attempts;
+        report.sibling_reconciliations += s.sibling_gets;
+        acked.extend(s.acked.iter().cloned());
+    }
+
+    // Converged ledger: union across every store's sibling set.
+    let mut ledger = CartBlob::new();
+    for s in &cluster.stores {
+        let node: &StoreNode<CartBlob> = sim.actor(*s);
+        for v in node.versions(CART_KEY) {
+            ledger.merge(&v.value);
+        }
+    }
+    // Convergence: every store holds an equivalent sibling set.
+    report.converged = {
+        let reference = sim
+            .actor::<StoreNode<CartBlob>>(cluster.stores[0])
+            .versions(CART_KEY)
+            .to_vec();
+        cluster.stores.iter().all(|s| {
+            let node: &StoreNode<CartBlob> = sim.actor(*s);
+            dynamo::same_versions(node.versions(CART_KEY), &reference)
+        })
+    };
+
+    // Lost edits: acked but absent from the union.
+    for e in &acked {
+        if !ledger.contains(e.id) {
+            report.lost_edits += 1;
+        }
+    }
+
+    // Resurrections: item present although its latest acked edit removed
+    // it.
+    report.final_cart = ledger.materialize();
+    let mut latest: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
+    for e in &acked {
+        let is_remove = matches!(
+            e.action,
+            CartAction::Remove { .. } | CartAction::ChangeQty { qty: 0, .. }
+        );
+        let entry = latest.entry(e.action.item()).or_insert((e.at, is_remove));
+        if e.at >= entry.0 {
+            *entry = (e.at, is_remove);
+        }
+    }
+    for (item, (_, removed_last)) in &latest {
+        if *removed_last && report.final_cart.contains_key(item) {
+            report.resurrected_items += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_scenario_converges_with_no_anomalies() {
+        let r = run(&CartScenario::default(), 3);
+        assert_eq!(r.edits_acked, 6, "{r:?}");
+        assert_eq!(r.lost_edits, 0);
+        assert!(r.converged, "{r:?}");
+        assert_eq!(r.put_availability(), 1.0);
+        // Plan: shopper 0 adds 1, adds 2, removes 1; shopper 1 adds 3,
+        // changes 3→4, adds 1(qty 5). Item 2 is uncontended; item 3 must
+        // be present but its quantity depends on the canonical order of
+        // the ChangeQty relative to the Add (op-reordering semantics:
+        // the replay order is uniquifier order, not wall-clock order).
+        assert_eq!(r.final_cart.get(&2), Some(&2));
+        assert!(matches!(r.final_cart.get(&3), Some(1) | Some(4)), "{r:?}");
+    }
+
+    #[test]
+    fn partition_is_ridden_out_and_every_edit_survives() {
+        let scenario = CartScenario {
+            partition: Some((SimTime::from_millis(20), SimTime::from_secs(5))),
+            horizon: SimTime::from_secs(40),
+            ..CartScenario::default()
+        };
+        let r = run(&scenario, 5);
+        assert_eq!(r.edits_acked, 6, "all edits eventually ack: {r:?}");
+        assert_eq!(r.lost_edits, 0, "union loses nothing: {r:?}");
+        assert!(r.converged, "gossip must reconverge after heal: {r:?}");
+    }
+
+    #[test]
+    fn strict_quorum_store_fails_puts_under_partition() {
+        let scenario = CartScenario {
+            dynamo: DynamoConfig { sloppy: false, ..DynamoConfig::default() },
+            partition: Some((SimTime::from_millis(20), SimTime::from_secs(10))),
+            horizon: SimTime::from_secs(40),
+            ..CartScenario::default()
+        };
+        let sloppy = CartScenario {
+            partition: Some((SimTime::from_millis(20), SimTime::from_secs(10))),
+            horizon: SimTime::from_secs(40),
+            ..CartScenario::default()
+        };
+        let strict_r = run(&scenario, 8);
+        let sloppy_r = run(&sloppy, 8);
+        assert!(
+            strict_r.put_failures > sloppy_r.put_failures,
+            "strict {strict_r:?} vs sloppy {sloppy_r:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&CartScenario::default(), 11);
+        let b = run(&CartScenario::default(), 11);
+        assert_eq!(a.edits_acked, b.edits_acked);
+        assert_eq!(a.final_cart, b.final_cart);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cart — the shopping cart on Dynamo (§6.1 of *Building on Quicksand*)
+//!
+//! The paper's flagship demonstration that eventual consistency is an
+//! **application** property, not a storage property: "Dynamo, acting as
+//! a storage substrate, may present two or more old versions in response
+//! to a GET. A subsequent PUT must include a blob that integrates and
+//! reconciles all the presented versions."
+//!
+//! The blob this application stores is a ledger of uniquified operations
+//! ([`op::CartBlob`] = `OpLog<CartOp>`), so reconciliation is set union
+//! and the materialized cart is order-independent — at the price of the
+//! documented anomaly that a deleted item occasionally reappears when a
+//! concurrent add sorts after the delete (§6.4). The [`harness`] runs
+//! concurrent shoppers across partitions and verifies: zero lost edits,
+//! full replica convergence, availability under partition (versus a
+//! strict-quorum baseline), and counts the resurrections.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod op;
+pub mod shopper;
+
+pub use harness::{run, CartReport, CartScenario, CART_KEY};
+pub use op::{reconcile, merged_context, Cart, CartAction, CartBlob, CartOp};
+pub use shopper::{AckedEdit, Shopper};

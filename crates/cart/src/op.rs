@@ -1,0 +1,243 @@
+//! The cart's operations and reconciliation — the operation-centric
+//! pattern of §6.5 applied exactly as §6.1 describes.
+//!
+//! "To do the application level integration, the shopping cart
+//! application must record its operations much like a ledger entry. A
+//! deletion of an item from the shopping cart is recorded as an operation
+//! appended to the cart. These ADD-TO-CART, CHANGE-NUMBER, and
+//! DELETE-FROM-CART operations can usually be reconciled when a union of
+//! the operations is finally joined together."
+//!
+//! The blob stored in Dynamo is therefore an [`OpLog<CartOp>`] — the
+//! ledger, not the materialized cart. Sibling reconciliation is op-set
+//! union, which is commutative, associative, and idempotent; the
+//! *materialized view* replays the union in canonical (uniquifier)
+//! order. That replay is where the paper's documented anomaly lives:
+//! when a DELETE and a concurrent ADD of the same item sort
+//! delete-before-add, the item reappears — "occasionally deleted items
+//! will reappear" (§6.4). The experiments measure exactly how often.
+
+use std::collections::BTreeMap;
+
+use quicksand_core::op::{OpLog, Operation};
+use quicksand_core::uniquifier::Uniquifier;
+use dynamo::Versioned;
+
+/// What a shopper asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CartAction {
+    /// Put `qty` more of `item` in the cart.
+    Add {
+        /// Item SKU.
+        item: u64,
+        /// Quantity added.
+        qty: u32,
+    },
+    /// Set `item`'s quantity to exactly `qty` (the paper's
+    /// CHANGE-NUMBER). No effect if the item is absent.
+    ChangeQty {
+        /// Item SKU.
+        item: u64,
+        /// New quantity.
+        qty: u32,
+    },
+    /// Remove `item` entirely (DELETE-FROM-CART).
+    Remove {
+        /// Item SKU.
+        item: u64,
+    },
+}
+
+impl CartAction {
+    /// The SKU this action concerns.
+    pub fn item(&self) -> u64 {
+        match self {
+            CartAction::Add { item, .. }
+            | CartAction::ChangeQty { item, .. }
+            | CartAction::Remove { item } => *item,
+        }
+    }
+}
+
+/// A uniquified cart operation — one ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartOp {
+    /// Uniquifier assigned at the ingress replica.
+    pub id: Uniquifier,
+    /// The shopper's intention.
+    pub action: CartAction,
+}
+
+/// The materialized cart: SKU → quantity.
+pub type Cart = BTreeMap<u64, u32>;
+
+impl Operation for CartOp {
+    type State = Cart;
+
+    fn id(&self) -> Uniquifier {
+        self.id
+    }
+
+    fn apply(&self, cart: &mut Cart) {
+        match &self.action {
+            CartAction::Add { item, qty } => {
+                *cart.entry(*item).or_insert(0) += qty;
+            }
+            CartAction::ChangeQty { item, qty } => {
+                if let Some(q) = cart.get_mut(item) {
+                    *q = *qty;
+                    if *qty == 0 {
+                        cart.remove(item);
+                    }
+                }
+            }
+            CartAction::Remove { item } => {
+                cart.remove(item);
+            }
+        }
+    }
+}
+
+/// The blob the cart application stores in Dynamo.
+pub type CartBlob = OpLog<CartOp>;
+
+/// Reconcile a GET's sibling set into one ledger: the union of every
+/// sibling's operations. "Uniquely referenced operations on the items can
+/// be unioned together into a list with a predictable outcome." (§6.1)
+pub fn reconcile(siblings: &[Versioned<CartBlob>]) -> CartBlob {
+    let mut merged = CartBlob::new();
+    for s in siblings {
+        merged.merge(&s.value);
+    }
+    merged
+}
+
+/// The causal context for writing back a reconciled cart: the merge of
+/// every sibling's clock (so the write descends from all of them).
+pub fn merged_context(siblings: &[Versioned<CartBlob>]) -> dynamo::VectorClock {
+    let mut clock = dynamo::VectorClock::new();
+    for s in siblings {
+        clock = clock.merged(&s.effective_clock());
+    }
+    clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamo::Dot;
+
+    fn op(n: u64, action: CartAction) -> CartOp {
+        CartOp { id: Uniquifier::from_parts(7, n), action }
+    }
+
+    fn dot(node: u32, counter: u64) -> Dot {
+        Dot { node, counter }
+    }
+
+    #[test]
+    fn add_change_remove_materialize() {
+        let mut log = CartBlob::new();
+        log.record(op(1, CartAction::Add { item: 10, qty: 2 }));
+        log.record(op(2, CartAction::Add { item: 11, qty: 1 }));
+        log.record(op(3, CartAction::ChangeQty { item: 10, qty: 5 }));
+        log.record(op(4, CartAction::Remove { item: 11 }));
+        let cart = log.materialize();
+        assert_eq!(cart.get(&10), Some(&5));
+        assert_eq!(cart.get(&11), None);
+    }
+
+    #[test]
+    fn union_preserves_every_add_from_both_siblings() {
+        // Two shoppers on a partitioned cart each add different items.
+        let mut a = CartBlob::new();
+        a.record(op(1, CartAction::Add { item: 1, qty: 1 }));
+        let mut b = CartBlob::new();
+        b.record(op(2, CartAction::Add { item: 2, qty: 1 }));
+        let clock = dynamo::VectorClock::new();
+        let merged = reconcile(&[
+            Versioned::new(clock.clone(), dot(0, 1), a),
+            Versioned::new(clock, dot(1, 1), b),
+        ]);
+        let cart = merged.materialize();
+        assert_eq!(cart.len(), 2, "no add may be lost: {cart:?}");
+    }
+
+    #[test]
+    fn deleted_item_reappears_when_delete_sorts_first() {
+        // Find two uniquifiers where the remove sorts before the add —
+        // the §6.4 anomaly, constructed deterministically.
+        let add = op(100, CartAction::Add { item: 5, qty: 1 });
+        let rm = op(1, CartAction::Remove { item: 5 });
+        assert!(rm.id < add.id, "this test needs remove < add in id order");
+        let mut log = CartBlob::new();
+        log.record(add);
+        log.record(rm);
+        let cart = log.materialize();
+        assert_eq!(cart.get(&5), Some(&1), "the deleted item reappears");
+    }
+
+    #[test]
+    fn delete_wins_when_it_sorts_after_the_add() {
+        let add = op(1, CartAction::Add { item: 5, qty: 1 });
+        let rm = op(100, CartAction::Remove { item: 5 });
+        assert!(add.id < rm.id);
+        let mut log = CartBlob::new();
+        log.record(rm);
+        log.record(add);
+        assert!(log.materialize().is_empty());
+    }
+
+    #[test]
+    fn reconciliation_is_order_independent() {
+        let ops: Vec<CartOp> = (0..20)
+            .map(|i| {
+                op(
+                    i,
+                    if i % 3 == 0 {
+                        CartAction::Remove { item: i % 5 }
+                    } else {
+                        CartAction::Add { item: i % 5, qty: 1 }
+                    },
+                )
+            })
+            .collect();
+        let clock = dynamo::VectorClock::new();
+        let mut a = CartBlob::new();
+        let mut b = CartBlob::new();
+        for (i, o) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(o.clone());
+            } else {
+                b.record(o.clone());
+            }
+        }
+        let ab = reconcile(&[
+            Versioned::new(clock.clone(), dot(0, 1), a.clone()),
+            Versioned::new(clock.clone(), dot(1, 1), b.clone()),
+        ]);
+        let ba = reconcile(&[
+            Versioned::new(clock.clone(), dot(1, 1), b),
+            Versioned::new(clock, dot(0, 1), a),
+        ]);
+        assert_eq!(ab.materialize(), ba.materialize());
+    }
+
+    #[test]
+    fn merged_context_descends_from_all_siblings() {
+        let v0 = Versioned::new(dynamo::VectorClock::new(), dot(0, 3), CartBlob::new());
+        let v1 = Versioned::new(dynamo::VectorClock::new(), dot(1, 5), CartBlob::new());
+        let ctx = merged_context(&[v0.clone(), v1.clone()]);
+        assert!(ctx.descends(&v0.effective_clock()));
+        assert!(ctx.descends(&v1.effective_clock()));
+        assert!(ctx.get(0) >= 3 && ctx.get(1) >= 5);
+    }
+
+    #[test]
+    fn change_qty_to_zero_removes() {
+        let mut log = CartBlob::new();
+        log.record(op(1, CartAction::Add { item: 3, qty: 2 }));
+        log.record(op(2, CartAction::ChangeQty { item: 3, qty: 0 }));
+        assert!(log.materialize().is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! The shopper: a client session editing a cart through the Dynamo
+//! GET-reconcile-PUT cycle.
+//!
+//! The shopper owns the application half of the §6.1 contract: when a
+//! GET returns sibling versions, it unions their ledgers, folds in the
+//! new operation, and PUTs the merged blob back under the merged causal
+//! context. When a GET *fails* (partition), the shopper chooses
+//! availability: it proceeds against an empty view rather than turning
+//! the customer away — "unavailability of the shopping cart service is
+//! very expensive" — accepting that the blind write will surface later
+//! as a sibling to reconcile.
+
+use dynamo::{DynamoMsg, VectorClock};
+use quicksand_core::uniquifier::{Uniquifier, UniquifierSource};
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::op::{merged_context, reconcile, CartAction, CartBlob, CartOp};
+
+const TAG_SHIFT: u64 = 48;
+const TAG_NEXT: u64 = 1;
+const TAG_STUCK: u64 = 2;
+
+fn tag(kind: u64, seq: u64) -> u64 {
+    (kind << TAG_SHIFT) | seq
+}
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    Getting { req: u64 },
+    Putting { req: u64 },
+}
+
+/// A record of one acknowledged cart edit, for post-run verification.
+#[derive(Debug, Clone)]
+pub struct AckedEdit {
+    /// The operation's uniquifier.
+    pub id: Uniquifier,
+    /// What it did.
+    pub action: CartAction,
+    /// When the PUT was acknowledged.
+    pub at: SimTime,
+}
+
+/// A shopper session working through a planned list of cart edits.
+#[derive(Debug)]
+pub struct Shopper {
+    /// Shopper id (namespaces uniquifiers and request ids).
+    pub id: u32,
+    key: u64,
+    coordinators: Vec<NodeId>,
+    plan: Vec<CartAction>,
+    think: SimDuration,
+    stuck_timeout: SimDuration,
+    ids: UniquifierSource,
+
+    next_action: usize,
+    /// The op currently being worked in (kept across retries so its
+    /// uniquifier is stable).
+    current_op: Option<CartOp>,
+    phase: Phase,
+    req_counter: u64,
+    /// Edits whose PUT was acknowledged.
+    pub acked: Vec<AckedEdit>,
+    /// GETs that failed (shopper proceeded on an empty view).
+    pub get_failures: u64,
+    /// PUTs that failed (shopper retried).
+    pub put_failures: u64,
+    /// PUT attempts (for availability accounting).
+    pub put_attempts: u64,
+    /// GETs that returned more than one sibling.
+    pub sibling_gets: u64,
+}
+
+impl Shopper {
+    /// A shopper editing cart `key` through any of `coordinators`.
+    pub fn new(
+        id: u32,
+        key: u64,
+        coordinators: Vec<NodeId>,
+        plan: Vec<CartAction>,
+        think: SimDuration,
+    ) -> Self {
+        Shopper {
+            id,
+            key,
+            coordinators,
+            plan,
+            think,
+            stuck_timeout: SimDuration::from_millis(500),
+            ids: UniquifierSource::new(0x5000 + id as u64),
+            next_action: 0,
+            current_op: None,
+            phase: Phase::Idle,
+            req_counter: 0,
+            acked: Vec::new(),
+            get_failures: 0,
+            put_failures: 0,
+            put_attempts: 0,
+            sibling_gets: 0,
+        }
+    }
+
+    /// True when every planned edit has been acknowledged.
+    pub fn done(&self) -> bool {
+        self.next_action >= self.plan.len() && self.current_op.is_none()
+    }
+
+    fn new_req(&mut self) -> u64 {
+        self.req_counter += 1;
+        ((self.id as u64) << 32) | self.req_counter
+    }
+
+    fn pick_coordinator(&self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) -> NodeId {
+        let i = ctx.rng().gen_range(0..self.coordinators.len());
+        self.coordinators[i]
+    }
+
+    fn begin_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
+        // Take the next planned action unless a previous one is still
+        // being retried.
+        if self.current_op.is_none() {
+            if self.next_action >= self.plan.len() {
+                return;
+            }
+            let action = self.plan[self.next_action].clone();
+            self.next_action += 1;
+            self.current_op = Some(CartOp { id: self.ids.next_id(), action });
+        }
+        let req = self.new_req();
+        self.phase = Phase::Getting { req };
+        let me = ctx.me();
+        let coord = self.pick_coordinator(ctx);
+        ctx.send(coord, DynamoMsg::ClientGet { req, key: self.key, resp_to: me });
+        ctx.set_timer(self.stuck_timeout, tag(TAG_STUCK, req));
+    }
+
+    fn put_merged(
+        &mut self,
+        ctx: &mut Context<'_, DynamoMsg<CartBlob>>,
+        mut ledger: CartBlob,
+        context: VectorClock,
+    ) {
+        let op = self.current_op.clone().expect("a cycle is in progress");
+        ledger.record(op);
+        let req = self.new_req();
+        self.phase = Phase::Putting { req };
+        self.put_attempts += 1;
+        let me = ctx.me();
+        let coord = self.pick_coordinator(ctx);
+        ctx.send(
+            coord,
+            DynamoMsg::ClientPut { req, key: self.key, value: ledger, context, resp_to: me },
+        );
+        ctx.set_timer(self.stuck_timeout, tag(TAG_STUCK, req));
+    }
+
+    fn finish_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
+        let op = self.current_op.take().expect("finishing an active cycle");
+        self.acked.push(AckedEdit { id: op.id, action: op.action, at: ctx.now() });
+        ctx.metrics().inc("cart.edits_acked");
+        self.phase = Phase::Idle;
+        if self.next_action < self.plan.len() {
+            let jitter = ctx.rng().gen_range(0..=self.think.as_micros());
+            ctx.set_timer(
+                self.think + SimDuration::from_micros(jitter),
+                tag(TAG_NEXT, self.next_action as u64),
+            );
+        }
+    }
+
+    fn retry_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
+        // Back off briefly, then re-run the whole GET-merge-PUT cycle
+        // with the same operation uniquifier.
+        self.phase = Phase::Idle;
+        let backoff = self.think / 2 + SimDuration::from_micros(ctx.rng().gen_range(0..10_000));
+        ctx.set_timer(backoff, tag(TAG_NEXT, u64::MAX >> 16));
+    }
+}
+
+impl Actor<DynamoMsg<CartBlob>> for Shopper {
+    fn on_start(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
+        let jitter = ctx.rng().gen_range(0..=self.think.as_micros());
+        ctx.set_timer(SimDuration::from_micros(jitter), tag(TAG_NEXT, 0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>, t: u64) {
+        let kind = t >> TAG_SHIFT;
+        match kind {
+            TAG_NEXT => {
+                if matches!(self.phase, Phase::Idle) {
+                    self.begin_cycle(ctx);
+                }
+            }
+            TAG_STUCK => {
+                let req = t & ((1 << TAG_SHIFT) - 1);
+                let stuck = match self.phase {
+                    Phase::Getting { req: r } | Phase::Putting { req: r } => r == req,
+                    Phase::Idle => false,
+                };
+                if stuck {
+                    // The coordinator never answered (e.g. it crashed):
+                    // start the cycle over.
+                    ctx.metrics().inc("cart.stuck_retries");
+                    self.retry_cycle(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, DynamoMsg<CartBlob>>,
+        _from: NodeId,
+        msg: DynamoMsg<CartBlob>,
+    ) {
+        match msg {
+            DynamoMsg::GetOk { req, versions, .. } => {
+                if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
+                    return;
+                }
+                if versions.len() > 1 {
+                    self.sibling_gets += 1;
+                    ctx.metrics().inc("cart.sibling_reconciliations");
+                }
+                let ledger = reconcile(&versions);
+                let context = merged_context(&versions);
+                self.put_merged(ctx, ledger, context);
+            }
+            DynamoMsg::GetFailed { req } => {
+                if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
+                    return;
+                }
+                // Availability over consistency: proceed on an empty view.
+                self.get_failures += 1;
+                ctx.metrics().inc("cart.get_failures");
+                self.put_merged(ctx, CartBlob::new(), VectorClock::new());
+            }
+            DynamoMsg::PutOk { req } => {
+                if !matches!(self.phase, Phase::Putting { req: r } if r == req) {
+                    return;
+                }
+                self.finish_cycle(ctx);
+            }
+            DynamoMsg::PutFailed { req } => {
+                if !matches!(self.phase, Phase::Putting { req: r } if r == req) {
+                    return;
+                }
+                self.put_failures += 1;
+                ctx.metrics().inc("cart.put_failures");
+                self.retry_cycle(ctx);
+            }
+            _ => {}
+        }
+    }
+}

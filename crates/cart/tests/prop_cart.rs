@@ -1,0 +1,110 @@
+//! Property-based tests of the cart's reconciliation: union semantics,
+//! order independence, and the containment guarantee ("items added to
+//! the cart will not be lost").
+
+use cart::{reconcile, CartAction, CartBlob, CartOp};
+use dynamo::{Dot, VectorClock, Versioned};
+use proptest::prelude::*;
+use quicksand_core::op::Operation;
+use quicksand_core::uniquifier::Uniquifier;
+
+fn action_strategy() -> impl Strategy<Value = CartAction> {
+    prop_oneof![
+        (0u64..6, 1u32..5).prop_map(|(item, qty)| CartAction::Add { item, qty }),
+        (0u64..6, 0u32..5).prop_map(|(item, qty)| CartAction::ChangeQty { item, qty }),
+        (0u64..6).prop_map(|item| CartAction::Remove { item }),
+    ]
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<CartOp>> {
+    // Ids are unique per op: a uniquifier is functionally dependent on
+    // the request (§2.1), so two different actions never share one. The
+    // generated id's low bits shuffle the canonical order relative to
+    // creation order.
+    prop::collection::vec((0u64..1000, action_strategy()), 0..40).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (n, action))| CartOp {
+                id: Uniquifier::from_parts(11, n * 1000 + i as u64),
+                action,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Reconciliation of any sibling split is independent of sibling
+    /// order and of how ops were distributed.
+    #[test]
+    fn reconcile_is_split_and_order_independent(ops in ops_strategy(), split in 0u8..8) {
+        let mut a = CartBlob::new();
+        let mut b = CartBlob::new();
+        let mut c = CartBlob::new();
+        for (i, op) in ops.iter().enumerate() {
+            match (i as u8 + split) % 3 {
+                0 => { a.record(op.clone()); }
+                1 => { b.record(op.clone()); }
+                _ => { c.record(op.clone()); }
+            }
+        }
+        let v = |log: CartBlob, node: u32| {
+            Versioned::new(VectorClock::new(), Dot { node, counter: 1 }, log)
+        };
+        let abc = reconcile(&[v(a.clone(), 0), v(b.clone(), 1), v(c.clone(), 2)]);
+        let cba = reconcile(&[v(c, 2), v(b, 1), v(a, 0)]);
+        prop_assert!(abc.same_ops(&cba));
+        prop_assert_eq!(abc.materialize(), cba.materialize());
+    }
+
+    /// Every op recorded in any sibling survives the union.
+    #[test]
+    fn union_contains_every_sibling_op(ops in ops_strategy()) {
+        let mut a = CartBlob::new();
+        let mut b = CartBlob::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i % 2 == 0 { a.record(op.clone()); } else { b.record(op.clone()); }
+        }
+        let merged = reconcile(&[
+            Versioned::new(VectorClock::new(), Dot { node: 0, counter: 1 }, a.clone()),
+            Versioned::new(VectorClock::new(), Dot { node: 1, counter: 1 }, b.clone()),
+        ]);
+        for op in a.iter().chain(b.iter()) {
+            prop_assert!(merged.contains(op.id()));
+        }
+    }
+
+    /// The materialized cart never contains an item with no Add op, and
+    /// quantities are bounded by anything actually requested.
+    #[test]
+    fn materialization_is_grounded_in_adds(ops in ops_strategy()) {
+        let mut log = CartBlob::new();
+        for op in &ops {
+            log.record(op.clone());
+        }
+        let cart = log.materialize();
+        for (item, qty) in &cart {
+            let total_added: u32 = log
+                .iter()
+                .filter_map(|op| match &op.action {
+                    CartAction::Add { item: i, qty } if i == item => Some(*qty),
+                    _ => None,
+                })
+                .sum();
+            let max_change: u32 = log
+                .iter()
+                .filter_map(|op| match &op.action {
+                    CartAction::ChangeQty { item: i, qty } if i == item => Some(*qty),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            prop_assert!(total_added > 0, "item {} appeared from nowhere", item);
+            // Worst case: the largest ChangeQty lands first in canonical
+            // order and every Add follows it.
+            prop_assert!(
+                *qty <= total_added + max_change,
+                "item {} qty {} exceeds anything requested", item, qty
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! ACID 2.0 property checking (§8): Associative, Commutative, Idempotent,
+//! Distributed.
+//!
+//! "The goal for ACID2.0 is to succeed if the pieces of the work happen:
+//! at least once, anywhere in the system, in any order." (§8) This module
+//! turns that definition into executable checks an application can run
+//! against its own operation types — the formalism the paper says
+//! designers usually lack ("application designers instinctively gravitate
+//! to a world of eventual consistency, usually without the formalisms to
+//! help them get there", §10).
+//!
+//! The checks are sampling-based: they try many random arrival orders,
+//! duplications, and merge groupings and report the first counterexample.
+//! They are used three ways in this workspace: as unit tests of the
+//! example applications' operations, as proptest properties, and as the
+//! A2 ablation (a raw overwriting WRITE fails the commutativity check —
+//! "WRITE is not commutative", §5.3).
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::op::{OpLog, Operation};
+
+/// A counterexample found by one of the checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which law was broken.
+    pub law: Law,
+    /// Human-readable description of the failing scenario.
+    pub detail: String,
+}
+
+/// The ACID 2.0 laws the checker can probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Law {
+    /// Two arrival orders of the same operations produced different
+    /// states.
+    Commutativity,
+    /// Two merge groupings of the same replica logs produced different
+    /// states.
+    Associativity,
+    /// At-least-once delivery (duplicates) changed the outcome.
+    Idempotence,
+}
+
+impl fmt::Display for Law {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Law::Commutativity => write!(f, "commutativity"),
+            Law::Associativity => write!(f, "associativity"),
+            Law::Idempotence => write!(f, "idempotence"),
+        }
+    }
+}
+
+/// Apply operations *raw*, in slice order, without an [`OpLog`] — i.e.
+/// what a system does when it just executes arrivals. Used to probe
+/// whether the operations themselves commute.
+pub fn replay_raw<O: Operation>(ops: &[O]) -> O::State {
+    let mut s = O::State::default();
+    for op in ops {
+        op.apply(&mut s);
+    }
+    s
+}
+
+/// Check that raw execution of `ops` is arrival-order independent, by
+/// comparing `trials` random shuffles against the given order. Requires
+/// `State: PartialEq`.
+pub fn check_commutative<O>(
+    ops: &[O],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<(), Violation>
+where
+    O: Operation + fmt::Debug,
+    O::State: PartialEq + fmt::Debug,
+{
+    let reference = replay_raw(ops);
+    let mut shuffled: Vec<O> = ops.to_vec();
+    for t in 0..trials {
+        shuffled.shuffle(rng);
+        let got = replay_raw(&shuffled);
+        if got != reference {
+            return Err(Violation {
+                law: Law::Commutativity,
+                detail: format!(
+                    "trial {t}: reordering produced {got:?}, expected {reference:?} \
+                     (order: {shuffled:?})"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check that merging replica logs is grouping-independent: distribute
+/// `ops` across `replicas` logs, then combine them by left fold and by a
+/// random binary tree; both must materialize identically. (For [`OpLog`]
+/// this holds by construction — set union — but the check also catches an
+/// application whose `apply` reads ambient state it shouldn't.)
+pub fn check_associative<O>(
+    ops: &[O],
+    replicas: usize,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<(), Violation>
+where
+    O: Operation + fmt::Debug,
+    O::State: PartialEq + fmt::Debug,
+{
+    assert!(replicas >= 2, "associativity needs at least two replicas");
+    for t in 0..trials {
+        // Random distribution of ops to replicas.
+        let mut logs: Vec<OpLog<O>> = (0..replicas).map(|_| OpLog::new()).collect();
+        for op in ops {
+            let r = rng.gen_range(0..replicas);
+            logs[r].record(op.clone());
+        }
+        // Left fold.
+        let mut fold = OpLog::new();
+        for log in &logs {
+            fold.merge(log);
+        }
+        let reference = fold.materialize();
+        // Random pairwise tree.
+        let mut pool = logs;
+        while pool.len() > 1 {
+            let i = rng.gen_range(0..pool.len());
+            let a = pool.swap_remove(i);
+            let j = rng.gen_range(0..pool.len());
+            pool[j].merge(&a);
+        }
+        let got = pool.pop().expect("one log remains").materialize();
+        if got != reference {
+            return Err(Violation {
+                law: Law::Associativity,
+                detail: format!("trial {t}: tree merge produced {got:?}, fold produced {reference:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check at-least-once tolerance: delivering each operation 1–3 times
+/// through an [`OpLog`] must produce the same state as delivering each
+/// exactly once.
+pub fn check_idempotent<O>(
+    ops: &[O],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<(), Violation>
+where
+    O: Operation + fmt::Debug,
+    O::State: PartialEq + fmt::Debug,
+{
+    let mut once = OpLog::new();
+    for op in ops {
+        once.record(op.clone());
+    }
+    let reference = once.materialize();
+    for t in 0..trials {
+        let mut deliveries: Vec<O> = Vec::new();
+        for op in ops {
+            for _ in 0..rng.gen_range(1..=3) {
+                deliveries.push(op.clone());
+            }
+        }
+        deliveries.shuffle(rng);
+        let mut log = OpLog::new();
+        for op in &deliveries {
+            log.record(op.clone());
+        }
+        let got = log.materialize();
+        if got != reference {
+            return Err(Violation {
+                law: Law::Idempotence,
+                detail: format!("trial {t}: duplicated delivery produced {got:?}, expected {reference:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Run all three checks; the full ACID 2.0 certificate for an operation
+/// set (the D — Distributed — is what the rest of the workspace
+/// exercises: the same checks passing means the ops can run anywhere).
+pub fn certify<O>(
+    ops: &[O],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<(), Violation>
+where
+    O: Operation + fmt::Debug,
+    O::State: PartialEq + fmt::Debug,
+{
+    check_commutative(ops, trials, rng)?;
+    check_associative(ops, 3, trials, rng)?;
+    check_idempotent(ops, trials, rng)
+}
+
+/// Example operations used by tests, docs, and the A2 ablation bench.
+pub mod examples {
+    use crate::op::Operation;
+    use crate::uniquifier::Uniquifier;
+
+    /// A commutative counter increment — passes every ACID 2.0 check.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CounterAdd {
+        /// Uniquifier for this increment.
+        pub id: Uniquifier,
+        /// Signed amount to add.
+        pub delta: i64,
+    }
+
+    impl CounterAdd {
+        /// Convenience constructor for tests.
+        pub fn new(n: u64, delta: i64) -> Self {
+            CounterAdd { id: Uniquifier::from_parts(1, n), delta }
+        }
+    }
+
+    impl Operation for CounterAdd {
+        type State = i64;
+        fn id(&self) -> Uniquifier {
+            self.id
+        }
+        fn apply(&self, state: &mut i64) {
+            *state += self.delta;
+        }
+    }
+
+    /// A raw overwriting WRITE — the storage abstraction the paper calls
+    /// "annoying" (§5.3). Fails the commutativity check whenever two
+    /// writes target the same register with different values.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct RegisterWrite {
+        /// Uniquifier for this write.
+        pub id: Uniquifier,
+        /// The value stored, clobbering whatever was there.
+        pub value: i64,
+    }
+
+    impl RegisterWrite {
+        /// Convenience constructor for tests.
+        pub fn new(n: u64, value: i64) -> Self {
+            RegisterWrite { id: Uniquifier::from_parts(2, n), value }
+        }
+    }
+
+    impl Operation for RegisterWrite {
+        type State = i64;
+        fn id(&self) -> Uniquifier {
+            self.id
+        }
+        fn apply(&self, state: &mut i64) {
+            *state = self.value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::{CounterAdd, RegisterWrite};
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn commutative_ops_pass_all_checks() {
+        let ops: Vec<CounterAdd> = (0..30).map(|i| CounterAdd::new(i, i as i64 - 10)).collect();
+        certify(&ops, 50, &mut rng()).expect("counter adds are ACID 2.0");
+    }
+
+    #[test]
+    fn raw_writes_fail_commutativity() {
+        let ops = vec![RegisterWrite::new(1, 10), RegisterWrite::new(2, 20)];
+        let err = check_commutative(&ops, 200, &mut rng()).unwrap_err();
+        assert_eq!(err.law, Law::Commutativity);
+    }
+
+    #[test]
+    fn single_write_trivially_commutes() {
+        let ops = vec![RegisterWrite::new(1, 10)];
+        check_commutative(&ops, 20, &mut rng()).expect("one op always commutes");
+    }
+
+    #[test]
+    fn oplog_gives_even_writes_associativity_and_idempotence() {
+        // The canonical replay order in OpLog makes merge deterministic
+        // even for non-commutative ops — the log is doing the work the
+        // raw operations can't.
+        let ops = vec![
+            RegisterWrite::new(1, 10),
+            RegisterWrite::new(2, 20),
+            RegisterWrite::new(3, 30),
+        ];
+        check_associative(&ops, 3, 50, &mut rng()).expect("union is associative");
+        check_idempotent(&ops, 50, &mut rng()).expect("union dedups");
+    }
+
+    #[test]
+    fn empty_op_set_passes_vacuously() {
+        let ops: Vec<CounterAdd> = vec![];
+        certify(&ops, 10, &mut rng()).expect("vacuous");
+    }
+
+    #[test]
+    fn violation_display_names_the_law() {
+        assert_eq!(Law::Commutativity.to_string(), "commutativity");
+        assert_eq!(Law::Associativity.to_string(), "associativity");
+        assert_eq!(Law::Idempotence.to_string(), "idempotence");
+    }
+
+    #[test]
+    fn replay_raw_applies_in_slice_order() {
+        let ops = vec![RegisterWrite::new(1, 10), RegisterWrite::new(2, 20)];
+        assert_eq!(replay_raw(&ops), 20);
+        let rev: Vec<_> = ops.into_iter().rev().collect();
+        assert_eq!(replay_raw(&rev), 10);
+    }
+}

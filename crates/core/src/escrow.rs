@@ -1,0 +1,482 @@
+//! Escrow locking (§5.3 sidebar; O'Neil, *The Escrow Transactional
+//! Method*, TODS 1986).
+//!
+//! "If you assume a set of commutative operations (such as addition and
+//! subtraction), you ensure changes are logged via 'operation logging'...
+//! The system simply needs to track the worst case for all the
+//! transactions pending commitment." This module implements exactly that
+//! scheme, the way Tandem's NonStop SQL did for high-throughput addition
+//! and subtraction:
+//!
+//! - Changes are recorded as **operation log** entries ("T1 subtracted
+//!   $10"); an abort applies the inverse operation rather than restoring
+//!   a before-image, so concurrent transactions' work interleaves freely.
+//! - Two watermarks track the worst case: `low` assumes every pending
+//!   decrement commits and every pending increment aborts; `high` the
+//!   reverse. A new operation is admitted only if the relevant watermark
+//!   stays within the `[min, max]` constraint — so the business rule is
+//!   enforced *crisply* (this is the centralized, pessimistic contrast to
+//!   the probabilistic enforcement of [`crate::mga`]).
+//! - A **READ** "does not commute, is annoying, and stops other
+//!   concurrent work": it only succeeds when no other transaction has
+//!   pending operations, and while the reader's transaction remains open
+//!   it holds a read lock that blocks new operations from others.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies an open escrow transaction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TxnId(u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Why an escrow operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscrowError {
+    /// Admitting the operation *might* take the value out of bounds given
+    /// the pending worst case, so it is refused (the sidebar's "a new
+    /// operation will be delayed if it MIGHT cause the value to fall out
+    /// of bounds with the pending work").
+    WouldExceedBounds {
+        /// The delta that was refused.
+        delta: i64,
+        /// The watermark that would have been violated.
+        watermark: i64,
+        /// The bound it would have crossed.
+        bound: i64,
+    },
+    /// A READ was attempted while other transactions have pending work.
+    ReadWouldBlock {
+        /// How many other transactions hold pending operations.
+        pending_others: usize,
+    },
+    /// An operation was attempted while another transaction holds the
+    /// read lock.
+    ReadLocked {
+        /// The reading transaction.
+        holder: TxnId,
+    },
+    /// The transaction id is not active (never begun, or already ended).
+    UnknownTxn(TxnId),
+}
+
+impl fmt::Display for EscrowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscrowError::WouldExceedBounds { delta, watermark, bound } => write!(
+                f,
+                "escrow: delta {delta} refused (worst case {watermark} would cross bound {bound})"
+            ),
+            EscrowError::ReadWouldBlock { pending_others } => {
+                write!(f, "escrow: READ blocks on {pending_others} pending transaction(s)")
+            }
+            EscrowError::ReadLocked { holder } => {
+                write!(f, "escrow: {holder} holds the read lock")
+            }
+            EscrowError::UnknownTxn(t) => write!(f, "escrow: {t} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for EscrowError {}
+
+/// One entry of the operation log: "Transaction T1 subtracted $10".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The transaction that performed the operation.
+    pub txn: TxnId,
+    /// The signed amount ("subtracted $10" is `delta: -10`).
+    pub delta: i64,
+    /// Whether this entry has been resolved, and how.
+    pub outcome: EntryOutcome,
+}
+
+/// The eventual fate of a logged operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryOutcome {
+    /// The owning transaction is still open.
+    Pending,
+    /// Committed: the delta is permanent.
+    Committed,
+    /// Aborted: the inverse operation was applied (operation logging —
+    /// "the system would add $10 rather than restore the value").
+    Inverted,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    deltas: Vec<i64>,
+}
+
+/// A bounded counter supporting concurrent commutative updates under
+/// escrow locking.
+///
+/// ```
+/// use quicksand_core::escrow::EscrowCounter;
+///
+/// // An inventory of 100 units, never below 0 nor above 500.
+/// let mut stock = EscrowCounter::new(100, 0, 500);
+/// let t1 = stock.begin();
+/// let t2 = stock.begin();
+/// stock.reserve(t1, -60).unwrap();       // t1 takes 60
+/// stock.reserve(t2, -60).unwrap_err();   // t2's 60 MIGHT overdraw: delayed
+/// stock.abort(t1).unwrap();              // inverse op releases the headroom
+/// stock.reserve(t2, -60).unwrap();
+/// stock.commit(t2).unwrap();
+/// assert_eq!(stock.committed(), 40);
+/// ```
+#[derive(Debug)]
+pub struct EscrowCounter {
+    min: i64,
+    max: i64,
+    committed: i64,
+    /// Value if all pending decrements commit and all pending increments
+    /// abort.
+    low: i64,
+    /// Value if all pending increments commit and all pending decrements
+    /// abort.
+    high: i64,
+    active: HashMap<TxnId, TxnState>,
+    next_txn: u64,
+    read_lock: Option<TxnId>,
+    log: Vec<LogEntry>,
+}
+
+impl EscrowCounter {
+    /// A counter starting at `initial`, constrained to `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `initial` is outside the bounds or `min > max`.
+    pub fn new(initial: i64, min: i64, max: i64) -> Self {
+        assert!(min <= max, "escrow bounds inverted");
+        assert!(
+            (min..=max).contains(&initial),
+            "initial escrow value out of bounds"
+        );
+        EscrowCounter {
+            min,
+            max,
+            committed: initial,
+            low: initial,
+            high: initial,
+            active: HashMap::new(),
+            next_txn: 1,
+            read_lock: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Open a new transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(id, TxnState::default());
+        id
+    }
+
+    /// Reserve a commutative update of `delta` within `txn`. Admitted iff
+    /// the worst-case watermark stays in bounds; refused updates leave no
+    /// trace and may be retried after other transactions resolve.
+    pub fn reserve(&mut self, txn: TxnId, delta: i64) -> Result<(), EscrowError> {
+        if let Some(holder) = self.read_lock {
+            if holder != txn {
+                return Err(EscrowError::ReadLocked { holder });
+            }
+        }
+        if !self.active.contains_key(&txn) {
+            return Err(EscrowError::UnknownTxn(txn));
+        }
+        if delta < 0 {
+            let worst = self.low + delta;
+            if worst < self.min {
+                return Err(EscrowError::WouldExceedBounds {
+                    delta,
+                    watermark: worst,
+                    bound: self.min,
+                });
+            }
+            self.low = worst;
+        } else {
+            let worst = self.high + delta;
+            if worst > self.max {
+                return Err(EscrowError::WouldExceedBounds {
+                    delta,
+                    watermark: worst,
+                    bound: self.max,
+                });
+            }
+            self.high = worst;
+        }
+        self.active
+            .get_mut(&txn)
+            .expect("checked active above")
+            .deltas
+            .push(delta);
+        self.log.push(LogEntry { txn, delta, outcome: EntryOutcome::Pending });
+        self.check_invariants();
+        Ok(())
+    }
+
+    /// READ the exact value from within `txn`. Succeeds only when no
+    /// *other* transaction has pending operations; on success the caller
+    /// holds the read lock until its transaction commits or aborts.
+    pub fn read(&mut self, txn: TxnId) -> Result<i64, EscrowError> {
+        if !self.active.contains_key(&txn) {
+            return Err(EscrowError::UnknownTxn(txn));
+        }
+        if let Some(holder) = self.read_lock {
+            if holder != txn {
+                return Err(EscrowError::ReadLocked { holder });
+            }
+        }
+        let pending_others = self
+            .active
+            .iter()
+            .filter(|(id, st)| **id != txn && !st.deltas.is_empty())
+            .count();
+        if pending_others > 0 {
+            return Err(EscrowError::ReadWouldBlock { pending_others });
+        }
+        self.read_lock = Some(txn);
+        // The exact value as this txn sees it: committed plus its own
+        // pending deltas.
+        let own: i64 = self.active[&txn].deltas.iter().sum();
+        Ok(self.committed + own)
+    }
+
+    /// Commit `txn`: its deltas become permanent. Returns the net change.
+    pub fn commit(&mut self, txn: TxnId) -> Result<i64, EscrowError> {
+        let st = self.active.remove(&txn).ok_or(EscrowError::UnknownTxn(txn))?;
+        let mut net = 0;
+        for d in &st.deltas {
+            net += d;
+            if *d < 0 {
+                // The decrement is now certain: the optimistic high must
+                // come down to reflect it.
+                self.high += d;
+            } else {
+                self.low += d;
+            }
+        }
+        self.committed += net;
+        if self.read_lock == Some(txn) {
+            self.read_lock = None;
+        }
+        self.mark_entries(txn, EntryOutcome::Committed);
+        self.check_invariants();
+        Ok(net)
+    }
+
+    /// Abort `txn`: each logged operation is undone by applying its
+    /// inverse (operation logging), releasing the reserved headroom.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), EscrowError> {
+        let st = self.active.remove(&txn).ok_or(EscrowError::UnknownTxn(txn))?;
+        for d in &st.deltas {
+            if *d < 0 {
+                self.low -= d;
+            } else {
+                self.high -= d;
+            }
+        }
+        if self.read_lock == Some(txn) {
+            self.read_lock = None;
+        }
+        self.mark_entries(txn, EntryOutcome::Inverted);
+        self.check_invariants();
+        Ok(())
+    }
+
+    /// The committed value (ignores pending transactions).
+    pub fn committed(&self) -> i64 {
+        self.committed
+    }
+
+    /// The pessimistic low watermark.
+    pub fn low_watermark(&self) -> i64 {
+        self.low
+    }
+
+    /// The optimistic high watermark.
+    pub fn high_watermark(&self) -> i64 {
+        self.high
+    }
+
+    /// Number of open transactions.
+    pub fn active_txns(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The exact value, available only when nothing is pending.
+    pub fn value_if_quiesced(&self) -> Option<i64> {
+        if self.active.values().all(|s| s.deltas.is_empty()) {
+            Some(self.committed)
+        } else {
+            None
+        }
+    }
+
+    /// The full operation log, oldest first.
+    pub fn operation_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn mark_entries(&mut self, txn: TxnId, outcome: EntryOutcome) {
+        for e in self.log.iter_mut().filter(|e| e.txn == txn) {
+            if e.outcome == EntryOutcome::Pending {
+                e.outcome = outcome;
+            }
+        }
+    }
+
+    fn check_invariants(&self) {
+        debug_assert!(self.min <= self.low, "low watermark under min");
+        debug_assert!(self.high <= self.max, "high watermark over max");
+        debug_assert!(self.low <= self.committed, "committed below low");
+        debug_assert!(self.committed <= self.high, "committed above high");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_commutative_updates_interleave() {
+        let mut c = EscrowCounter::new(100, 0, 1000);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, -10).unwrap();
+        c.reserve(t2, 25).unwrap();
+        c.reserve(t1, -5).unwrap();
+        assert_eq!(c.commit(t1).unwrap(), -15);
+        assert_eq!(c.commit(t2).unwrap(), 25);
+        assert_eq!(c.committed(), 110);
+        assert_eq!(c.value_if_quiesced(), Some(110));
+    }
+
+    #[test]
+    fn worst_case_pending_blocks_risky_decrements() {
+        let mut c = EscrowCounter::new(100, 0, 1000);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, -80).unwrap();
+        // t2's -80 MIGHT overdraw if t1 commits: refused now.
+        let err = c.reserve(t2, -80).unwrap_err();
+        assert!(matches!(err, EscrowError::WouldExceedBounds { bound: 0, .. }));
+        // After t1 aborts, the headroom returns and t2 succeeds.
+        c.abort(t1).unwrap();
+        c.reserve(t2, -80).unwrap();
+        c.commit(t2).unwrap();
+        assert_eq!(c.committed(), 20);
+    }
+
+    #[test]
+    fn increments_are_bounded_by_max() {
+        let mut c = EscrowCounter::new(90, 0, 100);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, 8).unwrap();
+        let err = c.reserve(t2, 5).unwrap_err();
+        assert!(matches!(err, EscrowError::WouldExceedBounds { bound: 100, .. }));
+        c.commit(t1).unwrap();
+        assert_eq!(c.committed(), 98);
+    }
+
+    #[test]
+    fn abort_applies_the_inverse_not_a_before_image() {
+        let mut c = EscrowCounter::new(100, 0, 1000);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, -10).unwrap();
+        c.reserve(t2, 40).unwrap();
+        c.commit(t2).unwrap(); // value now reflects t2's +40
+        c.abort(t1).unwrap(); // undoes only t1's -10
+        assert_eq!(c.committed(), 140);
+        let inverted: Vec<_> = c
+            .operation_log()
+            .iter()
+            .filter(|e| e.outcome == EntryOutcome::Inverted)
+            .collect();
+        assert_eq!(inverted.len(), 1);
+        assert_eq!(inverted[0].delta, -10);
+    }
+
+    #[test]
+    fn read_blocks_on_pending_others_and_locks_out_writers() {
+        let mut c = EscrowCounter::new(100, 0, 1000);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, -10).unwrap();
+        // t2's READ blocks while t1 has pending work.
+        assert!(matches!(
+            c.read(t2),
+            Err(EscrowError::ReadWouldBlock { pending_others: 1 })
+        ));
+        c.commit(t1).unwrap();
+        // Now the READ succeeds and takes the lock.
+        assert_eq!(c.read(t2).unwrap(), 90);
+        let t3 = c.begin();
+        assert!(matches!(c.reserve(t3, -1), Err(EscrowError::ReadLocked { .. })));
+        // The reader itself may continue operating, and sees its own ops.
+        c.reserve(t2, -40).unwrap();
+        assert_eq!(c.read(t2).unwrap(), 50);
+        c.commit(t2).unwrap();
+        // Lock released: t3 can proceed.
+        c.reserve(t3, -1).unwrap();
+        c.commit(t3).unwrap();
+        assert_eq!(c.committed(), 49);
+    }
+
+    #[test]
+    fn unknown_txns_are_rejected() {
+        let mut c = EscrowCounter::new(0, 0, 10);
+        let t = c.begin();
+        c.commit(t).unwrap();
+        assert!(matches!(c.reserve(t, 1), Err(EscrowError::UnknownTxn(_))));
+        assert!(matches!(c.commit(t), Err(EscrowError::UnknownTxn(_))));
+        assert!(matches!(c.abort(t), Err(EscrowError::UnknownTxn(_))));
+        assert!(matches!(c.read(t), Err(EscrowError::UnknownTxn(_))));
+    }
+
+    #[test]
+    fn operation_log_reads_like_the_sidebar() {
+        let mut c = EscrowCounter::new(100, 0, 1000);
+        let t1 = c.begin();
+        c.reserve(t1, -10).unwrap(); // "Transaction T1 subtracted $10"
+        c.commit(t1).unwrap();
+        let log = c.operation_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].delta, -10);
+        assert_eq!(log[0].outcome, EntryOutcome::Committed);
+        assert_eq!(log[0].txn.to_string(), "T1");
+    }
+
+    #[test]
+    fn watermarks_track_worst_cases() {
+        let mut c = EscrowCounter::new(50, 0, 100);
+        let t1 = c.begin();
+        let t2 = c.begin();
+        c.reserve(t1, -20).unwrap();
+        c.reserve(t2, 30).unwrap();
+        assert_eq!(c.low_watermark(), 30);
+        assert_eq!(c.high_watermark(), 80);
+        assert_eq!(c.committed(), 50);
+        assert_eq!(c.value_if_quiesced(), None);
+        c.commit(t1).unwrap();
+        c.abort(t2).unwrap();
+        assert_eq!(c.low_watermark(), 30);
+        assert_eq!(c.high_watermark(), 30);
+        assert_eq!(c.value_if_quiesced(), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn construction_validates_initial_value() {
+        let _ = EscrowCounter::new(-1, 0, 10);
+    }
+}

@@ -1,0 +1,340 @@
+//! Idempotent request processing (§2.1, §2.4, §5.4).
+//!
+//! "To be robust, these incoming requests are retried by their source...
+//! The fault tolerant server system had better make this work idempotent
+//! or the retries would occasionally result in duplicative work." (§2.1)
+//!
+//! [`DedupTable`] is the server-side half: a memo of every uniquifier the
+//! replica has processed, together with the response it produced, so a
+//! retry is answered from memory instead of re-executing the business
+//! impact. [`EffectLedger`] is the cross-replica half (§5.4, §7.5): when
+//! "two replicas get overly enthusiastic about the incoming purchase
+//! order and each schedule a shipment", merging their ledgers identifies
+//! the redundant side effect so it can be compensated.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use crate::uniquifier::Uniquifier;
+
+/// Whether a call through [`DedupTable::execute`] actually ran the work
+/// or was collapsed onto a previous execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<R> {
+    /// The work ran; this is its fresh response.
+    Executed(R),
+    /// The uniquifier had been seen; the remembered response is returned
+    /// and the work was *not* re-run.
+    Duplicate(R),
+}
+
+impl<R> Outcome<R> {
+    /// The response, however it was obtained.
+    pub fn into_response(self) -> R {
+        match self {
+            Outcome::Executed(r) | Outcome::Duplicate(r) => r,
+        }
+    }
+
+    /// True if the work actually executed on this call.
+    pub fn executed(&self) -> bool {
+        matches!(self, Outcome::Executed(_))
+    }
+}
+
+/// A bounded memo of processed requests: uniquifier → remembered response.
+///
+/// The bound models reality: no server remembers requests forever. Entries
+/// are evicted FIFO once `capacity` is exceeded; an evicted entry means a
+/// sufficiently late retry *will* re-execute — which is why the paper
+/// pushes idempotence into the business operations themselves rather than
+/// relying purely on transport-level dedup.
+#[derive(Debug, Clone)]
+pub struct DedupTable<R> {
+    seen: HashMap<Uniquifier, R>,
+    order: VecDeque<Uniquifier>,
+    capacity: usize,
+    executed: u64,
+    collapsed: u64,
+}
+
+impl<R: Clone> DedupTable<R> {
+    /// A table remembering at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a dedup table must remember something");
+        DedupTable {
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            executed: 0,
+            collapsed: 0,
+        }
+    }
+
+    /// Run `work` at most once per uniquifier: on first sight execute and
+    /// remember the response; on a retry return the remembered response.
+    pub fn execute<F: FnOnce() -> R>(&mut self, id: Uniquifier, work: F) -> Outcome<R> {
+        match self.seen.entry(id) {
+            Entry::Occupied(e) => {
+                self.collapsed += 1;
+                Outcome::Duplicate(e.get().clone())
+            }
+            Entry::Vacant(e) => {
+                let r = work();
+                e.insert(r.clone());
+                self.order.push_back(id);
+                self.executed += 1;
+                if self.order.len() > self.capacity {
+                    if let Some(old) = self.order.pop_front() {
+                        self.seen.remove(&old);
+                    }
+                }
+                Outcome::Executed(r)
+            }
+        }
+    }
+
+    /// Record a response processed elsewhere (e.g. learned during
+    /// anti-entropy) without executing anything locally.
+    pub fn remember(&mut self, id: Uniquifier, response: R) {
+        if self.seen.insert(id, response).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The remembered response for `id`, if still in the window.
+    pub fn recall(&self, id: Uniquifier) -> Option<&R> {
+        self.seen.get(&id)
+    }
+
+    /// True if `id` is remembered.
+    pub fn contains(&self, id: Uniquifier) -> bool {
+        self.seen.contains_key(&id)
+    }
+
+    /// Number of remembered entries.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// How many calls actually executed work.
+    pub fn executed_count(&self) -> u64 {
+        self.executed
+    }
+
+    /// How many calls were collapsed onto a previous execution.
+    pub fn collapsed_count(&self) -> u64 {
+        self.collapsed
+    }
+}
+
+/// Identifies the replica that performed a side effect.
+pub type ReplicaName = &'static str;
+
+/// A record that a replica performed the side effect for a unit of work —
+/// scheduled the shipment, set aside the room, cleared the check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Effect {
+    /// The unit of work this effect belongs to.
+    pub id: Uniquifier,
+    /// Which replica performed it.
+    pub replica: ReplicaName,
+    /// Domain description ("scheduled shipment", "allocated room").
+    pub what: String,
+}
+
+/// A redundant side effect discovered during reconciliation: the same
+/// unit of work produced effects on two replicas; `kept` is the canonical
+/// one (lowest replica name, deterministically) and `redundant` must be
+/// compensated — returned to the pool if fungible, apologized for if not
+/// (§7.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundantEffect {
+    /// The effect that stands.
+    pub kept: Effect,
+    /// The effect that must be undone or apologized for.
+    pub redundant: Effect,
+}
+
+/// Per-replica ledger of performed side effects, merged during
+/// anti-entropy to detect "irrational exuberance on the part of the
+/// replicas" (§5.4).
+#[derive(Debug, Clone, Default)]
+pub struct EffectLedger {
+    effects: HashMap<Uniquifier, Vec<Effect>>,
+}
+
+impl EffectLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EffectLedger::default()
+    }
+
+    /// Record that `replica` performed the effect for `id`. Recording the
+    /// same (id, replica) twice is idempotent.
+    pub fn record(&mut self, id: Uniquifier, replica: ReplicaName, what: impl Into<String>) {
+        let entry = self.effects.entry(id).or_default();
+        if !entry.iter().any(|e| e.replica == replica) {
+            entry.push(Effect { id, replica, what: what.into() });
+        }
+    }
+
+    /// True if any replica is known to have performed the effect for `id`.
+    pub fn performed(&self, id: Uniquifier) -> bool {
+        self.effects.contains_key(&id)
+    }
+
+    /// Merge knowledge from another replica's ledger and return every
+    /// *newly discovered* redundancy: units of work that, with the merged
+    /// knowledge, turn out to have been performed by more than one
+    /// replica. Each redundancy is reported once — subsequent merges of
+    /// the same information report nothing new.
+    pub fn merge(&mut self, other: &EffectLedger) -> Vec<RedundantEffect> {
+        let mut found = Vec::new();
+        for (id, their_effects) in &other.effects {
+            let ours = self.effects.entry(*id).or_default();
+            for theirs in their_effects {
+                if !ours.iter().any(|e| e.replica == theirs.replica) {
+                    ours.push(theirs.clone());
+                }
+            }
+            if ours.len() > 1 {
+                // Canonical keeper: lowest replica name; everything else
+                // is redundant. Report only redundancies not yet reported.
+                ours.sort_by_key(|e| e.replica);
+                let kept = ours[0].clone();
+                for r in ours[1..].iter() {
+                    if !r.what.ends_with(" [compensated]") {
+                        found.push(RedundantEffect { kept: kept.clone(), redundant: r.clone() });
+                    }
+                }
+                for r in ours[1..].iter_mut() {
+                    if !r.what.ends_with(" [compensated]") {
+                        r.what.push_str(" [compensated]");
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Total number of distinct units of work with a recorded effect.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// True if no effects are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> Uniquifier {
+        Uniquifier::from_parts(0, n)
+    }
+
+    #[test]
+    fn retries_collapse_onto_first_execution() {
+        let mut t = DedupTable::new(16);
+        let mut runs = 0;
+        let r1 = t.execute(id(1), || {
+            runs += 1;
+            "shipped"
+        });
+        assert_eq!(r1, Outcome::Executed("shipped"));
+        let r2 = t.execute(id(1), || {
+            runs += 1;
+            "shipped-again"
+        });
+        assert_eq!(r2, Outcome::Duplicate("shipped"));
+        assert_eq!(runs, 1);
+        assert_eq!(t.executed_count(), 1);
+        assert_eq!(t.collapsed_count(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_each_execute() {
+        let mut t = DedupTable::new(16);
+        assert!(t.execute(id(1), || 1).executed());
+        assert!(t.execute(id(2), || 2).executed());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eviction_reopens_the_duplicate_window() {
+        let mut t = DedupTable::new(2);
+        t.execute(id(1), || ());
+        t.execute(id(2), || ());
+        t.execute(id(3), || ()); // evicts id(1)
+        assert!(!t.contains(id(1)));
+        assert!(t.contains(id(2)) && t.contains(id(3)));
+        // A very late retry of id(1) re-executes — the window is honest.
+        assert!(t.execute(id(1), || ()).executed());
+    }
+
+    #[test]
+    fn remember_and_recall_share_knowledge_without_execution() {
+        let mut t: DedupTable<&str> = DedupTable::new(4);
+        t.remember(id(7), "done-elsewhere");
+        assert_eq!(t.recall(id(7)), Some(&"done-elsewhere"));
+        assert_eq!(t.execute(id(7), || "should-not-run"), Outcome::Duplicate("done-elsewhere"));
+    }
+
+    #[test]
+    fn effect_ledger_detects_duplicate_shipments_once() {
+        let mut a = EffectLedger::new();
+        let mut b = EffectLedger::new();
+        a.record(id(1), "replica-a", "scheduled shipment");
+        b.record(id(1), "replica-b", "scheduled shipment");
+        b.record(id(2), "replica-b", "scheduled shipment");
+
+        let dups = a.merge(&b);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].kept.replica, "replica-a");
+        assert_eq!(dups[0].redundant.replica, "replica-b");
+        assert!(a.performed(id(2)));
+
+        // Re-merging the same knowledge reports nothing new.
+        assert!(a.merge(&b).is_empty());
+    }
+
+    #[test]
+    fn effect_ledger_three_replicas_compensates_all_but_one() {
+        let mut a = EffectLedger::new();
+        let mut b = EffectLedger::new();
+        let mut c = EffectLedger::new();
+        a.record(id(9), "a", "allocated");
+        b.record(id(9), "b", "allocated");
+        c.record(id(9), "c", "allocated");
+        let d1 = a.merge(&b);
+        assert_eq!(d1.len(), 1);
+        let d2 = a.merge(&c);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].redundant.replica, "c");
+        assert_eq!(d2[0].kept.replica, "a");
+    }
+
+    #[test]
+    fn effect_ledger_recording_is_idempotent_per_replica() {
+        let mut a = EffectLedger::new();
+        a.record(id(1), "a", "x");
+        a.record(id(1), "a", "x");
+        let mut b = EffectLedger::new();
+        assert!(b.merge(&a).is_empty());
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! # quicksand-core — the pattern library of *Building on Quicksand*
+//!
+//! Helland & Campbell's CIDR 2009 paper argues that once state is
+//! checkpointed to backups **asynchronously** (to save latency), an
+//! application can no longer know the authoritative truth; it must be
+//! rebuilt around reorderable, retryable *business operations* rather
+//! than storage reads and writes. This crate is that argument as an API —
+//! each module implements one of the paper's named patterns:
+//!
+//! | Module | Pattern | Paper section |
+//! |---|---|---|
+//! | [`uniquifier`] | Unique work ids: the partitioning key and the retry collapser | §2.1, §5.4, §7.5 |
+//! | [`idempotence`] | Dedup tables and cross-replica effect ledgers | §2.1, §5.4 |
+//! | [`op`] | Operation-centric state: op logs, union merge, canonical replay | §6.4, §6.5, §7.6 |
+//! | [`partitioning`] | Keyed-chunk routing with minimal movement under repartitioning | §2.3 |
+//! | [`acid2`] | ACID 2.0 (Associative, Commutative, Idempotent, Distributed) checkers | §8 |
+//! | [`mga`] | Memories, guesses, and apologies; coordinated vs guessed admission | §5.5–§5.8 |
+//! | [`rules`] | Probabilistic business rules and per-operation risk policies | §5.2, §5.5 |
+//! | [`escrow`] | Escrow locking: crisp bounds with commutative concurrency | §5.3 sidebar |
+//! | [`resources`] | Over-booking vs over-provisioning, fungibility, redundant grants | §7.1, §7.4, §7.5 |
+//! | [`reservation`] | The seat-reservation pattern with timeout cleanup | §7.3 |
+//! | [`workflow`] | The paper-forms protocol: carbon copies, due dates, unmodified resubmission | §7.7 |
+//!
+//! The crate is deliberately substrate-free: no I/O, no clocks, no
+//! threads. The `sim` crate supplies time and failure; the `tandem`,
+//! `logship`, and `dynamo` crates supply the storage substrates the paper
+//! narrates; the `cart`, `bank`, and `inventory` crates are the worked
+//! examples, built from these patterns.
+//!
+//! ## The shortest possible tour
+//!
+//! ```
+//! use quicksand_core::acid2::examples::CounterAdd;
+//! use quicksand_core::mga::{ApologyQueue, Replica, ReplicaId};
+//! use quicksand_core::rules::{BusinessRule, PredicateRule};
+//!
+//! // A business rule: don't overdraw.
+//! let rule = PredicateRule::min_bound("no-overdraft", |b: &i64| *b, 0);
+//! let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+//!
+//! // Two replicas of one account, both clearing checks while disconnected.
+//! let mut a = Replica::new(ReplicaId(0));
+//! let mut b = Replica::new(ReplicaId(1));
+//! a.try_accept(CounterAdd::new(1, 100), &rules); // deposit $100
+//! b.learn(CounterAdd::new(1, 100));
+//! a.try_accept(CounterAdd::new(2, -80), &rules); // each clears an $80 check:
+//! b.try_accept(CounterAdd::new(3, -80), &rules); // locally fine, jointly not.
+//!
+//! // Knowledge sloshes together; the "Oh, crap!" moment files an apology.
+//! a.exchange(&mut b);
+//! let mut apologies = ApologyQueue::new();
+//! a.audit(&rules, &mut apologies);
+//! assert_eq!(apologies.total(), 1);
+//! assert_eq!(*a.local_opinion(), -60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acid2;
+pub mod escrow;
+pub mod idempotence;
+pub mod mga;
+pub mod op;
+pub mod partitioning;
+pub mod reservation;
+pub mod resources;
+pub mod rules;
+pub mod uniquifier;
+pub mod workflow;
+
+pub use idempotence::{DedupTable, EffectLedger, Outcome};
+pub use mga::{Apology, ApologyQueue, Decision, Replica, ReplicaId};
+pub use op::{OpLog, Operation};
+pub use rules::{BusinessRule, GuaranteeClass, RiskPolicy, RuleOutcome};
+pub use uniquifier::{Uniquifier, UniquifierSource};
+pub use workflow::{FormRecord, PaperTrail};

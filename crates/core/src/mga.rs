@@ -1,0 +1,544 @@
+//! Memories, Guesses, and Apologies (§5.7): "arguably, all computing
+//! really falls into three categories".
+//!
+//! - **Memories** — a replica's [`OpLog`]: "your local replica has seen
+//!   what it has seen and (hopefully) remembers it."
+//! - **Guesses** — every action admitted on local knowledge:
+//!   [`Replica::try_accept`] checks the business rules against the local
+//!   opinion only, so its acceptance "is, at best, a guess".
+//! - **Apologies** — when reconciliation reveals that guesses made on
+//!   different replicas jointly violate a rule, an [`Apology`] is filed.
+//!   Per §5.6 the queue routes each one either to registered
+//!   business-specific handler code or, failing that, to a human.
+//!
+//! The alternative path, [`coordinated_accept`], is the synchronous
+//! checkpoint of §5.8: merge every replica's knowledge first, decide on
+//! the union, and propagate the decision everywhere before acknowledging.
+//! "Either you have synchronous checkpoints to your backup or you must
+//! sometimes apologize for your behaviour" — this module is that
+//! either/or, as an API.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::op::{OpLog, Operation};
+use crate::rules::{BusinessRule, RuleOutcome};
+use crate::uniquifier::Uniquifier;
+
+/// Identifies a replica in an MGA deployment.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The verdict on one admission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The operation was admitted. On a [`Replica::try_accept`] path this
+    /// is a *guess*; on a [`coordinated_accept`] path it is backed by the
+    /// union of all replicas' knowledge at decision time.
+    Accepted,
+    /// The operation was refused because admitting it would violate the
+    /// named rule *on the knowledge available to the decider*.
+    Refused {
+        /// Name of the violated rule.
+        rule: String,
+        /// The violation text.
+        detail: String,
+    },
+    /// Already seen (uniquifier collapse): the retry is acknowledged but
+    /// has no new business impact.
+    Duplicate,
+}
+
+impl Decision {
+    /// True for `Accepted` (fresh admission).
+    pub fn accepted(&self) -> bool {
+        matches!(self, Decision::Accepted)
+    }
+}
+
+/// An apology owed to someone (§5.6, §5.7): a business-rule violation
+/// that slipped through probabilistic enforcement, or a real-world
+/// failure (§7.2's forklift) surfaced by the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Apology {
+    /// The replica that discovered the problem.
+    pub discovered_by: ReplicaId,
+    /// The rule that turned out to be violated.
+    pub rule: String,
+    /// The unit of work most implicated, when attributable.
+    pub uniquifier: Option<Uniquifier>,
+    /// Human-readable description of the mess.
+    pub detail: String,
+}
+
+/// How an apology was disposed of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Business-specific apology code handled it (§5.6 step 2); the
+    /// string is the compensating action taken ("refunded $30 fee").
+    Automated(String),
+    /// Enqueued for a human (§5.6 step 1: "send the problem to a human").
+    Human,
+}
+
+/// Apology code registered for one rule: returns `Some(action)` when it
+/// compensated, `None` to punt to the human.
+pub type ApologyHandler = Box<dyn Fn(&Apology) -> Option<String>>;
+
+/// Routes apologies to registered handler code, or to the human queue
+/// when no handler claims them (§5.6's two-step model).
+#[derive(Default)]
+pub struct ApologyQueue {
+    handlers: Vec<(String, ApologyHandler)>,
+    automated: Vec<(Apology, String)>,
+    human: Vec<Apology>,
+    seen: HashSet<(String, Option<Uniquifier>, String)>,
+}
+
+impl fmt::Debug for ApologyQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ApologyQueue")
+            .field("handlers", &self.handlers.len())
+            .field("automated", &self.automated.len())
+            .field("human", &self.human.len())
+            .finish()
+    }
+}
+
+impl ApologyQueue {
+    /// An empty queue with no handlers: everything goes to the human.
+    pub fn new() -> Self {
+        ApologyQueue::default()
+    }
+
+    /// Register apology code for a rule. The handler returns
+    /// `Some(action)` if it compensated, `None` to punt to the human
+    /// ("asking for human help for those apologies beyond its designed
+    /// cases", §5.7).
+    pub fn register_handler(
+        &mut self,
+        rule: impl Into<String>,
+        handler: impl Fn(&Apology) -> Option<String> + 'static,
+    ) {
+        self.handlers.push((rule.into(), Box::new(handler)));
+    }
+
+    /// File an apology. Exact duplicates (same rule, uniquifier, detail)
+    /// are dropped so repeated audits don't double-apologize. Returns the
+    /// disposition, or `None` if it was a duplicate.
+    pub fn file(&mut self, apology: Apology) -> Option<Disposition> {
+        let key = (apology.rule.clone(), apology.uniquifier, apology.detail.clone());
+        if !self.seen.insert(key) {
+            return None;
+        }
+        for (rule, handler) in &self.handlers {
+            if *rule == apology.rule {
+                if let Some(action) = handler(&apology) {
+                    self.automated.push((apology, action.clone()));
+                    return Some(Disposition::Automated(action));
+                }
+            }
+        }
+        self.human.push(apology);
+        Some(Disposition::Human)
+    }
+
+    /// Apologies that required a human.
+    pub fn human_queue(&self) -> &[Apology] {
+        &self.human
+    }
+
+    /// Apologies handled by code, with the action taken.
+    pub fn automated_log(&self) -> &[(Apology, String)] {
+        &self.automated
+    }
+
+    /// Total apologies filed (human + automated).
+    pub fn total(&self) -> usize {
+        self.human.len() + self.automated.len()
+    }
+}
+
+/// A replica in an MGA deployment: a name, a memory, and a cached local
+/// opinion of the state.
+///
+/// The cached state is updated incrementally as operations are recorded
+/// or merged; for commutative operations (the ACID 2.0 contract this
+/// framework assumes — certify with [`crate::acid2`]) it always equals
+/// `log.materialize()`.
+#[derive(Debug, Clone)]
+pub struct Replica<O: Operation> {
+    /// This replica's identity.
+    pub id: ReplicaId,
+    log: OpLog<O>,
+    state: O::State,
+    guesses: u64,
+    refusals: u64,
+}
+
+impl<O: Operation> Replica<O> {
+    /// A fresh replica with empty memory.
+    pub fn new(id: ReplicaId) -> Self {
+        Replica {
+            id,
+            log: OpLog::new(),
+            state: O::State::default(),
+            guesses: 0,
+            refusals: 0,
+        }
+    }
+
+    /// The replica's memory.
+    pub fn log(&self) -> &OpLog<O> {
+        &self.log
+    }
+
+    /// The replica's current local opinion of the state. "You know what
+    /// you know when an action is performed" (§5.7) — this is that
+    /// knowledge, nothing more.
+    pub fn local_opinion(&self) -> &O::State {
+        &self.state
+    }
+
+    /// Admit `op` on local knowledge only — a guess. The rules are
+    /// checked against the local opinion *with the op applied*; if any
+    /// rule objects, the op is refused (locally enforced, §5.2: the
+    /// enforcement is still probabilistic because other replicas are
+    /// concurrently admitting work this replica cannot see).
+    pub fn try_accept(&mut self, op: O, rules: &[&dyn BusinessRule<O::State>]) -> Decision {
+        if self.log.contains(op.id()) {
+            return Decision::Duplicate;
+        }
+        let mut trial = self.state.clone();
+        op.apply(&mut trial);
+        for rule in rules {
+            if let RuleOutcome::Violated(detail) = rule.check(&trial) {
+                self.refusals += 1;
+                return Decision::Refused { rule: rule.name().to_owned(), detail };
+            }
+        }
+        self.state = trial;
+        self.log.record(op);
+        self.guesses += 1;
+        Decision::Accepted
+    }
+
+    /// Record an operation learned from another replica without
+    /// re-checking rules (the work already happened; refusing it now
+    /// would un-happen history). Returns `true` if it was new.
+    pub fn learn(&mut self, op: O) -> bool {
+        if self.log.record(op.clone()) {
+            op.apply(&mut self.state);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bidirectional anti-entropy with another replica: each absorbs the
+    /// other's missing operations. Returns (ops we learned, ops they
+    /// learned).
+    pub fn exchange(&mut self, other: &mut Replica<O>) -> (usize, usize) {
+        let to_us = other.log.diff(&self.log);
+        let to_them = self.log.diff(&other.log);
+        let learned_here = to_us.len();
+        let learned_there = to_them.len();
+        for op in to_us {
+            self.learn(op);
+        }
+        for op in to_them {
+            other.learn(op);
+        }
+        (learned_here, learned_there)
+    }
+
+    /// Audit the reconciled state against the rules and file an apology
+    /// for each violation (§5.7's "Oh, crap!" moment). Returns how many
+    /// new apologies were filed.
+    pub fn audit(
+        &self,
+        rules: &[&dyn BusinessRule<O::State>],
+        queue: &mut ApologyQueue,
+    ) -> usize {
+        let mut filed = 0;
+        for rule in rules {
+            if let RuleOutcome::Violated(detail) = rule.check(&self.state) {
+                let filed_now = queue.file(Apology {
+                    discovered_by: self.id,
+                    rule: rule.name().to_owned(),
+                    uniquifier: None,
+                    detail,
+                });
+                if filed_now.is_some() {
+                    filed += 1;
+                }
+            }
+        }
+        filed
+    }
+
+    /// Number of operations admitted as guesses on this replica.
+    pub fn guess_count(&self) -> u64 {
+        self.guesses
+    }
+
+    /// Number of operations refused by local rule checks.
+    pub fn refusal_count(&self) -> u64 {
+        self.refusals
+    }
+}
+
+/// The synchronous path of §5.8: gather every replica's knowledge, decide
+/// on the union, and install the op everywhere before acknowledging.
+///
+/// This is deliberately expensive — the caller pays (and in experiments,
+/// measures) a round of full knowledge exchange. In exchange the decision
+/// is as crisp as a centralized system's: if the union state rejects the
+/// op, it is refused everywhere.
+pub fn coordinated_accept<O: Operation>(
+    replicas: &mut [Replica<O>],
+    op: O,
+    rules: &[&dyn BusinessRule<O::State>],
+) -> Decision {
+    assert!(!replicas.is_empty(), "no replicas to coordinate");
+    // Full mesh knowledge exchange (the latency the paper says you pay).
+    let mut union = OpLog::new();
+    for r in replicas.iter() {
+        union.merge(&r.log);
+    }
+    if union.contains(op.id()) {
+        // Make sure everyone knows it, then report the duplicate.
+        for r in replicas.iter_mut() {
+            sync_to(r, &union);
+        }
+        return Decision::Duplicate;
+    }
+    let mut trial = union.materialize();
+    op.apply(&mut trial);
+    for rule in rules {
+        if let RuleOutcome::Violated(detail) = rule.check(&trial) {
+            for r in replicas.iter_mut() {
+                sync_to(r, &union);
+            }
+            return Decision::Refused { rule: rule.name().to_owned(), detail };
+        }
+    }
+    union.record(op);
+    for r in replicas.iter_mut() {
+        sync_to(r, &union);
+    }
+    Decision::Accepted
+}
+
+fn sync_to<O: Operation>(replica: &mut Replica<O>, union: &OpLog<O>) {
+    for op in union.diff(replica.log()) {
+        replica.learn(op);
+    }
+}
+
+/// Admit an operation under a risk policy (§5.5): operations the policy
+/// classifies as [`crate::rules::GuaranteeClass::Guess`] are admitted on
+/// `replicas[ingress]`'s local knowledge; operations classified
+/// [`crate::rules::GuaranteeClass::Coordinate`] take the synchronous path across every
+/// replica. Returns the decision and the class that was applied (so the
+/// caller can account latency per class).
+pub fn admit<O: Operation>(
+    replicas: &mut [Replica<O>],
+    ingress: usize,
+    op: O,
+    rules: &[&dyn BusinessRule<O::State>],
+    policy: &dyn crate::rules::RiskPolicy<O>,
+) -> (Decision, crate::rules::GuaranteeClass) {
+    use crate::rules::GuaranteeClass;
+    match policy.classify(&op) {
+        GuaranteeClass::Guess => (replicas[ingress].try_accept(op, rules), GuaranteeClass::Guess),
+        GuaranteeClass::Coordinate => {
+            (coordinated_accept(replicas, op, rules), GuaranteeClass::Coordinate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acid2::examples::CounterAdd;
+    use crate::rules::PredicateRule;
+
+    fn no_overdraft() -> PredicateRule<i64> {
+        PredicateRule::min_bound("no-overdraft", |s: &i64| *s, 0)
+    }
+
+    fn add(n: u64, delta: i64) -> CounterAdd {
+        CounterAdd::new(n, delta)
+    }
+
+    #[test]
+    fn local_guess_respects_local_knowledge() {
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut r = Replica::new(ReplicaId(0));
+        assert!(r.try_accept(add(1, 100), &rules).accepted());
+        assert!(r.try_accept(add(2, -60), &rules).accepted());
+        // Local opinion is 40; a further -60 would overdraw and is refused.
+        match r.try_accept(add(3, -60), &rules) {
+            Decision::Refused { rule, .. } => assert_eq!(rule, "no-overdraft"),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(*r.local_opinion(), 40);
+        assert_eq!(r.guess_count(), 2);
+        assert_eq!(r.refusal_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_admission_is_collapsed() {
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut r = Replica::new(ReplicaId(0));
+        assert!(r.try_accept(add(1, 10), &rules).accepted());
+        assert_eq!(r.try_accept(add(1, 10), &rules), Decision::Duplicate);
+        assert_eq!(*r.local_opinion(), 10);
+    }
+
+    #[test]
+    fn disconnected_replicas_jointly_overdraw_and_apologize_on_reconcile() {
+        // The paper's two-replica bank (§6.2): both clear checks against
+        // the same $100; each is locally fine; together they overdraw.
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut a = Replica::new(ReplicaId(0));
+        let mut b = Replica::new(ReplicaId(1));
+        // Both replicas know about the $100 deposit.
+        a.try_accept(add(1, 100), &rules);
+        b.learn(add(1, 100));
+        // Disconnected: each clears an $80 check. Each guess is locally valid.
+        assert!(a.try_accept(add(2, -80), &rules).accepted());
+        assert!(b.try_accept(add(3, -80), &rules).accepted());
+        // Reconcile: knowledge sloshes together, balance is -60.
+        a.exchange(&mut b);
+        assert_eq!(*a.local_opinion(), -60);
+        assert_eq!(*b.local_opinion(), -60);
+        let mut queue = ApologyQueue::new();
+        assert_eq!(a.audit(&rules, &mut queue), 1);
+        // Same violation re-audited from b dedups.
+        assert_eq!(b.audit(&rules, &mut queue), 0);
+        assert_eq!(queue.total(), 1);
+    }
+
+    #[test]
+    fn coordinated_accept_prevents_the_joint_overdraft() {
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut replicas = vec![Replica::new(ReplicaId(0)), Replica::new(ReplicaId(1))];
+        assert!(coordinated_accept(&mut replicas, add(1, 100), &rules).accepted());
+        assert!(coordinated_accept(&mut replicas, add(2, -80), &rules).accepted());
+        // The second $80 check bounces: the union knows the balance is 20.
+        match coordinated_accept(&mut replicas, add(3, -80), &rules) {
+            Decision::Refused { rule, .. } => assert_eq!(rule, "no-overdraft"),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        for r in &replicas {
+            assert_eq!(*r.local_opinion(), 20);
+        }
+    }
+
+    #[test]
+    fn coordinated_accept_collapses_duplicates_everywhere() {
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut replicas = vec![Replica::new(ReplicaId(0)), Replica::new(ReplicaId(1))];
+        assert!(coordinated_accept(&mut replicas, add(1, 5), &rules).accepted());
+        assert_eq!(coordinated_accept(&mut replicas, add(1, 5), &rules), Decision::Duplicate);
+        assert_eq!(*replicas[0].local_opinion(), 5);
+    }
+
+    #[test]
+    fn exchange_is_bidirectional_and_converges() {
+        let mut a = Replica::new(ReplicaId(0));
+        let mut b = Replica::new(ReplicaId(1));
+        a.learn(add(1, 1));
+        a.learn(add(2, 2));
+        b.learn(add(3, 4));
+        let (here, there) = a.exchange(&mut b);
+        assert_eq!((here, there), (1, 2));
+        assert_eq!(*a.local_opinion(), 7);
+        assert_eq!(*b.local_opinion(), 7);
+        assert!(a.log().same_ops(b.log()));
+    }
+
+    #[test]
+    fn apology_handlers_compensate_and_punt() {
+        let mut queue = ApologyQueue::new();
+        queue.register_handler("no-overdraft", |a| {
+            if a.detail.contains("-6") {
+                Some("charged $30 bounce fee".to_owned())
+            } else {
+                None // beyond designed cases → human
+            }
+        });
+        let ap = |detail: &str| Apology {
+            discovered_by: ReplicaId(0),
+            rule: "no-overdraft".to_owned(),
+            uniquifier: None,
+            detail: detail.to_owned(),
+        };
+        assert_eq!(
+            queue.file(ap("balance -60")),
+            Some(Disposition::Automated("charged $30 bounce fee".to_owned()))
+        );
+        assert_eq!(queue.file(ap("balance -999")), Some(Disposition::Human));
+        assert_eq!(queue.file(ap("balance -60")), None); // dedup
+        assert_eq!(queue.automated_log().len(), 1);
+        assert_eq!(queue.human_queue().len(), 1);
+        assert_eq!(queue.total(), 2);
+    }
+
+    #[test]
+    fn learn_is_idempotent() {
+        let mut r: Replica<CounterAdd> = Replica::new(ReplicaId(0));
+        assert!(r.learn(add(1, 10)));
+        assert!(!r.learn(add(1, 10)));
+        assert_eq!(*r.local_opinion(), 10);
+    }
+
+    #[test]
+    fn admit_routes_by_risk_policy() {
+        use crate::rules::{GuaranteeClass, ValueThreshold};
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let policy = ValueThreshold::new(50, |op: &CounterAdd| op.delta.abs());
+        let mut replicas = vec![Replica::new(ReplicaId(0)), Replica::new(ReplicaId(1))];
+        // Small deposit: guessed at the ingress replica only.
+        let (d, class) = admit(&mut replicas, 0, add(1, 10), &rules, &policy);
+        assert!(d.accepted());
+        assert_eq!(class, GuaranteeClass::Guess);
+        assert_eq!(*replicas[1].local_opinion(), 0, "guesses stay local");
+        // Big deposit: coordinated — everyone learns it.
+        let (d, class) = admit(&mut replicas, 0, add(2, 100), &rules, &policy);
+        assert!(d.accepted());
+        assert_eq!(class, GuaranteeClass::Coordinate);
+        assert_eq!(*replicas[1].local_opinion(), 110);
+    }
+
+    #[test]
+    fn cached_state_matches_materialization_for_commutative_ops() {
+        let rule = no_overdraft();
+        let rules: [&dyn BusinessRule<i64>; 1] = [&rule];
+        let mut a = Replica::new(ReplicaId(0));
+        let mut b = Replica::new(ReplicaId(1));
+        for i in 0..20 {
+            a.try_accept(add(i, 3), &rules);
+        }
+        for i in 20..40 {
+            b.try_accept(add(i, 2), &rules);
+        }
+        a.exchange(&mut b);
+        assert_eq!(*a.local_opinion(), a.log().materialize());
+        assert_eq!(*b.local_opinion(), b.log().materialize());
+    }
+}

@@ -1,0 +1,300 @@
+//! The operation-centric pattern (§6.5): state as a set of uniquely
+//! identified business operations.
+//!
+//! "Storage systems alone cannot provide the commutativity we need...
+//! We need the business operations to reorder." (§6.4) The paper's answer
+//! is to record the *intentions* of the application — ADD-TO-CART,
+//! debit, credit — each carrying a uniquifier, and to define the state of
+//! a replica as the set of operations it has seen. Replication then
+//! becomes set union, and "replicas that have seen the same work should
+//! see the same result, independent of the order in which the work has
+//! arrived" (§7.6).
+//!
+//! [`OpLog`] implements that discipline:
+//!
+//! - `record` is **idempotent**: a duplicate uniquifier is collapsed.
+//! - `merge` is set union, hence **commutative** and **associative**
+//!   (`a.merge(b)` and `b.merge(a)` reach the same set; any grouping of
+//!   merges reaches the same set).
+//! - `materialize` replays the set in a canonical order (uniquifier
+//!   order), so even an application whose operations do not fully commute
+//!   gets a *deterministic* outcome from the same set. For genuinely
+//!   commutative operations the canonical order is immaterial, which is
+//!   what [`crate::acid2`] verifies.
+
+use std::collections::BTreeMap;
+
+use crate::uniquifier::Uniquifier;
+
+/// A business operation: the paper's unit of "recorded intention".
+///
+/// Implementations should be *semantic* operations (add item X, debit
+/// $10) rather than storage writes; the whole point of §6.4 is that
+/// "WRITE is not commutative".
+pub trait Operation: Clone {
+    /// The state the operation acts on (a cart, an account, ...).
+    type State: Default + Clone;
+
+    /// The operation's uniquifier, assigned at ingress (§5.4).
+    fn id(&self) -> Uniquifier;
+
+    /// Apply the operation's business impact to the state.
+    fn apply(&self, state: &mut Self::State);
+}
+
+/// A replica's memory: the set of operations it has seen, keyed and
+/// canonically ordered by uniquifier.
+///
+/// ```
+/// use quicksand_core::op::OpLog;
+/// use quicksand_core::acid2::examples::CounterAdd;
+///
+/// let mut east = OpLog::new();
+/// let mut west = OpLog::new();
+/// east.record(CounterAdd::new(1, 50));
+/// west.record(CounterAdd::new(2, -20));
+/// west.record(CounterAdd::new(1, 50));   // the same op arrived there too
+/// east.merge(&west);                      // union: dedup + absorb
+/// assert_eq!(east.materialize(), 30);
+/// assert_eq!(east.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpLog<O: Operation> {
+    ops: BTreeMap<Uniquifier, O>,
+}
+
+impl<O: Operation> Default for OpLog<O> {
+    fn default() -> Self {
+        OpLog { ops: BTreeMap::new() }
+    }
+}
+
+impl<O: Operation> OpLog<O> {
+    /// An empty log.
+    pub fn new() -> Self {
+        OpLog::default()
+    }
+
+    /// Record an operation. Returns `true` if it was new, `false` if its
+    /// uniquifier had already been seen (the duplicate is discarded — the
+    /// idempotence half of ACID 2.0).
+    pub fn record(&mut self, op: O) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.ops.entry(op.id()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(op);
+                true
+            }
+        }
+    }
+
+    /// Absorb every operation from `other` that this log has not seen.
+    /// Returns how many were new. Merging is set union: commutative,
+    /// associative, idempotent.
+    pub fn merge(&mut self, other: &OpLog<O>) -> usize {
+        let mut absorbed = 0;
+        for op in other.ops.values() {
+            if self.record(op.clone()) {
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
+    /// The operations this log has that `other` lacks — the anti-entropy
+    /// delta to send.
+    pub fn diff(&self, other: &OpLog<O>) -> Vec<O> {
+        self.ops
+            .iter()
+            .filter(|(id, _)| !other.ops.contains_key(id))
+            .map(|(_, op)| op.clone())
+            .collect()
+    }
+
+    /// Replay the full set in canonical (uniquifier) order onto a default
+    /// state. Same set ⇒ same result, regardless of arrival order.
+    pub fn materialize(&self) -> O::State {
+        let mut s = O::State::default();
+        for op in self.ops.values() {
+            op.apply(&mut s);
+        }
+        s
+    }
+
+    /// Replay onto a caller-provided base state (used when a log is
+    /// periodically truncated into a snapshot, like the bank's monthly
+    /// statement in §6.2).
+    pub fn materialize_onto(&self, base: &O::State) -> O::State {
+        let mut s = base.clone();
+        for op in self.ops.values() {
+            op.apply(&mut s);
+        }
+        s
+    }
+
+    /// True if an operation with this uniquifier has been seen.
+    pub fn contains(&self, id: Uniquifier) -> bool {
+        self.ops.contains_key(&id)
+    }
+
+    /// The operation recorded under `id`, if any.
+    pub fn get(&self, id: Uniquifier) -> Option<&O> {
+        self.ops.get(&id)
+    }
+
+    /// Number of distinct operations seen.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations have been seen.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate operations in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &O> {
+        self.ops.values()
+    }
+
+    /// Iterate uniquifiers in canonical order.
+    pub fn ids(&self) -> impl Iterator<Item = Uniquifier> + '_ {
+        self.ops.keys().copied()
+    }
+
+    /// Drop every recorded operation, returning the state they
+    /// materialize to — used to roll a log over into an immutable
+    /// snapshot (the monthly statement pattern, §6.2).
+    pub fn truncate_into_snapshot(&mut self) -> O::State {
+        let s = self.materialize();
+        self.ops.clear();
+        s
+    }
+
+    /// True if the two logs contain exactly the same uniquifiers.
+    pub fn same_ops(&self, other: &OpLog<O>) -> bool {
+        self.len() == other.len() && self.ops.keys().eq(other.ops.keys())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A commutative test operation: add `delta` to a counter.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Add {
+        id: Uniquifier,
+        delta: i64,
+    }
+
+    impl Add {
+        fn new(n: u64, delta: i64) -> Self {
+            Add { id: Uniquifier::from_parts(0, n), delta }
+        }
+    }
+
+    impl Operation for Add {
+        type State = i64;
+        fn id(&self) -> Uniquifier {
+            self.id
+        }
+        fn apply(&self, state: &mut i64) {
+            *state += self.delta;
+        }
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let mut log = OpLog::new();
+        assert!(log.record(Add::new(1, 10)));
+        assert!(!log.record(Add::new(1, 10)));
+        assert!(!log.record(Add::new(1, 999))); // same id wins even if payload differs
+        assert_eq!(log.materialize(), 10);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn merge_is_union_and_counts_new_ops() {
+        let mut a = OpLog::new();
+        let mut b = OpLog::new();
+        a.record(Add::new(1, 1));
+        a.record(Add::new(2, 2));
+        b.record(Add::new(2, 2));
+        b.record(Add::new(3, 4));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.materialize(), 7);
+        assert_eq!(a.merge(&b), 0); // idempotent
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let ops: Vec<Add> = (0..20).map(|i| Add::new(i, i as i64)).collect();
+        let mut a = OpLog::new();
+        let mut b = OpLog::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(op.clone());
+            } else {
+                b.record(op.clone());
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert!(ab.same_ops(&ba));
+        assert_eq!(ab.materialize(), ba.materialize());
+    }
+
+    #[test]
+    fn materialization_is_arrival_order_independent() {
+        let mut fwd = OpLog::new();
+        let mut rev = OpLog::new();
+        let ops: Vec<Add> = (0..50).map(|i| Add::new(i, (i * 3) as i64)).collect();
+        for op in &ops {
+            fwd.record(op.clone());
+        }
+        for op in ops.iter().rev() {
+            rev.record(op.clone());
+        }
+        assert!(fwd.same_ops(&rev));
+        assert_eq!(fwd.materialize(), rev.materialize());
+    }
+
+    #[test]
+    fn diff_is_exactly_the_missing_ops() {
+        let mut a = OpLog::new();
+        let mut b = OpLog::new();
+        a.record(Add::new(1, 1));
+        a.record(Add::new(2, 2));
+        b.record(Add::new(1, 1));
+        let delta = a.diff(&b);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].id, Uniquifier::from_parts(0, 2));
+        assert!(b.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn snapshot_rollover_preserves_total_state() {
+        let mut log = OpLog::new();
+        log.record(Add::new(1, 100));
+        log.record(Add::new(2, -30));
+        let march = log.truncate_into_snapshot();
+        assert_eq!(march, 70);
+        assert!(log.is_empty());
+        log.record(Add::new(3, 5));
+        assert_eq!(log.materialize_onto(&march), 75);
+    }
+
+    #[test]
+    fn get_and_contains_work() {
+        let mut log = OpLog::new();
+        let op = Add::new(4, 9);
+        log.record(op.clone());
+        assert!(log.contains(op.id()));
+        assert_eq!(log.get(op.id()), Some(&op));
+        assert!(!log.contains(Uniquifier::from_parts(0, 99)));
+    }
+}

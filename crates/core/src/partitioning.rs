@@ -1,0 +1,191 @@
+//! The partitioning discipline of §2.3 (after \[15\], *Life Beyond
+//! Distributed Transactions*).
+//!
+//! "A scalable application must apply a discipline of partitioning its
+//! data into chunks which can remain on a single node even when
+//! repartitioned. Each chunk has a unique key... the idempotent
+//! sub-algorithms follow the same co-location: all of their data and
+//! behavior reside on a single node even in the presence of
+//! repartitioning."
+//!
+//! [`KeyRouter`] assigns each uniquely-keyed chunk to exactly one node
+//! using rendezvous (highest-random-weight) hashing: every (key, node)
+//! pair gets a deterministic score and the key lives on the
+//! highest-scoring live node. The property §2.3 needs falls out
+//! directly: when a node is added or removed, **only the chunks whose
+//! winner changed move** — everything else stays put, so the
+//! co-location of data and behaviour survives repartitioning.
+
+use crate::uniquifier::Uniquifier;
+
+/// Identifies a node in the routing pool.
+pub type NodeName = u64;
+
+fn score(key: Uniquifier, node: NodeName) -> u64 {
+    // Mix the key and node into a 64-bit score (splitmix-style finisher
+    // over the folded key).
+    let folded = (key.as_raw() >> 64) as u64 ^ key.as_raw() as u64;
+    let mut z = folded ^ node.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Routes uniquely-keyed chunks to nodes with minimal movement under
+/// membership change.
+///
+/// ```
+/// use quicksand_core::partitioning::KeyRouter;
+/// use quicksand_core::uniquifier::Uniquifier;
+///
+/// let mut router = KeyRouter::new(0..4);
+/// let chunk = Uniquifier::composite("customer", 42);
+/// let home = router.route(chunk);
+/// // Adding a node moves only the chunks the newcomer wins.
+/// router.add_node(9);
+/// assert!(router.route(chunk) == home || router.route(chunk) == 9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyRouter {
+    nodes: Vec<NodeName>,
+}
+
+impl KeyRouter {
+    /// A router over the given nodes.
+    pub fn new(nodes: impl IntoIterator<Item = NodeName>) -> Self {
+        let mut nodes: Vec<NodeName> = nodes.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        KeyRouter { nodes }
+    }
+
+    /// Add a node. Chunks it wins move to it; nothing else moves.
+    pub fn add_node(&mut self, node: NodeName) {
+        if !self.nodes.contains(&node) {
+            self.nodes.push(node);
+            self.nodes.sort_unstable();
+        }
+    }
+
+    /// Remove a node. Only its chunks move (each to its runner-up).
+    pub fn remove_node(&mut self, node: NodeName) {
+        self.nodes.retain(|n| *n != node);
+    }
+
+    /// The node a chunk lives on. Exactly one node owns each key at any
+    /// membership — the §2.3 invariant.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn route(&self, key: Uniquifier) -> NodeName {
+        assert!(!self.nodes.is_empty(), "routing with no nodes");
+        *self
+            .nodes
+            .iter()
+            .max_by_key(|n| (score(key, **n), **n))
+            .expect("nonempty")
+    }
+
+    /// The top `n` owners in preference order (for replicated chunks).
+    pub fn route_n(&self, key: Uniquifier, n: usize) -> Vec<NodeName> {
+        let mut scored: Vec<(u64, NodeName)> =
+            self.nodes.iter().map(|node| (score(key, *node), *node)).collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored.into_iter().take(n).map(|(_, node)| node).collect()
+    }
+
+    /// Number of nodes in the pool.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = Uniquifier> {
+        (0..n).map(|i| Uniquifier::composite("chunk", i))
+    }
+
+    #[test]
+    fn each_key_has_exactly_one_stable_owner() {
+        let router = KeyRouter::new(0..5);
+        for k in keys(500) {
+            assert_eq!(router.route(k), router.route(k));
+            assert!(router.route(k) < 5);
+        }
+    }
+
+    #[test]
+    fn load_spreads_roughly_evenly() {
+        let router = KeyRouter::new(0..4);
+        let mut counts = [0usize; 4];
+        for k in keys(4000) {
+            counts[router.route(k) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_chunks() {
+        let before = KeyRouter::new(0..5);
+        let mut after = before.clone();
+        after.remove_node(2);
+        let mut moved = 0;
+        for k in keys(2000) {
+            let b = before.route(k);
+            let a = after.route(k);
+            if b != a {
+                moved += 1;
+                assert_eq!(b, 2, "a chunk moved that didn't have to");
+            }
+        }
+        assert!((250..550).contains(&moved), "expected ~1/5 to move, got {moved}");
+    }
+
+    #[test]
+    fn adding_a_node_steals_only_what_it_wins() {
+        let before = KeyRouter::new(0..4);
+        let mut after = before.clone();
+        after.add_node(9);
+        let mut moved = 0;
+        for k in keys(2000) {
+            let b = before.route(k);
+            let a = after.route(k);
+            if b != a {
+                moved += 1;
+                assert_eq!(a, 9, "chunks may only move to the newcomer");
+            }
+        }
+        assert!((250..550).contains(&moved), "expected ~1/5 to move, got {moved}");
+    }
+
+    #[test]
+    fn route_n_gives_distinct_owners_in_preference_order() {
+        let router = KeyRouter::new(0..6);
+        for k in keys(100) {
+            let owners = router.route_n(k, 3);
+            assert_eq!(owners.len(), 3);
+            assert_eq!(owners[0], router.route(k));
+            let mut d = owners.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 3);
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut router = KeyRouter::new([1, 1, 2]);
+        router.add_node(2);
+        assert_eq!(router.len(), 2);
+    }
+}

@@ -1,0 +1,421 @@
+//! The "Seat Reservation" pattern (§7.3).
+//!
+//! Online selling of *non-fungible* resources moves the transaction
+//! "beyond the trust boundary" — an untrusted buyer could hold prime
+//! seats in an open transaction indefinitely (and resell them). The
+//! pattern bounds that exposure with three explicit states and a timeout:
+//!
+//! 1. `Available`
+//! 2. `PurchasePending { session, expires }` — held by a buyer session
+//!    for a bounded period ("typically minutes")
+//! 3. `Purchased { buyer }`
+//!
+//! "Individual database transactions are used to transition from one
+//! state to another and to durably enqueue requests to clean up seats
+//! abandoned in the 'purchase pending' state." [`SeatMap`] models each
+//! transition as an atomic state change and keeps the durable cleanup
+//! queue; [`SeatMap::expire`] is the cleanup worker draining it.
+//!
+//! Time is an abstract `u64` tick so this module stays independent of the
+//! simulator; callers feed whatever clock they have (the `sim` crate's
+//! microseconds, in our experiments).
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::fmt;
+
+/// Index of a seat in the venue.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SeatId(pub u32);
+
+/// An untrusted buyer session (browser tab, bot, ...).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SessionId(pub u64);
+
+/// A completed purchaser identity.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BuyerId(pub u64);
+
+/// The three states of §7.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeatState {
+    /// May be held by anyone.
+    Available,
+    /// Held by `session` until `expires` (exclusive): if the purchase has
+    /// not completed by then, cleanup returns the seat to `Available`.
+    PurchasePending {
+        /// The holding session.
+        session: SessionId,
+        /// Tick at which the hold lapses.
+        expires: u64,
+    },
+    /// Sold, with a valid purchase attached (the business rule: a seat is
+    /// "available" or "occupied and associated with a valid purchase").
+    Purchased {
+        /// The purchaser.
+        buyer: BuyerId,
+    },
+}
+
+/// Why a seat transition was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReservationError {
+    /// The seat id is outside the venue.
+    NoSuchSeat(SeatId),
+    /// Hold refused: the seat is pending under another session or sold.
+    NotAvailable(SeatId),
+    /// Purchase/release refused: the seat is not pending under this
+    /// session (wrong session, hold expired and cleaned, or never held).
+    NotHeldBySession(SeatId, SessionId),
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::NoSuchSeat(s) => write!(f, "no such seat {s:?}"),
+            ReservationError::NotAvailable(s) => write!(f, "seat {s:?} is not available"),
+            ReservationError::NotHeldBySession(s, sess) => {
+                write!(f, "seat {s:?} is not held by session {sess:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+/// The venue's seats plus the durable cleanup queue.
+///
+/// ```
+/// use quicksand_core::reservation::{BuyerId, SeatId, SeatMap, SessionId};
+///
+/// let mut venue = SeatMap::new(10);
+/// venue.hold(SeatId(0), SessionId(1), 0, 300).unwrap();      // pending
+/// venue.purchase(SeatId(0), SessionId(1), BuyerId(7), 60).unwrap();
+/// venue.hold(SeatId(1), SessionId(2), 0, 300).unwrap();      // abandoned...
+/// assert_eq!(venue.expire(300), vec![SeatId(1)]);            // ...and reclaimed
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeatMap {
+    seats: Vec<SeatState>,
+    /// Durable cleanup requests: (expiry tick, seat, session). Entries
+    /// are enqueued at hold time in the *same transaction* as the state
+    /// change; stale entries (seat since purchased or re-held) are
+    /// recognized and skipped at drain time.
+    cleanup: BinaryHeap<Reverse<(u64, u32, u64)>>,
+    holds_placed: u64,
+    holds_expired: u64,
+    purchases: u64,
+}
+
+impl SeatMap {
+    /// A venue with `n` seats, all available.
+    pub fn new(n: u32) -> Self {
+        SeatMap {
+            seats: vec![SeatState::Available; n as usize],
+            cleanup: BinaryHeap::new(),
+            holds_placed: 0,
+            holds_expired: 0,
+            purchases: 0,
+        }
+    }
+
+    /// Number of seats in the venue.
+    pub fn len(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// True if the venue has no seats.
+    pub fn is_empty(&self) -> bool {
+        self.seats.is_empty()
+    }
+
+    /// The current state of a seat.
+    pub fn state(&self, seat: SeatId) -> Result<SeatState, ReservationError> {
+        self.seats
+            .get(seat.0 as usize)
+            .copied()
+            .ok_or(ReservationError::NoSuchSeat(seat))
+    }
+
+    /// Transition `Available → PurchasePending` and durably enqueue the
+    /// cleanup request — one atomic "database transaction".
+    ///
+    /// A session re-holding a seat it already holds refreshes the expiry.
+    pub fn hold(
+        &mut self,
+        seat: SeatId,
+        session: SessionId,
+        now: u64,
+        ttl: u64,
+    ) -> Result<(), ReservationError> {
+        let slot = self
+            .seats
+            .get_mut(seat.0 as usize)
+            .ok_or(ReservationError::NoSuchSeat(seat))?;
+        match *slot {
+            SeatState::Available => {}
+            SeatState::PurchasePending { session: s, expires } if s == session => {
+                // Refresh is allowed; fall through to re-hold.
+                let _ = expires;
+            }
+            SeatState::PurchasePending { expires, .. } if expires <= now => {
+                // Lapsed but not yet cleaned: treat as available.
+            }
+            _ => return Err(ReservationError::NotAvailable(seat)),
+        }
+        let expires = now + ttl;
+        *slot = SeatState::PurchasePending { session, expires };
+        self.cleanup.push(Reverse((expires, seat.0, session.0)));
+        self.holds_placed += 1;
+        Ok(())
+    }
+
+    /// Transition `PurchasePending → Purchased`, validating the session.
+    pub fn purchase(
+        &mut self,
+        seat: SeatId,
+        session: SessionId,
+        buyer: BuyerId,
+        now: u64,
+    ) -> Result<(), ReservationError> {
+        let slot = self
+            .seats
+            .get_mut(seat.0 as usize)
+            .ok_or(ReservationError::NoSuchSeat(seat))?;
+        match *slot {
+            SeatState::PurchasePending { session: s, expires } if s == session && expires > now => {
+                *slot = SeatState::Purchased { buyer };
+                self.purchases += 1;
+                Ok(())
+            }
+            _ => Err(ReservationError::NotHeldBySession(seat, session)),
+        }
+    }
+
+    /// Transition `PurchasePending → Available` when the buyer reneges
+    /// voluntarily (the rollback path of the trusted-agent scheme).
+    pub fn release(
+        &mut self,
+        seat: SeatId,
+        session: SessionId,
+    ) -> Result<(), ReservationError> {
+        let slot = self
+            .seats
+            .get_mut(seat.0 as usize)
+            .ok_or(ReservationError::NoSuchSeat(seat))?;
+        match *slot {
+            SeatState::PurchasePending { session: s, .. } if s == session => {
+                *slot = SeatState::Available;
+                Ok(())
+            }
+            _ => Err(ReservationError::NotHeldBySession(seat, session)),
+        }
+    }
+
+    /// Drain the cleanup queue up to `now`: every seat still pending
+    /// under a lapsed hold returns to `Available`. Returns the seats
+    /// freed. Stale queue entries (purchased meanwhile, re-held with a
+    /// fresher expiry, or released) are skipped — the queue is a set of
+    /// *requests to look*, not authoritative state.
+    pub fn expire(&mut self, now: u64) -> Vec<SeatId> {
+        let mut freed = Vec::new();
+        while let Some(Reverse((expires, seat, session))) = self.cleanup.peek().copied() {
+            if expires > now {
+                break;
+            }
+            self.cleanup.pop();
+            let slot = &mut self.seats[seat as usize];
+            if let SeatState::PurchasePending { session: s, expires: e } = *slot {
+                if s.0 == session && e == expires {
+                    *slot = SeatState::Available;
+                    self.holds_expired += 1;
+                    freed.push(SeatId(seat));
+                }
+            }
+        }
+        freed
+    }
+
+    /// Count of seats currently in each state:
+    /// `(available, pending, purchased)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for s in &self.seats {
+            match s {
+                SeatState::Available => counts.0 += 1,
+                SeatState::PurchasePending { .. } => counts.1 += 1,
+                SeatState::Purchased { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The business-rule invariant of §7.3: every seat is available,
+    /// pending with a bounded (finite) expiry, or purchased with a buyer.
+    /// Additionally no pending seat may have lapsed by more than the
+    /// cleanup queue can explain. Returns a description of the first
+    /// violation found.
+    pub fn check_invariant(&self, now: u64, max_cleanup_lag: u64) -> Result<(), String> {
+        for (i, s) in self.seats.iter().enumerate() {
+            if let SeatState::PurchasePending { expires, .. } = s {
+                if now > *expires + max_cleanup_lag {
+                    return Err(format!(
+                        "seat {i} pending past expiry {expires} at {now} (lag > {max_cleanup_lag})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lifetime counters: (holds placed, holds expired by cleanup,
+    /// purchases completed).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.holds_placed, self.holds_expired, self.purchases)
+    }
+
+    /// The first available seat, if any (buyers want "the best seat":
+    /// lowest index = primest seat).
+    pub fn best_available(&self) -> Option<SeatId> {
+        self.seats
+            .iter()
+            .position(|s| matches!(s, SeatState::Available))
+            .map(|i| SeatId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: u64 = 300; // "typically minutes"
+
+    #[test]
+    fn happy_path_hold_then_purchase() {
+        let mut m = SeatMap::new(4);
+        let seat = SeatId(0);
+        let sess = SessionId(1);
+        m.hold(seat, sess, 0, TTL).unwrap();
+        assert!(matches!(m.state(seat).unwrap(), SeatState::PurchasePending { .. }));
+        m.purchase(seat, sess, BuyerId(9), 10).unwrap();
+        assert_eq!(m.state(seat).unwrap(), SeatState::Purchased { buyer: BuyerId(9) });
+        assert_eq!(m.census(), (3, 0, 1));
+    }
+
+    #[test]
+    fn competing_session_cannot_hold_or_buy_a_pending_seat() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        assert_eq!(
+            m.hold(SeatId(0), SessionId(2), 1, TTL),
+            Err(ReservationError::NotAvailable(SeatId(0)))
+        );
+        assert_eq!(
+            m.purchase(SeatId(0), SessionId(2), BuyerId(7), 1),
+            Err(ReservationError::NotHeldBySession(SeatId(0), SessionId(2)))
+        );
+    }
+
+    #[test]
+    fn lapsed_holds_are_cleaned_and_seat_returns() {
+        let mut m = SeatMap::new(2);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        assert!(m.expire(TTL - 1).is_empty());
+        let freed = m.expire(TTL);
+        assert_eq!(freed, vec![SeatId(0)]);
+        assert_eq!(m.state(SeatId(0)).unwrap(), SeatState::Available);
+        // A new session can now hold it.
+        m.hold(SeatId(0), SessionId(2), TTL + 1, TTL).unwrap();
+    }
+
+    #[test]
+    fn purchase_after_expiry_is_refused_even_before_cleanup_runs() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        // Cleanup hasn't run, but the hold has lapsed.
+        assert!(m.purchase(SeatId(0), SessionId(1), BuyerId(1), TTL).is_err());
+    }
+
+    #[test]
+    fn lapsed_but_uncleaned_seat_can_be_held_by_newcomer() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        // After lapse, a newcomer takes it without waiting for the worker.
+        m.hold(SeatId(0), SessionId(2), TTL, TTL).unwrap();
+        // The stale cleanup entry must not free the seat under session 2.
+        let freed = m.expire(TTL);
+        assert!(freed.is_empty());
+        assert!(matches!(
+            m.state(SeatId(0)).unwrap(),
+            SeatState::PurchasePending { session: SessionId(2), .. }
+        ));
+    }
+
+    #[test]
+    fn refresh_extends_the_hold_and_stale_cleanup_is_skipped() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        m.hold(SeatId(0), SessionId(1), 100, TTL).unwrap(); // expires 400
+        let freed = m.expire(300); // original entry lapses; hold refreshed
+        assert!(freed.is_empty());
+        m.purchase(SeatId(0), SessionId(1), BuyerId(5), 399).unwrap();
+    }
+
+    #[test]
+    fn voluntary_release_returns_the_seat() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        m.release(SeatId(0), SessionId(1)).unwrap();
+        assert_eq!(m.state(SeatId(0)).unwrap(), SeatState::Available);
+        // Cleanup entry for the released hold is stale and harmless.
+        assert!(m.expire(TTL).is_empty());
+    }
+
+    #[test]
+    fn purchased_seats_are_never_expired() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        m.purchase(SeatId(0), SessionId(1), BuyerId(2), 10).unwrap();
+        assert!(m.expire(u64::MAX).is_empty());
+        assert_eq!(m.state(SeatId(0)).unwrap(), SeatState::Purchased { buyer: BuyerId(2) });
+    }
+
+    #[test]
+    fn invariant_detects_unbounded_pending() {
+        let mut m = SeatMap::new(1);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        assert!(m.check_invariant(TTL, 100).is_ok());
+        // If cleanup never runs, the invariant flags it.
+        assert!(m.check_invariant(TTL + 101, 100).is_err());
+        m.expire(TTL + 101);
+        assert!(m.check_invariant(TTL + 101, 100).is_ok());
+    }
+
+    #[test]
+    fn best_available_prefers_prime_seats() {
+        let mut m = SeatMap::new(3);
+        assert_eq!(m.best_available(), Some(SeatId(0)));
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        assert_eq!(m.best_available(), Some(SeatId(1)));
+    }
+
+    #[test]
+    fn out_of_range_seats_error() {
+        let mut m = SeatMap::new(1);
+        assert_eq!(m.state(SeatId(5)), Err(ReservationError::NoSuchSeat(SeatId(5))));
+        assert_eq!(
+            m.hold(SeatId(5), SessionId(1), 0, TTL),
+            Err(ReservationError::NoSuchSeat(SeatId(5)))
+        );
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let mut m = SeatMap::new(2);
+        m.hold(SeatId(0), SessionId(1), 0, TTL).unwrap();
+        m.hold(SeatId(1), SessionId(2), 0, TTL).unwrap();
+        m.purchase(SeatId(0), SessionId(1), BuyerId(1), 5).unwrap();
+        m.expire(TTL);
+        assert_eq!(m.stats(), (2, 1, 1));
+    }
+}

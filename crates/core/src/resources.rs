@@ -1,0 +1,548 @@
+//! Resource management under asynchrony (§7): over-booking versus
+//! over-provisioning, fungibility, and the return of redundantly
+//! allocated resources.
+//!
+//! "Since these replicas will sometimes be incommunicado, we must
+//! consider the policy used for allocating resources while not in
+//! communication" (§7.1). Two policies:
+//!
+//! - [`ProvisionedReplica`] — **over-provisioning**: each replica owns a
+//!   fixed quota it can never exceed, so it never promises what it cannot
+//!   deliver — but unsold quota strands at replicas that happen to see
+//!   less demand, and business is declined that the system as a whole
+//!   could have served.
+//! - [`OverbookedReplica`] — **over-booking**: replicas allocate against
+//!   their best knowledge of *total* sales, optionally past nominal
+//!   capacity by a booking factor (airlines' 15%). More business is
+//!   accepted; occasionally commitments exceed reality and
+//!   [`settle`] computes who must receive an apology.
+//!
+//! [`rebalance`] implements the paper's "you can dynamically slide
+//! between these positions (while you are connected)": unused quota moves
+//! toward the replicas that have been declining demand.
+//!
+//! [`Fungibility`] captures §7.4: a pork-belly-style fungible pool can
+//! absorb a redundant allocation by simply returning the count, while a
+//! unique resource (the one Gutenberg bible) turns the same mistake into
+//! an apology.
+
+use std::collections::BTreeMap;
+
+use crate::uniquifier::Uniquifier;
+
+/// Whether a resource is interchangeable (§7.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fungibility {
+    /// "A king sized non-smoking room": any unit satisfies the request,
+    /// so redundant grants are silently returned to the pool.
+    Fungible,
+    /// "Room 301 at the Hilton" / the Gutenberg bible: a specific item;
+    /// a redundant grant means two promises of the same thing — apology.
+    Unique,
+}
+
+/// The outcome of one allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The replica granted the request.
+    Granted,
+    /// The replica declined: by policy it could not promise the goods.
+    Declined {
+        /// Why (for the experiment report).
+        reason: String,
+    },
+    /// This uniquifier was already granted here — retry collapsed.
+    Duplicate,
+}
+
+impl AllocOutcome {
+    /// True for a fresh grant.
+    pub fn granted(&self) -> bool {
+        matches!(self, AllocOutcome::Granted)
+    }
+}
+
+/// A grant that turned out to be redundant once replicas compared notes:
+/// the same uniquifier was granted at two replicas (§7.5). For fungible
+/// goods the quantity goes back in the pool; for unique goods somebody
+/// gets an apology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateGrant {
+    /// The doubly-granted unit of work.
+    pub id: Uniquifier,
+    /// The replica whose grant stands.
+    pub kept_at: u32,
+    /// The replica whose grant is redundant.
+    pub redundant_at: u32,
+    /// Quantity redundantly allocated.
+    pub qty: u64,
+}
+
+// ---------------------------------------------------------------------
+// Over-provisioning
+// ---------------------------------------------------------------------
+
+/// A replica under over-provisioning: it owns `quota` units outright and
+/// can never allocate beyond them.
+#[derive(Debug, Clone)]
+pub struct ProvisionedReplica {
+    /// This replica's id (for reports and duplicate attribution).
+    pub replica: u32,
+    quota: u64,
+    used: u64,
+    grants: BTreeMap<Uniquifier, u64>,
+    declined: u64,
+}
+
+impl ProvisionedReplica {
+    /// A replica owning `quota` units.
+    pub fn new(replica: u32, quota: u64) -> Self {
+        ProvisionedReplica { replica, quota, used: 0, grants: BTreeMap::new(), declined: 0 }
+    }
+
+    /// Request `qty` units for the uniquely identified unit of work.
+    pub fn try_allocate(&mut self, id: Uniquifier, qty: u64) -> AllocOutcome {
+        if self.grants.contains_key(&id) {
+            return AllocOutcome::Duplicate;
+        }
+        if self.used + qty > self.quota {
+            self.declined += 1;
+            return AllocOutcome::Declined {
+                reason: format!(
+                    "quota exhausted: {} used of {} (requested {qty})",
+                    self.used, self.quota
+                ),
+            };
+        }
+        self.used += qty;
+        self.grants.insert(id, qty);
+        AllocOutcome::Granted
+    }
+
+    /// Return a previous grant to the pool (cancellation / compensation).
+    /// Returns the quantity released, or `None` if the id was unknown.
+    pub fn release(&mut self, id: Uniquifier) -> Option<u64> {
+        let qty = self.grants.remove(&id)?;
+        self.used -= qty;
+        Some(qty)
+    }
+
+    /// Units still available at this replica.
+    pub fn remaining(&self) -> u64 {
+        self.quota - self.used
+    }
+
+    /// Units allocated at this replica.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// This replica's quota.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Requests declined because the quota was exhausted.
+    pub fn declined_count(&self) -> u64 {
+        self.declined
+    }
+
+    /// Move `qty` of *unused* quota to another replica. Used while
+    /// connected to slide toward where demand is (§7.1). Fails (returns
+    /// `false`) if this replica doesn't have that much headroom.
+    pub fn transfer_quota(&mut self, to: &mut ProvisionedReplica, qty: u64) -> bool {
+        if self.remaining() < qty {
+            return false;
+        }
+        self.quota -= qty;
+        to.quota += qty;
+        true
+    }
+}
+
+/// Slide unused quota toward demand (§7.1's dynamic position): each
+/// replica's share of the total *unused* quota is reset proportionally to
+/// its recent declines (replicas that declined more get more headroom).
+/// Call while replicas are "connected"; between calls they operate
+/// independently. Resets decline counters.
+pub fn rebalance(replicas: &mut [ProvisionedReplica]) {
+    if replicas.len() < 2 {
+        return;
+    }
+    let total_unused: u64 = replicas.iter().map(|r| r.remaining()).sum();
+    let total_declines: u64 = replicas.iter().map(|r| r.declined).sum();
+    let n = replicas.len() as u64;
+    // Target unused share: proportional to declines, uniform when no one
+    // declined.
+    let mut targets: Vec<u64> = if total_declines == 0 {
+        let base = total_unused / n;
+        let mut t = vec![base; replicas.len()];
+        // Distribute the remainder deterministically.
+        let mut rem = total_unused - base * n;
+        for slot in t.iter_mut() {
+            if rem == 0 {
+                break;
+            }
+            *slot += 1;
+            rem -= 1;
+        }
+        t
+    } else {
+        let mut t: Vec<u64> = replicas
+            .iter()
+            .map(|r| total_unused * r.declined / total_declines)
+            .collect();
+        let assigned: u64 = t.iter().sum();
+        let mut rem = total_unused - assigned;
+        for slot in t.iter_mut() {
+            if rem == 0 {
+                break;
+            }
+            *slot += 1;
+            rem -= 1;
+        }
+        t
+    };
+    // Set each quota to used + target headroom.
+    for (r, target) in replicas.iter_mut().zip(targets.drain(..)) {
+        r.quota = r.used + target;
+        r.declined = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Over-booking
+// ---------------------------------------------------------------------
+
+/// A replica under over-booking: all replicas share one nominal capacity;
+/// each admits sales whenever *its current knowledge* of total sales,
+/// plus the request, fits under `capacity × booking_factor`.
+#[derive(Debug, Clone)]
+pub struct OverbookedReplica {
+    /// This replica's id.
+    pub replica: u32,
+    capacity: u64,
+    booking_factor: f64,
+    /// Grants made here.
+    local: BTreeMap<Uniquifier, u64>,
+    /// Grants learned from other replicas (id → qty).
+    known_remote: BTreeMap<Uniquifier, u64>,
+    /// Cached sums of the two maps (kept in lockstep so admission is
+    /// O(log n) instead of re-summing on every request).
+    local_total: u64,
+    remote_total: u64,
+    declined: u64,
+}
+
+impl OverbookedReplica {
+    /// A replica selling against shared `capacity`, willing to book up to
+    /// `capacity * booking_factor` (1.0 = never knowingly oversell;
+    /// 1.15 = the airline's 15%).
+    pub fn new(replica: u32, capacity: u64, booking_factor: f64) -> Self {
+        assert!(booking_factor >= 1.0, "booking factor below 1.0 strands capacity");
+        OverbookedReplica {
+            replica,
+            capacity,
+            booking_factor,
+            local: BTreeMap::new(),
+            known_remote: BTreeMap::new(),
+            local_total: 0,
+            remote_total: 0,
+            declined: 0,
+        }
+    }
+
+    /// Total sales this replica *knows about* (its own plus learned).
+    pub fn known_sold(&self) -> u64 {
+        debug_assert_eq!(self.local_total, self.local.values().sum::<u64>());
+        debug_assert_eq!(self.remote_total, self.known_remote.values().sum::<u64>());
+        self.local_total + self.remote_total
+    }
+
+    /// The booking limit this replica honours. Rounded to the nearest
+    /// unit so `100 × 1.15` is 115 despite binary-float representation.
+    pub fn booking_limit(&self) -> u64 {
+        (self.capacity as f64 * self.booking_factor).round() as u64
+    }
+
+    /// Request `qty` units for the uniquely identified unit of work.
+    pub fn try_allocate(&mut self, id: Uniquifier, qty: u64) -> AllocOutcome {
+        if self.local.contains_key(&id) || self.known_remote.contains_key(&id) {
+            return AllocOutcome::Duplicate;
+        }
+        if self.known_sold() + qty > self.booking_limit() {
+            self.declined += 1;
+            return AllocOutcome::Declined {
+                reason: format!(
+                    "booking limit reached: knows {} sold of limit {}",
+                    self.known_sold(),
+                    self.booking_limit()
+                ),
+            };
+        }
+        self.local.insert(id, qty);
+        self.local_total += qty;
+        AllocOutcome::Granted
+    }
+
+    /// Exchange knowledge with another replica (anti-entropy). Also
+    /// detects grants made redundantly at both (same uniquifier sold
+    /// twice, §7.5); the lower replica id keeps the sale.
+    pub fn sync(&mut self, other: &mut OverbookedReplica) -> Vec<DuplicateGrant> {
+        let mut dups = Vec::new();
+        // Detect double-grants before merging knowledge.
+        for (id, qty) in &self.local {
+            if other.local.contains_key(id) {
+                let (kept_at, redundant_at) = if self.replica <= other.replica {
+                    (self.replica, other.replica)
+                } else {
+                    (other.replica, self.replica)
+                };
+                dups.push(DuplicateGrant { id: *id, kept_at, redundant_at, qty: *qty });
+            }
+        }
+        // The redundant copy is removed from its holder's local grants;
+        // totals shrink by whatever that holder had actually recorded.
+        for d in &dups {
+            if d.redundant_at == self.replica {
+                if let Some(q) = self.local.remove(&d.id) {
+                    self.local_total -= q;
+                }
+            } else if let Some(q) = other.local.remove(&d.id) {
+                other.local_total -= q;
+            }
+        }
+        // Merge each other's local + remote knowledge.
+        for (id, qty) in other.local.iter().chain(other.known_remote.iter()) {
+            if !self.local.contains_key(id)
+                && self.known_remote.insert(*id, *qty).is_none()
+            {
+                self.remote_total += qty;
+            }
+        }
+        for (id, qty) in self.local.iter().chain(self.known_remote.iter()) {
+            if !other.local.contains_key(id)
+                && other.known_remote.insert(*id, *qty).is_none()
+            {
+                other.remote_total += qty;
+            }
+        }
+        dups
+    }
+
+    /// Units granted locally at this replica.
+    pub fn local_sold(&self) -> u64 {
+        self.local_total
+    }
+
+    /// Requests declined at this replica.
+    pub fn declined_count(&self) -> u64 {
+        self.declined
+    }
+
+    /// Grant ids and quantities made at this replica (for settlement).
+    pub fn local_grants(&self) -> impl Iterator<Item = (Uniquifier, u64)> + '_ {
+        self.local.iter().map(|(id, q)| (*id, *q))
+    }
+
+    /// Nominal capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// The result of settling an over-booked system against reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Settlement {
+    /// Units actually promised across all replicas.
+    pub total_sold: u64,
+    /// Nominal capacity.
+    pub capacity: u64,
+    /// Units promised beyond capacity — each one is an apology owed.
+    pub oversold: u64,
+    /// The grants selected to be bumped, newest uniquifier first
+    /// (deterministic; real airlines have their own policies).
+    pub bumped: Vec<(Uniquifier, u64)>,
+}
+
+/// Settle an over-booked system: after full knowledge exchange, compare
+/// total promises against capacity and choose which grants to bump.
+pub fn settle(replicas: &[OverbookedReplica]) -> Settlement {
+    let capacity = replicas.first().map(|r| r.capacity).unwrap_or(0);
+    let mut all: BTreeMap<Uniquifier, u64> = BTreeMap::new();
+    for r in replicas {
+        for (id, qty) in r.local_grants() {
+            all.insert(id, qty);
+        }
+    }
+    let total_sold: u64 = all.values().sum();
+    let oversold = total_sold.saturating_sub(capacity);
+    let mut bumped = Vec::new();
+    if oversold > 0 {
+        let mut to_shed = oversold;
+        for (id, qty) in all.iter().rev() {
+            if to_shed == 0 {
+                break;
+            }
+            let shed = (*qty).min(to_shed);
+            bumped.push((*id, shed));
+            to_shed -= shed;
+        }
+    }
+    Settlement { total_sold, capacity, oversold, bumped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> Uniquifier {
+        Uniquifier::from_parts(3, n)
+    }
+
+    #[test]
+    fn provisioned_replica_never_exceeds_quota() {
+        let mut r = ProvisionedReplica::new(0, 10);
+        assert!(r.try_allocate(id(1), 6).granted());
+        assert!(r.try_allocate(id(2), 4).granted());
+        assert!(matches!(r.try_allocate(id(3), 1), AllocOutcome::Declined { .. }));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.declined_count(), 1);
+    }
+
+    #[test]
+    fn provisioned_retry_is_duplicate_not_double_spend() {
+        let mut r = ProvisionedReplica::new(0, 10);
+        assert!(r.try_allocate(id(1), 6).granted());
+        assert_eq!(r.try_allocate(id(1), 6), AllocOutcome::Duplicate);
+        assert_eq!(r.used(), 6);
+    }
+
+    #[test]
+    fn release_returns_quantity_to_quota() {
+        let mut r = ProvisionedReplica::new(0, 10);
+        r.try_allocate(id(1), 6);
+        assert_eq!(r.release(id(1)), Some(6));
+        assert_eq!(r.release(id(1)), None);
+        assert_eq!(r.remaining(), 10);
+    }
+
+    #[test]
+    fn quota_transfer_moves_headroom() {
+        let mut a = ProvisionedReplica::new(0, 10);
+        let mut b = ProvisionedReplica::new(1, 10);
+        a.try_allocate(id(1), 8);
+        assert!(!a.transfer_quota(&mut b, 5)); // only 2 unused
+        assert!(a.transfer_quota(&mut b, 2));
+        assert_eq!(a.quota(), 8);
+        assert_eq!(b.quota(), 12);
+        assert_eq!(a.remaining(), 0);
+    }
+
+    #[test]
+    fn rebalance_moves_unused_quota_toward_declines() {
+        let mut rs = vec![ProvisionedReplica::new(0, 500), ProvisionedReplica::new(1, 500)];
+        // Replica 0 sees all the demand and runs dry.
+        for i in 0..500 {
+            assert!(rs[0].try_allocate(id(i), 1).granted());
+        }
+        for i in 500..600 {
+            assert!(!rs[0].try_allocate(id(i), 1).granted());
+        }
+        rebalance(&mut rs);
+        // All 500 unused units now sit with replica 0 (it had all declines).
+        assert_eq!(rs[0].remaining(), 500);
+        assert_eq!(rs[1].remaining(), 0);
+        assert_eq!(rs[0].quota() + rs[1].quota(), 1000);
+    }
+
+    #[test]
+    fn rebalance_splits_evenly_without_demand_signal() {
+        let mut rs = vec![ProvisionedReplica::new(0, 900), ProvisionedReplica::new(1, 100)];
+        rebalance(&mut rs);
+        assert_eq!(rs[0].remaining(), 500);
+        assert_eq!(rs[1].remaining(), 500);
+    }
+
+    #[test]
+    fn overbooked_replicas_can_jointly_oversell_while_disconnected() {
+        let mut a = OverbookedReplica::new(0, 100, 1.0);
+        let mut b = OverbookedReplica::new(1, 100, 1.0);
+        for i in 0..80 {
+            assert!(a.try_allocate(id(i), 1).granted());
+        }
+        for i in 100..180 {
+            assert!(b.try_allocate(id(i), 1).granted());
+        }
+        // Each sold 80 against capacity 100 — locally fine, jointly 160.
+        let s = settle(&[a.clone(), b.clone()]);
+        assert_eq!(s.total_sold, 160);
+        assert_eq!(s.oversold, 60);
+        assert_eq!(s.bumped.iter().map(|(_, q)| q).sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn sync_stops_further_overselling() {
+        let mut a = OverbookedReplica::new(0, 100, 1.0);
+        let mut b = OverbookedReplica::new(1, 100, 1.0);
+        for i in 0..60 {
+            a.try_allocate(id(i), 1);
+        }
+        for i in 100..160 {
+            b.try_allocate(id(i), 1);
+        }
+        a.sync(&mut b);
+        // Both now know 120 are sold; capacity 100 — everything declines.
+        assert!(!a.try_allocate(id(999), 1).granted());
+        assert!(!b.try_allocate(id(998), 1).granted());
+        assert_eq!(a.known_sold(), 120);
+        assert_eq!(b.known_sold(), 120);
+    }
+
+    #[test]
+    fn booking_factor_permits_deliberate_overbooking() {
+        let mut a = OverbookedReplica::new(0, 100, 1.15);
+        for i in 0..115 {
+            assert!(a.try_allocate(id(i), 1).granted(), "i={i}");
+        }
+        assert!(!a.try_allocate(id(200), 1).granted());
+        let s = settle(&[a]);
+        assert_eq!(s.oversold, 15);
+    }
+
+    #[test]
+    fn sync_detects_double_grants_and_keeps_lowest_replica() {
+        let mut a = OverbookedReplica::new(0, 100, 1.0);
+        let mut b = OverbookedReplica::new(1, 100, 1.0);
+        // The same purchase order (same uniquifier) reached both replicas.
+        a.try_allocate(id(7), 3);
+        b.try_allocate(id(7), 3);
+        let dups = a.sync(&mut b);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].kept_at, 0);
+        assert_eq!(dups[0].redundant_at, 1);
+        assert_eq!(dups[0].qty, 3);
+        // Only one copy counts after reconciliation.
+        assert_eq!(a.known_sold(), 3);
+        assert_eq!(b.known_sold(), 3);
+        let s = settle(&[a, b]);
+        assert_eq!(s.total_sold, 3);
+    }
+
+    #[test]
+    fn duplicate_retry_at_same_replica_is_collapsed() {
+        let mut a = OverbookedReplica::new(0, 100, 1.0);
+        assert!(a.try_allocate(id(1), 5).granted());
+        assert_eq!(a.try_allocate(id(1), 5), AllocOutcome::Duplicate);
+        assert_eq!(a.local_sold(), 5);
+    }
+
+    #[test]
+    fn settlement_with_headroom_bumps_nobody() {
+        let mut a = OverbookedReplica::new(0, 100, 1.0);
+        a.try_allocate(id(1), 10);
+        let s = settle(&[a]);
+        assert_eq!(s.oversold, 0);
+        assert!(s.bumped.is_empty());
+    }
+}

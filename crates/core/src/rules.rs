@@ -1,0 +1,254 @@
+//! Probabilistic business rules and the "stomach for risk" (§5.2, §5.5).
+//!
+//! "If a primary uses asynchronous checkpointing and applies a business
+//! rule on the incoming work, it is necessarily a probabilistic rule."
+//! (§5.2) This module provides the vocabulary for that reality:
+//!
+//! - [`BusinessRule`] — a predicate over application state ("don't
+//!   overdraw the account", "don't overbook the plane by more than 15%")
+//!   that replicas evaluate against whatever *local* knowledge they have.
+//! - [`GuaranteeClass`] / [`RiskPolicy`] — the per-operation choice of
+//!   §5.5: some operations are cleared on local opinion (a guess), others
+//!   "slow down, eat the latency, and make darn sure before promising"
+//!   (coordinate). The canonical instance is [`ValueThreshold`]: clear a
+//!   check locally under $10,000, coordinate above.
+
+use std::fmt;
+
+/// The verdict of evaluating a rule against some state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleOutcome {
+    /// The rule holds on the evaluated state.
+    Satisfied,
+    /// The rule is violated; the string describes how (it becomes the
+    /// apology text if the violation survives reconciliation).
+    Violated(String),
+}
+
+impl RuleOutcome {
+    /// True if the rule held.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, RuleOutcome::Satisfied)
+    }
+}
+
+/// A business rule over application state `S`.
+///
+/// Rules are evaluated at two moments: at **admission** (against a
+/// replica's local state plus the candidate operation — a guess, §5.7)
+/// and at **audit** (against reconciled state — where the "Oh, crap!"
+/// moments surface, §5.7).
+pub trait BusinessRule<S>: fmt::Debug {
+    /// Stable rule name, used for apology attribution and dedup.
+    fn name(&self) -> &str;
+    /// Evaluate the rule against a state.
+    fn check(&self, state: &S) -> RuleOutcome;
+}
+
+/// A rule built from a closure: `MinRule::new("no-overdraft", |s| s.balance, 0)`
+/// style bounds are the common case in the paper's examples.
+pub struct PredicateRule<S> {
+    name: String,
+    predicate: Box<dyn Fn(&S) -> RuleOutcome>,
+}
+
+impl<S> PredicateRule<S> {
+    /// Wrap a closure as a named rule.
+    pub fn new(name: impl Into<String>, predicate: impl Fn(&S) -> RuleOutcome + 'static) -> Self {
+        PredicateRule { name: name.into(), predicate: Box::new(predicate) }
+    }
+
+    /// A lower-bound rule on an extracted quantity: violated when the
+    /// quantity drops below `min` ("don't overdraw the checking
+    /// account").
+    pub fn min_bound(
+        name: impl Into<String>,
+        extract: impl Fn(&S) -> i64 + 'static,
+        min: i64,
+    ) -> Self {
+        let name = name.into();
+        let rule_name = name.clone();
+        PredicateRule::new(name, move |s| {
+            let v = extract(s);
+            if v < min {
+                RuleOutcome::Violated(format!("{rule_name}: value {v} below minimum {min}"))
+            } else {
+                RuleOutcome::Satisfied
+            }
+        })
+    }
+
+    /// An upper-bound rule: violated when the quantity exceeds `max`
+    /// ("don't overbook the airplane by more than 15%").
+    pub fn max_bound(
+        name: impl Into<String>,
+        extract: impl Fn(&S) -> i64 + 'static,
+        max: i64,
+    ) -> Self {
+        let name = name.into();
+        let rule_name = name.clone();
+        PredicateRule::new(name, move |s| {
+            let v = extract(s);
+            if v > max {
+                RuleOutcome::Violated(format!("{rule_name}: value {v} above maximum {max}"))
+            } else {
+                RuleOutcome::Satisfied
+            }
+        })
+    }
+}
+
+impl<S> fmt::Debug for PredicateRule<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PredicateRule({})", self.name)
+    }
+}
+
+impl<S> BusinessRule<S> for PredicateRule<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn check(&self, state: &S) -> RuleOutcome {
+        (self.predicate)(state)
+    }
+}
+
+/// How much truth an operation demands before it is acknowledged (§5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuaranteeClass {
+    /// Proceed on local knowledge; accept the probability of apologizing
+    /// later. Low latency, probabilistic enforcement.
+    Guess,
+    /// "Double check with all the replicas to make sure" — coordinate
+    /// synchronously before promising. High latency, crisp enforcement.
+    Coordinate,
+}
+
+/// Classifies each operation into a [`GuaranteeClass`] — the paper's
+/// observation that the consistency/availability trade "may frequently be
+/// applied across many different aspects at many levels of granularity
+/// within a single application" (§5.5).
+pub trait RiskPolicy<O>: fmt::Debug {
+    /// Decide how much guarantee this operation must buy.
+    fn classify(&self, op: &O) -> GuaranteeClass;
+}
+
+/// Every operation is a guess — maximum availability, maximum apology
+/// exposure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysGuess;
+
+impl<O> RiskPolicy<O> for AlwaysGuess {
+    fn classify(&self, _op: &O) -> GuaranteeClass {
+        GuaranteeClass::Guess
+    }
+}
+
+/// Every operation coordinates — classic consistency, full latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysCoordinate;
+
+impl<O> RiskPolicy<O> for AlwaysCoordinate {
+    fn classify(&self, _op: &O) -> GuaranteeClass {
+        GuaranteeClass::Coordinate
+    }
+}
+
+/// The paper's canonical policy (§5.5): operations whose extracted value
+/// is at or above the threshold coordinate; smaller ones are guessed.
+/// "Locally clear a check if the face value is less than $10,000."
+pub struct ValueThreshold<O> {
+    threshold: i64,
+    value_of: Box<dyn Fn(&O) -> i64>,
+}
+
+impl<O> ValueThreshold<O> {
+    /// A threshold policy extracting the at-risk value from an operation.
+    pub fn new(threshold: i64, value_of: impl Fn(&O) -> i64 + 'static) -> Self {
+        ValueThreshold { threshold, value_of: Box::new(value_of) }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> i64 {
+        self.threshold
+    }
+}
+
+impl<O> fmt::Debug for ValueThreshold<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ValueThreshold({})", self.threshold)
+    }
+}
+
+impl<O> RiskPolicy<O> for ValueThreshold<O> {
+    fn classify(&self, op: &O) -> GuaranteeClass {
+        if (self.value_of)(op) >= self.threshold {
+            GuaranteeClass::Coordinate
+        } else {
+            GuaranteeClass::Guess
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::inconsistent_digit_grouping)] // amounts written as dollars_cents
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, Default, PartialEq)]
+    struct Account {
+        balance: i64,
+    }
+
+    #[test]
+    fn min_bound_rule_fires_below_minimum() {
+        let rule = PredicateRule::min_bound("no-overdraft", |a: &Account| a.balance, 0);
+        assert!(rule.check(&Account { balance: 5 }).is_satisfied());
+        assert!(rule.check(&Account { balance: 0 }).is_satisfied());
+        match rule.check(&Account { balance: -30 }) {
+            RuleOutcome::Violated(msg) => {
+                assert!(msg.contains("no-overdraft"));
+                assert!(msg.contains("-30"));
+            }
+            RuleOutcome::Satisfied => panic!("should violate"),
+        }
+    }
+
+    #[test]
+    fn max_bound_rule_fires_above_maximum() {
+        // 100 seats, 15% overbooking allowance => max 115 bookings.
+        let rule = PredicateRule::max_bound("overbook-15pct", |a: &Account| a.balance, 115);
+        assert!(rule.check(&Account { balance: 115 }).is_satisfied());
+        assert!(!rule.check(&Account { balance: 116 }).is_satisfied());
+    }
+
+    #[test]
+    fn threshold_policy_matches_the_papers_check_example() {
+        struct Check {
+            amount: i64,
+        }
+        let policy = ValueThreshold::new(10_000_00, |c: &Check| c.amount);
+        assert_eq!(policy.classify(&Check { amount: 9_999_99 }), GuaranteeClass::Guess);
+        assert_eq!(policy.classify(&Check { amount: 10_000_00 }), GuaranteeClass::Coordinate);
+        assert_eq!(policy.classify(&Check { amount: 50_000_00 }), GuaranteeClass::Coordinate);
+    }
+
+    #[test]
+    fn constant_policies_are_constant() {
+        assert_eq!(
+            <AlwaysGuess as RiskPolicy<i32>>::classify(&AlwaysGuess, &7),
+            GuaranteeClass::Guess
+        );
+        assert_eq!(
+            <AlwaysCoordinate as RiskPolicy<i32>>::classify(&AlwaysCoordinate, &7),
+            GuaranteeClass::Coordinate
+        );
+    }
+
+    #[test]
+    fn predicate_rule_name_is_stable() {
+        let rule = PredicateRule::new("custom", |_: &Account| RuleOutcome::Satisfied);
+        assert_eq!(rule.name(), "custom");
+        assert_eq!(format!("{rule:?}"), "PredicateRule(custom)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Uniquifiers: unique identities for units of work (§2.1, §5.4, §7.5).
+//!
+//! The paper's single most load-bearing mechanism: every request that
+//! enters a loosely-coupled system carries (or is assigned, at ingress) a
+//! unique identifier. The uniquifier plays two roles (§5.4):
+//!
+//! 1. it is **the partitioning key** that keeps a unit of work's data and
+//!    behaviour on one node at a time, and
+//! 2. it lets every replica **recognize re-executions** of the same
+//!    request, collapsing them so the work becomes idempotent.
+//!
+//! Three ways to obtain one, mirroring the paper:
+//!
+//! - [`Uniquifier::derived`] hashes the entire request body — the paper's
+//!   "MD5 trick" (§2.1). We use a 128-bit FNV-1a instead of MD5: the
+//!   requirement is only "with extremely high probability, one-to-one
+//!   with a unique incoming request", which any well-distributed 128-bit
+//!   hash satisfies, and it keeps the workspace free of crypto deps
+//!   (substitution recorded in DESIGN.md).
+//! - [`Uniquifier::composite`] builds an id from domain-meaningful parts —
+//!   the check number plus bank id plus account number of §6.2, "a
+//!   wonderful unique-id".
+//! - [`UniquifierSource`] assigns fresh ids at the ingress replica (§5.4),
+//!   namespaced by the ingress node so two replicas never mint the same
+//!   id.
+
+use std::fmt;
+
+/// A 128-bit unique identifier for a unit of work.
+///
+/// Ordering is total and arbitrary-but-stable, which is what
+/// [`crate::op::OpLog`] uses as its canonical replay order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uniquifier(u128);
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+impl Uniquifier {
+    /// Build from raw halves (for tests and protocol decoding).
+    pub const fn from_parts(hi: u64, lo: u64) -> Self {
+        Uniquifier(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Build from a raw 128-bit value.
+    pub const fn from_raw(v: u128) -> Self {
+        Uniquifier(v)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn as_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Derive a uniquifier from the bytes of the request itself — the
+    /// paper's MD5-hash trick (§2.1). Identical requests (retries) derive
+    /// identical ids, which is exactly the point: the server never needs
+    /// the client's cooperation to detect a retry.
+    pub fn derived(request: &[u8]) -> Self {
+        let mut h = FNV128_OFFSET;
+        for &b in request {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+        Uniquifier(h)
+    }
+
+    /// Derive from several logical fields without allocating a combined
+    /// buffer; fields are length-prefixed so `("ab","c")` and `("a","bc")`
+    /// derive different ids.
+    pub fn derived_from_fields(fields: &[&[u8]]) -> Self {
+        let mut h = FNV128_OFFSET;
+        for f in fields {
+            for &b in (f.len() as u64).to_le_bytes().iter() {
+                h ^= b as u128;
+                h = h.wrapping_mul(FNV128_PRIME);
+            }
+            for &b in *f {
+                h ^= b as u128;
+                h = h.wrapping_mul(FNV128_PRIME);
+            }
+        }
+        Uniquifier(h)
+    }
+
+    /// A domain-meaningful composite id, e.g.
+    /// `Uniquifier::composite("bank:1st-national/acct:42", check_number)`
+    /// (§6.2: check number + bank id + account number).
+    pub fn composite(namespace: &str, seq: u64) -> Self {
+        Self::derived_from_fields(&[namespace.as_bytes(), &seq.to_le_bytes()])
+    }
+
+    /// Which of `n` partitions this unit of work lives on (§5.4 role 1:
+    /// the uniquifier is the partitioning key).
+    pub fn partition(self, n: usize) -> usize {
+        assert!(n > 0, "partition over zero partitions");
+        // Fold the high bits in so composite ids spread well.
+        let folded = (self.0 >> 64) as u64 ^ self.0 as u64;
+        (folded % n as u64) as usize
+    }
+}
+
+impl fmt::Debug for Uniquifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uniq:{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Uniquifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short form for logs and apologies.
+        write!(f, "{:016x}", (self.0 >> 64) as u64 ^ self.0 as u64)
+    }
+}
+
+/// Mints fresh uniquifiers at a system ingress point (§5.4): "assigned at
+/// the ingress to the system (i.e. whichever replica first handles the
+/// work)".
+///
+/// Ids are `(ingress_node, counter)` pairs hashed into the 128-bit space,
+/// so distinct ingress nodes can mint concurrently without coordination
+/// and never collide.
+#[derive(Debug, Clone)]
+pub struct UniquifierSource {
+    ingress_node: u64,
+    counter: u64,
+}
+
+impl UniquifierSource {
+    /// A source for the given ingress node id.
+    pub fn new(ingress_node: u64) -> Self {
+        UniquifierSource { ingress_node, counter: 0 }
+    }
+
+    /// Mint the next id.
+    pub fn next_id(&mut self) -> Uniquifier {
+        let c = self.counter;
+        self.counter += 1;
+        Uniquifier::derived_from_fields(&[
+            b"ingress",
+            &self.ingress_node.to_le_bytes(),
+            &c.to_le_bytes(),
+        ])
+    }
+
+    /// How many ids have been minted.
+    pub fn minted(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derived_is_deterministic_and_input_sensitive() {
+        let a = Uniquifier::derived(b"GET /cart/42");
+        let b = Uniquifier::derived(b"GET /cart/42");
+        let c = Uniquifier::derived(b"GET /cart/43");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn field_framing_prevents_concatenation_collisions() {
+        let a = Uniquifier::derived_from_fields(&[b"ab", b"c"]);
+        let b = Uniquifier::derived_from_fields(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn composite_ids_are_stable_and_distinct_per_seq() {
+        let ns = "bank:first/acct:42";
+        assert_eq!(Uniquifier::composite(ns, 1001), Uniquifier::composite(ns, 1001));
+        assert_ne!(Uniquifier::composite(ns, 1001), Uniquifier::composite(ns, 1002));
+        assert_ne!(
+            Uniquifier::composite("bank:first/acct:42", 1001),
+            Uniquifier::composite("bank:other/acct:42", 1001)
+        );
+    }
+
+    #[test]
+    fn sources_on_different_nodes_never_collide() {
+        let mut s1 = UniquifierSource::new(1);
+        let mut s2 = UniquifierSource::new(2);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(s1.next_id()));
+            assert!(seen.insert(s2.next_id()));
+        }
+        assert_eq!(s1.minted(), 10_000);
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        let id = Uniquifier::derived(b"some work");
+        let p = id.partition(7);
+        assert!(p < 7);
+        assert_eq!(p, id.partition(7));
+    }
+
+    #[test]
+    fn partition_spreads_sequential_ids() {
+        let mut src = UniquifierSource::new(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[src.next_id().partition(4)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let u = Uniquifier::from_parts(0xDEAD, 0xBEEF);
+        assert_eq!(u.as_raw(), (0xDEADu128 << 64) | 0xBEEF);
+        assert_eq!(Uniquifier::from_raw(u.as_raw()), u);
+    }
+
+    #[test]
+    fn display_is_short_and_debug_is_full() {
+        let u = Uniquifier::from_parts(1, 2);
+        assert_eq!(format!("{u}").len(), 16);
+        assert!(format!("{u:?}").starts_with("uniq:"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The paper-forms workflow (§7.7): "Back to the Future".
+//!
+//! "In the past, a form would have multiple carbon copies with a printed
+//! serial number on top of them. When a purchase-order request was
+//! submitted, a copy was kept in the file of the submitter and placed in
+//! a folder with the expected date of the response. If the form and its
+//! work were not completed by the expected date, the submitter would
+//! initiate an inquiry... Even if the work was lost, the purchase-order
+//! would be resubmitted without modification to ensure a lack of
+//! confusion in the processing of the work."
+//!
+//! [`PaperTrail`] is the submitter's filing cabinet: it keeps the carbon
+//! copy (the form, verbatim), files it under its due date, surfaces
+//! overdue forms for resubmission *unmodified*, and retires forms when
+//! the response arrives. Pair it with a [`crate::idempotence::DedupTable`]
+//! on the responder side and the pre-computer protocol is complete: the
+//! serial number "would act as a mechanism to ensure the work was not
+//! performed twice."
+
+use std::collections::BTreeMap;
+
+use crate::uniquifier::Uniquifier;
+
+/// The submitter's record of one outstanding form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormRecord<F> {
+    /// The printed serial number.
+    pub serial: Uniquifier,
+    /// The carbon copy — resubmitted byte-for-byte on follow-up.
+    pub form: F,
+    /// When it was first submitted (caller's clock).
+    pub submitted_at: u64,
+    /// "The expected date of the response."
+    pub due_at: u64,
+    /// Submissions so far (1 = the original).
+    pub attempts: u32,
+}
+
+/// The filing cabinet of outstanding forms.
+///
+/// ```
+/// use quicksand_core::workflow::PaperTrail;
+/// use quicksand_core::uniquifier::Uniquifier;
+///
+/// let mut cabinet = PaperTrail::new(30);
+/// let serial = Uniquifier::composite("po", 1001);
+/// cabinet.submit(serial, "20 widgets", 0);
+/// // No response by the due date: resubmit the carbon copy, unmodified.
+/// let inquiry = cabinet.follow_ups(30);
+/// assert_eq!(inquiry[0].form, "20 widgets");
+/// cabinet.complete(serial, 35);
+/// assert_eq!(cabinet.outstanding(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaperTrail<F> {
+    outstanding: BTreeMap<Uniquifier, FormRecord<F>>,
+    /// How long to wait for a response before inquiring.
+    response_window: u64,
+    completed: u64,
+    resubmissions: u64,
+}
+
+impl<F: Clone> PaperTrail<F> {
+    /// A cabinet whose forms come due `response_window` ticks after
+    /// (re)submission.
+    pub fn new(response_window: u64) -> Self {
+        PaperTrail {
+            outstanding: BTreeMap::new(),
+            response_window,
+            completed: 0,
+            resubmissions: 0,
+        }
+    }
+
+    /// File the carbon copy of a newly submitted form. Returns `false`
+    /// if the serial is already on file (submitting the same form twice
+    /// is a bookkeeping error, not a retry — retries go through
+    /// [`PaperTrail::follow_ups`]).
+    pub fn submit(&mut self, serial: Uniquifier, form: F, now: u64) -> bool {
+        if self.outstanding.contains_key(&serial) {
+            return false;
+        }
+        self.outstanding.insert(
+            serial,
+            FormRecord {
+                serial,
+                form,
+                submitted_at: now,
+                due_at: now + self.response_window,
+                attempts: 1,
+            },
+        );
+        true
+    }
+
+    /// The response arrived: retire the form. Idempotent — late
+    /// duplicate responses are fine.
+    pub fn complete(&mut self, serial: Uniquifier, _now: u64) -> bool {
+        if self.outstanding.remove(&serial).is_some() {
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Every overdue form, ready to resubmit **without modification** —
+    /// "you wouldn't change the number of items being ordered as that
+    /// may cause confusion." Each returned copy has its due date pushed
+    /// out and its attempt count bumped.
+    pub fn follow_ups(&mut self, now: u64) -> Vec<FormRecord<F>> {
+        let mut due = Vec::new();
+        for rec in self.outstanding.values_mut() {
+            if rec.due_at <= now {
+                rec.attempts += 1;
+                rec.due_at = now + self.response_window;
+                self.resubmissions += 1;
+                due.push(rec.clone());
+            }
+        }
+        due
+    }
+
+    /// Forms still awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The record for a serial, if still outstanding.
+    pub fn record(&self, serial: Uniquifier) -> Option<&FormRecord<F>> {
+        self.outstanding.get(&serial)
+    }
+
+    /// Lifetime counters: (completed, resubmissions).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.completed, self.resubmissions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idempotence::DedupTable;
+    use rand::Rng;
+
+    fn serial(n: u64) -> Uniquifier {
+        Uniquifier::composite("purchase-order", n)
+    }
+
+    #[test]
+    fn forms_come_due_and_resubmit_unmodified() {
+        let mut trail = PaperTrail::new(10);
+        assert!(trail.submit(serial(1), "20 widgets", 0));
+        assert!(trail.follow_ups(9).is_empty());
+        let due = trail.follow_ups(10);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].form, "20 widgets");
+        assert_eq!(due[0].attempts, 2);
+        // The due date moved out; not due again immediately.
+        assert!(trail.follow_ups(11).is_empty());
+        assert_eq!(trail.record(serial(1)).unwrap().due_at, 20);
+    }
+
+    #[test]
+    fn completion_retires_the_form_idempotently() {
+        let mut trail = PaperTrail::new(10);
+        trail.submit(serial(1), (), 0);
+        assert!(trail.complete(serial(1), 5));
+        assert!(!trail.complete(serial(1), 6), "late duplicate response");
+        assert_eq!(trail.outstanding(), 0);
+        assert_eq!(trail.stats().0, 1);
+    }
+
+    #[test]
+    fn double_submission_of_a_serial_is_refused() {
+        let mut trail = PaperTrail::new(10);
+        assert!(trail.submit(serial(1), "a", 0));
+        assert!(!trail.submit(serial(1), "b", 1));
+        assert_eq!(trail.record(serial(1)).unwrap().form, "a");
+    }
+
+    /// The full §7.7 protocol over a lossy channel: submitter files and
+    /// follows up; responder dedups on the serial. Every form is
+    /// eventually processed exactly once.
+    #[test]
+    fn lossy_channel_end_to_end() {
+        let mut rng = sim::SimRng::new(42);
+        let mut trail = PaperTrail::new(5);
+        let mut responder: DedupTable<u64> = DedupTable::new(1024);
+        let mut processed = 0u64;
+        let forms = 50u64;
+        for n in 0..forms {
+            trail.submit(serial(n), n, n);
+        }
+        for now in 0..400u64 {
+            // Everything due (or fresh) goes over the 40%-lossy channel.
+            let mut to_send: Vec<FormRecord<u64>> = trail.follow_ups(now);
+            if now < forms {
+                if let Some(rec) = trail.record(serial(now)) {
+                    to_send.push(rec.clone());
+                }
+            }
+            for rec in to_send {
+                if rng.gen_bool(0.6) {
+                    // Delivered: responder executes at most once and the
+                    // response (also lossy) retires the form.
+                    let out = responder.execute(rec.serial, || {
+                        processed += 1;
+                        rec.form
+                    });
+                    let _ = out;
+                    if rng.gen_bool(0.6) {
+                        trail.complete(rec.serial, now);
+                    }
+                }
+            }
+        }
+        assert_eq!(processed, forms, "every form processed exactly once");
+        assert_eq!(trail.outstanding(), 0, "every response eventually arrived");
+        let (completed, resubs) = trail.stats();
+        assert_eq!(completed, forms);
+        assert!(resubs > 0, "the lossy channel must have forced inquiries");
+    }
+}

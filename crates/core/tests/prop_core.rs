@@ -1,0 +1,221 @@
+//! Property-based tests of the pattern library's invariants — the ACID
+//! 2.0 laws, escrow safety, dedup exactly-once, reservation state
+//! machine, and allocator bounds — under arbitrary inputs and
+//! interleavings.
+
+use proptest::prelude::*;
+use quicksand_core::acid2::examples::CounterAdd;
+use quicksand_core::escrow::EscrowCounter;
+use quicksand_core::idempotence::DedupTable;
+use quicksand_core::op::{OpLog, Operation};
+use quicksand_core::reservation::{BuyerId, SeatId, SeatMap, SessionId};
+use quicksand_core::resources::{settle, OverbookedReplica, ProvisionedReplica};
+use quicksand_core::uniquifier::Uniquifier;
+
+fn ops_strategy(max: usize) -> impl Strategy<Value = Vec<CounterAdd>> {
+    // Uniquifiers are functionally dependent on the request (§2.1): two
+    // different deltas never share an id. The generated high bits
+    // shuffle canonical order relative to creation order.
+    prop::collection::vec((0u64..500, -100i64..100), 0..max).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, d))| CounterAdd::new(n * 1000 + i as u64, d))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Same op set, any insertion order, any duplication ⇒ same state.
+    #[test]
+    fn oplog_state_depends_only_on_the_set(ops in ops_strategy(60), seed in 0u64..1000) {
+        let mut ordered = OpLog::new();
+        for op in &ops {
+            ordered.record(op.clone());
+        }
+        // A shuffled, duplicated delivery.
+        let mut shuffled = ops.clone();
+        let mut rng_state = seed;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng_state
+        };
+        for i in (1..shuffled.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut log = OpLog::new();
+        for op in &shuffled {
+            log.record(op.clone());
+            if next() % 3 == 0 {
+                log.record(op.clone()); // duplicate delivery
+            }
+        }
+        prop_assert!(log.same_ops(&ordered));
+        prop_assert_eq!(log.materialize(), ordered.materialize());
+    }
+
+    /// Merging logs is commutative and never loses an op.
+    #[test]
+    fn oplog_merge_commutes(a in ops_strategy(40), b in ops_strategy(40)) {
+        let mut la = OpLog::new();
+        for op in &a { la.record(op.clone()); }
+        let mut lb = OpLog::new();
+        for op in &b { lb.record(op.clone()); }
+        let mut ab = la.clone();
+        ab.merge(&lb);
+        let mut ba = lb.clone();
+        ba.merge(&la);
+        prop_assert!(ab.same_ops(&ba));
+        for op in la.iter().chain(lb.iter()) {
+            prop_assert!(ab.contains(op.id()));
+        }
+    }
+
+    /// The dedup table executes each uniquifier exactly once within its
+    /// window, no matter how retries arrive.
+    #[test]
+    fn dedup_executes_exactly_once(ids in prop::collection::vec(0u64..50, 1..200)) {
+        let mut table: DedupTable<u64> = DedupTable::new(1024);
+        let mut executions = std::collections::HashMap::new();
+        for (i, n) in ids.iter().enumerate() {
+            let id = Uniquifier::from_parts(9, *n);
+            let was_known = table.contains(id);
+            let out = table.execute(id, || {
+                *executions.entry(*n).or_insert(0u32) += 1;
+                i as u64
+            });
+            prop_assert_eq!(out.executed(), !was_known);
+            prop_assert_eq!(table.recall(id), Some(&out.into_response()));
+        }
+        for (n, count) in executions {
+            prop_assert_eq!(count, 1, "uniquifier {} executed {} times", n, count);
+        }
+    }
+
+    /// Escrow never lets the committed value (or any possible outcome of
+    /// pending work) escape the bounds, whatever the interleaving.
+    #[test]
+    fn escrow_bounds_hold_under_arbitrary_interleavings(
+        script in prop::collection::vec((0u8..4, -50i64..50), 1..200)
+    ) {
+        let (min, max, initial) = (0i64, 500i64, 250i64);
+        let mut counter = EscrowCounter::new(initial, min, max);
+        let mut open: Vec<_> = Vec::new();
+        for (action, delta) in script {
+            match action {
+                0 => open.push(counter.begin()),
+                1 => {
+                    if let Some(t) = open.last() {
+                        let _ = counter.reserve(*t, delta);
+                    }
+                }
+                2 => {
+                    if let Some(t) = open.pop() {
+                        counter.commit(t).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(t) = open.pop() {
+                        counter.abort(t).unwrap();
+                    }
+                }
+            }
+            prop_assert!(counter.low_watermark() >= min);
+            prop_assert!(counter.high_watermark() <= max);
+            prop_assert!(counter.low_watermark() <= counter.committed());
+            prop_assert!(counter.committed() <= counter.high_watermark());
+        }
+        for t in open {
+            counter.commit(t).unwrap();
+        }
+        prop_assert!((min..=max).contains(&counter.committed()));
+        prop_assert_eq!(counter.value_if_quiesced(), Some(counter.committed()));
+    }
+
+    /// The seat map's business rule survives any operation sequence:
+    /// after cleanup, no seat is pending past its expiry, and purchased
+    /// seats stay purchased.
+    #[test]
+    fn seat_map_invariant_is_preserved(
+        script in prop::collection::vec((0u8..4, 0u32..8, 0u64..5), 1..150)
+    ) {
+        let mut map = SeatMap::new(8);
+        let ttl = 10u64;
+        let mut purchased = std::collections::HashSet::new();
+        for (now, (action, seat, session)) in script.into_iter().enumerate() {
+            let now = now as u64;
+            let seat = SeatId(seat);
+            let session = SessionId(session);
+            match action {
+                0 => { let _ = map.hold(seat, session, now, ttl); }
+                1 => {
+                    if map.purchase(seat, session, BuyerId(session.0), now).is_ok() {
+                        purchased.insert(seat);
+                    }
+                }
+                2 => { let _ = map.release(seat, session); }
+                _ => { map.expire(now); }
+            }
+            map.expire(now.saturating_sub(ttl));
+            for s in &purchased {
+                prop_assert!(
+                    matches!(map.state(*s).unwrap(), quicksand_core::reservation::SeatState::Purchased { .. }),
+                    "a purchase was undone"
+                );
+            }
+        }
+        map.expire(u64::MAX / 2);
+        prop_assert!(map.check_invariant(u64::MAX / 2, 0).is_ok());
+    }
+
+    /// A provisioned replica can never allocate beyond its quota, and
+    /// releases restore exactly what was granted.
+    #[test]
+    fn provisioned_replica_accounting(
+        requests in prop::collection::vec((0u64..100, 1u64..10, prop::bool::ANY), 1..100)
+    ) {
+        let quota = 50u64;
+        let mut r = ProvisionedReplica::new(0, quota);
+        for (n, qty, release_after) in requests {
+            let id = Uniquifier::from_parts(3, n);
+            let granted = r.try_allocate(id, qty).granted();
+            prop_assert!(r.used() <= quota);
+            if granted && release_after {
+                prop_assert_eq!(r.release(id), Some(qty));
+            }
+        }
+        prop_assert_eq!(r.used() + r.remaining(), r.quota());
+    }
+
+    /// Over-booked settlement: bumped quantity equals exactly the
+    /// oversell, and with factor 1.0 a fully-synced fleet never
+    /// oversells.
+    #[test]
+    fn overbooking_settlement_balances(
+        sales in prop::collection::vec(0u64..200, 0..120),
+        sync_period in 1usize..20
+    ) {
+        // A sale's quantity is part of the sale: the same uniquifier
+        // always carries the same qty (§2.1's functional dependence).
+        let qty_of = |n: u64| 1 + n % 3;
+        let capacity = 60u64;
+        let mut fleet = vec![
+            OverbookedReplica::new(0, capacity, 1.0),
+            OverbookedReplica::new(1, capacity, 1.0),
+        ];
+        for (i, n) in sales.iter().enumerate() {
+            let id = Uniquifier::from_parts(4, *n);
+            let r = i % 2;
+            let _ = fleet[r].try_allocate(id, qty_of(*n));
+            if i % sync_period == 0 {
+                let (a, b) = fleet.split_at_mut(1);
+                a[0].sync(&mut b[0]);
+            }
+        }
+        let s = settle(&fleet);
+        prop_assert_eq!(s.oversold, s.total_sold.saturating_sub(capacity));
+        let bumped: u64 = s.bumped.iter().map(|(_, q)| q).sum();
+        prop_assert_eq!(bumped, s.oversold);
+    }
+}

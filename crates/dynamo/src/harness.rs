@@ -1,0 +1,304 @@
+//! Cluster construction helpers and a probe client for driving the store
+//! from tests and experiment harnesses.
+
+use sim::{Actor, Context, NodeId, Simulation};
+
+use crate::msg::DynamoMsg;
+use crate::node::{DynamoConfig, StoreNode};
+use crate::ring::Ring;
+use crate::version::Versioned;
+
+/// The node ids of a built cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Store nodes, indexed by store id.
+    pub stores: Vec<NodeId>,
+    /// The ring shared by every node.
+    pub ring: Ring,
+}
+
+/// Add `n_stores` store nodes to a fresh-but-empty simulation. Store `s`
+/// gets simulation node id `s`; clients must be added afterwards.
+pub fn build_cluster<V: Clone + std::fmt::Debug + 'static>(
+    sim: &mut Simulation<DynamoMsg<V>>,
+    n_stores: u32,
+    cfg: &DynamoConfig,
+) -> Cluster {
+    let ring = Ring::new(n_stores, cfg.vnodes);
+    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
+    for s in 0..n_stores {
+        let id = sim.add_node(StoreNode::<V>::new(s, ring.clone(), stores.clone(), cfg.clone()));
+        debug_assert_eq!(id, stores[s as usize]);
+    }
+    Cluster { stores, ring }
+}
+
+/// What a probe saw come back for one request.
+#[derive(Debug, Clone)]
+pub enum ProbeResult<V> {
+    /// PUT acknowledged.
+    PutOk,
+    /// PUT failed.
+    PutFailed,
+    /// GET returned these siblings.
+    GetOk(Vec<Versioned<V>>),
+    /// GET failed.
+    GetFailed,
+}
+
+/// A passive client: harnesses inject `ClientPut`/`ClientGet` messages
+/// *from* the probe's node id at chosen times and read the correlated
+/// responses afterwards.
+#[derive(Debug, Default)]
+pub struct Probe<V> {
+    /// Responses by request id.
+    pub results: std::collections::BTreeMap<u64, ProbeResult<V>>,
+}
+
+impl<V> Probe<V> {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Probe { results: std::collections::BTreeMap::new() }
+    }
+
+    /// The result recorded for a request, if any arrived.
+    pub fn result(&self, req: u64) -> Option<&ProbeResult<V>> {
+        self.results.get(&req)
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for Probe<V> {
+    fn on_message(&mut self, _ctx: &mut Context<'_, DynamoMsg<V>>, _from: NodeId, msg: DynamoMsg<V>) {
+        match msg {
+            DynamoMsg::PutOk { req } => {
+                self.results.insert(req, ProbeResult::PutOk);
+            }
+            DynamoMsg::PutFailed { req } => {
+                self.results.insert(req, ProbeResult::PutFailed);
+            }
+            DynamoMsg::GetOk { req, versions, .. } => {
+                self.results.insert(req, ProbeResult::GetOk(versions));
+            }
+            DynamoMsg::GetFailed { req } => {
+                self.results.insert(req, ProbeResult::GetFailed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vclock::VectorClock;
+    use sim::{SimTime, Simulation};
+
+    type Msg = DynamoMsg<&'static str>;
+
+    #[allow(clippy::too_many_arguments)]
+    fn put_at(
+        sim: &mut Simulation<Msg>,
+        at: SimTime,
+        coord: NodeId,
+        probe: NodeId,
+        req: u64,
+        key: u64,
+        value: &'static str,
+        context: VectorClock,
+    ) {
+        sim.inject_at(
+            at,
+            coord,
+            probe,
+            DynamoMsg::ClientPut { req, key, value, context, resp_to: probe },
+        );
+    }
+
+    fn get_at(
+        sim: &mut Simulation<Msg>,
+        at: SimTime,
+        coord: NodeId,
+        probe: NodeId,
+        req: u64,
+        key: u64,
+    ) {
+        sim.inject_at(at, coord, probe, DynamoMsg::ClientGet { req, key, resp_to: probe });
+    }
+
+    fn cluster(seed: u64, n: u32) -> (Simulation<Msg>, Cluster, NodeId) {
+        let mut sim = Simulation::new(seed);
+        let c = build_cluster(&mut sim, n, &DynamoConfig::default());
+        let probe = sim.add_node(Probe::<&'static str>::new());
+        (sim, c, probe)
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let (mut sim, c, probe) = cluster(1, 4);
+        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 42, "hello", VectorClock::new());
+        get_at(&mut sim, SimTime::from_millis(50), c.stores[1], probe, 2, 42);
+        sim.run_until(SimTime::from_millis(100));
+        let p: &Probe<&'static str> = sim.actor(probe);
+        assert!(matches!(p.result(1), Some(ProbeResult::PutOk)));
+        match p.result(2) {
+            Some(ProbeResult::GetOk(vs)) => {
+                assert_eq!(vs.len(), 1);
+                assert_eq!(vs[0].value, "hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_blind_puts_surface_as_siblings() {
+        let (mut sim, c, probe) = cluster(2, 4);
+        // Two writers, no shared context, different coordinators.
+        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 7, "from-a", VectorClock::new());
+        put_at(&mut sim, SimTime::from_millis(1), c.stores[1], probe, 2, 7, "from-b", VectorClock::new());
+        get_at(&mut sim, SimTime::from_millis(80), c.stores[2], probe, 3, 7);
+        sim.run_until(SimTime::from_millis(150));
+        let p: &Probe<&'static str> = sim.actor(probe);
+        match p.result(3) {
+            Some(ProbeResult::GetOk(vs)) => {
+                assert_eq!(vs.len(), 2, "both concurrent writes must survive: {vs:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contextual_put_supersedes_and_collapses() {
+        let (mut sim, c, probe) = cluster(3, 4);
+        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 7, "v1", VectorClock::new());
+        get_at(&mut sim, SimTime::from_millis(50), c.stores[0], probe, 2, 7);
+        sim.run_until(SimTime::from_millis(100));
+        let context = {
+            let p: &Probe<&'static str> = sim.actor(probe);
+            match p.result(2) {
+                Some(ProbeResult::GetOk(vs)) => vs[0].effective_clock(),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        put_at(&mut sim, SimTime::from_millis(101), c.stores[1], probe, 3, 7, "v2", context);
+        get_at(&mut sim, SimTime::from_millis(200), c.stores[2], probe, 4, 7);
+        sim.run_until(SimTime::from_millis(300));
+        let p: &Probe<&'static str> = sim.actor(probe);
+        match p.result(4) {
+            Some(ProbeResult::GetOk(vs)) => {
+                assert_eq!(vs.len(), 1, "descendant must collapse the ancestor");
+                assert_eq!(vs[0].value, "v2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn puts_survive_partition_via_sloppy_quorum() {
+        let (mut sim, c, probe) = cluster(4, 5);
+        // Find key 9's preferred stores and partition them all away from
+        // the rest; coordinate from a non-preferred store.
+        let prefs = c.ring.preference_list(9, 3);
+        let pref_nodes: Vec<NodeId> = prefs.iter().map(|s| c.stores[*s as usize]).collect();
+        let others: Vec<NodeId> = c
+            .stores
+            .iter()
+            .copied()
+            .filter(|n| !pref_nodes.contains(n))
+            .collect();
+        assert!(others.len() >= 2, "need 2 non-preferred stores for W=2");
+        let coord = others[0];
+        sim.schedule_partition(SimTime::from_millis(0), &pref_nodes, &others);
+        put_at(&mut sim, SimTime::from_millis(10), coord, probe, 1, 9, "sloppy", VectorClock::new());
+        sim.run_until(SimTime::from_millis(200));
+        {
+            let p: &Probe<&'static str> = sim.actor(probe);
+            assert!(
+                matches!(p.result(1), Some(ProbeResult::PutOk)),
+                "the PUT must be accepted despite the partition: {:?}",
+                p.result(1)
+            );
+        }
+        assert!(sim.metrics().counter("dynamo.hints_stored") > 0);
+        // Heal; hinted handoff delivers to the preferred stores.
+        sim.schedule_heal(SimTime::from_millis(200));
+        sim.run_until(SimTime::from_secs(3));
+        let first_pref: &StoreNode<&'static str> = sim.actor(pref_nodes[0]);
+        assert!(
+            !first_pref.versions(9).is_empty(),
+            "hinted handoff must deliver after heal"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_converges_all_replicas() {
+        let (mut sim, c, probe) = cluster(5, 4);
+        for (i, key) in [11u64, 22, 33].iter().enumerate() {
+            put_at(
+                &mut sim,
+                SimTime::from_millis(1 + i as u64),
+                c.stores[i % 4],
+                probe,
+                i as u64,
+                *key,
+                "x",
+                VectorClock::new(),
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        // After plenty of gossip, every store that replicates a key has
+        // an equivalent sibling set; with full-store push everyone has
+        // everything.
+        for key in [11u64, 22, 33] {
+            let reference = sim.actor::<StoreNode<&'static str>>(c.stores[0]).versions(key).to_vec();
+            assert!(!reference.is_empty());
+            for s in &c.stores[1..] {
+                let node: &StoreNode<&'static str> = sim.actor(*s);
+                assert!(
+                    crate::version::same_versions(node.versions(key), &reference),
+                    "store {s} diverged on key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_fails_when_r_unreachable_without_sloppy_reads_helping() {
+        let mut cfg = DynamoConfig { gossip_interval: None, ..DynamoConfig::default() };
+        cfg.r = 2;
+        let mut sim: Simulation<Msg> = Simulation::new(6);
+        let c = build_cluster(&mut sim, 3, &cfg);
+        let probe = sim.add_node(Probe::<&'static str>::new());
+        // Isolate the coordinator completely from the other stores.
+        let rest: Vec<NodeId> = c.stores[1..].to_vec();
+        sim.schedule_partition(SimTime::ZERO, &[c.stores[0]], &rest);
+        get_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 5);
+        sim.run_until(SimTime::from_secs(1));
+        let p: &Probe<&'static str> = sim.actor(probe);
+        match p.result(1) {
+            Some(ProbeResult::GetFailed) => {}
+            other => panic!("isolated coordinator cannot reach R=2: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let (mut sim, c, probe) = cluster(seed, 4);
+            for i in 0..10u64 {
+                put_at(
+                    &mut sim,
+                    SimTime::from_millis(i),
+                    c.stores[(i % 4) as usize],
+                    probe,
+                    i,
+                    i % 3,
+                    "v",
+                    VectorClock::new(),
+                );
+            }
+            sim.run_until(SimTime::from_secs(2));
+            sim.metrics().counter("sim.messages_sent")
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,44 @@
+//! # dynamo — an availability-first replicated blob store (§6.1)
+//!
+//! A from-scratch implementation of the storage substrate the paper uses
+//! for its shopping-cart example: "Dynamo is a replicated blob store
+//! implemented with a Dynamic Hash Table... interesting in many ways
+//! including its conscious choice to support availability over
+//! consistency. Dynamo always accepts a PUT to the store even if this
+//! may result in an inconsistent GET later on."
+//!
+//! What's here, all built on the `sim` substrate:
+//!
+//! - [`ring::Ring`] — consistent hashing with virtual nodes and minimal
+//!   remapping on membership change.
+//! - [`vclock::VectorClock`] — the causality metadata that distinguishes
+//!   ancestors (dropped) from genuine siblings (surfaced).
+//! - [`version`] — sibling-set maintenance: no version in a slot ever
+//!   dominates another.
+//! - [`node::StoreNode`] — replica + coordinator + hint holder + gossip
+//!   peer: N/R/W quorums, **sloppy quorum with hinted handoff** (a PUT is
+//!   never refused for consistency reasons), read repair, and periodic
+//!   anti-entropy.
+//!
+//! The store is generic over the blob type `V` and deliberately knows
+//! nothing about reconciliation: "the shopping cart application on top of
+//! the Dynamo storage system is responsible for the semantics of eventual
+//! consistency and commutativity" (§6.4). See the `cart` crate for that
+//! application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod msg;
+pub mod node;
+pub mod ring;
+pub mod vclock;
+pub mod version;
+
+pub use harness::{build_cluster, Cluster, Probe, ProbeResult};
+pub use msg::DynamoMsg;
+pub use node::{DynamoConfig, GossipMode, StoreNode};
+pub use ring::Ring;
+pub use vclock::{Causality, StoreId, VectorClock};
+pub use version::{merge_version, merge_versions, same_versions, Dot, Versioned};

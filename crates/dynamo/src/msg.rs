@@ -1,0 +1,139 @@
+//! Protocol messages of the Dynamo-style store.
+
+use sim::NodeId;
+
+use crate::vclock::{StoreId, VectorClock};
+use crate::version::{Dot, Versioned};
+
+/// Messages between clients, coordinators, and replicas. Generic over
+/// the application blob type `V` — the store is "a storage substrate
+/// independent of the application layered on top of it" (§6.1).
+#[derive(Debug, Clone)]
+pub enum DynamoMsg<V> {
+    // ----- client ↔ coordinator -----
+    /// Client PUT: store `value` under `key`, given the causal `context`
+    /// from a previous GET (empty for a blind write).
+    ClientPut {
+        /// Client correlation id.
+        req: u64,
+        /// The key.
+        key: u64,
+        /// The blob.
+        value: V,
+        /// Causal context being superseded.
+        context: VectorClock,
+        /// Who to answer.
+        resp_to: NodeId,
+    },
+    /// W replicas have the write.
+    PutOk {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Could not reach W replicas (even sloppily).
+    PutFailed {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Client GET.
+    ClientGet {
+        /// Client correlation id.
+        req: u64,
+        /// The key.
+        key: u64,
+        /// Who to answer.
+        resp_to: NodeId,
+    },
+    /// R replicas answered; `versions` holds every causally-concurrent
+    /// sibling — possibly more than one (§6.1).
+    GetOk {
+        /// Correlation id.
+        req: u64,
+        /// The key.
+        key: u64,
+        /// The sibling set.
+        versions: Vec<Versioned<V>>,
+    },
+    /// Could not reach R replicas.
+    GetFailed {
+        /// Correlation id.
+        req: u64,
+    },
+
+    // ----- coordinator ↔ replica -----
+    /// Store the coordinator's reconciled sibling set at a replica.
+    /// Shipping the *whole set* (not just the new version) is what keeps
+    /// dotted-version coverage sound: two writes minted at the same node
+    /// for the same key always travel together, so a causal context can
+    /// never cover a dot whose version it has not seen. `hint_for` marks
+    /// a sloppy-quorum write held on behalf of an unreachable preferred
+    /// store.
+    ReplicaPut {
+        /// Coordinator correlation id (`None` for fire-and-forget
+        /// repair traffic).
+        req: Option<u64>,
+        /// The key.
+        key: u64,
+        /// The coordinator's sibling set after the write.
+        versions: Vec<Versioned<V>>,
+        /// The preferred store this write is held for, if sloppy.
+        hint_for: Option<StoreId>,
+        /// Who to ack.
+        resp_to: NodeId,
+    },
+    /// Replica write acknowledged.
+    ReplicaPutAck {
+        /// Coordinator correlation id.
+        req: u64,
+    },
+    /// Read one key's sibling set from a replica.
+    ReplicaGet {
+        /// Coordinator correlation id.
+        req: u64,
+        /// The key.
+        key: u64,
+        /// Who to answer.
+        resp_to: NodeId,
+    },
+    /// A replica's sibling set for the key.
+    ReplicaGetResp {
+        /// Coordinator correlation id.
+        req: u64,
+        /// The key.
+        key: u64,
+        /// The replica's versions.
+        versions: Vec<Versioned<V>>,
+    },
+
+    // ----- hinted handoff & anti-entropy -----
+    /// Deliver hinted data to the store it was intended for.
+    HintDeliver {
+        /// Hint correlation id at the holder.
+        hint_id: u64,
+        /// The key.
+        key: u64,
+        /// Versions held on the intended store's behalf.
+        versions: Vec<Versioned<V>>,
+    },
+    /// The intended store has the hinted data; the holder may drop it.
+    HintAck {
+        /// Hint correlation id.
+        hint_id: u64,
+    },
+    /// One-way anti-entropy push of (key, sibling set) pairs.
+    SyncPush {
+        /// The entries.
+        entries: Vec<(u64, Vec<Versioned<V>>)>,
+    },
+    /// Digest-mode anti-entropy: "here is what I have" as (key, dots),
+    /// without the values. The receiver replies with a [`DynamoMsg::SyncPush`]
+    /// of exactly the versions the sender is missing — orders of
+    /// magnitude less traffic than pushing the whole store when replicas
+    /// are nearly in sync.
+    SyncDigest {
+        /// The sender's holdings: key → the dots of its sibling set.
+        entries: Vec<(u64, Vec<Dot>)>,
+        /// Who to send the missing versions to.
+        resp_to: NodeId,
+    },
+}

@@ -1,0 +1,504 @@
+//! The storage node: replica, coordinator, hint holder, and gossip peer
+//! in one actor — any node can coordinate any request, as in Dynamo.
+//!
+//! The availability posture is the paper's: **a PUT is never refused for
+//! consistency reasons**. If the preferred replicas are unreachable, the
+//! coordinator walks further around the ring and parks the write on
+//! whoever answers, with a hint naming the store it was meant for
+//! (sloppy quorum + hinted handoff). GETs gather R replies and surface
+//! every concurrent sibling to the application, which owns
+//! reconciliation (§6.1, §6.4).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::msg::DynamoMsg;
+use crate::ring::Ring;
+use crate::vclock::StoreId;
+use crate::version::{merge_version, merge_versions, Dot, Versioned};
+
+/// How anti-entropy advertises state (the A3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMode {
+    /// Push the entire store to a random peer each tick — simple,
+    /// convergent, and wasteful once replicas are nearly in sync.
+    FullStore,
+    /// Send a digest (key → dots); the peer replies with exactly the
+    /// versions the sender lacks.
+    Digest,
+}
+
+const TAG_SHIFT: u64 = 48;
+const TAG_DEADLINE: u64 = 1;
+const TAG_GOSSIP: u64 = 2;
+
+fn tag(kind: u64, payload: u64) -> u64 {
+    (kind << TAG_SHIFT) | (payload & ((1 << TAG_SHIFT) - 1))
+}
+
+/// Quorum and timing parameters.
+#[derive(Debug, Clone)]
+pub struct DynamoConfig {
+    /// Replication factor.
+    pub n: usize,
+    /// Read quorum.
+    pub r: usize,
+    /// Write quorum.
+    pub w: usize,
+    /// Virtual nodes per store.
+    pub vnodes: usize,
+    /// How long a coordinator waits before widening / failing a request.
+    pub request_timeout: SimDuration,
+    /// Gossip period for anti-entropy and hint delivery; `None` disables.
+    pub gossip_interval: Option<SimDuration>,
+    /// Anti-entropy style (see [`GossipMode`]).
+    pub gossip_mode: GossipMode,
+    /// Sloppy quorum: when the preferred replicas don't answer in time,
+    /// widen the walk and park hinted writes on whoever answers. With
+    /// `false` the store behaves like a strict-quorum (CP-leaning)
+    /// system: unreachable preferred replicas fail the request — the E6
+    /// comparison baseline.
+    pub sloppy: bool,
+}
+
+impl Default for DynamoConfig {
+    fn default() -> Self {
+        DynamoConfig {
+            n: 3,
+            r: 2,
+            w: 2,
+            vnodes: 64,
+            request_timeout: SimDuration::from_millis(20),
+            gossip_interval: Some(SimDuration::from_millis(100)),
+            gossip_mode: GossipMode::FullStore,
+            sloppy: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum PendingOp<V> {
+    Put {
+        key: u64,
+        versions: Vec<Versioned<V>>,
+        acks: usize,
+        contacted: usize,
+        widened: bool,
+        resp_to: NodeId,
+    },
+    Get {
+        key: u64,
+        responses: usize,
+        merged: Vec<Versioned<V>>,
+        contacted: usize,
+        widened: bool,
+        resp_to: NodeId,
+    },
+}
+
+/// One Dynamo storage node.
+#[derive(Debug)]
+pub struct StoreNode<V> {
+    /// This node's store id on the ring.
+    pub store_id: StoreId,
+    ring: Ring,
+    /// store id → simulation node.
+    peers: Vec<NodeId>,
+    cfg: DynamoConfig,
+    /// key → sibling set. Modelled as durable (Dynamo persists to local
+    /// disk); survives crashes.
+    store: BTreeMap<u64, Vec<Versioned<V>>>,
+    /// Writes held for unreachable preferred stores: hint id → (intended
+    /// store, key).
+    hints: HashMap<u64, (StoreId, u64)>,
+    next_hint_id: u64,
+    pending: HashMap<u64, PendingOp<V>>,
+    /// Monotonic per-node write counter: guarantees that two writes
+    /// coordinated here carry distinct clocks even when their causal
+    /// contexts are identical. Modelled as durable alongside the store.
+    events: u64,
+}
+
+impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
+    /// Build a node. `peers[s]` must be the simulation node of store `s`.
+    pub fn new(store_id: StoreId, ring: Ring, peers: Vec<NodeId>, cfg: DynamoConfig) -> Self {
+        StoreNode {
+            store_id,
+            ring,
+            peers,
+            cfg,
+            store: BTreeMap::new(),
+            hints: HashMap::new(),
+            next_hint_id: 0,
+            pending: HashMap::new(),
+            events: 0,
+        }
+    }
+
+    /// The node's local sibling set for a key (inspection in tests).
+    pub fn versions(&self, key: u64) -> &[Versioned<V>] {
+        self.store.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of keys stored locally.
+    pub fn key_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of undelivered hints held.
+    pub fn hint_count(&self) -> usize {
+        self.hints.len()
+    }
+
+    fn local_merge(&mut self, key: u64, version: Versioned<V>) {
+        let slot = self.store.entry(key).or_default();
+        merge_version(slot, version);
+    }
+
+    /// Contact the next `count` stores in the key's ring walk beyond the
+    /// already-contacted prefix, hinting writes for the preferred stores
+    /// they stand in for.
+    fn widen_put(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, req: u64) {
+        let me = ctx.me();
+        let Some(PendingOp::Put { key, versions, contacted, widened, .. }) =
+            self.pending.get_mut(&req)
+        else {
+            return;
+        };
+        *widened = true;
+        let key = *key;
+        let versions = versions.clone();
+        let start = *contacted;
+        // Walk the whole ring membership beyond the preferred set.
+        let walk = self.ring.preference_list(key, self.peers.len());
+        let prefs = &walk[..self.cfg.n.min(walk.len())];
+        let extension: Vec<StoreId> = walk.iter().skip(start).take(self.cfg.n).copied().collect();
+        if let Some(PendingOp::Put { contacted, .. }) = self.pending.get_mut(&req) {
+            *contacted += extension.len();
+        }
+        for (i, s) in extension.iter().enumerate() {
+            let hint_for = prefs.get((start + i) % self.cfg.n.max(1)).copied();
+            ctx.metrics().inc("dynamo.sloppy_writes");
+            ctx.send(
+                self.peers[*s as usize],
+                DynamoMsg::ReplicaPut {
+                    req: Some(req),
+                    key,
+                    versions: versions.clone(),
+                    hint_for,
+                    resp_to: me,
+                },
+            );
+        }
+    }
+
+    fn widen_get(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, req: u64) {
+        let me = ctx.me();
+        let Some(PendingOp::Get { key, contacted, widened, .. }) = self.pending.get_mut(&req)
+        else {
+            return;
+        };
+        *widened = true;
+        let key = *key;
+        let start = *contacted;
+        let walk = self.ring.preference_list(key, self.peers.len());
+        let extension: Vec<StoreId> = walk.iter().skip(start).take(self.cfg.n).copied().collect();
+        if let Some(PendingOp::Get { contacted, .. }) = self.pending.get_mut(&req) {
+            *contacted += extension.len();
+        }
+        for s in extension {
+            ctx.send(self.peers[s as usize], DynamoMsg::ReplicaGet { req, key, resp_to: me });
+        }
+    }
+
+    fn finish_get(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, req: u64) {
+        let Some(PendingOp::Get { key, merged, resp_to, .. }) = self.pending.remove(&req) else {
+            return;
+        };
+        if merged.len() > 1 {
+            ctx.metrics().inc("dynamo.sibling_gets");
+        }
+        ctx.metrics().inc("dynamo.gets_ok");
+        // Read repair: push the merged set back to the preferred replicas.
+        let prefs = self.ring.preference_list(key, self.cfg.n);
+        for s in prefs {
+            if s != self.store_id {
+                ctx.send(
+                    self.peers[s as usize],
+                    DynamoMsg::SyncPush { entries: vec![(key, merged.clone())] },
+                );
+            }
+        }
+        merge_versions(self.store.entry(key).or_default(), &merged);
+        ctx.send(resp_to, DynamoMsg::GetOk { req, key, versions: merged });
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> {
+    fn on_start(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        if let Some(interval) = self.cfg.gossip_interval {
+            // Desynchronize gossip across nodes.
+            let jitter = SimDuration::from_micros(
+                ctx.rng().gen_range(0..interval.as_micros().max(1)),
+            );
+            ctx.set_timer(interval + jitter, tag(TAG_GOSSIP, 0));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, t: u64) {
+        let kind = t >> TAG_SHIFT;
+        let payload = t & ((1 << TAG_SHIFT) - 1);
+        match kind {
+            TAG_DEADLINE => {
+                let req = payload;
+                match self.pending.get(&req) {
+                    Some(PendingOp::Put { acks, widened, resp_to, .. }) => {
+                        let (acks, widened, resp_to) = (*acks, *widened, *resp_to);
+                        if acks >= self.cfg.w {
+                            return; // already answered
+                        }
+                        if !widened && self.cfg.sloppy {
+                            self.widen_put(ctx, req);
+                            ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
+                        } else {
+                            self.pending.remove(&req);
+                            ctx.metrics().inc("dynamo.puts_failed");
+                            ctx.send(resp_to, DynamoMsg::PutFailed { req });
+                        }
+                    }
+                    Some(PendingOp::Get { responses, widened, resp_to, .. }) => {
+                        let (responses, widened, resp_to) = (*responses, *widened, *resp_to);
+                        if responses >= self.cfg.r {
+                            return;
+                        }
+                        if !widened && self.cfg.sloppy {
+                            self.widen_get(ctx, req);
+                            ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
+                        } else {
+                            self.pending.remove(&req);
+                            ctx.metrics().inc("dynamo.gets_failed");
+                            ctx.send(resp_to, DynamoMsg::GetFailed { req });
+                        }
+                    }
+                    None => {}
+                }
+            }
+            TAG_GOSSIP => {
+                // Hint delivery: try every held hint.
+                let hints: Vec<(u64, StoreId, u64)> =
+                    self.hints.iter().map(|(id, (s, k))| (*id, *s, *k)).collect();
+                for (hint_id, intended, key) in hints {
+                    let versions = self.versions(key).to_vec();
+                    if !versions.is_empty() {
+                        ctx.send(
+                            self.peers[intended as usize],
+                            DynamoMsg::HintDeliver { hint_id, key, versions },
+                        );
+                    }
+                }
+                // Anti-entropy with one random peer.
+                if self.peers.len() > 1 && !self.store.is_empty() {
+                    let mut peer = ctx.rng().gen_range(0..self.peers.len());
+                    if peer == self.store_id as usize {
+                        peer = (peer + 1) % self.peers.len();
+                    }
+                    ctx.metrics().inc("dynamo.gossip_pushes");
+                    match self.cfg.gossip_mode {
+                        GossipMode::FullStore => {
+                            let entries: Vec<(u64, Vec<Versioned<V>>)> =
+                                self.store.iter().map(|(k, v)| (*k, v.clone())).collect();
+                            let versions: usize = entries.iter().map(|(_, v)| v.len()).sum();
+                            ctx.metrics().add("dynamo.gossip_versions_sent", versions as u64);
+                            ctx.send(self.peers[peer], DynamoMsg::SyncPush { entries });
+                        }
+                        GossipMode::Digest => {
+                            let me = ctx.me();
+                            let entries: Vec<(u64, Vec<Dot>)> = self
+                                .store
+                                .iter()
+                                .map(|(k, v)| (*k, v.iter().map(|ver| ver.dot).collect()))
+                                .collect();
+                            let dots: usize = entries.iter().map(|(_, d)| d.len()).sum();
+                            ctx.metrics().add("dynamo.gossip_digest_dots", dots as u64);
+                            ctx.send(self.peers[peer], DynamoMsg::SyncDigest { entries, resp_to: me });
+                        }
+                    }
+                }
+                if let Some(interval) = self.cfg.gossip_interval {
+                    ctx.set_timer(interval, tag(TAG_GOSSIP, 0));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, from: NodeId, msg: DynamoMsg<V>) {
+        match msg {
+            // ----- coordination: PUT -----
+            DynamoMsg::ClientPut { req, key, value, context, resp_to } => {
+                let me = ctx.me();
+                self.events = self.events.max(context.get(self.store_id)) + 1;
+                let dot = Dot { node: self.store_id, counter: self.events };
+                let version = Versioned::new(context, dot, value);
+                // Reconcile into the local slot first, then replicate the
+                // *whole* sibling set: versions minted here always travel
+                // together, which is what keeps dot coverage sound (see
+                // the message's docs).
+                self.local_merge(key, version);
+                let versions = self.versions(key).to_vec();
+                let prefs = self.ring.preference_list(key, self.cfg.n);
+                for s in &prefs {
+                    if *s == self.store_id {
+                        // Already stored locally; count the ack directly.
+                        ctx.send(me, DynamoMsg::ReplicaPutAck { req });
+                        continue;
+                    }
+                    ctx.send(
+                        self.peers[*s as usize],
+                        DynamoMsg::ReplicaPut {
+                            req: Some(req),
+                            key,
+                            versions: versions.clone(),
+                            hint_for: None,
+                            resp_to: me,
+                        },
+                    );
+                }
+                self.pending.insert(
+                    req,
+                    PendingOp::Put {
+                        key,
+                        versions,
+                        acks: 0,
+                        contacted: prefs.len(),
+                        widened: false,
+                        resp_to,
+                    },
+                );
+                ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
+            }
+            DynamoMsg::ReplicaPutAck { req } => {
+                let done = {
+                    let Some(PendingOp::Put { acks, .. }) = self.pending.get_mut(&req) else {
+                        return;
+                    };
+                    *acks += 1;
+                    *acks >= self.cfg.w
+                };
+                if done {
+                    if let Some(PendingOp::Put { resp_to, .. }) = self.pending.remove(&req) {
+                        ctx.metrics().inc("dynamo.puts_ok");
+                        ctx.send(resp_to, DynamoMsg::PutOk { req });
+                    }
+                }
+            }
+
+            // ----- coordination: GET -----
+            DynamoMsg::ClientGet { req, key, resp_to } => {
+                let me = ctx.me();
+                let prefs = self.ring.preference_list(key, self.cfg.n);
+                for s in &prefs {
+                    ctx.send(self.peers[*s as usize], DynamoMsg::ReplicaGet { req, key, resp_to: me });
+                }
+                self.pending.insert(
+                    req,
+                    PendingOp::Get {
+                        key,
+                        responses: 0,
+                        merged: Vec::new(),
+                        contacted: prefs.len(),
+                        widened: false,
+                        resp_to,
+                    },
+                );
+                ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
+            }
+            DynamoMsg::ReplicaGetResp { req, key: _, versions } => {
+                let done = {
+                    let Some(PendingOp::Get { responses, merged, .. }) = self.pending.get_mut(&req)
+                    else {
+                        return;
+                    };
+                    *responses += 1;
+                    merge_versions(merged, &versions);
+                    *responses >= self.cfg.r
+                };
+                if done {
+                    self.finish_get(ctx, req);
+                }
+            }
+
+            // ----- replica duties -----
+            DynamoMsg::ReplicaPut { req, key, versions, hint_for, resp_to } => {
+                merge_versions(self.store.entry(key).or_default(), &versions);
+                if let Some(intended) = hint_for {
+                    if intended != self.store_id {
+                        let hint_id = self.next_hint_id;
+                        self.next_hint_id += 1;
+                        self.hints.insert(hint_id, (intended, key));
+                        ctx.metrics().inc("dynamo.hints_stored");
+                    }
+                }
+                if let Some(req) = req {
+                    ctx.send(resp_to, DynamoMsg::ReplicaPutAck { req });
+                }
+            }
+            DynamoMsg::ReplicaGet { req, key, resp_to } => {
+                let versions = self.versions(key).to_vec();
+                ctx.send(resp_to, DynamoMsg::ReplicaGetResp { req, key, versions });
+            }
+            DynamoMsg::HintDeliver { hint_id, key, versions } => {
+                merge_versions(self.store.entry(key).or_default(), &versions);
+                ctx.send(from, DynamoMsg::HintAck { hint_id });
+            }
+            DynamoMsg::HintAck { hint_id } => {
+                if self.hints.remove(&hint_id).is_some() {
+                    ctx.metrics().inc("dynamo.hints_delivered");
+                }
+            }
+            DynamoMsg::SyncPush { entries } => {
+                for (key, versions) in entries {
+                    merge_versions(self.store.entry(key).or_default(), &versions);
+                }
+            }
+            DynamoMsg::SyncDigest { entries, resp_to } => {
+                // Reply with exactly what the sender is missing: our
+                // versions whose dots are absent from its digest, plus
+                // whole keys it doesn't know.
+                use std::collections::HashMap as Map;
+                let theirs: Map<u64, &Vec<Dot>> =
+                    entries.iter().map(|(k, d)| (*k, d)).collect();
+                let mut missing: Vec<(u64, Vec<Versioned<V>>)> = Vec::new();
+                for (key, versions) in &self.store {
+                    let have = theirs.get(key);
+                    let novel: Vec<Versioned<V>> = versions
+                        .iter()
+                        .filter(|v| have.is_none_or(|dots| !dots.contains(&v.dot)))
+                        .cloned()
+                        .collect();
+                    if !novel.is_empty() {
+                        missing.push((*key, novel));
+                    }
+                }
+                if !missing.is_empty() {
+                    let versions: usize = missing.iter().map(|(_, v)| v.len()).sum();
+                    ctx.metrics().add("dynamo.gossip_versions_sent", versions as u64);
+                    ctx.send(resp_to, DynamoMsg::SyncPush { entries: missing });
+                }
+            }
+
+            // Client-facing responses are not for us.
+            DynamoMsg::PutOk { .. }
+            | DynamoMsg::PutFailed { .. }
+            | DynamoMsg::GetOk { .. }
+            | DynamoMsg::GetFailed { .. } => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // The store itself is on disk; coordination state is volatile.
+        self.pending.clear();
+    }
+}

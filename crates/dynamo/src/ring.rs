@@ -1,0 +1,186 @@
+//! The consistent-hash ring ("Dynamo is a replicated blob store
+//! implemented with a Dynamic Hash Table", §6.1).
+//!
+//! Each physical store owns many virtual nodes on a 64-bit ring; a key's
+//! preference list is the first N *distinct* stores found walking
+//! clockwise from the key's hash. Virtual nodes smooth the load and make
+//! membership changes remap only a sliver of the key space — verified by
+//! the `minimal_remap` tests below.
+
+use std::collections::BTreeMap;
+
+use crate::vclock::StoreId;
+
+/// 64-bit FNV-1a followed by a splitmix64 finalizer. FNV alone maps
+/// sequential keys onto an arithmetic progression around the ring (its
+/// final step is a multiply), which skews arc ownership; the finalizer's
+/// xor-shifts break that structure.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    mix64(h)
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a key onto the ring.
+pub fn hash_key(key: u64) -> u64 {
+    fnv64(&key.to_le_bytes())
+}
+
+/// The consistent-hash ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// ring position → owning store.
+    vnodes: BTreeMap<u64, StoreId>,
+    vnodes_per_store: usize,
+}
+
+impl Ring {
+    /// A ring over stores `0..n_stores`, each with `vnodes_per_store`
+    /// virtual nodes.
+    pub fn new(n_stores: u32, vnodes_per_store: usize) -> Self {
+        let mut ring = Ring { vnodes: BTreeMap::new(), vnodes_per_store };
+        for s in 0..n_stores {
+            ring.add_store(s);
+        }
+        ring
+    }
+
+    /// Add a store's virtual nodes.
+    pub fn add_store(&mut self, store: StoreId) {
+        for v in 0..self.vnodes_per_store {
+            let pos = fnv64(&[&store.to_le_bytes()[..], &v.to_le_bytes()[..]].concat());
+            self.vnodes.insert(pos, store);
+        }
+    }
+
+    /// Remove a store's virtual nodes (decommissioning).
+    pub fn remove_store(&mut self, store: StoreId) {
+        self.vnodes.retain(|_, s| *s != store);
+    }
+
+    /// Number of distinct stores on the ring.
+    pub fn store_count(&self) -> usize {
+        let mut ids: Vec<StoreId> = self.vnodes.values().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The first `n` distinct stores clockwise from the key's hash — the
+    /// key's preference list. If fewer than `n` stores exist, returns
+    /// them all.
+    pub fn preference_list(&self, key: u64, n: usize) -> Vec<StoreId> {
+        let h = hash_key(key);
+        let mut out = Vec::with_capacity(n);
+        for (_, store) in self.vnodes.range(h..).chain(self.vnodes.range(..h)) {
+            if !out.contains(store) {
+                out.push(*store);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The coordinator (first preference) for a key.
+    pub fn coordinator(&self, key: u64) -> Option<StoreId> {
+        self.preference_list(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_list_is_stable_and_distinct() {
+        let ring = Ring::new(5, 64);
+        for key in 0..200u64 {
+            let p = ring.preference_list(key, 3);
+            assert_eq!(p.len(), 3);
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), 3, "duplicates in preference list {p:?}");
+            assert_eq!(p, ring.preference_list(key, 3));
+        }
+    }
+
+    #[test]
+    fn short_rings_return_everyone() {
+        let ring = Ring::new(2, 16);
+        assert_eq!(ring.preference_list(42, 5).len(), 2);
+    }
+
+    #[test]
+    fn load_spreads_across_stores() {
+        let ring = Ring::new(4, 128);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[ring.coordinator(key).unwrap() as usize] += 1;
+        }
+        for c in counts {
+            assert!((500..2000).contains(&c), "coordinator load skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_store_remaps_only_its_share() {
+        let before = Ring::new(5, 128);
+        let mut after = before.clone();
+        after.remove_store(4);
+        let mut moved = 0;
+        let mut total = 0;
+        for key in 0..2000u64 {
+            let b = before.coordinator(key).unwrap();
+            let a = after.coordinator(key).unwrap();
+            total += 1;
+            if b != a {
+                moved += 1;
+                assert_eq!(b, 4, "only keys owned by the removed store may move");
+            }
+        }
+        // Expect roughly 1/5 of keys to move.
+        assert!(
+            (total / 10..total / 2).contains(&moved),
+            "moved {moved} of {total}"
+        );
+    }
+
+    #[test]
+    fn adding_a_store_steals_only_from_others() {
+        let before = Ring::new(4, 128);
+        let mut after = before.clone();
+        after.add_store(4);
+        let mut moved = 0;
+        for key in 0..2000u64 {
+            let b = before.coordinator(key).unwrap();
+            let a = after.coordinator(key).unwrap();
+            if b != a {
+                moved += 1;
+                assert_eq!(a, 4, "keys may only move to the new store");
+            }
+        }
+        assert!(moved > 100, "the new store must take real load: {moved}");
+    }
+
+    #[test]
+    fn store_count_tracks_membership() {
+        let mut ring = Ring::new(3, 8);
+        assert_eq!(ring.store_count(), 3);
+        ring.remove_store(1);
+        assert_eq!(ring.store_count(), 2);
+        ring.add_store(7);
+        assert_eq!(ring.store_count(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Vector clocks: the causality tracking that lets the store *keep*
+//! conflicting versions instead of losing one of them.
+//!
+//! Dynamo "always accepts a PUT to the store even if this may result in
+//! an inconsistent GET later on" (§6.1). The price is that a GET may
+//! return two or more sibling versions; the vector clock is how the
+//! store knows which versions are mere ancestors (safe to drop) and
+//! which are genuine siblings (must be surfaced to the application for
+//! reconciliation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a storage node for clock purposes.
+pub type StoreId = u32;
+
+/// How two clocks relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical clocks.
+    Equal,
+    /// `self` causally precedes the other (the other has seen all of
+    /// `self`'s events and more).
+    Before,
+    /// `self` causally follows the other.
+    After,
+    /// Neither dominates: concurrent — genuine siblings.
+    Concurrent,
+}
+
+/// A vector clock: per-store event counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct VectorClock {
+    entries: BTreeMap<StoreId, u64>,
+}
+
+impl VectorClock {
+    /// The empty (initial) clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The counter for one store.
+    pub fn get(&self, id: StoreId) -> u64 {
+        self.entries.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Record one more event at `id`, returning the new clock.
+    pub fn incremented(&self, id: StoreId) -> VectorClock {
+        let mut c = self.clone();
+        *c.entries.entry(id).or_insert(0) += 1;
+        c
+    }
+
+    /// A copy with `id`'s counter raised to at least `value`. Used by
+    /// coordinators that keep a monotonic per-node event counter, so two
+    /// writes with the same causal context still get distinct clocks.
+    pub fn with_entry(&self, id: StoreId, value: u64) -> VectorClock {
+        let mut c = self.clone();
+        let e = c.entries.entry(id).or_insert(0);
+        *e = (*e).max(value);
+        c
+    }
+
+    /// Pointwise maximum — the clock of a state that has seen both
+    /// histories.
+    pub fn merged(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        for (id, n) in &other.entries {
+            let e = out.entries.entry(*id).or_insert(0);
+            *e = (*e).max(*n);
+        }
+        out
+    }
+
+    /// Causal comparison.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        let mut self_ahead = false;
+        let mut other_ahead = false;
+        for (id, n) in &self.entries {
+            match other.get(*id).cmp(n) {
+                std::cmp::Ordering::Less => self_ahead = true,
+                std::cmp::Ordering::Greater => other_ahead = true,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        for (id, n) in &other.entries {
+            if self.get(*id) < *n {
+                other_ahead = true;
+            }
+        }
+        match (self_ahead, other_ahead) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::After,
+            (false, true) => Causality::Before,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// True if `self` dominates-or-equals `other` (safe to drop `other`).
+    pub fn descends(&self, other: &VectorClock) -> bool {
+        matches!(self.compare(other), Causality::After | Causality::Equal)
+    }
+
+    /// Number of stores that have coordinated writes of this value.
+    pub fn width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total event count (for size-based truncation heuristics).
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (id, n)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{id}:{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        assert_eq!(VectorClock::new().compare(&VectorClock::new()), Causality::Equal);
+    }
+
+    #[test]
+    fn increment_makes_a_strict_descendant() {
+        let a = VectorClock::new();
+        let b = a.incremented(1);
+        assert_eq!(b.compare(&a), Causality::After);
+        assert_eq!(a.compare(&b), Causality::Before);
+        assert!(b.descends(&a));
+        assert!(!a.descends(&b));
+    }
+
+    #[test]
+    fn divergent_increments_are_concurrent() {
+        let base = VectorClock::new().incremented(0);
+        let a = base.incremented(1);
+        let b = base.incremented(2);
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert_eq!(b.compare(&a), Causality::Concurrent);
+        assert!(!a.descends(&b) && !b.descends(&a));
+    }
+
+    #[test]
+    fn merge_dominates_both_parents() {
+        let base = VectorClock::new().incremented(0);
+        let a = base.incremented(1);
+        let b = base.incremented(2);
+        let m = a.merged(&b);
+        assert!(m.descends(&a));
+        assert!(m.descends(&b));
+        // ... and a post-merge write strictly descends.
+        let w = m.incremented(0);
+        assert_eq!(w.compare(&a), Causality::After);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let a = VectorClock::new().incremented(1).incremented(1).incremented(2);
+        let b = VectorClock::new().incremented(2).incremented(3);
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&a), a);
+    }
+
+    #[test]
+    fn equal_after_same_events() {
+        let a = VectorClock::new().incremented(1).incremented(2);
+        let b = VectorClock::new().incremented(1).incremented(2);
+        assert_eq!(a.compare(&b), Causality::Equal);
+        assert!(a.descends(&b) && b.descends(&a));
+    }
+
+    #[test]
+    fn width_and_total_count_events() {
+        let c = VectorClock::new().incremented(1).incremented(1).incremented(5);
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(5), 1);
+        assert_eq!(c.get(9), 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = VectorClock::new().incremented(2).incremented(7);
+        assert_eq!(c.to_string(), "[s2:1,s7:1]");
+    }
+}

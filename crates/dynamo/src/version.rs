@@ -1,0 +1,218 @@
+//! Versioned values with **dotted version vectors** and sibling
+//! management.
+//!
+//! A store slot holds a *set* of versions. Each version carries the
+//! causal **context** its writer had seen (a [`VectorClock`]) plus a
+//! **dot** — the globally unique event id `(coordinator, counter)` of
+//! the write itself. Dominance is judged the DVV way:
+//!
+//! > version A makes version B redundant iff A *is* B (same dot) or A's
+//! > context includes B's dot.
+//!
+//! Plain vector clocks break on the paper's own availability posture:
+//! a client that could not GET (partition) writes with an *empty*
+//! context, and a coordinator-local clock either falsely dominates the
+//! versions already written there (losing them) or is falsely dominated
+//! (losing the new write). The dot separates "what this write has seen"
+//! from "what this write is", so blind writes become honest siblings —
+//! and the §6.1 contract ("Dynamo always accepts a PUT... items added
+//! to the cart will not be lost") actually holds.
+
+use crate::vclock::{StoreId, VectorClock};
+
+/// The unique event id of one write: which store coordinated it and its
+/// position in that store's monotonic write counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dot {
+    /// Coordinating store.
+    pub node: StoreId,
+    /// The coordinator's write counter at this write (starts at 1).
+    pub counter: u64,
+}
+
+/// A value with its causal metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Versioned<V> {
+    /// Everything the writer had seen when it wrote.
+    pub context: VectorClock,
+    /// The write's own event.
+    pub dot: Dot,
+    /// The application blob.
+    pub value: V,
+}
+
+impl<V> Versioned<V> {
+    /// Pair a value with its causal context and dot.
+    pub fn new(context: VectorClock, dot: Dot, value: V) -> Self {
+        Versioned { context, dot, value }
+    }
+
+    /// The clock a reader inherits from this version: context plus the
+    /// write's own event. Feeding the merge of all siblings' effective
+    /// clocks back as the next write's context is what makes that write
+    /// supersede them all.
+    pub fn effective_clock(&self) -> VectorClock {
+        self.context.with_entry(self.dot.node, self.dot.counter)
+    }
+
+    /// True if this version makes `other` redundant: same write, or this
+    /// writer had already seen `other`'s event.
+    pub fn supersedes<U>(&self, other: &Versioned<U>) -> bool {
+        self.dot == other.dot || self.context.get(other.dot.node) >= other.dot.counter
+    }
+}
+
+/// Merge `incoming` into the sibling set `slot`, maintaining the
+/// invariant that no version in the set supersedes another. Returns
+/// `true` if the set changed.
+pub fn merge_version<V: Clone>(slot: &mut Vec<Versioned<V>>, incoming: Versioned<V>) -> bool {
+    if slot.iter().any(|existing| existing.supersedes(&incoming)) {
+        return false;
+    }
+    slot.retain(|existing| !incoming.supersedes(existing));
+    slot.push(incoming);
+    true
+}
+
+/// Merge a whole remote sibling set into a local one (anti-entropy /
+/// read repair). Returns how many incoming versions were new.
+pub fn merge_versions<V: Clone>(slot: &mut Vec<Versioned<V>>, incoming: &[Versioned<V>]) -> usize {
+    let mut changed = 0;
+    for v in incoming {
+        if merge_version(slot, v.clone()) {
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// True if the two sibling sets contain exactly the same writes
+/// (convergence check for tests and experiments).
+pub fn same_versions<V>(a: &[Versioned<V>], b: &[Versioned<V>]) -> bool {
+    a.len() == b.len() && a.iter().all(|va| b.iter().any(|vb| va.dot == vb.dot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(node: StoreId, counter: u64) -> Dot {
+        Dot { node, counter }
+    }
+
+    fn v(context: VectorClock, d: Dot, val: u32) -> Versioned<u32> {
+        Versioned::new(context, d, val)
+    }
+
+    #[test]
+    fn descendant_replaces_ancestor() {
+        // Write 1 at node 0; reader saw it, wrote write 2 at node 0.
+        let v1 = v(VectorClock::new(), dot(0, 1), 1);
+        let ctx = v1.effective_clock();
+        let v2 = v(ctx, dot(0, 2), 2);
+        let mut slot = vec![v1];
+        assert!(merge_version(&mut slot, v2.clone()));
+        assert_eq!(slot.len(), 1);
+        assert_eq!(slot[0].value, 2);
+    }
+
+    #[test]
+    fn ancestor_is_absorbed_silently() {
+        let v1 = v(VectorClock::new(), dot(0, 1), 1);
+        let v2 = v(v1.effective_clock(), dot(0, 2), 2);
+        let mut slot = vec![v2];
+        assert!(!merge_version(&mut slot, v1));
+        assert_eq!(slot.len(), 1);
+        assert_eq!(slot[0].value, 2);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let v1 = v(VectorClock::new(), dot(0, 1), 1);
+        let mut slot = vec![v1.clone()];
+        assert!(!merge_version(&mut slot, v1));
+        assert_eq!(slot.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writes_become_siblings() {
+        let base = v(VectorClock::new(), dot(0, 1), 0);
+        let ctx = base.effective_clock();
+        let a = v(ctx.clone(), dot(1, 1), 1);
+        let b = v(ctx, dot(2, 1), 2);
+        let mut slot = vec![a];
+        assert!(merge_version(&mut slot, b));
+        assert_eq!(slot.len(), 2, "siblings must coexist");
+    }
+
+    #[test]
+    fn blind_write_at_a_busy_coordinator_is_a_sibling_not_a_clobber() {
+        // The empty-context PUT that plain vector clocks get wrong: node
+        // 0 already coordinated five writes; a partition-blinded client
+        // writes with an empty context through the same node.
+        let seen = v(VectorClock::new().with_entry(0, 4), dot(0, 5), 42);
+        let blind = v(VectorClock::new(), dot(0, 6), 7);
+        let mut slot = vec![seen.clone()];
+        assert!(merge_version(&mut slot, blind.clone()));
+        assert_eq!(slot.len(), 2, "neither write may be lost");
+        // And in the other merge order too.
+        let mut slot = vec![blind];
+        assert!(merge_version(&mut slot, seen));
+        assert_eq!(slot.len(), 2);
+    }
+
+    #[test]
+    fn merged_write_collapses_siblings() {
+        let a = v(VectorClock::new(), dot(1, 1), 1);
+        let b = v(VectorClock::new(), dot(2, 1), 2);
+        let mut slot = vec![a.clone(), b.clone()];
+        // The application reconciled: context = merge of effective clocks.
+        let ctx = a.effective_clock().merged(&b.effective_clock());
+        let m = v(ctx, dot(0, 1), 3);
+        assert!(merge_version(&mut slot, m));
+        assert_eq!(slot.len(), 1);
+        assert_eq!(slot[0].value, 3);
+    }
+
+    #[test]
+    fn merge_versions_counts_novelty_and_is_idempotent() {
+        let a = v(VectorClock::new(), dot(1, 1), 1);
+        let b = v(VectorClock::new(), dot(2, 1), 2);
+        let mut slot = vec![a.clone()];
+        let incoming = vec![a, b];
+        assert_eq!(merge_versions(&mut slot, &incoming), 1);
+        assert_eq!(slot.len(), 2);
+        assert_eq!(merge_versions(&mut slot, &incoming), 0);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let a = v(VectorClock::new(), dot(1, 1), 1);
+        let b = v(VectorClock::new(), dot(2, 1), 2);
+        let c = v(a.effective_clock().merged(&b.effective_clock()), dot(1, 2), 3);
+        let versions = [a, b, c];
+        // All 6 arrival orders end in the same set.
+        let mut reference: Option<Vec<Versioned<u32>>> = None;
+        for perm in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let mut slot = Vec::new();
+            for i in perm {
+                merge_version(&mut slot, versions[i].clone());
+            }
+            match &reference {
+                None => reference = Some(slot),
+                Some(r) => assert!(same_versions(&slot, r), "order-dependent merge"),
+            }
+        }
+        assert_eq!(reference.unwrap().len(), 1, "c supersedes both parents");
+    }
+
+    #[test]
+    fn same_versions_is_order_insensitive() {
+        let a = v(VectorClock::new(), dot(1, 1), 1);
+        let b = v(VectorClock::new(), dot(2, 1), 2);
+        let s1 = vec![a.clone(), b.clone()];
+        let s2 = vec![b, a.clone()];
+        assert!(same_versions(&s1, &s2));
+        assert!(!same_versions(&s1, &[a]));
+    }
+}

@@ -1,0 +1,22 @@
+//! # inventory — purchase orders, shipments, and stock policies
+//! (§5.4, §7.1, §7.2, §7.4 of *Building on Quicksand*)
+//!
+//! Two harnesses over the core resource patterns:
+//!
+//! - [`orders`] — the purchase-order workflow: uniquified orders,
+//!   per-replica dedup, effect ledgers that catch "overly enthusiastic"
+//!   replicas double-scheduling shipments at reconciliation, and
+//!   compensation that respects fungibility: fungible units silently
+//!   return to the shelf, the one Gutenberg bible becomes an apology.
+//! - [`stock`] — the over-provisioning / over-booking / sliding-policy
+//!   sweep (E10), plus the §7.2 forklift: reality breaks promises that
+//!   the bookkeeping kept perfectly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod orders;
+pub mod stock;
+
+pub use orders::{OrderResponse, Reconciliation, Warehouse, WAREHOUSE_NAMES};
+pub use stock::{run_stock, StockConfig, StockPolicy, StockReport};

@@ -1,0 +1,259 @@
+//! The purchase-order workflow of §5.4: "Sometimes, incoming work
+//! stimulates other work. For example, processing a purchase order may
+//! result in scheduling a shipment. Two replicas may get overly
+//! enthusiastic about the incoming purchase order and each schedule a
+//! shipment. By uniquely identifying the purchase order at its ingress
+//! to the system, the irrational exuberance on the part of the replicas
+//! can be identified as the knowledge sloshes through the network."
+//!
+//! A [`Warehouse`] is one replica of the fulfillment system. Orders are
+//! deduplicated locally ([`DedupTable`]) and their side effects
+//! (scheduled shipments) are recorded in an [`EffectLedger`]; when
+//! warehouses reconcile, redundant shipments surface and are compensated
+//! — returned to stock if the goods are fungible, apologized for if not
+//! (§7.4, §7.5).
+
+use quicksand_core::idempotence::{DedupTable, EffectLedger, RedundantEffect};
+use quicksand_core::resources::{AllocOutcome, Fungibility, ProvisionedReplica};
+use quicksand_core::uniquifier::Uniquifier;
+
+/// Warehouse names (the effect ledger attributes effects by replica
+/// name).
+pub const WAREHOUSE_NAMES: [&str; 8] =
+    ["wh-a", "wh-b", "wh-c", "wh-d", "wh-e", "wh-f", "wh-g", "wh-h"];
+
+/// The customer-visible answer to a purchase order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderResponse {
+    /// A shipment was scheduled.
+    Scheduled {
+        /// Units committed.
+        qty: u64,
+    },
+    /// No stock available under this warehouse's policy.
+    OutOfStock,
+}
+
+/// The outcome of reconciling two warehouses.
+#[derive(Debug, Clone, Default)]
+pub struct Reconciliation {
+    /// Redundant shipments discovered (same order shipped twice).
+    pub duplicate_shipments: Vec<RedundantEffect>,
+    /// Units returned to stock (fungible goods).
+    pub units_returned: u64,
+    /// Apologies owed (unique goods promised twice, §7.4's Gutenberg
+    /// bible).
+    pub apologies: u64,
+}
+
+/// One replica of the fulfillment system, holding a provisioned share of
+/// the stock.
+#[derive(Debug)]
+pub struct Warehouse {
+    /// Replica index.
+    pub id: u32,
+    /// What kind of goods this warehouse ships.
+    pub fungibility: Fungibility,
+    stock: ProvisionedReplica,
+    dedup: DedupTable<OrderResponse>,
+    effects: EffectLedger,
+    /// order uniquifier → allocation id, so a compensated shipment can
+    /// actually be released back to the shelf.
+    allocs: std::collections::HashMap<Uniquifier, Uniquifier>,
+    /// A1 ablation: with dedup off, retries re-execute.
+    dedup_enabled: bool,
+}
+
+impl Warehouse {
+    /// A warehouse owning `quota` units of stock.
+    pub fn new(id: u32, quota: u64, fungibility: Fungibility) -> Self {
+        assert!((id as usize) < WAREHOUSE_NAMES.len(), "add more warehouse names");
+        Warehouse {
+            id,
+            fungibility,
+            stock: ProvisionedReplica::new(id, quota),
+            dedup: DedupTable::new(1 << 16),
+            effects: EffectLedger::new(),
+            allocs: std::collections::HashMap::new(),
+            dedup_enabled: true,
+        }
+    }
+
+    /// Disable the dedup table (the A1 ablation knob).
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup_enabled = false;
+        self
+    }
+
+    /// This warehouse's replica name for effect attribution.
+    pub fn name(&self) -> &'static str {
+        WAREHOUSE_NAMES[self.id as usize]
+    }
+
+    /// Units still on the shelf here.
+    pub fn stock_remaining(&self) -> u64 {
+        self.stock.remaining()
+    }
+
+    /// Orders declined here.
+    pub fn declined(&self) -> u64 {
+        self.stock.declined_count()
+    }
+
+    /// The effect ledger (for audits).
+    pub fn effects(&self) -> &EffectLedger {
+        &self.effects
+    }
+
+    /// Process a purchase order: collapse retries, allocate stock,
+    /// schedule the shipment, remember the effect.
+    pub fn process_order(&mut self, order: Uniquifier, qty: u64) -> OrderResponse {
+        if self.dedup_enabled {
+            let stock = &mut self.stock;
+            let effects = &mut self.effects;
+            let allocs = &mut self.allocs;
+            let name = WAREHOUSE_NAMES[self.id as usize];
+            self.dedup
+                .execute(order, || {
+                    Self::fulfil(stock, effects, allocs, name, order, qty)
+                })
+                .into_response()
+        } else {
+            let name = WAREHOUSE_NAMES[self.id as usize];
+            Self::fulfil(&mut self.stock, &mut self.effects, &mut self.allocs, name, order, qty)
+        }
+    }
+
+    fn fulfil(
+        stock: &mut ProvisionedReplica,
+        effects: &mut EffectLedger,
+        allocs: &mut std::collections::HashMap<Uniquifier, Uniquifier>,
+        name: &'static str,
+        order: Uniquifier,
+        qty: u64,
+    ) -> OrderResponse {
+        // Without the dedup table, a retried order re-enters here; the
+        // allocator's own uniquifier check still collapses *local*
+        // retries, so derive a fresh allocation id per attempt when
+        // dedup is off — modelling a sloppier system that allocates per
+        // request, not per order.
+        let alloc_id = Uniquifier::derived_from_fields(&[
+            b"alloc",
+            &order.as_raw().to_le_bytes(),
+            &stock.used().to_le_bytes(),
+            &effects.len().to_le_bytes(),
+        ]);
+        match stock.try_allocate(alloc_id, qty) {
+            AllocOutcome::Granted => {
+                allocs.insert(order, alloc_id);
+                effects.record(order, name, format!("scheduled shipment of {qty}"));
+                OrderResponse::Scheduled { qty }
+            }
+            AllocOutcome::Duplicate => OrderResponse::Scheduled { qty },
+            AllocOutcome::Declined { .. } => OrderResponse::OutOfStock,
+        }
+    }
+
+    /// Reconcile with another warehouse: merge effect knowledge, detect
+    /// redundant shipments, compensate per fungibility.
+    pub fn reconcile(&mut self, other: &mut Warehouse) -> Reconciliation {
+        let mut out = Reconciliation::default();
+        let dups = self.effects.merge(other.effects());
+        for d in dups {
+            // Parse the shipped quantity back out of the effect record.
+            let qty: u64 = d
+                .redundant
+                .what
+                .split_whitespace()
+                .rev()
+                .find_map(|w| w.trim_end_matches(" [compensated]").parse().ok())
+                .unwrap_or(1);
+            match self.fungibility {
+                Fungibility::Fungible => {
+                    // The redundant units go back on the shelf of
+                    // whichever warehouse shipped redundantly.
+                    let holder = if d.redundant.replica == self.name() {
+                        &mut *self
+                    } else {
+                        &mut *other
+                    };
+                    if let Some(alloc_id) = holder.allocs.remove(&d.redundant.id) {
+                        holder.stock.release(alloc_id);
+                    }
+                    out.units_returned += qty;
+                }
+                Fungibility::Unique => {
+                    out.apologies += 1;
+                }
+            }
+            out.duplicate_shipments.push(d);
+        }
+        // Share the merged (and compensation-marked) knowledge back, so
+        // neither side re-reports these duplicates later.
+        other.effects = self.effects.clone();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(n: u64) -> Uniquifier {
+        Uniquifier::composite("purchase-order", n)
+    }
+
+    #[test]
+    fn retries_are_collapsed_with_dedup_on() {
+        let mut wh = Warehouse::new(0, 10, Fungibility::Fungible);
+        let r1 = wh.process_order(order(1), 2);
+        let r2 = wh.process_order(order(1), 2); // client retry
+        assert_eq!(r1, OrderResponse::Scheduled { qty: 2 });
+        assert_eq!(r2, r1);
+        assert_eq!(wh.stock_remaining(), 8, "one shipment, not two");
+    }
+
+    #[test]
+    fn retries_double_allocate_with_dedup_off() {
+        let mut wh = Warehouse::new(0, 10, Fungibility::Fungible).without_dedup();
+        wh.process_order(order(1), 2);
+        wh.process_order(order(1), 2);
+        assert_eq!(wh.stock_remaining(), 6, "the ablation must show the damage");
+    }
+
+    #[test]
+    fn two_enthusiastic_replicas_detected_at_reconciliation() {
+        let mut a = Warehouse::new(0, 10, Fungibility::Fungible);
+        let mut b = Warehouse::new(1, 10, Fungibility::Fungible);
+        // The same purchase order reaches both (retry crossed a replica
+        // boundary).
+        a.process_order(order(7), 3);
+        b.process_order(order(7), 3);
+        let rec = a.reconcile(&mut b);
+        assert_eq!(rec.duplicate_shipments.len(), 1);
+        assert_eq!(rec.units_returned, 3);
+        assert_eq!(rec.apologies, 0);
+        // Re-reconciling reports nothing new.
+        let rec2 = a.reconcile(&mut b);
+        assert!(rec2.duplicate_shipments.is_empty());
+    }
+
+    #[test]
+    fn unique_goods_turn_duplicates_into_apologies() {
+        let mut a = Warehouse::new(0, 1, Fungibility::Unique);
+        let mut b = Warehouse::new(1, 1, Fungibility::Unique);
+        a.process_order(order(9), 1);
+        b.process_order(order(9), 1);
+        let rec = a.reconcile(&mut b);
+        assert_eq!(rec.apologies, 1, "the Gutenberg bible was promised twice");
+        assert_eq!(rec.units_returned, 0);
+    }
+
+    #[test]
+    fn out_of_stock_declines() {
+        let mut wh = Warehouse::new(0, 2, Fungibility::Fungible);
+        assert_eq!(wh.process_order(order(1), 2), OrderResponse::Scheduled { qty: 2 });
+        assert_eq!(wh.process_order(order(2), 1), OrderResponse::OutOfStock);
+        assert_eq!(wh.declined(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The stock-allocation policy harness (E10): over-provisioning versus
+//! over-booking versus the dynamic sliding position, under skewed demand
+//! and real-world faults.
+//!
+//! "It is possible to be conservative and ensure you NEVER have to
+//! apologize to your customers. This will, however, sometimes result in
+//! you deciding to decline business you would rather have." (§7.1)
+//! And even then: "In preparing the book for shipment, it is run over by
+//! the forklift in the warehouse. So, over-provisioning notwithstanding,
+//! you need to apologize!" (§7.2)
+
+use quicksand_core::resources::{
+    rebalance, settle, AllocOutcome, OverbookedReplica, ProvisionedReplica,
+};
+use quicksand_core::uniquifier::Uniquifier;
+use rand::Rng;
+use sim::SimRng;
+
+/// How stock is split across disconnected sales replicas (§7.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StockPolicy {
+    /// Each replica owns a fixed share; it can never oversell, but
+    /// strands headroom where demand isn't.
+    OverProvision,
+    /// Replicas sell against their best knowledge of total sales, up to
+    /// `capacity × factor` (1.0 = only accidentally oversell; 1.15 = the
+    /// airline posture).
+    OverBook {
+        /// Booking factor (≥ 1.0).
+        factor: f64,
+    },
+    /// Over-provisioned, but while connected the unused quota slides
+    /// toward the replicas that have been declining demand.
+    Sliding,
+}
+
+/// Configuration for one policy run.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// The policy under test.
+    pub policy: StockPolicy,
+    /// Sales replicas.
+    pub n_replicas: usize,
+    /// Total real units in the warehouse.
+    pub total_stock: u64,
+    /// Rounds of disconnected selling.
+    pub rounds: u64,
+    /// Orders arriving per round (system-wide), one unit each.
+    pub orders_per_round: u64,
+    /// Zipf exponent of demand across replicas (0 = uniform; higher =
+    /// one storefront sees most of the traffic).
+    pub demand_skew: f64,
+    /// Probability an allocated unit is destroyed before shipping —
+    /// §7.2's forklift.
+    pub forklift_prob: f64,
+    /// Replicas communicate (sync knowledge / rebalance quota) every
+    /// this many rounds.
+    pub sync_every: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            policy: StockPolicy::OverProvision,
+            n_replicas: 4,
+            total_stock: 1000,
+            rounds: 100,
+            orders_per_round: 12,
+            demand_skew: 1.0,
+            forklift_prob: 0.0,
+            sync_every: 10,
+        }
+    }
+}
+
+/// What a policy run measured.
+#[derive(Debug, Clone, Default)]
+pub struct StockReport {
+    /// Orders that arrived.
+    pub orders: u64,
+    /// Orders accepted (promised to a customer).
+    pub accepted: u64,
+    /// Orders declined.
+    pub declined: u64,
+    /// Promises that exceeded real stock at settlement — each one an
+    /// apology (over-booking only).
+    pub oversold: u64,
+    /// Promises broken by the forklift despite a valid allocation.
+    pub forklift_apologies: u64,
+}
+
+impl StockReport {
+    /// Fraction of demand served.
+    pub fn fill_rate(&self) -> f64 {
+        if self.orders == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.orders as f64
+        }
+    }
+
+    /// Apologies per accepted order.
+    pub fn apology_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            (self.oversold + self.forklift_apologies) as f64 / self.accepted as f64
+        }
+    }
+}
+
+enum Fleet {
+    Provisioned(Vec<ProvisionedReplica>),
+    Overbooked(Vec<OverbookedReplica>),
+}
+
+/// Run one policy under one demand pattern.
+pub fn run_stock(cfg: &StockConfig, seed: u64) -> StockReport {
+    let mut rng = SimRng::new(seed);
+    let mut report = StockReport::default();
+    let share = cfg.total_stock / cfg.n_replicas as u64;
+    let mut fleet = match &cfg.policy {
+        StockPolicy::OverProvision | StockPolicy::Sliding => Fleet::Provisioned(
+            (0..cfg.n_replicas as u32).map(|i| ProvisionedReplica::new(i, share)).collect(),
+        ),
+        StockPolicy::OverBook { factor } => Fleet::Overbooked(
+            (0..cfg.n_replicas as u32)
+                .map(|i| OverbookedReplica::new(i, cfg.total_stock, *factor))
+                .collect(),
+        ),
+    };
+
+    let mut order_seq = 0u64;
+    for round in 0..cfg.rounds {
+        for _ in 0..cfg.orders_per_round {
+            let replica = rng.zipf(cfg.n_replicas, cfg.demand_skew);
+            let id = Uniquifier::composite("stock-order", order_seq);
+            order_seq += 1;
+            report.orders += 1;
+            let outcome = match &mut fleet {
+                Fleet::Provisioned(rs) => rs[replica].try_allocate(id, 1),
+                Fleet::Overbooked(rs) => rs[replica].try_allocate(id, 1),
+            };
+            match outcome {
+                AllocOutcome::Granted => {
+                    report.accepted += 1;
+                    if cfg.forklift_prob > 0.0 && rng.gen_bool(cfg.forklift_prob) {
+                        // The unit is destroyed: the promise is broken no
+                        // matter how conservative the bookkeeping was.
+                        report.forklift_apologies += 1;
+                    }
+                }
+                AllocOutcome::Declined { .. } => report.declined += 1,
+                AllocOutcome::Duplicate => {}
+            }
+        }
+        if (round + 1) % cfg.sync_every == 0 {
+            match &mut fleet {
+                Fleet::Provisioned(rs) => {
+                    if cfg.policy == StockPolicy::Sliding {
+                        rebalance(rs);
+                    }
+                }
+                Fleet::Overbooked(rs) => {
+                    // All-pairs knowledge sync.
+                    for i in 0..rs.len() {
+                        for j in (i + 1)..rs.len() {
+                            let (a, b) = rs.split_at_mut(j);
+                            a[i].sync(&mut b[0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Fleet::Overbooked(rs) = &fleet {
+        report.oversold = settle(rs).oversold;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scarce(policy: StockPolicy) -> StockConfig {
+        StockConfig {
+            policy,
+            total_stock: 400,
+            rounds: 100,
+            orders_per_round: 8, // demand 800 vs stock 400: scarcity
+            demand_skew: 1.4,
+            sync_every: 25,
+            ..StockConfig::default()
+        }
+    }
+
+    #[test]
+    fn over_provisioning_never_oversells_but_declines_business() {
+        let r = run_stock(&scarce(StockPolicy::OverProvision), 5);
+        assert_eq!(r.oversold, 0);
+        assert!(r.declined > 0);
+        // Skewed demand strands stock at cold replicas: we decline more
+        // than the true shortfall (800 - 400 = 400).
+        assert!(r.declined > 400, "{r:?}");
+    }
+
+    #[test]
+    fn over_booking_accepts_more_and_apologizes() {
+        let p = run_stock(&scarce(StockPolicy::OverProvision), 5);
+        let b = run_stock(&scarce(StockPolicy::OverBook { factor: 1.0 }), 5);
+        assert!(b.accepted >= p.accepted, "overbooking serves demand: {b:?} vs {p:?}");
+        // With periodic sync the accidental oversell is bounded but can
+        // be nonzero; with factor 1.15 it is deliberate.
+        let b15 = run_stock(&scarce(StockPolicy::OverBook { factor: 1.15 }), 5);
+        assert!(b15.oversold > 0, "deliberate overbooking must oversell: {b15:?}");
+        assert!(b15.accepted > b.accepted);
+    }
+
+    #[test]
+    fn sliding_beats_static_provisioning_under_skew() {
+        let static_r = run_stock(&scarce(StockPolicy::OverProvision), 7);
+        let sliding_r = run_stock(&scarce(StockPolicy::Sliding), 7);
+        assert!(
+            sliding_r.accepted > static_r.accepted,
+            "sliding {sliding_r:?} vs static {static_r:?}"
+        );
+        assert_eq!(sliding_r.oversold, 0, "sliding is still conservative");
+    }
+
+    #[test]
+    fn the_forklift_defeats_conservatism() {
+        let cfg = StockConfig { forklift_prob: 0.05, ..scarce(StockPolicy::OverProvision) };
+        let r = run_stock(&cfg, 9);
+        assert_eq!(r.oversold, 0);
+        assert!(r.forklift_apologies > 0, "reality apologizes anyway: {r:?}");
+    }
+
+    #[test]
+    fn abundant_stock_fills_everything_under_any_policy() {
+        for policy in [
+            StockPolicy::OverProvision,
+            StockPolicy::OverBook { factor: 1.0 },
+            StockPolicy::Sliding,
+        ] {
+            let cfg = StockConfig {
+                policy,
+                total_stock: 10_000,
+                rounds: 50,
+                orders_per_round: 10,
+                demand_skew: 0.0,
+                ..StockConfig::default()
+            };
+            let r = run_stock(&cfg, 11);
+            assert_eq!(r.fill_rate(), 1.0, "{r:?}");
+            assert_eq!(r.oversold, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_stock(&scarce(StockPolicy::OverBook { factor: 1.1 }), 13);
+        let b = run_stock(&scarce(StockPolicy::OverBook { factor: 1.1 }), 13);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.oversold, b.oversold);
+    }
+}

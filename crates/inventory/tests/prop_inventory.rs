@@ -1,0 +1,44 @@
+//! Property tests: stock conservation and reconciliation idempotence
+//! under arbitrary duplicated order streams.
+
+use inventory::{OrderResponse, Warehouse};
+use proptest::prelude::*;
+use quicksand_core::resources::Fungibility;
+use quicksand_core::uniquifier::Uniquifier;
+
+proptest! {
+    /// Units are conserved: whatever the retry pattern, granted stock
+    /// equals quota minus remaining, and after reconciliation each order
+    /// holds stock at most once across the fleet.
+    #[test]
+    fn stock_is_conserved_under_duplicated_orders(
+        stream in prop::collection::vec((0u64..40, 0u8..2), 1..120)
+    ) {
+        // An order's quantity is part of the order (functionally
+        // dependent on its uniquifier), so retries carry the same qty.
+        let qty_of = |order_n: u64| 1 + order_n % 3;
+        let quota = 500u64;
+        let mut a = Warehouse::new(0, quota, Fungibility::Fungible);
+        let mut b = Warehouse::new(1, quota, Fungibility::Fungible);
+        let mut granted_orders = std::collections::HashSet::new();
+        for (order_n, wh) in &stream {
+            let order = Uniquifier::composite("prop-order", *order_n);
+            let target = if *wh == 0 { &mut a } else { &mut b };
+            if let OrderResponse::Scheduled { .. } = target.process_order(order, qty_of(*order_n)) {
+                granted_orders.insert(*order_n);
+            }
+        }
+        // Reconcile (twice: idempotence).
+        let rec1 = a.reconcile(&mut b);
+        let rec2 = a.reconcile(&mut b);
+        prop_assert!(rec2.duplicate_shipments.is_empty(), "reconcile must be idempotent");
+        // After returns, the fleet's outstanding stock equals one grant
+        // per distinct granted order.
+        let outstanding = (quota - a.stock_remaining()) + (quota - b.stock_remaining());
+        let expected: u64 = granted_orders.iter().map(|n| qty_of(*n)).sum();
+        prop_assert_eq!(
+            outstanding, expected,
+            "returned {} units across {} dups", rec1.units_returned, rec1.duplicate_shipments.len()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The client: commits uniquified operations, retries on silence, and
+//! follows the redirect after a takeover. Its retries are what make the
+//! server-side uniquifier discipline (§2.1) load-bearing: a commit that
+//! raced the crash is re-submitted, unmodified, to whoever answers —
+//! exactly the paper-forms-in-triplicate protocol of §7.7.
+
+use quicksand_core::uniquifier::{Uniquifier, UniquifierSource};
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::msg::ShipMsg;
+use crate::types::ShipOp;
+
+const TAG_NEXT: u64 = 1;
+const TAG_RETRY: u64 = 2;
+const TAG_SHIFT: u64 = 48;
+
+fn tag(kind: u64, seq: u64) -> u64 {
+    (kind << TAG_SHIFT) | seq
+}
+
+/// A client process committing a stream of operations.
+#[derive(Debug)]
+pub struct ShipClient {
+    /// Client id (namespaces its uniquifiers).
+    pub id: u32,
+    primary: NodeId,
+    backup: NodeId,
+    redirected: bool,
+    ops_total: u64,
+    mean_interarrival: SimDuration,
+    retry_timeout: SimDuration,
+    ids: UniquifierSource,
+
+    issued: u64,
+    outstanding: Option<(ShipOp, SimTime)>,
+    /// Uniquifiers of every acknowledged commit, in order.
+    pub acked: Vec<Uniquifier>,
+}
+
+impl ShipClient {
+    /// Build a client that will commit `ops_total` operations.
+    pub fn new(
+        id: u32,
+        primary: NodeId,
+        backup: NodeId,
+        ops_total: u64,
+        mean_interarrival: SimDuration,
+        retry_timeout: SimDuration,
+    ) -> Self {
+        ShipClient {
+            id,
+            primary,
+            backup,
+            redirected: false,
+            ops_total,
+            mean_interarrival,
+            retry_timeout,
+            ids: UniquifierSource::new(id as u64),
+            issued: 0,
+            outstanding: None,
+            acked: Vec::new(),
+        }
+    }
+
+    fn target(&self) -> NodeId {
+        if self.redirected {
+            self.backup
+        } else {
+            self.primary
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        if self.issued >= self.ops_total {
+            return;
+        }
+        let mean = self.mean_interarrival.as_micros() as f64;
+        let d = SimDuration::from_micros(ctx.rng().exp_micros(mean));
+        ctx.set_timer(d, tag(TAG_NEXT, self.issued));
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        debug_assert!(self.outstanding.is_none());
+        let op = ShipOp {
+            id: self.ids.next_id(),
+            account: ctx.rng().gen_range(0..64),
+            delta: ctx.rng().gen_range(-100..=100),
+        };
+        self.issued += 1;
+        self.outstanding = Some((op.clone(), ctx.now()));
+        let me = ctx.me();
+        ctx.send(self.target(), ShipMsg::CommitReq { op, resp_to: me });
+        ctx.set_timer(self.retry_timeout, tag(TAG_RETRY, self.issued));
+    }
+}
+
+impl Actor<ShipMsg> for ShipClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ShipMsg>, t: u64) {
+        let kind = t >> TAG_SHIFT;
+        let seq = t & ((1 << TAG_SHIFT) - 1);
+        match kind {
+            TAG_NEXT if self.outstanding.is_none() && seq == self.issued => {
+                self.issue(ctx);
+            }
+            TAG_NEXT => {}
+            TAG_RETRY => {
+                if seq != self.issued {
+                    return; // stale
+                }
+                if let Some((op, _)) = &self.outstanding {
+                    // Resubmitted "without modification to ensure a lack
+                    // of confusion" (§7.7).
+                    let op = op.clone();
+                    let me = ctx.me();
+                    ctx.metrics().inc("logship.client_retries");
+                    ctx.send(self.target(), ShipMsg::CommitReq { op, resp_to: me });
+                    ctx.set_timer(self.retry_timeout, tag(TAG_RETRY, self.issued));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ShipMsg>, _from: NodeId, msg: ShipMsg) {
+        match msg {
+            ShipMsg::CommitAck { id } => {
+                if let Some((op, sent_at)) = &self.outstanding {
+                    if op.id == id {
+                        let lat = ctx.now().saturating_since(*sent_at);
+                        ctx.metrics().record("logship.commit_us", lat.as_micros() as f64);
+                        self.acked.push(id);
+                        self.outstanding = None;
+                        self.schedule_next(ctx);
+                    }
+                }
+            }
+            ShipMsg::RedirectNotice => {
+                self.redirected = true;
+                // Re-drive anything outstanding at the new primary now.
+                if let Some((op, _)) = &self.outstanding {
+                    let op = op.clone();
+                    let me = ctx.me();
+                    ctx.send(self.target(), ShipMsg::CommitReq { op, resp_to: me });
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The database node: primary, backup, and recovered-primary behaviour.
+//!
+//! One actor type plays all three roles because that is what happens in
+//! deployment: the backup *becomes* the primary on takeover, and the old
+//! primary comes back as neither — just a WAL with a tail nobody has
+//! seen (§4.2). Durability is modelled honestly: the WAL survives a
+//! crash (`on_crash` wipes only volatile state), which is precisely why
+//! the stuck tail can be resurrected at all.
+
+use std::collections::HashMap;
+
+use quicksand_core::op::{OpLog, Operation};
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::msg::ShipMsg;
+use crate::types::{Lsn, RecoveryPolicy, ShipMode, ShipOp, WalRecord};
+
+/// Timer tag: ship accumulated WAL records to the backup.
+const TAG_SHIP: u64 = 1;
+
+/// Database roles over a node's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbRole {
+    /// Serving commits and shipping its log.
+    Primary,
+    /// Replaying the shipped log; promotable.
+    Backup,
+    /// A failed primary after restart: not serving; may resurrect its
+    /// tail.
+    Recovered,
+}
+
+/// A database node in the log-shipping deployment.
+#[derive(Debug)]
+pub struct DbNode {
+    role: DbRole,
+    mode: ShipMode,
+    peer: NodeId,
+    clients: Vec<NodeId>,
+    ship_interval: SimDuration,
+    recovery: RecoveryPolicy,
+    dedup: bool,
+
+    // --- durable state (survives crashes) ---
+    /// The write-ahead log. Appended before any ack.
+    wal: Vec<WalRecord>,
+
+    // --- volatile state ---
+    /// Applied operations (uniquifier-deduped memory).
+    log: OpLog<ShipOp>,
+    /// Number of times an operation's business impact was applied more
+    /// than once (only possible when `dedup` is off).
+    duplicate_applications: u64,
+    /// Next LSN to assign (primary) / applied through (backup).
+    next_lsn: Lsn,
+    /// Highest own-WAL LSN the backup has acknowledged.
+    acked_upto: Option<Lsn>,
+    /// Sync mode: commit acks parked until the backup confirms.
+    pending_acks: HashMap<Lsn, (NodeId, quicksand_core::uniquifier::Uniquifier)>,
+    next_batch_id: u64,
+    /// LSN applied from the *peer's* WAL (backup side).
+    applied_from_peer: Lsn,
+}
+
+impl DbNode {
+    /// Build a node. `peer` is the other datacenter; `clients` are
+    /// notified on takeover.
+    pub fn new(
+        role: DbRole,
+        mode: ShipMode,
+        peer: NodeId,
+        clients: Vec<NodeId>,
+        ship_interval: SimDuration,
+        recovery: RecoveryPolicy,
+        dedup: bool,
+    ) -> Self {
+        DbNode {
+            role,
+            mode,
+            peer,
+            clients,
+            ship_interval,
+            recovery,
+            dedup,
+            wal: Vec::new(),
+            log: OpLog::new(),
+            duplicate_applications: 0,
+            next_lsn: 0,
+            acked_upto: None,
+            pending_acks: HashMap::new(),
+            next_batch_id: 0,
+            applied_from_peer: 0,
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> DbRole {
+        self.role
+    }
+
+    /// The node's applied-operation memory.
+    pub fn log(&self) -> &OpLog<ShipOp> {
+        &self.log
+    }
+
+    /// The durable WAL (for post-run stuck-tail accounting).
+    pub fn wal(&self) -> &[WalRecord] {
+        &self.wal
+    }
+
+    /// Operations applied more than once (dedup-off ablation).
+    pub fn duplicate_applications(&self) -> u64 {
+        self.duplicate_applications
+    }
+
+    /// Apply one operation's business impact, honouring (or not) the
+    /// uniquifier dedup.
+    fn apply_op(&mut self, op: ShipOp) -> bool {
+        if self.dedup {
+            self.log.record(op)
+        } else {
+            // Ablation: apply unconditionally; count the damage.
+            if self.log.contains(op.id()) {
+                self.duplicate_applications += 1;
+                // Model the duplicated business impact by re-applying
+                // onto a shadow id so materialization double-counts.
+                let mut dup = op;
+                dup.id = quicksand_core::uniquifier::Uniquifier::derived_from_fields(&[
+                    b"dup",
+                    &dup.id.as_raw().to_le_bytes(),
+                    &self.duplicate_applications.to_le_bytes(),
+                ]);
+                self.log.record(dup);
+                false
+            } else {
+                self.log.record(op)
+            }
+        }
+    }
+
+    fn ship_now(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        let from = match self.acked_upto {
+            Some(l) => (l + 1) as usize,
+            None => 0,
+        };
+        if from >= self.wal.len() {
+            return;
+        }
+        let recs: Vec<WalRecord> = self.wal[from..].to_vec();
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+        ctx.metrics().inc("logship.batches");
+        ctx.send(self.peer, ShipMsg::ShipBatch { batch_id, recs });
+    }
+
+    fn handle_commit(&mut self, ctx: &mut Context<'_, ShipMsg>, op: ShipOp, resp_to: NodeId) {
+        if self.role == DbRole::Recovered {
+            return; // not serving
+        }
+        let id = op.id();
+        if self.log.contains(id) {
+            // Retry of applied work: collapse. Under sync mode the
+            // original ack may still be pending; re-ack only when safe.
+            let still_pending = self.pending_acks.values().any(|(_, i)| *i == id);
+            if !still_pending {
+                ctx.send(resp_to, ShipMsg::CommitAck { id });
+            }
+            return;
+        }
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        // WAL append is the durability point: it precedes any ack.
+        self.wal.push(WalRecord { lsn, op: op.clone() });
+        self.apply_op(op);
+        match self.mode {
+            ShipMode::Asynchronous => {
+                ctx.send(resp_to, ShipMsg::CommitAck { id });
+            }
+            ShipMode::Synchronous => {
+                self.pending_acks.insert(lsn, (resp_to, id));
+                self.ship_now(ctx);
+            }
+        }
+    }
+}
+
+impl Actor<ShipMsg> for DbNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        if self.role == DbRole::Primary {
+            ctx.set_timer(self.ship_interval, TAG_SHIP);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ShipMsg>, tag: u64) {
+        if tag == TAG_SHIP && self.role == DbRole::Primary {
+            self.ship_now(ctx);
+            ctx.set_timer(self.ship_interval, TAG_SHIP);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ShipMsg>, from: NodeId, msg: ShipMsg) {
+        match msg {
+            ShipMsg::CommitReq { op, resp_to } => self.handle_commit(ctx, op, resp_to),
+
+            ShipMsg::ShipBatch { batch_id, recs } => {
+                // Backup: replay, constantly playing catch-up (§4.1).
+                let mut upto = self.applied_from_peer.saturating_sub(1);
+                for rec in recs {
+                    if rec.lsn >= self.applied_from_peer {
+                        self.applied_from_peer = rec.lsn + 1;
+                        // The backup's own WAL mirrors the primary's.
+                        self.wal.push(rec.clone());
+                        self.next_lsn = self.next_lsn.max(rec.lsn + 1);
+                        self.apply_op(rec.op);
+                    }
+                    upto = upto.max(rec.lsn);
+                }
+                ctx.send(from, ShipMsg::ShipAck { batch_id, upto });
+            }
+            ShipMsg::ShipAck { batch_id: _, upto } => {
+                self.acked_upto = Some(self.acked_upto.map_or(upto, |a| a.max(upto)));
+                if self.mode == ShipMode::Synchronous {
+                    let ready: Vec<Lsn> = self
+                        .pending_acks
+                        .keys()
+                        .copied()
+                        .filter(|l| *l <= upto)
+                        .collect();
+                    for lsn in ready {
+                        if let Some((resp_to, id)) = self.pending_acks.remove(&lsn) {
+                            ctx.send(resp_to, ShipMsg::CommitAck { id });
+                        }
+                    }
+                }
+            }
+
+            ShipMsg::TakeOver => {
+                if self.role == DbRole::Backup {
+                    self.role = DbRole::Primary;
+                    ctx.metrics().inc("logship.takeovers");
+                    // The new primary has no backup: it serves commits in
+                    // local-durability mode regardless of the old mode.
+                    self.mode = ShipMode::Asynchronous;
+                    for c in self.clients.clone() {
+                        ctx.send(c, ShipMsg::RedirectNotice);
+                    }
+                }
+            }
+
+            ShipMsg::ResurrectTail { recs } => {
+                // New primary absorbing a recovered node's stuck tail.
+                for rec in recs {
+                    if self.apply_op(rec.op.clone()) {
+                        ctx.metrics().inc("logship.resurrected");
+                        let lsn = self.next_lsn;
+                        self.next_lsn += 1;
+                        self.wal.push(WalRecord { lsn, op: rec.op });
+                    }
+                }
+            }
+
+            ShipMsg::CommitAck { .. } | ShipMsg::RedirectNotice => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // The WAL is on disk; everything else dies with the process.
+        self.log = OpLog::new();
+        self.pending_acks.clear();
+        self.acked_upto = None;
+        self.applied_from_peer = 0;
+        self.duplicate_applications = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, ShipMsg>) {
+        // Local recovery: replay the durable WAL.
+        self.role = DbRole::Recovered;
+        let recs = self.wal.clone();
+        self.next_lsn = recs.last().map_or(0, |r| r.lsn + 1);
+        for rec in &recs {
+            self.apply_op(rec.op.clone());
+        }
+        ctx.metrics().inc("logship.recoveries");
+        if self.recovery == RecoveryPolicy::Resurrect {
+            // "The goal of any recovery policy would be to examine the
+            // work in the tail of the log and determine what the heck to
+            // do" — we ship the whole WAL; uniquifiers collapse what the
+            // backup already saw.
+            ctx.send(self.peer, ShipMsg::ResurrectTail { recs });
+        }
+    }
+}

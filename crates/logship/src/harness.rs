@@ -1,0 +1,231 @@
+//! Builds the two-datacenter deployment, injects the failover, and
+//! extracts the report.
+//!
+//! Layout: clients `0..n_clients`, primary `n_clients`, backup
+//! `n_clients + 1`. The client↔database links run at LAN latency; the
+//! primary↔backup link is the WAN.
+
+use sim::{LinkConfig, Network, NodeId, Simulation};
+
+use crate::client::ShipClient;
+use crate::db::{DbNode, DbRole};
+use crate::msg::ShipMsg;
+use crate::types::{LogshipConfig, LogshipReport};
+
+/// Node ids for a deployment under `cfg`.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Client nodes.
+    pub clients: Vec<NodeId>,
+    /// The primary database.
+    pub primary: NodeId,
+    /// The backup database.
+    pub backup: NodeId,
+}
+
+/// Compute the node layout.
+pub fn layout(cfg: &LogshipConfig) -> Layout {
+    Layout {
+        clients: (0..cfg.n_clients).map(NodeId).collect(),
+        primary: NodeId(cfg.n_clients),
+        backup: NodeId(cfg.n_clients + 1),
+    }
+}
+
+/// Build the deployment into a fresh simulation.
+pub fn build(cfg: &LogshipConfig, seed: u64) -> (Simulation<ShipMsg>, Layout) {
+    let lay = layout(cfg);
+    let mut net = Network::new(LinkConfig::reliable(cfg.client_latency));
+    net.set_link(lay.primary, lay.backup, LinkConfig::reliable(cfg.wan_one_way));
+    let mut sim = Simulation::with_network(seed, net);
+
+    for i in 0..cfg.n_clients {
+        let id = sim.add_node(ShipClient::new(
+            i as u32,
+            lay.primary,
+            lay.backup,
+            cfg.ops_per_client,
+            cfg.mean_interarrival,
+            cfg.retry_timeout,
+        ));
+        debug_assert_eq!(id, lay.clients[i]);
+    }
+    let id = sim.add_node(DbNode::new(
+        DbRole::Primary,
+        cfg.mode,
+        lay.backup,
+        lay.clients.clone(),
+        cfg.ship_interval,
+        cfg.recovery,
+        cfg.dedup,
+    ));
+    debug_assert_eq!(id, lay.primary);
+    let id = sim.add_node(DbNode::new(
+        DbRole::Backup,
+        cfg.mode,
+        lay.primary,
+        lay.clients.clone(),
+        cfg.ship_interval,
+        cfg.recovery,
+        cfg.dedup,
+    ));
+    debug_assert_eq!(id, lay.backup);
+
+    if let Some(at) = cfg.crash_primary_at {
+        sim.schedule_crash(at, lay.primary);
+        sim.inject_at(at + cfg.takeover_delay, lay.backup, lay.backup, ShipMsg::TakeOver);
+        if let Some(restart) = cfg.restart_primary_at {
+            sim.schedule_restart(restart, lay.primary);
+        }
+    }
+    (sim, lay)
+}
+
+/// Run the configured scenario and report.
+pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
+    let (mut sim, lay) = build(cfg, seed);
+    sim.run_until(cfg.horizon);
+
+    let mut report = LogshipReport { sim_seconds: sim.now().as_secs_f64(), ..Default::default() };
+
+    // Who is the authority at the end of the run?
+    let authority = if cfg.crash_primary_at.is_some() { lay.backup } else { lay.primary };
+
+    let mut all_acked = Vec::new();
+    for c in &lay.clients {
+        let client: &ShipClient = sim.actor(*c);
+        report.acked += client.acked.len() as u64;
+        all_acked.extend(client.acked.iter().copied());
+    }
+
+    {
+        let auth: &DbNode = sim.actor(authority);
+        for id in &all_acked {
+            if !auth.log().contains(*id) {
+                report.lost_acked += 1;
+            }
+        }
+        report.duplicate_applications = auth.duplicate_applications();
+    }
+
+    // Stuck tail: durable at the old primary, never applied at the
+    // authority before recovery could run. (Counted even when the
+    // primary never restarts — the WAL is on disk either way.)
+    if cfg.crash_primary_at.is_some() {
+        let old: &DbNode = sim.actor(lay.primary);
+        let auth: &DbNode = sim.actor(lay.backup);
+        report.stuck_tail = old
+            .wal()
+            .iter()
+            .filter(|r| !auth.log().contains(r.op.id))
+            .count() as u64;
+    }
+
+    let m = sim.metrics_mut();
+    report.commit_mean_ms = m.histogram("logship.commit_us").mean() / 1000.0;
+    report.commit_p99_ms = m.histogram("logship.commit_us").percentile(99.0) / 1000.0;
+    report.resurrected = m.counter("logship.resurrected");
+    report.messages = m.counter("sim.messages_sent");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RecoveryPolicy, ShipMode};
+    use sim::{SimDuration, SimTime};
+
+    fn base() -> LogshipConfig {
+        LogshipConfig {
+            n_clients: 3,
+            ops_per_client: 30,
+            mean_interarrival: SimDuration::from_millis(4),
+            horizon: SimTime::from_secs(60),
+            ..LogshipConfig::default()
+        }
+    }
+
+    #[test]
+    fn async_mode_commits_at_lan_latency() {
+        let r = run(&base(), 3);
+        assert_eq!(r.acked, 90);
+        assert_eq!(r.lost_acked, 0);
+        // One LAN round trip is 1ms; WAN round trip is 40ms.
+        assert!(r.commit_mean_ms < 5.0, "async commit should not pay the WAN: {r:?}");
+    }
+
+    #[test]
+    fn sync_mode_pays_the_wan_round_trip() {
+        let mut cfg = base();
+        cfg.mode = ShipMode::Synchronous;
+        let r = run(&cfg, 3);
+        assert_eq!(r.acked, 90);
+        assert!(
+            r.commit_mean_ms >= 40.0,
+            "sync commit must include the WAN round trip: {r:?}"
+        );
+    }
+
+    #[test]
+    fn async_takeover_loses_a_bounded_recent_window() {
+        let mut cfg = base();
+        cfg.mean_interarrival = SimDuration::from_millis(2);
+        cfg.ship_interval = SimDuration::from_millis(50);
+        cfg.crash_primary_at = Some(SimTime::from_millis(100));
+        cfg.recovery = RecoveryPolicy::Discard;
+        let r = run(&cfg, 9);
+        assert!(r.lost_acked > 0, "the ack-before-ship window must bite: {r:?}");
+        assert!(r.stuck_tail >= r.lost_acked, "lost work is stuck in the WAL: {r:?}");
+        // But clients finished their runs against the new primary.
+        assert_eq!(r.acked, 90, "{r:?}");
+    }
+
+    #[test]
+    fn sync_takeover_loses_nothing_acked() {
+        let mut cfg = base();
+        cfg.mode = ShipMode::Synchronous;
+        cfg.crash_primary_at = Some(SimTime::from_millis(100));
+        cfg.recovery = RecoveryPolicy::Discard;
+        let r = run(&cfg, 9);
+        assert_eq!(r.lost_acked, 0, "sync shipping is transparent: {r:?}");
+        assert_eq!(r.acked, 90);
+    }
+
+    #[test]
+    fn resurrection_recovers_the_stuck_tail() {
+        let mut cfg = base();
+        cfg.mean_interarrival = SimDuration::from_millis(2);
+        cfg.ship_interval = SimDuration::from_millis(50);
+        cfg.crash_primary_at = Some(SimTime::from_millis(100));
+        cfg.restart_primary_at = Some(SimTime::from_secs(2));
+        cfg.recovery = RecoveryPolicy::Resurrect;
+        let r = run(&cfg, 9);
+        assert_eq!(r.lost_acked, 0, "resurrected ops must all reappear: {r:?}");
+        assert!(r.resurrected > 0, "{r:?}");
+        assert_eq!(r.duplicate_applications, 0, "uniquifiers collapse retries: {r:?}");
+    }
+
+    #[test]
+    fn without_dedup_resurrection_double_applies() {
+        let mut cfg = base();
+        cfg.mean_interarrival = SimDuration::from_millis(2);
+        cfg.ship_interval = SimDuration::from_millis(50);
+        cfg.crash_primary_at = Some(SimTime::from_millis(100));
+        cfg.restart_primary_at = Some(SimTime::from_secs(2));
+        cfg.recovery = RecoveryPolicy::Resurrect;
+        cfg.dedup = false;
+        let r = run(&cfg, 9);
+        assert!(
+            r.duplicate_applications > 0,
+            "without uniquifier dedup the tail double-applies: {r:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(&base(), 42);
+        let b = run(&base(), 42);
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.messages, b.messages);
+    }
+}

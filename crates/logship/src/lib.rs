@@ -1,0 +1,47 @@
+//! # logship — classic log shipping (§4 of *Building on Quicksand*)
+//!
+//! "A classic database system has a process that reads the log and ships
+//! it to a backup data-center. The normal implementation commits
+//! transactions at the primary system (acknowledging the user's commit
+//! request) and asynchronously ships the log." (§4.1)
+//!
+//! This crate implements that system honestly enough to expose every
+//! behaviour the paper builds its argument on:
+//!
+//! - **The latency trade**: [`ShipMode::Synchronous`] stalls each commit
+//!   for the WAN round trip; [`ShipMode::Asynchronous`] acks at local
+//!   durability. (E4 sweeps the WAN latency and ship interval.)
+//! - **The window**: under async shipping, a primary crash strands
+//!   acknowledged work in the primary's durable WAL — "stuck in the
+//!   primary... the backup will move ahead without knowledge of the
+//!   locked up work" (§4.2).
+//! - **Recovery policies**: [`RecoveryPolicy::Discard`] ("the pending
+//!   work is simply discarded", §5.1) versus
+//!   [`RecoveryPolicy::Resurrect`], which replays the tail into the new
+//!   primary — safe *only because* the shipped operations are uniquified
+//!   and commutative, the paper's core prescription. The `dedup: false`
+//!   ablation shows the double-application damage without uniquifiers.
+//!
+//! ```
+//! use logship::{run, LogshipConfig};
+//!
+//! let report = run(&LogshipConfig::default(), 7);
+//! assert_eq!(report.lost_acked, 0); // no failure injected, nothing lost
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod db;
+pub mod harness;
+pub mod msg;
+pub mod types;
+
+pub use client::ShipClient;
+pub use db::{DbNode, DbRole};
+pub use harness::{build, layout, run, Layout};
+pub use msg::ShipMsg;
+pub use types::{
+    Balances, LogshipConfig, LogshipReport, Lsn, RecoveryPolicy, ShipMode, ShipOp, WalRecord,
+};

@@ -1,0 +1,48 @@
+//! Protocol messages for the log-shipping model.
+
+use sim::NodeId;
+
+use crate::types::{Lsn, ShipOp, WalRecord};
+
+/// Messages between clients, the primary, and the backup.
+#[derive(Debug, Clone)]
+pub enum ShipMsg {
+    /// Client commit request.
+    CommitReq {
+        /// The uniquified operation.
+        op: ShipOp,
+        /// Where the ack goes.
+        resp_to: NodeId,
+    },
+    /// The commit is acknowledged (durable locally under async mode;
+    /// received at the backup under sync mode).
+    CommitAck {
+        /// The acknowledged operation's uniquifier.
+        id: quicksand_core::uniquifier::Uniquifier,
+    },
+    /// Primary → backup: WAL records from the last acknowledged LSN.
+    ShipBatch {
+        /// Correlation id.
+        batch_id: u64,
+        /// Records in LSN order.
+        recs: Vec<WalRecord>,
+    },
+    /// Backup → primary: received and applied through `upto`.
+    ShipAck {
+        /// Correlation id.
+        batch_id: u64,
+        /// Highest applied LSN.
+        upto: Lsn,
+    },
+    /// Harness → backup: the primary is gone; take over.
+    TakeOver,
+    /// New primary → clients: send future commits here.
+    RedirectNotice,
+    /// Recovered old primary → new primary: the stuck tail, replayed
+    /// (§5.1's "examine the work in the tail of the log and determine
+    /// what the heck to do").
+    ResurrectTail {
+        /// The tail records.
+        recs: Vec<WalRecord>,
+    },
+}

@@ -1,0 +1,152 @@
+//! Types for the log-shipping model: the WAL, the shipped operation, the
+//! configuration, and the experiment report.
+
+use quicksand_core::op::Operation;
+use quicksand_core::uniquifier::Uniquifier;
+use sim::{SimDuration, SimTime};
+
+/// Log sequence number in a database's WAL.
+pub type Lsn = u64;
+
+/// The business operation carried through the log — a commutative,
+/// uniquely identified account adjustment (the op-centric discipline of
+/// §6.5, which is what makes resurrection of a stuck tail safe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipOp {
+    /// Uniquifier assigned at ingress.
+    pub id: Uniquifier,
+    /// The account the operation adjusts.
+    pub account: u64,
+    /// Signed amount.
+    pub delta: i64,
+}
+
+/// Balances by account: the materialized state of a [`ShipOp`] log.
+pub type Balances = std::collections::BTreeMap<u64, i64>;
+
+impl Operation for ShipOp {
+    type State = Balances;
+    fn id(&self) -> Uniquifier {
+        self.id
+    }
+    fn apply(&self, state: &mut Balances) {
+        *state.entry(self.account).or_insert(0) += self.delta;
+    }
+}
+
+/// One durable WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Position in the writing node's WAL.
+    pub lsn: Lsn,
+    /// The operation committed at that position.
+    pub op: ShipOp,
+}
+
+/// When the primary acknowledges a commit relative to shipping (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipMode {
+    /// Acknowledge after the local WAL append; ship later. The paper's
+    /// normal deployment: fast, but "a failure of the primary during
+    /// this window will lock the work inside the primary".
+    Asynchronous,
+    /// Stall the ack until the backup confirms receipt — transparent
+    /// datacenter failover at the price of a WAN round trip per commit.
+    Synchronous,
+}
+
+/// What to do with the stuck tail when a failed primary comes back
+/// (§4.2, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// "In some cases, the pending work is simply discarded due to lack
+    /// of designed mechanisms to reclaim it!"
+    Discard,
+    /// Resurrect: replay the tail into the new primary. Safe only
+    /// because the operations are uniquified (retries collapse) and
+    /// commutative (arrival order doesn't matter).
+    Resurrect,
+}
+
+/// Configuration for one log-shipping run.
+#[derive(Debug, Clone)]
+pub struct LogshipConfig {
+    /// Ack-vs-ship ordering.
+    pub mode: ShipMode,
+    /// How long the shipper may buffer before sending (async mode).
+    pub ship_interval: SimDuration,
+    /// One-way latency between the primary and the backup datacenter.
+    pub wan_one_way: SimDuration,
+    /// One-way latency between clients and the databases.
+    pub client_latency: SimDuration,
+    /// Number of client processes.
+    pub n_clients: usize,
+    /// Operations each client commits.
+    pub ops_per_client: u64,
+    /// Mean client think time between commits (Poisson).
+    pub mean_interarrival: SimDuration,
+    /// Client retry timeout for unacknowledged commits.
+    pub retry_timeout: SimDuration,
+    /// Crash the primary at this time, if set.
+    pub crash_primary_at: Option<SimTime>,
+    /// Promote the backup this long after the crash.
+    pub takeover_delay: SimDuration,
+    /// Restart the failed primary at this time (it then applies
+    /// `recovery`), if set.
+    pub restart_primary_at: Option<SimTime>,
+    /// Stuck-tail policy on restart.
+    pub recovery: RecoveryPolicy,
+    /// If `false`, the new primary applies resurrected/retried work
+    /// without uniquifier dedup — the A1 ablation knob. Business impact
+    /// may then be duplicated.
+    pub dedup: bool,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for LogshipConfig {
+    fn default() -> Self {
+        LogshipConfig {
+            mode: ShipMode::Asynchronous,
+            ship_interval: SimDuration::from_millis(10),
+            wan_one_way: SimDuration::from_millis(20),
+            client_latency: SimDuration::from_micros(500),
+            n_clients: 4,
+            ops_per_client: 50,
+            mean_interarrival: SimDuration::from_millis(5),
+            retry_timeout: SimDuration::from_millis(100),
+            crash_primary_at: None,
+            takeover_delay: SimDuration::from_millis(10),
+            restart_primary_at: None,
+            recovery: RecoveryPolicy::Resurrect,
+            dedup: true,
+            horizon: SimTime::from_secs(60),
+        }
+    }
+}
+
+/// Measurements from one run.
+#[derive(Debug, Clone, Default)]
+pub struct LogshipReport {
+    /// Commits acknowledged to clients.
+    pub acked: u64,
+    /// Mean commit latency (ms) as clients saw it.
+    pub commit_mean_ms: f64,
+    /// p99 commit latency (ms).
+    pub commit_p99_ms: f64,
+    /// Acked operations absent from the authority (new primary) at the
+    /// end of the run — work the business promised and then lost.
+    pub lost_acked: u64,
+    /// Operations durably in the old primary's WAL but never shipped
+    /// before the crash (the stuck tail of §4.2).
+    pub stuck_tail: u64,
+    /// Operations resurrected into the new primary on recovery.
+    pub resurrected: u64,
+    /// Operations whose business impact was applied more than once at
+    /// the authority (only possible with `dedup: false`).
+    pub duplicate_applications: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+}

@@ -1,0 +1,51 @@
+//! Property tests: across arbitrary crash timings and shipping
+//! intervals, resurrection never loses acknowledged work and never
+//! double-applies it; sync shipping never loses anything even when
+//! discarded.
+
+use logship::{run, LogshipConfig, RecoveryPolicy, ShipMode};
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn resurrection_is_lossless_and_exactly_once(
+        seed in 0u64..1000,
+        crash_ms in 20u64..500,
+        ship_ms in 1u64..200,
+        restart_delay in 200u64..4000,
+    ) {
+        let cfg = LogshipConfig {
+            mode: ShipMode::Asynchronous,
+            ship_interval: SimDuration::from_millis(ship_ms),
+            mean_interarrival: SimDuration::from_millis(2),
+            crash_primary_at: Some(SimTime::from_millis(crash_ms)),
+            restart_primary_at: Some(SimTime::from_millis(crash_ms + restart_delay)),
+            recovery: RecoveryPolicy::Resurrect,
+            horizon: SimTime::from_secs(90),
+            ..LogshipConfig::default()
+        };
+        let r = run(&cfg, seed);
+        prop_assert_eq!(r.lost_acked, 0, "{:?}", r);
+        prop_assert_eq!(r.duplicate_applications, 0, "{:?}", r);
+        prop_assert_eq!(r.acked, 200, "{:?}", r);
+    }
+
+    #[test]
+    fn sync_shipping_is_transparent_for_any_crash_time(
+        seed in 0u64..1000,
+        crash_ms in 20u64..500,
+    ) {
+        let cfg = LogshipConfig {
+            mode: ShipMode::Synchronous,
+            mean_interarrival: SimDuration::from_millis(2),
+            crash_primary_at: Some(SimTime::from_millis(crash_ms)),
+            recovery: RecoveryPolicy::Discard,
+            horizon: SimTime::from_secs(90),
+            ..LogshipConfig::default()
+        };
+        let r = run(&cfg, seed);
+        prop_assert_eq!(r.lost_acked, 0, "{:?}", r);
+    }
+}

@@ -1,0 +1,130 @@
+//! Actors: the unit of failure in a simulation.
+//!
+//! Every process in the reproduced systems — a Tandem disk process, a log
+//! shipper, a Dynamo storage node, a client retrying requests — is an
+//! [`Actor`]. The simulator delivers messages and timer expirations to it
+//! and injects fail-fast crashes (§2.2 of the paper: a component either
+//! functions correctly or stops; no Byzantine behaviour).
+//!
+//! Crash semantics mirror real fail-fast hardware: on crash the actor's
+//! *volatile* state must be considered gone (the actor's `on_crash` hook
+//! is where it wipes in-memory fields), while anything the actor modelled
+//! as durable (its "disk" fields) survives to `on_restart`. Messages and
+//! timers addressed to a crashed actor are silently dropped — exactly the
+//! window in which work gets "stuck in the primary" (§4.2).
+
+use std::any::Any;
+
+use crate::metrics::MetricSet;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node (actor) in a simulation. Assigned densely by
+/// [`crate::world::Simulation::add_node`] starting from zero.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for a pending timer, usable with
+/// [`Context::cancel_timer`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A simulated process.
+///
+/// `M` is the simulation's message type — each subsystem crate defines one
+/// enum covering all of its protocol messages. The `Any` supertrait lets
+/// the experiment harness downcast actors back to their concrete types to
+/// read their final state after a run.
+pub trait Actor<M>: Any {
+    /// Called once when the simulation starts (after every node has been
+    /// added), in `NodeId` order. Schedule initial timers and sends here.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// A message has arrived from `from`.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// A timer set via [`Context::set_timer`] has fired. `tag` is the
+    /// value given at arming time.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+
+    /// The node has crashed (fail-fast). Wipe volatile state; keep fields
+    /// that model durable storage. No `Context` is available — a crashed
+    /// node cannot send.
+    fn on_crash(&mut self, _now: SimTime) {}
+
+    /// The node has been restarted after a crash. Recover from durable
+    /// state and re-arm timers.
+    fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
+}
+
+/// Deferred effects produced by an actor during one callback.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
+    CancelTimer { id: TimerId },
+}
+
+/// The actor's window into the simulation during a callback: clock,
+/// randomness, metrics, and the ability to send messages and arm timers.
+///
+/// Effects are applied by the simulator after the callback returns, in
+/// the order they were issued.
+pub struct Context<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) metrics: &'a mut MetricSet,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<M> Context<'_, M> {
+    /// This actor's own node id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The run-wide metric set.
+    pub fn metrics(&mut self) -> &mut MetricSet {
+        self.metrics
+    }
+
+    /// Send `msg` to `to` over the simulated network. Latency, loss,
+    /// duplication, and partitions are applied by the network model.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arm a one-shot timer that fires on this actor after `delay`,
+    /// delivering `tag` to [`Actor::on_timer`]. Timers do not survive a
+    /// crash.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancel a timer armed earlier. Cancelling an already-fired timer is
+    /// a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+}

@@ -1,0 +1,71 @@
+//! # sim — deterministic discrete-event simulation substrate
+//!
+//! *Building on Quicksand* (Helland & Campbell, CIDR 2009) reasons about
+//! systems whose interesting behaviour only appears under failure:
+//! processors that crash mid-transaction, datacenters that lose the tail
+//! of a shipped log, replicas that keep clearing checks while
+//! partitioned. This crate is the substrate on which every such system in
+//! the workspace is built — a replacement for the hardware and networks
+//! the paper's examples ran on.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** One seed fully determines the run, including every
+//!    latency draw, message loss, and failure. Experiment tables are
+//!    therefore replayable bit-for-bit (see `EXPERIMENTS.md`).
+//! 2. **Fail-fast failures** (§2.2 of the paper): a node either works or
+//!    is down. Crashes wipe volatile state but preserve whatever the
+//!    actor models as durable; messages to down nodes vanish, which is
+//!    precisely the window where work gets "stuck in the primary" (§4.2).
+//! 3. **Honest latency accounting**, because the entire argument of the
+//!    paper is a latency-vs-consistency trade: synchronous checkpoints
+//!    pay round trips, asynchronous ones don't.
+//!
+//! ## Example
+//!
+//! ```
+//! use sim::{Actor, Context, NodeId, SimDuration, SimTime, Simulation};
+//!
+//! #[derive(Clone)]
+//! enum Msg { Hello, World }
+//!
+//! struct Greeter { peer: Option<NodeId>, done: bool }
+//!
+//! impl Actor<Msg> for Greeter {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+//!         if let Some(p) = self.peer { ctx.send(p, Msg::Hello); }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+//!         match msg {
+//!             Msg::Hello => ctx.send(from, Msg::World),
+//!             Msg::World => self.done = true,
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let a = sim.add_node(Greeter { peer: None, done: false });
+//! let b = sim.add_node(Greeter { peer: Some(a), done: false });
+//! sim.run_until(SimTime::from_secs(1));
+//! assert!(sim.actor::<Greeter>(b).done);
+//! # let _ = SimDuration::ZERO;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use actor::{Actor, Context, NodeId, TimerId};
+pub use metrics::{Histogram, MetricSet};
+pub use net::{LinkConfig, Network};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceKind};
+pub use world::Simulation;

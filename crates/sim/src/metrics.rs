@@ -1,0 +1,216 @@
+//! Lightweight metrics for simulation runs.
+//!
+//! Actors record counters and latency samples through
+//! [`crate::actor::Context`]; the experiment harness reads them back from
+//! [`MetricSet`] after the run. Histograms keep every sample — simulation
+//! runs record at most a few hundred thousand values, and exact
+//! percentiles keep the experiment tables honest.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of `f64` samples with exact percentiles.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Exact percentile by nearest-rank (`p` in `[0, 100]`), or 0.0 when
+    /// empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.values.len() as f64 - 1.0)).round() as usize;
+        self.values[rank.min(self.values.len() - 1)]
+    }
+
+    /// Smallest sample, or 0.0 when empty.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample, or 0.0 when empty.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN recorded in histogram"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// A named collection of counters and histograms for one simulation run.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// An empty metric set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Add `by` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter; absent counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into the named histogram, creating it if absent.
+    pub fn record(&mut self, name: &str, v: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Mutable access to a histogram (for percentile queries); creates an
+    /// empty one if absent so report code never has to branch.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Iterate over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate over all histogram names in order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<40} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "{name:<40} n={} mean={:.2}", h.count(), h.mean())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricSet::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(50.0), 51.0); // nearest-rank on 0..=99
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_interleaved_record_and_query() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.max(), 5.0);
+        h.record(9.0); // un-sorts
+        assert_eq!(h.max(), 9.0);
+        h.record(1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_reads_as_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn metric_set_records_into_named_histograms() {
+        let mut m = MetricSet::new();
+        m.record("lat", 1.0);
+        m.record("lat", 3.0);
+        assert_eq!(m.histogram("lat").count(), 2);
+        assert!((m.histogram("lat").mean() - 2.0).abs() < 1e-9);
+        let names: Vec<_> = m.histogram_names().collect();
+        assert_eq!(names, vec!["lat"]);
+    }
+}

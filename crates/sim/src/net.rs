@@ -1,0 +1,290 @@
+//! The simulated message network.
+//!
+//! Links are unreliable in exactly the ways the paper cares about: they
+//! add latency (which is why synchronous checkpointing "at a distance"
+//! becomes unpalatable, §4.1), they drop messages (so retries and
+//! idempotence matter, §2.1), they may duplicate (so uniquifiers matter,
+//! §5.4), and they can be partitioned (so replicas proceed on local
+//! knowledge, §6). Per-link overrides let one simulation model a fast
+//! local bus between process pairs and a slow WAN to the backup
+//! datacenter at the same time.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+use crate::actor::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Delivery characteristics of one direction of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Minimum one-way delivery latency.
+    pub latency_min: SimDuration,
+    /// Maximum one-way delivery latency; actual latency is uniform in
+    /// `[latency_min, latency_max]`.
+    pub latency_max: SimDuration,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (at independently sampled
+    /// latencies).
+    pub duplicate_prob: f64,
+}
+
+impl LinkConfig {
+    /// A perfectly reliable link with fixed latency — the local
+    /// interconnect of a Tandem-style box.
+    pub fn reliable(latency: SimDuration) -> Self {
+        LinkConfig {
+            latency_min: latency,
+            latency_max: latency,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// A link with latency uniform in `[min, max]` and the given drop
+    /// probability.
+    pub fn lossy(min: SimDuration, max: SimDuration, drop_prob: f64) -> Self {
+        LinkConfig {
+            latency_min: min,
+            latency_max: max,
+            drop_prob,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// Add a duplication probability to an existing config.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    /// 1ms fixed latency, fully reliable.
+    fn default() -> Self {
+        LinkConfig::reliable(SimDuration::from_millis(1))
+    }
+}
+
+/// The fate of one send attempt, decided by [`Network::plan_delivery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after each listed delay (normally one entry; two when the
+    /// link duplicated the message).
+    Deliver(Vec<SimDuration>),
+    /// The message was dropped (loss or partition).
+    Dropped,
+}
+
+/// The simulated network: a default link plus per-pair overrides and an
+/// active partition set.
+#[derive(Debug, Default)]
+pub struct Network {
+    default_link: LinkConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// Ordered pairs currently blocked. Partitioning (a, b) blocks both
+    /// directions; both orderings are stored.
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// A network where every link uses `default_link`.
+    pub fn new(default_link: LinkConfig) -> Self {
+        Network {
+            default_link,
+            overrides: HashMap::new(),
+            blocked: HashSet::new(),
+        }
+    }
+
+    /// Override the link in *both* directions between `a` and `b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.overrides.insert((a, b), cfg);
+        self.overrides.insert((b, a), cfg);
+    }
+
+    /// Override the link in one direction only.
+    pub fn set_link_oneway(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) {
+        self.overrides.insert((from, to), cfg);
+    }
+
+    /// The config that will be used for `from → to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkConfig {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Block traffic in both directions between `a` and `b`.
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert((a, b));
+        self.blocked.insert((b, a));
+    }
+
+    /// Partition the network into two groups: every cross-group pair is
+    /// blocked, intra-group traffic is unaffected.
+    pub fn partition_groups(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.partition_pair(a, b);
+            }
+        }
+    }
+
+    /// Remove every partition.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Unblock one pair (both directions).
+    pub fn heal_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&(a, b));
+        self.blocked.remove(&(b, a));
+    }
+
+    /// True if traffic `from → to` is currently blocked.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Decide the fate of one message. Self-sends are delivered reliably
+    /// after the link's minimum latency (a node can always talk to
+    /// itself).
+    pub fn plan_delivery(&self, rng: &mut SimRng, from: NodeId, to: NodeId) -> Delivery {
+        let cfg = self.link(from, to);
+        if from == to {
+            return Delivery::Deliver(vec![cfg.latency_min]);
+        }
+        if self.is_blocked(from, to) {
+            return Delivery::Dropped;
+        }
+        if cfg.drop_prob > 0.0 && rng.gen_bool(cfg.drop_prob.clamp(0.0, 1.0)) {
+            return Delivery::Dropped;
+        }
+        let mut delays = vec![self.sample_latency(rng, cfg)];
+        if cfg.duplicate_prob > 0.0 && rng.gen_bool(cfg.duplicate_prob.clamp(0.0, 1.0)) {
+            delays.push(self.sample_latency(rng, cfg));
+        }
+        Delivery::Deliver(delays)
+    }
+
+    fn sample_latency(&self, rng: &mut SimRng, cfg: LinkConfig) -> SimDuration {
+        let lo = cfg.latency_min.as_micros();
+        let hi = cfg.latency_max.as_micros();
+        if hi <= lo {
+            return cfg.latency_min;
+        }
+        SimDuration::from_micros(rng.gen_range(lo..=hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn default_link_applies_everywhere() {
+        let net = Network::new(LinkConfig::reliable(SimDuration::from_millis(2)));
+        let mut rng = SimRng::new(1);
+        match net.plan_delivery(&mut rng, n(0), n(1)) {
+            Delivery::Deliver(d) => assert_eq!(d, vec![SimDuration::from_millis(2)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrides_are_bidirectional_and_oneway() {
+        let mut net = Network::new(LinkConfig::default());
+        let fast = LinkConfig::reliable(SimDuration::from_micros(10));
+        net.set_link(n(0), n(1), fast);
+        assert_eq!(net.link(n(0), n(1)).latency_min, fast.latency_min);
+        assert_eq!(net.link(n(1), n(0)).latency_min, fast.latency_min);
+
+        let slow = LinkConfig::reliable(SimDuration::from_millis(100));
+        net.set_link_oneway(n(2), n(3), slow);
+        assert_eq!(net.link(n(2), n(3)).latency_min, slow.latency_min);
+        assert_ne!(net.link(n(3), n(2)).latency_min, slow.latency_min);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut net = Network::new(LinkConfig::default());
+        let mut rng = SimRng::new(2);
+        net.partition_groups(&[n(0), n(1)], &[n(2)]);
+        assert!(net.is_blocked(n(0), n(2)));
+        assert!(net.is_blocked(n(2), n(1)));
+        assert!(!net.is_blocked(n(0), n(1)));
+        assert_eq!(net.plan_delivery(&mut rng, n(0), n(2)), Delivery::Dropped);
+        net.heal_pair(n(0), n(2));
+        assert!(!net.is_blocked(n(0), n(2)));
+        assert!(net.is_blocked(n(1), n(2)));
+        net.heal_all();
+        assert!(!net.is_blocked(n(1), n(2)));
+    }
+
+    #[test]
+    fn drop_probability_is_respected_statistically() {
+        let net = Network::new(LinkConfig::lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+            0.5,
+        ));
+        let mut rng = SimRng::new(3);
+        let dropped = (0..10_000)
+            .filter(|_| net.plan_delivery(&mut rng, n(0), n(1)) == Delivery::Dropped)
+            .count();
+        assert!((4_000..6_000).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn duplicates_produce_two_delays() {
+        let net = Network::new(
+            LinkConfig::reliable(SimDuration::from_millis(1)).with_duplicates(1.0),
+        );
+        let mut rng = SimRng::new(4);
+        match net.plan_delivery(&mut rng, n(0), n(1)) {
+            Delivery::Deliver(d) => assert_eq!(d.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_sends_always_deliver_even_when_lossy_or_partitioned() {
+        let mut net = Network::new(LinkConfig::lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+            1.0,
+        ));
+        net.partition_pair(n(0), n(0));
+        let mut rng = SimRng::new(5);
+        assert!(matches!(
+            net.plan_delivery(&mut rng, n(0), n(0)),
+            Delivery::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn latency_is_sampled_within_bounds() {
+        let net = Network::new(LinkConfig::lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+            0.0,
+        ));
+        let mut rng = SimRng::new(6);
+        for _ in 0..1000 {
+            if let Delivery::Deliver(delays) = net.plan_delivery(&mut rng, n(0), n(1)) {
+                for d in delays {
+                    assert!(d >= SimDuration::from_millis(1) && d <= SimDuration::from_millis(5));
+                }
+            }
+        }
+    }
+}

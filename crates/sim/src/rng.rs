@@ -1,0 +1,174 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every run of a simulation with the same seed produces the same event
+//! sequence, which is what makes failure-injection experiments replayable
+//! and the experiment tables in EXPERIMENTS.md regenerable. [`SimRng`]
+//! wraps [`rand::rngs::StdRng`] (seedable, portable) and adds `fork`, which
+//! deterministically derives an independent child stream — used to give
+//! each workload generator its own stream so adding one generator does not
+//! perturb the draws seen by another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, forkable random-number generator.
+///
+/// Implements [`rand::RngCore`], so all of the [`rand::Rng`] extension
+/// methods (`gen_range`, `gen_bool`, ...) are available on it directly.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Deterministically derive an independent child generator.
+    ///
+    /// Consumes one draw from `self`, so sibling forks are decorrelated.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.inner.gen::<u64>();
+        SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Sample an exponentially distributed duration with the given mean,
+    /// in microseconds. Used for Poisson arrival processes in workloads.
+    pub fn exp_micros(&mut self, mean_micros: f64) -> u64 {
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        (-u.ln() * mean_micros) as u64
+    }
+
+    /// Sample a lognormally distributed value (e.g. check amounts in the
+    /// banking experiments). `mu`/`sigma` parameterize the underlying
+    /// normal, sampled via Box-Muller.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mu + sigma * z).exp()
+    }
+
+    /// Sample an index in `0..n` from a Zipf-like distribution with
+    /// exponent `s` (`s = 0` is uniform; larger is more skewed). Used for
+    /// hot-key workloads. `n` must be nonzero.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over an empty domain");
+        if s == 0.0 {
+            return self.inner.gen_range(0..n);
+        }
+        // Inverse-CDF over the (small) discrete domain; n is at most a few
+        // thousand in our workloads so the linear scan is fine.
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.inner.gen_range(0.0..norm);
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(s);
+            if target < w {
+                return k - 1;
+            }
+            target -= w;
+        }
+        n - 1
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let mut parent1 = SimRng::new(42);
+        let mut parent2 = SimRng::new(42);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // The fork consumed one parent draw; parents still agree.
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    fn exp_micros_has_roughly_the_right_mean() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exp_micros(1_000.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((800.0..1200.0).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.lognormal(3.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let mut rng = SimRng::new(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_is_zero() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[rng.zipf(4, 0.0)] += 1;
+        }
+        for c in counts {
+            assert!((1500..2500).contains(&c), "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_range_is_usable_via_rng_trait() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..100 {
+            let x = rng.gen_range(0..10);
+            assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Bounded event tracing for simulation runs.
+//!
+//! Debugging a distributed failure scenario means asking "what actually
+//! happened, in order?" — which a deterministic simulator can answer
+//! exactly. When enabled (see `Simulation::enable_trace`), the simulator
+//! records every dispatched event into a bounded ring buffer; tests and
+//! harnesses dump the tail when an invariant breaks.
+//!
+//! Tracing is off by default and costs nothing when disabled.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+
+/// What kind of event was dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was delivered to a node.
+    Deliver,
+    /// A message addressed to a down node was dropped.
+    DropDown,
+    /// A timer fired on a node.
+    Timer,
+    /// A node crashed.
+    Crash,
+    /// A node restarted.
+    Restart,
+    /// The network was partitioned.
+    Partition,
+    /// All partitions healed.
+    Heal,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Deliver => "deliver",
+            TraceKind::DropDown => "drop(down)",
+            TraceKind::Timer => "timer",
+            TraceKind::Crash => "crash",
+            TraceKind::Restart => "restart",
+            TraceKind::Partition => "partition",
+            TraceKind::Heal => "heal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When it was dispatched.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The node it happened to (the receiver, for deliveries).
+    pub node: Option<NodeId>,
+    /// The sender, for deliveries.
+    pub from: Option<NodeId>,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.at, self.kind)?;
+        if let (Some(from), Some(node)) = (self.from, self.node) {
+            write!(f, " {from} -> {node}")?;
+        } else if let Some(node) = self.node {
+            write!(f, " @{node}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded ring of recent events.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Trace {
+    /// A trace keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Record an event (evicting the oldest when full).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events recorded over the run's lifetime (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the last `n` events, one per line — the thing to print when
+    /// an assertion fails.
+    pub fn tail(&self, n: usize) -> String {
+        let skip = self.events.len().saturating_sub(n);
+        let mut out = String::new();
+        for ev in self.events.iter().skip(skip) {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_micros(us), kind, node: Some(NodeId(1)), from: None }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Deliver));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.at, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::new(0);
+        t.record(ev(1, TraceKind::Crash));
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn tail_renders_most_recent() {
+        let mut t = Trace::new(10);
+        t.record(ev(1, TraceKind::Deliver));
+        t.record(ev(2, TraceKind::Crash));
+        let s = t.tail(1);
+        assert!(s.contains("crash"), "{s}");
+        assert!(!s.contains("deliver"), "{s}");
+    }
+
+    #[test]
+    fn display_formats_senders() {
+        let e = TraceEvent {
+            at: SimTime::from_micros(5),
+            kind: TraceKind::Deliver,
+            node: Some(NodeId(2)),
+            from: Some(NodeId(1)),
+        };
+        assert_eq!(e.to_string(), "t=5us deliver n1 -> n2");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests of the simulator's foundations: determinism, latency
+//! bounds, and drop-rate fidelity — the guarantees every experiment in
+//! the workspace stands on.
+
+use proptest::prelude::*;
+use sim::{Actor, Context, LinkConfig, Network, NodeId, SimDuration, SimTime, Simulation};
+
+#[derive(Clone)]
+struct Ping;
+
+/// Echoes pings and records delivery times.
+struct Echo {
+    peer: Option<NodeId>,
+    to_send: u32,
+    received_at: Vec<u64>,
+}
+
+impl Actor<Ping> for Echo {
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        if let Some(p) = self.peer {
+            for _ in 0..self.to_send {
+                ctx.send(p, Ping);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _from: NodeId, _msg: Ping) {
+        self.received_at.push(ctx.now().as_micros());
+    }
+}
+
+fn run_pair(seed: u64, min_us: u64, max_us: u64, drop: f64, pings: u32) -> Vec<u64> {
+    let net = Network::new(LinkConfig::lossy(
+        SimDuration::from_micros(min_us),
+        SimDuration::from_micros(max_us),
+        drop,
+    ));
+    let mut sim = Simulation::with_network(seed, net);
+    let a = sim.add_node(Echo { peer: None, to_send: 0, received_at: vec![] });
+    let _b = sim.add_node(Echo { peer: Some(a), to_send: pings, received_at: vec![] });
+    sim.run_until(SimTime::from_secs(10));
+    sim.actor::<Echo>(a).received_at.clone()
+}
+
+proptest! {
+    /// The same seed replays the identical history, for any network.
+    #[test]
+    fn same_seed_same_history(
+        seed in 0u64..10_000,
+        min_us in 1u64..5_000,
+        span in 0u64..5_000,
+        drop in 0.0f64..0.9,
+    ) {
+        let a = run_pair(seed, min_us, min_us + span, drop, 50);
+        let b = run_pair(seed, min_us, min_us + span, drop, 50);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Deliveries always land within the configured latency bounds.
+    #[test]
+    fn latency_respects_bounds(
+        seed in 0u64..10_000,
+        min_us in 1u64..5_000,
+        span in 0u64..5_000,
+    ) {
+        let arrivals = run_pair(seed, min_us, min_us + span, 0.0, 50);
+        prop_assert_eq!(arrivals.len(), 50, "lossless link must deliver all");
+        for t in arrivals {
+            prop_assert!(t >= min_us && t <= min_us + span, "t={} out of bounds", t);
+        }
+    }
+
+    /// Observed drop rates stay near the configured probability.
+    #[test]
+    fn drop_rate_is_statistically_faithful(seed in 0u64..200, drop in 0.1f64..0.9) {
+        let n = 600u32;
+        let arrivals = run_pair(seed, 10, 10, drop, n);
+        let delivered = arrivals.len() as f64 / n as f64;
+        let expected = 1.0 - drop;
+        prop_assert!(
+            (delivered - expected).abs() < 0.12,
+            "delivered {:.2}, expected {:.2}", delivered, expected
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! The application process: generates OLTP transactions, drives the
+//! WRITE → flush → commit protocol, retries across failures, and reacts
+//! to takeovers the way §3 describes — transparently under DP1, by
+//! accepting an abort under DP2.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::msg::TandemMsg;
+use crate::types::{Mode, TxnId, WriteId};
+
+const TAG_KIND_SHIFT: u64 = 48;
+const TAG_NEXT_TXN: u64 = 1;
+const TAG_RETRY: u64 = 2;
+
+fn tag(kind: u64, seq: u64) -> u64 {
+    (kind << TAG_KIND_SHIFT) | (seq & ((1 << TAG_KIND_SHIFT) - 1))
+}
+
+fn tag_kind(t: u64) -> u64 {
+    t >> TAG_KIND_SHIFT
+}
+
+fn tag_seq(t: u64) -> u64 {
+    t & ((1 << TAG_KIND_SHIFT) - 1)
+}
+
+/// Routing entry for one disk-process pair as the application sees it.
+#[derive(Debug, Clone)]
+pub struct DpRoute {
+    /// The configured primary.
+    pub primary: NodeId,
+    /// The configured backup.
+    pub backup: NodeId,
+    /// Where requests go right now; takeover notices update it, so the
+    /// pair can fail over (and, after reintegration, fail back).
+    pub current: NodeId,
+}
+
+impl DpRoute {
+    fn target(&self) -> NodeId {
+        self.current
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Writing,
+    Flushing,
+    CommitWait,
+}
+
+#[derive(Debug)]
+struct TxnRun {
+    id: TxnId,
+    started: SimTime,
+    /// Planned writes: (dp index, key, value).
+    writes: Vec<(usize, u64, u64)>,
+    next_write: usize,
+    write_sent_at: SimTime,
+    dirtied: BTreeSet<usize>,
+    flush_waiting: BTreeSet<usize>,
+    phase: Phase,
+}
+
+/// An OLTP application process.
+#[derive(Debug)]
+pub struct AppProc {
+    /// This process's id (the `app` half of its transaction ids).
+    pub id: u32,
+    routes: Vec<DpRoute>,
+    adp: NodeId,
+    txns_total: u64,
+    writes_per_txn: u32,
+    mean_interarrival: SimDuration,
+    retry_timeout: SimDuration,
+    key_space: u64,
+
+    seq: u64,
+    current: Option<TxnRun>,
+    /// Transactions this process saw commit (durably acknowledged).
+    pub committed: Vec<TxnId>,
+    /// Transactions this process aborted.
+    pub aborted: Vec<TxnId>,
+}
+
+impl AppProc {
+    /// Build an application process that will run `txns_total`
+    /// transactions of `writes_per_txn` writes each.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        routes: Vec<DpRoute>,
+        adp: NodeId,
+        txns_total: u64,
+        writes_per_txn: u32,
+        mean_interarrival: SimDuration,
+        retry_timeout: SimDuration,
+    ) -> Self {
+        AppProc {
+            id,
+            routes,
+            adp,
+            txns_total,
+            writes_per_txn,
+            mean_interarrival,
+            retry_timeout,
+            key_space: 1024,
+            seq: 0,
+            current: None,
+            committed: Vec::new(),
+            aborted: Vec::new(),
+        }
+    }
+
+    /// Transactions neither committed nor aborted when the run ended.
+    pub fn unresolved(&self) -> u64 {
+        self.seq - self.committed.len() as u64 - self.aborted.len() as u64
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        if self.seq >= self.txns_total {
+            return;
+        }
+        let mean = self.mean_interarrival.as_micros() as f64;
+        let delay = SimDuration::from_micros(ctx.rng().exp_micros(mean));
+        ctx.set_timer(delay, tag(TAG_NEXT_TXN, self.seq));
+    }
+
+    fn start_txn(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        debug_assert!(self.current.is_none());
+        let id = TxnId { app: self.id, seq: self.seq };
+        self.seq += 1;
+        let n_dps = self.routes.len();
+        let mut writes = Vec::with_capacity(self.writes_per_txn as usize);
+        let mut dirtied = BTreeSet::new();
+        for _ in 0..self.writes_per_txn {
+            let key = ctx.rng().gen_range(0..self.key_space);
+            let value = ctx.rng().gen::<u64>();
+            let dp = (key % n_dps as u64) as usize;
+            dirtied.insert(dp);
+            writes.push((dp, key, value));
+        }
+        self.current = Some(TxnRun {
+            id,
+            started: ctx.now(),
+            writes,
+            next_write: 0,
+            write_sent_at: ctx.now(),
+            dirtied,
+            flush_waiting: BTreeSet::new(),
+            phase: Phase::Writing,
+        });
+        self.send_current_write(ctx);
+        self.arm_retry(ctx);
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        if let Some(txn) = &self.current {
+            ctx.set_timer(self.retry_timeout, tag(TAG_RETRY, txn.id.seq));
+        }
+    }
+
+    fn send_current_write(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let me = ctx.me();
+        let Some(txn) = &mut self.current else { return };
+        let (dp, key, value) = txn.writes[txn.next_write];
+        let write = WriteId { txn: txn.id, idx: txn.next_write as u32 };
+        txn.write_sent_at = ctx.now();
+        let target = self.routes[dp].target();
+        ctx.send(target, TandemMsg::WriteReq { write, key, value, resp_to: me });
+    }
+
+    fn begin_flush(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let me = ctx.me();
+        let Some(txn) = &mut self.current else { return };
+        txn.phase = Phase::Flushing;
+        txn.flush_waiting = txn.dirtied.clone();
+        let id = txn.id;
+        let targets: Vec<NodeId> =
+            txn.flush_waiting.iter().map(|dp| self.routes[*dp].target()).collect();
+        for t in targets {
+            ctx.send(t, TandemMsg::FlushReq { txn: id, resp_to: me });
+        }
+    }
+
+    fn send_commit(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let me = ctx.me();
+        let Some(txn) = &mut self.current else { return };
+        txn.phase = Phase::CommitWait;
+        ctx.send(self.adp, TandemMsg::CommitRecord { txn: txn.id, resp_to: me });
+    }
+
+    fn abort_current(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let Some(txn) = self.current.take() else { return };
+        for dp in &txn.dirtied {
+            let target = self.routes[*dp].target();
+            ctx.send(target, TandemMsg::AbortTxn { txn: txn.id });
+        }
+        ctx.metrics().inc("tandem.txns_aborted");
+        self.aborted.push(txn.id);
+        self.schedule_next(ctx);
+    }
+}
+
+impl Actor<TandemMsg> for AppProc {
+    fn on_start(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TandemMsg>, t: u64) {
+        match tag_kind(t) {
+            TAG_NEXT_TXN if self.current.is_none() && tag_seq(t) == self.seq => {
+                self.start_txn(ctx);
+            }
+            TAG_NEXT_TXN => {}
+            TAG_RETRY => {
+                let Some(txn) = &self.current else { return };
+                if txn.id.seq != tag_seq(t) {
+                    return; // stale timer from a finished transaction
+                }
+                match txn.phase {
+                    Phase::Writing => self.send_current_write(ctx),
+                    Phase::Flushing => {
+                        let me = ctx.me();
+                        let id = txn.id;
+                        let targets: Vec<NodeId> = txn
+                            .flush_waiting
+                            .iter()
+                            .map(|dp| self.routes[*dp].target())
+                            .collect();
+                        for t in targets {
+                            ctx.send(t, TandemMsg::FlushReq { txn: id, resp_to: me });
+                        }
+                    }
+                    Phase::CommitWait => {
+                        let me = ctx.me();
+                        ctx.send(self.adp, TandemMsg::CommitRecord { txn: txn.id, resp_to: me });
+                    }
+                }
+                self.arm_retry(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, TandemMsg>, _from: NodeId, msg: TandemMsg) {
+        match msg {
+            TandemMsg::WriteAck { write } => {
+                let Some(txn) = &mut self.current else { return };
+                if write.txn != txn.id
+                    || txn.phase != Phase::Writing
+                    || write.idx != txn.next_write as u32
+                {
+                    return; // stale or duplicate ack
+                }
+                let lat = ctx.now().saturating_since(txn.write_sent_at);
+                ctx.metrics().record("tandem.write_ack_us", lat.as_micros() as f64);
+                txn.next_write += 1;
+                if txn.next_write < txn.writes.len() {
+                    self.send_current_write(ctx);
+                } else {
+                    self.begin_flush(ctx);
+                }
+            }
+            TandemMsg::FlushDone { txn: id, dp } => {
+                let n_dps = self.routes.len();
+                let Some(txn) = &mut self.current else { return };
+                if txn.id != id || txn.phase != Phase::Flushing {
+                    return;
+                }
+                let _ = n_dps;
+                // Map DpId back to route index (they coincide by layout).
+                txn.flush_waiting.remove(&(dp.0 as usize));
+                if txn.flush_waiting.is_empty() {
+                    self.send_commit(ctx);
+                }
+            }
+            TandemMsg::CommitDurable { txn: id } => {
+                let Some(txn) = &self.current else { return };
+                if txn.id != id {
+                    return;
+                }
+                let now = ctx.now();
+                let lat = now.saturating_since(txn.started);
+                ctx.metrics().record("tandem.commit_us", lat.as_micros() as f64);
+                ctx.metrics().record("tandem.commit_at_us", now.as_micros() as f64);
+                ctx.metrics().inc("tandem.txns_committed");
+                self.committed.push(id);
+                self.current = None;
+                self.schedule_next(ctx);
+            }
+            TandemMsg::TakeoverNotice { dp, mode, new_primary } => {
+                let dp_idx = dp.0 as usize;
+                if let Some(route) = self.routes.get_mut(dp_idx) {
+                    route.current = new_primary;
+                }
+                let Some(txn) = &self.current else { return };
+                if !txn.dirtied.contains(&dp_idx) {
+                    return;
+                }
+                match (mode, txn.phase) {
+                    // DP2: the buffered writes died with the primary —
+                    // the transaction aborts (unless already past flush,
+                    // in which case its records are durable).
+                    (Mode::Dp2, Phase::Writing) | (Mode::Dp2, Phase::Flushing) => {
+                        self.abort_current(ctx);
+                    }
+                    // DP1: everything acknowledged is at the backup;
+                    // re-drive the current step there. (The retry timer
+                    // would do this anyway; reacting now is faster.)
+                    (Mode::Dp1, Phase::Writing) => self.send_current_write(ctx),
+                    (Mode::Dp1, Phase::Flushing) => {
+                        let me = ctx.me();
+                        let id = txn.id;
+                        let targets: Vec<NodeId> = txn
+                            .flush_waiting
+                            .iter()
+                            .map(|d| self.routes[*d].target())
+                            .collect();
+                        for t in targets {
+                            ctx.send(t, TandemMsg::FlushReq { txn: id, resp_to: me });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}

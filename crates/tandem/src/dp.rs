@@ -1,0 +1,451 @@
+//! The disk process pair: primary and backup actors implementing both
+//! the 1984 (DP1) and 1986 (DP2) fault-tolerance strategies.
+//!
+//! A pair manages one partition of the database. The primary serves
+//! WRITEs; the backup absorbs state across the failure boundary — per
+//! WRITE under DP1 ([`Mode::Dp1`]), per log batch under DP2
+//! ([`Mode::Dp2`]). On promotion, the backup continues service from
+//! whatever state crossed the boundary before the crash, which is
+//! exactly where the two generations differ:
+//!
+//! - DP1: every acknowledged WRITE is at the backup → in-flight
+//!   transactions continue transparently.
+//! - DP2: acknowledged WRITEs may still be "lollygagging" in the dead
+//!   primary's buffer → in-flight transactions that dirtied the pair are
+//!   aborted (an "acceptable erosion of behavior", §3.3); committed
+//!   transactions are safe because commit forced their records through
+//!   the backup to the ADP first.
+
+use std::collections::HashMap;
+
+use sim::{Actor, Context, NodeId, SimTime};
+
+use crate::msg::TandemMsg;
+use crate::types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TxnId, WriteId};
+
+/// Timer tag: ship the DP2 log buffer down the chain.
+const TAG_GROUP_PUSH: u64 = 1;
+
+/// Role within a process pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Serving WRITEs.
+    Primary,
+    /// Absorbing checkpoints / log batches; promotable.
+    Backup,
+}
+
+/// One half of a disk-process pair.
+#[derive(Debug)]
+pub struct DiskProc {
+    /// Which partition this pair manages.
+    pub dp: DpId,
+    mode: Mode,
+    role: Role,
+    peer: NodeId,
+    adp: NodeId,
+    apps: Vec<NodeId>,
+    peer_up: bool,
+    group_push: sim::SimDuration,
+
+    // --- volatile state (lost on crash) ---
+    /// The database image.
+    kv: HashMap<u64, u64>,
+    /// Next LSN to assign (primary) / next LSN expected (backup).
+    lsn: Lsn,
+    /// Records generated/received but not yet shipped down the chain.
+    unshipped: Vec<LogRecord>,
+    /// Records whose ADP durability is confirmed, up to this LSN.
+    durable_upto: Option<Lsn>,
+    /// Writes already applied (retry collapsing).
+    seen_writes: HashMap<WriteId, Lsn>,
+    /// Per-transaction undo: (key, before-image), newest last.
+    undo: HashMap<TxnId, Vec<(u64, u64)>>,
+    /// DP1: WRITE acks parked until the backup confirms the checkpoint.
+    pending_ck: HashMap<Lsn, (NodeId, WriteId)>,
+    /// Flush requests parked until `durable_upto` covers them.
+    pending_flush: Vec<(TxnId, Lsn, NodeId)>,
+    /// Backup: LSN up to which records were forwarded to the ADP.
+    forwarded_upto: Option<Lsn>,
+    /// Backup: in-flight ADP batches: batch_id → highest LSN inside.
+    inflight: HashMap<u64, Lsn>,
+    next_batch_id: u64,
+}
+
+impl DiskProc {
+    /// Build one half of a pair. `peer` is the other half, `apps` is the
+    /// set of application nodes to notify on takeover.
+    pub fn new(
+        dp: DpId,
+        role: Role,
+        mode: Mode,
+        peer: NodeId,
+        adp: NodeId,
+        apps: Vec<NodeId>,
+        cfg: &TandemConfig,
+    ) -> Self {
+        DiskProc {
+            dp,
+            mode,
+            role,
+            peer,
+            adp,
+            apps,
+            peer_up: true,
+            group_push: cfg.group_push_interval,
+            kv: HashMap::new(),
+            lsn: 0,
+            unshipped: Vec::new(),
+            durable_upto: None,
+            seen_writes: HashMap::new(),
+            undo: HashMap::new(),
+            pending_ck: HashMap::new(),
+            pending_flush: Vec::new(),
+            forwarded_upto: None,
+            inflight: HashMap::new(),
+            next_batch_id: 0,
+        }
+    }
+
+    /// Current role (used by the harness to assert takeover).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The database image (for state audits in tests).
+    pub fn kv(&self) -> &HashMap<u64, u64> {
+        &self.kv
+    }
+
+    /// Highest LSN known durable at the ADP.
+    pub fn durable_upto(&self) -> Option<Lsn> {
+        self.durable_upto
+    }
+
+    fn apply_record(&mut self, rec: &LogRecord) {
+        let old = self.kv.insert(rec.key, rec.value).unwrap_or(0);
+        debug_assert_eq!(old, rec.old, "before-image mismatch at {:?}", rec.write);
+        self.undo.entry(rec.txn).or_default().push((rec.key, rec.old));
+        self.seen_writes.insert(rec.write, rec.lsn);
+    }
+
+    fn handle_write(
+        &mut self,
+        ctx: &mut Context<'_, TandemMsg>,
+        write: WriteId,
+        key: u64,
+        value: u64,
+        resp_to: NodeId,
+    ) {
+        if self.role != Role::Primary {
+            // Stale routing: the app will retry after the takeover notice.
+            return;
+        }
+        if self.seen_writes.contains_key(&write) {
+            // Retry of an applied write: collapse and re-ack. Under DP1
+            // the original ack may still be parked on a checkpoint; in
+            // that case the retry will be acked by the checkpoint path.
+            if !self.pending_ck.values().any(|(_, w)| *w == write) {
+                ctx.send(resp_to, TandemMsg::WriteAck { write });
+            }
+            return;
+        }
+        let lsn = self.lsn;
+        self.lsn += 1;
+        let old = self.kv.get(&key).copied().unwrap_or(0);
+        let rec = LogRecord { dp: self.dp, lsn, txn: write.txn, write, key, value, old };
+        self.kv.insert(key, value);
+        self.undo.entry(write.txn).or_default().push((key, old));
+        self.seen_writes.insert(write, lsn);
+        self.unshipped.push(rec.clone());
+        match self.mode {
+            Mode::Dp1 if self.peer_up => {
+                // Synchronous checkpoint: the ack waits for the backup.
+                ctx.metrics().inc("tandem.checkpoint_msgs");
+                ctx.send(self.peer, TandemMsg::Checkpoint { rec });
+                self.pending_ck.insert(lsn, (resp_to, write));
+            }
+            _ => {
+                // DP2 (or a degraded DP1 pair): ack immediately; the
+                // record lollygags in `unshipped`.
+                ctx.send(resp_to, TandemMsg::WriteAck { write });
+            }
+        }
+    }
+
+    /// Ship everything unshipped down the chain: to the backup first,
+    /// then (from the backup) to the ADP — or directly to the ADP when
+    /// the pair is degraded.
+    fn ship(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        if self.unshipped.is_empty() {
+            return;
+        }
+        let recs = std::mem::take(&mut self.unshipped);
+        ctx.metrics().inc("tandem.log_batches");
+        if self.peer_up && self.role == Role::Primary {
+            ctx.send(self.peer, TandemMsg::LogBatch { recs });
+        } else {
+            // Degraded: straight to the ADP; we correlate the ack
+            // ourselves.
+            let batch_id = self.next_batch_id;
+            self.next_batch_id += 1;
+            let upto = recs.last().expect("nonempty").lsn;
+            self.inflight.insert(batch_id, upto);
+            ctx.send(self.adp, TandemMsg::AdpAppend { batch_id, recs, resp_to: ctx.me() });
+        }
+    }
+
+    fn resolve_flushes(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let durable = match self.durable_upto {
+            Some(l) => l,
+            None => return,
+        };
+        let dp = self.dp;
+        let mut still = Vec::new();
+        for (txn, required, resp_to) in self.pending_flush.drain(..) {
+            if required <= durable {
+                ctx.send(resp_to, TandemMsg::FlushDone { txn, dp });
+            } else {
+                still.push((txn, required, resp_to));
+            }
+        }
+        self.pending_flush = still;
+    }
+
+    fn mark_durable(&mut self, ctx: &mut Context<'_, TandemMsg>, upto: Lsn) {
+        self.durable_upto = Some(self.durable_upto.map_or(upto, |d| d.max(upto)));
+        self.resolve_flushes(ctx);
+    }
+}
+
+impl Actor<TandemMsg> for DiskProc {
+    fn on_start(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        if self.role == Role::Primary && self.mode == Mode::Dp2 {
+            ctx.set_timer(self.group_push, TAG_GROUP_PUSH);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TandemMsg>, tag: u64) {
+        if tag == TAG_GROUP_PUSH && self.role == Role::Primary {
+            self.ship(ctx);
+            ctx.set_timer(self.group_push, TAG_GROUP_PUSH);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, TandemMsg>, from: NodeId, msg: TandemMsg) {
+        match msg {
+            TandemMsg::WriteReq { write, key, value, resp_to } => {
+                self.handle_write(ctx, write, key, value, resp_to);
+            }
+
+            // --- DP1 checkpoint path (backup side) ---
+            TandemMsg::Checkpoint { rec } => {
+                if rec.lsn >= self.lsn {
+                    self.lsn = rec.lsn + 1;
+                    self.apply_record(&rec);
+                    // The backup keeps its own copy for the ADP flush
+                    // path after a takeover.
+                    self.unshipped.push(rec.clone());
+                }
+                ctx.send(from, TandemMsg::CheckpointAck { lsn: rec.lsn });
+            }
+            TandemMsg::CheckpointAck { lsn } => {
+                if let Some((resp_to, write)) = self.pending_ck.remove(&lsn) {
+                    ctx.send(resp_to, TandemMsg::WriteAck { write });
+                }
+            }
+
+            // --- DP2 log chain ---
+            TandemMsg::LogBatch { recs } => {
+                // Backup: absorb, then forward the novel suffix to the ADP.
+                let mut to_forward = Vec::new();
+                for rec in recs {
+                    if rec.lsn >= self.lsn {
+                        self.lsn = rec.lsn + 1;
+                        self.apply_record(&rec);
+                    }
+                    let already = self.forwarded_upto.is_some_and(|f| rec.lsn <= f);
+                    if !already {
+                        to_forward.push(rec);
+                    }
+                }
+                if let Some(last) = to_forward.last() {
+                    let upto = last.lsn;
+                    self.forwarded_upto = Some(upto);
+                    let batch_id = self.next_batch_id;
+                    self.next_batch_id += 1;
+                    self.inflight.insert(batch_id, upto);
+                    ctx.send(
+                        self.adp,
+                        TandemMsg::AdpAppend { batch_id, recs: to_forward, resp_to: ctx.me() },
+                    );
+                }
+            }
+            TandemMsg::AdpAck { batch_id } => {
+                if let Some(upto) = self.inflight.remove(&batch_id) {
+                    self.mark_durable(ctx, upto);
+                    if self.role == Role::Backup && self.peer_up {
+                        ctx.send(self.peer, TandemMsg::LogBatchDurable { upto });
+                    }
+                }
+            }
+            TandemMsg::LogBatchDurable { upto } => {
+                self.mark_durable(ctx, upto);
+            }
+
+            // --- commit ---
+            TandemMsg::FlushReq { txn, resp_to } => {
+                if self.role != Role::Primary {
+                    return;
+                }
+                if self.lsn == 0 {
+                    // Never wrote anything: vacuously durable.
+                    ctx.send(resp_to, TandemMsg::FlushDone { txn, dp: self.dp });
+                    return;
+                }
+                let required = self.lsn - 1;
+                if self.durable_upto.is_some_and(|d| d >= required) {
+                    ctx.send(resp_to, TandemMsg::FlushDone { txn, dp: self.dp });
+                } else {
+                    if !self
+                        .pending_flush
+                        .iter()
+                        .any(|(t, r, n)| *t == txn && *r >= required && *n == resp_to)
+                    {
+                        self.pending_flush.push((txn, required, resp_to));
+                    }
+                    self.ship(ctx);
+                }
+            }
+            TandemMsg::AbortTxn { txn } => {
+                // Undo by *compensation records* through the normal log
+                // chain (operation logging, like the escrow sidebar):
+                // rewriting the before-images as fresh log records keeps
+                // the backup's replay order identical to the primary's
+                // apply order, so the pair never diverges.
+                if self.role != Role::Primary {
+                    return;
+                }
+                let Some(mut undo) = self.undo.remove(&txn) else { return };
+                let mut idx = 0x8000_0000u32; // synthetic write ids
+                while let Some((key, old)) = undo.pop() {
+                    let lsn = self.lsn;
+                    self.lsn += 1;
+                    let current = self.kv.get(&key).copied().unwrap_or(0);
+                    let rec = LogRecord {
+                        dp: self.dp,
+                        lsn,
+                        txn,
+                        write: WriteId { txn, idx },
+                        key,
+                        value: old,
+                        old: current,
+                    };
+                    idx += 1;
+                    self.kv.insert(key, old);
+                    self.seen_writes.insert(rec.write, lsn);
+                    self.unshipped.push(rec.clone());
+                    if self.mode == Mode::Dp1 && self.peer_up {
+                        // DP1 checkpoints compensation like any write
+                        // (no application ack is parked on it).
+                        ctx.metrics().inc("tandem.checkpoint_msgs");
+                        ctx.send(self.peer, TandemMsg::Checkpoint { rec });
+                    }
+                }
+            }
+
+            // --- takeover ---
+            TandemMsg::Promote => {
+                if self.role == Role::Backup {
+                    self.role = Role::Primary;
+                    self.peer_up = false;
+                    ctx.metrics().inc("tandem.takeovers");
+                    let me = ctx.me();
+                    for app in self.apps.clone() {
+                        ctx.send(
+                            app,
+                            TandemMsg::TakeoverNotice {
+                                dp: self.dp,
+                                mode: self.mode,
+                                new_primary: me,
+                            },
+                        );
+                    }
+                    if self.mode == Mode::Dp2 {
+                        ctx.set_timer(self.group_push, TAG_GROUP_PUSH);
+                    }
+                    // Anything absorbed but not yet ADP-durable should
+                    // move promptly now that we serve reads and flushes.
+                    self.ship(ctx);
+                }
+            }
+
+            // --- pair reintegration ---
+            TandemMsg::SyncReq { resp_to } => {
+                if self.role != Role::Primary {
+                    return;
+                }
+                // Snapshot and re-arm mirroring in the same event: every
+                // record from `next_lsn` onward flows through the normal
+                // chain behind this (FIFO) snapshot message.
+                let kv: Vec<(u64, u64)> = self.kv.iter().map(|(k, v)| (*k, *v)).collect();
+                ctx.send(
+                    resp_to,
+                    TandemMsg::SyncState {
+                        kv,
+                        next_lsn: self.lsn,
+                        durable_upto: self.durable_upto,
+                    },
+                );
+                self.peer_up = true;
+                ctx.metrics().inc("tandem.reintegrations");
+            }
+            TandemMsg::SyncState { kv, next_lsn, durable_upto } => {
+                if self.role != Role::Backup {
+                    return;
+                }
+                self.kv = kv.into_iter().collect();
+                self.lsn = next_lsn;
+                self.durable_upto = durable_upto;
+                // Forwarding floor: anything at or below the durable
+                // watermark never needs re-forwarding to the ADP; records
+                // above it will arrive through the log chain.
+                self.forwarded_upto = durable_upto;
+            }
+
+            // Not addressed to disk processes.
+            TandemMsg::WriteAck { .. }
+            | TandemMsg::FlushDone { .. }
+            | TandemMsg::TakeoverNotice { .. }
+            | TandemMsg::AdpAppend { .. }
+            | TandemMsg::CommitRecord { .. }
+            | TandemMsg::CommitDurable { .. } => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        // CPU reload: rejoin the pair as the backup and ask the current
+        // primary (our old peer, promoted at takeover) to catch us up.
+        self.role = Role::Backup;
+        self.peer_up = true;
+        let me = ctx.me();
+        ctx.send(self.peer, TandemMsg::SyncReq { resp_to: me });
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // Fail fast: the whole process state is volatile. (The durable
+        // "disk" of the system is the ADP's audit trail; a real reload
+        // would rebuild from it — our experiments end takeovers at the
+        // surviving half, which is what §3 analyses.)
+        self.kv.clear();
+        self.unshipped.clear();
+        self.pending_ck.clear();
+        self.pending_flush.clear();
+        self.inflight.clear();
+        self.undo.clear();
+        self.seen_writes.clear();
+        self.lsn = 0;
+        self.durable_upto = None;
+        self.forwarded_upto = None;
+    }
+}

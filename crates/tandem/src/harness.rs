@@ -1,0 +1,296 @@
+//! Builds a simulated NonStop cluster, runs a workload, injects failures,
+//! and extracts the experiment report.
+//!
+//! Node layout (deterministic, so actors can be constructed with each
+//! other's addresses before the simulation starts):
+//!
+//! ```text
+//! 0 .. n_apps-1                      application processes
+//! n_apps + 2i, n_apps + 2i + 1       primary/backup of disk process i
+//! n_apps + 2*n_dps                   the ADP
+//! ```
+
+use sim::{LinkConfig, Network, NodeId, Simulation};
+
+use crate::adp::Adp;
+use crate::app::{AppProc, DpRoute};
+use crate::dp::{DiskProc, Role};
+use crate::msg::TandemMsg;
+use crate::types::{DpId, TandemConfig, TandemReport, TxnId};
+
+/// Node ids for a cluster under `cfg`'s sizing.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Application process nodes.
+    pub apps: Vec<NodeId>,
+    /// (primary, backup) per disk process.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// The audit disk process.
+    pub adp: NodeId,
+}
+
+/// Compute the layout for a configuration.
+pub fn layout(cfg: &TandemConfig) -> Layout {
+    let apps = (0..cfg.n_apps).map(NodeId).collect();
+    let pairs = (0..cfg.n_dps)
+        .map(|i| (NodeId(cfg.n_apps + 2 * i), NodeId(cfg.n_apps + 2 * i + 1)))
+        .collect();
+    Layout { apps, pairs, adp: NodeId(cfg.n_apps + 2 * cfg.n_dps) }
+}
+
+/// Build the cluster into a fresh simulation.
+pub fn build(cfg: &TandemConfig, seed: u64) -> (Simulation<TandemMsg>, Layout) {
+    let lay = layout(cfg);
+    let net = Network::new(LinkConfig::reliable(cfg.bus_latency));
+    let mut sim = Simulation::with_network(seed, net);
+
+    let routes: Vec<DpRoute> = lay
+        .pairs
+        .iter()
+        .map(|(p, b)| DpRoute { primary: *p, backup: *b, current: *p })
+        .collect();
+
+    for i in 0..cfg.n_apps {
+        let id = sim.add_node(AppProc::new(
+            i as u32,
+            routes.clone(),
+            lay.adp,
+            cfg.txns_per_app,
+            cfg.writes_per_txn,
+            cfg.mean_interarrival,
+            cfg.retry_timeout,
+        ));
+        debug_assert_eq!(id, lay.apps[i]);
+    }
+    for (i, (p, b)) in lay.pairs.iter().enumerate() {
+        let dp = DpId(i as u32);
+        let id = sim.add_node(DiskProc::new(
+            dp,
+            Role::Primary,
+            cfg.mode,
+            *b,
+            lay.adp,
+            lay.apps.clone(),
+            cfg,
+        ));
+        debug_assert_eq!(id, *p);
+        let id = sim.add_node(DiskProc::new(
+            dp,
+            Role::Backup,
+            cfg.mode,
+            *p,
+            lay.adp,
+            lay.apps.clone(),
+            cfg,
+        ));
+        debug_assert_eq!(id, *b);
+    }
+    let id = sim.add_node(Adp::new(cfg.adp_io_time, cfg.adp_group_commit));
+    debug_assert_eq!(id, lay.adp);
+
+    if let Some(at) = cfg.crash_primary_at {
+        let (primary, backup) = lay.pairs[0];
+        sim.schedule_crash(at, primary);
+        // Guardian detects the failure and promotes the backup.
+        sim.inject_at(at + cfg.takeover_delay, backup, lay.adp, TandemMsg::Promote);
+        if let Some(restart) = cfg.restart_primary_at {
+            // CPU reload: the old primary rejoins its pair as backup.
+            sim.schedule_restart(restart, primary);
+            if let Some(crash2) = cfg.crash_new_primary_at {
+                // Fail back: the promoted node dies; the reloaded
+                // original takes over again.
+                sim.schedule_crash(crash2, backup);
+                sim.inject_at(crash2 + cfg.takeover_delay, primary, lay.adp, TandemMsg::Promote);
+            }
+        }
+    }
+    (sim, lay)
+}
+
+/// Run the configured workload to completion (or the horizon) and report.
+pub fn run(cfg: &TandemConfig, seed: u64) -> TandemReport {
+    let (mut sim, lay) = build(cfg, seed);
+    sim.run_until(cfg.horizon);
+
+    let mut report = TandemReport::default();
+
+    // Gather per-app outcomes and audit committed transactions.
+    let mut all_committed: Vec<TxnId> = Vec::new();
+    for app in &lay.apps {
+        let a: &AppProc = sim.actor(*app);
+        report.committed += a.committed.len() as u64;
+        report.aborted += a.aborted.len() as u64;
+        report.unresolved += a.unresolved();
+        all_committed.extend(a.committed.iter().copied());
+    }
+
+    // Durability audit: every committed transaction must have all of its
+    // log records AND its commit record on the audit disk.
+    {
+        let adp: &Adp = sim.actor(lay.adp);
+        for txn in &all_committed {
+            let recs = adp.log().iter().filter(|r| r.txn == *txn).count();
+            let ok = adp.is_committed(*txn) && recs == cfg.writes_per_txn as usize;
+            if !ok {
+                report.lost_committed += 1;
+            }
+        }
+    }
+
+    let m = sim.metrics_mut();
+    // Makespan: the run's clock always ends at the horizon, so measure
+    // throughput against the last commit instead.
+    report.sim_seconds = m.histogram("tandem.commit_at_us").max() / 1e6;
+    report.write_ack_mean_ms = m.histogram("tandem.write_ack_us").mean() / 1000.0;
+    report.write_ack_p99_ms = m.histogram("tandem.write_ack_us").percentile(99.0) / 1000.0;
+    report.commit_mean_ms = m.histogram("tandem.commit_us").mean() / 1000.0;
+    report.commit_p99_ms = m.histogram("tandem.commit_us").percentile(99.0) / 1000.0;
+    report.checkpoint_msgs = m.counter("tandem.checkpoint_msgs");
+    report.log_batches = m.counter("tandem.log_batches");
+    report.adp_ios = m.counter("tandem.adp_ios");
+    report.adp_records = m.counter("tandem.adp_records");
+    report.messages = m.counter("sim.messages_sent");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mode;
+    use sim::{SimDuration, SimTime};
+
+    fn small(mode: Mode) -> TandemConfig {
+        TandemConfig {
+            mode,
+            n_dps: 2,
+            n_apps: 2,
+            txns_per_app: 20,
+            writes_per_txn: 3,
+            mean_interarrival: SimDuration::from_millis(5),
+            horizon: SimTime::from_secs(30),
+            ..TandemConfig::default()
+        }
+    }
+
+    #[test]
+    fn dp1_workload_commits_everything() {
+        let r = run(&small(Mode::Dp1), 7);
+        assert_eq!(r.committed, 40);
+        assert_eq!(r.aborted, 0);
+        assert_eq!(r.unresolved, 0);
+        assert_eq!(r.lost_committed, 0);
+        assert!(r.checkpoint_msgs >= 40 * 3, "every WRITE checkpoints: {r:?}");
+    }
+
+    #[test]
+    fn dp2_workload_commits_everything_without_per_write_checkpoints() {
+        let r = run(&small(Mode::Dp2), 7);
+        assert_eq!(r.committed, 40);
+        assert_eq!(r.aborted, 0);
+        assert_eq!(r.lost_committed, 0);
+        assert_eq!(r.checkpoint_msgs, 0);
+        assert!(r.log_batches > 0);
+    }
+
+    #[test]
+    fn dp2_write_latency_beats_dp1() {
+        let r1 = run(&small(Mode::Dp1), 11);
+        let r2 = run(&small(Mode::Dp2), 11);
+        assert!(
+            r2.write_ack_mean_ms < r1.write_ack_mean_ms,
+            "DP2 {:.3}ms should beat DP1 {:.3}ms",
+            r2.write_ack_mean_ms,
+            r1.write_ack_mean_ms
+        );
+    }
+
+    #[test]
+    fn dp1_takeover_is_transparent() {
+        let mut cfg = small(Mode::Dp1);
+        cfg.crash_primary_at = Some(SimTime::from_millis(30));
+        let r = run(&cfg, 13);
+        assert_eq!(r.committed, 40, "{r:?}");
+        assert_eq!(r.aborted, 0, "DP1 takeover aborts nothing: {r:?}");
+        assert_eq!(r.lost_committed, 0);
+    }
+
+    #[test]
+    fn dp2_takeover_aborts_in_flight_but_loses_nothing_committed() {
+        let mut cfg = small(Mode::Dp2);
+        cfg.txns_per_app = 40;
+        cfg.mean_interarrival = SimDuration::from_millis(2);
+        cfg.crash_primary_at = Some(SimTime::from_millis(30));
+        let r = run(&cfg, 13);
+        assert_eq!(r.lost_committed, 0, "committed work must survive: {r:?}");
+        assert_eq!(r.committed + r.aborted, 80, "{r:?}");
+        assert!(r.aborted >= 1, "the takeover should abort in-flight txns: {r:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&small(Mode::Dp2), 42);
+        let b = run(&small(Mode::Dp2), 42);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.commit_mean_ms, b.commit_mean_ms);
+    }
+
+    #[test]
+    fn reintegration_restores_the_mirror() {
+        for mode in [Mode::Dp1, Mode::Dp2] {
+            let mut cfg = small(mode);
+            cfg.txns_per_app = 40;
+            cfg.mean_interarrival = SimDuration::from_millis(2);
+            cfg.crash_primary_at = Some(SimTime::from_millis(50));
+            cfg.restart_primary_at = Some(SimTime::from_millis(150));
+            let (mut sim, lay) = build(&cfg, 21);
+            sim.run_until(cfg.horizon);
+            // The reloaded node is a live backup again...
+            let (old_primary, new_primary) = lay.pairs[0];
+            assert_eq!(sim.actor::<DiskProc>(old_primary).role(), Role::Backup);
+            assert_eq!(sim.actor::<DiskProc>(new_primary).role(), Role::Primary);
+            assert_eq!(sim.metrics().counter("tandem.reintegrations"), 1);
+            // ...and the mirror is bit-identical by the end of the run.
+            let a = sim.actor::<DiskProc>(old_primary).kv().clone();
+            let b = sim.actor::<DiskProc>(new_primary).kv().clone();
+            assert_eq!(a, b, "pair diverged after reintegration ({mode})");
+        }
+    }
+
+    #[test]
+    fn fail_back_lands_on_the_reloaded_processor_without_losing_commits() {
+        for mode in [Mode::Dp1, Mode::Dp2] {
+            let mut cfg = small(mode);
+            cfg.txns_per_app = 60;
+            cfg.mean_interarrival = SimDuration::from_millis(2);
+            cfg.crash_primary_at = Some(SimTime::from_millis(40));
+            cfg.restart_primary_at = Some(SimTime::from_millis(120));
+            cfg.crash_new_primary_at = Some(SimTime::from_millis(250));
+            let r = run(&cfg, 22);
+            assert_eq!(r.lost_committed, 0, "{mode}: {r:?}");
+            assert_eq!(r.committed + r.aborted, 120, "{mode}: {r:?}");
+            if mode == Mode::Dp1 {
+                assert_eq!(r.aborted, 0, "DP1 is transparent through both failovers: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_commit_uses_fewer_ios_under_load() {
+        let mut bus = small(Mode::Dp2);
+        bus.mean_interarrival = SimDuration::from_millis(1);
+        bus.adp_group_commit = true;
+        let mut car = bus.clone();
+        car.adp_group_commit = false;
+        let rb = run(&bus, 5);
+        let rc = run(&car, 5);
+        assert_eq!(rb.committed, 40);
+        assert_eq!(rc.committed, 40);
+        assert!(
+            rb.adp_ios < rc.adp_ios,
+            "bus {} IOs should beat car {} IOs",
+            rb.adp_ios,
+            rc.adp_ios
+        );
+    }
+}

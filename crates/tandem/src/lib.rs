@@ -1,0 +1,61 @@
+//! # tandem — the Tandem NonStop model of §3 of *Building on Quicksand*
+//!
+//! A protocol-faithful simulation of the system the paper uses to anchor
+//! its history: a shared-nothing multiprocessor running process pairs,
+//! with two generations of disk process:
+//!
+//! - **DP1 (circa 1984)**: "Work is actively checkpointed for each WRITE
+//!   to ensure the backup is able to continue in the event of a failure
+//!   of the primary disk processor." Every WRITE costs a synchronous
+//!   round trip to the backup before the application sees the ack — and
+//!   in exchange, a primary failure is *transparent*: the backup has
+//!   everything and in-flight transactions simply continue.
+//!
+//! - **DP2 (circa 1986)**: "checkpointing and transaction logging were
+//!   combined into one mechanism. The log would first go to the backup,
+//!   then to the ADP which would write it on disk." WRITEs are
+//!   acknowledged immediately; the log buffer lollygags in the primary
+//!   and ships periodically (group commit). A primary failure now aborts
+//!   the in-flight transactions that dirtied it — allowed by the system
+//!   rules, hence an "acceptable erosion of behavior" (§3.3) — while
+//!   committed transactions are safe because commit forces the log
+//!   through the backup to the ADP first.
+//!
+//! The experiments E1–E3 (see EXPERIMENTS.md) regenerate the paper's
+//! qualitative claims from this model: checkpoint message counts, WRITE
+//! latency, abort-on-takeover behaviour, and the car-vs-bus economics of
+//! group commit at the audit disk.
+//!
+//! ## Quick use
+//!
+//! ```
+//! use tandem::{run, Mode, TandemConfig};
+//! use sim::SimTime;
+//!
+//! let cfg = TandemConfig {
+//!     mode: Mode::Dp2,
+//!     txns_per_app: 10,
+//!     horizon: SimTime::from_secs(10),
+//!     ..TandemConfig::default()
+//! };
+//! let report = run(&cfg, 42);
+//! assert_eq!(report.committed, 10 * cfg.n_apps as u64);
+//! assert_eq!(report.lost_committed, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adp;
+pub mod app;
+pub mod dp;
+pub mod harness;
+pub mod msg;
+pub mod types;
+
+pub use adp::Adp;
+pub use app::AppProc;
+pub use dp::{DiskProc, Role};
+pub use harness::{build, layout, run, Layout};
+pub use msg::TandemMsg;
+pub use types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TandemReport, TxnId, WriteId};

@@ -1,0 +1,135 @@
+//! The message protocol spoken on the simulated NonStop interconnect.
+
+use sim::NodeId;
+
+use crate::types::{DpId, LogRecord, Lsn, Mode, TxnId, WriteId};
+
+/// Every message exchanged between application processes, disk-process
+/// pairs, and the audit disk process.
+#[derive(Debug, Clone)]
+pub enum TandemMsg {
+    // ----- application ↔ disk process -----
+    /// Application WRITE to the (current) primary of a disk process.
+    WriteReq {
+        /// The write's identity (retries reuse it).
+        write: WriteId,
+        /// Key to write.
+        key: u64,
+        /// Value to write.
+        value: u64,
+        /// Where the ack should go.
+        resp_to: NodeId,
+    },
+    /// The write is safe enough to acknowledge under the current mode
+    /// (DP1: checkpointed to the backup; DP2: buffered in the primary).
+    WriteAck {
+        /// The acknowledged write.
+        write: WriteId,
+    },
+    /// Commit step 1: make every record of `txn` durable (TMF asking the
+    /// dirtied disk processes to flush to the ADP, §3.1).
+    FlushReq {
+        /// Transaction being committed.
+        txn: TxnId,
+        /// Where the confirmation should go.
+        resp_to: NodeId,
+    },
+    /// The disk process's log covering `txn` is durable at the ADP.
+    FlushDone {
+        /// The flushed transaction.
+        txn: TxnId,
+        /// Which disk process finished.
+        dp: DpId,
+    },
+    /// Abort: undo `txn`'s writes at this disk process (system rules
+    /// allow aborts "without apparent cause", §3.3).
+    AbortTxn {
+        /// Transaction to undo.
+        txn: TxnId,
+    },
+
+    // ----- process-pair internal -----
+    /// DP1 per-WRITE checkpoint: primary → backup, carrying the state
+    /// needed for transparent takeover (§3.1).
+    Checkpoint {
+        /// The record being checkpointed.
+        rec: LogRecord,
+    },
+    /// Backup → primary: the checkpoint is applied; the WRITE may now be
+    /// acknowledged to the application.
+    CheckpointAck {
+        /// LSN of the applied record.
+        lsn: Lsn,
+    },
+    /// DP2 log shipment: primary → backup. "The log would first go to
+    /// the backup, then to the ADP which would write it on disk." (§3.2)
+    LogBatch {
+        /// Records in LSN order.
+        recs: Vec<LogRecord>,
+    },
+    /// Backup → primary: records up to `upto` are durable at the ADP.
+    LogBatchDurable {
+        /// Highest durable LSN.
+        upto: Lsn,
+    },
+    /// Harness/Guardian: the backup must take over as primary.
+    Promote,
+    /// New primary → every application: the pair failed over. Under DP2
+    /// the application must abort in-flight transactions that dirtied
+    /// this disk process (their buffered log died with the primary).
+    TakeoverNotice {
+        /// The failed-over disk process.
+        dp: DpId,
+        /// The mode it runs (decides abort-vs-continue at the app).
+        mode: Mode,
+        /// Where the pair's requests must go from now on.
+        new_primary: NodeId,
+    },
+    /// A reloaded processor rejoining its pair as backup asks the
+    /// current primary for a state snapshot (the CPU-reload
+    /// reintegration that restores the pair's redundancy).
+    SyncReq {
+        /// The rejoining node.
+        resp_to: NodeId,
+    },
+    /// The primary's snapshot: database image and log watermarks. After
+    /// applying it, the rejoined backup is caught up; every record from
+    /// `next_lsn` onward flows through the normal checkpoint/log chain.
+    SyncState {
+        /// The database image.
+        kv: Vec<(u64, u64)>,
+        /// The primary's next LSN at snapshot time.
+        next_lsn: Lsn,
+        /// Highest LSN known durable at the ADP.
+        durable_upto: Option<Lsn>,
+    },
+
+    // ----- audit disk process -----
+    /// Append records to the audit trail.
+    AdpAppend {
+        /// Correlation id, unique per sender.
+        batch_id: u64,
+        /// The records.
+        recs: Vec<LogRecord>,
+        /// Who to ack.
+        resp_to: NodeId,
+    },
+    /// The batch is on the audit disk.
+    AdpAck {
+        /// Correlation id from the append.
+        batch_id: u64,
+    },
+    /// Commit record for `txn` (TMF's commit decision going durable).
+    CommitRecord {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Who to notify.
+        resp_to: NodeId,
+    },
+    /// The commit record is on the audit disk: the transaction is
+    /// committed.
+    CommitDurable {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+}

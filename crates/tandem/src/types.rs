@@ -1,0 +1,194 @@
+//! Shared identifiers, log records, configuration, and the experiment
+//! report for the Tandem NonStop model.
+
+use sim::{SimDuration, SimTime};
+
+/// Which disk-process generation the cluster runs (§3.1 vs §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Circa 1984: every WRITE is synchronously checkpointed to the
+    /// backup disk process before the application sees the ack.
+    Dp1,
+    /// Circa 1986: the transaction log *is* the checkpoint. WRITEs are
+    /// acknowledged immediately and the log buffer "lollygags" in the
+    /// primary, shipped to the backup (and on to the ADP) periodically
+    /// and at commit.
+    Dp2,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Dp1 => write!(f, "DP1-1984"),
+            Mode::Dp2 => write!(f, "DP2-1986"),
+        }
+    }
+}
+
+/// Identifies a disk-process pair (one partition of the database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DpId(pub u32);
+
+/// A transaction id: (application process, local sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// The application process that owns the transaction.
+    pub app: u32,
+    /// Its sequence number within that process.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}.{}", self.app, self.seq)
+    }
+}
+
+/// A write id, unique per WRITE attempt family (retries share it, which
+/// is what lets a disk process collapse duplicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId {
+    /// The owning transaction.
+    pub txn: TxnId,
+    /// Index of this write within the transaction.
+    pub idx: u32,
+}
+
+/// Log sequence number within one disk process's log.
+pub type Lsn = u64;
+
+/// One record of the transaction log — which, in DP2, doubles as the
+/// checkpoint stream ("checkpointing and transaction logging were
+/// combined into one mechanism", §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The disk process that generated the record.
+    pub dp: DpId,
+    /// Its position in that disk process's log.
+    pub lsn: Lsn,
+    /// The transaction on whose behalf the write was performed.
+    pub txn: TxnId,
+    /// The write's identity (for retry collapsing).
+    pub write: WriteId,
+    /// Key written.
+    pub key: u64,
+    /// New value.
+    pub value: u64,
+    /// Before-image, used for undo when the transaction aborts.
+    pub old: u64,
+}
+
+/// Cluster and workload configuration for one simulated run.
+#[derive(Debug, Clone)]
+pub struct TandemConfig {
+    /// Disk-process generation.
+    pub mode: Mode,
+    /// Number of disk-process pairs (database partitions).
+    pub n_dps: usize,
+    /// Number of application processes generating transactions.
+    pub n_apps: usize,
+    /// Transactions each application process runs.
+    pub txns_per_app: u64,
+    /// WRITEs per transaction.
+    pub writes_per_txn: u32,
+    /// Mean think time between an app's transactions (Poisson).
+    pub mean_interarrival: SimDuration,
+    /// Interconnect one-way latency (processor-to-processor message).
+    pub bus_latency: SimDuration,
+    /// DP2 group-push period: how long the log buffer may lollygag in
+    /// the primary before being shipped to the backup and ADP.
+    pub group_push_interval: SimDuration,
+    /// ADP disk IO service time (one audit-disk write).
+    pub adp_io_time: SimDuration,
+    /// ADP batching: `true` = group commit ("the city bus"), writing all
+    /// queued appends per IO; `false` = one append per IO ("a car per
+    /// driver").
+    pub adp_group_commit: bool,
+    /// Crash the primary of DP 0 at this time, if set.
+    pub crash_primary_at: Option<SimTime>,
+    /// Reload the crashed primary at this time; it rejoins its pair as
+    /// the backup and catches up by state sync.
+    pub restart_primary_at: Option<SimTime>,
+    /// After reintegration, crash the *new* primary (the original
+    /// backup) at this time — exercising fail-back onto the reloaded
+    /// processor.
+    pub crash_new_primary_at: Option<SimTime>,
+    /// Delay between the crash and the backup's promotion (failure
+    /// detection by the Guardian OS).
+    pub takeover_delay: SimDuration,
+    /// How long a requester waits before retrying an unacknowledged
+    /// message.
+    pub retry_timeout: SimDuration,
+    /// Simulation horizon: the run stops here even if work remains.
+    pub horizon: SimTime,
+}
+
+impl Default for TandemConfig {
+    fn default() -> Self {
+        TandemConfig {
+            mode: Mode::Dp2,
+            n_dps: 2,
+            n_apps: 4,
+            txns_per_app: 50,
+            writes_per_txn: 4,
+            mean_interarrival: SimDuration::from_millis(10),
+            bus_latency: SimDuration::from_micros(100),
+            group_push_interval: SimDuration::from_millis(5),
+            adp_io_time: SimDuration::from_millis(2),
+            adp_group_commit: true,
+            crash_primary_at: None,
+            restart_primary_at: None,
+            crash_new_primary_at: None,
+            takeover_delay: SimDuration::from_millis(5),
+            retry_timeout: SimDuration::from_millis(50),
+            horizon: SimTime::from_secs(60),
+        }
+    }
+}
+
+/// What one run measured, extracted by the harness.
+#[derive(Debug, Clone, Default)]
+pub struct TandemReport {
+    /// Transactions the applications saw commit (durable at the ADP).
+    pub committed: u64,
+    /// Transactions aborted (all causes; under DP2 a takeover aborts
+    /// in-flight transactions that dirtied the failed disk process).
+    pub aborted: u64,
+    /// Transactions still unresolved at the horizon.
+    pub unresolved: u64,
+    /// Mean WRITE acknowledge latency (ms) as the application saw it.
+    pub write_ack_mean_ms: f64,
+    /// 99th percentile WRITE ack latency (ms).
+    pub write_ack_p99_ms: f64,
+    /// Mean commit latency (ms), request-to-durable.
+    pub commit_mean_ms: f64,
+    /// 99th percentile commit latency (ms).
+    pub commit_p99_ms: f64,
+    /// Per-WRITE checkpoint messages sent (DP1's cost).
+    pub checkpoint_msgs: u64,
+    /// Log batches shipped down the backup→ADP chain.
+    pub log_batches: u64,
+    /// Audit-disk IOs performed.
+    pub adp_ios: u64,
+    /// Log records made durable at the ADP.
+    pub adp_records: u64,
+    /// Total simulated messages.
+    pub messages: u64,
+    /// Committed-and-acked transactions missing from the audit trail —
+    /// the durability check. Must be zero under both modes, crash or no
+    /// crash.
+    pub lost_committed: u64,
+    /// Wall-clock of the run (simulated seconds).
+    pub sim_seconds: f64,
+}
+
+impl TandemReport {
+    /// Committed transactions per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.sim_seconds == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.sim_seconds
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # twopc — the baseline the paper argues against (§2.3)
+//!
+//! "Distributed transactions (especially using the Two Phase Commit
+//! protocol) result in fragile systems and reduced availability. For
+//! this reason, they are rarely used in production systems, particularly
+//! when the resource managers span trust and authority boundaries."
+//!
+//! To measure that claim rather than assert it, this crate implements
+//! textbook 2PC on the `sim` substrate: a coordinator with a durable
+//! decision log, participants that lock keys at prepare and hold them
+//! while **in doubt**, presumed-abort recovery, and cooperative
+//! termination by inquiry. The fragility is then observable (E14 in
+//! EXPERIMENTS.md): a coordinator crash freezes every in-doubt
+//! participant's locks for the length of the outage — conflicting work
+//! aborts the whole time — and without recovery the locks hang forever.
+//! Contrast with the op-centric path (`quicksand-core::mga`), which
+//! holds no locks and trades the stall for apologies.
+//!
+//! ```
+//! use twopc::{run, TpcConfig};
+//!
+//! let report = run(&TpcConfig { txns: 20, ..TpcConfig::default() }, 7);
+//! assert_eq!(report.unresolved, 0);
+//! assert!(report.committed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod msg;
+pub mod nodes;
+pub mod types;
+
+pub use harness::{build, run, Layout};
+pub use msg::TpcMsg;
+pub use nodes::{Coordinator, Participant};
+pub use types::{Decision, TpcConfig, TpcReport, TxnId};

@@ -1,0 +1,42 @@
+//! The 2PC wire protocol (Gray's presumed-nothing variant with
+//! cooperative inquiry).
+
+use sim::NodeId;
+
+use crate::types::{Decision, TxnId};
+
+/// Messages between the coordinator and the participants.
+#[derive(Debug, Clone)]
+pub enum TpcMsg {
+    /// Phase 1: prepare — lock the listed keys and vote.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Keys this participant must lock.
+        keys: Vec<u64>,
+        /// Who to answer.
+        resp_to: NodeId,
+    },
+    /// A participant's vote. A `no` releases its own locks immediately.
+    Vote {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` = prepared (locks held until the decision arrives).
+        yes: bool,
+    },
+    /// Phase 2: the durable decision.
+    Decide {
+        /// The transaction.
+        txn: TxnId,
+        /// Commit or abort.
+        decision: Decision,
+    },
+    /// A participant stuck in-doubt asks what happened (cooperative
+    /// termination after the inquiry timeout).
+    Inquiry {
+        /// The transaction in doubt.
+        txn: TxnId,
+        /// Who to answer.
+        resp_to: NodeId,
+    },
+}

@@ -1,0 +1,331 @@
+//! The coordinator and participant actors.
+//!
+//! The protocol is textbook 2PC [3, 12 in the paper's references]: the
+//! coordinator collects votes, logs its decision durably, and announces
+//! it. The interesting part is the *failure window* the paper points at
+//! (§2.3): a participant that voted yes holds its locks until a decision
+//! arrives. If the coordinator dies first, those locks stay held — every
+//! conflicting transaction aborts — until the coordinator recovers and
+//! answers inquiries. "Distributed transactions... result in fragile
+//! systems and reduced availability. For this reason, they are rarely
+//! used in production systems."
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crate::msg::TpcMsg;
+use crate::types::{Decision, TpcConfig, TxnId};
+
+const TAG_SHIFT: u64 = 48;
+const TAG_NEXT_TXN: u64 = 1;
+const TAG_INQUIRY: u64 = 2;
+const TAG_RETRY_DECISION: u64 = 3;
+
+fn tag(kind: u64, payload: u64) -> u64 {
+    (kind << TAG_SHIFT) | payload
+}
+
+#[derive(Debug)]
+struct PendingTxn {
+    started: SimTime,
+    waiting_votes: usize,
+    participants: Vec<NodeId>,
+    doomed: bool,
+}
+
+/// The transaction coordinator: generates the workload, runs 2PC, and
+/// keeps a durable decision log (which is what recovery replays).
+#[derive(Debug)]
+pub struct Coordinator {
+    participants: Vec<NodeId>,
+    txns_total: u64,
+    keys_per_txn: usize,
+    key_space: u64,
+    mean_interarrival: SimDuration,
+
+    // --- durable (survives crashes) ---
+    /// Every decision ever taken.
+    decision_log: HashMap<TxnId, Decision>,
+    /// Transactions that reached prepare (for recovery: prepared but
+    /// undecided ⇒ abort).
+    started_log: HashSet<TxnId>,
+
+    // --- volatile ---
+    seq: u64,
+    pending: HashMap<TxnId, PendingTxn>,
+    /// Statistics: committed txns and their latencies live in metrics.
+    pub committed: u64,
+    /// Aborts decided by this coordinator (no-votes or recovery).
+    pub aborted: u64,
+}
+
+impl Coordinator {
+    /// Build the coordinator for `cfg`'s workload.
+    pub fn new(participants: Vec<NodeId>, cfg: &TpcConfig) -> Self {
+        Coordinator {
+            participants,
+            txns_total: cfg.txns,
+            keys_per_txn: cfg.keys_per_txn,
+            key_space: cfg.key_space,
+            mean_interarrival: cfg.mean_interarrival,
+            decision_log: HashMap::new(),
+            started_log: HashSet::new(),
+            seq: 0,
+            pending: HashMap::new(),
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The durable decision for a transaction, if taken.
+    pub fn decision(&self, txn: TxnId) -> Option<Decision> {
+        self.decision_log.get(&txn).copied()
+    }
+
+    /// Transactions started but never decided (should be empty after a
+    /// full recovery).
+    pub fn undecided(&self) -> usize {
+        self.started_log.len() - self.decision_log.len()
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_, TpcMsg>) {
+        if self.seq >= self.txns_total {
+            return;
+        }
+        let mean = self.mean_interarrival.as_micros() as f64;
+        let d = SimDuration::from_micros(ctx.rng().exp_micros(mean));
+        ctx.set_timer(d, tag(TAG_NEXT_TXN, self.seq));
+    }
+
+    fn begin_txn(&mut self, ctx: &mut Context<'_, TpcMsg>) {
+        let txn = TxnId(self.seq);
+        self.seq += 1;
+        self.started_log.insert(txn);
+        // Pick keys; key → participant by modulo.
+        let mut keys = Vec::with_capacity(self.keys_per_txn);
+        while keys.len() < self.keys_per_txn {
+            let k = ctx.rng().gen_range(0..self.key_space);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let me = ctx.me();
+        let mut per_participant: HashMap<usize, Vec<u64>> = HashMap::new();
+        for k in keys {
+            per_participant
+                .entry((k % self.participants.len() as u64) as usize)
+                .or_default()
+                .push(k);
+        }
+        let involved: Vec<NodeId> =
+            per_participant.keys().map(|i| self.participants[*i]).collect();
+        self.pending.insert(
+            txn,
+            PendingTxn {
+                started: ctx.now(),
+                waiting_votes: per_participant.len(),
+                participants: involved.clone(),
+                doomed: false,
+            },
+        );
+        for (i, keys) in per_participant {
+            ctx.send(self.participants[i], TpcMsg::Prepare { txn, keys, resp_to: me });
+        }
+        self.schedule_next(ctx);
+    }
+
+    fn decide(&mut self, ctx: &mut Context<'_, TpcMsg>, txn: TxnId, decision: Decision) {
+        // The decision is logged durably *before* it is announced — the
+        // classic write-ahead decision record.
+        self.decision_log.insert(txn, decision);
+        if let Some(p) = self.pending.remove(&txn) {
+            match decision {
+                Decision::Commit => {
+                    self.committed += 1;
+                    let lat = ctx.now().saturating_since(p.started);
+                    ctx.metrics().record("twopc.commit_us", lat.as_micros() as f64);
+                    ctx.metrics().inc("twopc.committed");
+                }
+                Decision::Abort => {
+                    self.aborted += 1;
+                    ctx.metrics().inc("twopc.aborted");
+                }
+            }
+            for node in p.participants {
+                ctx.send(node, TpcMsg::Decide { txn, decision });
+            }
+        }
+    }
+}
+
+impl Actor<TpcMsg> for Coordinator {
+    fn on_start(&mut self, ctx: &mut Context<'_, TpcMsg>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TpcMsg>, t: u64) {
+        if t >> TAG_SHIFT == TAG_NEXT_TXN {
+            let seq = t & ((1 << TAG_SHIFT) - 1);
+            if seq == self.seq {
+                self.begin_txn(ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, TpcMsg>, from: NodeId, msg: TpcMsg) {
+        match msg {
+            TpcMsg::Vote { txn, yes } => {
+                let ready = {
+                    let Some(p) = self.pending.get_mut(&txn) else { return };
+                    if !yes {
+                        p.doomed = true;
+                    }
+                    p.waiting_votes -= 1;
+                    p.waiting_votes == 0
+                };
+                if ready {
+                    let doomed = self.pending[&txn].doomed;
+                    self.decide(
+                        ctx,
+                        txn,
+                        if doomed { Decision::Abort } else { Decision::Commit },
+                    );
+                }
+            }
+            TpcMsg::Inquiry { txn, resp_to } => {
+                // Cooperative termination: answer from the durable log;
+                // started-but-undecided means the votes were lost with
+                // our memory — presume abort, and log it.
+                let decision = match self.decision_log.get(&txn) {
+                    Some(d) => *d,
+                    None => {
+                        self.decision_log.insert(txn, Decision::Abort);
+                        self.aborted += 1;
+                        ctx.metrics().inc("twopc.aborted_by_recovery");
+                        Decision::Abort
+                    }
+                };
+                ctx.send(resp_to, TpcMsg::Decide { txn, decision });
+                let _ = from;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // The decision log and started log are durable; in-flight vote
+        // tallies die with the process — that is the whole problem.
+        self.pending.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, TpcMsg>) {
+        // Presumed-abort recovery for anything undecided; participants
+        // will learn it through their inquiries.
+        let undecided: Vec<TxnId> = self
+            .started_log
+            .iter()
+            .filter(|t| !self.decision_log.contains_key(t))
+            .copied()
+            .collect();
+        for txn in undecided {
+            self.decision_log.insert(txn, Decision::Abort);
+            self.aborted += 1;
+            ctx.metrics().inc("twopc.aborted_by_recovery");
+        }
+        // The workload does not resume after a crash (the client tier
+        // has failed over elsewhere); recovery exists to unblock the
+        // participants.
+    }
+}
+
+/// A resource manager: locks keys at prepare, holds them while
+/// in-doubt, applies/discards at decision.
+#[derive(Debug)]
+pub struct Participant {
+    coordinator: NodeId,
+    inquiry_timeout: SimDuration,
+    /// key → owning txn.
+    locks: HashMap<u64, TxnId>,
+    /// txn → (keys, voted_at). Present = in-doubt (voted yes, no
+    /// decision yet).
+    in_doubt: HashMap<TxnId, (Vec<u64>, SimTime)>,
+    /// Conflicts observed (vote-no causes), for the availability story.
+    pub conflicts: u64,
+}
+
+impl Participant {
+    /// Build a participant reporting to `coordinator`.
+    pub fn new(coordinator: NodeId, cfg: &TpcConfig) -> Self {
+        Participant {
+            coordinator,
+            inquiry_timeout: cfg.inquiry_timeout,
+            locks: HashMap::new(),
+            in_doubt: HashMap::new(),
+            conflicts: 0,
+        }
+    }
+
+    /// Keys currently locked (for tests).
+    pub fn locked_keys(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Transactions currently in doubt (for tests).
+    pub fn in_doubt_count(&self) -> usize {
+        self.in_doubt.len()
+    }
+
+    fn release(&mut self, ctx: &mut Context<'_, TpcMsg>, txn: TxnId) {
+        if let Some((keys, voted_at)) = self.in_doubt.remove(&txn) {
+            let held = ctx.now().saturating_since(voted_at);
+            ctx.metrics().record("twopc.in_doubt_us", held.as_micros() as f64);
+            for k in keys {
+                self.locks.remove(&k);
+            }
+        }
+    }
+}
+
+impl Actor<TpcMsg> for Participant {
+    fn on_message(&mut self, ctx: &mut Context<'_, TpcMsg>, _from: NodeId, msg: TpcMsg) {
+        match msg {
+            TpcMsg::Prepare { txn, keys, resp_to } => {
+                if keys.iter().any(|k| self.locks.contains_key(k)) {
+                    self.conflicts += 1;
+                    ctx.metrics().inc("twopc.conflicts");
+                    ctx.send(resp_to, TpcMsg::Vote { txn, yes: false });
+                    return;
+                }
+                for k in &keys {
+                    self.locks.insert(*k, txn);
+                }
+                self.in_doubt.insert(txn, (keys, ctx.now()));
+                ctx.send(resp_to, TpcMsg::Vote { txn, yes: true });
+                // Arm the in-doubt inquiry clock.
+                ctx.set_timer(self.inquiry_timeout, tag(TAG_INQUIRY, txn.0));
+            }
+            TpcMsg::Decide { txn, decision } => {
+                let _ = decision; // the simulated data effect is the lock itself
+                self.release(ctx, txn);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TpcMsg>, t: u64) {
+        let kind = t >> TAG_SHIFT;
+        let txn = TxnId(t & ((1 << TAG_SHIFT) - 1));
+        if (kind == TAG_INQUIRY || kind == TAG_RETRY_DECISION) && self.in_doubt.contains_key(&txn)
+        {
+            // Still in doubt: ask, and keep asking — the locks cannot be
+            // released unilaterally ("the fundamental blocking property
+            // of 2PC").
+            let me = ctx.me();
+            ctx.metrics().inc("twopc.inquiries");
+            ctx.send(self.coordinator, TpcMsg::Inquiry { txn, resp_to: me });
+            ctx.set_timer(self.inquiry_timeout, tag(TAG_RETRY_DECISION, txn.0));
+        }
+    }
+}

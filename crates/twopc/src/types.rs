@@ -1,0 +1,95 @@
+//! Types for the Two-Phase Commit model.
+
+use sim::{SimDuration, SimTime};
+
+/// A distributed transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dtx{}", self.0)
+    }
+}
+
+/// The coordinator's durable decision for a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// All participants voted yes; the transaction commits.
+    Commit,
+    /// A participant voted no, the coordinator timed out, or recovery
+    /// found the transaction undecided.
+    Abort,
+}
+
+/// Configuration for one 2PC run.
+#[derive(Debug, Clone)]
+pub struct TpcConfig {
+    /// Resource managers (each owns a slice of the key space).
+    pub n_participants: usize,
+    /// Distributed transactions to run.
+    pub txns: u64,
+    /// Keys touched per transaction (spread across participants).
+    pub keys_per_txn: usize,
+    /// Size of the contended key space.
+    pub key_space: u64,
+    /// Mean arrival gap between transactions (Poisson).
+    pub mean_interarrival: SimDuration,
+    /// One-way message latency between nodes.
+    pub link_latency: SimDuration,
+    /// How long a participant stays quietly in-doubt before inquiring
+    /// about an unresolved transaction.
+    pub inquiry_timeout: SimDuration,
+    /// Crash the coordinator at this time, if set.
+    pub crash_coordinator_at: Option<SimTime>,
+    /// Restart it at this time (it recovers from its durable decision
+    /// log; undecided transactions abort).
+    pub restart_coordinator_at: Option<SimTime>,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for TpcConfig {
+    fn default() -> Self {
+        TpcConfig {
+            n_participants: 3,
+            txns: 200,
+            keys_per_txn: 3,
+            key_space: 60,
+            mean_interarrival: SimDuration::from_millis(5),
+            link_latency: SimDuration::from_millis(1),
+            inquiry_timeout: SimDuration::from_millis(50),
+            crash_coordinator_at: None,
+            restart_coordinator_at: None,
+            horizon: SimTime::from_secs(120),
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, Default)]
+pub struct TpcReport {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Aborted because a key was already locked (lock conflict).
+    pub aborted_conflict: u64,
+    /// Aborted by recovery (undecided at the crash) or a no-vote.
+    pub aborted_other: u64,
+    /// Transactions still unresolved at the horizon (must be 0 when the
+    /// coordinator eventually restarts).
+    pub unresolved: u64,
+    /// Mean commit latency (ms): begin → decision durable at coordinator.
+    pub commit_mean_ms: f64,
+    /// p99 of the time participants spent holding locks for *in-doubt*
+    /// transactions (voted yes, no decision yet) — the §2.3 fragility,
+    /// in milliseconds.
+    pub in_doubt_p99_ms: f64,
+    /// Longest single in-doubt hold (ms).
+    pub in_doubt_max_ms: f64,
+    /// Lock conflicts encountered while the coordinator was down.
+    pub conflicts_during_outage: u64,
+    /// Fraction of attempted transactions that committed.
+    pub availability: f64,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+}

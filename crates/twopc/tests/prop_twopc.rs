@@ -1,0 +1,48 @@
+//! Property tests: whatever the coordinator's crash/restart timing, 2PC
+//! with recovery leaves nothing blocked, and the books always balance.
+
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use twopc::{run, TpcConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn recovery_always_unblocks_everyone(
+        seed in 0u64..500,
+        crash_ms in 10u64..400,
+        outage_ms in 10u64..3000,
+        keys_per_txn in 1usize..5,
+    ) {
+        let cfg = TpcConfig {
+            txns: 80,
+            keys_per_txn,
+            mean_interarrival: SimDuration::from_millis(3),
+            crash_coordinator_at: Some(SimTime::from_millis(crash_ms)),
+            restart_coordinator_at: Some(SimTime::from_millis(crash_ms + outage_ms)),
+            horizon: SimTime::from_secs(60),
+            ..TpcConfig::default()
+        };
+        let r = run(&cfg, seed);
+        prop_assert_eq!(r.unresolved, 0, "{:?}", r);
+        // Locks held across the outage are bounded by outage + inquiry lag.
+        prop_assert!(
+            r.in_doubt_max_ms <= (outage_ms + 200) as f64,
+            "lock held too long: {:?}", r
+        );
+    }
+
+    #[test]
+    fn failure_free_runs_fully_resolve(seed in 0u64..500, keys in 1usize..6) {
+        let cfg = TpcConfig {
+            txns: 60,
+            keys_per_txn: keys,
+            horizon: SimTime::from_secs(60),
+            ..TpcConfig::default()
+        };
+        let r = run(&cfg, seed);
+        prop_assert_eq!(r.unresolved, 0);
+        prop_assert!(r.committed + r.aborted_conflict >= 60 - r.aborted_other,
+            "{:?}", r);
+    }
+}

@@ -1,0 +1,69 @@
+//! Purchase orders, enthusiastic replicas, and the forklift (§5.4, §7).
+//!
+//! A retry storm sends the same purchase orders to two warehouses. The
+//! dedup tables collapse local retries; the effect ledgers catch the
+//! cross-replica duplicates at reconciliation, and compensation respects
+//! fungibility: paperback shipments quietly return to the shelf, while
+//! the one Gutenberg bible promised twice becomes an apology. Then the
+//! stock-policy sweep shows §7.1's spectrum under scarcity.
+//!
+//! Run with: `cargo run --example fulfillment`
+
+use quicksand::core::resources::Fungibility;
+use quicksand::core::uniquifier::Uniquifier;
+use quicksand::inventory::{run_stock, StockConfig, StockPolicy, Warehouse};
+
+fn main() {
+    println!("== Two enthusiastic warehouses and one retry storm ==");
+    let mut east = Warehouse::new(0, 1_000, Fungibility::Fungible);
+    let mut west = Warehouse::new(1, 1_000, Fungibility::Fungible);
+    // Orders 0..10; each is retried once against the *other* warehouse
+    // (the client gave up too early and tried elsewhere).
+    for n in 0..10u64 {
+        let order = Uniquifier::composite("po", n);
+        east.process_order(order, 2);
+        west.process_order(order, 2); // the cross-replica retry
+    }
+    println!("before reconciliation: east shipped {}, west shipped {}",
+        1_000 - east.stock_remaining(), 1_000 - west.stock_remaining());
+    let rec = east.reconcile(&mut west);
+    println!("reconciliation found {} duplicate shipments; {} units returned to shelves",
+        rec.duplicate_shipments.len(), rec.units_returned);
+    println!("after: east stock {}, west stock {}",
+        east.stock_remaining(), west.stock_remaining());
+
+    println!("\n== The Gutenberg bible (unique goods) ==");
+    let mut a = Warehouse::new(0, 1, Fungibility::Unique);
+    let mut b = Warehouse::new(1, 1, Fungibility::Unique);
+    let order = Uniquifier::composite("bible", 1);
+    a.process_order(order, 1);
+    b.process_order(order, 1);
+    let rec = a.reconcile(&mut b);
+    println!("promised twice -> apologies owed: {}", rec.apologies);
+
+    println!("\n== Stock policy under scarcity (demand 2x stock, skewed) ==");
+    println!("{:<18} {:>8} {:>9} {:>9} {:>10}", "policy", "accepted", "declined", "oversold", "forklift");
+    for (label, policy) in [
+        ("over-provision", StockPolicy::OverProvision),
+        ("over-book 1.15", StockPolicy::OverBook { factor: 1.15 }),
+        ("sliding", StockPolicy::Sliding),
+    ] {
+        let cfg = StockConfig {
+            policy,
+            total_stock: 400,
+            rounds: 100,
+            orders_per_round: 8,
+            demand_skew: 1.5,
+            forklift_prob: 0.01,
+            sync_every: 5,
+            ..StockConfig::default()
+        };
+        let r = run_stock(&cfg, 7);
+        println!(
+            "{:<18} {:>8} {:>9} {:>9} {:>10}",
+            label, r.accepted, r.declined, r.oversold, r.forklift_apologies
+        );
+    }
+    println!("\n\"Even if the computer systems are perfect, business includes");
+    println!("apologizing because stuff will go wrong!\" (§7.2)");
+}

@@ -1,0 +1,60 @@
+//! Log shipping (§4): the datacenter failover, the stuck tail, and the
+//! resurrection that uniquified, commutative operations make safe.
+//!
+//! Scenario: an async-shipping primary crashes with acknowledged work
+//! still in its WAL; the backup takes over and clients follow the
+//! redirect. When the old primary restarts, it replays its entire WAL at
+//! the new primary — uniquifiers collapse what already shipped, and the
+//! stranded tail reappears without double-applying anything.
+//!
+//! Run with: `cargo run --example log_shipping`
+
+use quicksand::logship::{run, LogshipConfig, RecoveryPolicy, ShipMode};
+use quicksand::sim::{SimDuration, SimTime};
+
+fn main() {
+    let base = LogshipConfig {
+        n_clients: 4,
+        ops_per_client: 40,
+        mean_interarrival: SimDuration::from_millis(2),
+        wan_one_way: SimDuration::from_millis(20),
+        ship_interval: SimDuration::from_millis(50),
+        crash_primary_at: Some(SimTime::from_millis(120)),
+        horizon: SimTime::from_secs(60),
+        ..LogshipConfig::default()
+    };
+
+    println!("WAN: 20ms one-way.  Primary crashes at t=120ms; backup takes over.\n");
+
+    // Sync latency measured without the crash (after a takeover the
+    // surviving site runs alone at local latency, diluting the figure);
+    // a crash under sync shipping loses nothing anyway — the harness
+    // tests prove that.
+    let sync = LogshipConfig {
+        mode: ShipMode::Synchronous,
+        crash_primary_at: None,
+        ..base.clone()
+    };
+    let r = run(&sync, 4);
+    println!("synchronous shipping:  commit {:.1} ms mean, lost {} (transparent, but slow)",
+        r.commit_mean_ms, r.lost_acked);
+
+    let discard = LogshipConfig { recovery: RecoveryPolicy::Discard, ..base.clone() };
+    let r = run(&discard, 4);
+    println!("async + discard:       commit {:.1} ms mean, lost {} of {} acked; {} stuck in the dead WAL",
+        r.commit_mean_ms, r.lost_acked, r.acked, r.stuck_tail);
+
+    let resurrect = LogshipConfig {
+        recovery: RecoveryPolicy::Resurrect,
+        restart_primary_at: Some(SimTime::from_secs(3)),
+        ..base
+    };
+    let r = run(&resurrect, 4);
+    println!("async + resurrect:     commit {:.1} ms mean, lost {}; resurrected {}; double-applied {}",
+        r.commit_mean_ms, r.lost_acked, r.resurrected, r.duplicate_applications);
+    assert_eq!(r.lost_acked, 0);
+    assert_eq!(r.duplicate_applications, 0);
+
+    println!("\n\"Log-shipping: our first example where giving a little bit in");
+    println!("consistency yields a lot of resilience and scale!\" (§4.1)");
+}

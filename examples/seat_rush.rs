@@ -1,0 +1,59 @@
+//! The seat-reservation pattern (§7.3) during an on-sale rush.
+//!
+//! Scalper bots hold prime seats and never pay; honest buyers want two
+//! minutes to type a card number. The three-state pattern — available,
+//! purchase-pending(session, expiry), purchased(buyer) — with a durable
+//! cleanup queue bounds how long an untrusted agent can pin inventory.
+//!
+//! Run with: `cargo run --example seat_rush`
+
+use quicksand::core::reservation::{BuyerId, SeatMap, SessionId};
+
+fn main() {
+    const TTL: u64 = 120; // "typically minutes": 120 ticks here
+    let mut venue = SeatMap::new(12);
+    let mut session = 0u64;
+    let mut buyer = 0u64;
+    let fresh = |s: &mut u64| {
+        *s += 1;
+        SessionId(*s)
+    };
+
+    // t=0: bots grab the six primest seats.
+    for _ in 0..6 {
+        let seat = venue.best_available().expect("seats open");
+        venue.hold(seat, fresh(&mut session), 0, TTL).unwrap();
+    }
+    let (avail, pending, sold) = venue.census();
+    println!("t=0   bots hold the front rows  -> available={avail} pending={pending} sold={sold}");
+
+    // t=10: an honest buyer takes the best remaining seat and pays.
+    let seat = venue.best_available().unwrap();
+    let s = fresh(&mut session);
+    venue.hold(seat, s, 10, TTL).unwrap();
+    buyer += 1;
+    venue.purchase(seat, s, BuyerId(buyer), 30).unwrap();
+    println!("t=30  honest buyer purchased seat {seat:?}");
+
+    // t=60: a second buyer holds, then reneges voluntarily.
+    let seat2 = venue.best_available().unwrap();
+    let s2 = fresh(&mut session);
+    venue.hold(seat2, s2, 60, TTL).unwrap();
+    venue.release(seat2, s2).unwrap();
+    println!("t=60  buyer held {seat2:?} and released it — rollback, no cost");
+
+    // t=120: the cleanup worker drains the durable queue; the bot holds
+    // from t=0 lapse and the prime seats come back.
+    let freed = venue.expire(120);
+    println!("t=120 cleanup freed {} bot-held seats: {freed:?}", freed.len());
+    let (avail, pending, sold) = venue.census();
+    println!("      available={avail} pending={pending} sold={sold}");
+
+    // The invariant of §7.3 holds throughout: every seat is available,
+    // pending with a bounded expiry, or sold with a real purchase.
+    venue.check_invariant(121, 1).expect("invariant");
+    let (placed, expired, purchases) = venue.stats();
+    println!("\nlifetime: holds={placed} expired-by-cleanup={expired} purchases={purchases}");
+    println!("\"You can identify potential seats and then you have a bounded");
+    println!("period of time to complete the transaction.\" (§7.3)");
+}

@@ -1,0 +1,28 @@
+//! # quicksand — a reproduction of *Building on Quicksand*
+//! (Helland & Campbell, CIDR 2009)
+//!
+//! This facade re-exports the workspace crates; see the README for the
+//! architecture and EXPERIMENTS.md for the derived evaluation.
+//!
+//! - [`core`] (`quicksand_core`) — the paper's pattern library:
+//!   uniquifiers, idempotence, operation-centric state, ACID 2.0,
+//!   memories/guesses/apologies, escrow locking, resource policies, the
+//!   seat-reservation pattern.
+//! - [`sim`] — the deterministic discrete-event substrate.
+//! - [`tandem`] — the NonStop model: DP1 (1984) vs DP2 (1986).
+//! - [`logship`] — asynchronous log shipping and stuck-tail recovery.
+//! - [`dynamo`] — the availability-first replicated blob store.
+//! - [`twopc`] — the Two-Phase Commit baseline the paper argues against.
+//! - [`cart`], [`bank`], [`inventory`] — the worked example applications.
+
+#![forbid(unsafe_code)]
+
+pub use bank;
+pub use cart;
+pub use dynamo;
+pub use inventory;
+pub use logship;
+pub use quicksand_core as core;
+pub use sim;
+pub use tandem;
+pub use twopc;

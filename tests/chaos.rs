@@ -1,0 +1,191 @@
+//! Chaos tests: randomized failure schedules against the stacked
+//! systems, asserting the invariants the paper promises survive
+//! *arbitrary* bad luck, not just the curated scenarios.
+
+use quicksand::cart::{run as run_cart, CartAction, CartScenario};
+use quicksand::dynamo::DynamoConfig;
+use quicksand::sim::{SimDuration, SimRng, SimTime};
+use quicksand::tandem::{build as build_tandem, AppProc, Mode, TandemConfig, TandemMsg};
+use rand::Rng;
+
+/// Random partition windows against the cart: whatever the windows, no
+/// acknowledged edit is lost and the replicas converge after the last
+/// heal.
+#[test]
+fn cart_survives_randomized_partition_schedules() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::new(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let start = rng.gen_range(10..500);
+        let dur = rng.gen_range(500..8_000);
+        let scenario = CartScenario {
+            plans: (0..3)
+                .map(|s| {
+                    (0..4)
+                        .map(|i| {
+                            let item = ((s * 4 + i) % 5) as u64;
+                            if (s + i) % 4 == 3 {
+                                CartAction::Remove { item }
+                            } else {
+                                CartAction::Add { item, qty: 1 }
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            think: SimDuration::from_millis(rng.gen_range(10..80)),
+            partition: Some((
+                SimTime::from_millis(start),
+                SimTime::from_millis(start + dur),
+            )),
+            horizon: SimTime::from_secs(60),
+            dynamo: DynamoConfig::default(),
+            n_stores: 5,
+        };
+        let r = run_cart(&scenario, seed + 1);
+        assert_eq!(r.lost_edits, 0, "seed {seed}: {r:?}");
+        assert_eq!(r.edits_acked, 12, "seed {seed}: {r:?}");
+        assert!(r.converged, "seed {seed}: {r:?}");
+    }
+}
+
+/// Random multi-pair crash/promote schedules against the Tandem cluster:
+/// whichever primaries die and whenever, committed work is never lost
+/// and every transaction resolves.
+#[test]
+fn tandem_survives_randomized_multi_pair_crashes() {
+    for seed in 0..6u64 {
+        let mut rng = SimRng::new(seed.wrapping_add(77));
+        let cfg = TandemConfig {
+            mode: if seed % 2 == 0 { Mode::Dp2 } else { Mode::Dp1 },
+            n_dps: 3,
+            n_apps: 3,
+            txns_per_app: 25,
+            writes_per_txn: 3,
+            mean_interarrival: SimDuration::from_millis(3),
+            horizon: SimTime::from_secs(120),
+            ..TandemConfig::default()
+        };
+        let (mut sim, lay) = build_tandem(&cfg, seed);
+        // Crash a random subset of primaries at random times, each with
+        // a Guardian promote shortly after.
+        for (i, (primary, backup)) in lay.pairs.iter().enumerate() {
+            if rng.gen_bool(0.7) {
+                let at = SimTime::from_millis(rng.gen_range(10..300));
+                sim.schedule_crash(at, *primary);
+                sim.inject_at(
+                    at + SimDuration::from_millis(5),
+                    *backup,
+                    lay.adp,
+                    TandemMsg::Promote,
+                );
+                let _ = i;
+            }
+        }
+        sim.run_until(cfg.horizon);
+
+        let mut committed = Vec::new();
+        let mut aborted = 0u64;
+        let mut unresolved = 0u64;
+        for app in &lay.apps {
+            let a: &AppProc = sim.actor(*app);
+            committed.extend(a.committed.iter().copied());
+            aborted += a.aborted.len() as u64;
+            unresolved += a.unresolved();
+        }
+        assert_eq!(
+            committed.len() as u64 + aborted + unresolved,
+            75,
+            "seed {seed}: accounting broken"
+        );
+        assert_eq!(unresolved, 0, "seed {seed}: work stuck forever");
+        // Durability audit against the ADP.
+        let adp: &quicksand::tandem::Adp = sim.actor(lay.adp);
+        for txn in &committed {
+            assert!(adp.is_committed(*txn), "seed {seed}: committed {txn} not durable");
+            let recs = adp.log().iter().filter(|r| r.txn == *txn).count();
+            assert_eq!(
+                recs, cfg.writes_per_txn as usize,
+                "seed {seed}: committed {txn} missing records"
+            );
+        }
+        if cfg.mode == Mode::Dp1 {
+            assert_eq!(aborted, 0, "seed {seed}: DP1 must stay transparent");
+        }
+    }
+}
+
+/// Randomized crash/restart timings against log shipping: resurrection
+/// always makes the books whole, wherever the crash lands.
+#[test]
+fn logship_resurrection_survives_random_crash_timing() {
+    use quicksand::logship::{run as run_ship, LogshipConfig, RecoveryPolicy};
+    for seed in 0..6u64 {
+        let mut rng = SimRng::new(seed.wrapping_mul(31).wrapping_add(5));
+        let crash_ms = rng.gen_range(20..400);
+        let cfg = LogshipConfig {
+            mean_interarrival: SimDuration::from_millis(rng.gen_range(1..5)),
+            ship_interval: SimDuration::from_millis(rng.gen_range(5..150)),
+            crash_primary_at: Some(SimTime::from_millis(crash_ms)),
+            restart_primary_at: Some(SimTime::from_millis(crash_ms + rng.gen_range(500..3000))),
+            recovery: RecoveryPolicy::Resurrect,
+            horizon: SimTime::from_secs(90),
+            ..LogshipConfig::default()
+        };
+        let expected = (cfg.n_clients as u64) * cfg.ops_per_client;
+        let r = run_ship(&cfg, seed + 100);
+        assert_eq!(r.lost_acked, 0, "seed {seed} crash@{crash_ms}ms: {r:?}");
+        assert_eq!(r.duplicate_applications, 0, "seed {seed}: {r:?}");
+        assert_eq!(r.acked, expected, "seed {seed}: clients must finish: {r:?}");
+    }
+}
+
+/// Crash and restart a Dynamo store node mid-workload: its durable store
+/// survives, coordination state is rebuilt, and the cluster still
+/// converges with nothing lost.
+#[test]
+fn dynamo_store_crash_and_restart_loses_nothing() {
+    use quicksand::dynamo::{build_cluster, DynamoMsg, Probe, ProbeResult, StoreNode, VectorClock};
+    use quicksand::sim::Simulation;
+
+    for seed in [1u64, 2, 3] {
+        let mut sim: Simulation<DynamoMsg<u64>> = Simulation::new(seed);
+        let cluster = build_cluster(&mut sim, 4, &DynamoConfig::default());
+        let probe = sim.add_node(Probe::<u64>::new());
+        for k in 0..20u64 {
+            sim.inject_at(
+                SimTime::from_millis(k * 2),
+                cluster.stores[(k % 4) as usize],
+                probe,
+                DynamoMsg::ClientPut {
+                    req: k,
+                    key: k,
+                    value: k + 100,
+                    context: VectorClock::new(),
+                    resp_to: probe,
+                },
+            );
+        }
+        // Store 1 crashes mid-stream and comes back.
+        sim.schedule_crash(SimTime::from_millis(15), cluster.stores[1]);
+        sim.schedule_restart(SimTime::from_millis(200), cluster.stores[1]);
+        sim.run_until(SimTime::from_secs(10));
+
+        let p: &Probe<u64> = sim.actor(probe);
+        let acked: Vec<u64> = (0..20)
+            .filter(|k| matches!(p.result(*k), Some(ProbeResult::PutOk)))
+            .collect();
+        assert!(!acked.is_empty(), "seed {seed}: some puts must succeed");
+        // Every acknowledged key is present and converged everywhere.
+        for k in &acked {
+            let reference = sim.actor::<StoreNode<u64>>(cluster.stores[0]).versions(*k).to_vec();
+            assert!(!reference.is_empty(), "seed {seed}: acked key {k} vanished");
+            for s in &cluster.stores {
+                let node: &StoreNode<u64> = sim.actor(*s);
+                assert!(
+                    quicksand::dynamo::same_versions(node.versions(*k), &reference),
+                    "seed {seed}: store {s} diverged on key {k}"
+                );
+            }
+        }
+    }
+}

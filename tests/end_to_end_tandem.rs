@@ -1,0 +1,86 @@
+//! Cross-crate integration: the Tandem substrate under a sweep of seeds,
+//! crash times, and modes. The load-bearing invariant from §3: whatever
+//! the failure timing, an acknowledged commit is durable — under DP1
+//! *and* DP2 — and DP1 additionally never aborts.
+
+use quicksand::sim::{SimDuration, SimTime};
+use quicksand::tandem::{run, Mode, TandemConfig};
+
+fn cfg(mode: Mode, crash_ms: Option<u64>) -> TandemConfig {
+    TandemConfig {
+        mode,
+        n_dps: 3,
+        n_apps: 3,
+        txns_per_app: 25,
+        writes_per_txn: 4,
+        mean_interarrival: SimDuration::from_millis(3),
+        crash_primary_at: crash_ms.map(SimTime::from_millis),
+        horizon: SimTime::from_secs(60),
+        ..TandemConfig::default()
+    }
+}
+
+#[test]
+fn committed_work_survives_any_crash_timing_under_both_modes() {
+    for mode in [Mode::Dp1, Mode::Dp2] {
+        for crash_ms in [10u64, 40, 80, 150, 300] {
+            for seed in [1u64, 2, 3] {
+                let r = run(&cfg(mode, Some(crash_ms)), seed);
+                assert_eq!(
+                    r.lost_committed, 0,
+                    "durability violated: mode={mode} crash={crash_ms}ms seed={seed}: {r:?}"
+                );
+                assert_eq!(
+                    r.committed + r.aborted + r.unresolved,
+                    75,
+                    "accounting broken: mode={mode} crash={crash_ms}ms seed={seed}: {r:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dp1_never_aborts_dp2_sometimes_does() {
+    let mut dp2_aborted_total = 0;
+    for seed in [5u64, 6, 7, 8] {
+        let r1 = run(&cfg(Mode::Dp1, Some(60)), seed);
+        assert_eq!(r1.aborted, 0, "DP1 is transparent (seed {seed}): {r1:?}");
+        assert_eq!(r1.committed, 75);
+        let r2 = run(&cfg(Mode::Dp2, Some(60)), seed);
+        dp2_aborted_total += r2.aborted;
+    }
+    assert!(dp2_aborted_total > 0, "DP2 should abort in-flight work across these seeds");
+}
+
+#[test]
+fn failure_free_runs_are_identical_across_modes_in_outcome() {
+    for seed in [11u64, 12] {
+        let r1 = run(&cfg(Mode::Dp1, None), seed);
+        let r2 = run(&cfg(Mode::Dp2, None), seed);
+        assert_eq!(r1.committed, 75);
+        assert_eq!(r2.committed, 75);
+        assert_eq!(r1.aborted + r2.aborted, 0);
+        // The 1986 rewrite is strictly cheaper in messages.
+        assert!(
+            r2.messages < r1.messages,
+            "DP2 {} msgs should undercut DP1 {}",
+            r2.messages,
+            r1.messages
+        );
+    }
+}
+
+#[test]
+fn dp2_message_savings_grow_with_transaction_size() {
+    let ratio = |writes: u32| {
+        let mut c1 = cfg(Mode::Dp1, None);
+        c1.writes_per_txn = writes;
+        let mut c2 = cfg(Mode::Dp2, None);
+        c2.writes_per_txn = writes;
+        let r1 = run(&c1, 3);
+        let r2 = run(&c2, 3);
+        r1.messages as f64 / r2.messages as f64
+    };
+    assert!(ratio(16) > ratio(2), "bigger txns amplify the checkpoint tax");
+}
