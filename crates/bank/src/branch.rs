@@ -138,13 +138,16 @@ impl Branch {
     /// charge the bounce fee. If the funds were still under hold, the
     /// hold absorbed the risk — the claw-back cannot overdraw what was
     /// never spendable.
-    pub fn return_deposit(&mut self, deposit_id: Uniquifier, account: AccountId, amount: Cents, fee: Cents) {
+    pub fn return_deposit(
+        &mut self,
+        deposit_id: Uniquifier,
+        account: AccountId,
+        amount: Cents,
+        fee: Cents,
+    ) {
         self.learn(BankOp::returned_deposit(deposit_id, account, amount));
         self.learn(BankOp::BounceFee {
-            id: Uniquifier::derived_from_fields(&[
-                b"depfee",
-                &deposit_id.as_raw().to_le_bytes(),
-            ]),
+            id: Uniquifier::derived_from_fields(&[b"depfee", &deposit_id.as_raw().to_le_bytes()]),
             account,
             amount: fee,
         });
@@ -220,12 +223,7 @@ impl Branch {
     /// Accounts currently overdrawn (real balance below zero) on this
     /// branch's knowledge.
     pub fn overdrafts(&self) -> Vec<(AccountId, Cents)> {
-        self.state
-            .balances
-            .iter()
-            .filter(|(_, b)| **b < 0)
-            .map(|(a, b)| (*a, *b))
-            .collect()
+        self.state.balances.iter().filter(|(_, b)| **b < 0).map(|(a, b)| (*a, *b)).collect()
     }
 
     /// The apology path: for every account this branch now knows to be
@@ -236,8 +234,7 @@ impl Branch {
     /// the checks bounced now.
     pub fn audit_and_compensate(&mut self, fee: Cents) -> Vec<Check> {
         let mut bounced = Vec::new();
-        let overdrawn: Vec<AccountId> =
-            self.overdrafts().into_iter().map(|(a, _)| a).collect();
+        let overdrawn: Vec<AccountId> = self.overdrafts().into_iter().map(|(a, _)| a).collect();
         for account in overdrawn {
             // Candidate clearings on this account, keyed by the clearing
             // op's uniquifier so every branch sorts them identically.
@@ -263,10 +260,8 @@ impl Branch {
                 if self.log.contains(reverse_id) {
                     continue; // already bounced (possibly by another branch)
                 }
-                let fee_id = Uniquifier::derived_from_fields(&[
-                    b"fee",
-                    &clearing_id.as_raw().to_le_bytes(),
-                ]);
+                let fee_id =
+                    Uniquifier::derived_from_fields(&[b"fee", &clearing_id.as_raw().to_le_bytes()]);
                 self.learn(BankOp::ReverseCheck {
                     id: reverse_id,
                     original: clearing_id,
@@ -397,11 +392,8 @@ mod tests {
         assert_eq!(bounced_b.len(), 2);
         a.exchange(&mut b);
         assert_eq!(a.balances(), b.balances());
-        let reversals = a
-            .log()
-            .iter()
-            .filter(|op| matches!(op, BankOp::ReverseCheck { .. }))
-            .count();
+        let reversals =
+            a.log().iter().filter(|op| matches!(op, BankOp::ReverseCheck { .. })).count();
         assert_eq!(reversals, 2);
         assert_eq!(a.balance(9), 4_000);
     }

@@ -10,10 +10,13 @@
 //! model the disconnection window directly and keep the experiments
 //! easy to sweep.
 
+use std::collections::HashSet;
+
 use quicksand_core::mga::{Apology, ApologyQueue, ReplicaId};
 use quicksand_core::op::Operation;
+use quicksand_core::uniquifier::Uniquifier;
 use rand::Rng;
-use sim::SimRng;
+use sim::{MetricSet, NodeId, SimRng, SimTime, SpanId, SpanStatus, SpanStore};
 
 use crate::branch::{present_coordinated, Branch, Refusal};
 use crate::statement::StatementBook;
@@ -53,6 +56,9 @@ pub struct ClearingConfig {
     pub local_us: f64,
     /// Full-coordination round-trip latency (µs).
     pub coord_rtt_us: f64,
+    /// Simulated length of one round (µs) — positions rounds on a time
+    /// axis so guess-outstanding windows and spans have real durations.
+    pub round_us: f64,
 }
 
 impl Default for ClearingConfig {
@@ -63,15 +69,16 @@ impl Default for ClearingConfig {
             initial_deposit: 100_000, // $1,000.00
             rounds: 200,
             checks_per_round: 10,
-            amount_mu: 9.2,   // median check ≈ $99
+            amount_mu: 9.2, // median check ≈ $99
             amount_sigma: 1.0,
             exchange_every: 20,
             dup_presentment_prob: 0.02,
             coordinate_threshold: Some(1_000_000), // $10,000
-            bounce_fee: 3_000, // $30
+            bounce_fee: 3_000,                     // $30
             statement_every: Some(50),
             local_us: 500.0,
             coord_rtt_us: 40_000.0,
+            round_us: 1_000_000.0, // one second per round
         }
     }
 }
@@ -111,6 +118,13 @@ pub struct ClearingReport {
     pub statements_ok: bool,
     /// Accounts still negative at the very end.
     pub final_negative_accounts: u64,
+    /// Run metrics: the `guess.outstanding_us` histogram (act-on-guess →
+    /// reconciliation verdict) and `guess.confirmed` / `guess.apologies`
+    /// counters labeled by branch.
+    pub metrics: MetricSet,
+    /// `bank.clear_check` / `guess.outstanding` spans on the round time
+    /// axis (`round_us` per round).
+    pub spans: SpanStore,
 }
 
 fn full_exchange(branches: &mut [Branch]) {
@@ -119,6 +133,43 @@ fn full_exchange(branches: &mut [Branch]) {
             let (a, b) = branches.split_at_mut(j);
             a[i].exchange(&mut b[0]);
         }
+    }
+}
+
+/// A locally-cleared check whose verdict is still out: the branch said
+/// "cleared" on partial knowledge and reconciliation will confirm or
+/// bounce it.
+struct OutstandingGuess {
+    check: Uniquifier,
+    branch: usize,
+    span: SpanId,
+}
+
+/// Settle every outstanding guess against this audit's bounce list.
+fn resolve_guesses(
+    outstanding: &mut Vec<OutstandingGuess>,
+    bounced: &HashSet<Uniquifier>,
+    at: SimTime,
+    metrics: &mut MetricSet,
+    spans: &mut SpanStore,
+) {
+    for g in outstanding.drain(..) {
+        let confirmed = !bounced.contains(&g.check);
+        let start = spans.get(g.span).expect("guess span exists").start;
+        metrics.record("guess.outstanding_us", at.saturating_since(start).as_micros() as f64);
+        let branch = format!("b{}", g.branch);
+        let (counter, status) = if confirmed {
+            ("guess.confirmed", SpanStatus::Ok)
+        } else {
+            ("guess.apologies", SpanStatus::Failed)
+        };
+        metrics.inc_with(counter, &[("branch", branch.as_str())]);
+        spans.add_field(
+            g.span,
+            "resolution",
+            if confirmed { "confirmed" } else { "apology" }.to_owned(),
+        );
+        spans.finish_span(g.span, at, status);
     }
 }
 
@@ -132,6 +183,13 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     let mut next_check_number: u64 = 1;
     let mut latency_total = 0.0;
     let mut latency_count = 0u64;
+    let mut metrics = MetricSet::new();
+    let mut spans = SpanStore::new();
+    let mut outstanding: Vec<OutstandingGuess> = Vec::new();
+    // Round r occupies [r·round_us, (r+1)·round_us) on the time axis.
+    let at_us = |round: u64, within: f64| {
+        SimTime::from_micros((round as f64 * cfg.round_us + within) as u64)
+    };
 
     // Seed deposits, known everywhere (the opening of the books).
     for acct in 0..cfg.n_accounts {
@@ -150,15 +208,24 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
             next_check_number += 1;
             report.presented += 1;
 
-            let coordinate = cfg
-                .coordinate_threshold
-                .is_some_and(|t| amount >= t);
+            let coordinate = cfg.coordinate_threshold.is_some_and(|t| amount >= t);
             let outcome = if coordinate {
                 latency_total += cfg.local_us + cfg.coord_rtt_us;
                 latency_count += 1;
                 let r = present_coordinated(&mut branches, check);
                 if r.is_ok() {
                     report.cleared_coordinated += 1;
+                    // Coordination is crisp: no guess to measure.
+                    let s = spans.open_span("bank.clear_check", None, None, at_us(round, 0.0));
+                    spans.add_field(s, "path", "coordinated".to_owned());
+                    spans.add_field(s, "account", account.to_string());
+                    spans.add_field(s, "amount", amount.to_string());
+                    spans.finish_span(
+                        s,
+                        at_us(round, cfg.local_us + cfg.coord_rtt_us),
+                        SpanStatus::Ok,
+                    );
+                    metrics.inc("bank.cleared_coordinated");
                 }
                 r
             } else {
@@ -168,6 +235,33 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                 let r = branches[b].present(check);
                 if r.is_ok() {
                     report.cleared_local += 1;
+                    // Clearing on local knowledge: the answer goes out
+                    // now, the verdict arrives at reconciliation. The
+                    // guess span runs between the two.
+                    let s = spans.open_span(
+                        "bank.clear_check",
+                        Some(NodeId(b)),
+                        None,
+                        at_us(round, 0.0),
+                    );
+                    spans.add_field(s, "path", "local-guess".to_owned());
+                    spans.add_field(s, "account", account.to_string());
+                    spans.add_field(s, "amount", amount.to_string());
+                    spans.finish_span(s, at_us(round, cfg.local_us), SpanStatus::Ok);
+                    let g = spans.open_span(
+                        "guess.outstanding",
+                        Some(NodeId(b)),
+                        Some(s),
+                        at_us(round, cfg.local_us),
+                    );
+                    spans.add_field(g, "op", "bank.clear_check".to_owned());
+                    outstanding.push(OutstandingGuess {
+                        check: check.uniquifier(),
+                        branch: b,
+                        span: g,
+                    });
+                    let branch = format!("b{b}");
+                    metrics.inc_with("bank.cleared_local", &[("branch", branch.as_str())]);
                 }
                 r
             };
@@ -196,6 +290,14 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
             report.overdraft_episodes += overdrawn.len() as u64;
             let bounced = branches[0].audit_and_compensate(cfg.bounce_fee);
             report.bounced += bounced.len() as u64;
+            let bounced_ids: HashSet<Uniquifier> = bounced.iter().map(|c| c.uniquifier()).collect();
+            resolve_guesses(
+                &mut outstanding,
+                &bounced_ids,
+                at_us(round + 1, 0.0),
+                &mut metrics,
+                &mut spans,
+            );
             // Compensation that couldn't make an account whole goes to a
             // human (§5.6 step 1).
             for (account, balance) in branches[0].overdrafts() {
@@ -220,14 +322,20 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     full_exchange(&mut branches);
     let bounced = branches[0].audit_and_compensate(cfg.bounce_fee);
     report.bounced += bounced.len() as u64;
+    let bounced_ids: HashSet<Uniquifier> = bounced.iter().map(|c| c.uniquifier()).collect();
+    resolve_guesses(
+        &mut outstanding,
+        &bounced_ids,
+        at_us(cfg.rounds, 0.0),
+        &mut metrics,
+        &mut spans,
+    );
     full_exchange(&mut branches);
 
     report.human_apologies = apologies.human_queue().len() as u64;
     report.mean_clear_latency_us =
         if latency_count == 0 { 0.0 } else { latency_total / latency_count as f64 };
-    report.converged = branches
-        .windows(2)
-        .all(|w| w[0].balances() == w[1].balances());
+    report.converged = branches.windows(2).all(|w| w[0].balances() == w[1].balances());
     // Double-posting check: the union's ledger must contain at most one
     // clearing per check uniquifier — true by OpLog construction, but we
     // verify by recount.
@@ -247,6 +355,8 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     }
     report.final_negative_accounts =
         branches[0].balances().balances.values().filter(|b| **b < 0).count() as u64;
+    report.metrics = metrics;
+    report.spans = spans;
     report
 }
 
@@ -264,6 +374,21 @@ mod tests {
     }
 
     #[test]
+    fn guess_windows_are_measured_and_nonzero() {
+        let mut r = run_clearing(&ClearingConfig::default(), 7);
+        let summary = r.metrics.histogram("guess.outstanding_us").summary();
+        assert!(summary.count > 0, "local clears record guess windows");
+        // Every guess is outstanding for at least the remainder of its
+        // round: strictly positive durations.
+        assert!(summary.min > 0.0, "min = {}", summary.min);
+        // No guess spans leak: all were resolved at an audit.
+        assert_eq!(r.spans.open_spans().count(), 0);
+        let confirmed = r.metrics.counter("guess.confirmed");
+        let apologies = r.metrics.counter("guess.apologies");
+        assert_eq!(confirmed + apologies, summary.count as u64);
+    }
+
+    #[test]
     fn longer_disconnection_windows_mean_more_overdrafts() {
         let tight = ClearingConfig {
             exchange_every: 1,
@@ -277,10 +402,7 @@ mod tests {
         let loose = ClearingConfig { exchange_every: 50, ..tight.clone() };
         let rt = run_clearing(&tight, 11);
         let rl = run_clearing(&loose, 11);
-        assert!(
-            rl.overdraft_episodes > rt.overdraft_episodes,
-            "loose {rl:?} vs tight {rt:?}"
-        );
+        assert!(rl.overdraft_episodes > rt.overdraft_episodes, "loose {rl:?} vs tight {rt:?}");
     }
 
     #[test]
@@ -305,11 +427,8 @@ mod tests {
 
     #[test]
     fn duplicate_presentments_never_double_post() {
-        let cfg = ClearingConfig {
-            dup_presentment_prob: 0.5,
-            rounds: 100,
-            ..ClearingConfig::default()
-        };
+        let cfg =
+            ClearingConfig { dup_presentment_prob: 0.5, rounds: 100, ..ClearingConfig::default() };
         let r = run_clearing(&cfg, 17);
         assert!(r.no_double_posting, "{r:?}");
         assert!(r.duplicates_collapsed + r.duplicates_granted > 0, "{r:?}");

@@ -32,7 +32,7 @@ pub mod statement;
 pub mod types;
 
 pub use branch::{classify_check, present_coordinated, Branch, ClearingResult, Refusal};
-pub use deposits::{run_deposit_risk, DepositRiskConfig, DepositRiskReport};
 pub use clearing::{run_clearing, ClearingConfig, ClearingReport};
+pub use deposits::{run_deposit_risk, DepositRiskConfig, DepositRiskReport};
 pub use statement::{Statement, StatementBook};
 pub use types::{AccountId, BankOp, BankState, Cents, Check, Standing};

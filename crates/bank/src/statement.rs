@@ -59,10 +59,7 @@ impl StatementBook {
                     self.posted.insert(op.id());
                     continue;
                 }
-                per_account
-                    .entry(op.account())
-                    .or_default()
-                    .push((op.id(), op.signed_amount()));
+                per_account.entry(op.account()).or_default().push((op.id(), op.signed_amount()));
             }
         }
         // Every account that has ever had a statement also closes this
@@ -166,11 +163,7 @@ mod tests {
         assert_eq!(march[0].entries.len(), 2);
 
         let check = Check { account: 1, number: 9, amount: 4_000 };
-        log.record(BankOp::ClearCheck {
-            id: check.uniquifier(),
-            account: 1,
-            amount: 4_000,
-        });
+        log.record(BankOp::ClearCheck { id: check.uniquifier(), account: 1, amount: 4_000 });
         let april = book.close_period(&log);
         assert_eq!(april[0].opening, 15_000);
         assert_eq!(april[0].closing, 11_000);

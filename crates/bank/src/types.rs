@@ -161,7 +161,12 @@ impl BankOp {
     }
 
     /// The hold placed alongside a deposit for a poor-standing customer.
-    pub fn hold_for(deposit_id: Uniquifier, account: AccountId, amount: Cents, release_round: u64) -> BankOp {
+    pub fn hold_for(
+        deposit_id: Uniquifier,
+        account: AccountId,
+        amount: Cents,
+        release_round: u64,
+    ) -> BankOp {
         BankOp::PlaceHold {
             id: Uniquifier::derived_from_fields(&[b"hold", &deposit_id.as_raw().to_le_bytes()]),
             account,
@@ -327,7 +332,11 @@ mod tests {
                 amount: 100 * i as i64,
             });
             let c = Check { account: i % 3, number: 500 + i, amount: 40 * i as i64 };
-            ops.push(BankOp::ClearCheck { id: c.uniquifier(), account: c.account, amount: c.amount });
+            ops.push(BankOp::ClearCheck {
+                id: c.uniquifier(),
+                account: c.account,
+                amount: c.amount,
+            });
         }
         acid2::certify(&ops, 40, &mut rng).expect("debits and credits commute");
     }

@@ -136,11 +136,9 @@ fn bench_escrow(c: &mut Criterion) {
             &threads,
             |b, &t| b.iter(|| black_box(contended_escrow(t, 2_000))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("exclusive_lock", threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(contended_exclusive(t, 2_000))),
-        );
+        group.bench_with_input(BenchmarkId::new("exclusive_lock", threads), &threads, |b, &t| {
+            b.iter(|| black_box(contended_exclusive(t, 2_000)))
+        });
     }
     group.finish();
 }

@@ -27,11 +27,9 @@ fn tandem_cfg(mode: Mode, group_commit: bool) -> TandemConfig {
 fn bench_tandem(c: &mut Criterion) {
     let mut group = c.benchmark_group("tandem_sim");
     group.sample_size(10);
-    for (label, mode, gc) in [
-        ("dp1", Mode::Dp1, true),
-        ("dp2_bus", Mode::Dp2, true),
-        ("dp2_car", Mode::Dp2, false),
-    ] {
+    for (label, mode, gc) in
+        [("dp1", Mode::Dp1, true), ("dp2_bus", Mode::Dp2, true), ("dp2_car", Mode::Dp2, false)]
+    {
         group.bench_function(BenchmarkId::new("run_100_txns", label), |b| {
             b.iter(|| {
                 let r = run_tandem(&tandem_cfg(mode, gc), 7);
@@ -66,9 +64,7 @@ fn bench_vclock(c: &mut Criterion) {
     c.bench_function("vclock/compare_16_entries", |bch| {
         bch.iter(|| black_box(a.compare(&b_clock)))
     });
-    c.bench_function("vclock/merge_16_entries", |bch| {
-        bch.iter(|| black_box(a.merged(&b_clock)))
-    });
+    c.bench_function("vclock/merge_16_entries", |bch| bch.iter(|| black_box(a.merged(&b_clock))));
 }
 
 fn bench_cart(c: &mut Criterion) {

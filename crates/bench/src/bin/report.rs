@@ -4,23 +4,55 @@
 //! cargo run -p bench --release --bin report            # all tables
 //! cargo run -p bench --release --bin report -- e7 e8   # a subset
 //! cargo run -p bench --release --bin report -- --seed 7 e1
+//! cargo run -p bench --release --bin report -- --metrics
+//! cargo run -p bench --release --bin report -- --metrics-json out.json
 //! ```
 
-use bench::{all_tables, table_by_id, DEFAULT_SEED};
+use bench::{all_tables, observability_report, table_by_id, DEFAULT_SEED};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = DEFAULT_SEED;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         args.remove(pos);
-        seed = args
-            .get(pos)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--seed needs a number");
-                std::process::exit(2);
-            });
+        seed = args.get(pos).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--seed needs a number");
+            std::process::exit(2);
+        });
         args.remove(pos);
+    }
+    let metrics = if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let metrics_json = if let Some(pos) = args.iter().position(|a| a == "--metrics-json") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--metrics-json needs a path");
+            std::process::exit(2);
+        }
+        Some(args.remove(pos))
+    } else {
+        None
+    };
+    if metrics || metrics_json.is_some() {
+        let (appendix, json) = observability_report(seed);
+        if metrics {
+            println!("Observability appendix (seed {seed})\n");
+            println!("{appendix}");
+        }
+        if let Some(path) = metrics_json {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("bank-run MetricSet JSON written to {path}");
+        }
+        if args.is_empty() {
+            return;
+        }
     }
     println!("Building on Quicksand — derived experiment report (seed {seed})");
     println!("(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)\n");

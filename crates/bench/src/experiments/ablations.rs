@@ -22,13 +22,7 @@ pub fn a1(seed: u64) -> Table {
         "\"The fault tolerant server system had better make this work idempotent or the \
          retries would occasionally result in duplicative work\" (§2.1); uniquifiers make \
          the collapse possible (§5.4, §7.5)",
-        &[
-            "dedup",
-            "orders",
-            "requests (with retries)",
-            "units shipped",
-            "excess units",
-        ],
+        &["dedup", "orders", "requests (with retries)", "units shipped", "excess units"],
     );
     for dedup in [true, false] {
         let mut rng = SimRng::new(seed);

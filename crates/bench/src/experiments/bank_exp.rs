@@ -77,11 +77,7 @@ pub fn e8(seed: u64) -> Table {
         ("always coordinate", Some(0)),
     ];
     for (label, threshold) in cases {
-        let cfg = ClearingConfig {
-            exchange_every: 40,
-            coordinate_threshold: threshold,
-            ..base()
-        };
+        let cfg = ClearingConfig { exchange_every: 40, coordinate_threshold: threshold, ..base() };
         let r = run_clearing(&cfg, seed);
         t.row(vec![
             label.to_string(),

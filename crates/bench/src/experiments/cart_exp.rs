@@ -47,10 +47,9 @@ pub fn e6(seed: u64) -> Table {
         ],
     );
     for (label, sloppy) in [("sloppy (AP)", true), ("strict (CP)", false)] {
-        for (plabel, partition) in [
-            ("none", None),
-            ("10s", Some((SimTime::from_millis(50), SimTime::from_secs(10)))),
-        ] {
+        for (plabel, partition) in
+            [("none", None), ("10s", Some((SimTime::from_millis(50), SimTime::from_secs(10))))]
+        {
             let scenario = CartScenario {
                 dynamo: DynamoConfig { sloppy, ..DynamoConfig::default() },
                 n_stores: 5,
@@ -58,6 +57,7 @@ pub fn e6(seed: u64) -> Table {
                 think: SimDuration::from_millis(40),
                 partition,
                 horizon: SimTime::from_secs(60),
+                ..CartScenario::default()
             };
             let r = run(&scenario, seed);
             t.row(vec![

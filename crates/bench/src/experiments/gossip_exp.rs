@@ -49,10 +49,7 @@ pub fn a3(seed: u64) -> Table {
             let reference = sim.actor::<StoreNode<u64>>(cluster.stores[0]).versions(k).to_vec();
             !reference.is_empty()
                 && cluster.stores.iter().all(|s| {
-                    dynamo::same_versions(
-                        sim.actor::<StoreNode<u64>>(*s).versions(k),
-                        &reference,
-                    )
+                    dynamo::same_versions(sim.actor::<StoreNode<u64>>(*s).versions(k), &reference)
                 })
         });
         let m = sim.metrics();

@@ -75,14 +75,7 @@ pub fn e5(seed: u64) -> Table {
         "\"the pending work is simply discarded due to lack of designed mechanisms to \
          reclaim it\" (§5.1) — unless the ops are uniquified and commutative, in which case \
          out-of-order resurrection is safe (§5.3, §5.4)",
-        &[
-            "policy",
-            "dedup",
-            "acked",
-            "lost acked",
-            "resurrected",
-            "double-applied",
-        ],
+        &["policy", "dedup", "acked", "lost acked", "resurrected", "double-applied"],
     );
     let cases: [(&str, RecoveryPolicy, bool); 3] = [
         ("discard", RecoveryPolicy::Discard, true),

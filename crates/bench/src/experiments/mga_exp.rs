@@ -54,11 +54,8 @@ fn mga_run(exchange_every: u64, total_ops: u64, seed: u64) -> MgaRun {
 
     for i in 0..total_ops {
         // Withdraw-heavy traffic keeps the rule binding.
-        let delta = if rng.gen_bool(0.45) {
-            rng.gen_range(1..=100)
-        } else {
-            -rng.gen_range(1..=100)
-        };
+        let delta =
+            if rng.gen_bool(0.45) { rng.gen_range(1..=100) } else { -rng.gen_range(1..=100) };
         let op = mk(&mut op_seq, delta);
         if exchange_every == 0 {
             latency_total += LOCAL_MS + COORD_MS;

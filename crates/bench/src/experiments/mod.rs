@@ -2,10 +2,10 @@
 
 pub mod ablations;
 pub mod bank_exp;
-pub mod deposits_exp;
-pub mod gossip_exp;
 pub mod cart_exp;
+pub mod deposits_exp;
 pub mod escrow_exp;
+pub mod gossip_exp;
 pub mod logship_exp;
 pub mod mga_exp;
 pub mod quorum_exp;

@@ -55,14 +55,12 @@ impl Actor<DynamoMsg<u64>> for SerialWriter {
         match msg {
             DynamoMsg::GetOk { req, versions, .. } if req == self.req && self.getting => {
                 self.getting = false;
-                let context = versions
-                    .iter()
-                    .fold(VectorClock::new(), |c, v| c.merged(&v.effective_clock()));
+                let context =
+                    versions.iter().fold(VectorClock::new(), |c, v| c.merged(&v.effective_clock()));
                 let value = self.next_value;
                 self.req += 1;
                 let me = ctx.me();
-                let coord =
-                    self.coordinators[(self.req % self.coordinators.len() as u64) as usize];
+                let coord = self.coordinators[(self.req % self.coordinators.len() as u64) as usize];
                 ctx.send(
                     coord,
                     DynamoMsg::ClientPut { req: self.req, key: KEY, value, context, resp_to: me },
@@ -154,11 +152,7 @@ fn run_quorum(r: usize, w: usize, seed: u64) -> QuorumRun {
     // Inter-store links are slow, jittery, and lossy (replication lag is
     // what staleness is made of); client links stay crisp so the
     // measurement itself is clean.
-    let lossy = LinkConfig::lossy(
-        SimDuration::from_millis(1),
-        SimDuration::from_millis(12),
-        0.10,
-    );
+    let lossy = LinkConfig::lossy(SimDuration::from_millis(1), SimDuration::from_millis(12), 0.10);
     for i in 0..cluster.stores.len() {
         for j in (i + 1)..cluster.stores.len() {
             sim.network_mut().set_link(cluster.stores[i], cluster.stores[j], lossy);

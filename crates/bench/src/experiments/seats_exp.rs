@@ -55,9 +55,7 @@ fn seat_run(ttl: Option<u64>, ticks: u64, seed: u64) -> SeatRun {
                         let session = SessionId(next_session);
                         next_session += 1;
                         if map.hold(seat, session, now, effective_ttl).is_ok()
-                            && map
-                                .purchase(seat, session, BuyerId(next_session), now)
-                                .is_ok()
+                            && map.purchase(seat, session, BuyerId(next_session), now).is_ok()
                         {
                             honest_bought += 1;
                         }
@@ -69,10 +67,7 @@ fn seat_run(ttl: Option<u64>, ticks: u64, seed: u64) -> SeatRun {
 
         let (available, _, _) = map.census();
         available_sum += available as u64;
-        if map
-            .check_invariant(now, ttl.map_or(u64::MAX / 2, |t| t + 2))
-            .is_err()
-        {
+        if map.check_invariant(now, ttl.map_or(u64::MAX / 2, |t| t + 2)).is_err() {
             invariant_ok = false;
         }
         let _ = SeatId(0);

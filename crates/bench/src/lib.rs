@@ -16,7 +16,7 @@
 pub mod experiments;
 pub mod table;
 
-pub use table::Table;
+pub use table::{metrics_appendix, Table};
 
 /// The default seed used by the report binary (any seed works; tables
 /// are deterministic per seed).
@@ -45,6 +45,31 @@ pub fn all_tables(seed: u64) -> Vec<Table> {
         ablations::a2(seed),
         gossip_exp::a3(seed),
     ]
+}
+
+/// The observability appendix: one representative run per substrate,
+/// each rendered through `MetricSet`'s own `Display` (see
+/// [`metrics_appendix`]) so the report shows the same `p50/p99/max`
+/// lines the metrics layer computes. Returns `(appendix_text, json)`
+/// where `json` is the bank run's `MetricSet::to_json()` export —
+/// the run whose `guess.outstanding_us` histogram measures the paper's
+/// act-on-guess → confirmation/apology window.
+pub fn observability_report(seed: u64) -> (String, String) {
+    let bank_run = bank::run_clearing(&bank::ClearingConfig::default(), seed);
+    let json = bank_run.metrics.to_json();
+    let mut out = metrics_appendix(
+        "M1",
+        "bank clearing observability (guess windows per §5.5/§6.2)",
+        &bank_run.metrics,
+    );
+    out.push('\n');
+    let cart_run = cart::run(&cart::CartScenario::default(), seed);
+    out.push_str(&metrics_appendix(
+        "M2",
+        "shopping-cart observability (dynamo + cart spans)",
+        &cart_run.metrics,
+    ));
+    (out, json)
 }
 
 /// Run one experiment by id ("e1".."e12", "a1", "a2"), if it exists.

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use sim::MetricSet;
+
 /// One experiment's output table.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -56,6 +58,22 @@ pub fn f(v: f64) -> String {
     } else {
         format!("{v:.4}")
     }
+}
+
+/// Render a metrics appendix for one run.
+///
+/// All statistics (per-histogram `n`/`mean`/`p50`/`p99`/`max`, labeled
+/// counters, gauges) come straight from `MetricSet`'s `Display`; this
+/// wrapper only adds the report framing, so bench never re-derives a
+/// percentile the metrics layer already computes.
+pub fn metrics_appendix(id: &str, title: &str, metrics: &MetricSet) -> String {
+    let mut out = format!("== {id} — {title}\n");
+    for line in metrics.to_string().lines() {
+        out.push_str("   ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
 }
 
 impl fmt::Display for Table {
@@ -113,6 +131,33 @@ mod tests {
     fn ragged_rows_are_rejected() {
         let mut t = Table::new("E0", "demo", "none", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn metrics_appendix_reuses_metricset_display() {
+        let mut m = MetricSet::new();
+        m.inc("ops");
+        for v in 1..=100 {
+            m.record("lat_us", v as f64);
+        }
+        let s = metrics_appendix("M1", "demo metrics", &m);
+        assert!(s.starts_with("== M1 — demo metrics\n"));
+        // The percentile lines are MetricSet's own rendering, indented.
+        assert_eq!(
+            s,
+            format!("== M1 — demo metrics\n{}", {
+                let mut indented = String::new();
+                for line in m.to_string().lines() {
+                    indented.push_str("   ");
+                    indented.push_str(line);
+                    indented.push('\n');
+                }
+                indented
+            })
+        );
+        assert!(s.contains("p50=50.50"));
+        assert!(s.contains("p99=99.01"));
+        assert!(s.contains("max=100.00"));
     }
 
     #[test]

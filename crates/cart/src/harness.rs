@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use dynamo::{build_cluster, DynamoConfig, DynamoMsg, StoreNode};
-use sim::{NodeId, SimDuration, SimTime, Simulation};
+use sim::{MetricSet, NodeId, SimDuration, SimTime, Simulation, SpanStore};
 
 use crate::op::{CartAction, CartBlob};
 use crate::shopper::Shopper;
@@ -24,6 +24,8 @@ pub struct CartScenario {
     pub partition: Option<(SimTime, SimTime)>,
     /// Run until here.
     pub horizon: SimTime,
+    /// Record the sim+app event trace (needed for JSONL export).
+    pub trace: bool,
 }
 
 impl Default for CartScenario {
@@ -46,6 +48,7 @@ impl Default for CartScenario {
             think: SimDuration::from_millis(50),
             partition: None,
             horizon: SimTime::from_secs(30),
+            trace: false,
         }
     }
 }
@@ -73,6 +76,14 @@ pub struct CartReport {
     pub final_cart: BTreeMap<u64, u32>,
     /// True if all replicas converged to the same sibling set.
     pub converged: bool,
+    /// Metrics the simulator gathered (`cart.*`, `dynamo.*`, `net.*`).
+    pub metrics: MetricSet,
+    /// Every span the run recorded: `cart.edit` → `dynamo.put`/`get` →
+    /// `net.hop` causal trees with per-hop latency.
+    pub spans: SpanStore,
+    /// The sim+app event trace as JSONL, when `CartScenario::trace` was
+    /// set.
+    pub trace_jsonl: Option<String>,
 }
 
 impl CartReport {
@@ -92,6 +103,9 @@ pub const CART_KEY: u64 = 777;
 /// Run a cart scenario and verify convergence.
 pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
     let mut sim: Simulation<DynamoMsg<CartBlob>> = Simulation::new(seed);
+    if scenario.trace {
+        sim.enable_trace(1 << 20);
+    }
     let cluster = build_cluster(&mut sim, scenario.n_stores, &scenario.dynamo);
 
     // Shoppers attach to disjoint halves of the store fleet so a
@@ -102,13 +116,8 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
     let mut shopper_nodes = Vec::new();
     for (i, plan) in scenario.plans.iter().enumerate() {
         let coords = if i % 2 == 0 { left.clone() } else { right.clone() };
-        let node = sim.add_node(Shopper::new(
-            i as u32,
-            CART_KEY,
-            coords,
-            plan.clone(),
-            scenario.think,
-        ));
+        let node =
+            sim.add_node(Shopper::new(i as u32, CART_KEY, coords, plan.clone(), scenario.think));
         shopper_nodes.push(node);
     }
 
@@ -153,10 +162,8 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
     }
     // Convergence: every store holds an equivalent sibling set.
     report.converged = {
-        let reference = sim
-            .actor::<StoreNode<CartBlob>>(cluster.stores[0])
-            .versions(CART_KEY)
-            .to_vec();
+        let reference =
+            sim.actor::<StoreNode<CartBlob>>(cluster.stores[0]).versions(CART_KEY).to_vec();
         cluster.stores.iter().all(|s| {
             let node: &StoreNode<CartBlob> = sim.actor(*s);
             dynamo::same_versions(node.versions(CART_KEY), &reference)
@@ -175,10 +182,8 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
     report.final_cart = ledger.materialize();
     let mut latest: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
     for e in &acked {
-        let is_remove = matches!(
-            e.action,
-            CartAction::Remove { .. } | CartAction::ChangeQty { qty: 0, .. }
-        );
+        let is_remove =
+            matches!(e.action, CartAction::Remove { .. } | CartAction::ChangeQty { qty: 0, .. });
         let entry = latest.entry(e.action.item()).or_insert((e.at, is_remove));
         if e.at >= entry.0 {
             *entry = (e.at, is_remove);
@@ -189,6 +194,9 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
             report.resurrected_items += 1;
         }
     }
+    report.metrics = sim.metrics().clone();
+    report.spans = sim.spans().clone();
+    report.trace_jsonl = sim.trace().map(|t| t.to_jsonl());
     report
 }
 

@@ -23,5 +23,5 @@ pub mod op;
 pub mod shopper;
 
 pub use harness::{run, CartReport, CartScenario, CART_KEY};
-pub use op::{reconcile, merged_context, Cart, CartAction, CartBlob, CartOp};
+pub use op::{merged_context, reconcile, Cart, CartAction, CartBlob, CartOp};
 pub use shopper::{AckedEdit, Shopper};

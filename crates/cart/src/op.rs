@@ -19,9 +19,9 @@
 
 use std::collections::BTreeMap;
 
+use dynamo::Versioned;
 use quicksand_core::op::{OpLog, Operation};
 use quicksand_core::uniquifier::Uniquifier;
-use dynamo::Versioned;
 
 /// What a shopper asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -13,7 +13,7 @@
 use dynamo::{DynamoMsg, VectorClock};
 use quicksand_core::uniquifier::{Uniquifier, UniquifierSource};
 use rand::Rng;
-use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId};
 
 use crate::op::{merged_context, reconcile, CartAction, CartBlob, CartOp};
 
@@ -59,6 +59,9 @@ pub struct Shopper {
     /// The op currently being worked in (kept across retries so its
     /// uniquifier is stable).
     current_op: Option<CartOp>,
+    /// The `cart.edit` span covering the whole GET-reconcile-PUT cycle,
+    /// including retries (same lifetime as `current_op`).
+    edit_span: Option<SpanId>,
     phase: Phase,
     req_counter: u64,
     /// Edits whose PUT was acknowledged.
@@ -92,6 +95,7 @@ impl Shopper {
             ids: UniquifierSource::new(0x5000 + id as u64),
             next_action: 0,
             current_op: None,
+            edit_span: None,
             phase: Phase::Idle,
             req_counter: 0,
             acked: Vec::new(),
@@ -126,12 +130,19 @@ impl Shopper {
             }
             let action = self.plan[self.next_action].clone();
             self.next_action += 1;
+            let span = ctx.child_span(ctx.current_span(), "cart.edit");
+            ctx.span_field(span, "shopper", self.id);
+            ctx.span_field(span, "action", format!("{action:?}"));
+            self.edit_span = Some(span);
             self.current_op = Some(CartOp { id: self.ids.next_id(), action });
         }
         let req = self.new_req();
         self.phase = Phase::Getting { req };
         let me = ctx.me();
         let coord = self.pick_coordinator(ctx);
+        // All traffic for this cycle — including retries — hangs off the
+        // one cart.edit span.
+        ctx.set_current_span(self.edit_span);
         ctx.send(coord, DynamoMsg::ClientGet { req, key: self.key, resp_to: me });
         ctx.set_timer(self.stuck_timeout, tag(TAG_STUCK, req));
     }
@@ -149,6 +160,7 @@ impl Shopper {
         self.put_attempts += 1;
         let me = ctx.me();
         let coord = self.pick_coordinator(ctx);
+        ctx.set_current_span(self.edit_span);
         ctx.send(
             coord,
             DynamoMsg::ClientPut { req, key: self.key, value: ledger, context, resp_to: me },
@@ -159,6 +171,9 @@ impl Shopper {
     fn finish_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
         let op = self.current_op.take().expect("finishing an active cycle");
         self.acked.push(AckedEdit { id: op.id, action: op.action, at: ctx.now() });
+        if let Some(span) = self.edit_span.take() {
+            ctx.finish_span(span);
+        }
         ctx.metrics().inc("cart.edits_acked");
         self.phase = Phase::Idle;
         if self.next_action < self.plan.len() {
@@ -173,6 +188,10 @@ impl Shopper {
     fn retry_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
         // Back off briefly, then re-run the whole GET-merge-PUT cycle
         // with the same operation uniquifier.
+        if let Some(span) = self.edit_span {
+            ctx.trace_event("cart.retry", &[("shopper", self.id.to_string())]);
+            ctx.span_field(span, "retried", "true");
+        }
         self.phase = Phase::Idle;
         let backoff = self.think / 2 + SimDuration::from_micros(ctx.rng().gen_range(0..10_000));
         ctx.set_timer(backoff, tag(TAG_NEXT, u64::MAX >> 16));

@@ -69,11 +69,7 @@ pub fn replay_raw<O: Operation>(ops: &[O]) -> O::State {
 /// Check that raw execution of `ops` is arrival-order independent, by
 /// comparing `trials` random shuffles against the given order. Requires
 /// `State: PartialEq`.
-pub fn check_commutative<O>(
-    ops: &[O],
-    trials: usize,
-    rng: &mut impl Rng,
-) -> Result<(), Violation>
+pub fn check_commutative<O>(ops: &[O], trials: usize, rng: &mut impl Rng) -> Result<(), Violation>
 where
     O: Operation + fmt::Debug,
     O::State: PartialEq + fmt::Debug,
@@ -137,7 +133,9 @@ where
         if got != reference {
             return Err(Violation {
                 law: Law::Associativity,
-                detail: format!("trial {t}: tree merge produced {got:?}, fold produced {reference:?}"),
+                detail: format!(
+                    "trial {t}: tree merge produced {got:?}, fold produced {reference:?}"
+                ),
             });
         }
     }
@@ -147,11 +145,7 @@ where
 /// Check at-least-once tolerance: delivering each operation 1–3 times
 /// through an [`OpLog`] must produce the same state as delivering each
 /// exactly once.
-pub fn check_idempotent<O>(
-    ops: &[O],
-    trials: usize,
-    rng: &mut impl Rng,
-) -> Result<(), Violation>
+pub fn check_idempotent<O>(ops: &[O], trials: usize, rng: &mut impl Rng) -> Result<(), Violation>
 where
     O: Operation + fmt::Debug,
     O::State: PartialEq + fmt::Debug,
@@ -177,7 +171,9 @@ where
         if got != reference {
             return Err(Violation {
                 law: Law::Idempotence,
-                detail: format!("trial {t}: duplicated delivery produced {got:?}, expected {reference:?}"),
+                detail: format!(
+                    "trial {t}: duplicated delivery produced {got:?}, expected {reference:?}"
+                ),
             });
         }
     }
@@ -187,11 +183,7 @@ where
 /// Run all three checks; the full ACID 2.0 certificate for an operation
 /// set (the D — Distributed — is what the rest of the workspace
 /// exercises: the same checks passing means the ops can run anywhere).
-pub fn certify<O>(
-    ops: &[O],
-    trials: usize,
-    rng: &mut impl Rng,
-) -> Result<(), Violation>
+pub fn certify<O>(ops: &[O], trials: usize, rng: &mut impl Rng) -> Result<(), Violation>
 where
     O: Operation + fmt::Debug,
     O::State: PartialEq + fmt::Debug,
@@ -295,11 +287,8 @@ mod tests {
         // The canonical replay order in OpLog makes merge deterministic
         // even for non-commutative ops — the log is doing the work the
         // raw operations can't.
-        let ops = vec![
-            RegisterWrite::new(1, 10),
-            RegisterWrite::new(2, 20),
-            RegisterWrite::new(3, 30),
-        ];
+        let ops =
+            vec![RegisterWrite::new(1, 10), RegisterWrite::new(2, 20), RegisterWrite::new(3, 30)];
         check_associative(&ops, 3, 50, &mut rng()).expect("union is associative");
         check_idempotent(&ops, 50, &mut rng()).expect("union dedups");
     }

@@ -154,10 +154,7 @@ impl EscrowCounter {
     /// Panics if `initial` is outside the bounds or `min > max`.
     pub fn new(initial: i64, min: i64, max: i64) -> Self {
         assert!(min <= max, "escrow bounds inverted");
-        assert!(
-            (min..=max).contains(&initial),
-            "initial escrow value out of bounds"
-        );
+        assert!((min..=max).contains(&initial), "initial escrow value out of bounds");
         EscrowCounter {
             min,
             max,
@@ -212,11 +209,7 @@ impl EscrowCounter {
             }
             self.high = worst;
         }
-        self.active
-            .get_mut(&txn)
-            .expect("checked active above")
-            .deltas
-            .push(delta);
+        self.active.get_mut(&txn).expect("checked active above").deltas.push(delta);
         self.log.push(LogEntry { txn, delta, outcome: EntryOutcome::Pending });
         self.check_invariants();
         Ok(())
@@ -234,11 +227,8 @@ impl EscrowCounter {
                 return Err(EscrowError::ReadLocked { holder });
             }
         }
-        let pending_others = self
-            .active
-            .iter()
-            .filter(|(id, st)| **id != txn && !st.deltas.is_empty())
-            .count();
+        let pending_others =
+            self.active.iter().filter(|(id, st)| **id != txn && !st.deltas.is_empty()).count();
         if pending_others > 0 {
             return Err(EscrowError::ReadWouldBlock { pending_others });
         }
@@ -397,11 +387,8 @@ mod tests {
         c.commit(t2).unwrap(); // value now reflects t2's +40
         c.abort(t1).unwrap(); // undoes only t1's -10
         assert_eq!(c.committed(), 140);
-        let inverted: Vec<_> = c
-            .operation_log()
-            .iter()
-            .filter(|e| e.outcome == EntryOutcome::Inverted)
-            .collect();
+        let inverted: Vec<_> =
+            c.operation_log().iter().filter(|e| e.outcome == EntryOutcome::Inverted).collect();
         assert_eq!(inverted.len(), 1);
         assert_eq!(inverted[0].delta, -10);
     }
@@ -413,10 +400,7 @@ mod tests {
         let t2 = c.begin();
         c.reserve(t1, -10).unwrap();
         // t2's READ blocks while t1 has pending work.
-        assert!(matches!(
-            c.read(t2),
-            Err(EscrowError::ReadWouldBlock { pending_others: 1 })
-        ));
+        assert!(matches!(c.read(t2), Err(EscrowError::ReadWouldBlock { pending_others: 1 })));
         c.commit(t1).unwrap();
         // Now the READ succeeds and takes the lock.
         assert_eq!(c.read(t2).unwrap(), 90);

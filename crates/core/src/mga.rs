@@ -185,13 +185,7 @@ pub struct Replica<O: Operation> {
 impl<O: Operation> Replica<O> {
     /// A fresh replica with empty memory.
     pub fn new(id: ReplicaId) -> Self {
-        Replica {
-            id,
-            log: OpLog::new(),
-            state: O::State::default(),
-            guesses: 0,
-            refusals: 0,
-        }
+        Replica { id, log: OpLog::new(), state: O::State::default(), guesses: 0, refusals: 0 }
     }
 
     /// The replica's memory.
@@ -261,11 +255,7 @@ impl<O: Operation> Replica<O> {
     /// Audit the reconciled state against the rules and file an apology
     /// for each violation (§5.7's "Oh, crap!" moment). Returns how many
     /// new apologies were filed.
-    pub fn audit(
-        &self,
-        rules: &[&dyn BusinessRule<O::State>],
-        queue: &mut ApologyQueue,
-    ) -> usize {
+    pub fn audit(&self, rules: &[&dyn BusinessRule<O::State>], queue: &mut ApologyQueue) -> usize {
         let mut filed = 0;
         for rule in rules {
             if let RuleOutcome::Violated(detail) = rule.check(&self.state) {

@@ -79,11 +79,7 @@ impl KeyRouter {
     /// Panics if the pool is empty.
     pub fn route(&self, key: Uniquifier) -> NodeName {
         assert!(!self.nodes.is_empty(), "routing with no nodes");
-        *self
-            .nodes
-            .iter()
-            .max_by_key(|n| (score(key, **n), **n))
-            .expect("nonempty")
+        *self.nodes.iter().max_by_key(|n| (score(key, **n), **n)).expect("nonempty")
     }
 
     /// The top `n` owners in preference order (for replicated chunks).

@@ -20,8 +20,8 @@
 //! simulator; callers feed whatever clock they have (the `sim` crate's
 //! microseconds, in our experiments).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Index of a seat in the venue.
@@ -131,10 +131,7 @@ impl SeatMap {
 
     /// The current state of a seat.
     pub fn state(&self, seat: SeatId) -> Result<SeatState, ReservationError> {
-        self.seats
-            .get(seat.0 as usize)
-            .copied()
-            .ok_or(ReservationError::NoSuchSeat(seat))
+        self.seats.get(seat.0 as usize).copied().ok_or(ReservationError::NoSuchSeat(seat))
     }
 
     /// Transition `Available → PurchasePending` and durably enqueue the
@@ -148,10 +145,7 @@ impl SeatMap {
         now: u64,
         ttl: u64,
     ) -> Result<(), ReservationError> {
-        let slot = self
-            .seats
-            .get_mut(seat.0 as usize)
-            .ok_or(ReservationError::NoSuchSeat(seat))?;
+        let slot = self.seats.get_mut(seat.0 as usize).ok_or(ReservationError::NoSuchSeat(seat))?;
         match *slot {
             SeatState::Available => {}
             SeatState::PurchasePending { session: s, expires } if s == session => {
@@ -178,10 +172,7 @@ impl SeatMap {
         buyer: BuyerId,
         now: u64,
     ) -> Result<(), ReservationError> {
-        let slot = self
-            .seats
-            .get_mut(seat.0 as usize)
-            .ok_or(ReservationError::NoSuchSeat(seat))?;
+        let slot = self.seats.get_mut(seat.0 as usize).ok_or(ReservationError::NoSuchSeat(seat))?;
         match *slot {
             SeatState::PurchasePending { session: s, expires } if s == session && expires > now => {
                 *slot = SeatState::Purchased { buyer };
@@ -194,15 +185,8 @@ impl SeatMap {
 
     /// Transition `PurchasePending → Available` when the buyer reneges
     /// voluntarily (the rollback path of the trusted-agent scheme).
-    pub fn release(
-        &mut self,
-        seat: SeatId,
-        session: SessionId,
-    ) -> Result<(), ReservationError> {
-        let slot = self
-            .seats
-            .get_mut(seat.0 as usize)
-            .ok_or(ReservationError::NoSuchSeat(seat))?;
+    pub fn release(&mut self, seat: SeatId, session: SessionId) -> Result<(), ReservationError> {
+        let slot = self.seats.get_mut(seat.0 as usize).ok_or(ReservationError::NoSuchSeat(seat))?;
         match *slot {
             SeatState::PurchasePending { session: s, .. } if s == session => {
                 *slot = SeatState::Available;
@@ -277,10 +261,7 @@ impl SeatMap {
     /// The first available seat, if any (buyers want "the best seat":
     /// lowest index = primest seat).
     pub fn best_available(&self) -> Option<SeatId> {
-        self.seats
-            .iter()
-            .position(|s| matches!(s, SeatState::Available))
-            .map(|i| SeatId(i as u32))
+        self.seats.iter().position(|s| matches!(s, SeatState::Available)).map(|i| SeatId(i as u32))
     }
 }
 

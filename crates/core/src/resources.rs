@@ -188,10 +188,8 @@ pub fn rebalance(replicas: &mut [ProvisionedReplica]) {
         }
         t
     } else {
-        let mut t: Vec<u64> = replicas
-            .iter()
-            .map(|r| total_unused * r.declined / total_declines)
-            .collect();
+        let mut t: Vec<u64> =
+            replicas.iter().map(|r| total_unused * r.declined / total_declines).collect();
         let assigned: u64 = t.iter().sum();
         let mut rem = total_unused - assigned;
         for slot in t.iter_mut() {
@@ -314,16 +312,12 @@ impl OverbookedReplica {
         }
         // Merge each other's local + remote knowledge.
         for (id, qty) in other.local.iter().chain(other.known_remote.iter()) {
-            if !self.local.contains_key(id)
-                && self.known_remote.insert(*id, *qty).is_none()
-            {
+            if !self.local.contains_key(id) && self.known_remote.insert(*id, *qty).is_none() {
                 self.remote_total += qty;
             }
         }
         for (id, qty) in self.local.iter().chain(self.known_remote.iter()) {
-            if !other.local.contains_key(id)
-                && other.known_remote.insert(*id, *qty).is_none()
-            {
+            if !other.local.contains_key(id) && other.known_remote.insert(*id, *qty).is_none() {
                 other.remote_total += qty;
             }
         }

@@ -64,12 +64,7 @@ impl<F: Clone> PaperTrail<F> {
     /// A cabinet whose forms come due `response_window` ticks after
     /// (re)submission.
     pub fn new(response_window: u64) -> Self {
-        PaperTrail {
-            outstanding: BTreeMap::new(),
-            response_window,
-            completed: 0,
-            resubmissions: 0,
-        }
+        PaperTrail { outstanding: BTreeMap::new(), response_window, completed: 0, resubmissions: 0 }
     }
 
     /// File the carbon copy of a newly submitted form. Returns `false`

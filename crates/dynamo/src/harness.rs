@@ -68,7 +68,12 @@ impl<V> Probe<V> {
 }
 
 impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for Probe<V> {
-    fn on_message(&mut self, _ctx: &mut Context<'_, DynamoMsg<V>>, _from: NodeId, msg: DynamoMsg<V>) {
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, DynamoMsg<V>>,
+        _from: NodeId,
+        msg: DynamoMsg<V>,
+    ) {
         match msg {
             DynamoMsg::PutOk { req } => {
                 self.results.insert(req, ProbeResult::PutOk);
@@ -135,7 +140,16 @@ mod tests {
     #[test]
     fn put_then_get_round_trips() {
         let (mut sim, c, probe) = cluster(1, 4);
-        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 42, "hello", VectorClock::new());
+        put_at(
+            &mut sim,
+            SimTime::from_millis(1),
+            c.stores[0],
+            probe,
+            1,
+            42,
+            "hello",
+            VectorClock::new(),
+        );
         get_at(&mut sim, SimTime::from_millis(50), c.stores[1], probe, 2, 42);
         sim.run_until(SimTime::from_millis(100));
         let p: &Probe<&'static str> = sim.actor(probe);
@@ -153,8 +167,26 @@ mod tests {
     fn concurrent_blind_puts_surface_as_siblings() {
         let (mut sim, c, probe) = cluster(2, 4);
         // Two writers, no shared context, different coordinators.
-        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 7, "from-a", VectorClock::new());
-        put_at(&mut sim, SimTime::from_millis(1), c.stores[1], probe, 2, 7, "from-b", VectorClock::new());
+        put_at(
+            &mut sim,
+            SimTime::from_millis(1),
+            c.stores[0],
+            probe,
+            1,
+            7,
+            "from-a",
+            VectorClock::new(),
+        );
+        put_at(
+            &mut sim,
+            SimTime::from_millis(1),
+            c.stores[1],
+            probe,
+            2,
+            7,
+            "from-b",
+            VectorClock::new(),
+        );
         get_at(&mut sim, SimTime::from_millis(80), c.stores[2], probe, 3, 7);
         sim.run_until(SimTime::from_millis(150));
         let p: &Probe<&'static str> = sim.actor(probe);
@@ -169,7 +201,16 @@ mod tests {
     #[test]
     fn contextual_put_supersedes_and_collapses() {
         let (mut sim, c, probe) = cluster(3, 4);
-        put_at(&mut sim, SimTime::from_millis(1), c.stores[0], probe, 1, 7, "v1", VectorClock::new());
+        put_at(
+            &mut sim,
+            SimTime::from_millis(1),
+            c.stores[0],
+            probe,
+            1,
+            7,
+            "v1",
+            VectorClock::new(),
+        );
         get_at(&mut sim, SimTime::from_millis(50), c.stores[0], probe, 2, 7);
         sim.run_until(SimTime::from_millis(100));
         let context = {
@@ -199,16 +240,21 @@ mod tests {
         // the rest; coordinate from a non-preferred store.
         let prefs = c.ring.preference_list(9, 3);
         let pref_nodes: Vec<NodeId> = prefs.iter().map(|s| c.stores[*s as usize]).collect();
-        let others: Vec<NodeId> = c
-            .stores
-            .iter()
-            .copied()
-            .filter(|n| !pref_nodes.contains(n))
-            .collect();
+        let others: Vec<NodeId> =
+            c.stores.iter().copied().filter(|n| !pref_nodes.contains(n)).collect();
         assert!(others.len() >= 2, "need 2 non-preferred stores for W=2");
         let coord = others[0];
         sim.schedule_partition(SimTime::from_millis(0), &pref_nodes, &others);
-        put_at(&mut sim, SimTime::from_millis(10), coord, probe, 1, 9, "sloppy", VectorClock::new());
+        put_at(
+            &mut sim,
+            SimTime::from_millis(10),
+            coord,
+            probe,
+            1,
+            9,
+            "sloppy",
+            VectorClock::new(),
+        );
         sim.run_until(SimTime::from_millis(200));
         {
             let p: &Probe<&'static str> = sim.actor(probe);
@@ -223,10 +269,7 @@ mod tests {
         sim.schedule_heal(SimTime::from_millis(200));
         sim.run_until(SimTime::from_secs(3));
         let first_pref: &StoreNode<&'static str> = sim.actor(pref_nodes[0]);
-        assert!(
-            !first_pref.versions(9).is_empty(),
-            "hinted handoff must deliver after heal"
-        );
+        assert!(!first_pref.versions(9).is_empty(), "hinted handoff must deliver after heal");
     }
 
     #[test]
@@ -249,7 +292,8 @@ mod tests {
         // an equivalent sibling set; with full-store push everyone has
         // everything.
         for key in [11u64, 22, 33] {
-            let reference = sim.actor::<StoreNode<&'static str>>(c.stores[0]).versions(key).to_vec();
+            let reference =
+                sim.actor::<StoreNode<&'static str>>(c.stores[0]).versions(key).to_vec();
             assert!(!reference.is_empty());
             for s in &c.stores[1..] {
                 let node: &StoreNode<&'static str> = sim.actor(*s);

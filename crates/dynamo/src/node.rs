@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
-use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId, SpanStatus};
 
 use crate::msg::DynamoMsg;
 use crate::ring::Ring;
@@ -87,6 +87,7 @@ enum PendingOp<V> {
         contacted: usize,
         widened: bool,
         resp_to: NodeId,
+        span: SpanId,
     },
     Get {
         key: u64,
@@ -95,6 +96,7 @@ enum PendingOp<V> {
         contacted: usize,
         widened: bool,
         resp_to: NodeId,
+        span: SpanId,
     },
 }
 
@@ -111,8 +113,8 @@ pub struct StoreNode<V> {
     /// disk); survives crashes.
     store: BTreeMap<u64, Vec<Versioned<V>>>,
     /// Writes held for unreachable preferred stores: hint id → (intended
-    /// store, key).
-    hints: HashMap<u64, (StoreId, u64)>,
+    /// store, key, handoff span — open until the hint is delivered).
+    hints: HashMap<u64, (StoreId, u64, SpanId)>,
     next_hint_id: u64,
     pending: HashMap<u64, PendingOp<V>>,
     /// Monotonic per-node write counter: guarantees that two writes
@@ -214,13 +216,19 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
     }
 
     fn finish_get(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, req: u64) {
-        let Some(PendingOp::Get { key, merged, resp_to, .. }) = self.pending.remove(&req) else {
+        let Some(PendingOp::Get { key, merged, resp_to, span, .. }) = self.pending.remove(&req)
+        else {
             return;
         };
+        // Re-enter the get's span so the read repair and the client reply
+        // are attributed to it, then close it.
+        ctx.set_current_span(Some(span));
         if merged.len() > 1 {
             ctx.metrics().inc("dynamo.sibling_gets");
+            ctx.span_field(span, "siblings", merged.len());
         }
-        ctx.metrics().inc("dynamo.gets_ok");
+        let me = ctx.me().to_string();
+        ctx.metrics().inc_with("dynamo.gets_ok", &[("node", me.as_str())]);
         // Read repair: push the merged set back to the preferred replicas.
         let prefs = self.ring.preference_list(key, self.cfg.n);
         for s in prefs {
@@ -233,6 +241,7 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
         }
         merge_versions(self.store.entry(key).or_default(), &merged);
         ctx.send(resp_to, DynamoMsg::GetOk { req, key, versions: merged });
+        ctx.finish_span(span);
     }
 }
 
@@ -240,9 +249,8 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
     fn on_start(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
         if let Some(interval) = self.cfg.gossip_interval {
             // Desynchronize gossip across nodes.
-            let jitter = SimDuration::from_micros(
-                ctx.rng().gen_range(0..interval.as_micros().max(1)),
-            );
+            let jitter =
+                SimDuration::from_micros(ctx.rng().gen_range(0..interval.as_micros().max(1)));
             ctx.set_timer(interval + jitter, tag(TAG_GOSSIP, 0));
         }
     }
@@ -254,8 +262,8 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             TAG_DEADLINE => {
                 let req = payload;
                 match self.pending.get(&req) {
-                    Some(PendingOp::Put { acks, widened, resp_to, .. }) => {
-                        let (acks, widened, resp_to) = (*acks, *widened, *resp_to);
+                    Some(PendingOp::Put { acks, widened, resp_to, span, .. }) => {
+                        let (acks, widened, resp_to, span) = (*acks, *widened, *resp_to, *span);
                         if acks >= self.cfg.w {
                             return; // already answered
                         }
@@ -264,12 +272,16 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                             ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
                         } else {
                             self.pending.remove(&req);
-                            ctx.metrics().inc("dynamo.puts_failed");
+                            let me = ctx.me().to_string();
+                            ctx.metrics().inc_with("dynamo.puts_failed", &[("node", me.as_str())]);
+                            ctx.set_current_span(Some(span));
                             ctx.send(resp_to, DynamoMsg::PutFailed { req });
+                            ctx.finish_span_with(span, SpanStatus::Failed);
                         }
                     }
-                    Some(PendingOp::Get { responses, widened, resp_to, .. }) => {
-                        let (responses, widened, resp_to) = (*responses, *widened, *resp_to);
+                    Some(PendingOp::Get { responses, widened, resp_to, span, .. }) => {
+                        let (responses, widened, resp_to, span) =
+                            (*responses, *widened, *resp_to, *span);
                         if responses >= self.cfg.r {
                             return;
                         }
@@ -278,24 +290,32 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                             ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
                         } else {
                             self.pending.remove(&req);
-                            ctx.metrics().inc("dynamo.gets_failed");
+                            let me = ctx.me().to_string();
+                            ctx.metrics().inc_with("dynamo.gets_failed", &[("node", me.as_str())]);
+                            ctx.set_current_span(Some(span));
                             ctx.send(resp_to, DynamoMsg::GetFailed { req });
+                            ctx.finish_span_with(span, SpanStatus::Failed);
                         }
                     }
                     None => {}
                 }
             }
             TAG_GOSSIP => {
-                // Hint delivery: try every held hint.
-                let hints: Vec<(u64, StoreId, u64)> =
-                    self.hints.iter().map(|(id, (s, k))| (*id, *s, *k)).collect();
-                for (hint_id, intended, key) in hints {
+                // Hint delivery: try every held hint. Each attempt is sent
+                // under the hint's handoff span so retries and the final
+                // delivery hop all land in one tree.
+                let mut hints: Vec<(u64, StoreId, u64, SpanId)> =
+                    self.hints.iter().map(|(id, (s, k, sp))| (*id, *s, *k, *sp)).collect();
+                hints.sort_unstable_by_key(|(id, ..)| *id);
+                for (hint_id, intended, key, hspan) in hints {
                     let versions = self.versions(key).to_vec();
                     if !versions.is_empty() {
+                        ctx.set_current_span(Some(hspan));
                         ctx.send(
                             self.peers[intended as usize],
                             DynamoMsg::HintDeliver { hint_id, key, versions },
                         );
+                        ctx.set_current_span(None);
                     }
                 }
                 // Anti-entropy with one random peer.
@@ -322,7 +342,10 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                                 .collect();
                             let dots: usize = entries.iter().map(|(_, d)| d.len()).sum();
                             ctx.metrics().add("dynamo.gossip_digest_dots", dots as u64);
-                            ctx.send(self.peers[peer], DynamoMsg::SyncDigest { entries, resp_to: me });
+                            ctx.send(
+                                self.peers[peer],
+                                DynamoMsg::SyncDigest { entries, resp_to: me },
+                            );
                         }
                     }
                 }
@@ -339,6 +362,8 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             // ----- coordination: PUT -----
             DynamoMsg::ClientPut { req, key, value, context, resp_to } => {
                 let me = ctx.me();
+                let span = ctx.start_span("dynamo.put");
+                ctx.span_field(span, "key", key);
                 self.events = self.events.max(context.get(self.store_id)) + 1;
                 let dot = Dot { node: self.store_id, counter: self.events };
                 let version = Versioned::new(context, dot, value);
@@ -375,6 +400,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                         contacted: prefs.len(),
                         widened: false,
                         resp_to,
+                        span,
                     },
                 );
                 ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
@@ -388,9 +414,12 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                     *acks >= self.cfg.w
                 };
                 if done {
-                    if let Some(PendingOp::Put { resp_to, .. }) = self.pending.remove(&req) {
-                        ctx.metrics().inc("dynamo.puts_ok");
+                    if let Some(PendingOp::Put { resp_to, span, .. }) = self.pending.remove(&req) {
+                        let me = ctx.me().to_string();
+                        ctx.metrics().inc_with("dynamo.puts_ok", &[("node", me.as_str())]);
+                        ctx.set_current_span(Some(span));
                         ctx.send(resp_to, DynamoMsg::PutOk { req });
+                        ctx.finish_span(span);
                     }
                 }
             }
@@ -398,9 +427,14 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             // ----- coordination: GET -----
             DynamoMsg::ClientGet { req, key, resp_to } => {
                 let me = ctx.me();
+                let span = ctx.start_span("dynamo.get");
+                ctx.span_field(span, "key", key);
                 let prefs = self.ring.preference_list(key, self.cfg.n);
                 for s in &prefs {
-                    ctx.send(self.peers[*s as usize], DynamoMsg::ReplicaGet { req, key, resp_to: me });
+                    ctx.send(
+                        self.peers[*s as usize],
+                        DynamoMsg::ReplicaGet { req, key, resp_to: me },
+                    );
                 }
                 self.pending.insert(
                     req,
@@ -411,6 +445,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                         contacted: prefs.len(),
                         widened: false,
                         resp_to,
+                        span,
                     },
                 );
                 ctx.set_timer(self.cfg.request_timeout, tag(TAG_DEADLINE, req));
@@ -437,8 +472,15 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                     if intended != self.store_id {
                         let hint_id = self.next_hint_id;
                         self.next_hint_id += 1;
-                        self.hints.insert(hint_id, (intended, key));
-                        ctx.metrics().inc("dynamo.hints_stored");
+                        // The handoff span stays open while the hint is
+                        // parked here: its duration is how long the write
+                        // sat away from its intended home.
+                        let hspan = ctx.child_span(ctx.current_span(), "dynamo.hint_handoff");
+                        ctx.span_field(hspan, "intended", format!("s{intended}"));
+                        ctx.span_field(hspan, "key", key);
+                        self.hints.insert(hint_id, (intended, key, hspan));
+                        let me = ctx.me().to_string();
+                        ctx.metrics().inc_with("dynamo.hints_stored", &[("node", me.as_str())]);
                     }
                 }
                 if let Some(req) = req {
@@ -454,8 +496,9 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 ctx.send(from, DynamoMsg::HintAck { hint_id });
             }
             DynamoMsg::HintAck { hint_id } => {
-                if self.hints.remove(&hint_id).is_some() {
+                if let Some((_, _, hspan)) = self.hints.remove(&hint_id) {
                     ctx.metrics().inc("dynamo.hints_delivered");
+                    ctx.finish_span(hspan);
                 }
             }
             DynamoMsg::SyncPush { entries } => {
@@ -468,8 +511,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 // versions whose dots are absent from its digest, plus
                 // whole keys it doesn't know.
                 use std::collections::HashMap as Map;
-                let theirs: Map<u64, &Vec<Dot>> =
-                    entries.iter().map(|(k, d)| (*k, d)).collect();
+                let theirs: Map<u64, &Vec<Dot>> = entries.iter().map(|(k, d)| (*k, d)).collect();
                 let mut missing: Vec<(u64, Vec<Versioned<V>>)> = Vec::new();
                 for (key, versions) in &self.store {
                     let have = theirs.get(key);

@@ -151,10 +151,7 @@ mod tests {
             }
         }
         // Expect roughly 1/5 of keys to move.
-        assert!(
-            (total / 10..total / 2).contains(&moved),
-            "moved {moved} of {total}"
-        );
+        assert!((total / 10..total / 2).contains(&moved), "moved {moved} of {total}");
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! laws, dotted-version merge convergence, and consistent-hash ring
 //! stability.
 
+use dynamo::{
+    merge_version, merge_versions, same_versions, Causality, Dot, Ring, VectorClock, Versioned,
+};
 use proptest::prelude::*;
-use dynamo::{merge_version, merge_versions, same_versions, Causality, Dot, Ring, VectorClock, Versioned};
 
 fn clock_strategy() -> impl Strategy<Value = VectorClock> {
     prop::collection::vec((0u32..6, 1u64..8), 0..6).prop_map(|entries| {

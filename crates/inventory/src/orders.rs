@@ -114,9 +114,7 @@ impl Warehouse {
             let allocs = &mut self.allocs;
             let name = WAREHOUSE_NAMES[self.id as usize];
             self.dedup
-                .execute(order, || {
-                    Self::fulfil(stock, effects, allocs, name, order, qty)
-                })
+                .execute(order, || Self::fulfil(stock, effects, allocs, name, order, qty))
                 .into_response()
         } else {
             let name = WAREHOUSE_NAMES[self.id as usize];
@@ -172,11 +170,8 @@ impl Warehouse {
                 Fungibility::Fungible => {
                     // The redundant units go back on the shelf of
                     // whichever warehouse shipped redundantly.
-                    let holder = if d.redundant.replica == self.name() {
-                        &mut *self
-                    } else {
-                        &mut *other
-                    };
+                    let holder =
+                        if d.redundant.replica == self.name() { &mut *self } else { &mut *other };
                     if let Some(alloc_id) = holder.allocs.remove(&d.redundant.id) {
                         holder.stock.release(alloc_id);
                     }

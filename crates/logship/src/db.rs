@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use quicksand_core::op::{OpLog, Operation};
-use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId};
 
 use crate::msg::ShipMsg;
 use crate::types::{Lsn, RecoveryPolicy, ShipMode, ShipOp, WalRecord};
@@ -57,6 +57,11 @@ pub struct DbNode {
     acked_upto: Option<Lsn>,
     /// Sync mode: commit acks parked until the backup confirms.
     pending_acks: HashMap<Lsn, (NodeId, quicksand_core::uniquifier::Uniquifier)>,
+    /// `logship.ship` spans open per in-flight batch.
+    ship_spans: HashMap<u64, SpanId>,
+    /// Async mode: acked-but-unshipped commits — each ack is a guess,
+    /// outstanding until the backup confirms its LSN.
+    guesses: Vec<(Lsn, SpanId)>,
     next_batch_id: u64,
     /// LSN applied from the *peer's* WAL (backup side).
     applied_from_peer: Lsn,
@@ -88,6 +93,8 @@ impl DbNode {
             next_lsn: 0,
             acked_upto: None,
             pending_acks: HashMap::new(),
+            ship_spans: HashMap::new(),
+            guesses: Vec::new(),
             next_batch_id: 0,
             applied_from_peer: 0,
         }
@@ -150,7 +157,13 @@ impl DbNode {
         let batch_id = self.next_batch_id;
         self.next_batch_id += 1;
         ctx.metrics().inc("logship.batches");
+        // The ship span covers WAL-read → backup replay → ack.
+        let span = ctx.child_span(ctx.current_span(), "logship.ship");
+        ctx.span_field(span, "records", recs.len());
+        self.ship_spans.insert(batch_id, span);
+        ctx.set_current_span(Some(span));
         ctx.send(self.peer, ShipMsg::ShipBatch { batch_id, recs });
+        ctx.set_current_span(None);
     }
 
     fn handle_commit(&mut self, ctx: &mut Context<'_, ShipMsg>, op: ShipOp, resp_to: NodeId) {
@@ -174,6 +187,10 @@ impl DbNode {
         self.apply_op(op);
         match self.mode {
             ShipMode::Asynchronous => {
+                // Ack before the backup has the record: a guess that this
+                // datacenter survives until the next ship (§4.2's window).
+                let g = ctx.begin_guess("logship.commit_ack");
+                self.guesses.push((lsn, g));
                 ctx.send(resp_to, ShipMsg::CommitAck { id });
             }
             ShipMode::Synchronous => {
@@ -217,15 +234,27 @@ impl Actor<ShipMsg> for DbNode {
                 }
                 ctx.send(from, ShipMsg::ShipAck { batch_id, upto });
             }
-            ShipMsg::ShipAck { batch_id: _, upto } => {
+            ShipMsg::ShipAck { batch_id, upto } => {
+                if let Some(span) = self.ship_spans.remove(&batch_id) {
+                    ctx.finish_span(span);
+                }
                 self.acked_upto = Some(self.acked_upto.map_or(upto, |a| a.max(upto)));
+                // Every async ack at or below the watermark: confirmed.
+                let mut still = Vec::new();
+                for (lsn, g) in std::mem::take(&mut self.guesses) {
+                    if lsn <= upto {
+                        ctx.resolve_guess(g, true);
+                    } else {
+                        still.push((lsn, g));
+                    }
+                }
+                self.guesses = still;
                 if self.mode == ShipMode::Synchronous {
-                    let ready: Vec<Lsn> = self
-                        .pending_acks
-                        .keys()
-                        .copied()
-                        .filter(|l| *l <= upto)
-                        .collect();
+                    // Sorted so the ack order is deterministic (HashMap
+                    // iteration order is not).
+                    let mut ready: Vec<Lsn> =
+                        self.pending_acks.keys().copied().filter(|l| *l <= upto).collect();
+                    ready.sort_unstable();
                     for lsn in ready {
                         if let Some((resp_to, id)) = self.pending_acks.remove(&lsn) {
                             ctx.send(resp_to, ShipMsg::CommitAck { id });
@@ -267,6 +296,8 @@ impl Actor<ShipMsg> for DbNode {
         // The WAL is on disk; everything else dies with the process.
         self.log = OpLog::new();
         self.pending_acks.clear();
+        self.ship_spans.clear();
+        self.guesses.clear();
         self.acked_upto = None;
         self.applied_from_peer = 0;
         self.duplicate_applications = 0;

@@ -114,11 +114,8 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
     if cfg.crash_primary_at.is_some() {
         let old: &DbNode = sim.actor(lay.primary);
         let auth: &DbNode = sim.actor(lay.backup);
-        report.stuck_tail = old
-            .wal()
-            .iter()
-            .filter(|r| !auth.log().contains(r.op.id))
-            .count() as u64;
+        report.stuck_tail =
+            old.wal().iter().filter(|r| !auth.log().contains(r.op.id)).count() as u64;
     }
 
     let m = sim.metrics_mut();
@@ -160,10 +157,7 @@ mod tests {
         cfg.mode = ShipMode::Synchronous;
         let r = run(&cfg, 3);
         assert_eq!(r.acked, 90);
-        assert!(
-            r.commit_mean_ms >= 40.0,
-            "sync commit must include the WAN round trip: {r:?}"
-        );
+        assert!(r.commit_mean_ms >= 40.0, "sync commit must include the WAN round trip: {r:?}");
     }
 
     #[test]

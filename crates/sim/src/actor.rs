@@ -17,7 +17,9 @@ use std::any::Any;
 
 use crate::metrics::MetricSet;
 use crate::rng::SimRng;
+use crate::span::{SpanId, SpanStatus, SpanStore};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
 
 /// Identifies a node (actor) in a simulation. Assigned densely by
 /// [`crate::world::Simulation::add_node`] starting from zero.
@@ -63,19 +65,32 @@ pub trait Actor<M>: Any {
     fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
 }
 
-/// Deferred effects produced by an actor during one callback.
+/// Deferred effects produced by an actor during one callback. Sends and
+/// timer arms carry the span that was ambient when they were issued, so
+/// causality propagates without the actor doing anything.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
+    Send { to: NodeId, msg: M, span: Option<SpanId> },
+    SetTimer { id: TimerId, delay: SimDuration, tag: u64, span: Option<SpanId> },
     CancelTimer { id: TimerId },
 }
 
 /// The actor's window into the simulation during a callback: clock,
-/// randomness, metrics, and the ability to send messages and arm timers.
+/// randomness, metrics, spans, and the ability to send messages and arm
+/// timers.
 ///
 /// Effects are applied by the simulator after the callback returns, in
 /// the order they were issued.
+///
+/// ## Causal spans
+///
+/// A callback runs with an *ambient span*: the span under which the
+/// triggering message or timer was issued (`None` for uninstrumented
+/// paths). [`Context::start_span`] opens a child of the ambient span and
+/// makes it ambient; every [`Context::send`] and [`Context::set_timer`]
+/// issued afterwards inherits it, so the operation's causal tree is
+/// stitched together across nodes and hops automatically. See
+/// [`crate::span`] for the full model.
 pub struct Context<'a, M> {
     pub(crate) me: NodeId,
     pub(crate) now: SimTime,
@@ -83,6 +98,9 @@ pub struct Context<'a, M> {
     pub(crate) metrics: &'a mut MetricSet,
     pub(crate) actions: Vec<Action<M>>,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) spans: &'a mut SpanStore,
+    pub(crate) current_span: Option<SpanId>,
+    pub(crate) trace: &'a mut Option<Trace>,
 }
 
 impl<M> Context<'_, M> {
@@ -107,18 +125,21 @@ impl<M> Context<'_, M> {
     }
 
     /// Send `msg` to `to` over the simulated network. Latency, loss,
-    /// duplication, and partitions are applied by the network model.
+    /// duplication, and partitions are applied by the network model. The
+    /// delivery inherits the ambient span (as a `net.hop` child).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send { to, msg });
+        let span = self.current_span;
+        self.actions.push(Action::Send { to, msg, span });
     }
 
     /// Arm a one-shot timer that fires on this actor after `delay`,
     /// delivering `tag` to [`Actor::on_timer`]. Timers do not survive a
-    /// crash.
+    /// crash. The timer callback runs under the span that is ambient now.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(*self.next_timer_id);
         *self.next_timer_id += 1;
-        self.actions.push(Action::SetTimer { id, delay, tag });
+        let span = self.current_span;
+        self.actions.push(Action::SetTimer { id, delay, tag, span });
         id
     }
 
@@ -126,5 +147,114 @@ impl<M> Context<'_, M> {
     /// a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.actions.push(Action::CancelTimer { id });
+    }
+
+    // ---- causal spans -------------------------------------------------
+
+    /// The ambient span, if any: the span this callback is causally under.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.current_span
+    }
+
+    /// Open a named span as a child of the ambient span (or as a new
+    /// trace root if none) and make it ambient for the rest of the
+    /// callback. Names follow `<crate>.<operation>`.
+    pub fn start_span(&mut self, name: &str) -> SpanId {
+        let id = self.spans.open_span(name, Some(self.me), self.current_span, self.now);
+        self.current_span = Some(id);
+        id
+    }
+
+    /// Open a named span under an explicit parent (`None` roots a fresh
+    /// trace) without changing the ambient span — for operations tracked
+    /// across callbacks (e.g. a request held in a pending table), where
+    /// making the span ambient would mis-attribute the rest of the
+    /// callback.
+    pub fn child_span(&mut self, parent: Option<SpanId>, name: &str) -> SpanId {
+        self.spans.open_span(name, Some(self.me), parent, self.now)
+    }
+
+    /// Replace the ambient span — for resuming an operation whose span
+    /// was stashed in actor state (e.g. a coordinator picking a pending
+    /// request back up when its quorum completes). Pass `None` to detach.
+    pub fn set_current_span(&mut self, span: Option<SpanId>) {
+        self.current_span = span;
+    }
+
+    /// Finish a span successfully. If it is the ambient span, the ambient
+    /// reverts to its parent.
+    pub fn finish_span(&mut self, id: SpanId) {
+        self.finish_span_with(id, SpanStatus::Ok);
+    }
+
+    /// Finish a span with an explicit status. Finishing an
+    /// already-finished span (e.g. one closed by a crash) is a no-op.
+    pub fn finish_span_with(&mut self, id: SpanId, status: SpanStatus) {
+        if self.current_span == Some(id) {
+            self.current_span = self.spans.get(id).and_then(|s| s.parent);
+        }
+        self.spans.finish_span(id, self.now, status);
+    }
+
+    /// Attach a key/value field to a span (shows up in both exporters).
+    pub fn span_field(&mut self, id: SpanId, key: &str, value: impl ToString) {
+        self.spans.add_field(id, key, value.to_string());
+    }
+
+    /// Record a structured application event into the trace ring (if
+    /// tracing is enabled), stamped with the ambient span so it can be
+    /// joined against the span tree. Names follow `<crate>.<event>`.
+    pub fn trace_event(&mut self, name: &str, fields: &[(&str, String)]) {
+        if let Some(t) = self.trace {
+            let fields = fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
+            t.record(TraceEvent::app(
+                self.now,
+                self.me,
+                self.current_span,
+                name.to_owned(),
+                fields,
+            ));
+        }
+    }
+
+    // ---- guesses and apologies ----------------------------------------
+
+    /// Begin measuring a guess: this node is acting on local knowledge
+    /// (the paper's memories/guesses/apologies cycle, §5) and will learn
+    /// later whether the guess held. Opens a `guess.outstanding` span
+    /// under the ambient span; keep the id in actor state and resolve it
+    /// with [`Context::resolve_guess`].
+    pub fn begin_guess(&mut self, op: &str) -> SpanId {
+        let id =
+            self.spans.open_span("guess.outstanding", Some(self.me), self.current_span, self.now);
+        self.spans.add_field(id, "op", op.to_owned());
+        id
+    }
+
+    /// Resolve a guess begun with [`Context::begin_guess`]: `confirmed`
+    /// means the rest of the system agreed; `false` means an apology is
+    /// owed. Records the outstanding window into the
+    /// `guess.outstanding_us` histogram and bumps `guess.confirmed` /
+    /// `guess.apologies` (labeled by node).
+    pub fn resolve_guess(&mut self, id: SpanId, confirmed: bool) {
+        let Some(rec) = self.spans.get(id) else { return };
+        if rec.status != SpanStatus::Open {
+            return; // e.g. closed by a crash; the window is not honest
+        }
+        let outstanding = self.now.saturating_since(rec.start).as_micros() as f64;
+        self.metrics.record("guess.outstanding_us", outstanding);
+        let node = self.me.to_string();
+        let (counter, status) = if confirmed {
+            ("guess.confirmed", SpanStatus::Ok)
+        } else {
+            ("guess.apologies", SpanStatus::Failed)
+        };
+        self.metrics.inc_with(counter, &[("node", node.as_str())]);
+        self.spans.add_field(
+            id,
+            "resolution",
+            if confirmed { "confirmed" } else { "apology" }.to_owned(),
+        );
+        self.finish_span_with(id, status);
     }
 }

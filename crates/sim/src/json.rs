@@ -1,0 +1,56 @@
+//! Tiny hand-rolled JSON emission helpers (the workspace builds
+//! offline, so no serde). Only what the exporters need: escaped strings
+//! and canonical float formatting.
+
+/// Render `s` as a JSON string literal (with quotes).
+pub(crate) fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float the way JSON expects (no NaN/inf; those become null).
+pub(crate) fn float(v: f64) -> String {
+    if v.is_finite() {
+        // Trim trailing noise while staying round-trippable enough for
+        // report tables.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("ctrl\u{1}"), "\"ctrl\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        assert_eq!(float(1.5), "1.5");
+        assert_eq!(float(2.0), "2.0");
+        assert_eq!(float(f64::NAN), "null");
+    }
+}

@@ -55,17 +55,20 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+mod json;
 pub mod metrics;
 pub mod net;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
-pub use metrics::{Histogram, MetricSet};
+pub use metrics::{Histogram, HistogramSummary, MetricSet};
 pub use net::{LinkConfig, Network};
 pub use rng::SimRng;
+pub use span::{SpanId, SpanRecord, SpanStatus, SpanStore, TraceId};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use world::Simulation;

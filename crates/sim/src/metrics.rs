@@ -1,19 +1,64 @@
 //! Lightweight metrics for simulation runs.
 //!
-//! Actors record counters and latency samples through
+//! Actors record counters, gauges, and latency samples through
 //! [`crate::actor::Context`]; the experiment harness reads them back from
 //! [`MetricSet`] after the run. Histograms keep every sample — simulation
 //! runs record at most a few hundred thousand values, and exact
 //! percentiles keep the experiment tables honest.
+//!
+//! Counters and gauges can carry **labels** (`inc_with("dynamo.put",
+//! &[("node", "n3")])`): the unlabeled name always holds the aggregate
+//! across labels, so per-node attribution never costs the reader the
+//! total. [`MetricSet::to_json`] exports everything for the bench
+//! reporter.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::json;
 
 /// A histogram of `f64` samples with exact percentiles.
 #[derive(Debug, Default, Clone)]
 pub struct Histogram {
     values: Vec<f64>,
     sorted: bool,
+}
+
+/// A point-in-time digest of one histogram (what reports print).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
 }
 
 impl Histogram {
@@ -47,15 +92,13 @@ impl Histogram {
         }
     }
 
-    /// Exact percentile by nearest-rank (`p` in `[0, 100]`), or 0.0 when
-    /// empty.
+    /// Exact percentile (`p` in `[0, 100]`) with linear interpolation
+    /// between adjacent ranks, or 0.0 when empty. `percentile(50.0)` of
+    /// the samples `1..=100` is therefore `50.5`, matching the mean of a
+    /// uniform grid rather than the nearest-rank artefact `51`.
     pub fn percentile(&mut self, p: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
         self.ensure_sorted();
-        let rank = ((p / 100.0) * (self.values.len() as f64 - 1.0)).round() as usize;
-        self.values[rank.min(self.values.len() - 1)]
+        percentile_of_sorted(&self.values, p)
     }
 
     /// Smallest sample, or 0.0 when empty.
@@ -75,19 +118,75 @@ impl Histogram {
         self.values.iter().sum()
     }
 
+    /// Digest of the current samples. Works on `&self` (sorts a copy if
+    /// needed) so `Display` and JSON export can use it.
+    pub fn summary(&self) -> HistogramSummary {
+        if self.values.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                min: 0.0,
+                max: 0.0,
+                sum: 0.0,
+            };
+        }
+        let sorted: Vec<f64> = if self.sorted {
+            self.values.clone()
+        } else {
+            let mut v = self.values.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN recorded in histogram"));
+            v
+        };
+        HistogramSummary {
+            count: sorted.len(),
+            mean: self.mean(),
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            sum: self.sum(),
+        }
+    }
+
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN recorded in histogram"));
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN recorded in histogram"));
             self.sorted = true;
         }
     }
 }
 
-/// A named collection of counters and histograms for one simulation run.
-#[derive(Debug, Default)]
+/// Canonical `name{k=v,k2=v2}` key for a labeled series.
+fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A named collection of counters, gauges, and histograms for one
+/// simulation run.
+#[derive(Debug, Default, Clone)]
 pub struct MetricSet {
     counters: BTreeMap<String, u64>,
+    labeled_counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    labeled_gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -111,9 +210,49 @@ impl MetricSet {
         self.add(name, 1);
     }
 
+    /// Add `by` to a labeled counter. The unlabeled `name` counter is
+    /// bumped too, so it always reads as the aggregate across labels.
+    pub fn add_with(&mut self, name: &str, by: u64, labels: &[(&str, &str)]) {
+        self.add(name, by);
+        let key = labeled_key(name, labels);
+        if let Some(c) = self.labeled_counters.get_mut(&key) {
+            *c += by;
+        } else {
+            self.labeled_counters.insert(key, by);
+        }
+    }
+
+    /// Increment a labeled counter by one (and the unlabeled aggregate).
+    pub fn inc_with(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.add_with(name, 1, labels);
+    }
+
     /// Read a counter; absent counters read as zero.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a labeled counter (label order does not matter); absent
+    /// series read as zero.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.labeled_counters.get(&labeled_key(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Set the named gauge to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Set a labeled gauge (the unlabeled name is set too, as the most
+    /// recent write across labels).
+    pub fn set_gauge_with(&mut self, name: &str, v: f64, labels: &[(&str, &str)]) {
+        self.set_gauge(name, v);
+        self.labeled_gauges.insert(labeled_key(name, labels), v);
+    }
+
+    /// Read a gauge; absent gauges read as zero.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
     }
 
     /// Record a sample into the named histogram, creating it if absent.
@@ -138,9 +277,73 @@ impl MetricSet {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterate over all labeled counter series (canonical
+    /// `name{k=v}` keys) in key order.
+    pub fn labeled_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.labeled_counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate over all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Iterate over all histogram names in order.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
+    }
+
+    /// Iterate over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// JSON export of the whole set: counters (plain and labeled),
+    /// gauges, and per-histogram summaries. Deterministic key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(k), v));
+        }
+        out.push_str("\n  },\n  \"labeled_counters\": {");
+        for (i, (k, v)) in self.labeled_counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(k), v));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let all_gauges = self.gauges.iter().chain(self.labeled_gauges.iter());
+        for (i, (k, v)) in all_gauges.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(k), json::float(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = h.summary();
+            out.push_str(&format!(
+                "\n    {}: {{\"n\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}, \"sum\": {}}}",
+                json::string(k),
+                s.count,
+                json::float(s.mean),
+                json::float(s.p50),
+                json::float(s.p90),
+                json::float(s.p99),
+                json::float(s.min),
+                json::float(s.max),
+                json::float(s.sum),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
     }
 }
 
@@ -149,8 +352,16 @@ impl fmt::Display for MetricSet {
         for (name, v) in &self.counters {
             writeln!(f, "{name:<40} {v}")?;
         }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name:<40} {v:.2}")?;
+        }
         for (name, h) in &self.histograms {
-            writeln!(f, "{name:<40} n={} mean={:.2}", h.count(), h.mean())?;
+            let s = h.summary();
+            writeln!(
+                f,
+                "{name:<40} n={} mean={:.2} p50={:.2} p99={:.2} max={:.2}",
+                s.count, s.mean, s.p50, s.p99, s.max
+            )?;
         }
         Ok(())
     }
@@ -176,11 +387,23 @@ mod tests {
             h.record(v as f64);
         }
         assert_eq!(h.percentile(0.0), 1.0);
-        assert_eq!(h.percentile(50.0), 51.0); // nearest-rank on 0..=99
+        // Linear interpolation between ranks 49 and 50 of 0..=99.
+        assert_eq!(h.percentile(50.0), 50.5);
         assert_eq!(h.percentile(100.0), 100.0);
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 100.0);
         assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        h.record(20.0);
+        assert_eq!(h.percentile(50.0), 15.0);
+        assert_eq!(h.percentile(25.0), 12.5);
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 20.0);
     }
 
     #[test]
@@ -201,6 +424,9 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0.0);
         assert!(h.is_empty());
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
     }
 
     #[test]
@@ -212,5 +438,63 @@ mod tests {
         assert!((m.histogram("lat").mean() - 2.0).abs() < 1e-9);
         let names: Vec<_> = m.histogram_names().collect();
         assert_eq!(names, vec!["lat"]);
+    }
+
+    #[test]
+    fn labeled_counters_keep_the_aggregate() {
+        let mut m = MetricSet::new();
+        m.inc_with("dynamo.put", &[("node", "n1")]);
+        m.inc_with("dynamo.put", &[("node", "n2")]);
+        m.add_with("dynamo.put", 3, &[("node", "n1")]);
+        assert_eq!(m.counter("dynamo.put"), 5, "aggregate across labels");
+        assert_eq!(m.counter_with("dynamo.put", &[("node", "n1")]), 4);
+        assert_eq!(m.counter_with("dynamo.put", &[("node", "n2")]), 1);
+        assert_eq!(m.counter_with("dynamo.put", &[("node", "n9")]), 0);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut m = MetricSet::new();
+        m.inc_with("x", &[("b", "2"), ("a", "1")]);
+        assert_eq!(m.counter_with("x", &[("a", "1"), ("b", "2")]), 1);
+        let keys: Vec<_> = m.labeled_counters().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(keys, vec!["x{a=1,b=2}"]);
+    }
+
+    #[test]
+    fn gauges_read_back_last_write() {
+        let mut m = MetricSet::new();
+        assert_eq!(m.gauge("depth"), 0.0);
+        m.set_gauge("depth", 3.0);
+        m.set_gauge_with("depth", 7.0, &[("node", "n0")]);
+        assert_eq!(m.gauge("depth"), 7.0);
+    }
+
+    #[test]
+    fn display_includes_percentiles() {
+        let mut m = MetricSet::new();
+        for v in 1..=100 {
+            m.record("lat_us", v as f64);
+        }
+        let text = m.to_string();
+        assert!(text.contains("p50=50.50"), "{text}");
+        assert!(text.contains("p99=99.01"), "{text}");
+        assert!(text.contains("max=100.00"), "{text}");
+    }
+
+    #[test]
+    fn json_export_is_wellformed_and_complete() {
+        let mut m = MetricSet::new();
+        m.inc("a.count");
+        m.inc_with("b.count", &[("node", "n0")]);
+        m.set_gauge("c.gauge", 1.5);
+        m.record("d.lat", 2.0);
+        let j = m.to_json();
+        assert!(j.contains("\"a.count\": 1"), "{j}");
+        assert!(j.contains("\"b.count{node=n0}\": 1"), "{j}");
+        assert!(j.contains("\"c.gauge\": 1.5"), "{j}");
+        assert!(j.contains("\"p50\": 2.0"), "{j}");
+        // Balanced braces (cheap well-formedness check without a parser).
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
     }
 }

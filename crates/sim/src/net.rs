@@ -47,12 +47,7 @@ impl LinkConfig {
     /// A link with latency uniform in `[min, max]` and the given drop
     /// probability.
     pub fn lossy(min: SimDuration, max: SimDuration, drop_prob: f64) -> Self {
-        LinkConfig {
-            latency_min: min,
-            latency_max: max,
-            drop_prob,
-            duplicate_prob: 0.0,
-        }
+        LinkConfig { latency_min: min, latency_max: max, drop_prob, duplicate_prob: 0.0 }
     }
 
     /// Add a duplication probability to an existing config.
@@ -93,11 +88,7 @@ pub struct Network {
 impl Network {
     /// A network where every link uses `default_link`.
     pub fn new(default_link: LinkConfig) -> Self {
-        Network {
-            default_link,
-            overrides: HashMap::new(),
-            blocked: HashSet::new(),
-        }
+        Network { default_link, overrides: HashMap::new(), blocked: HashSet::new() }
     }
 
     /// Override the link in *both* directions between `a` and `b`.
@@ -113,10 +104,7 @@ impl Network {
 
     /// The config that will be used for `from → to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkConfig {
-        self.overrides
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(self.default_link)
+        self.overrides.get(&(from, to)).copied().unwrap_or(self.default_link)
     }
 
     /// Block traffic in both directions between `a` and `b`.
@@ -246,9 +234,8 @@ mod tests {
 
     #[test]
     fn duplicates_produce_two_delays() {
-        let net = Network::new(
-            LinkConfig::reliable(SimDuration::from_millis(1)).with_duplicates(1.0),
-        );
+        let net =
+            Network::new(LinkConfig::reliable(SimDuration::from_millis(1)).with_duplicates(1.0));
         let mut rng = SimRng::new(4);
         match net.plan_delivery(&mut rng, n(0), n(1)) {
             Delivery::Deliver(d) => assert_eq!(d.len(), 2),
@@ -265,10 +252,7 @@ mod tests {
         ));
         net.partition_pair(n(0), n(0));
         let mut rng = SimRng::new(5);
-        assert!(matches!(
-            net.plan_delivery(&mut rng, n(0), n(0)),
-            Delivery::Deliver(_)
-        ));
+        assert!(matches!(net.plan_delivery(&mut rng, n(0), n(0)), Delivery::Deliver(_)));
     }
 
     #[test]

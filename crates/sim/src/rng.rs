@@ -23,9 +23,7 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { inner: StdRng::seed_from_u64(seed) }
     }
 
     /// Deterministically derive an independent child generator.

@@ -1,0 +1,434 @@
+//! Causal spans: following one operation through the simulation.
+//!
+//! *Building on Quicksand* reasons about where time goes — how long a
+//! write sits "stuck in the primary" (§4.2), how long a system acts on a
+//! guess before the apology arrives (§5). Counters can say *how often*;
+//! only causal attribution can say *where*. This module gives every
+//! instrumented operation a [`SpanId`] and stitches the causal tree
+//! together automatically:
+//!
+//! - [`crate::actor::Context::start_span`] opens a span under whatever
+//!   span is currently ambient (the one the triggering message or timer
+//!   was sent under), allocating ids deterministically from the
+//!   simulation — same seed, same tree, byte for byte.
+//! - Every `Context::send` issued while a span is ambient produces a
+//!   `net.hop` child span whose duration is that message's simulated
+//!   network latency (or a zero-length `dropped` span when the network
+//!   eats it), so per-hop latency falls out of the tree.
+//! - `Context::set_timer` propagates the ambient span into the timer's
+//!   callback, covering retry/checkpoint loops.
+//! - When a node crashes fail-fast, every span it still has open is
+//!   closed with [`SpanStatus::Crashed`] — in-flight work is visible,
+//!   not leaked.
+//!
+//! The **guess-outstanding** span (`Context::begin_guess` /
+//! `Context::resolve_guess`) makes the paper's memories/guesses/apologies
+//! cycle a measured quantity: it runs from the moment a node acts on
+//! local knowledge to the moment the guess is confirmed or apologized
+//! for, and lands in the `guess.outstanding_us` histogram.
+//!
+//! Span names follow `<crate>.<operation>` (`dynamo.put`,
+//! `tandem.checkpoint`, `bank.clear_check`); see README.md's
+//! Observability section. Export with [`SpanStore::to_jsonl`] (one span
+//! per line) or [`SpanStore::to_chrome_trace`] (loadable in Perfetto /
+//! `about://tracing`).
+
+use std::fmt;
+
+use crate::actor::NodeId;
+use crate::json;
+use crate::time::SimTime;
+
+/// Identifies one causal tree (assigned to each root span).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies one span. Allocated densely and deterministically by the
+/// simulation, so ids are stable across same-seed runs.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// How a span ended (or that it hasn't).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SpanStatus {
+    /// Still running.
+    Open,
+    /// Finished normally.
+    Ok,
+    /// Finished with an application-level failure.
+    Failed,
+    /// Closed by the simulator because its owning node crashed.
+    Crashed,
+    /// A network hop that was dropped (loss, partition, or dead
+    /// receiver).
+    Dropped,
+}
+
+impl SpanStatus {
+    /// Stable lowercase name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanStatus::Open => "open",
+            SpanStatus::Ok => "ok",
+            SpanStatus::Failed => "failed",
+            SpanStatus::Crashed => "crashed",
+            SpanStatus::Dropped => "dropped",
+        }
+    }
+}
+
+impl fmt::Display for SpanStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One span: a named interval of simulated time on one node, with a
+/// causal parent and free-form string fields.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The causal tree it belongs to.
+    pub trace: TraceId,
+    /// The span it is causally under, if any.
+    pub parent: Option<SpanId>,
+    /// Operation name (`<crate>.<operation>`, or `net.hop`).
+    pub name: String,
+    /// The node that owns the span (`None` for network hops).
+    pub node: Option<NodeId>,
+    /// When it started.
+    pub start: SimTime,
+    /// When it finished (`None` while open).
+    pub end: Option<SimTime>,
+    /// How it ended.
+    pub status: SpanStatus,
+    /// Extra key/value context (kept in insertion order).
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Duration, if finished.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.end.map(|e| e.saturating_since(self.start).as_micros())
+    }
+
+    /// One JSON object describing this span (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"span\":\"{}\",\"trace\":\"{}\",\"parent\":{},\"name\":{},\"node\":{},\"start_us\":{},\"end_us\":{},\"status\":\"{}\"",
+            self.id,
+            self.trace,
+            match self.parent {
+                Some(p) => format!("\"{p}\""),
+                None => "null".to_owned(),
+            },
+            json::string(&self.name),
+            match self.node {
+                Some(n) => format!("\"{n}\""),
+                None => "null".to_owned(),
+            },
+            self.start.as_micros(),
+            match self.end {
+                Some(e) => e.as_micros().to_string(),
+                None => "null".to_owned(),
+            },
+            self.status,
+        ));
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(k));
+                out.push(':');
+                out.push_str(&json::string(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// All spans recorded by one simulation run, in allocation order.
+#[derive(Debug, Default, Clone)]
+pub struct SpanStore {
+    spans: Vec<SpanRecord>,
+    next_trace: u64,
+    /// Ids of spans not yet finished, kept sorted for deterministic
+    /// crash-close order.
+    open: Vec<u64>,
+}
+
+impl SpanStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SpanStore::default()
+    }
+
+    /// Open a new span. `parent: None` makes it a root of a fresh trace.
+    ///
+    /// Actor code should go through [`crate::actor::Context`] (which
+    /// handles ambient propagation); this is public for round-based
+    /// harnesses that model time themselves.
+    pub fn open_span(
+        &mut self,
+        name: &str,
+        node: Option<NodeId>,
+        parent: Option<SpanId>,
+        start: SimTime,
+    ) -> SpanId {
+        let id = SpanId(self.spans.len() as u64);
+        let trace = match parent {
+            Some(p) => self.spans[p.0 as usize].trace,
+            None => {
+                let t = TraceId(self.next_trace);
+                self.next_trace += 1;
+                t
+            }
+        };
+        self.spans.push(SpanRecord {
+            id,
+            trace,
+            parent,
+            name: name.to_owned(),
+            node,
+            start,
+            end: None,
+            status: SpanStatus::Open,
+            fields: Vec::new(),
+        });
+        self.open.push(id.0);
+        id
+    }
+
+    /// Finish `id` (idempotent: finishing a finished span is a no-op, so
+    /// a crash-closed span keeps its `crashed` status).
+    pub fn finish_span(&mut self, id: SpanId, end: SimTime, status: SpanStatus) {
+        let rec = &mut self.spans[id.0 as usize];
+        if rec.status != SpanStatus::Open {
+            return;
+        }
+        rec.end = Some(end);
+        rec.status = status;
+        if let Ok(i) = self.open.binary_search(&id.0) {
+            self.open.remove(i);
+        }
+    }
+
+    /// Append a field to `id`.
+    pub fn add_field(&mut self, id: SpanId, key: &str, value: String) {
+        self.spans[id.0 as usize].fields.push((key.to_owned(), value));
+    }
+
+    /// Close every open span owned by `node` with `Crashed` status.
+    pub(crate) fn close_node_spans(&mut self, node: NodeId, at: SimTime) {
+        let to_close: Vec<u64> = self
+            .open
+            .iter()
+            .copied()
+            .filter(|&i| self.spans[i as usize].node == Some(node))
+            .collect();
+        for i in to_close {
+            self.finish_span(SpanId(i), at, SpanStatus::Crashed);
+        }
+    }
+
+    /// All spans in allocation order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Look up one span.
+    pub fn get(&self, id: SpanId) -> Option<&SpanRecord> {
+        self.spans.get(id.0 as usize)
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans still open (e.g. in-flight at the end of the run).
+    pub fn open_spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.open.iter().map(|&i| &self.spans[i as usize])
+    }
+
+    /// Direct children of `id`, in allocation order.
+    pub fn children(&self, id: SpanId) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// The roots (spans with no parent), in allocation order.
+    pub fn roots(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// JSONL export: one span object per line, allocation order.
+    /// Byte-identical across same-seed runs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the legacy format Perfetto and
+    /// `about://tracing` load). Each finished span becomes a complete
+    /// (`"ph":"X"`) event on the track of its owning node; open spans
+    /// are emitted as instant events so nothing is silently missing.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tid = s.node.map(|n| n.0 as i64).unwrap_or(-1);
+            let mut args = format!(
+                "\"span\":\"{}\",\"trace\":\"{}\",\"status\":\"{}\"",
+                s.id, s.trace, s.status
+            );
+            if let Some(p) = s.parent {
+                args.push_str(&format!(",\"parent\":\"{p}\""));
+            }
+            for (k, v) in &s.fields {
+                args.push(',');
+                args.push_str(&json::string(k));
+                args.push(':');
+                args.push_str(&json::string(v));
+            }
+            match s.end {
+                Some(end) => out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+                    json::string(&s.name),
+                    s.start.as_micros(),
+                    end.saturating_since(s.start).as_micros(),
+                    tid,
+                    args
+                )),
+                None => out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
+                    json::string(&s.name),
+                    s.start.as_micros(),
+                    tid,
+                    args
+                )),
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Render the subtree under `id` as an indented text tree with
+    /// per-span duration — the thing to print when debugging a latency.
+    pub fn render_tree(&self, id: SpanId) -> String {
+        let mut out = String::new();
+        self.render_into(id, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: SpanId, depth: usize, out: &mut String) {
+        let Some(s) = self.get(id) else { return };
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match s.duration_us() {
+            Some(d) => out.push_str(&format!("{} [{}] {}us ({})\n", s.name, s.id, d, s.status)),
+            None => out.push_str(&format!("{} [{}] open\n", s.name, s.id)),
+        }
+        let children: Vec<SpanId> = self.children(id).map(|c| c.id).collect();
+        for c in children {
+            self.render_into(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_get_fresh_traces_and_children_inherit() {
+        let mut st = SpanStore::new();
+        let a = st.open_span("op.a", Some(NodeId(0)), None, SimTime::ZERO);
+        let b = st.open_span("op.b", Some(NodeId(1)), Some(a), SimTime::from_micros(5));
+        let c = st.open_span("op.c", Some(NodeId(2)), None, SimTime::from_micros(9));
+        assert_eq!(st.get(a).unwrap().trace, st.get(b).unwrap().trace);
+        assert_ne!(st.get(a).unwrap().trace, st.get(c).unwrap().trace);
+        assert_eq!(st.children(a).count(), 1);
+        assert_eq!(st.roots().count(), 2);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_keeps_first_status() {
+        let mut st = SpanStore::new();
+        let a = st.open_span("op", Some(NodeId(0)), None, SimTime::ZERO);
+        st.finish_span(a, SimTime::from_micros(3), SpanStatus::Crashed);
+        st.finish_span(a, SimTime::from_micros(9), SpanStatus::Ok);
+        let rec = st.get(a).unwrap();
+        assert_eq!(rec.status, SpanStatus::Crashed);
+        assert_eq!(rec.duration_us(), Some(3));
+    }
+
+    #[test]
+    fn close_node_spans_only_touches_that_node() {
+        let mut st = SpanStore::new();
+        let a = st.open_span("op.a", Some(NodeId(0)), None, SimTime::ZERO);
+        let b = st.open_span("op.b", Some(NodeId(1)), None, SimTime::ZERO);
+        st.close_node_spans(NodeId(0), SimTime::from_micros(7));
+        assert_eq!(st.get(a).unwrap().status, SpanStatus::Crashed);
+        assert_eq!(st.get(b).unwrap().status, SpanStatus::Open);
+        assert_eq!(st.open_spans().count(), 1);
+    }
+
+    #[test]
+    fn exports_are_wellformed() {
+        let mut st = SpanStore::new();
+        let a = st.open_span("dynamo.put", Some(NodeId(0)), None, SimTime::ZERO);
+        st.add_field(a, "key", "\"k1\"".to_owned());
+        st.finish_span(a, SimTime::from_micros(42), SpanStatus::Ok);
+        st.open_span("net.hop", None, Some(a), SimTime::from_micros(1));
+        let jsonl = st.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"name\":\"dynamo.put\""), "{jsonl}");
+        assert!(jsonl.contains("\\\"k1\\\""), "escaping: {jsonl}");
+        let chrome = st.to_chrome_trace();
+        assert!(chrome.starts_with('[') && chrome.trim_end().ends_with(']'));
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"i\""), "open span as instant: {chrome}");
+    }
+
+    #[test]
+    fn render_tree_shows_nesting() {
+        let mut st = SpanStore::new();
+        let a = st.open_span("cart.edit", Some(NodeId(0)), None, SimTime::ZERO);
+        let h = st.open_span("net.hop", None, Some(a), SimTime::from_micros(1));
+        st.finish_span(h, SimTime::from_micros(4), SpanStatus::Ok);
+        st.finish_span(a, SimTime::from_micros(9), SpanStatus::Ok);
+        let tree = st.render_tree(a);
+        assert!(tree.contains("cart.edit"), "{tree}");
+        assert!(tree.contains("  net.hop"), "{tree}");
+    }
+}

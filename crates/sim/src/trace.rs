@@ -6,12 +6,26 @@
 //! records every dispatched event into a bounded ring buffer; tests and
 //! harnesses dump the tail when an invariant breaks.
 //!
+//! Two classes of event share the ring, interleaved in dispatch order:
+//!
+//! - **Sim events** (deliveries, timers, crashes, partitions) recorded by
+//!   the event loop itself.
+//! - **App events** recorded by actors via
+//!   [`crate::actor::Context::trace_event`]: named, structured
+//!   (key/value fields), and stamped with the ambient [`SpanId`] so they
+//!   can be joined against the span tree.
+//!
+//! [`Trace::to_jsonl`] exports the ring as one JSON object per line,
+//! byte-identical across same-seed runs.
+//!
 //! Tracing is off by default and costs nothing when disabled.
 
 use std::collections::VecDeque;
 use std::fmt;
 
 use crate::actor::NodeId;
+use crate::json;
+use crate::span::SpanId;
 use crate::time::SimTime;
 
 /// What kind of event was dispatched.
@@ -31,6 +45,9 @@ pub enum TraceKind {
     Partition,
     /// All partitions healed.
     Heal,
+    /// A structured application event (see
+    /// [`crate::actor::Context::trace_event`]).
+    App,
 }
 
 impl fmt::Display for TraceKind {
@@ -43,6 +60,7 @@ impl fmt::Display for TraceKind {
             TraceKind::Restart => "restart",
             TraceKind::Partition => "partition",
             TraceKind::Heal => "heal",
+            TraceKind::App => "app",
         };
         f.write_str(s)
     }
@@ -59,15 +77,88 @@ pub struct TraceEvent {
     pub node: Option<NodeId>,
     /// The sender, for deliveries.
     pub from: Option<NodeId>,
+    /// The ambient span, for app events.
+    pub span: Option<SpanId>,
+    /// The event name, for app events (`<crate>.<what-happened>`).
+    pub name: Option<String>,
+    /// Structured context, for app events.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// A simulator-originated event (delivery, crash, ...).
+    pub fn sim(at: SimTime, kind: TraceKind, node: Option<NodeId>, from: Option<NodeId>) -> Self {
+        TraceEvent { at, kind, node, from, span: None, name: None, fields: Vec::new() }
+    }
+
+    /// An application event recorded by an actor.
+    pub fn app(
+        at: SimTime,
+        node: NodeId,
+        span: Option<SpanId>,
+        name: String,
+        fields: Vec<(String, String)>,
+    ) -> Self {
+        TraceEvent {
+            at,
+            kind: TraceKind::App,
+            node: Some(node),
+            from: None,
+            span,
+            name: Some(name),
+            fields,
+        }
+    }
+
+    /// One JSON object describing this event (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"at_us\":{},\"kind\":\"{}\"", self.at.as_micros(), self.kind);
+        if let Some(n) = self.node {
+            out.push_str(&format!(",\"node\":\"{n}\""));
+        }
+        if let Some(f) = self.from {
+            out.push_str(&format!(",\"from\":\"{f}\""));
+        }
+        if let Some(s) = self.span {
+            out.push_str(&format!(",\"span\":\"{s}\""));
+        }
+        if let Some(name) = &self.name {
+            out.push_str(",\"name\":");
+            out.push_str(&json::string(name));
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(k));
+                out.push(':');
+                out.push_str(&json::string(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
 }
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} {}", self.at, self.kind)?;
+        if let Some(name) = &self.name {
+            write!(f, " {name}")?;
+        }
         if let (Some(from), Some(node)) = (self.from, self.node) {
             write!(f, " {from} -> {node}")?;
         } else if let Some(node) = self.node {
             write!(f, " @{node}")?;
+        }
+        if let Some(span) = self.span {
+            write!(f, " [{span}]")?;
+        }
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
         }
         Ok(())
     }
@@ -130,6 +221,17 @@ impl Trace {
         }
         out
     }
+
+    /// JSONL export of the retained events, oldest first: one JSON
+    /// object per line. Byte-identical across same-seed runs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +239,7 @@ mod tests {
     use super::*;
 
     fn ev(us: u64, kind: TraceKind) -> TraceEvent {
-        TraceEvent { at: SimTime::from_micros(us), kind, node: Some(NodeId(1)), from: None }
+        TraceEvent::sim(SimTime::from_micros(us), kind, Some(NodeId(1)), None)
     }
 
     #[test]
@@ -172,12 +274,40 @@ mod tests {
 
     #[test]
     fn display_formats_senders() {
-        let e = TraceEvent {
-            at: SimTime::from_micros(5),
-            kind: TraceKind::Deliver,
-            node: Some(NodeId(2)),
-            from: Some(NodeId(1)),
-        };
+        let e = TraceEvent::sim(
+            SimTime::from_micros(5),
+            TraceKind::Deliver,
+            Some(NodeId(2)),
+            Some(NodeId(1)),
+        );
         assert_eq!(e.to_string(), "t=5us deliver n1 -> n2");
+    }
+
+    #[test]
+    fn app_events_carry_structure() {
+        let e = TraceEvent::app(
+            SimTime::from_micros(9),
+            NodeId(3),
+            Some(SpanId(4)),
+            "cart.retry".to_owned(),
+            vec![("attempt".to_owned(), "2".to_owned())],
+        );
+        let s = e.to_string();
+        assert!(s.contains("cart.retry") && s.contains("[S4]") && s.contains("attempt=2"), "{s}");
+        let j = e.to_json();
+        assert!(j.contains("\"name\":\"cart.retry\""), "{j}");
+        assert!(j.contains("\"fields\":{\"attempt\":\"2\"}"), "{j}");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut t = Trace::new(10);
+        t.record(ev(1, TraceKind::Deliver));
+        t.record(ev(2, TraceKind::Heal));
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 }

@@ -18,15 +18,36 @@ use crate::actor::{Action, Actor, Context, NodeId, TimerId};
 use crate::metrics::MetricSet;
 use crate::net::{Delivery, LinkConfig, Network};
 use crate::rng::SimRng;
+use crate::span::{SpanId, SpanStatus, SpanStore};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
 enum EventKind<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64, epoch: u64 },
-    Crash { node: NodeId },
-    Restart { node: NodeId },
-    PartitionGroups { left: Vec<NodeId>, right: Vec<NodeId> },
+    /// `hop` is the `net.hop` span opened when the send was planned; it is
+    /// finished (ok/dropped) when the delivery is dispatched.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        hop: Option<SpanId>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        epoch: u64,
+        span: Option<SpanId>,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Restart {
+        node: NodeId,
+    },
+    PartitionGroups {
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+    },
     HealAll,
 }
 
@@ -72,6 +93,7 @@ pub struct Simulation<M> {
     net: Network,
     rng: SimRng,
     metrics: MetricSet,
+    spans: SpanStore,
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     started: bool,
@@ -95,6 +117,7 @@ impl<M: Clone + 'static> Simulation<M> {
             net,
             rng: SimRng::new(seed),
             metrics: MetricSet::new(),
+            spans: SpanStore::new(),
             cancelled_timers: HashSet::new(),
             next_timer_id: 0,
             started: false,
@@ -117,16 +140,9 @@ impl<M: Clone + 'static> Simulation<M> {
     /// Add an actor; returns its node id. All nodes must be added before
     /// the first `run_*` call.
     pub fn add_node(&mut self, actor: impl Actor<M>) -> NodeId {
-        assert!(
-            !self.started,
-            "nodes must be added before the simulation starts"
-        );
+        assert!(!self.started, "nodes must be added before the simulation starts");
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeSlot {
-            actor: Some(Box::new(actor)),
-            up: true,
-            epoch: 0,
-        });
+        self.nodes.push(NodeSlot { actor: Some(Box::new(actor)), up: true, epoch: 0 });
         id
     }
 
@@ -161,15 +177,19 @@ impl<M: Clone + 'static> Simulation<M> {
         &mut self.metrics
     }
 
+    /// Every causal span recorded during the run (see [`crate::span`]).
+    /// Always on: span recording is cheap at simulation scale and the
+    /// store stays empty when nothing is instrumented.
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
+    }
+
     /// Downcast a node's actor to its concrete type to inspect state.
     ///
     /// # Panics
     /// Panics if the node's actor is not a `T`.
     pub fn actor<T: Actor<M>>(&self, node: NodeId) -> &T {
-        let a = self.nodes[node.0]
-            .actor
-            .as_ref()
-            .expect("actor is never absent between events");
+        let a = self.nodes[node.0].actor.as_ref().expect("actor is never absent between events");
         (a.as_ref() as &dyn Any)
             .downcast_ref::<T>()
             .expect("actor type mismatch in Simulation::actor")
@@ -177,10 +197,7 @@ impl<M: Clone + 'static> Simulation<M> {
 
     /// Mutable variant of [`Simulation::actor`].
     pub fn actor_mut<T: Actor<M>>(&mut self, node: NodeId) -> &mut T {
-        let a = self.nodes[node.0]
-            .actor
-            .as_mut()
-            .expect("actor is never absent between events");
+        let a = self.nodes[node.0].actor.as_mut().expect("actor is never absent between events");
         (a.as_mut() as &mut dyn Any)
             .downcast_mut::<T>()
             .expect("actor type mismatch in Simulation::actor_mut")
@@ -198,13 +215,7 @@ impl<M: Clone + 'static> Simulation<M> {
 
     /// Schedule a two-group network partition at absolute time `at`.
     pub fn schedule_partition(&mut self, at: SimTime, left: &[NodeId], right: &[NodeId]) {
-        self.push(
-            at,
-            EventKind::PartitionGroups {
-                left: left.to_vec(),
-                right: right.to_vec(),
-            },
-        );
+        self.push(at, EventKind::PartitionGroups { left: left.to_vec(), right: right.to_vec() });
     }
 
     /// Schedule a full heal of every partition at absolute time `at`.
@@ -216,7 +227,7 @@ impl<M: Clone + 'static> Simulation<M> {
     /// model (for harness-driven injection). `from` is attributed as the
     /// sender.
     pub fn inject_at(&mut self, at: SimTime, to: NodeId, from: NodeId, msg: M) {
-        self.push(at, EventKind::Deliver { to, from, msg });
+        self.push(at, EventKind::Deliver { to, from, msg, hop: None });
     }
 
     /// Run every event up to and including time `horizon`; the clock ends
@@ -259,7 +270,7 @@ impl<M: Clone + 'static> Simulation<M> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            self.with_actor(NodeId(i), |actor, ctx| actor.on_start(ctx));
+            self.with_actor(NodeId(i), None, |actor, ctx| actor.on_start(ctx));
         }
     }
 
@@ -273,16 +284,24 @@ impl<M: Clone + 'static> Simulation<M> {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = self.now.max(ev.at);
         match ev.kind {
-            EventKind::Deliver { to, from, msg } => {
+            EventKind::Deliver { to, from, msg, hop } => {
                 if !self.nodes[to.0].up {
+                    if let Some(h) = hop {
+                        self.spans.finish_span(h, self.now, SpanStatus::Dropped);
+                    }
                     self.metrics.inc("sim.dropped_to_down_node");
                     self.record_trace(TraceKind::DropDown, Some(to), Some(from));
                     return;
                 }
+                if let Some(h) = hop {
+                    self.spans.finish_span(h, self.now, SpanStatus::Ok);
+                }
                 self.record_trace(TraceKind::Deliver, Some(to), Some(from));
-                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                // The receiver runs under the hop span, so spans it opens
+                // land inside the sender's causal tree.
+                self.with_actor(to, hop, |actor, ctx| actor.on_message(ctx, from, msg));
             }
-            EventKind::Timer { node, id, tag, epoch } => {
+            EventKind::Timer { node, id, tag, epoch, span } => {
                 if self.cancelled_timers.remove(&id.0) {
                     return;
                 }
@@ -291,7 +310,7 @@ impl<M: Clone + 'static> Simulation<M> {
                     return; // timers do not survive crashes
                 }
                 self.record_trace(TraceKind::Timer, Some(node), None);
-                self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+                self.with_actor(node, span, |actor, ctx| actor.on_timer(ctx, tag));
             }
             EventKind::Crash { node } => {
                 let slot = &mut self.nodes[node.0];
@@ -301,10 +320,10 @@ impl<M: Clone + 'static> Simulation<M> {
                 slot.up = false;
                 slot.epoch += 1;
                 let now = self.now;
-                slot.actor
-                    .as_mut()
-                    .expect("actor present")
-                    .on_crash(now);
+                slot.actor.as_mut().expect("actor present").on_crash(now);
+                // Fail-fast: whatever the node had in flight ends here,
+                // visibly, rather than leaking as open-forever spans.
+                self.spans.close_node_spans(node, now);
                 self.metrics.inc("sim.crashes");
                 self.record_trace(TraceKind::Crash, Some(node), None);
             }
@@ -314,7 +333,7 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
                 self.nodes[node.0].up = true;
                 self.record_trace(TraceKind::Restart, Some(node), None);
-                self.with_actor(node, |actor, ctx| actor.on_restart(ctx));
+                self.with_actor(node, None, |actor, ctx| actor.on_restart(ctx));
                 self.metrics.inc("sim.restarts");
             }
             EventKind::PartitionGroups { left, right } => {
@@ -330,15 +349,17 @@ impl<M: Clone + 'static> Simulation<M> {
 
     fn record_trace(&mut self, kind: TraceKind, node: Option<NodeId>, from: Option<NodeId>) {
         if let Some(t) = &mut self.trace {
-            t.record(TraceEvent { at: self.now, kind, node, from });
+            t.record(TraceEvent::sim(self.now, kind, node, from));
         }
     }
 
-    /// Run one actor callback with a fresh context, then apply the actions
-    /// it issued (sends through the network model, timer arms/cancels).
+    /// Run one actor callback with a fresh context (ambient span =
+    /// `ambient`), then apply the actions it issued (sends through the
+    /// network model, timer arms/cancels).
     fn with_actor(
         &mut self,
         node: NodeId,
+        ambient: Option<SpanId>,
         f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
     ) {
         let mut actor = self.nodes[node.0]
@@ -352,29 +373,48 @@ impl<M: Clone + 'static> Simulation<M> {
             metrics: &mut self.metrics,
             actions: Vec::new(),
             next_timer_id: &mut self.next_timer_id,
+            spans: &mut self.spans,
+            current_span: ambient,
+            trace: &mut self.trace,
         };
         f(actor.as_mut(), &mut ctx);
         let actions = ctx.actions;
         self.nodes[node.0].actor = Some(actor);
         for action in actions {
             match action {
-                Action::Send { to, msg } => match self.net.plan_delivery(&mut self.rng, node, to) {
-                    Delivery::Deliver(delays) => {
-                        self.metrics.inc("sim.messages_sent");
-                        for d in delays {
-                            self.push(
-                                self.now + d,
-                                EventKind::Deliver { to, from: node, msg: msg.clone() },
-                            );
+                Action::Send { to, msg, span } => {
+                    match self.net.plan_delivery(&mut self.rng, node, to) {
+                        Delivery::Deliver(delays) => {
+                            self.metrics.inc("sim.messages_sent");
+                            for d in delays {
+                                // One hop span per physical delivery (so
+                                // duplicated messages show as two hops).
+                                let hop = span.map(|parent| {
+                                    self.spans.open_span("net.hop", None, Some(parent), self.now)
+                                });
+                                if let Some(h) = hop {
+                                    self.spans.add_field(h, "to", to.to_string());
+                                }
+                                self.push(
+                                    self.now + d,
+                                    EventKind::Deliver { to, from: node, msg: msg.clone(), hop },
+                                );
+                            }
+                        }
+                        Delivery::Dropped => {
+                            if let Some(parent) = span {
+                                let h =
+                                    self.spans.open_span("net.hop", None, Some(parent), self.now);
+                                self.spans.add_field(h, "to", to.to_string());
+                                self.spans.finish_span(h, self.now, SpanStatus::Dropped);
+                            }
+                            self.metrics.inc("sim.messages_dropped");
                         }
                     }
-                    Delivery::Dropped => {
-                        self.metrics.inc("sim.messages_dropped");
-                    }
-                },
-                Action::SetTimer { id, delay, tag } => {
+                }
+                Action::SetTimer { id, delay, tag, span } => {
                     let epoch = self.nodes[node.0].epoch;
-                    self.push(self.now + delay, EventKind::Timer { node, id, tag, epoch });
+                    self.push(self.now + delay, EventKind::Timer { node, id, tag, epoch, span });
                 }
                 Action::CancelTimer { id } => {
                     self.cancelled_timers.insert(id.0);

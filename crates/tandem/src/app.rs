@@ -226,11 +226,8 @@ impl Actor<TandemMsg> for AppProc {
                     Phase::Flushing => {
                         let me = ctx.me();
                         let id = txn.id;
-                        let targets: Vec<NodeId> = txn
-                            .flush_waiting
-                            .iter()
-                            .map(|dp| self.routes[*dp].target())
-                            .collect();
+                        let targets: Vec<NodeId> =
+                            txn.flush_waiting.iter().map(|dp| self.routes[*dp].target()).collect();
                         for t in targets {
                             ctx.send(t, TandemMsg::FlushReq { txn: id, resp_to: me });
                         }
@@ -315,11 +312,8 @@ impl Actor<TandemMsg> for AppProc {
                     (Mode::Dp1, Phase::Flushing) => {
                         let me = ctx.me();
                         let id = txn.id;
-                        let targets: Vec<NodeId> = txn
-                            .flush_waiting
-                            .iter()
-                            .map(|d| self.routes[*d].target())
-                            .collect();
+                        let targets: Vec<NodeId> =
+                            txn.flush_waiting.iter().map(|d| self.routes[*d].target()).collect();
                         for t in targets {
                             ctx.send(t, TandemMsg::FlushReq { txn: id, resp_to: me });
                         }

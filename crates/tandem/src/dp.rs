@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use sim::{Actor, Context, NodeId, SimTime};
+use sim::{Actor, Context, NodeId, SimTime, SpanId};
 
 use crate::msg::TandemMsg;
 use crate::types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TxnId, WriteId};
@@ -61,8 +61,12 @@ pub struct DiskProc {
     seen_writes: HashMap<WriteId, Lsn>,
     /// Per-transaction undo: (key, before-image), newest last.
     undo: HashMap<TxnId, Vec<(u64, u64)>>,
-    /// DP1: WRITE acks parked until the backup confirms the checkpoint.
-    pending_ck: HashMap<Lsn, (NodeId, WriteId)>,
+    /// DP1: WRITE acks parked until the backup confirms the checkpoint
+    /// (with the `tandem.checkpoint` span covering the round trip).
+    pending_ck: HashMap<Lsn, (NodeId, WriteId, SpanId)>,
+    /// DP2: acked-but-not-ADP-durable writes — each ack is a guess that
+    /// the record will survive; resolved when durability catches up.
+    guesses: Vec<(Lsn, SpanId)>,
     /// Flush requests parked until `durable_upto` covers them.
     pending_flush: Vec<(TxnId, Lsn, NodeId)>,
     /// Backup: LSN up to which records were forwarded to the ADP.
@@ -100,6 +104,7 @@ impl DiskProc {
             seen_writes: HashMap::new(),
             undo: HashMap::new(),
             pending_ck: HashMap::new(),
+            guesses: Vec::new(),
             pending_flush: Vec::new(),
             forwarded_upto: None,
             inflight: HashMap::new(),
@@ -145,7 +150,7 @@ impl DiskProc {
             // Retry of an applied write: collapse and re-ack. Under DP1
             // the original ack may still be parked on a checkpoint; in
             // that case the retry will be acked by the checkpoint path.
-            if !self.pending_ck.values().any(|(_, w)| *w == write) {
+            if !self.pending_ck.values().any(|(_, w, _)| *w == write) {
                 ctx.send(resp_to, TandemMsg::WriteAck { write });
             }
             return;
@@ -162,12 +167,19 @@ impl DiskProc {
             Mode::Dp1 if self.peer_up => {
                 // Synchronous checkpoint: the ack waits for the backup.
                 ctx.metrics().inc("tandem.checkpoint_msgs");
+                let ck = ctx.child_span(ctx.current_span(), "tandem.checkpoint");
+                ctx.span_field(ck, "lsn", lsn);
+                ctx.set_current_span(Some(ck));
                 ctx.send(self.peer, TandemMsg::Checkpoint { rec });
-                self.pending_ck.insert(lsn, (resp_to, write));
+                self.pending_ck.insert(lsn, (resp_to, write, ck));
             }
             _ => {
                 // DP2 (or a degraded DP1 pair): ack immediately; the
-                // record lollygags in `unshipped`.
+                // record lollygags in `unshipped`. The ack is a guess —
+                // the write could still die with this CPU — outstanding
+                // until ADP durability covers its LSN.
+                let g = ctx.begin_guess("tandem.write_ack");
+                self.guesses.push((lsn, g));
                 ctx.send(resp_to, TandemMsg::WriteAck { write });
             }
         }
@@ -214,6 +226,16 @@ impl DiskProc {
 
     fn mark_durable(&mut self, ctx: &mut Context<'_, TandemMsg>, upto: Lsn) {
         self.durable_upto = Some(self.durable_upto.map_or(upto, |d| d.max(upto)));
+        // Every acked write at or below the watermark: guess confirmed.
+        let mut still = Vec::new();
+        for (lsn, g) in std::mem::take(&mut self.guesses) {
+            if lsn <= upto {
+                ctx.resolve_guess(g, true);
+            } else {
+                still.push((lsn, g));
+            }
+        }
+        self.guesses = still;
         self.resolve_flushes(ctx);
     }
 }
@@ -250,8 +272,10 @@ impl Actor<TandemMsg> for DiskProc {
                 ctx.send(from, TandemMsg::CheckpointAck { lsn: rec.lsn });
             }
             TandemMsg::CheckpointAck { lsn } => {
-                if let Some((resp_to, write)) = self.pending_ck.remove(&lsn) {
+                if let Some((resp_to, write, ck)) = self.pending_ck.remove(&lsn) {
+                    ctx.set_current_span(Some(ck));
                     ctx.send(resp_to, TandemMsg::WriteAck { write });
+                    ctx.finish_span(ck);
                 }
             }
 
@@ -359,6 +383,8 @@ impl Actor<TandemMsg> for DiskProc {
                 if self.role == Role::Backup {
                     self.role = Role::Primary;
                     self.peer_up = false;
+                    let span = ctx.start_span("tandem.takeover");
+                    ctx.span_field(span, "dp", format!("{:?}", self.dp));
                     ctx.metrics().inc("tandem.takeovers");
                     let me = ctx.me();
                     for app in self.apps.clone() {
@@ -377,6 +403,7 @@ impl Actor<TandemMsg> for DiskProc {
                     // Anything absorbed but not yet ADP-durable should
                     // move promptly now that we serve reads and flushes.
                     self.ship(ctx);
+                    ctx.finish_span(span);
                 }
             }
 
@@ -442,6 +469,7 @@ impl Actor<TandemMsg> for DiskProc {
         self.pending_ck.clear();
         self.pending_flush.clear();
         self.inflight.clear();
+        self.guesses.clear();
         self.undo.clear();
         self.seen_writes.clear();
         self.lsn = 0;

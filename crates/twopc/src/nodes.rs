@@ -119,8 +119,7 @@ impl Coordinator {
                 .or_default()
                 .push(k);
         }
-        let involved: Vec<NodeId> =
-            per_participant.keys().map(|i| self.participants[*i]).collect();
+        let involved: Vec<NodeId> = per_participant.keys().map(|i| self.participants[*i]).collect();
         self.pending.insert(
             txn,
             PendingTxn {
@@ -187,11 +186,7 @@ impl Actor<TpcMsg> for Coordinator {
                 };
                 if ready {
                     let doomed = self.pending[&txn].doomed;
-                    self.decide(
-                        ctx,
-                        txn,
-                        if doomed { Decision::Abort } else { Decision::Commit },
-                    );
+                    self.decide(ctx, txn, if doomed { Decision::Abort } else { Decision::Commit });
                 }
             }
             TpcMsg::Inquiry { txn, resp_to } => {
@@ -317,8 +312,7 @@ impl Actor<TpcMsg> for Participant {
     fn on_timer(&mut self, ctx: &mut Context<'_, TpcMsg>, t: u64) {
         let kind = t >> TAG_SHIFT;
         let txn = TxnId(t & ((1 << TAG_SHIFT) - 1));
-        if (kind == TAG_INQUIRY || kind == TAG_RETRY_DECISION) && self.in_doubt.contains_key(&txn)
-        {
+        if (kind == TAG_INQUIRY || kind == TAG_RETRY_DECISION) && self.in_doubt.contains_key(&txn) {
             // Still in doubt: ask, and keep asking — the locks cannot be
             // released unilaterally ("the fundamental blocking property
             // of 2PC").

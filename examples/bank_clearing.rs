@@ -41,5 +41,27 @@ fn main() {
     println!("branches converged:      {}", r.converged);
     println!("any check posted twice:  {}", if r.no_double_posting { "no" } else { "YES" });
     println!("statement book audit:    {}", if r.statements_ok { "ok" } else { "FAILED" });
+
+    // The paper's memories/guesses/apologies cycle, measured: how long
+    // each locally-cleared check sat as an unconfirmed guess before the
+    // reconciliation audit confirmed it or bounced it.
+    let mut r = r;
+    let guess = r.metrics.histogram("guess.outstanding_us").summary();
+    println!();
+    println!("guess windows (act-on-guess -> confirmation/apology):");
+    println!("  outstanding guesses measured: {}", guess.count);
+    println!(
+        "  outstanding time: mean {:.1} s   p50 {:.1} s   p99 {:.1} s   max {:.1} s",
+        guess.mean / 1e6,
+        guess.p50 / 1e6,
+        guess.p99 / 1e6,
+        guess.max / 1e6
+    );
+    println!(
+        "  confirmed: {}   apologies (bounced at audit): {}",
+        r.metrics.counter("guess.confirmed"),
+        r.metrics.counter("guess.apologies")
+    );
+    assert!(guess.count > 0, "local clears must record guess windows");
     assert!(r.converged && r.no_double_posting && r.statements_ok);
 }

@@ -24,13 +24,18 @@ fn main() {
         east.process_order(order, 2);
         west.process_order(order, 2); // the cross-replica retry
     }
-    println!("before reconciliation: east shipped {}, west shipped {}",
-        1_000 - east.stock_remaining(), 1_000 - west.stock_remaining());
+    println!(
+        "before reconciliation: east shipped {}, west shipped {}",
+        1_000 - east.stock_remaining(),
+        1_000 - west.stock_remaining()
+    );
     let rec = east.reconcile(&mut west);
-    println!("reconciliation found {} duplicate shipments; {} units returned to shelves",
-        rec.duplicate_shipments.len(), rec.units_returned);
-    println!("after: east stock {}, west stock {}",
-        east.stock_remaining(), west.stock_remaining());
+    println!(
+        "reconciliation found {} duplicate shipments; {} units returned to shelves",
+        rec.duplicate_shipments.len(),
+        rec.units_returned
+    );
+    println!("after: east stock {}, west stock {}", east.stock_remaining(), west.stock_remaining());
 
     println!("\n== The Gutenberg bible (unique goods) ==");
     let mut a = Warehouse::new(0, 1, Fungibility::Unique);
@@ -42,7 +47,10 @@ fn main() {
     println!("promised twice -> apologies owed: {}", rec.apologies);
 
     println!("\n== Stock policy under scarcity (demand 2x stock, skewed) ==");
-    println!("{:<18} {:>8} {:>9} {:>9} {:>10}", "policy", "accepted", "declined", "oversold", "forklift");
+    println!(
+        "{:<18} {:>8} {:>9} {:>9} {:>10}",
+        "policy", "accepted", "declined", "oversold", "forklift"
+    );
     for (label, policy) in [
         ("over-provision", StockPolicy::OverProvision),
         ("over-book 1.15", StockPolicy::OverBook { factor: 1.15 }),

@@ -30,14 +30,13 @@ fn main() {
     // surviving site runs alone at local latency, diluting the figure);
     // a crash under sync shipping loses nothing anyway — the harness
     // tests prove that.
-    let sync = LogshipConfig {
-        mode: ShipMode::Synchronous,
-        crash_primary_at: None,
-        ..base.clone()
-    };
+    let sync =
+        LogshipConfig { mode: ShipMode::Synchronous, crash_primary_at: None, ..base.clone() };
     let r = run(&sync, 4);
-    println!("synchronous shipping:  commit {:.1} ms mean, lost {} (transparent, but slow)",
-        r.commit_mean_ms, r.lost_acked);
+    println!(
+        "synchronous shipping:  commit {:.1} ms mean, lost {} (transparent, but slow)",
+        r.commit_mean_ms, r.lost_acked
+    );
 
     let discard = LogshipConfig { recovery: RecoveryPolicy::Discard, ..base.clone() };
     let r = run(&discard, 4);
@@ -50,8 +49,10 @@ fn main() {
         ..base
     };
     let r = run(&resurrect, 4);
-    println!("async + resurrect:     commit {:.1} ms mean, lost {}; resurrected {}; double-applied {}",
-        r.commit_mean_ms, r.lost_acked, r.resurrected, r.duplicate_applications);
+    println!(
+        "async + resurrect:     commit {:.1} ms mean, lost {}; resurrected {}; double-applied {}",
+        r.commit_mean_ms, r.lost_acked, r.resurrected, r.duplicate_applications
+    );
     assert_eq!(r.lost_acked, 0);
     assert_eq!(r.duplicate_applications, 0);
 

@@ -8,12 +8,27 @@
 //! edit is lost — while a deleted item may sneak back in (§6.4).
 //!
 //! Run with: `cargo run --example shopping_cart`
+//!
+//! Pass `--trace-out DIR` to also write the observability artifacts:
+//! `DIR/spans.jsonl` (one span per line), `DIR/trace.jsonl` (sim+app
+//! events), and `DIR/chrome_trace.json` (load in Perfetto / Chrome
+//! `about://tracing` to see each `dynamo.put`'s child `net.hop`s with
+//! per-hop latencies).
 
 use quicksand::cart::{run, CartAction, CartScenario};
 use quicksand::sim::{SimDuration, SimTime};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|pos| {
+        args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace-out needs a directory");
+            std::process::exit(2);
+        })
+    });
+
     let scenario = CartScenario {
+        trace: trace_out.is_some(),
         n_stores: 5,
         plans: vec![
             vec![
@@ -27,14 +42,8 @@ fn main() {
                 CartAction::ChangeQty { item: 3, qty: 4 },
                 CartAction::Add { item: 1, qty: 5 },
             ],
-            vec![
-                CartAction::Add { item: 5, qty: 2 },
-                CartAction::Remove { item: 2 },
-            ],
-            vec![
-                CartAction::Add { item: 2, qty: 1 },
-                CartAction::Add { item: 6, qty: 1 },
-            ],
+            vec![CartAction::Add { item: 5, qty: 2 }, CartAction::Remove { item: 2 }],
+            vec![CartAction::Add { item: 2, qty: 1 }, CartAction::Add { item: 6, qty: 1 }],
         ],
         think: SimDuration::from_millis(40),
         partition: Some((SimTime::from_millis(60), SimTime::from_secs(10))),
@@ -49,12 +58,40 @@ fn main() {
     println!("edits acknowledged:       {}", report.edits_acked);
     println!("PUT availability:         {:.1}%", report.put_availability() * 100.0);
     println!("GETs that failed (shopper proceeded on empty view): {}", report.get_failures);
-    println!("sibling sets reconciled by the application:         {}", report.sibling_reconciliations);
+    println!(
+        "sibling sets reconciled by the application:         {}",
+        report.sibling_reconciliations
+    );
     println!("acked edits lost:         {}  (the §6.4 guarantee)", report.lost_edits);
     println!("deleted items resurrected: {} (the §6.4 anomaly)", report.resurrected_items);
     println!("replicas converged:       {}", report.converged);
     println!();
     println!("final cart (item -> qty): {:?}", report.final_cart);
+
+    if let Some(dir) = trace_out {
+        std::fs::create_dir_all(&dir).expect("create trace-out dir");
+        let p = |name: &str| format!("{dir}/{name}");
+        std::fs::write(p("spans.jsonl"), report.spans.to_jsonl()).unwrap();
+        std::fs::write(p("chrome_trace.json"), report.spans.to_chrome_trace()).unwrap();
+        std::fs::write(p("trace.jsonl"), report.trace_jsonl.as_deref().unwrap_or("")).unwrap();
+        println!();
+        println!("observability artifacts in {dir}/:");
+        println!("  spans.jsonl         {} spans", report.spans.len());
+        println!("  trace.jsonl         sim+app events");
+        println!("  chrome_trace.json   load in Perfetto (ui.perfetto.dev)");
+        // Show one dynamo.put causal tree: the put, its replica hops,
+        // and each hop's latency.
+        if let Some(put) = report
+            .spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "dynamo.put" && report.spans.children(s.id).next().is_some())
+        {
+            println!();
+            println!("one dynamo.put causal tree (µs latencies per hop):");
+            print!("{}", report.spans.render_tree(put.id));
+        }
+    }
     assert_eq!(report.lost_edits, 0);
     assert!(report.converged);
 }

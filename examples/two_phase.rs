@@ -22,8 +22,10 @@ fn main() {
 
     let r = run(&base, 7);
     println!("== healthy 2PC ==");
-    println!("committed {} / conflict-aborts {} / max in-doubt lock {:.1} ms",
-        r.committed, r.aborted_conflict, r.in_doubt_max_ms);
+    println!(
+        "committed {} / conflict-aborts {} / max in-doubt lock {:.1} ms",
+        r.committed, r.aborted_conflict, r.in_doubt_max_ms
+    );
 
     let mut crash = base.clone();
     crash.crash_coordinator_at = Some(SimTime::from_millis(60));
@@ -31,10 +33,14 @@ fn main() {
     let r = run(&crash, 7);
     println!("\n== coordinator dies at 60ms, recovers at 2s ==");
     println!("committed {} (service was down for the rest) ", r.committed);
-    println!("in-doubt locks hung for up to {:.0} ms — nobody could touch those keys",
-        r.in_doubt_max_ms);
-    println!("recovery presumed abort for {} undecided txns; blocked forever: {}",
-        r.aborted_other, r.unresolved);
+    println!(
+        "in-doubt locks hung for up to {:.0} ms — nobody could touch those keys",
+        r.in_doubt_max_ms
+    );
+    println!(
+        "recovery presumed abort for {} undecided txns; blocked forever: {}",
+        r.aborted_other, r.unresolved
+    );
 
     let mut dead = base;
     dead.crash_coordinator_at = Some(SimTime::from_millis(60));

@@ -33,13 +33,11 @@ fn cart_survives_randomized_partition_schedules() {
                 })
                 .collect(),
             think: SimDuration::from_millis(rng.gen_range(10..80)),
-            partition: Some((
-                SimTime::from_millis(start),
-                SimTime::from_millis(start + dur),
-            )),
+            partition: Some((SimTime::from_millis(start), SimTime::from_millis(start + dur))),
             horizon: SimTime::from_secs(60),
             dynamo: DynamoConfig::default(),
             n_stores: 5,
+            ..CartScenario::default()
         };
         let r = run_cart(&scenario, seed + 1);
         assert_eq!(r.lost_edits, 0, "seed {seed}: {r:?}");
@@ -139,6 +137,58 @@ fn logship_resurrection_survives_random_crash_timing() {
     }
 }
 
+/// A crashed node's in-flight spans are closed with `crashed` status,
+/// never leaked open: the observability layer must stay honest about
+/// work the failure interrupted.
+#[test]
+fn crashed_nodes_close_their_spans_instead_of_leaking_them() {
+    use quicksand::dynamo::{build_cluster, DynamoMsg, Probe, VectorClock};
+    use quicksand::sim::{Simulation, SpanStatus};
+
+    for seed in [1u64, 2, 3] {
+        let mut sim: Simulation<DynamoMsg<u64>> = Simulation::new(seed);
+        let cluster = build_cluster(&mut sim, 4, &DynamoConfig::default());
+        let probe = sim.add_node(Probe::<u64>::new());
+        for k in 0..20u64 {
+            sim.inject_at(
+                SimTime::from_millis(k * 2),
+                cluster.stores[(k % 4) as usize],
+                probe,
+                DynamoMsg::ClientPut {
+                    req: k,
+                    key: k,
+                    value: k + 100,
+                    context: VectorClock::new(),
+                    resp_to: probe,
+                },
+            );
+        }
+        // Crash store 1 while it is coordinating puts; never restart it,
+        // so nothing can quietly finish its spans later.
+        let victim = cluster.stores[1];
+        sim.schedule_crash(SimTime::from_millis(11), victim);
+        sim.run_until(SimTime::from_secs(10));
+
+        let crashed: Vec<_> = sim
+            .spans()
+            .spans()
+            .iter()
+            .filter(|s| s.node == Some(victim) && s.status == SpanStatus::Crashed)
+            .collect();
+        assert!(
+            !crashed.is_empty(),
+            "seed {seed}: the crash interrupted no span — scenario lost its teeth"
+        );
+        let leaked: Vec<_> = sim
+            .spans()
+            .spans()
+            .iter()
+            .filter(|s| s.node == Some(victim) && s.status == SpanStatus::Open)
+            .collect();
+        assert!(leaked.is_empty(), "seed {seed}: leaked open spans: {leaked:?}");
+    }
+}
+
 /// Crash and restart a Dynamo store node mid-workload: its durable store
 /// survives, coordination state is rebuilt, and the cluster still
 /// converges with nothing lost.
@@ -171,9 +221,8 @@ fn dynamo_store_crash_and_restart_loses_nothing() {
         sim.run_until(SimTime::from_secs(10));
 
         let p: &Probe<u64> = sim.actor(probe);
-        let acked: Vec<u64> = (0..20)
-            .filter(|k| matches!(p.result(*k), Some(ProbeResult::PutOk)))
-            .collect();
+        let acked: Vec<u64> =
+            (0..20).filter(|k| matches!(p.result(*k), Some(ProbeResult::PutOk))).collect();
         assert!(!acked.is_empty(), "seed {seed}: some puts must succeed");
         // Every acknowledged key is present and converged everywhere.
         for k in &acked {

@@ -29,6 +29,7 @@ fn cart_scenario(partition: bool) -> CartScenario {
         partition: partition.then(|| (SimTime::from_millis(50), SimTime::from_secs(8))),
         horizon: SimTime::from_secs(60),
         dynamo: DynamoConfig::default(),
+        ..CartScenario::default()
     }
 }
 

@@ -1,0 +1,55 @@
+//! Offline stand-in for `crossbeam`: just the scoped-thread API the
+//! workspace's benches use (`crossbeam::scope` + `Scope::spawn`), backed
+//! by `std::thread::scope`.
+
+/// Result type of [`scope`] (matches crossbeam's signature; the std
+/// backing propagates child panics by panicking, so this is always `Ok`).
+pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+/// Handle for spawning threads tied to an enclosing [`scope`] call.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope handle (so
+    /// it can spawn nested threads, as in crossbeam).
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            f(&Scope { inner });
+        });
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before
+/// `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let n = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+}
