@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod bank_exp;
 pub mod cart_exp;
+pub mod crdt_exp;
 pub mod deposits_exp;
 pub mod escrow_exp;
 pub mod gossip_exp;

@@ -3,7 +3,7 @@
 //!
 //! The paper is a position essay with no tables or figures, so the
 //! evaluation here is the derived suite defined in DESIGN.md: every
-//! qualitative claim becomes a table (E1–E12 plus ablations A1–A2), and
+//! qualitative claim becomes a table (E1–E16 plus ablations), and
 //! EXPERIMENTS.md records each table alongside the paper's prediction.
 //!
 //! Regenerate everything with `cargo run -p bench --release --bin report`
@@ -41,6 +41,7 @@ pub fn all_tables(seed: u64) -> Vec<Table> {
         deposits_exp::e13(seed),
         twopc_exp::e14(seed),
         quorum_exp::e15(seed),
+        crdt_exp::e16(seed),
         ablations::a1(seed),
         ablations::a2(seed),
         gossip_exp::a3(seed),
@@ -72,7 +73,7 @@ pub fn observability_report(seed: u64) -> (String, String) {
     (out, json)
 }
 
-/// Run one experiment by id ("e1".."e12", "a1", "a2"), if it exists.
+/// Run one experiment by id ("e1".."e16", "a1".."a3"), if it exists.
 pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
     use experiments::*;
     let t = match id.to_ascii_lowercase().as_str() {
@@ -91,6 +92,7 @@ pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
         "e13" => deposits_exp::e13(seed),
         "e14" => twopc_exp::e14(seed),
         "e15" => quorum_exp::e15(seed),
+        "e16" => crdt_exp::e16(seed),
         "a1" => ablations::a1(seed),
         "a2" => ablations::a2(seed),
         "a3" => gossip_exp::a3(seed),

@@ -1,0 +1,207 @@
+//! The CRDT cart: the §6.4 shopping cart rebuilt on ACID 2.0 state.
+//!
+//! The op-log cart ([`crate::op`]) is paper-faithful: sibling
+//! reconciliation unions the operation ledgers and the materialized view
+//! replays the union in canonical (uniquifier) order — which is exactly
+//! where "occasionally deleted items will reappear" comes from. This
+//! module is the counterfactual: the same cart expressed as a
+//! composition of CRDTs whose merge *is* the reconciliation, with no
+//! replay step to invert a delete past the add it observed.
+//!
+//! - Membership is an add-wins observed-remove set ([`crdt::ORSet`]): a
+//!   DELETE-FROM-CART kills exactly the add instances the shopper
+//!   *observed*, so a delete can never be undone by an add it had
+//!   already seen. Concurrent (unobserved) adds win — the paper's
+//!   preferred bias, since "items added to the cart will not be lost".
+//! - Quantities are per-item [`crdt::PNCounter`]s: ADD-TO-CART is an
+//!   increment, CHANGE-NUMBER is a relative adjustment toward the
+//!   target the shopper asked for.
+//!
+//! Both halves are join-semilattices, so their product is too: the
+//! [`crdt::Crdt`] impl merges each half pointwise, and the Dynamo store
+//! squashes siblings server-side via
+//! [`dynamo::StoreNode`]`::with_sibling_squash`.
+
+use std::collections::BTreeMap;
+
+use crdt::{Crdt, ORSet, PNCounter};
+
+use crate::op::{Cart, CartAction};
+
+/// The cart as a product of CRDTs: add-wins membership plus per-item
+/// quantity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrdtCart {
+    /// Which SKUs are in the cart (add-wins observed-remove set).
+    members: ORSet<u64>,
+    /// Per-SKU quantity counters. An entry may outlive the SKU's
+    /// membership (a removed item keeps its zeroed counter); only
+    /// members' counters are materialized.
+    qtys: BTreeMap<u64, PNCounter>,
+}
+
+impl CrdtCart {
+    /// An empty cart.
+    pub fn new() -> Self {
+        CrdtCart::default()
+    }
+
+    /// The quantity the cart currently records for `item` (counters of
+    /// non-members read as 0).
+    fn qty(&self, item: u64) -> i64 {
+        self.qtys.get(&item).map(|c| c.value()).unwrap_or(0)
+    }
+
+    /// Apply a shopper's action *to the shopper's merged view*, as
+    /// replica `replica`. Mirrors the op-log semantics action by action:
+    ///
+    /// - `Add` inserts membership and increments the counter.
+    /// - `ChangeQty` adjusts the counter toward the target; on an absent
+    ///   item it is a silent no-op, exactly like the op-log replay
+    ///   (see `CartAction::ChangeQty`); a target of zero removes.
+    /// - `Remove` removes the observed membership instances and zeroes
+    ///   *this view's* counter contribution, so a later re-add starts
+    ///   from the re-added quantity instead of inheriting the old one.
+    pub fn apply(&mut self, replica: u64, action: &CartAction) {
+        match action {
+            CartAction::Add { item, qty } => {
+                self.members.insert(replica, *item);
+                self.qtys.entry(*item).or_default().add(replica, *qty as i64);
+            }
+            CartAction::ChangeQty { item, qty } => {
+                if !self.members.contains(item) {
+                    return; // same silent no-op as op-log replay
+                }
+                if *qty == 0 {
+                    self.apply(replica, &CartAction::Remove { item: *item });
+                } else {
+                    let delta = *qty as i64 - self.qty(*item);
+                    if delta != 0 {
+                        self.qtys.entry(*item).or_default().add(replica, delta);
+                    }
+                }
+            }
+            CartAction::Remove { item } => {
+                self.members.remove(item);
+                let observed = self.qty(*item);
+                if observed != 0 {
+                    self.qtys.entry(*item).or_default().add(replica, -observed);
+                }
+            }
+        }
+    }
+
+    /// The materialized cart: member SKUs with their counter values.
+    /// A member whose counter reads non-positive (a concurrency artifact
+    /// of relative adjustments) is clamped to quantity 1: membership is
+    /// authoritative, the counter is best-effort.
+    pub fn materialize(&self) -> Cart {
+        self.members
+            .iter()
+            .map(|item| (*item, self.qty(*item).clamp(1, u32::MAX as i64) as u32))
+            .collect()
+    }
+
+    /// Number of SKUs in the cart.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no SKU is in the cart.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Crdt for CrdtCart {
+    fn merge(&mut self, other: &Self) {
+        self.members.merge(&other.members);
+        for (item, counter) in &other.qtys {
+            self.qtys.entry(*item).or_default().merge(counter);
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.members.wire_size() + self.qtys.values().map(|c| 8 + c.wire_size()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_change_remove_materialize_like_the_oplog_cart() {
+        let mut cart = CrdtCart::new();
+        cart.apply(1, &CartAction::Add { item: 10, qty: 2 });
+        cart.apply(1, &CartAction::Add { item: 11, qty: 1 });
+        cart.apply(1, &CartAction::ChangeQty { item: 10, qty: 5 });
+        cart.apply(1, &CartAction::Remove { item: 11 });
+        let view = cart.materialize();
+        assert_eq!(view.get(&10), Some(&5));
+        assert_eq!(view.get(&11), None);
+    }
+
+    #[test]
+    fn change_qty_on_absent_item_is_a_silent_noop_here_too() {
+        // The regression contract of `CartAction::ChangeQty` holds in
+        // both cart representations: an absent item stays absent and no
+        // counter state is created.
+        let mut cart = CrdtCart::new();
+        cart.apply(1, &CartAction::ChangeQty { item: 99, qty: 7 });
+        assert!(cart.is_empty());
+        assert_eq!(cart.wire_size(), 0, "no counter residue: {cart:?}");
+        cart.apply(1, &CartAction::ChangeQty { item: 99, qty: 0 });
+        assert!(cart.is_empty());
+    }
+
+    #[test]
+    fn observed_remove_beats_the_adds_it_saw() {
+        // Replica 1 adds; replica 2 *observes* the add (via merge) and
+        // removes. No replay order exists that can resurrect the item.
+        let mut a = CrdtCart::new();
+        a.apply(1, &CartAction::Add { item: 5, qty: 1 });
+        let mut b = a.clone();
+        b.apply(2, &CartAction::Remove { item: 5 });
+        a.merge(&b);
+        assert!(a.materialize().is_empty(), "{a:?}");
+    }
+
+    #[test]
+    fn unobserved_concurrent_add_wins() {
+        // The §6.4 bias the paper wants: a concurrent add the remover
+        // never saw is preserved.
+        let mut base = CrdtCart::new();
+        base.apply(1, &CartAction::Add { item: 5, qty: 1 });
+        let mut removing = base.clone();
+        removing.apply(2, &CartAction::Remove { item: 5 });
+        let mut adding = base.clone();
+        adding.apply(3, &CartAction::Add { item: 5, qty: 2 });
+        removing.merge(&adding);
+        let view = removing.materialize();
+        assert_eq!(view.get(&5), Some(&2), "concurrent add survives with its own qty");
+    }
+
+    #[test]
+    fn re_add_after_remove_starts_fresh() {
+        let mut cart = CrdtCart::new();
+        cart.apply(1, &CartAction::Add { item: 7, qty: 4 });
+        cart.apply(1, &CartAction::Remove { item: 7 });
+        cart.apply(1, &CartAction::Add { item: 7, qty: 1 });
+        assert_eq!(cart.materialize().get(&7), Some(&1));
+    }
+
+    #[test]
+    fn merge_satisfies_the_acid_2_0_laws() {
+        let mut samples = Vec::new();
+        for r in 1..=3u64 {
+            let mut c = CrdtCart::new();
+            c.apply(r, &CartAction::Add { item: r, qty: r as u32 });
+            samples.push(c.clone());
+            c.apply(r, &CartAction::Remove { item: r });
+            c.apply(r, &CartAction::Add { item: r + 10, qty: 2 });
+            samples.push(c);
+        }
+        crdt::check_merge_laws(&samples).unwrap();
+    }
+}

@@ -1,19 +1,45 @@
 //! The E6 scenario: concurrent shoppers on one cart across a partition,
 //! with convergence verification and anomaly accounting.
+//!
+//! The harness runs the same shopper plans in either of two cart
+//! representations — [`CartMode::OpLog`] (the paper-faithful §6.1
+//! operation ledger with canonical-order replay) or [`CartMode::OrSet`]
+//! (the CRDT cart of [`crate::crdt_cart`]) — producing the same
+//! [`CartReport`], so the §6.4 reappearing-delete anomaly becomes a
+//! measured ablation rather than an anecdote.
 
 use std::collections::BTreeMap;
 
-use dynamo::{build_cluster, DynamoConfig, DynamoMsg, StoreNode};
+use dynamo::{build_cluster, build_crdt_cluster, DynamoConfig, DynamoMsg, StoreNode};
 use sim::{MetricSet, NodeId, SimDuration, SimTime, Simulation, SpanStore};
 
-use crate::op::{CartAction, CartBlob};
-use crate::shopper::Shopper;
+use crate::crdt_cart::CrdtCart;
+use crate::crdt_shopper::CrdtShopper;
+use crate::op::{Cart, CartAction, CartBlob};
+use crate::shopper::{AckedEdit, Shopper};
+use crdt::Crdt;
+
+/// Which cart representation the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CartMode {
+    /// The paper-faithful §6.1 ledger: sibling reconciliation is op-set
+    /// union and the view replays the union in uniquifier order —
+    /// exhibiting the §6.4 reappearing-delete anomaly.
+    #[default]
+    OpLog,
+    /// The ACID 2.0 cart: add-wins ORSet membership plus PN-counter
+    /// quantities; reconciliation is the lattice join and the store
+    /// squashes siblings server-side.
+    OrSet,
+}
 
 /// Configuration of a cart scenario.
 #[derive(Debug, Clone)]
 pub struct CartScenario {
     /// Store configuration (quorums, sloppiness, gossip).
     pub dynamo: DynamoConfig,
+    /// Cart representation (op-log ledger or CRDT).
+    pub mode: CartMode,
     /// Number of stores.
     pub n_stores: u32,
     /// Shopper edit plans (one shopper each).
@@ -32,6 +58,7 @@ impl Default for CartScenario {
     fn default() -> Self {
         CartScenario {
             dynamo: DynamoConfig::default(),
+            mode: CartMode::OpLog,
             n_stores: 5,
             plans: vec![
                 vec![
@@ -50,6 +77,31 @@ impl Default for CartScenario {
             horizon: SimTime::from_secs(30),
             trace: false,
         }
+    }
+}
+
+impl CartScenario {
+    /// The §6.4 ablation scenario: one shopper adds six SKUs, the other
+    /// — after enough filler edits that every add has propagated —
+    /// deletes each of them. Every delete therefore causally *observes*
+    /// the add it deletes, yet in op-log mode the replay order is
+    /// uniquifier order (a stable hash), so roughly half the deletes
+    /// sort before the adds they observed and the items reappear. In
+    /// ORSet mode an observed add can never survive its delete, so the
+    /// same plans yield zero resurrections.
+    pub fn contended(mode: CartMode) -> CartScenario {
+        let filler = 100;
+        let mut deleter = vec![
+            CartAction::Add { item: filler, qty: 1 },
+            CartAction::ChangeQty { item: filler, qty: 2 },
+            CartAction::ChangeQty { item: filler, qty: 3 },
+            CartAction::ChangeQty { item: filler, qty: 2 },
+            CartAction::ChangeQty { item: filler, qty: 4 },
+            CartAction::ChangeQty { item: filler, qty: 1 },
+        ];
+        deleter.extend((0..6).map(|item| CartAction::Remove { item }));
+        let adder = (0..6).map(|item| CartAction::Add { item, qty: 1 }).collect();
+        CartScenario { mode, plans: vec![deleter, adder], ..CartScenario::default() }
     }
 }
 
@@ -100,8 +152,55 @@ impl CartReport {
 /// The cart key every shopper edits.
 pub const CART_KEY: u64 = 777;
 
+/// Per-item wall-clock-latest acked edit: (ack time, was it a remove).
+fn latest_acked(acked: &[AckedEdit]) -> BTreeMap<u64, (SimTime, bool)> {
+    let mut latest: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
+    for e in acked {
+        let is_remove =
+            matches!(e.action, CartAction::Remove { .. } | CartAction::ChangeQty { qty: 0, .. });
+        let entry = latest.entry(e.action.item()).or_insert((e.at, is_remove));
+        if e.at >= entry.0 {
+            *entry = (e.at, is_remove);
+        }
+    }
+    latest
+}
+
+/// Resurrections: items present although their latest acked edit removed
+/// them (§6.4: "occasionally deleted items will reappear").
+fn count_resurrections(acked: &[AckedEdit], final_cart: &Cart) -> u64 {
+    latest_acked(acked)
+        .iter()
+        .filter(|(item, (_, removed_last))| *removed_last && final_cart.contains_key(item))
+        .count() as u64
+}
+
+/// Split the store fleet in halves and attach shoppers alternately, so a
+/// partition separates shoppers fully along with their stores. Returns
+/// (left-with-shoppers, right-with-shoppers) partition sides.
+fn partition_sides(stores: &[NodeId], shopper_nodes: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
+    let half = stores.len().div_ceil(2);
+    let mut left_side = stores[..half].to_vec();
+    let mut right_side = stores[half..].to_vec();
+    for (i, n) in shopper_nodes.iter().enumerate() {
+        if i % 2 == 0 {
+            left_side.push(*n);
+        } else {
+            right_side.push(*n);
+        }
+    }
+    (left_side, right_side)
+}
+
 /// Run a cart scenario and verify convergence.
 pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
+    match scenario.mode {
+        CartMode::OpLog => run_oplog(scenario, seed),
+        CartMode::OrSet => run_orset(scenario, seed),
+    }
+}
+
+fn run_oplog(scenario: &CartScenario, seed: u64) -> CartReport {
     let mut sim: Simulation<DynamoMsg<CartBlob>> = Simulation::new(seed);
     if scenario.trace {
         sim.enable_trace(1 << 20);
@@ -122,16 +221,7 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
     }
 
     if let Some((start, end)) = scenario.partition {
-        // Shoppers are partitioned along with their stores.
-        let mut left_side = left.clone();
-        let mut right_side = right.clone();
-        for (i, n) in shopper_nodes.iter().enumerate() {
-            if i % 2 == 0 {
-                left_side.push(*n);
-            } else {
-                right_side.push(*n);
-            }
-        }
+        let (left_side, right_side) = partition_sides(&cluster.stores, &shopper_nodes);
         sim.schedule_partition(start, &left_side, &right_side);
         sim.schedule_heal(end);
     }
@@ -177,23 +267,92 @@ pub fn run(scenario: &CartScenario, seed: u64) -> CartReport {
         }
     }
 
-    // Resurrections: item present although its latest acked edit removed
-    // it.
     report.final_cart = ledger.materialize();
-    let mut latest: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
+    report.resurrected_items = count_resurrections(&acked, &report.final_cart);
+    report.metrics = sim.metrics().clone();
+    report.spans = sim.spans().clone();
+    report.trace_jsonl = sim.trace().map(|t| t.to_jsonl());
+    report
+}
+
+fn run_orset(scenario: &CartScenario, seed: u64) -> CartReport {
+    let mut sim: Simulation<DynamoMsg<CrdtCart>> = Simulation::new(seed);
+    if scenario.trace {
+        sim.enable_trace(1 << 20);
+    }
+    // The CRDT cluster squashes sibling sets server-side — sound here
+    // because CrdtCart's merge is the application's reconciliation.
+    let cluster = build_crdt_cluster(&mut sim, scenario.n_stores, &scenario.dynamo);
+
+    let half = (scenario.n_stores as usize).div_ceil(2);
+    let left: Vec<NodeId> = cluster.stores[..half].to_vec();
+    let right: Vec<NodeId> = cluster.stores[half..].to_vec();
+    let mut shopper_nodes = Vec::new();
+    for (i, plan) in scenario.plans.iter().enumerate() {
+        let coords = if i % 2 == 0 { left.clone() } else { right.clone() };
+        let node = sim.add_node(CrdtShopper::new(
+            i as u32,
+            CART_KEY,
+            coords,
+            plan.clone(),
+            scenario.think,
+        ));
+        shopper_nodes.push(node);
+    }
+
+    if let Some((start, end)) = scenario.partition {
+        let (left_side, right_side) = partition_sides(&cluster.stores, &shopper_nodes);
+        sim.schedule_partition(start, &left_side, &right_side);
+        sim.schedule_heal(end);
+    }
+
+    sim.run_until(scenario.horizon);
+
+    let mut report = CartReport::default();
+
+    let mut acked = Vec::new();
+    for n in &shopper_nodes {
+        let s: &CrdtShopper = sim.actor(*n);
+        report.edits_acked += s.acked.len() as u64;
+        report.get_failures += s.get_failures;
+        report.put_failures += s.put_failures;
+        report.put_attempts += s.put_attempts;
+        report.sibling_reconciliations += s.sibling_gets;
+        acked.extend(s.acked.iter().cloned());
+    }
+
+    // The converged cart: the join across every store's versions.
+    let mut joined = CrdtCart::new();
+    let mut per_store: Vec<CrdtCart> = Vec::new();
+    for s in &cluster.stores {
+        let node: &StoreNode<CrdtCart> = sim.actor(*s);
+        let mut local = CrdtCart::new();
+        for v in node.versions(CART_KEY) {
+            local.merge(&v.value);
+        }
+        joined.merge(&local);
+        per_store.push(local);
+    }
+    // Convergence for a CRDT store is *value* convergence: every store's
+    // joined state is the same lattice point (squash dots may differ
+    // transiently, the value may not).
+    report.converged = per_store.iter().all(|c| *c == per_store[0]);
+
+    report.final_cart = joined.materialize();
+
+    // Lost edits: an acked Add whose item vanished although no
+    // later-acked edit removed it.
+    let latest = latest_acked(&acked);
     for e in &acked {
-        let is_remove =
-            matches!(e.action, CartAction::Remove { .. } | CartAction::ChangeQty { qty: 0, .. });
-        let entry = latest.entry(e.action.item()).or_insert((e.at, is_remove));
-        if e.at >= entry.0 {
-            *entry = (e.at, is_remove);
+        if let CartAction::Add { item, .. } = e.action {
+            let removed_later = latest.get(&item).map(|(_, r)| *r).unwrap_or(false);
+            if !removed_later && !report.final_cart.contains_key(&item) {
+                report.lost_edits += 1;
+            }
         }
     }
-    for (item, (_, removed_last)) in &latest {
-        if *removed_last && report.final_cart.contains_key(item) {
-            report.resurrected_items += 1;
-        }
-    }
+
+    report.resurrected_items = count_resurrections(&acked, &report.final_cart);
     report.metrics = sim.metrics().clone();
     report.spans = sim.spans().clone();
     report.trace_jsonl = sim.trace().map(|t| t.to_jsonl());
@@ -260,5 +419,58 @@ mod tests {
         let b = run(&CartScenario::default(), 11);
         assert_eq!(a.edits_acked, b.edits_acked);
         assert_eq!(a.final_cart, b.final_cart);
+    }
+
+    #[test]
+    fn orset_calm_scenario_converges_with_no_anomalies() {
+        let r = run(&CartScenario { mode: CartMode::OrSet, ..CartScenario::default() }, 3);
+        assert_eq!(r.edits_acked, 6, "{r:?}");
+        assert_eq!(r.lost_edits, 0, "{r:?}");
+        assert_eq!(r.resurrected_items, 0, "{r:?}");
+        assert!(r.converged, "{r:?}");
+        assert_eq!(r.put_availability(), 1.0);
+        assert_eq!(r.final_cart.get(&2), Some(&2));
+        // Unlike replay order, the CRDT cart applies ChangeQty to the
+        // observed state, so item 3's quantity is deterministic.
+        assert_eq!(r.final_cart.get(&3), Some(&4), "{r:?}");
+    }
+
+    #[test]
+    fn orset_deterministic() {
+        let scenario = CartScenario { mode: CartMode::OrSet, ..CartScenario::default() };
+        let a = run(&scenario, 11);
+        let b = run(&scenario, 11);
+        assert_eq!(a.edits_acked, b.edits_acked);
+        assert_eq!(a.final_cart, b.final_cart);
+    }
+
+    #[test]
+    fn orset_rides_out_a_partition_without_losing_adds() {
+        let scenario = CartScenario {
+            mode: CartMode::OrSet,
+            partition: Some((SimTime::from_millis(20), SimTime::from_secs(5))),
+            horizon: SimTime::from_secs(40),
+            ..CartScenario::default()
+        };
+        let r = run(&scenario, 5);
+        assert_eq!(r.edits_acked, 6, "all edits eventually ack: {r:?}");
+        assert_eq!(r.lost_edits, 0, "add-wins loses nothing: {r:?}");
+        assert!(r.converged, "gossip must reconverge after heal: {r:?}");
+    }
+
+    #[test]
+    fn the_ablation_oplog_resurrects_deletes_and_orset_does_not() {
+        // Same seed, same plans, only the cart representation differs.
+        let seed = 21;
+        let oplog = run(&CartScenario::contended(CartMode::OpLog), seed);
+        let orset = run(&CartScenario::contended(CartMode::OrSet), seed);
+        assert!(oplog.converged && orset.converged, "{oplog:?}\n{orset:?}");
+        assert_eq!(oplog.lost_edits, 0);
+        assert_eq!(orset.lost_edits, 0, "{orset:?}");
+        assert!(oplog.resurrected_items > 0, "op-log replay must reproduce §6.4: {oplog:?}");
+        assert_eq!(
+            orset.resurrected_items, 0,
+            "an observed-remove can never be replay-inverted: {orset:?}"
+        );
     }
 }

@@ -14,14 +14,24 @@
 //! concurrent shoppers across partitions and verifies: zero lost edits,
 //! full replica convergence, availability under partition (versus a
 //! strict-quorum baseline), and counts the resurrections.
+//!
+//! The crate also carries the counterfactual: [`crdt_cart::CrdtCart`]
+//! re-expresses the same cart as a composition of CRDTs (add-wins ORSet
+//! membership, PN-counter quantities), and the harness's
+//! [`harness::CartMode`] switch turns the §6.4 anomaly into a measured
+//! same-seed ablation between the two representations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crdt_cart;
+pub mod crdt_shopper;
 pub mod harness;
 pub mod op;
 pub mod shopper;
 
-pub use harness::{run, CartReport, CartScenario, CART_KEY};
+pub use crdt_cart::CrdtCart;
+pub use crdt_shopper::CrdtShopper;
+pub use harness::{run, CartMode, CartReport, CartScenario, CART_KEY};
 pub use op::{merged_context, reconcile, Cart, CartAction, CartBlob, CartOp};
 pub use shopper::{AckedEdit, Shopper};

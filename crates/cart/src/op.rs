@@ -34,7 +34,12 @@ pub enum CartAction {
         qty: u32,
     },
     /// Set `item`'s quantity to exactly `qty` (the paper's
-    /// CHANGE-NUMBER). No effect if the item is absent.
+    /// CHANGE-NUMBER). **No effect if the item is absent** — a
+    /// CHANGE-NUMBER replayed after the item's DELETE-FROM-CART (or
+    /// before its ADD-TO-CART) is a silent no-op, not an implicit add.
+    /// This keeps replay closed over the op alphabet: only ADD can
+    /// create membership. Covered by the
+    /// `change_qty_on_absent_item_is_a_silent_noop` regression test.
     ChangeQty {
         /// Item SKU.
         item: u64,
@@ -231,6 +236,26 @@ mod tests {
         assert!(ctx.descends(&v0.effective_clock()));
         assert!(ctx.descends(&v1.effective_clock()));
         assert!(ctx.get(0) >= 3 && ctx.get(1) >= 5);
+    }
+
+    #[test]
+    fn change_qty_on_absent_item_is_a_silent_noop() {
+        // Regression contract: CHANGE-NUMBER never creates membership.
+        // If it did, a replayed ChangeQty sorting after a Remove would
+        // resurrect the item with no Add involved at all — a second,
+        // undocumented resurrection channel on top of §6.4's.
+        let mut log = CartBlob::new();
+        log.record(op(2, CartAction::ChangeQty { item: 42, qty: 7 }));
+        assert!(log.materialize().is_empty(), "absent item stays absent");
+        // ... even when an Add for a *different* item is present,
+        log.record(op(3, CartAction::Add { item: 1, qty: 1 }));
+        assert_eq!(log.materialize().len(), 1);
+        // ... and even when the item existed but was removed earlier in
+        // replay order.
+        log.record(op(4, CartAction::Add { item: 42, qty: 1 }));
+        log.record(op(5, CartAction::Remove { item: 42 }));
+        log.record(op(6, CartAction::ChangeQty { item: 42, qty: 9 }));
+        assert_eq!(log.materialize().get(&42), None, "{log:?}");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Replicated counters: the "amount of money in a bank" done the §6.2
+//! way — per-replica tallies that merge by max, never by overwrite.
+
+use std::collections::BTreeMap;
+
+use crate::{Crdt, DeltaCrdt};
+
+/// A grow-only counter: one monotone tally per replica; the value is the
+/// sum and the merge is the pointwise max. Incrementing is a delta
+/// mutator — it returns a one-entry counter carrying the new tally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GCounter {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl GCounter {
+    /// The zero counter.
+    pub fn new() -> Self {
+        GCounter::default()
+    }
+
+    /// Add `by` to this replica's tally, returning the delta (this
+    /// replica's entry only).
+    pub fn inc(&mut self, replica: u64, by: u64) -> GCounter {
+        let c = self.counts.entry(replica).or_insert(0);
+        *c += by;
+        GCounter { counts: BTreeMap::from([(replica, *c)]) }
+    }
+
+    /// The counter's value: the sum of every replica's tally.
+    pub fn value(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// One replica's tally.
+    pub fn tally(&self, replica: u64) -> u64 {
+        self.counts.get(&replica).copied().unwrap_or(0)
+    }
+}
+
+impl Crdt for GCounter {
+    fn merge(&mut self, other: &Self) {
+        for (&r, &n) in &other.counts {
+            let c = self.counts.entry(r).or_insert(0);
+            *c = (*c).max(n);
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.counts.len() * 16
+    }
+}
+
+impl DeltaCrdt for GCounter {
+    type Delta = GCounter;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.merge(delta);
+    }
+}
+
+/// An up-down counter: two [`GCounter`]s, one for increments and one for
+/// decrements. The value may be read while concurrent decrements race —
+/// bounding that race against real stock is what
+/// `inventory`'s escrow wrapper is for (§5.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PNCounter {
+    incs: GCounter,
+    decs: GCounter,
+}
+
+impl PNCounter {
+    /// The zero counter.
+    pub fn new() -> Self {
+        PNCounter::default()
+    }
+
+    /// Add `delta` (of either sign) at `replica`, returning the delta
+    /// state to ship.
+    pub fn add(&mut self, replica: u64, delta: i64) -> PNCounter {
+        if delta >= 0 {
+            PNCounter { incs: self.incs.inc(replica, delta as u64), decs: GCounter::new() }
+        } else {
+            PNCounter { incs: GCounter::new(), decs: self.decs.inc(replica, delta.unsigned_abs()) }
+        }
+    }
+
+    /// The counter's value: total increments minus total decrements.
+    pub fn value(&self) -> i64 {
+        self.incs.value() as i64 - self.decs.value() as i64
+    }
+}
+
+impl Crdt for PNCounter {
+    fn merge(&mut self, other: &Self) {
+        self.incs.merge(&other.incs);
+        self.decs.merge(&other.decs);
+    }
+
+    fn wire_size(&self) -> usize {
+        self.incs.wire_size() + self.decs.wire_size()
+    }
+}
+
+impl DeltaCrdt for PNCounter {
+    type Delta = PNCounter;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.merge(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcounter_sums_across_replicas() {
+        let mut a = GCounter::new();
+        a.inc(1, 5);
+        let mut b = GCounter::new();
+        b.inc(2, 3);
+        a.merge(&b);
+        assert_eq!(a.value(), 8);
+        assert_eq!(a.tally(1), 5);
+        a.merge(&b); // idempotent
+        assert_eq!(a.value(), 8);
+    }
+
+    #[test]
+    fn gcounter_deltas_reproduce_the_mutation() {
+        let mut full = GCounter::new();
+        let mut mirror = GCounter::new();
+        for by in [1, 4, 2] {
+            let delta = full.inc(9, by);
+            mirror.apply_delta(&delta);
+        }
+        assert_eq!(mirror, full);
+        assert_eq!(mirror.value(), 7);
+    }
+
+    #[test]
+    fn gcounter_merge_takes_pointwise_max_not_sum() {
+        let mut a = GCounter::new();
+        a.inc(1, 10);
+        let mut stale = GCounter::new();
+        stale.inc(1, 4); // an old view of replica 1
+        a.merge(&stale);
+        assert_eq!(a.value(), 10, "merging a stale tally must not add");
+    }
+
+    #[test]
+    fn pncounter_goes_both_ways_and_deltas_converge() {
+        let mut a = PNCounter::new();
+        let mut b = PNCounter::new();
+        let d1 = a.add(1, 10);
+        let d2 = a.add(1, -3);
+        b.apply_delta(&d1);
+        b.apply_delta(&d2);
+        assert_eq!(a.value(), 7);
+        assert_eq!(b, a);
+        let d3 = b.add(2, -20);
+        a.apply_delta(&d3);
+        assert_eq!(a.value(), -13);
+    }
+}

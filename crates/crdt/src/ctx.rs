@@ -1,0 +1,168 @@
+//! Dots and causal contexts: the bookkeeping that makes observed-remove
+//! semantics possible.
+//!
+//! A [`Dot`] is one write event, named by `(replica, counter)` — a
+//! uniquifier (§5.4) specialized to CRDT internals. A [`DotContext`] is a
+//! *set of dots* a replica has observed, stored compactly: a per-replica
+//! contiguous prefix (the "compact clock") plus a cloud of out-of-order
+//! stragglers that folds into the prefix as gaps fill. Dot-store CRDTs
+//! ([`crate::MVRegister`], [`crate::ORSet`]) pair live dots with a
+//! context of *everything ever seen*, so a merge can distinguish "you
+//! haven't seen this add yet" (keep it) from "you saw it and removed it"
+//! (drop it) — the distinction the §6.4 shopping-cart anomaly turns on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One write event: `counter`-th write by `replica`. Totally ordered
+/// (by replica, then counter) so dot stores have a canonical layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dot {
+    /// The replica that minted the dot.
+    pub replica: u64,
+    /// 1-based sequence number within that replica.
+    pub counter: u64,
+}
+
+impl Dot {
+    /// Construct a dot.
+    pub fn new(replica: u64, counter: u64) -> Self {
+        Dot { replica, counter }
+    }
+}
+
+/// A compactly-stored set of observed [`Dot`]s.
+///
+/// Invariant: `clock[r] = n` means every dot `(r, 1..=n)` is in the set;
+/// `cloud` holds only dots beyond their replica's contiguous prefix and
+/// is re-compacted after every mutation, so equal dot sets always
+/// compare equal structurally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DotContext {
+    clock: BTreeMap<u64, u64>,
+    cloud: BTreeSet<Dot>,
+}
+
+impl DotContext {
+    /// The empty context.
+    pub fn new() -> Self {
+        DotContext::default()
+    }
+
+    /// True if `dot` has been observed.
+    pub fn contains(&self, dot: &Dot) -> bool {
+        self.clock.get(&dot.replica).copied().unwrap_or(0) >= dot.counter
+            || self.cloud.contains(dot)
+    }
+
+    /// Mint the next dot for `replica` and record it as observed. Only
+    /// the replica itself mints its dots, so they are always contiguous
+    /// locally and land directly in the compact clock.
+    pub fn next_dot(&mut self, replica: u64) -> Dot {
+        let c = self.clock.entry(replica).or_insert(0);
+        *c += 1;
+        Dot { replica, counter: *c }
+    }
+
+    /// Record an observed dot (possibly out of order).
+    pub fn insert(&mut self, dot: Dot) {
+        if !self.contains(&dot) {
+            self.cloud.insert(dot);
+            self.compact();
+        }
+    }
+
+    /// Union with another context (the join of two observation sets).
+    pub fn join(&mut self, other: &DotContext) {
+        for (&r, &n) in &other.clock {
+            let c = self.clock.entry(r).or_insert(0);
+            *c = (*c).max(n);
+        }
+        self.cloud.extend(other.cloud.iter().copied());
+        self.compact();
+    }
+
+    /// Fold cloud dots that now extend a contiguous prefix into the
+    /// compact clock, and drop cloud dots the clock already covers. One
+    /// ordered pass suffices: the cloud is sorted by (replica, counter),
+    /// so each replica's stragglers are visited in ascending order.
+    fn compact(&mut self) {
+        let cloud = std::mem::take(&mut self.cloud);
+        for dot in cloud {
+            let seen = self.clock.get(&dot.replica).copied().unwrap_or(0);
+            if dot.counter == seen + 1 {
+                self.clock.insert(dot.replica, dot.counter);
+            } else if dot.counter > seen {
+                self.cloud.insert(dot);
+            }
+        }
+    }
+
+    /// Estimated serialized size: 16 bytes per clock entry and per cloud
+    /// dot.
+    pub fn wire_size(&self) -> usize {
+        (self.clock.len() + self.cloud.len()) * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_dot_is_contiguous_per_replica() {
+        let mut ctx = DotContext::new();
+        assert_eq!(ctx.next_dot(7), Dot::new(7, 1));
+        assert_eq!(ctx.next_dot(7), Dot::new(7, 2));
+        assert_eq!(ctx.next_dot(3), Dot::new(3, 1));
+        assert!(ctx.contains(&Dot::new(7, 2)));
+        assert!(!ctx.contains(&Dot::new(7, 3)));
+    }
+
+    #[test]
+    fn out_of_order_inserts_compact_when_the_gap_fills() {
+        let mut ctx = DotContext::new();
+        ctx.insert(Dot::new(1, 3));
+        ctx.insert(Dot::new(1, 2));
+        assert!(ctx.contains(&Dot::new(1, 2)));
+        assert!(!ctx.contains(&Dot::new(1, 1)));
+        // Cloud holds two stragglers: 16 bytes each, no clock entry yet.
+        assert_eq!(ctx.wire_size(), 32);
+        ctx.insert(Dot::new(1, 1));
+        // 1,2,3 collapse into one clock entry.
+        assert_eq!(ctx.wire_size(), 16);
+        assert!(ctx.contains(&Dot::new(1, 3)));
+    }
+
+    #[test]
+    fn join_unions_observations() {
+        let mut a = DotContext::new();
+        a.next_dot(1);
+        a.next_dot(1);
+        let mut b = DotContext::new();
+        b.next_dot(2);
+        b.insert(Dot::new(1, 3));
+        a.join(&b);
+        assert!(a.contains(&Dot::new(1, 3)), "gap 1..=2 filled by a's own prefix");
+        assert!(a.contains(&Dot::new(2, 1)));
+        // Fully compact: two clock entries, empty cloud.
+        assert_eq!(a.wire_size(), 32);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_commutative() {
+        let mut a = DotContext::new();
+        a.next_dot(1);
+        a.insert(Dot::new(3, 9));
+        let mut b = DotContext::new();
+        b.next_dot(2);
+        b.insert(Dot::new(3, 2));
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.join(&b);
+        assert_eq!(abb, ab);
+    }
+}

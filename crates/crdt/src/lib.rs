@@ -1,0 +1,204 @@
+//! Delta-state CRDTs: the paper's ACID 2.0 (§8) made first-class.
+//!
+//! §6 of *Building on Quicksand* argues that once a system accepts work
+//! on both sides of a partition, the only durable discipline is state
+//! whose merge is **A**ssociative, **C**ommutative, **I**dempotent, and
+//! **D**istributed. The rest of this workspace hand-rolls that
+//! discipline in several places — the cart's op-log union, the bank's
+//! ledger, Dynamo's vector clocks. This crate extracts the pattern into
+//! a trait pair and a menagerie of standard conflict-free replicated
+//! data types:
+//!
+//! - [`Crdt`] — a join-semilattice: `merge` is the lattice join.
+//! - [`DeltaCrdt`] — the delta-state refinement (Almeida et al.): every
+//!   mutator returns a small *delta* in the same lattice, so
+//!   anti-entropy can ship recent fragments instead of whole states.
+//! - [`GCounter`], [`PNCounter`] — grow-only / up-down counters (§6.2's
+//!   "accounting is done with operations, not states").
+//! - [`LWWRegister`] — last-writer-wins, the *lossy* merge the paper
+//!   warns about: commutative because it discards.
+//! - [`MVRegister`] — multi-value register; keeps every concurrent
+//!   write, exactly Dynamo's sibling semantics in miniature.
+//! - [`ORSet`] — the add-wins observed-remove set that fixes the §6.4
+//!   reappearing-delete anomaly: a remove only kills the add *instances*
+//!   it observed, so replaying history in a different order cannot
+//!   resurrect a deleted item.
+//! - [`Replicated`] — a generic sim actor that replicates any
+//!   [`DeltaCrdt`] by periodic delta-shipping anti-entropy with
+//!   full-state fallback, instrumented with spans and bytes-on-wire
+//!   metrics.
+//!
+//! The merge laws themselves are checkable: [`check_merge_laws`] takes
+//! sample states and verifies commutativity, associativity, and
+//! idempotence — the property tests run it over every type here, plus
+//! `dynamo::VectorClock` and `quicksand_core::op::OpLog`.
+
+#![forbid(unsafe_code)]
+
+pub mod ctx;
+pub mod harness;
+pub mod orset;
+pub mod registers;
+pub mod replicated;
+
+mod counters;
+
+pub use counters::{GCounter, PNCounter};
+pub use ctx::{Dot, DotContext};
+pub use harness::{run_orset_replication, ReplicationReport, ReplicationScenario};
+pub use orset::ORSet;
+pub use registers::{LWWRegister, MVRegister};
+pub use replicated::{CrdtMsg, Mutator, Replicated, ReplicatedConfig, ShipMode};
+
+use quicksand_core::op::{OpLog, Operation};
+
+/// A state-based CRDT: a join-semilattice whose [`Crdt::merge`] is the
+/// lattice join.
+///
+/// Implementations must satisfy the ACID 2.0 merge laws (§8):
+///
+/// - **commutative** — `a ⊔ b == b ⊔ a`
+/// - **associative** — `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)`
+/// - **idempotent** — `a ⊔ a == a`
+///
+/// which together make replication order- and duplication-proof: any
+/// gossip schedule that eventually delivers everything converges every
+/// replica to the same state. [`check_merge_laws`] verifies the laws
+/// over concrete samples.
+pub trait Crdt: Clone + std::fmt::Debug {
+    /// Join `other` into `self` (the lattice least upper bound).
+    fn merge(&mut self, other: &Self);
+
+    /// Estimated serialized size in bytes. The workspace has no real
+    /// serializer, so anti-entropy accounting (bytes-on-wire metrics)
+    /// uses this structural estimate instead.
+    fn wire_size(&self) -> usize;
+
+    /// Owning variant of [`Crdt::merge`], convenient in folds.
+    fn joined(mut self, other: &Self) -> Self
+    where
+        Self: Sized,
+    {
+        self.merge(other);
+        self
+    }
+}
+
+/// A delta-state CRDT (Almeida et al., *Approaches to Conflict-free
+/// Replicated Data Types*): mutators return **deltas** — small states in
+/// the same (or a compatible) lattice — such that applying the delta to
+/// the pre-state reproduces the mutation. Replicas buffer the deltas
+/// they originate and ship joined *delta groups* instead of full states;
+/// [`Replicated`] implements that protocol.
+pub trait DeltaCrdt: Crdt + Default {
+    /// The type of delta fragments. For every type in this crate the
+    /// delta lattice is the state lattice itself (`Delta = Self`), the
+    /// common case in the literature.
+    type Delta: Crdt + Default;
+
+    /// Apply a delta produced by a mutator (possibly on another
+    /// replica). Must equal the lattice join when `Delta = Self`.
+    fn apply_delta(&mut self, delta: &Self::Delta);
+}
+
+/// Verify the ACID 2.0 merge laws over concrete samples. Returns the
+/// first violated law as an error message naming the offending indices.
+///
+/// Checks every ordered pair for commutativity, every pair for
+/// idempotent re-merge (`(a ⊔ b) ⊔ b == a ⊔ b`, which subsumes
+/// `a ⊔ a == a`), and — bounded to the first 8 samples to keep property
+/// tests fast — every triple for associativity.
+pub fn check_merge_laws<C: Crdt + PartialEq>(samples: &[C]) -> Result<(), String> {
+    for (i, a) in samples.iter().enumerate() {
+        let aa = a.clone().joined(a);
+        if aa != *a {
+            return Err(format!("idempotence violated: sample {i} ⊔ itself changed it"));
+        }
+        for (j, b) in samples.iter().enumerate() {
+            let ab = a.clone().joined(b);
+            let ba = b.clone().joined(a);
+            if ab != ba {
+                return Err(format!("commutativity violated for samples ({i}, {j})"));
+            }
+            let abb = ab.clone().joined(b);
+            if abb != ab {
+                return Err(format!("idempotent re-merge violated for samples ({i}, {j})"));
+            }
+        }
+    }
+    let bound = samples.len().min(8);
+    for (i, a) in samples[..bound].iter().enumerate() {
+        for (j, b) in samples[..bound].iter().enumerate() {
+            for (k, c) in samples[..bound].iter().enumerate() {
+                let left = a.clone().joined(b).joined(c);
+                let right = a.clone().joined(&b.clone().joined(c));
+                if left != right {
+                    return Err(format!("associativity violated for samples ({i}, {j}, {k})"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The op-log (§6.5) *is* a CRDT: merge is set union keyed by
+/// uniquifier, which is commutative, associative, and idempotent — the
+/// original ACID 2.0 structure in the workspace. This impl lets op-log
+/// values flow through generic CRDT machinery (e.g. Dynamo sibling
+/// squashing) unchanged.
+impl<O: Operation + std::fmt::Debug> Crdt for OpLog<O> {
+    fn merge(&mut self, other: &Self) {
+        OpLog::merge(self, other);
+    }
+
+    fn wire_size(&self) -> usize {
+        // 16 bytes of uniquifier plus a nominal 16-byte payload per op.
+        self.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn law_checker_accepts_a_real_lattice() {
+        let mut a = GCounter::new();
+        a.inc(1, 3);
+        let mut b = GCounter::new();
+        b.inc(2, 5);
+        let mut c = a.clone();
+        c.inc(2, 1);
+        check_merge_laws(&[GCounter::new(), a, b, c]).unwrap();
+    }
+
+    #[test]
+    fn law_checker_rejects_a_non_idempotent_merge() {
+        // A counter whose "merge" adds is commutative + associative but
+        // not idempotent — the classic ACID 2.0 mistake.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Summing(u64);
+        impl Crdt for Summing {
+            fn merge(&mut self, other: &Self) {
+                self.0 += other.0;
+            }
+            fn wire_size(&self) -> usize {
+                8
+            }
+        }
+        let err = check_merge_laws(&[Summing(1), Summing(2)]).unwrap_err();
+        assert!(err.contains("idempotence"), "{err}");
+    }
+
+    #[test]
+    fn oplog_merges_as_a_crdt() {
+        use quicksand_core::acid2::examples::CounterAdd;
+        let mut a: OpLog<CounterAdd> = OpLog::new();
+        let mut b: OpLog<CounterAdd> = OpLog::new();
+        a.record(CounterAdd::new(1, 10));
+        b.record(CounterAdd::new(2, -4));
+        Crdt::merge(&mut a, &b);
+        assert_eq!(a.materialize(), 6);
+        assert!(a.wire_size() >= 2 * 32);
+    }
+}

@@ -1,0 +1,208 @@
+//! The add-wins observed-remove set: the CRDT answer to the §6.4
+//! reappearing-delete anomaly.
+//!
+//! The paper's cart stores the *set of operations* and replays them in
+//! canonical order, which means a remove can sort before the very add it
+//! was deleting — and the item reappears. The OR-Set fixes the root
+//! cause: each add mints a fresh [`Dot`], and a remove deletes exactly
+//! the dots the remover *observed*. A concurrent add the remover never
+//! saw keeps its dot and survives (add-wins); a re-ordered replay cannot
+//! resurrect anything because membership is decided by dot bookkeeping,
+//! not by replay order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+use crate::ctx::{Dot, DotContext};
+use crate::{Crdt, DeltaCrdt};
+
+/// An add-wins observed-remove set over elements `E`.
+///
+/// Each present element carries the set of live dots (add instances) that
+/// justify its membership; the causal context records every dot ever
+/// observed, so merges can tell "not yet seen" from "seen and removed".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ORSet<E: Ord> {
+    entries: BTreeMap<E, BTreeSet<Dot>>,
+    ctx: DotContext,
+}
+
+impl<E: Ord> Default for ORSet<E> {
+    fn default() -> Self {
+        ORSet { entries: BTreeMap::new(), ctx: DotContext::new() }
+    }
+}
+
+impl<E: Ord + Clone + Debug> ORSet<E> {
+    /// The empty set.
+    pub fn new() -> Self {
+        ORSet { entries: BTreeMap::new(), ctx: DotContext::new() }
+    }
+
+    /// Add `element` at `replica`, returning the delta. The fresh dot
+    /// supersedes the element's previously-observed dots (re-adding is
+    /// also a local coalesce), and the delta's context covers them so
+    /// receivers drop them as well.
+    pub fn insert(&mut self, replica: u64, element: E) -> ORSet<E> {
+        let dot = self.ctx.next_dot(replica);
+        let mut delta = ORSet::new();
+        delta.ctx.insert(dot);
+        if let Some(old) = self.entries.insert(element.clone(), BTreeSet::from([dot])) {
+            for od in old {
+                delta.ctx.insert(od);
+            }
+        }
+        delta.entries.insert(element, BTreeSet::from([dot]));
+        delta
+    }
+
+    /// Remove `element`, returning the delta: no live dots, just a
+    /// context covering the observed add instances. Removing an element
+    /// that is not present observed nothing, so the delta is empty and
+    /// remote replicas are untouched — a blind delete cannot destroy an
+    /// add it never saw.
+    pub fn remove(&mut self, element: &E) -> ORSet<E> {
+        let mut delta = ORSet::new();
+        if let Some(dots) = self.entries.remove(element) {
+            for d in dots {
+                delta.ctx.insert(d);
+            }
+        }
+        delta
+    }
+
+    /// True if `element` is present.
+    pub fn contains(&self, element: &E) -> bool {
+        self.entries.contains_key(element)
+    }
+
+    /// Iterate the present elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.entries.keys()
+    }
+
+    /// The present elements, in order.
+    pub fn elements(&self) -> Vec<E> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of present elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<E: Ord + Clone + Debug> Crdt for ORSet<E> {
+    fn merge(&mut self, other: &Self) {
+        // Per-element dot-store join: a dot survives if both sides hold
+        // it, or one side holds it and the other's context never saw it.
+        self.entries.retain(|e, dots| {
+            let empty = BTreeSet::new();
+            let theirs = other.entries.get(e).unwrap_or(&empty);
+            dots.retain(|d| theirs.contains(d) || !other.ctx.contains(d));
+            !dots.is_empty()
+        });
+        for (e, theirs) in &other.entries {
+            let mine = self.entries.entry(e.clone()).or_default();
+            for d in theirs {
+                if !mine.contains(d) && !self.ctx.contains(d) {
+                    mine.insert(*d);
+                }
+            }
+            if mine.is_empty() {
+                self.entries.remove(e);
+            }
+        }
+        self.ctx.join(&other.ctx);
+    }
+
+    fn wire_size(&self) -> usize {
+        let entry_bytes: usize =
+            self.entries.values().map(|dots| std::mem::size_of::<E>() + dots.len() * 16).sum();
+        entry_bytes + self.ctx.wire_size()
+    }
+}
+
+impl<E: Ord + Clone + Debug> DeltaCrdt for ORSet<E> {
+    type Delta = ORSet<E>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.merge(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_remove_is_empty_and_deltas_replicate_it() {
+        let mut a: ORSet<u64> = ORSet::new();
+        let mut b: ORSet<u64> = ORSet::new();
+        let d1 = a.insert(1, 42);
+        b.apply_delta(&d1);
+        assert!(b.contains(&42));
+        let d2 = a.remove(&42);
+        b.apply_delta(&d2);
+        assert!(!a.contains(&42));
+        assert!(b.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_add_wins_over_remove() {
+        let mut a: ORSet<u64> = ORSet::new();
+        a.insert(1, 7);
+        let mut b = a.clone();
+        // a removes the instance it observed; b concurrently re-adds.
+        a.remove(&7);
+        b.insert(2, 7);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(merged.contains(&7), "the unobserved add survives");
+        // The removed instance itself stays dead.
+        let mut from_b = b.clone();
+        from_b.merge(&a);
+        assert_eq!(merged, from_b);
+    }
+
+    #[test]
+    fn observed_remove_kills_every_observed_instance() {
+        let mut a: ORSet<u64> = ORSet::new();
+        let mut b: ORSet<u64> = ORSet::new();
+        let da = a.insert(1, 5);
+        let db = b.insert(2, 5);
+        a.apply_delta(&db);
+        b.apply_delta(&da);
+        // a has observed both add instances; its remove kills both.
+        let rm = a.remove(&5);
+        b.apply_delta(&rm);
+        assert!(!a.contains(&5));
+        assert!(!b.contains(&5));
+    }
+
+    #[test]
+    fn blind_remove_is_a_noop_everywhere() {
+        let mut a: ORSet<u64> = ORSet::new();
+        let mut b: ORSet<u64> = ORSet::new();
+        b.insert(2, 9);
+        let rm = a.remove(&9); // a never saw the add
+        b.apply_delta(&rm);
+        assert!(b.contains(&9), "a remove cannot delete what it never observed");
+    }
+
+    #[test]
+    fn readd_after_remove_comes_back() {
+        let mut a: ORSet<&str> = ORSet::new();
+        a.insert(1, "milk");
+        a.remove(&"milk");
+        a.insert(1, "milk");
+        assert!(a.contains(&"milk"));
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Replicated registers: two answers to "WRITE is not commutative"
+//! (§6.4).
+//!
+//! [`LWWRegister`] makes writes commute by *discarding* — the merge
+//! keeps whichever write carries the larger timestamp, silently losing
+//! the other. That is exactly the lossy behaviour the paper warns
+//! against for business data, but it is cheap and sometimes right
+//! (caches, presence flags). [`MVRegister`] makes the loss visible
+//! instead: concurrent writes are all kept, and the reader sees the
+//! set of siblings — Dynamo's reconciliation semantics as a single
+//! register.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+use crate::ctx::{Dot, DotContext};
+use crate::{Crdt, DeltaCrdt};
+
+/// Last-writer-wins register: the merge keeps the write with the
+/// largest `(timestamp, replica)` pair. Ties on timestamp break by
+/// replica id, so the merge stays deterministic and commutative.
+///
+/// The `(timestamp, replica)` pair is the total order, so it must name
+/// a unique write: a replica that reuses a timestamp for two different
+/// values breaks commutativity (whichever value merges second sticks).
+/// Keep per-replica timestamps monotonic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LWWRegister<T> {
+    slot: Option<(u64, u64, T)>,
+}
+
+impl<T> Default for LWWRegister<T> {
+    fn default() -> Self {
+        LWWRegister { slot: None }
+    }
+}
+
+impl<T: Clone + Debug> LWWRegister<T> {
+    /// The empty register.
+    pub fn new() -> Self {
+        LWWRegister { slot: None }
+    }
+
+    /// Write `value` at `(timestamp, replica)`, returning the delta. A
+    /// write that loses to the current contents still returns a delta
+    /// (shipping it is harmless: merges discard it everywhere).
+    pub fn write(&mut self, timestamp: u64, replica: u64, value: T) -> LWWRegister<T> {
+        let delta = LWWRegister { slot: Some((timestamp, replica, value)) };
+        self.merge(&delta);
+        delta
+    }
+
+    /// The current value, if any write has been observed.
+    pub fn get(&self) -> Option<&T> {
+        self.slot.as_ref().map(|(_, _, v)| v)
+    }
+
+    /// The `(timestamp, replica)` of the winning write.
+    pub fn version(&self) -> Option<(u64, u64)> {
+        self.slot.as_ref().map(|(t, r, _)| (*t, *r))
+    }
+}
+
+impl<T: Clone + Debug> Crdt for LWWRegister<T> {
+    fn merge(&mut self, other: &Self) {
+        let wins = match (&self.slot, &other.slot) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some((t, r, _)), Some((ot, or, _))) => (ot, or) > (t, r),
+        };
+        if wins {
+            self.slot.clone_from(&other.slot);
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match &self.slot {
+            None => 1,
+            Some(_) => 16 + std::mem::size_of::<T>(),
+        }
+    }
+}
+
+impl<T: Clone + Debug> DeltaCrdt for LWWRegister<T> {
+    type Delta = LWWRegister<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.merge(delta);
+    }
+}
+
+/// Multi-value register: a dot store pairing each live write with the
+/// [`Dot`] that named it, plus a causal context of everything observed.
+/// A write supersedes the writes its replica had seen; writes it had
+/// *not* seen survive the merge as siblings, so concurrency is surfaced
+/// to the reader instead of being silently resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MVRegister<T> {
+    vals: BTreeMap<Dot, T>,
+    ctx: DotContext,
+}
+
+impl<T> Default for MVRegister<T> {
+    fn default() -> Self {
+        MVRegister { vals: BTreeMap::new(), ctx: DotContext::new() }
+    }
+}
+
+impl<T: Clone + Debug> MVRegister<T> {
+    /// The empty register.
+    pub fn new() -> Self {
+        MVRegister { vals: BTreeMap::new(), ctx: DotContext::new() }
+    }
+
+    /// Write `value` at `replica`, superseding every value this replica
+    /// has observed. Returns the delta (the new dot plus a context
+    /// covering the superseded dots, so receivers drop them too).
+    pub fn write(&mut self, replica: u64, value: T) -> MVRegister<T> {
+        let dot = self.ctx.next_dot(replica);
+        let mut delta = MVRegister::new();
+        for old in self.vals.keys() {
+            delta.ctx.insert(*old);
+        }
+        delta.ctx.insert(dot);
+        delta.vals.insert(dot, value.clone());
+        self.vals.clear();
+        self.vals.insert(dot, value);
+        delta
+    }
+
+    /// The surviving values (siblings), in dot order. One entry means no
+    /// unresolved concurrency.
+    pub fn values(&self) -> Vec<&T> {
+        self.vals.values().collect()
+    }
+
+    /// Number of surviving siblings.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if no write has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+/// The dot-store join shared by [`MVRegister`] and [`crate::ORSet`]:
+/// keep a dot if both sides have it, or if one side has it and the
+/// *other side's context has never seen it* (a write still in flight).
+/// A dot one side lacks but whose context covers it was seen and
+/// superseded — drop it.
+fn join_dot_store<T: Clone>(
+    a: &mut BTreeMap<Dot, T>,
+    actx: &DotContext,
+    b: &BTreeMap<Dot, T>,
+    bctx: &DotContext,
+) {
+    a.retain(|dot, _| b.contains_key(dot) || !bctx.contains(dot));
+    for (dot, v) in b {
+        if !a.contains_key(dot) && !actx.contains(dot) {
+            a.insert(*dot, v.clone());
+        }
+    }
+}
+
+impl<T: Clone + Debug> Crdt for MVRegister<T> {
+    fn merge(&mut self, other: &Self) {
+        join_dot_store(&mut self.vals, &self.ctx, &other.vals, &other.ctx);
+        self.ctx.join(&other.ctx);
+    }
+
+    fn wire_size(&self) -> usize {
+        self.vals.len() * (16 + std::mem::size_of::<T>()) + self.ctx.wire_size()
+    }
+}
+
+impl<T: Clone + Debug> DeltaCrdt for MVRegister<T> {
+    type Delta = MVRegister<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.merge(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lww_keeps_the_latest_write() {
+        let mut a: LWWRegister<&str> = LWWRegister::new();
+        let mut b = a.clone();
+        let d1 = a.write(10, 1, "early");
+        let d2 = b.write(20, 2, "late");
+        a.apply_delta(&d2);
+        b.apply_delta(&d1);
+        assert_eq!(a.get(), Some(&"late"));
+        assert_eq!(a, b, "order of delta arrival must not matter");
+        assert_eq!(a.version(), Some((20, 2)));
+    }
+
+    #[test]
+    fn lww_breaks_timestamp_ties_by_replica() {
+        let mut a: LWWRegister<u32> = LWWRegister::new();
+        let mut b: LWWRegister<u32> = LWWRegister::new();
+        a.write(5, 1, 111);
+        b.write(5, 2, 222);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(), Some(&222), "higher replica id wins the tie");
+    }
+
+    #[test]
+    fn mv_register_keeps_concurrent_writes_as_siblings() {
+        let mut a: MVRegister<&str> = MVRegister::new();
+        let mut b: MVRegister<&str> = MVRegister::new();
+        a.write(1, "left");
+        b.write(2, "right");
+        a.merge(&b);
+        assert_eq!(a.len(), 2, "concurrent writes both survive");
+        let mut vs = a.values();
+        vs.sort();
+        assert_eq!(vs, vec![&"left", &"right"]);
+    }
+
+    #[test]
+    fn mv_register_write_supersedes_observed_siblings() {
+        let mut a: MVRegister<&str> = MVRegister::new();
+        let mut b: MVRegister<&str> = MVRegister::new();
+        a.write(1, "left");
+        b.write(2, "right");
+        a.merge(&b);
+        // a has seen both; its next write resolves the conflict...
+        let resolve = a.write(1, "merged");
+        assert_eq!(a.values(), vec![&"merged"]);
+        // ...and shipping the delta resolves it at b, too.
+        b.apply_delta(&resolve);
+        assert_eq!(b.values(), vec![&"merged"]);
+    }
+}

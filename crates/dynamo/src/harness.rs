@@ -33,6 +33,27 @@ pub fn build_cluster<V: Clone + std::fmt::Debug + 'static>(
     Cluster { stores, ring }
 }
 
+/// Like [`build_cluster`], but the stored value is a [`crdt::Crdt`] and
+/// every node squashes concurrent siblings server-side (see
+/// [`StoreNode::with_sibling_squash`]): GETs return a single joined
+/// version instead of a sibling set, and anti-entropy carries squashed
+/// slots. Sound because the merge laws (§8) make the join lossless.
+pub fn build_crdt_cluster<V: crdt::Crdt + 'static>(
+    sim: &mut Simulation<DynamoMsg<V>>,
+    n_stores: u32,
+    cfg: &DynamoConfig,
+) -> Cluster {
+    let ring = Ring::new(n_stores, cfg.vnodes);
+    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
+    for s in 0..n_stores {
+        let node =
+            StoreNode::<V>::new(s, ring.clone(), stores.clone(), cfg.clone()).with_sibling_squash();
+        let id = sim.add_node(node);
+        debug_assert_eq!(id, stores[s as usize]);
+    }
+    Cluster { stores, ring }
+}
+
 /// What a probe saw come back for one request.
 #[derive(Debug, Clone)]
 pub enum ProbeResult<V> {
@@ -321,6 +342,59 @@ mod tests {
         match p.result(1) {
             Some(ProbeResult::GetFailed) => {}
             other => panic!("isolated coordinator cannot reach R=2: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crdt_cluster_squashes_concurrent_siblings() {
+        use crdt::GCounter;
+        let mut sim: Simulation<DynamoMsg<GCounter>> = Simulation::new(8);
+        let c = build_crdt_cluster(&mut sim, 4, &DynamoConfig::default());
+        let probe = sim.add_node(Probe::<GCounter>::new());
+        // Two blind writers on different coordinators — with a plain
+        // cluster these surface as two siblings; here they squash.
+        let mut a = GCounter::new();
+        a.inc(1, 5);
+        let mut b = GCounter::new();
+        b.inc(2, 7);
+        for (req, coord, v) in [(1u64, 0usize, a), (2, 1, b)] {
+            sim.inject_at(
+                SimTime::from_millis(1),
+                c.stores[coord],
+                probe,
+                DynamoMsg::ClientPut {
+                    req,
+                    key: 7,
+                    value: v,
+                    context: VectorClock::new(),
+                    resp_to: probe,
+                },
+            );
+        }
+        sim.inject_at(
+            SimTime::from_millis(80),
+            c.stores[2],
+            probe,
+            DynamoMsg::ClientGet { req: 3, key: 7, resp_to: probe },
+        );
+        sim.run_until(SimTime::from_millis(150));
+        let p: &Probe<GCounter> = sim.actor(probe);
+        match p.result(3) {
+            Some(ProbeResult::GetOk(vs)) => {
+                assert_eq!(vs.len(), 1, "siblings must squash into one version: {vs:?}");
+                assert_eq!(vs[0].value.value(), 12, "the join keeps both tallies");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(sim.metrics().counter("dynamo.siblings_squashed") > 0);
+        // Convergence: after gossip every replica holds one squashed
+        // version with the full value.
+        sim.run_until(SimTime::from_secs(5));
+        for s in &c.stores {
+            let node: &StoreNode<GCounter> = sim.actor(*s);
+            let vs = node.versions(7);
+            assert_eq!(vs.len(), 1, "store {s} still holds siblings: {vs:?}");
+            assert_eq!(vs[0].value.value(), 12);
         }
     }
 

@@ -36,7 +36,7 @@ pub mod ring;
 pub mod vclock;
 pub mod version;
 
-pub use harness::{build_cluster, Cluster, Probe, ProbeResult};
+pub use harness::{build_cluster, build_crdt_cluster, Cluster, Probe, ProbeResult};
 pub use msg::DynamoMsg;
 pub use node::{DynamoConfig, GossipMode, StoreNode};
 pub use ring::Ring;

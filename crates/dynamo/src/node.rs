@@ -16,7 +16,7 @@ use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId, SpanStatus};
 
 use crate::msg::DynamoMsg;
 use crate::ring::Ring;
-use crate::vclock::StoreId;
+use crate::vclock::{StoreId, VectorClock};
 use crate::version::{merge_version, merge_versions, Dot, Versioned};
 
 /// How anti-entropy advertises state (the A3 ablation).
@@ -121,6 +121,12 @@ pub struct StoreNode<V> {
     /// coordinated here carry distinct clocks even when their causal
     /// contexts are identical. Modelled as durable alongside the store.
     events: u64,
+    /// When set (via [`StoreNode::with_sibling_squash`]), concurrent
+    /// siblings are joined with this function instead of accumulating —
+    /// server-side reconciliation, sound only for values whose merge is
+    /// ACID 2.0 (a `crdt::Crdt`). Stored as a plain fn pointer so the
+    /// node stays usable for arbitrary blob types.
+    merger: Option<fn(&mut V, &V)>,
 }
 
 impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
@@ -136,7 +142,46 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
             next_hint_id: 0,
             pending: HashMap::new(),
             events: 0,
+            merger: None,
         }
+    }
+
+    /// Enable automatic sibling squashing: the stored value is a
+    /// [`crdt::Crdt`], so whenever a slot accumulates concurrent
+    /// siblings the node joins them into a single version whose context
+    /// covers them all. The application never sees sibling sets; the
+    /// merge laws (§8) guarantee nothing is lost.
+    pub fn with_sibling_squash(mut self) -> Self
+    where
+        V: crdt::Crdt,
+    {
+        self.merger = Some(|acc, next| crdt::Crdt::merge(acc, next));
+        self
+    }
+
+    /// Join a multi-sibling slot into one version. The squashed version
+    /// gets a fresh dot minted here and a context covering every
+    /// sibling's effective clock, so it supersedes them wherever it
+    /// travels; repeated squashes at different nodes converge because
+    /// later squashes cover earlier squash dots.
+    fn maybe_squash(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, key: u64) {
+        let Some(merge) = self.merger else { return };
+        let Some(slot) = self.store.get_mut(&key) else { return };
+        if slot.len() < 2 {
+            return;
+        }
+        let mut context = VectorClock::new();
+        let mut value = slot[0].value.clone();
+        context = context.merged(&slot[0].effective_clock());
+        for v in &slot[1..] {
+            merge(&mut value, &v.value);
+            context = context.merged(&v.effective_clock());
+        }
+        let squashed = slot.len() as u64 - 1;
+        self.events = self.events.max(context.get(self.store_id)) + 1;
+        let dot = Dot { node: self.store_id, counter: self.events };
+        *slot = vec![Versioned::new(context, dot, value)];
+        ctx.metrics().add("dynamo.siblings_squashed", squashed);
     }
 
     /// The node's local sibling set for a key (inspection in tests).
@@ -240,7 +285,11 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
             }
         }
         merge_versions(self.store.entry(key).or_default(), &merged);
-        ctx.send(resp_to, DynamoMsg::GetOk { req, key, versions: merged });
+        self.maybe_squash(ctx, key);
+        // With squashing on, answer with the (single) squashed version
+        // rather than the raw quorum merge — a superset is always sound.
+        let reply = if self.merger.is_some() { self.versions(key).to_vec() } else { merged };
+        ctx.send(resp_to, DynamoMsg::GetOk { req, key, versions: reply });
         ctx.finish_span(span);
     }
 }
@@ -372,6 +421,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 // together, which is what keeps dot coverage sound (see
                 // the message's docs).
                 self.local_merge(key, version);
+                self.maybe_squash(ctx, key);
                 let versions = self.versions(key).to_vec();
                 let prefs = self.ring.preference_list(key, self.cfg.n);
                 for s in &prefs {
@@ -468,6 +518,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             // ----- replica duties -----
             DynamoMsg::ReplicaPut { req, key, versions, hint_for, resp_to } => {
                 merge_versions(self.store.entry(key).or_default(), &versions);
+                self.maybe_squash(ctx, key);
                 if let Some(intended) = hint_for {
                     if intended != self.store_id {
                         let hint_id = self.next_hint_id;
@@ -493,6 +544,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             }
             DynamoMsg::HintDeliver { hint_id, key, versions } => {
                 merge_versions(self.store.entry(key).or_default(), &versions);
+                self.maybe_squash(ctx, key);
                 ctx.send(from, DynamoMsg::HintAck { hint_id });
             }
             DynamoMsg::HintAck { hint_id } => {
@@ -504,6 +556,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             DynamoMsg::SyncPush { entries } => {
                 for (key, versions) in entries {
                     merge_versions(self.store.entry(key).or_default(), &versions);
+                    self.maybe_squash(ctx, key);
                 }
             }
             DynamoMsg::SyncDigest { entries, resp_to } => {

@@ -113,6 +113,20 @@ impl VectorClock {
     }
 }
 
+/// The vector clock is itself a join-semilattice — pointwise max — and
+/// so satisfies the ACID 2.0 merge laws. The property tests certify this
+/// through [`crdt::check_merge_laws`], the same harness the CRDT crate
+/// runs over its own types.
+impl crdt::Crdt for VectorClock {
+    fn merge(&mut self, other: &Self) {
+        *self = self.merged(other);
+    }
+
+    fn wire_size(&self) -> usize {
+        self.entries.len() * 12 // 4-byte store id + 8-byte counter
+    }
+}
+
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;

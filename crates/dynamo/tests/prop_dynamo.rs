@@ -27,6 +27,16 @@ proptest! {
         prop_assert_eq!(a.merged(&a), a);
     }
 
+    /// The vector clock certified through the CRDT crate's own law
+    /// checker — the same harness every `crdt` type passes — via its
+    /// retrofit `crdt::Crdt` impl.
+    #[test]
+    fn clock_passes_the_acid_2_0_law_checker(
+        a in clock_strategy(), b in clock_strategy(), c in clock_strategy()
+    ) {
+        crdt::check_merge_laws(&[a, b, c]).map_err(TestCaseError::Fail)?;
+    }
+
     #[test]
     fn merge_dominates_both_inputs(a in clock_strategy(), b in clock_strategy()) {
         let m = a.merged(&b);

@@ -11,12 +11,18 @@
 //! - [`stock`] — the over-provisioning / over-booking / sliding-policy
 //!   sweep (E10), plus the §7.2 forklift: reality breaks promises that
 //!   the bookkeeping kept perfectly.
+//! - [`pnstock`] — replicated stock as a CRDT: a [`crdt::PNCounter`]
+//!   tally whose committed movements replicate as deltas, bounded
+//!   locally by the §5.3 escrow watermarks so no replica promises units
+//!   it might not have.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod orders;
+pub mod pnstock;
 pub mod stock;
 
 pub use orders::{OrderResponse, Reconciliation, Warehouse, WAREHOUSE_NAMES};
+pub use pnstock::PnStock;
 pub use stock::{run_stock, StockConfig, StockPolicy, StockReport};

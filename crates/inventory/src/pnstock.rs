@@ -1,0 +1,189 @@
+//! Replicated stock as a CRDT, bounded by escrow (§5.3 ∘ §8).
+//!
+//! The paper's two disciplines for commutative counting meet here:
+//!
+//! - The [`EscrowCounter`] (§5.3 sidebar) is the **crisp, local** half:
+//!   it admits a pending stock movement only if the worst-case
+//!   watermark stays inside the business rule's `[min, max]` bounds, so
+//!   a replica can never locally promise units it might not have.
+//! - The [`PNCounter`] (§8's ACID 2.0 "associative, commutative,
+//!   idempotent" style) is the **replicated** half: each *committed*
+//!   net movement becomes a counter delta that other replicas absorb in
+//!   any order, any number of times, with the same result.
+//!
+//! Only committed effects replicate — an abort applies the inverse
+//! operation locally (operation logging) and never leaves the replica,
+//! exactly the separation §5.3 draws between pending and committed
+//! work. Each replica's escrow bounds *its own share* of stock; the
+//! merged counter reads the fleet-wide tally of every share every
+//! replica has heard about.
+
+use crdt::{Crdt, PNCounter};
+use quicksand_core::escrow::{EscrowCounter, EscrowError, TxnId};
+
+/// One replica's stock position: a locally-escrowed share plus the
+/// replicated fleet-wide tally.
+#[derive(Debug)]
+pub struct PnStock {
+    /// This replica's id in the counter's namespace.
+    replica: u64,
+    /// The replicated tally: every replica's committed net movements.
+    counter: PNCounter,
+    /// The local admission controller over this replica's share.
+    escrow: EscrowCounter,
+}
+
+impl PnStock {
+    /// A replica holding `share` units of its own, whose local share may
+    /// move within `[min, max]`. The share is seeded into the replicated
+    /// tally as this replica's contribution (so the fleet-wide value is
+    /// the sum of every replica's share).
+    ///
+    /// # Panics
+    /// Panics if `share` is outside `[min, max]` or `min > max` (the
+    /// escrow constructor's contract).
+    pub fn new(replica: u64, share: i64, min: i64, max: i64) -> Self {
+        let mut counter = PNCounter::new();
+        counter.add(replica, share);
+        PnStock { replica, counter, escrow: EscrowCounter::new(share, min, max) }
+    }
+
+    /// Open a local transaction.
+    pub fn begin(&mut self) -> TxnId {
+        self.escrow.begin()
+    }
+
+    /// Reserve a stock movement of `delta` under `txn`. Admitted iff the
+    /// escrow's worst-case watermark stays within bounds; a refusal
+    /// leaves no trace (retry after other transactions resolve).
+    pub fn reserve(&mut self, txn: TxnId, delta: i64) -> Result<(), EscrowError> {
+        self.escrow.reserve(txn, delta)
+    }
+
+    /// Commit `txn`. The transaction's net movement becomes permanent
+    /// locally *and* is minted as a counter delta for the rest of the
+    /// fleet to [`absorb`](Self::absorb) — idempotently, so shipping it
+    /// twice is harmless.
+    pub fn commit(&mut self, txn: TxnId) -> Result<PNCounter, EscrowError> {
+        let net = self.escrow.commit(txn)?;
+        Ok(self.counter.add(self.replica, net))
+    }
+
+    /// Abort `txn`: the escrow applies the inverse operations and the
+    /// reserved headroom returns. Nothing replicates — pending work
+    /// never left this replica.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), EscrowError> {
+        self.escrow.abort(txn)
+    }
+
+    /// Absorb a counter delta (or a peer's whole counter — same type,
+    /// same join) into the replicated tally.
+    pub fn absorb(&mut self, delta: &PNCounter) {
+        self.counter.merge(delta);
+    }
+
+    /// The replicated tally this replica can ship to a peer wholesale
+    /// (full-state fallback).
+    pub fn tally(&self) -> &PNCounter {
+        &self.counter
+    }
+
+    /// The fleet-wide stock as far as this replica knows.
+    pub fn fleet_value(&self) -> i64 {
+        self.counter.value()
+    }
+
+    /// This replica's committed local share.
+    pub fn local_committed(&self) -> i64 {
+        self.escrow.committed()
+    }
+
+    /// The escrow's pessimistic low watermark (all pending decrements
+    /// commit, all pending increments abort).
+    pub fn low_watermark(&self) -> i64 {
+        self.escrow.low_watermark()
+    }
+
+    /// The escrow's optimistic high watermark.
+    pub fn high_watermark(&self) -> i64 {
+        self.escrow.high_watermark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_movements_replicate_and_converge() {
+        let mut a = PnStock::new(1, 100, 0, 500);
+        let mut b = PnStock::new(2, 100, 0, 500);
+        // Seed exchange: each learns the other's share.
+        a.absorb(b.tally());
+        b.absorb(a.tally());
+        assert_eq!(a.fleet_value(), 200);
+
+        let ta = a.begin();
+        a.reserve(ta, -30).unwrap();
+        let da = a.commit(ta).unwrap();
+        let tb = b.begin();
+        b.reserve(tb, 10).unwrap();
+        let db = b.commit(tb).unwrap();
+
+        // Deltas cross in both orders; both replicas converge.
+        b.absorb(&da);
+        a.absorb(&db);
+        assert_eq!(a.fleet_value(), 180);
+        assert_eq!(b.fleet_value(), 180);
+        assert_eq!(a.local_committed(), 70);
+        assert_eq!(b.local_committed(), 110);
+    }
+
+    #[test]
+    fn absorbing_a_delta_twice_is_idempotent() {
+        let mut a = PnStock::new(1, 50, 0, 100);
+        let mut b = PnStock::new(2, 50, 0, 100);
+        let t = a.begin();
+        a.reserve(t, -20).unwrap();
+        let d = a.commit(t).unwrap();
+        b.absorb(&d);
+        b.absorb(&d); // a re-delivered delta changes nothing
+        b.absorb(a.tally()); // nor does the full state it came from
+        assert_eq!(b.fleet_value(), 50 - 20 + 50);
+    }
+
+    #[test]
+    fn escrow_watermarks_bound_the_counter_locally() {
+        let mut s = PnStock::new(1, 10, 0, 100);
+        let t1 = s.begin();
+        let t2 = s.begin();
+        s.reserve(t1, -8).unwrap();
+        // t2's decrement MIGHT overdraw the share given t1's pending
+        // work: refused crisply, before anything replicates.
+        let err = s.reserve(t2, -8).unwrap_err();
+        assert!(matches!(err, EscrowError::WouldExceedBounds { bound: 0, .. }));
+        assert_eq!(s.low_watermark(), 2);
+        // The counter still reads the un-committed share: pending work
+        // is local bookkeeping, not replicated state.
+        assert_eq!(s.fleet_value(), 10);
+        s.commit(t1).unwrap();
+        s.abort(t2).unwrap();
+        assert_eq!(s.fleet_value(), 2);
+    }
+
+    #[test]
+    fn aborts_never_replicate() {
+        let mut a = PnStock::new(1, 40, 0, 100);
+        let b = PnStock::new(2, 40, 0, 100);
+        let t = a.begin();
+        a.reserve(t, -15).unwrap();
+        a.abort(t).unwrap();
+        // Nothing to ship: a's tally is exactly its seeded share, so a
+        // peer that merges it sees no movement.
+        let mut view = b.tally().clone();
+        view.merge(a.tally());
+        assert_eq!(view.value(), 80);
+        assert_eq!(a.local_committed(), 40);
+        assert_eq!(a.high_watermark(), 40);
+    }
+}

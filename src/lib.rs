@@ -8,6 +8,8 @@
 //!   uniquifiers, idempotence, operation-centric state, ACID 2.0,
 //!   memories/guesses/apologies, escrow locking, resource policies, the
 //!   seat-reservation pattern.
+//! - [`crdt`] — delta-state CRDTs realizing ACID 2.0 (§8), with a
+//!   generic anti-entropy replication actor.
 //! - [`sim`] — the deterministic discrete-event substrate.
 //! - [`tandem`] — the NonStop model: DP1 (1984) vs DP2 (1986).
 //! - [`logship`] — asynchronous log shipping and stuck-tail recovery.
@@ -19,6 +21,7 @@
 
 pub use bank;
 pub use cart;
+pub use crdt;
 pub use dynamo;
 pub use inventory;
 pub use logship;
