@@ -281,17 +281,31 @@ impl Branch {
 /// before answering — "if it exceeds $10,000, double check with all the
 /// replicas to make sure it clears".
 pub fn present_coordinated(branches: &mut [Branch], check: Check) -> ClearingResult {
-    assert!(!branches.is_empty());
-    // Full knowledge exchange (the latency the caller pays for).
+    let all: Vec<usize> = (0..branches.len()).collect();
+    present_coordinated_among(branches, &all, check)
+}
+
+/// [`present_coordinated`] restricted to the branches in `among` — the
+/// reachable quorum when a fault plan has taken branches offline. The
+/// decision is made on (and installed into) only their union; the first
+/// listed branch plays the head-office role for accounting.
+pub fn present_coordinated_among(
+    branches: &mut [Branch],
+    among: &[usize],
+    check: Check,
+) -> ClearingResult {
+    assert!(!among.is_empty());
+    // Knowledge exchange across the reachable branches (the latency the
+    // caller pays for).
     let mut union: OpLog<BankOp> = OpLog::new();
-    for b in branches.iter() {
-        union.merge(b.log());
+    for &i in among {
+        union.merge(branches[i].log());
     }
     let id = check.uniquifier();
     let install = |branches: &mut [Branch], union: &OpLog<BankOp>| {
-        for b in branches.iter_mut() {
-            for op in union.diff(b.log()) {
-                b.learn(op);
+        for &i in among {
+            for op in union.diff(branches[i].log()) {
+                branches[i].learn(op);
             }
         }
     };
@@ -304,18 +318,16 @@ pub fn present_coordinated(branches: &mut [Branch], check: Check) -> ClearingRes
     if known < check.amount {
         install(branches, &union);
         // Account the refusal once, for the system.
-        if let Some(b) = branches.first_mut() {
-            b.refused += 1;
-        }
+        branches[among[0]].refused += 1;
         return Err(Refusal::InsufficientFunds { known_balance: known });
     }
     union.record(BankOp::ClearCheck { id, account: check.account, amount: check.amount });
     install(branches, &union);
-    branches[0].cleared_here.push(check);
-    for b in branches.iter_mut() {
-        b.coordinated += 1;
+    branches[among[0]].cleared_here.push(check);
+    for &i in among {
+        branches[i].coordinated += 1;
     }
-    branches[0].cleared += 1;
+    branches[among[0]].cleared += 1;
     Ok(())
 }
 

@@ -16,9 +16,10 @@ use quicksand_core::mga::{Apology, ApologyQueue, ReplicaId};
 use quicksand_core::op::Operation;
 use quicksand_core::uniquifier::Uniquifier;
 use rand::Rng;
+use sim::chaos::{Fault, FaultPlan};
 use sim::{MetricSet, NodeId, SimRng, SimTime, SpanId, SpanStatus, SpanStore};
 
-use crate::branch::{present_coordinated, Branch, Refusal};
+use crate::branch::{present_coordinated_among, Branch, Refusal};
 use crate::statement::StatementBook;
 use crate::types::{BankOp, Cents, Check};
 
@@ -59,6 +60,16 @@ pub struct ClearingConfig {
     /// Simulated length of one round (µs) — positions rounds on a time
     /// axis so guess-outstanding windows and spans have real durations.
     pub round_us: f64,
+    /// Declarative fault timeline, interpreted on the round axis
+    /// (`round_us` maps clause times to rounds). `Crash` takes a branch
+    /// offline (it presents nothing and skips exchanges; its books are
+    /// durable); `Partition` blocks the cross pairs' exchanges; one-way
+    /// partitions block the pair (exchange is symmetric); `Degrade` has
+    /// no round-axis meaning and is ignored. Branch 0 is the head
+    /// office/auditor and never goes offline — clauses naming it are
+    /// ignored. The final settlement always runs fully connected, so the
+    /// books always close.
+    pub faults: FaultPlan,
 }
 
 impl Default for ClearingConfig {
@@ -79,6 +90,7 @@ impl Default for ClearingConfig {
             local_us: 500.0,
             coord_rtt_us: 40_000.0,
             round_us: 1_000_000.0, // one second per round
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -116,6 +128,11 @@ pub struct ClearingReport {
     pub no_double_posting: bool,
     /// Statement book audit passed.
     pub statements_ok: bool,
+    /// Independent balanced-books audit: every branch's incremental
+    /// state equals a from-scratch replay of its log, and the sum of
+    /// final balances equals the signed sum of every operation — money
+    /// is conserved no matter what the fault plan did.
+    pub books_balance: bool,
     /// Accounts still negative at the very end.
     pub final_negative_accounts: u64,
     /// Run metrics: the `guess.outstanding_us` histogram (act-on-guess →
@@ -136,6 +153,80 @@ fn full_exchange(branches: &mut [Branch]) {
     }
 }
 
+/// The fault plan projected onto the round axis: who is offline and
+/// which exchange pairs are blocked, per round.
+struct RoundFaults {
+    /// (branch, offline from round, offline until round).
+    offline: Vec<(usize, u64, u64)>,
+    /// (a, b, from round, until round), a < b.
+    blocked: Vec<(usize, usize, u64, u64)>,
+}
+
+impl RoundFaults {
+    fn project(plan: &FaultPlan, n_branches: usize, round_us: f64) -> Self {
+        let round_of = |t: SimTime| (t.as_micros() as f64 / round_us) as u64;
+        let mut rf = RoundFaults { offline: Vec::new(), blocked: Vec::new() };
+        let mut block = |xs: &[NodeId], ys: &[NodeId], from: u64, until: u64| {
+            for x in xs {
+                for y in ys {
+                    let (a, b) = (x.0.min(y.0), x.0.max(y.0));
+                    if a != b && b < n_branches {
+                        rf.blocked.push((a, b, from, until));
+                    }
+                }
+            }
+        };
+        for f in &plan.faults {
+            match f {
+                // Branch 0 is the head office: it takes the audits and
+                // is never modeled as down.
+                Fault::Crash { at, node, restart_at } if node.0 != 0 && node.0 < n_branches => {
+                    let until = restart_at.map(round_of).unwrap_or(u64::MAX);
+                    rf.offline.push((node.0, round_of(*at), until));
+                }
+                Fault::Partition { at, until, left, right } => {
+                    block(left, right, round_of(*at), round_of(*until));
+                }
+                Fault::PartitionOneWay { at, until, from, to } => {
+                    block(from, to, round_of(*at), round_of(*until));
+                }
+                _ => {}
+            }
+        }
+        rf
+    }
+
+    fn is_offline(&self, branch: usize, round: u64) -> bool {
+        self.offline.iter().any(|(b, from, until)| *b == branch && *from <= round && round < *until)
+    }
+
+    fn pair_blocked(&self, x: usize, y: usize, round: u64) -> bool {
+        let (a, b) = (x.min(y), x.max(y));
+        self.blocked
+            .iter()
+            .any(|(pa, pb, from, until)| *pa == a && *pb == b && *from <= round && round < *until)
+    }
+
+    /// Can `branch` exchange with the head office at `round`?
+    fn reaches_auditor(&self, branch: usize, round: u64) -> bool {
+        branch == 0 || (!self.is_offline(branch, round) && !self.pair_blocked(0, branch, round))
+    }
+}
+
+/// One exchange round honoring the plan: offline branches and blocked
+/// pairs sit it out.
+fn exchange_connected(branches: &mut [Branch], rf: &RoundFaults, round: u64) {
+    for i in 0..branches.len() {
+        for j in (i + 1)..branches.len() {
+            if rf.is_offline(i, round) || rf.is_offline(j, round) || rf.pair_blocked(i, j, round) {
+                continue;
+            }
+            let (a, b) = branches.split_at_mut(j);
+            a[i].exchange(&mut b[0]);
+        }
+    }
+}
+
 /// A locally-cleared check whose verdict is still out: the branch said
 /// "cleared" on partial knowledge and reconciliation will confirm or
 /// bounce it.
@@ -145,15 +236,23 @@ struct OutstandingGuess {
     span: SpanId,
 }
 
-/// Settle every outstanding guess against this audit's bounce list.
+/// Settle outstanding guesses against this audit's bounce list. Only
+/// guesses whose branch can reach the auditor are judged; the rest stay
+/// outstanding (their windows keep growing) until a later audit.
 fn resolve_guesses(
     outstanding: &mut Vec<OutstandingGuess>,
     bounced: &HashSet<Uniquifier>,
     at: SimTime,
     metrics: &mut MetricSet,
     spans: &mut SpanStore,
+    resolvable: impl Fn(usize) -> bool,
 ) {
+    let mut kept = Vec::new();
     for g in outstanding.drain(..) {
+        if !resolvable(g.branch) {
+            kept.push(g);
+            continue;
+        }
         let confirmed = !bounced.contains(&g.check);
         let start = spans.get(g.span).expect("guess span exists").start;
         metrics.record("guess.outstanding_us", at.saturating_since(start).as_micros() as f64);
@@ -171,6 +270,7 @@ fn resolve_guesses(
         );
         spans.finish_span(g.span, at, status);
     }
+    *outstanding = kept;
 }
 
 /// Run a clearing scenario.
@@ -190,6 +290,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     let at_us = |round: u64, within: f64| {
         SimTime::from_micros((round as f64 * cfg.round_us + within) as u64)
     };
+    let rf = RoundFaults::project(&cfg.faults, cfg.n_branches, cfg.round_us);
 
     // Seed deposits, known everywhere (the opening of the books).
     for acct in 0..cfg.n_accounts {
@@ -200,6 +301,12 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     }
 
     for round in 0..cfg.rounds {
+        // Checks can only be presented at branches that are up this
+        // round. Branch 0 never crashes, so the list is never empty —
+        // and with no faults it is every branch, leaving the RNG stream
+        // identical to a legacy run.
+        let online: Vec<usize> =
+            (0..branches.len()).filter(|b| !rf.is_offline(*b, round)).collect();
         for _ in 0..cfg.checks_per_round {
             let account = rng.gen_range(0..cfg.n_accounts);
             let amount = rng.lognormal(cfg.amount_mu, cfg.amount_sigma).round() as Cents;
@@ -212,7 +319,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
             let outcome = if coordinate {
                 latency_total += cfg.local_us + cfg.coord_rtt_us;
                 latency_count += 1;
-                let r = present_coordinated(&mut branches, check);
+                let r = present_coordinated_among(&mut branches, &online, check);
                 if r.is_ok() {
                     report.cleared_coordinated += 1;
                     // Coordination is crisp: no guess to measure.
@@ -231,7 +338,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
             } else {
                 latency_total += cfg.local_us;
                 latency_count += 1;
-                let b = rng.gen_range(0..branches.len());
+                let b = online[rng.gen_range(0..online.len())];
                 let r = branches[b].present(check);
                 if r.is_ok() {
                     report.cleared_local += 1;
@@ -269,7 +376,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                 Ok(()) => {
                     // Maybe the payee's bank presents it again elsewhere.
                     if cfg.n_branches > 1 && rng.gen_bool(cfg.dup_presentment_prob) {
-                        let b2 = rng.gen_range(0..branches.len());
+                        let b2 = online[rng.gen_range(0..online.len())];
                         match branches[b2].present(check) {
                             Ok(()) => report.duplicates_granted += 1,
                             Err(Refusal::Duplicate) => report.duplicates_collapsed += 1,
@@ -285,7 +392,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
         // Periodic reconciliation: knowledge sloshes together, the "Oh,
         // crap!" moments surface, compensation runs.
         if (round + 1) % cfg.exchange_every == 0 {
-            full_exchange(&mut branches);
+            exchange_connected(&mut branches, &rf, round + 1);
             let overdrawn = branches[0].overdrafts();
             report.overdraft_episodes += overdrawn.len() as u64;
             let bounced = branches[0].audit_and_compensate(cfg.bounce_fee);
@@ -297,6 +404,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                 at_us(round + 1, 0.0),
                 &mut metrics,
                 &mut spans,
+                |b| rf.reaches_auditor(b, round + 1),
             );
             // Compensation that couldn't make an account whole goes to a
             // human (§5.6 step 1).
@@ -308,7 +416,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                     detail: format!("account {account} still at {balance} after compensation"),
                 });
             }
-            full_exchange(&mut branches);
+            exchange_connected(&mut branches, &rf, round + 1);
         }
 
         if let Some(every) = cfg.statement_every {
@@ -329,6 +437,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
         at_us(cfg.rounds, 0.0),
         &mut metrics,
         &mut spans,
+        |_| true,
     );
     full_exchange(&mut branches);
 
@@ -355,6 +464,26 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     }
     report.final_negative_accounts =
         branches[0].balances().balances.values().filter(|b| **b < 0).count() as u64;
+    // Balanced books, two independent ways: (a) each branch's
+    // incrementally-maintained state equals a from-scratch replay of its
+    // log; (b) the sum of every final balance equals the signed sum of
+    // every operation — no cent minted or lost, whatever the plan did.
+    report.books_balance = branches.iter().all(|b| b.log().materialize() == *b.balances()) && {
+        let net: Cents = branches[0]
+            .log()
+            .iter()
+            .map(|op| match op {
+                BankOp::Deposit { amount, .. } => *amount,
+                BankOp::ClearCheck { amount, .. } => -*amount,
+                BankOp::ReverseCheck { amount, .. } => *amount,
+                BankOp::BounceFee { amount, .. } => -*amount,
+                // Holds are balance-neutral (they gate availability).
+                BankOp::PlaceHold { .. } | BankOp::ReleaseHold { .. } => 0,
+                BankOp::ReturnedDeposit { amount, .. } => -*amount,
+            })
+            .sum();
+        branches[0].balances().balances.values().sum::<Cents>() == net
+    };
     report.metrics = metrics;
     report.spans = spans;
     report
@@ -370,7 +499,46 @@ mod tests {
         assert!(r.converged, "{r:?}");
         assert!(r.no_double_posting, "{r:?}");
         assert!(r.statements_ok, "{r:?}");
+        assert!(r.books_balance, "{r:?}");
         assert!(r.presented > 0);
+    }
+
+    #[test]
+    fn fault_plan_delays_knowledge_but_the_books_still_balance() {
+        use sim::chaos::{Fault, FaultPlan};
+        use sim::NodeId;
+        // One second per round: the partition spans rounds 30..120, the
+        // crash takes branch 2 down for rounds 60..100.
+        let faulted = ClearingConfig {
+            faults: FaultPlan::from_faults(vec![
+                Fault::Partition {
+                    at: SimTime::from_secs(30),
+                    until: SimTime::from_secs(120),
+                    left: vec![NodeId(0)],
+                    right: vec![NodeId(1), NodeId(2)],
+                },
+                Fault::Crash {
+                    at: SimTime::from_secs(60),
+                    node: NodeId(2),
+                    restart_at: Some(SimTime::from_secs(100)),
+                },
+            ]),
+            ..ClearingConfig::default()
+        };
+        let mut rf = run_clearing(&faulted, 7);
+        let mut rc = run_clearing(&ClearingConfig::default(), 7);
+        // Safety holds regardless of the plan: the final settlement
+        // closes the books.
+        assert!(rf.converged, "{rf:?}");
+        assert!(rf.no_double_posting, "{rf:?}");
+        assert!(rf.books_balance, "{rf:?}");
+        assert_eq!(rf.spans.open_spans().count(), 0, "all guesses eventually resolve");
+        // But the disconnection is visible: guesses parked behind the
+        // partition stay outstanding across audits, stretching the
+        // longest act-on-guess window well past the calm run's.
+        let f_max = rf.metrics.histogram("guess.outstanding_us").max();
+        let c_max = rc.metrics.histogram("guess.outstanding_us").max();
+        assert!(f_max > c_max, "partitioned guesses must wait longer: {f_max} vs {c_max}");
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod deposits;
 pub mod statement;
 pub mod types;
 
-pub use branch::{classify_check, present_coordinated, Branch, ClearingResult, Refusal};
+pub use branch::{
+    classify_check, present_coordinated, present_coordinated_among, Branch, ClearingResult, Refusal,
+};
 pub use clearing::{run_clearing, ClearingConfig, ClearingReport};
 pub use deposits::{run_deposit_risk, DepositRiskConfig, DepositRiskReport};
 pub use statement::{Statement, StatementBook};

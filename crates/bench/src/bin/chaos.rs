@@ -1,0 +1,107 @@
+//! Seed-swept chaos driver: runs every substrate's `ChaosRun` over a
+//! configurable seed range and emits a deterministic JSON report of
+//! seeds swept, faults injected, invariants checked, and — for every
+//! failing seed — the shrunk minimal reproducing plan.
+//!
+//! ```text
+//! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500
+//! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500 --json-out chaos.json
+//! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500 --deny-failures
+//! ```
+//!
+//! `--deny-failures` exits non-zero when any invariant was violated —
+//! the CI nightly job's tripwire. The JSON report depends only on the
+//! seed count: same `--seeds N`, same bytes.
+
+use quicksand::cart::CartMode;
+use quicksand::chaos::{
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, tandem_chaos, ChaosReport,
+};
+use quicksand::dynamo::WorkloadConfig;
+use quicksand::logship::ShipMode;
+use quicksand::tandem::Mode;
+
+/// Every substrate scenario the sweep hammers, in a fixed order so the
+/// report is byte-stable.
+#[allow(clippy::type_complexity)]
+fn scenarios() -> Vec<(&'static str, Box<dyn Fn(u64) -> ChaosReport>)> {
+    vec![
+        ("cart_oplog", Box::new(|n| cart_chaos(CartMode::OpLog).sweep(0..n)) as _),
+        ("cart_orset", Box::new(|n| cart_chaos(CartMode::OrSet).sweep(0..n)) as _),
+        ("dynamo_workload", Box::new(|n| dynamo_chaos(WorkloadConfig::default()).sweep(0..n)) as _),
+        ("tandem_dp1", Box::new(|n| tandem_chaos(Mode::Dp1).sweep(0..n)) as _),
+        ("tandem_dp2", Box::new(|n| tandem_chaos(Mode::Dp2).sweep(0..n)) as _),
+        ("logship_async", Box::new(|n| logship_chaos(ShipMode::Asynchronous).sweep(0..n)) as _),
+        ("logship_sync", Box::new(|n| logship_chaos(ShipMode::Synchronous).sweep(0..n)) as _),
+        ("bank_clearing", Box::new(|n| bank_chaos().sweep(0..n)) as _),
+        ("escrow_fleet", Box::new(|n| escrow_chaos().sweep(0..n)) as _),
+    ]
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 50;
+    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+        args.remove(pos);
+        seeds = args.get(pos).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--seeds needs a number");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+    }
+    let deny_failures = if let Some(pos) = args.iter().position(|a| a == "--deny-failures") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let json_out = if let Some(pos) = args.iter().position(|a| a == "--json-out") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--json-out needs a path");
+            std::process::exit(2);
+        }
+        Some(args.remove(pos))
+    } else {
+        None
+    };
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        eprintln!("usage: chaos [--seeds N] [--deny-failures] [--json-out PATH]");
+        std::process::exit(2);
+    }
+
+    println!("chaos sweep: {seeds} seeds per scenario\n");
+    let mut json = format!("{{\"seeds_per_scenario\":{seeds},\"scenarios\":[");
+    let mut total_failures = 0usize;
+    let mut total_faults = 0u64;
+    for (i, (name, sweep)) in scenarios().into_iter().enumerate() {
+        let report = sweep(seeds);
+        println!("[{name}] {report}");
+        total_failures += report.failures.len();
+        total_faults += report.faults_injected.values().sum::<u64>();
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{{\"name\":\"{name}\",\"report\":{}}}", report.to_json()));
+    }
+    json.push_str(&format!(
+        "],\"total_faults_injected\":{total_faults},\"total_failures\":{total_failures}}}"
+    ));
+
+    if let Some(path) = &json_out {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("chaos report JSON written to {path}");
+    }
+
+    println!(
+        "total: {total_faults} faults injected, {total_failures} invariant failure(s) across all scenarios"
+    );
+    if deny_failures && total_failures > 0 {
+        eprintln!("--deny-failures: failing the run");
+        std::process::exit(1);
+    }
+}

@@ -1,14 +1,14 @@
 //! Regenerates the experiment tables of EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run -p bench --release --bin report            # all tables
-//! cargo run -p bench --release --bin report -- e7 e8   # a subset
-//! cargo run -p bench --release --bin report -- --seed 7 e1
-//! cargo run -p bench --release --bin report -- --metrics
-//! cargo run -p bench --release --bin report -- --metrics-json out.json
+//! cargo run -p quicksand-bench --release --bin report            # all tables
+//! cargo run -p quicksand-bench --release --bin report -- e7 e8   # a subset
+//! cargo run -p quicksand-bench --release --bin report -- --seed 7 e1
+//! cargo run -p quicksand-bench --release --bin report -- --metrics
+//! cargo run -p quicksand-bench --release --bin report -- --metrics-json out.json
 //! ```
 
-use bench::{all_tables, observability_report, table_by_id, DEFAULT_SEED};
+use quicksand_bench::{all_tables, observability_report, table_by_id, DEFAULT_SEED};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

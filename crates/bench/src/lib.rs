@@ -6,7 +6,7 @@
 //! qualitative claim becomes a table (E1–E16 plus ablations), and
 //! EXPERIMENTS.md records each table alongside the paper's prediction.
 //!
-//! Regenerate everything with `cargo run -p bench --release --bin report`
+//! Regenerate everything with `cargo run -p quicksand-bench --release --bin report`
 //! or a single table with `... --bin report -- e7`. Criterion
 //! micro-benchmarks of the hot data structures live in `benches/`.
 

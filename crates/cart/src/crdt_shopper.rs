@@ -72,6 +72,20 @@ pub struct CrdtShopper {
     ids: UniquifierSource,
 
     next_action: usize,
+    /// Session cache: the join of every cart state this shopper has
+    /// written or observed. Folded into each GET's view before the next
+    /// edit is applied, it gives the session read-your-writes — which
+    /// for the OR-Set is *load-bearing*, not a nicety: the dot counter
+    /// that makes each add instance unique lives in the CRDT's causal
+    /// context, so applying an edit to a view that is missing this
+    /// shopper's earlier writes (a stale replica behind a one-way
+    /// partition, or the empty view a failed GET falls back to) would
+    /// re-mint an already-used dot — and an earlier remove that
+    /// observed the first minting would silently swallow the re-add on
+    /// merge. (The op-log cart is immune: its uniquifiers come from a
+    /// session-monotonic source, which is exactly the property this
+    /// cache restores for dots.)
+    session: CrdtCart,
     /// The edit currently being worked in (kept across retries so its
     /// uniquifier is stable), as (uniquifier, action).
     current_op: Option<(quicksand_core::uniquifier::Uniquifier, CartAction)>,
@@ -109,6 +123,7 @@ impl CrdtShopper {
             stuck_timeout: SimDuration::from_millis(500),
             ids: UniquifierSource::new(0x5000 + id as u64),
             next_action: 0,
+            session: CrdtCart::new(),
             current_op: None,
             edit_span: None,
             phase: Phase::Idle,
@@ -170,7 +185,12 @@ impl CrdtShopper {
         context: VectorClock,
     ) {
         let (_, action) = self.current_op.clone().expect("a cycle is in progress");
+        // Fold in the session cache so the edit is applied to a view
+        // that contains every dot this shopper ever minted (see the
+        // `session` field for why this is a correctness requirement).
+        cart.merge(&self.session);
         cart.apply(self.replica(), &action);
+        self.session = cart.clone();
         let req = self.new_req();
         self.phase = Phase::Putting { req };
         self.put_attempts += 1;

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use dynamo::{build_cluster, build_crdt_cluster, DynamoConfig, DynamoMsg, StoreNode};
+use sim::chaos::FaultPlan;
 use sim::{MetricSet, NodeId, SimDuration, SimTime, Simulation, SpanStore};
 
 use crate::crdt_cart::CrdtCart;
@@ -46,8 +47,13 @@ pub struct CartScenario {
     pub plans: Vec<Vec<CartAction>>,
     /// Think time between a shopper's edits.
     pub think: SimDuration,
-    /// Partition the cluster+shoppers into two halves over this window.
+    /// Partition the cluster+shoppers into two halves over this window
+    /// (legacy knob, kept for back-compat; equivalent to a single
+    /// two-sided clause in `faults`).
     pub partition: Option<(SimTime, SimTime)>,
+    /// Declarative fault timeline (partitions, crashes, degrades)
+    /// applied on top of the legacy `partition` knob.
+    pub faults: FaultPlan,
     /// Run until here.
     pub horizon: SimTime,
     /// Record the sim+app event trace (needed for JSONL export).
@@ -74,6 +80,7 @@ impl Default for CartScenario {
             ],
             think: SimDuration::from_millis(50),
             partition: None,
+            faults: FaultPlan::none(),
             horizon: SimTime::from_secs(30),
             trace: false,
         }
@@ -225,6 +232,7 @@ fn run_oplog(scenario: &CartScenario, seed: u64) -> CartReport {
         sim.schedule_partition(start, &left_side, &right_side);
         sim.schedule_heal(end);
     }
+    scenario.faults.apply(&mut sim);
 
     sim.run_until(scenario.horizon);
 
@@ -305,6 +313,7 @@ fn run_orset(scenario: &CartScenario, seed: u64) -> CartReport {
         sim.schedule_partition(start, &left_side, &right_side);
         sim.schedule_heal(end);
     }
+    scenario.faults.apply(&mut sim);
 
     sim.run_until(scenario.horizon);
 

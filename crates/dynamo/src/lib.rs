@@ -35,6 +35,7 @@ pub mod node;
 pub mod ring;
 pub mod vclock;
 pub mod version;
+pub mod workload;
 
 pub use harness::{build_cluster, build_crdt_cluster, Cluster, Probe, ProbeResult};
 pub use msg::DynamoMsg;
@@ -42,3 +43,4 @@ pub use node::{DynamoConfig, GossipMode, StoreNode};
 pub use ring::Ring;
 pub use vclock::{Causality, StoreId, VectorClock};
 pub use version::{merge_version, merge_versions, same_versions, Dot, Versioned};
+pub use workload::{run_workload, Loader, WorkloadConfig, WorkloadReport};

@@ -61,6 +61,14 @@ pub struct DynamoConfig {
     /// system: unreachable preferred replicas fail the request — the E6
     /// comparison baseline.
     pub sloppy: bool,
+    /// Re-arm the gossip timer when a crashed store restarts. Timers do
+    /// not survive a crash, so without this a restarted store never
+    /// gossips again: anti-entropy stops and any hints it holds stay
+    /// parked forever. Always `true` in real deployments; the chaos
+    /// acceptance test plants `false` here to prove the seed sweep
+    /// catches the resulting stranded-hint divergence and shrinks it to
+    /// a minimal crash schedule.
+    pub rearm_gossip_on_restart: bool,
 }
 
 impl Default for DynamoConfig {
@@ -74,6 +82,7 @@ impl Default for DynamoConfig {
             gossip_interval: Some(SimDuration::from_millis(100)),
             gossip_mode: GossipMode::FullStore,
             sloppy: true,
+            rearm_gossip_on_restart: true,
         }
     }
 }
@@ -301,6 +310,21 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             let jitter =
                 SimDuration::from_micros(ctx.rng().gen_range(0..interval.as_micros().max(1)));
             ctx.set_timer(interval + jitter, tag(TAG_GOSSIP, 0));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        // A crash killed every pending timer, including the gossip tick
+        // that re-arms itself. Without this re-arm the node would never
+        // again run anti-entropy or deliver the hints it still holds —
+        // exactly the stranded-hint bug the chaos sweep first caught
+        // (seed 4: crash + partition left one hint parked forever).
+        if self.cfg.rearm_gossip_on_restart {
+            if let Some(interval) = self.cfg.gossip_interval {
+                let jitter =
+                    SimDuration::from_micros(ctx.rng().gen_range(0..interval.as_micros().max(1)));
+                ctx.set_timer(interval + jitter, tag(TAG_GOSSIP, 0));
+            }
         }
     }
 

@@ -78,7 +78,28 @@ pub fn build(cfg: &LogshipConfig, seed: u64) -> (Simulation<ShipMsg>, Layout) {
             sim.schedule_restart(restart, lay.primary);
         }
     }
+    cfg.faults.apply(&mut sim);
+    // A planned crash of the primary triggers the same takeover protocol
+    // the legacy knob drives: promote the backup shortly after. (TakeOver
+    // is a no-op unless the receiver is still in the Backup role, so
+    // repeated clauses are safe.)
+    for f in &cfg.faults.faults {
+        if let sim::chaos::Fault::Crash { at, node, .. } = f {
+            if *node == lay.primary {
+                sim.inject_at(*at + cfg.takeover_delay, lay.backup, lay.backup, ShipMsg::TakeOver);
+            }
+        }
+    }
     (sim, lay)
+}
+
+/// True when `cfg` fails the primary at any point — via the legacy knob
+/// or a fault-plan clause — which makes the backup the final authority.
+pub fn primary_fails(cfg: &LogshipConfig) -> bool {
+    cfg.crash_primary_at.is_some()
+        || cfg.faults.faults.iter().any(
+            |f| matches!(f, sim::chaos::Fault::Crash { node, .. } if *node == layout(cfg).primary),
+        )
 }
 
 /// Run the configured scenario and report.
@@ -89,7 +110,8 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
     let mut report = LogshipReport { sim_seconds: sim.now().as_secs_f64(), ..Default::default() };
 
     // Who is the authority at the end of the run?
-    let authority = if cfg.crash_primary_at.is_some() { lay.backup } else { lay.primary };
+    let failed = primary_fails(cfg);
+    let authority = if failed { lay.backup } else { lay.primary };
 
     let mut all_acked = Vec::new();
     for c in &lay.clients {
@@ -111,7 +133,7 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
     // Stuck tail: durable at the old primary, never applied at the
     // authority before recovery could run. (Counted even when the
     // primary never restarts — the WAL is on disk either way.)
-    if cfg.crash_primary_at.is_some() {
+    if failed {
         let old: &DbNode = sim.actor(lay.primary);
         let auth: &DbNode = sim.actor(lay.backup);
         report.stuck_tail =

@@ -3,6 +3,7 @@
 
 use quicksand_core::op::Operation;
 use quicksand_core::uniquifier::Uniquifier;
+use sim::chaos::FaultPlan;
 use sim::{SimDuration, SimTime};
 
 /// Log sequence number in a database's WAL.
@@ -100,6 +101,12 @@ pub struct LogshipConfig {
     /// without uniquifier dedup — the A1 ablation knob. Business impact
     /// may then be duplicated.
     pub dedup: bool,
+    /// Declarative fault timeline applied on top of the legacy crash
+    /// knobs. A `Crash` clause on the primary triggers the takeover
+    /// protocol exactly like `crash_primary_at` (TakeOver injected
+    /// `takeover_delay` later; the clause's `restart_at` drives
+    /// `recovery`).
+    pub faults: FaultPlan,
     /// Simulation horizon.
     pub horizon: SimTime,
 }
@@ -120,6 +127,7 @@ impl Default for LogshipConfig {
             restart_primary_at: None,
             recovery: RecoveryPolicy::Resurrect,
             dedup: true,
+            faults: FaultPlan::none(),
             horizon: SimTime::from_secs(60),
         }
     }

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod chaos;
 mod json;
 pub mod metrics;
 pub mod net;
@@ -65,6 +66,9 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
+pub use chaos::{
+    mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk, Violation,
+};
 pub use metrics::{Histogram, HistogramSummary, MetricSet};
 pub use net::{LinkConfig, Network};
 pub use rng::SimRng;

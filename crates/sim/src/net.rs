@@ -18,7 +18,7 @@ use crate::rng::SimRng;
 use crate::time::SimDuration;
 
 /// Delivery characteristics of one direction of a link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Minimum one-way delivery latency.
     pub latency_min: SimDuration,
@@ -102,6 +102,23 @@ impl Network {
         self.overrides.insert((from, to), cfg);
     }
 
+    /// The override (if any) installed for `from → to`. Used to snapshot a
+    /// link before degrading it so the degradation can be undone exactly.
+    pub fn link_override(&self, from: NodeId, to: NodeId) -> Option<LinkConfig> {
+        self.overrides.get(&(from, to)).copied()
+    }
+
+    /// Remove the override for `from → to`, restoring the default link.
+    pub fn clear_link_oneway(&mut self, from: NodeId, to: NodeId) {
+        self.overrides.remove(&(from, to));
+    }
+
+    /// Remove the overrides in both directions between `a` and `b`.
+    pub fn clear_link(&mut self, a: NodeId, b: NodeId) {
+        self.overrides.remove(&(a, b));
+        self.overrides.remove(&(b, a));
+    }
+
     /// The config that will be used for `from → to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkConfig {
         self.overrides.get(&(from, to)).copied().unwrap_or(self.default_link)
@@ -119,6 +136,34 @@ impl Network {
         for &a in left {
             for &b in right {
                 self.partition_pair(a, b);
+            }
+        }
+    }
+
+    /// Block traffic in one direction only: `from → to` is dropped while
+    /// `to → from` still flows. This is the asymmetric partition of §6 —
+    /// a replica that can hear the world but not answer it.
+    pub fn partition_oneway(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// One-way group partition: every `from-group → to-group` message is
+    /// dropped; the reverse direction is unaffected.
+    pub fn partition_groups_oneway(&mut self, from: &[NodeId], to: &[NodeId]) {
+        for &a in from {
+            for &b in to {
+                self.partition_oneway(a, b);
+            }
+        }
+    }
+
+    /// Heal every cross-group pair between `left` and `right`, in both
+    /// directions. Blocks internal to either group, or involving nodes
+    /// outside both, are untouched.
+    pub fn heal_groups(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.heal_pair(a, b);
             }
         }
     }
@@ -216,6 +261,34 @@ mod tests {
         assert!(net.is_blocked(n(1), n(2)));
         net.heal_all();
         assert!(!net.is_blocked(n(1), n(2)));
+    }
+
+    #[test]
+    fn oneway_partitions_block_a_single_direction() {
+        let mut net = Network::new(LinkConfig::default());
+        net.partition_groups_oneway(&[n(0), n(1)], &[n(2)]);
+        assert!(net.is_blocked(n(0), n(2)));
+        assert!(net.is_blocked(n(1), n(2)));
+        assert!(!net.is_blocked(n(2), n(0)));
+        assert!(!net.is_blocked(n(2), n(1)));
+        net.heal_groups(&[n(0), n(1)], &[n(2)]);
+        assert!(!net.is_blocked(n(0), n(2)));
+    }
+
+    #[test]
+    fn link_overrides_snapshot_and_clear() {
+        let mut net = Network::new(LinkConfig::default());
+        assert!(net.link_override(n(0), n(1)).is_none());
+        let slow = LinkConfig::reliable(SimDuration::from_millis(50));
+        net.set_link(n(0), n(1), slow);
+        assert_eq!(net.link_override(n(0), n(1)).unwrap().latency_min, slow.latency_min);
+        assert_eq!(net.link_override(n(1), n(0)).unwrap().latency_min, slow.latency_min);
+        net.clear_link_oneway(n(0), n(1));
+        assert!(net.link_override(n(0), n(1)).is_none());
+        assert!(net.link_override(n(1), n(0)).is_some());
+        net.clear_link(n(0), n(1));
+        assert!(net.link_override(n(1), n(0)).is_none());
+        assert_eq!(net.link(n(0), n(1)).latency_min, LinkConfig::default().latency_min);
     }
 
     #[test]

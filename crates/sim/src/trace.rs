@@ -43,7 +43,9 @@ pub enum TraceKind {
     Restart,
     /// The network was partitioned.
     Partition,
-    /// All partitions healed.
+    /// A link was degraded (latency spike / loss / duplication ramp).
+    Degrade,
+    /// Partitions healed or a degraded link was restored.
     Heal,
     /// A structured application event (see
     /// [`crate::actor::Context::trace_event`]).
@@ -59,6 +61,7 @@ impl fmt::Display for TraceKind {
             TraceKind::Crash => "crash",
             TraceKind::Restart => "restart",
             TraceKind::Partition => "partition",
+            TraceKind::Degrade => "degrade",
             TraceKind::Heal => "heal",
             TraceKind::App => "app",
         };

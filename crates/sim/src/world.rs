@@ -48,7 +48,29 @@ enum EventKind<M> {
         left: Vec<NodeId>,
         right: Vec<NodeId>,
     },
+    PartitionOneWay {
+        from: Vec<NodeId>,
+        to: Vec<NodeId>,
+    },
+    HealGroups {
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+    },
     HealAll,
+    Degrade {
+        a: NodeId,
+        b: NodeId,
+        link: LinkConfig,
+        until: SimTime,
+    },
+    /// Undo of a `Degrade`: reinstall the overrides snapshotted when the
+    /// degradation took effect (`None` = no override, back to default).
+    RestoreLink {
+        a: NodeId,
+        b: NodeId,
+        prev_ab: Option<LinkConfig>,
+        prev_ba: Option<LinkConfig>,
+    },
 }
 
 struct Event<M> {
@@ -223,6 +245,39 @@ impl<M: Clone + 'static> Simulation<M> {
         self.push(at, EventKind::HealAll);
     }
 
+    /// Schedule a one-way group partition at absolute time `at`: messages
+    /// `from → to` are dropped, the reverse direction keeps flowing.
+    pub fn schedule_partition_oneway(&mut self, at: SimTime, from: &[NodeId], to: &[NodeId]) {
+        self.push(at, EventKind::PartitionOneWay { from: from.to_vec(), to: to.to_vec() });
+    }
+
+    /// Schedule a heal of every cross-group pair between `left` and
+    /// `right` (both directions) at absolute time `at`. Unlike
+    /// [`Simulation::schedule_heal`], partitions not involving these
+    /// groups stay in force.
+    pub fn schedule_heal_groups(&mut self, at: SimTime, left: &[NodeId], right: &[NodeId]) {
+        self.push(at, EventKind::HealGroups { left: left.to_vec(), right: right.to_vec() });
+    }
+
+    /// Schedule a heal of the single pair `a ↔ b` at absolute time `at`.
+    pub fn schedule_heal_pair(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.schedule_heal_groups(at, &[a], &[b]);
+    }
+
+    /// Degrade the `a ↔ b` link to `link` (both directions) from `at`
+    /// until `until`, then restore whatever configuration — override or
+    /// default — was in force when the degradation hit.
+    pub fn schedule_degrade(
+        &mut self,
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+        link: LinkConfig,
+        until: SimTime,
+    ) {
+        self.push(at, EventKind::Degrade { a, b, link, until: until.max(at) });
+    }
+
     /// Deliver `msg` to `to` exactly at time `at`, bypassing the network
     /// model (for harness-driven injection). `from` is attributed as the
     /// sender.
@@ -244,11 +299,29 @@ impl<M: Clone + 'static> Simulation<M> {
         self.now = self.now.max(horizon);
     }
 
-    /// Run until no events remain or the next event lies beyond `limit`.
-    /// Returns the final clock value.
+    /// Run until no events remain or the next event lies beyond `limit`,
+    /// and return the **quiescence time**: the timestamp of the last event
+    /// that had any effect (a delivered message, a live timer firing, a
+    /// node or network state change). Dead events — cancelled timers,
+    /// timers armed in an earlier epoch or pending on a crashed node,
+    /// deliveries to down nodes, redundant crash/restart events — are
+    /// still drained but do not extend the quiescence time, so a crashed
+    /// node's leftover timers cannot stall quiescence detection. The clock
+    /// is left at the time of the last drained event, not pushed to
+    /// `limit`.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
-        self.run_until(limit);
-        self.now
+        self.ensure_started();
+        let mut quiesced_at = self.now;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > limit {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            if self.dispatch(ev) {
+                quiesced_at = self.now;
+            }
+        }
+        quiesced_at
     }
 
     /// Process exactly one event, if any. Returns `false` when the queue
@@ -280,7 +353,10 @@ impl<M: Clone + 'static> Simulation<M> {
         self.queue.push(Event { at, seq, kind });
     }
 
-    fn dispatch(&mut self, ev: Event<M>) {
+    /// Apply one event. Returns `true` when the event had an effect on
+    /// the world — the signal [`Simulation::run_until_quiescent`] uses to
+    /// tell real progress from dead events draining out of the queue.
+    fn dispatch(&mut self, ev: Event<M>) -> bool {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = self.now.max(ev.at);
         match ev.kind {
@@ -291,7 +367,7 @@ impl<M: Clone + 'static> Simulation<M> {
                     }
                     self.metrics.inc("sim.dropped_to_down_node");
                     self.record_trace(TraceKind::DropDown, Some(to), Some(from));
-                    return;
+                    return false;
                 }
                 if let Some(h) = hop {
                     self.spans.finish_span(h, self.now, SpanStatus::Ok);
@@ -300,22 +376,24 @@ impl<M: Clone + 'static> Simulation<M> {
                 // The receiver runs under the hop span, so spans it opens
                 // land inside the sender's causal tree.
                 self.with_actor(to, hop, |actor, ctx| actor.on_message(ctx, from, msg));
+                true
             }
             EventKind::Timer { node, id, tag, epoch, span } => {
                 if self.cancelled_timers.remove(&id.0) {
-                    return;
+                    return false;
                 }
                 let slot = &self.nodes[node.0];
                 if !slot.up || slot.epoch != epoch {
-                    return; // timers do not survive crashes
+                    return false; // timers do not survive crashes
                 }
                 self.record_trace(TraceKind::Timer, Some(node), None);
                 self.with_actor(node, span, |actor, ctx| actor.on_timer(ctx, tag));
+                true
             }
             EventKind::Crash { node } => {
                 let slot = &mut self.nodes[node.0];
                 if !slot.up {
-                    return;
+                    return false;
                 }
                 slot.up = false;
                 slot.epoch += 1;
@@ -326,23 +404,58 @@ impl<M: Clone + 'static> Simulation<M> {
                 self.spans.close_node_spans(node, now);
                 self.metrics.inc("sim.crashes");
                 self.record_trace(TraceKind::Crash, Some(node), None);
+                true
             }
             EventKind::Restart { node } => {
                 if self.nodes[node.0].up {
-                    return;
+                    return false;
                 }
                 self.nodes[node.0].up = true;
                 self.record_trace(TraceKind::Restart, Some(node), None);
                 self.with_actor(node, None, |actor, ctx| actor.on_restart(ctx));
                 self.metrics.inc("sim.restarts");
+                true
             }
             EventKind::PartitionGroups { left, right } => {
                 self.record_trace(TraceKind::Partition, None, None);
                 self.net.partition_groups(&left, &right);
+                true
+            }
+            EventKind::PartitionOneWay { from, to } => {
+                self.record_trace(TraceKind::Partition, None, None);
+                self.net.partition_groups_oneway(&from, &to);
+                true
+            }
+            EventKind::HealGroups { left, right } => {
+                self.record_trace(TraceKind::Heal, None, None);
+                self.net.heal_groups(&left, &right);
+                true
             }
             EventKind::HealAll => {
                 self.record_trace(TraceKind::Heal, None, None);
                 self.net.heal_all();
+                true
+            }
+            EventKind::Degrade { a, b, link, until } => {
+                let prev_ab = self.net.link_override(a, b);
+                let prev_ba = self.net.link_override(b, a);
+                self.net.set_link(a, b, link);
+                self.metrics.inc("sim.degrades");
+                self.record_trace(TraceKind::Degrade, Some(a), Some(b));
+                self.push(until, EventKind::RestoreLink { a, b, prev_ab, prev_ba });
+                true
+            }
+            EventKind::RestoreLink { a, b, prev_ab, prev_ba } => {
+                match prev_ab {
+                    Some(cfg) => self.net.set_link_oneway(a, b, cfg),
+                    None => self.net.clear_link_oneway(a, b),
+                }
+                match prev_ba {
+                    Some(cfg) => self.net.set_link_oneway(b, a, cfg),
+                    None => self.net.clear_link_oneway(b, a),
+                }
+                self.record_trace(TraceKind::Heal, Some(a), Some(b));
+                true
             }
         }
     }
@@ -582,6 +695,65 @@ mod tests {
         sim.inject_at(SimTime::from_millis(4), a, b, Msg::Ping(2));
         sim.run_until(SimTime::from_millis(10));
         assert_eq!(sim.actor::<Pinger>(b).pongs, vec![2]);
+    }
+
+    #[test]
+    fn oneway_partition_blocks_one_direction_only() {
+        let (mut sim, a, b) = pair(11, 0);
+        sim.schedule_partition_oneway(SimTime::ZERO, &[a], &[b]);
+        // b pings a (injected, bypassing the net); a's pong a→b is blocked.
+        sim.inject_at(SimTime::from_millis(1), a, b, Msg::Ping(1));
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(sim.metrics().counter("sim.messages_dropped"), 1);
+        // The other direction still flows: a pings b (injected), and b's
+        // pong b→a is delivered.
+        sim.inject_at(SimTime::from_millis(3), b, a, Msg::Ping(2));
+        sim.run_until(SimTime::from_millis(5));
+        // b ponged a successfully (no new drop).
+        assert_eq!(sim.metrics().counter("sim.messages_dropped"), 1);
+        sim.schedule_heal_pair(SimTime::from_millis(6), a, b);
+        sim.inject_at(SimTime::from_millis(7), a, b, Msg::Ping(3));
+        sim.run_until(SimTime::from_millis(9));
+        assert_eq!(sim.actor::<Pinger>(b).pongs, vec![3]);
+    }
+
+    #[test]
+    fn degrade_applies_and_restores_the_previous_link() {
+        let (mut sim, a, b) = pair(12, 0);
+        let lossy =
+            LinkConfig::lossy(SimDuration::from_millis(1), SimDuration::from_millis(1), 1.0);
+        sim.schedule_degrade(SimTime::ZERO, a, b, lossy, SimTime::from_millis(10));
+        sim.inject_at(SimTime::from_millis(1), a, b, Msg::Ping(1));
+        sim.run_until(SimTime::from_millis(5));
+        // a's pong was dropped by the degraded (100% loss) link.
+        assert_eq!(sim.metrics().counter("sim.messages_dropped"), 1);
+        assert_eq!(sim.metrics().counter("sim.degrades"), 1);
+        // After `until`, the link reverts to the default (reliable).
+        sim.inject_at(SimTime::from_millis(11), a, b, Msg::Ping(2));
+        sim.run_until(SimTime::from_millis(15));
+        assert_eq!(sim.actor::<Pinger>(b).pongs, vec![2]);
+    }
+
+    #[test]
+    fn quiescence_time_is_the_last_effectful_event() {
+        let (mut sim, _a, b) = pair(13, 3);
+        let q = sim.run_until_quiescent(SimTime::from_secs(10));
+        // Three pings and three pongs over 1ms reliable links: the last
+        // pong lands at 2ms, long before the limit.
+        assert_eq!(q, SimTime::from_millis(2));
+        assert_eq!(sim.actor::<Pinger>(b).pongs.len(), 3);
+    }
+
+    #[test]
+    fn dead_timers_on_a_crashed_node_do_not_stall_quiescence() {
+        let mut sim: Simulation<Msg> = Simulation::new(14);
+        let n = sim.add_node(Periodic { fired: vec![], crash_noticed: false });
+        // The periodic timer re-arms every 10ms; crash at 25ms with no
+        // restart. The timer armed at 20ms (for 30ms) is dead.
+        sim.schedule_crash(SimTime::from_millis(25), n);
+        let q = sim.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(q, SimTime::from_millis(25), "crash is the last effectful event");
+        assert_eq!(sim.actor::<Periodic>(n).fired.len(), 2);
     }
 
     #[test]

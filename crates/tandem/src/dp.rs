@@ -55,6 +55,12 @@ pub struct DiskProc {
     lsn: Lsn,
     /// Records generated/received but not yet shipped down the chain.
     unshipped: Vec<LogRecord>,
+    /// Every record this CPU has applied that is not yet known durable
+    /// at the ADP, in LSN order. Shipping hands a record to the *peer*,
+    /// not to the disk — if the peer's CPU then fails, the record must
+    /// be re-shipped from here or it is lost. Pruned as the durable
+    /// watermark advances.
+    retained: Vec<LogRecord>,
     /// Records whose ADP durability is confirmed, up to this LSN.
     durable_upto: Option<Lsn>,
     /// Writes already applied (retry collapsing).
@@ -100,6 +106,7 @@ impl DiskProc {
             kv: HashMap::new(),
             lsn: 0,
             unshipped: Vec::new(),
+            retained: Vec::new(),
             durable_upto: None,
             seen_writes: HashMap::new(),
             undo: HashMap::new(),
@@ -163,6 +170,7 @@ impl DiskProc {
         self.undo.entry(write.txn).or_default().push((key, old));
         self.seen_writes.insert(write, lsn);
         self.unshipped.push(rec.clone());
+        self.retained.push(rec.clone());
         match self.mode {
             Mode::Dp1 if self.peer_up => {
                 // Synchronous checkpoint: the ack waits for the backup.
@@ -224,8 +232,22 @@ impl DiskProc {
         self.pending_flush = still;
     }
 
+    /// Rebuild the ship buffer from every retained record above the
+    /// durable watermark and push it down the (possibly degraded)
+    /// chain. Used when the chain may have swallowed records: a backup
+    /// died holding them, or a reloaded backup needs them re-sent. The
+    /// ADP suppresses duplicates by LSN, so over-shipping is safe.
+    fn reship_retained(&mut self, ctx: &mut Context<'_, TandemMsg>) {
+        let floor = self.durable_upto;
+        self.unshipped =
+            self.retained.iter().filter(|r| floor.is_none_or(|d| r.lsn > d)).cloned().collect();
+        self.ship(ctx);
+    }
+
     fn mark_durable(&mut self, ctx: &mut Context<'_, TandemMsg>, upto: Lsn) {
-        self.durable_upto = Some(self.durable_upto.map_or(upto, |d| d.max(upto)));
+        let watermark = self.durable_upto.map_or(upto, |d| d.max(upto));
+        self.durable_upto = Some(watermark);
+        self.retained.retain(|r| r.lsn > watermark);
         // Every acked write at or below the watermark: guess confirmed.
         let mut still = Vec::new();
         for (lsn, g) in std::mem::take(&mut self.guesses) {
@@ -268,6 +290,7 @@ impl Actor<TandemMsg> for DiskProc {
                     // The backup keeps its own copy for the ADP flush
                     // path after a takeover.
                     self.unshipped.push(rec.clone());
+                    self.retained.push(rec.clone());
                 }
                 ctx.send(from, TandemMsg::CheckpointAck { lsn: rec.lsn });
             }
@@ -287,6 +310,7 @@ impl Actor<TandemMsg> for DiskProc {
                     if rec.lsn >= self.lsn {
                         self.lsn = rec.lsn + 1;
                         self.apply_record(&rec);
+                        self.retained.push(rec.clone());
                     }
                     let already = self.forwarded_upto.is_some_and(|f| rec.lsn <= f);
                     if !already {
@@ -369,6 +393,7 @@ impl Actor<TandemMsg> for DiskProc {
                     self.kv.insert(key, old);
                     self.seen_writes.insert(rec.write, lsn);
                     self.unshipped.push(rec.clone());
+                    self.retained.push(rec.clone());
                     if self.mode == Mode::Dp1 && self.peer_up {
                         // DP1 checkpoints compensation like any write
                         // (no application ack is parked on it).
@@ -407,6 +432,38 @@ impl Actor<TandemMsg> for DiskProc {
                 }
             }
 
+            TandemMsg::PeerDown => {
+                // The backup's CPU failed under a serving primary (a
+                // second failure in the same pair, after a reload
+                // restored it). Drop to degraded single-CPU service.
+                if self.role != Role::Primary || !self.peer_up {
+                    // Either we are the backup (our copy of this
+                    // failure is the Promote above) or we already knew.
+                    return;
+                }
+                self.peer_up = false;
+                ctx.metrics().inc("tandem.peer_down_notices");
+                // DP1 checkpoints parked on the dead backup will never
+                // be acknowledged. Ack the writes now — each ack
+                // becomes a guess, outstanding until the re-shipped
+                // record is ADP-durable, exactly like a degraded-pair
+                // write taken after this point.
+                let mut parked: Vec<(Lsn, (NodeId, WriteId, SpanId))> =
+                    self.pending_ck.drain().collect();
+                parked.sort_by_key(|(lsn, _)| *lsn);
+                for (lsn, (resp_to, write, ck)) in parked {
+                    ctx.set_current_span(Some(ck));
+                    let g = ctx.begin_guess("tandem.write_ack");
+                    self.guesses.push((lsn, g));
+                    ctx.send(resp_to, TandemMsg::WriteAck { write });
+                    ctx.finish_span(ck);
+                }
+                // Records handed to the dead backup died with it;
+                // re-ship everything not yet durable straight to the
+                // ADP (peer_up is now false, so ship() goes direct).
+                self.reship_retained(ctx);
+            }
+
             // --- pair reintegration ---
             TandemMsg::SyncReq { resp_to } => {
                 if self.role != Role::Primary {
@@ -426,6 +483,23 @@ impl Actor<TandemMsg> for DiskProc {
                 );
                 self.peer_up = true;
                 ctx.metrics().inc("tandem.reintegrations");
+                // Checkpoints parked on the peer's *previous*
+                // incarnation were lost with its CPU, but the snapshot
+                // just sent covers every applied write — the DP1
+                // contract ("the backup has it") holds, so ack them.
+                let mut parked: Vec<(Lsn, (NodeId, WriteId, SpanId))> =
+                    self.pending_ck.drain().collect();
+                parked.sort_by_key(|(lsn, _)| *lsn);
+                for (_, (resp_to, write, ck)) in parked {
+                    ctx.set_current_span(Some(ck));
+                    ctx.send(resp_to, TandemMsg::WriteAck { write });
+                    ctx.finish_span(ck);
+                }
+                // Likewise any record the dead incarnation swallowed
+                // before crashing: re-ship it down the restored chain
+                // (snapshot first, then the batch — FIFO keeps the
+                // rejoined backup consistent; it forwards to the ADP).
+                self.reship_retained(ctx);
             }
             TandemMsg::SyncState { kv, next_lsn, durable_upto } => {
                 if self.role != Role::Backup {
@@ -466,6 +540,7 @@ impl Actor<TandemMsg> for DiskProc {
         // surviving half, which is what §3 analyses.)
         self.kv.clear();
         self.unshipped.clear();
+        self.retained.clear();
         self.pending_ck.clear();
         self.pending_flush.clear();
         self.inflight.clear();

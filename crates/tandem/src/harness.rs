@@ -101,6 +101,24 @@ pub fn build(cfg: &TandemConfig, seed: u64) -> (Simulation<TandemMsg>, Layout) {
             }
         }
     }
+    cfg.faults.apply(&mut sim);
+    // A planned crash of a pair member triggers the Guardian's failure
+    // notice to the surviving half. What the survivor must *do* depends
+    // on its role at delivery time, which the harness cannot know (the
+    // same node may have crashed before, swapping the pair's roles) —
+    // so send both notices and let the role guards pick: Promote acts
+    // only on a Backup (take over), PeerDown only on a serving Primary
+    // (drop to degraded single-CPU service and re-ship). Repeated
+    // clauses are safe for the same reason.
+    for f in &cfg.faults.faults {
+        if let sim::chaos::Fault::Crash { at, node, .. } = f {
+            if let Some(&(p, b)) = lay.pairs.iter().find(|(p, b)| p == node || b == node) {
+                let survivor = if p == *node { b } else { p };
+                sim.inject_at(*at + cfg.takeover_delay, survivor, lay.adp, TandemMsg::Promote);
+                sim.inject_at(*at + cfg.takeover_delay, survivor, lay.adp, TandemMsg::PeerDown);
+            }
+        }
+    }
     (sim, lay)
 }
 

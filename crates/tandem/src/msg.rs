@@ -74,6 +74,14 @@ pub enum TandemMsg {
     },
     /// Harness/Guardian: the backup must take over as primary.
     Promote,
+    /// Harness/Guardian: your pair partner's CPU failed. Only the
+    /// *primary* acts on this (the backup's copy of the same failure is
+    /// the [`TandemMsg::Promote`] above — the Guardian sends both and
+    /// the role guards pick the right one). The surviving primary drops
+    /// to degraded single-CPU service: checkpoints parked on the dead
+    /// backup are acknowledged as guesses, and every record the dead
+    /// backup may have swallowed is re-shipped straight to the ADP.
+    PeerDown,
     /// New primary → every application: the pair failed over. Under DP2
     /// the application must abort in-flight transactions that dirtied
     /// this disk process (their buffered log died with the primary).

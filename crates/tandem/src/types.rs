@@ -1,6 +1,7 @@
 //! Shared identifiers, log records, configuration, and the experiment
 //! report for the Tandem NonStop model.
 
+use sim::chaos::FaultPlan;
 use sim::{SimDuration, SimTime};
 
 /// Which disk-process generation the cluster runs (§3.1 vs §3.2).
@@ -119,6 +120,12 @@ pub struct TandemConfig {
     /// How long a requester waits before retrying an unacknowledged
     /// message.
     pub retry_timeout: SimDuration,
+    /// Declarative fault timeline applied on top of the legacy crash
+    /// knobs. A `Crash` clause on the *initial primary* of a pair
+    /// triggers the Guardian takeover protocol exactly like
+    /// `crash_primary_at` (Promote sent to its backup `takeover_delay`
+    /// later).
+    pub faults: FaultPlan,
     /// Simulation horizon: the run stops here even if work remains.
     pub horizon: SimTime,
 }
@@ -141,6 +148,7 @@ impl Default for TandemConfig {
             crash_new_primary_at: None,
             takeover_delay: SimDuration::from_millis(5),
             retry_timeout: SimDuration::from_millis(50),
+            faults: FaultPlan::none(),
             horizon: SimTime::from_secs(60),
         }
     }

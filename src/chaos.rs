@@ -1,0 +1,480 @@
+//! # quicksand::chaos — cross-substrate chaos scenarios
+//!
+//! The paper's thesis is that fault handling *is* the semantics: "the
+//! resilience to failures comes from the behavior of the whole, not the
+//! perfection of the parts" (§3). This module is the test-support
+//! surface that takes the thesis literally. It re-exports the seed-driven
+//! fault-plan engine from [`sim::chaos`] and packages, for every
+//! substrate in the workspace, a ready-made [`ChaosRun`]: a scenario
+//! closure that threads a generated [`FaultPlan`] into the substrate's
+//! harness, plus the invariant set that substrate promises to hold under
+//! *any* healed schedule:
+//!
+//! - [`cart_chaos`] — no acked edit is ever lost, the replicas converge,
+//!   every planned edit eventually acks, and no causal span leaks open.
+//! - [`dynamo_chaos`] — blind PUTs under full fault classes: acked
+//!   values survive somewhere, hinted handoff + anti-entropy reconverge.
+//! - [`tandem_chaos`] — process-pair takeover: no committed transaction
+//!   is lost, every transaction resolves.
+//! - [`logship_chaos`] — primary crash + resurrection: no acked op lost,
+//!   no duplicate application, every op acks.
+//! - [`bank_chaos`] — the books always balance: faults delay knowledge,
+//!   never corrupt it.
+//! - [`escrow_chaos`] — disconnected escrow shares never over-commit the
+//!   fleet's stock (§5.3).
+//!
+//! Each builder returns the configured [`ChaosRun`]; sweep it over any
+//! seed range (derive seeds with [`mix_seed`]) and every violation comes
+//! back shrunk to a minimal plan. The generic
+//! [`no_leaked_open_spans`] helper adapts the span-hygiene invariant to
+//! any report type that exposes a [`SpanStore`].
+
+use sim::{NodeId, SimDuration, SimRng, SimTime, SpanStore};
+
+pub use sim::chaos::{
+    invariant, mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk,
+    Violation,
+};
+
+use rand::Rng;
+
+/// No span may still be open once a run's report is cut: crashed nodes
+/// close theirs with `Crashed` status, finished work closes with `Ok`,
+/// so an open span is leaked bookkeeping. Adapt with an accessor,
+/// e.g. `no_leaked_open_spans(|r: &CartReport| &r.spans)`.
+pub fn no_leaked_open_spans<R: 'static>(
+    spans: impl Fn(&R) -> &SpanStore + 'static,
+) -> Box<dyn Invariant<R>> {
+    invariant("no-leaked-open-spans", move |r: &R| {
+        let open: Vec<&str> = spans(r).open_spans().map(|s| s.name.as_str()).collect();
+        if open.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} span(s) leaked open: {:?}", open.len(), open))
+        }
+    })
+}
+
+/// Chaos over the shopping cart (§6.4): stores crash and restart, links
+/// partition and degrade, shoppers keep retrying. Crashes are restricted
+/// to the stores — a crashed shopper is an absent customer, not a fault
+/// the cart can answer for.
+pub fn cart_chaos(mode: cart::CartMode) -> ChaosRun<cart::CartReport> {
+    let base = cart::CartScenario { mode, ..cart::CartScenario::default() };
+    let stores: Vec<NodeId> = (0..base.n_stores as usize).map(NodeId).collect();
+    let mut nodes = stores.clone();
+    nodes.extend((0..base.plans.len()).map(|i| NodeId(base.n_stores as usize + i)));
+    let expected: u64 = base.plans.iter().map(|p| p.len() as u64).sum();
+    let spec = FaultSpec::new(nodes).crashable(stores);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut sc = base.clone();
+        sc.faults = plan.clone();
+        // Give shoppers room to retry past the last heal.
+        sc.horizon = sc.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        cart::run(&sc, seed)
+    })
+    .invariant("no-acked-edit-lost", |r: &cart::CartReport| {
+        if r.lost_edits == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} acked edit(s) missing from the converged cart", r.lost_edits))
+        }
+    })
+    .invariant("eventual-convergence", |r: &cart::CartReport| {
+        if r.converged {
+            Ok(())
+        } else {
+            Err("replica sibling sets still disagree after the plan healed".into())
+        }
+    })
+    .invariant("every-edit-acked", move |r: &cart::CartReport| {
+        if r.edits_acked == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} of {expected} edits acked — shoppers gave up or stalled",
+                r.edits_acked
+            ))
+        }
+    })
+    .with_invariant(no_leaked_open_spans(|r: &cart::CartReport| &r.spans))
+}
+
+/// Chaos over the raw Dynamo workload (§6.1): a retrying loader
+/// blind-writes uniquely-valued versions while the full fault-class
+/// grammar runs against the stores. The loader itself never crashes —
+/// it plays the paper's patient customer.
+pub fn dynamo_chaos(cfg: dynamo::WorkloadConfig) -> ChaosRun<dynamo::WorkloadReport> {
+    let stores: Vec<NodeId> = (0..cfg.n_stores as usize).map(NodeId).collect();
+    let mut nodes = stores.clone();
+    nodes.push(NodeId(cfg.n_stores as usize)); // the loader
+    let total = cfg.puts;
+    let spec = FaultSpec::new(nodes).crashable(stores);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut c = cfg.clone();
+        c.faults = plan.clone();
+        dynamo::run_workload(&c, seed)
+    })
+    .invariant("no-acked-put-lost", |r: &dynamo::WorkloadReport| {
+        if r.acked_lost == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} acked value(s) held by no store — durability evaporated", r.acked_lost))
+        }
+    })
+    .invariant("eventual-convergence", |r: &dynamo::WorkloadReport| {
+        if r.converged() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} diverged key(s), {} hint(s) still parked after heal + settle",
+                r.diverged_keys, r.hints_undelivered
+            ))
+        }
+    })
+    .invariant("every-put-acked", move |r: &dynamo::WorkloadReport| {
+        if r.acked == total {
+            Ok(())
+        } else {
+            Err(format!("{} of {total} PUTs acked — availability promise broken", r.acked))
+        }
+    })
+}
+
+/// Chaos over the process-pair substrate (§4): crash-and-restart plans
+/// against the initial primaries, with the Guardian promoting backups.
+/// The Tandem bus is reliable by assumption, so only crash faults are
+/// generated.
+pub fn tandem_chaos(mode: tandem::Mode) -> ChaosRun<tandem::TandemReport> {
+    let base = tandem::TandemConfig { mode, ..tandem::TandemConfig::default() };
+    let primaries: Vec<NodeId> = (0..base.n_dps).map(|i| NodeId(base.n_apps + 2 * i)).collect();
+    let nodes: Vec<NodeId> = (0..base.n_apps + 2 * base.n_dps + 1).map(NodeId).collect();
+    let total = base.n_apps as u64 * base.txns_per_app;
+    let spec =
+        FaultSpec::new(nodes).crashable(primaries).partitions(false).oneway(false).degrades(false);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut cfg = base.clone();
+        cfg.faults = plan.clone();
+        cfg.horizon = cfg.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        tandem::run(&cfg, seed)
+    })
+    .invariant("no-committed-txn-lost", |r: &tandem::TandemReport| {
+        if r.lost_committed == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} committed txn(s) missing from the surviving image", r.lost_committed))
+        }
+    })
+    .invariant("every-txn-resolved", move |r: &tandem::TandemReport| {
+        if r.unresolved == 0 && r.committed + r.aborted == total {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} committed + {} aborted + {} unresolved != {total}",
+                r.committed, r.aborted, r.unresolved
+            ))
+        }
+    })
+}
+
+/// Chaos over asynchronous log shipping (§5.1): the primary crashes and
+/// resurrects on the generated schedule; the backup takes over; the
+/// resurrected tail must reconcile without losing or double-applying a
+/// single acked op. Crash faults only — shipping's interesting failure
+/// *is* the crash; link faults belong to the dynamo scenarios.
+pub fn logship_chaos(mode: logship::ShipMode) -> ChaosRun<logship::LogshipReport> {
+    let base = logship::LogshipConfig {
+        mode,
+        recovery: logship::RecoveryPolicy::Resurrect,
+        ..logship::LogshipConfig::default()
+    };
+    let primary = NodeId(base.n_clients);
+    let nodes: Vec<NodeId> = (0..base.n_clients + 2).map(NodeId).collect();
+    let total = base.n_clients as u64 * base.ops_per_client;
+    let spec = FaultSpec::new(nodes)
+        .crashable(vec![primary])
+        .partitions(false)
+        .oneway(false)
+        .degrades(false);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut cfg = base.clone();
+        cfg.faults = plan.clone();
+        cfg.horizon = cfg.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        logship::run(&cfg, seed)
+    })
+    .invariant("no-acked-op-lost", |r: &logship::LogshipReport| {
+        if r.lost_acked == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} acked op(s) absent from the authority's balances", r.lost_acked))
+        }
+    })
+    .invariant("no-duplicate-application", |r: &logship::LogshipReport| {
+        if r.duplicate_applications == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} op(s) applied more than once past dedup", r.duplicate_applications))
+        }
+    })
+    .invariant("every-op-acked", move |r: &logship::LogshipReport| {
+        if r.acked == total {
+            Ok(())
+        } else {
+            Err(format!("{} of {total} ops acked — clients starved", r.acked))
+        }
+    })
+}
+
+/// Chaos over check clearing (§6.2): partitions and crashes projected
+/// onto the round axis delay inter-branch knowledge; the head office
+/// (branch 0) never goes dark and the final settlement always runs fully
+/// connected, so every safety invariant must survive any plan.
+pub fn bank_chaos() -> ChaosRun<bank::ClearingReport> {
+    let base = bank::ClearingConfig::default();
+    let nodes: Vec<NodeId> = (0..base.n_branches).map(NodeId).collect();
+    let crashable: Vec<NodeId> = (1..base.n_branches).map(NodeId).collect();
+    let end_us = (base.rounds as f64 * base.round_us) as u64;
+    let spec = FaultSpec::new(nodes)
+        .crashable(crashable)
+        .degrades(false)
+        .window(SimTime::from_micros(end_us / 10), SimTime::from_micros(end_us * 4 / 5));
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut cfg = base.clone();
+        cfg.faults = plan.clone();
+        bank::run_clearing(&cfg, seed)
+    })
+    .invariant("balanced-books", |r: &bank::ClearingReport| {
+        if r.books_balance {
+            Ok(())
+        } else {
+            Err("replaying a branch log disagrees with its balances, or money leaked".into())
+        }
+    })
+    .invariant("eventual-convergence", |r: &bank::ClearingReport| {
+        if r.converged {
+            Ok(())
+        } else {
+            Err("branches disagree after final settlement".into())
+        }
+    })
+    .invariant("no-double-posting", |r: &bank::ClearingReport| {
+        if r.no_double_posting {
+            Ok(())
+        } else {
+            Err("a uniquified op posted twice".into())
+        }
+    })
+    .invariant("statements-ok", |r: &bank::ClearingReport| {
+        if r.statements_ok {
+            Ok(())
+        } else {
+            Err("a closed monthly statement was retroactively edited".into())
+        }
+    })
+    .with_invariant(no_leaked_open_spans(|r: &bank::ClearingReport| &r.spans))
+}
+
+// ---------------------------------------------------------------------------
+// Escrow under disconnection (§5.3)
+// ---------------------------------------------------------------------------
+
+/// A fleet of [`inventory::PnStock`] replicas selling from escrowed
+/// shares while a [`FaultPlan`], projected onto a round axis exactly as
+/// in [`bank::ClearingConfig`], decides who is offline and which pairs
+/// may exchange counter deltas.
+#[derive(Debug, Clone)]
+pub struct EscrowScenario {
+    /// Fleet size.
+    pub n_replicas: usize,
+    /// Units escrowed to each replica (`[0, share]` bounds its sales).
+    pub share: i64,
+    /// Selling rounds.
+    pub rounds: u64,
+    /// Maximum sale attempts per replica per round (uniform `0..=max`).
+    pub max_sales_per_round: u64,
+    /// Delta exchange happens every this many rounds.
+    pub exchange_every: u64,
+    /// Sim-time microseconds per round, for projecting the plan.
+    pub round_us: f64,
+    /// The fault timeline (round-axis semantics; `Degrade` is ignored).
+    pub faults: FaultPlan,
+}
+
+impl Default for EscrowScenario {
+    fn default() -> Self {
+        EscrowScenario {
+            n_replicas: 4,
+            share: 30,
+            rounds: 50,
+            max_sales_per_round: 3,
+            exchange_every: 5,
+            round_us: 100_000.0, // 0.1 s per round → 50 rounds span 5 s
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// What the escrow fleet did and where the stock ended up.
+#[derive(Debug, Clone, Default)]
+pub struct EscrowReport {
+    /// Sale attempts across the fleet.
+    pub attempts: u64,
+    /// Sales the escrow admitted (each moved one unit).
+    pub accepted: u64,
+    /// Sales the escrow crisply refused at the bound.
+    pub refused: u64,
+    /// Total units the fleet started with.
+    pub capacity: i64,
+    /// The fleet-wide tally after the final full exchange.
+    pub fleet_value: i64,
+    /// Whether every replica reads the same fleet value at the end.
+    pub replicas_agree: bool,
+}
+
+fn round_of(t: SimTime, round_us: f64) -> u64 {
+    (t.as_micros() as f64 / round_us) as u64
+}
+
+/// Run the escrow fleet under `scenario.faults`. Crashed replicas skip
+/// their selling rounds; partitioned pairs skip their exchanges; the
+/// final exchange is always fully connected ("the trucks eventually
+/// arrive"), so convergence is a fair question.
+pub fn run_escrow(scenario: &EscrowScenario, seed: u64) -> EscrowReport {
+    let n = scenario.n_replicas;
+    let mut fleet: Vec<inventory::PnStock> = (0..n)
+        .map(|i| inventory::PnStock::new(i as u64, scenario.share, 0, scenario.share))
+        .collect();
+    // Seed exchange: everyone learns everyone's share.
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let t = fleet[j].tally().clone();
+                fleet[i].absorb(&t);
+            }
+        }
+    }
+
+    let offline = |r: usize, round: u64| -> bool {
+        scenario.faults.faults.iter().any(|f| match f {
+            Fault::Crash { at, node, restart_at } if node.0 == r => {
+                let from = round_of(*at, scenario.round_us);
+                let until = restart_at.map_or(u64::MAX, |t| round_of(t, scenario.round_us));
+                (from..until).contains(&round)
+            }
+            _ => false,
+        })
+    };
+    let blocked = |a: usize, b: usize, round: u64| -> bool {
+        scenario.faults.faults.iter().any(|f| match f {
+            Fault::Partition { at, until, left, right } => {
+                let window = round_of(*at, scenario.round_us)..round_of(*until, scenario.round_us);
+                window.contains(&round)
+                    && ((left.iter().any(|n| n.0 == a) && right.iter().any(|n| n.0 == b))
+                        || (left.iter().any(|n| n.0 == b) && right.iter().any(|n| n.0 == a)))
+            }
+            Fault::PartitionOneWay { at, until, from, to } => {
+                // A one-way link break blocks the pair's exchange: delta
+                // exchange is a conversation, not a broadcast.
+                let window = round_of(*at, scenario.round_us)..round_of(*until, scenario.round_us);
+                window.contains(&round)
+                    && ((from.iter().any(|n| n.0 == a) && to.iter().any(|n| n.0 == b))
+                        || (from.iter().any(|n| n.0 == b) && to.iter().any(|n| n.0 == a)))
+            }
+            _ => false,
+        })
+    };
+
+    let mut rng = SimRng::new(seed ^ 0xe5c4_0e5c_4e5c_40e5);
+    let mut report =
+        EscrowReport { capacity: scenario.share * n as i64, ..EscrowReport::default() };
+
+    for round in 0..scenario.rounds {
+        for (i, stock) in fleet.iter_mut().enumerate() {
+            if offline(i, round) {
+                continue;
+            }
+            let sales = rng.gen_range(0..=scenario.max_sales_per_round);
+            for _ in 0..sales {
+                report.attempts += 1;
+                let txn = stock.begin();
+                match stock.reserve(txn, -1) {
+                    Ok(()) => {
+                        stock.commit(txn).expect("an admitted reservation commits");
+                        report.accepted += 1;
+                    }
+                    Err(_) => {
+                        stock.abort(txn).expect("a refused txn aborts cleanly");
+                        report.refused += 1;
+                    }
+                }
+            }
+        }
+        if (round + 1) % scenario.exchange_every.max(1) == 0 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if offline(i, round) || offline(j, round) || blocked(i, j, round) {
+                        continue;
+                    }
+                    let ti = fleet[i].tally().clone();
+                    let tj = fleet[j].tally().clone();
+                    fleet[i].absorb(&tj);
+                    fleet[j].absorb(&ti);
+                }
+            }
+        }
+    }
+
+    // Final settlement: fully connected.
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let t = fleet[j].tally().clone();
+                fleet[i].absorb(&t);
+            }
+        }
+    }
+    report.fleet_value = fleet[0].fleet_value();
+    report.replicas_agree = fleet.iter().all(|s| s.fleet_value() == report.fleet_value);
+    report
+}
+
+/// Chaos over the escrow fleet: however the plan isolates replicas, the
+/// escrowed shares mean the fleet can never promise more stock than it
+/// holds, and the commutative tally conserves every unit.
+pub fn escrow_chaos() -> ChaosRun<EscrowReport> {
+    let base = EscrowScenario::default();
+    let nodes: Vec<NodeId> = (0..base.n_replicas).map(NodeId).collect();
+    let spec = FaultSpec::new(nodes).degrades(false);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut sc = base.clone();
+        sc.faults = plan.clone();
+        run_escrow(&sc, seed)
+    })
+    .invariant("escrow-never-over-commits", |r: &EscrowReport| {
+        if (r.accepted as i64) <= r.capacity && r.fleet_value >= 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "accepted {} of capacity {} leaving fleet value {}",
+                r.accepted, r.capacity, r.fleet_value
+            ))
+        }
+    })
+    .invariant("fleet-tally-conserves-stock", |r: &EscrowReport| {
+        if r.fleet_value == r.capacity - r.accepted as i64 {
+            Ok(())
+        } else {
+            Err(format!(
+                "fleet value {} != capacity {} - accepted {}",
+                r.fleet_value, r.capacity, r.accepted
+            ))
+        }
+    })
+    .invariant("replicas-agree-after-settle", |r: &EscrowReport| {
+        if r.replicas_agree {
+            Ok(())
+        } else {
+            Err("replicas read different fleet values after full exchange".into())
+        }
+    })
+}

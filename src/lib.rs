@@ -16,8 +16,13 @@
 //! - [`dynamo`] — the availability-first replicated blob store.
 //! - [`twopc`] — the Two-Phase Commit baseline the paper argues against.
 //! - [`cart`], [`bank`], [`inventory`] — the worked example applications.
+//! - [`chaos`] — cross-substrate chaos scenarios: per-substrate
+//!   [`ChaosRun`](sim::chaos::ChaosRun) builders with invariant sets,
+//!   over the seed-driven fault-plan engine in [`sim::chaos`].
 
 #![forbid(unsafe_code)]
+
+pub mod chaos;
 
 pub use bank;
 pub use cart;

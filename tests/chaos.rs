@@ -1,240 +1,180 @@
-//! Chaos tests: randomized failure schedules against the stacked
-//! systems, asserting the invariants the paper promises survive
-//! *arbitrary* bad luck, not just the curated scenarios.
+//! Chaos tests: seed-swept fault plans against every stacked substrate,
+//! driven by the [`quicksand::chaos`] harness. Each sweep generates a
+//! fresh randomized fault schedule per seed (partitions, one-way
+//! splits, crash/restart, link degradation), runs the scenario, checks
+//! the substrate's invariant set, and — on failure — shrinks the
+//! schedule to a 1-minimal reproducing plan before reporting it. The
+//! paper's claim is that these invariants survive *arbitrary* bad luck,
+//! not just the curated scenarios; the sweeps here are the claim's
+//! standing audit.
+//!
+//! Seed discipline: sweeps pass raw indices, and the generator runs
+//! every index through `mix_seed` (a splitmix64 finalizer) internally —
+//! unlike the old `seed.wrapping_mul(0x9e3779b97f4a7c15)` derivation,
+//! which mapped seed 0 to the degenerate all-zero stream.
 
-use quicksand::cart::{run as run_cart, CartAction, CartScenario};
-use quicksand::dynamo::DynamoConfig;
-use quicksand::sim::{SimDuration, SimRng, SimTime};
-use quicksand::tandem::{build as build_tandem, AppProc, Mode, TandemConfig, TandemMsg};
-use rand::Rng;
+use quicksand::cart::CartMode;
+use quicksand::chaos::{
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, mix_seed, tandem_chaos,
+    FaultPlan,
+};
+use quicksand::dynamo::WorkloadConfig;
+use quicksand::logship::ShipMode;
+use quicksand::tandem::Mode;
 
-/// Random partition windows against the cart: whatever the windows, no
-/// acknowledged edit is lost and the replicas converge after the last
-/// heal.
+/// Satellite regression: the old sweep derived RNG seeds with
+/// `seed.wrapping_mul(0x9e3779b97f4a7c15)`, which maps sweep index 0 to
+/// seed 0 — so the "first" chaos schedule was the degenerate zero
+/// stream. `mix_seed` must give index 0 a real stream, and every index
+/// a distinct one, which is what makes `sweep(0..n)` mean "n different
+/// schedules".
 #[test]
-fn cart_survives_randomized_partition_schedules() {
-    for seed in 0..8u64 {
-        let mut rng = SimRng::new(seed.wrapping_mul(0x9e3779b97f4a7c15));
-        let start = rng.gen_range(10..500);
-        let dur = rng.gen_range(500..8_000);
-        let scenario = CartScenario {
-            plans: (0..3)
-                .map(|s| {
-                    (0..4)
-                        .map(|i| {
-                            let item = ((s * 4 + i) % 5) as u64;
-                            if (s + i) % 4 == 3 {
-                                CartAction::Remove { item }
-                            } else {
-                                CartAction::Add { item, qty: 1 }
-                            }
-                        })
-                        .collect()
-                })
-                .collect(),
-            think: SimDuration::from_millis(rng.gen_range(10..80)),
-            partition: Some((SimTime::from_millis(start), SimTime::from_millis(start + dur))),
-            horizon: SimTime::from_secs(60),
-            dynamo: DynamoConfig::default(),
-            n_stores: 5,
-            ..CartScenario::default()
-        };
-        let r = run_cart(&scenario, seed + 1);
-        assert_eq!(r.lost_edits, 0, "seed {seed}: {r:?}");
-        assert_eq!(r.edits_acked, 12, "seed {seed}: {r:?}");
-        assert!(r.converged, "seed {seed}: {r:?}");
+fn every_swept_seed_yields_a_distinct_fault_schedule() {
+    assert_ne!(mix_seed(0), 0, "index 0 must not degenerate to the zero stream");
+    assert_ne!(
+        0u64.wrapping_mul(0x9e3779b97f4a7c15),
+        1,
+        "the old derivation really did map 0 -> 0"
+    );
+
+    let spec = cart_chaos(CartMode::OpLog).spec().clone();
+    let mut plans: Vec<FaultPlan> = (0..64).map(|s| FaultPlan::generate(s, &spec)).collect();
+    assert!(!plans[0].is_empty(), "seed 0 generates a real plan");
+    let total = plans.len();
+    plans.sort_by_key(|a| a.to_json());
+    plans.dedup();
+    assert!(
+        plans.len() >= total - 2,
+        "{} of {total} generated plans were duplicates — seeds are not independent",
+        total - plans.len()
+    );
+}
+
+/// The cart under arbitrary healed schedules, in both reconciliation
+/// modes: no acked edit is lost, every planned edit eventually acks,
+/// replicas converge, and no causal span leaks open.
+#[test]
+fn cart_survives_seed_swept_fault_plans() {
+    for mode in [CartMode::OpLog, CartMode::OrSet] {
+        let report = cart_chaos(mode).sweep(0..16);
+        assert_eq!(report.seeds_swept, 16);
+        assert!(report.faults_injected.values().sum::<u64>() > 0, "plans must inject faults");
+        assert!(report.passed(), "{mode:?}:\n{report}");
     }
 }
 
-/// Random multi-pair crash/promote schedules against the Tandem cluster:
-/// whichever primaries die and whenever, committed work is never lost
-/// and every transaction resolves.
+/// The raw Dynamo workload under the full fault grammar: acked values
+/// survive somewhere, hinted handoff + anti-entropy reconverge after
+/// the last heal, and the retrying loader always finishes.
 #[test]
-fn tandem_survives_randomized_multi_pair_crashes() {
-    for seed in 0..6u64 {
-        let mut rng = SimRng::new(seed.wrapping_add(77));
-        let cfg = TandemConfig {
-            mode: if seed % 2 == 0 { Mode::Dp2 } else { Mode::Dp1 },
-            n_dps: 3,
-            n_apps: 3,
-            txns_per_app: 25,
-            writes_per_txn: 3,
-            mean_interarrival: SimDuration::from_millis(3),
-            horizon: SimTime::from_secs(120),
-            ..TandemConfig::default()
-        };
-        let (mut sim, lay) = build_tandem(&cfg, seed);
-        // Crash a random subset of primaries at random times, each with
-        // a Guardian promote shortly after.
-        for (i, (primary, backup)) in lay.pairs.iter().enumerate() {
-            if rng.gen_bool(0.7) {
-                let at = SimTime::from_millis(rng.gen_range(10..300));
-                sim.schedule_crash(at, *primary);
-                sim.inject_at(
-                    at + SimDuration::from_millis(5),
-                    *backup,
-                    lay.adp,
-                    TandemMsg::Promote,
-                );
-                let _ = i;
-            }
-        }
-        sim.run_until(cfg.horizon);
+fn dynamo_workload_survives_seed_swept_fault_plans() {
+    let report = dynamo_chaos(WorkloadConfig::default()).sweep(0..16);
+    assert_eq!(report.seeds_swept, 16);
+    assert!(report.passed(), "{report}");
+}
 
-        let mut committed = Vec::new();
-        let mut aborted = 0u64;
-        let mut unresolved = 0u64;
-        for app in &lay.apps {
-            let a: &AppProc = sim.actor(*app);
-            committed.extend(a.committed.iter().copied());
-            aborted += a.aborted.len() as u64;
-            unresolved += a.unresolved();
-        }
+/// Process pairs under randomized crash/restart schedules against the
+/// primaries (the Tandem bus is reliable by assumption): committed work
+/// is never lost and every transaction resolves.
+#[test]
+fn tandem_survives_seed_swept_crash_plans() {
+    for mode in [Mode::Dp1, Mode::Dp2] {
+        let report = tandem_chaos(mode).sweep(0..12);
+        assert_eq!(report.seeds_swept, 12);
         assert_eq!(
-            committed.len() as u64 + aborted + unresolved,
-            75,
-            "seed {seed}: accounting broken"
+            report.faults_injected.keys().collect::<Vec<_>>(),
+            vec!["crash"],
+            "tandem's spec admits only crash clauses"
         );
-        assert_eq!(unresolved, 0, "seed {seed}: work stuck forever");
-        // Durability audit against the ADP.
-        let adp: &quicksand::tandem::Adp = sim.actor(lay.adp);
-        for txn in &committed {
-            assert!(adp.is_committed(*txn), "seed {seed}: committed {txn} not durable");
-            let recs = adp.log().iter().filter(|r| r.txn == *txn).count();
-            assert_eq!(
-                recs, cfg.writes_per_txn as usize,
-                "seed {seed}: committed {txn} missing records"
-            );
-        }
-        if cfg.mode == Mode::Dp1 {
-            assert_eq!(aborted, 0, "seed {seed}: DP1 must stay transparent");
-        }
+        assert!(report.passed(), "{mode:?}:\n{report}");
     }
 }
 
-/// Randomized crash/restart timings against log shipping: resurrection
-/// always makes the books whole, wherever the crash lands.
+/// Log shipping with resurrection under randomized primary
+/// crash/restart timing: no acked op is lost, nothing is applied twice
+/// past dedup, and every client finishes.
 #[test]
-fn logship_resurrection_survives_random_crash_timing() {
-    use quicksand::logship::{run as run_ship, LogshipConfig, RecoveryPolicy};
-    for seed in 0..6u64 {
-        let mut rng = SimRng::new(seed.wrapping_mul(31).wrapping_add(5));
-        let crash_ms = rng.gen_range(20..400);
-        let cfg = LogshipConfig {
-            mean_interarrival: SimDuration::from_millis(rng.gen_range(1..5)),
-            ship_interval: SimDuration::from_millis(rng.gen_range(5..150)),
-            crash_primary_at: Some(SimTime::from_millis(crash_ms)),
-            restart_primary_at: Some(SimTime::from_millis(crash_ms + rng.gen_range(500..3000))),
-            recovery: RecoveryPolicy::Resurrect,
-            horizon: SimTime::from_secs(90),
-            ..LogshipConfig::default()
-        };
-        let expected = (cfg.n_clients as u64) * cfg.ops_per_client;
-        let r = run_ship(&cfg, seed + 100);
-        assert_eq!(r.lost_acked, 0, "seed {seed} crash@{crash_ms}ms: {r:?}");
-        assert_eq!(r.duplicate_applications, 0, "seed {seed}: {r:?}");
-        assert_eq!(r.acked, expected, "seed {seed}: clients must finish: {r:?}");
+fn logship_resurrection_survives_seed_swept_crash_plans() {
+    for mode in [ShipMode::Asynchronous, ShipMode::Synchronous] {
+        let report = logship_chaos(mode).sweep(0..12);
+        assert_eq!(report.seeds_swept, 12);
+        assert!(report.passed(), "{mode:?}:\n{report}");
     }
 }
 
-/// A crashed node's in-flight spans are closed with `crashed` status,
-/// never leaked open: the observability layer must stay honest about
-/// work the failure interrupted.
+/// Check clearing under partition/crash plans projected onto the round
+/// axis: faults delay inter-branch knowledge but the books always
+/// balance, nothing double-posts, closed statements stay closed, and no
+/// span leaks open.
 #[test]
-fn crashed_nodes_close_their_spans_instead_of_leaking_them() {
-    use quicksand::dynamo::{build_cluster, DynamoMsg, Probe, VectorClock};
-    use quicksand::sim::{Simulation, SpanStatus};
+fn bank_clearing_survives_seed_swept_fault_plans() {
+    let report = bank_chaos().sweep(0..12);
+    assert_eq!(report.seeds_swept, 12);
+    assert!(report.passed(), "{report}");
+}
 
-    for seed in [1u64, 2, 3] {
-        let mut sim: Simulation<DynamoMsg<u64>> = Simulation::new(seed);
-        let cluster = build_cluster(&mut sim, 4, &DynamoConfig::default());
-        let probe = sim.add_node(Probe::<u64>::new());
-        for k in 0..20u64 {
-            sim.inject_at(
-                SimTime::from_millis(k * 2),
-                cluster.stores[(k % 4) as usize],
-                probe,
-                DynamoMsg::ClientPut {
-                    req: k,
-                    key: k,
-                    value: k + 100,
-                    context: VectorClock::new(),
-                    resp_to: probe,
-                },
-            );
-        }
-        // Crash store 1 while it is coordinating puts; never restart it,
-        // so nothing can quietly finish its spans later.
-        let victim = cluster.stores[1];
-        sim.schedule_crash(SimTime::from_millis(11), victim);
-        sim.run_until(SimTime::from_secs(10));
+/// Escrowed stock shares under disconnection: however the plan isolates
+/// replicas, the fleet never promises more stock than it holds, the
+/// commutative tally conserves every unit, and the replicas agree after
+/// the final settlement.
+#[test]
+fn escrow_never_over_commits_under_seed_swept_fault_plans() {
+    let report = escrow_chaos().sweep(0..48);
+    assert_eq!(report.seeds_swept, 48);
+    assert!(report.passed(), "{report}");
+}
 
-        let crashed: Vec<_> = sim
-            .spans()
-            .spans()
-            .iter()
-            .filter(|s| s.node == Some(victim) && s.status == SpanStatus::Crashed)
-            .collect();
+/// Acceptance demo: a deliberately planted bug — disabling the gossip
+/// re-arm on store restart, so a crashed-and-restarted store never
+/// again runs anti-entropy or delivers the hints it holds (the exact
+/// bug the first healthy sweep caught in the wild) — is *caught* by the
+/// sweep and *shrunk* to a minimal reproducing fault plan. The
+/// shrinker's output is the artifact under test: each failure must
+/// reproduce from at most 3 clauses, never from the empty plan (a calm
+/// run never crashes, so the bug needs a fault to manifest), must keep
+/// at least one crash clause, and must blame the convergence invariant.
+#[test]
+fn planted_dynamo_bug_is_caught_and_shrunk_to_a_minimal_plan() {
+    let mut cfg = WorkloadConfig::default();
+    cfg.dynamo.rearm_gossip_on_restart = false; // the planted bug
+
+    let run = dynamo_chaos(cfg);
+    let report = run.sweep(0..12);
+    assert!(!report.passed(), "a 12-seed sweep must catch read-repair-less divergence:\n{report}");
+    assert!(report.shrink_runs > 0, "failures must actually be shrunk");
+
+    for failure in &report.failures {
         assert!(
-            !crashed.is_empty(),
-            "seed {seed}: the crash interrupted no span — scenario lost its teeth"
+            failure.plan.len() <= 3,
+            "seed {}: shrunk plan still has {} clauses:\n{}",
+            failure.seed,
+            failure.plan.len(),
+            failure.plan
         );
-        let leaked: Vec<_> = sim
-            .spans()
-            .spans()
-            .iter()
-            .filter(|s| s.node == Some(victim) && s.status == SpanStatus::Open)
-            .collect();
-        assert!(leaked.is_empty(), "seed {seed}: leaked open spans: {leaked:?}");
+        assert!(
+            !failure.plan.is_empty(),
+            "seed {}: the bug needs a fault to manifest — a calm run converges",
+            failure.seed
+        );
+        assert!(
+            failure.plan.faults.iter().any(|f| f.kind() == "crash"),
+            "seed {}: the minimal repro must keep the crash that triggers the bug:\n{}",
+            failure.seed,
+            failure.plan
+        );
+        assert!(failure.original_len >= failure.plan.len());
+        assert!(
+            failure.violations.iter().any(|v| v.invariant == "eventual-convergence"),
+            "seed {}: expected a convergence violation, got {:?}",
+            failure.seed,
+            failure.violations
+        );
     }
-}
 
-/// Crash and restart a Dynamo store node mid-workload: its durable store
-/// survives, coordination state is rebuilt, and the cluster still
-/// converges with nothing lost.
-#[test]
-fn dynamo_store_crash_and_restart_loses_nothing() {
-    use quicksand::dynamo::{build_cluster, DynamoMsg, Probe, ProbeResult, StoreNode, VectorClock};
-    use quicksand::sim::Simulation;
-
-    for seed in [1u64, 2, 3] {
-        let mut sim: Simulation<DynamoMsg<u64>> = Simulation::new(seed);
-        let cluster = build_cluster(&mut sim, 4, &DynamoConfig::default());
-        let probe = sim.add_node(Probe::<u64>::new());
-        for k in 0..20u64 {
-            sim.inject_at(
-                SimTime::from_millis(k * 2),
-                cluster.stores[(k % 4) as usize],
-                probe,
-                DynamoMsg::ClientPut {
-                    req: k,
-                    key: k,
-                    value: k + 100,
-                    context: VectorClock::new(),
-                    resp_to: probe,
-                },
-            );
-        }
-        // Store 1 crashes mid-stream and comes back.
-        sim.schedule_crash(SimTime::from_millis(15), cluster.stores[1]);
-        sim.schedule_restart(SimTime::from_millis(200), cluster.stores[1]);
-        sim.run_until(SimTime::from_secs(10));
-
-        let p: &Probe<u64> = sim.actor(probe);
-        let acked: Vec<u64> =
-            (0..20).filter(|k| matches!(p.result(*k), Some(ProbeResult::PutOk))).collect();
-        assert!(!acked.is_empty(), "seed {seed}: some puts must succeed");
-        // Every acknowledged key is present and converged everywhere.
-        for k in &acked {
-            let reference = sim.actor::<StoreNode<u64>>(cluster.stores[0]).versions(*k).to_vec();
-            assert!(!reference.is_empty(), "seed {seed}: acked key {k} vanished");
-            for s in &cluster.stores {
-                let node: &StoreNode<u64> = sim.actor(*s);
-                assert!(
-                    quicksand::dynamo::same_versions(node.versions(*k), &reference),
-                    "seed {seed}: store {s} diverged on key {k}"
-                );
-            }
-        }
-    }
+    // The shrunk repro is deterministic: re-running the minimal plan
+    // under its seed reproduces the violation outside the driver.
+    let worst = &report.failures[0];
+    let replay = run.shrink(worst.seed, &worst.plan);
+    assert_eq!(replay.plan, worst.plan, "an already-minimal plan shrinks to itself");
+    assert!(!replay.violations.is_empty());
 }
