@@ -17,7 +17,10 @@ use quicksand_core::op::Operation;
 use quicksand_core::uniquifier::Uniquifier;
 use rand::Rng;
 use sim::chaos::{Fault, FaultPlan};
-use sim::{MetricSet, NodeId, SimRng, SimTime, SpanId, SpanStatus, SpanStore};
+use sim::{
+    GuessId, GuessOutcome, Ledger, LedgerAccounting, MetricSet, NodeId, SimRng, SimTime, SpanId,
+    SpanStatus, SpanStore,
+};
 
 use crate::branch::{present_coordinated_among, Branch, Refusal};
 use crate::statement::StatementBook;
@@ -142,6 +145,9 @@ pub struct ClearingReport {
     /// `bank.clear_check` / `guess.outstanding` spans on the round time
     /// axis (`round_us` per round).
     pub spans: SpanStore,
+    /// Guess/apology accounting (`bank.clear_check` guesses: checks
+    /// cleared on local knowledge, judged at reconciliation).
+    pub ledger: LedgerAccounting,
 }
 
 fn full_exchange(branches: &mut [Branch]) {
@@ -234,6 +240,7 @@ struct OutstandingGuess {
     check: Uniquifier,
     branch: usize,
     span: SpanId,
+    guess: GuessId,
 }
 
 /// Settle outstanding guesses against this audit's bounce list. Only
@@ -245,6 +252,7 @@ fn resolve_guesses(
     at: SimTime,
     metrics: &mut MetricSet,
     spans: &mut SpanStore,
+    ledger: &mut Ledger,
     resolvable: impl Fn(usize) -> bool,
 ) {
     let mut kept = Vec::new();
@@ -254,6 +262,11 @@ fn resolve_guesses(
             continue;
         }
         let confirmed = !bounced.contains(&g.check);
+        ledger.resolve(
+            g.guess,
+            at,
+            if confirmed { GuessOutcome::Confirmed } else { GuessOutcome::Apologized },
+        );
         let start = spans.get(g.span).expect("guess span exists").start;
         metrics.record("guess.outstanding_us", at.saturating_since(start).as_micros() as f64);
         let branch = format!("b{}", g.branch);
@@ -285,6 +298,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
     let mut latency_count = 0u64;
     let mut metrics = MetricSet::new();
     let mut spans = SpanStore::new();
+    let mut ledger = Ledger::new();
     let mut outstanding: Vec<OutstandingGuess> = Vec::new();
     // Round r occupies [r·round_us, (r+1)·round_us) on the time axis.
     let at_us = |round: u64, within: f64| {
@@ -362,10 +376,17 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                         at_us(round, cfg.local_us),
                     );
                     spans.add_field(g, "op", "bank.clear_check".to_owned());
+                    let guess = ledger.open(
+                        "bank.clear_check",
+                        Some(NodeId(b)),
+                        "local balance knowledge",
+                        at_us(round, cfg.local_us),
+                    );
                     outstanding.push(OutstandingGuess {
                         check: check.uniquifier(),
                         branch: b,
                         span: g,
+                        guess,
                     });
                     let branch = format!("b{b}");
                     metrics.inc_with("bank.cleared_local", &[("branch", branch.as_str())]);
@@ -404,6 +425,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
                 at_us(round + 1, 0.0),
                 &mut metrics,
                 &mut spans,
+                &mut ledger,
                 |b| rf.reaches_auditor(b, round + 1),
             );
             // Compensation that couldn't make an account whole goes to a
@@ -437,6 +459,7 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
         at_us(cfg.rounds, 0.0),
         &mut metrics,
         &mut spans,
+        &mut ledger,
         |_| true,
     );
     full_exchange(&mut branches);
@@ -484,6 +507,8 @@ pub fn run_clearing(cfg: &ClearingConfig, seed: u64) -> ClearingReport {
             .sum();
         branches[0].balances().balances.values().sum::<Cents>() == net
     };
+    ledger.export_metrics(&mut metrics);
+    report.ledger = ledger.accounting();
     report.metrics = metrics;
     report.spans = spans;
     report
@@ -554,6 +579,11 @@ mod tests {
         let confirmed = r.metrics.counter("guess.confirmed");
         let apologies = r.metrics.counter("guess.apologies");
         assert_eq!(confirmed + apologies, summary.count as u64);
+        // The audit ledger agrees with the metrics, and nothing is left
+        // open after the final settlement.
+        assert!(r.ledger.is_settled(), "{:?}", r.ledger);
+        assert_eq!(r.ledger.confirmed(), confirmed);
+        assert_eq!(r.ledger.apologized(), apologies);
     }
 
     #[test]

@@ -7,87 +7,192 @@
 //! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500
 //! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500 --json-out chaos.json
 //! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500 --deny-failures
+//! cargo run -p quicksand-bench --release --bin chaos -- --explain 17 --scenario cart_oplog
+//! cargo run -p quicksand-bench --release --bin chaos -- --seeds 500 --artifacts-dir artifacts
 //! ```
 //!
-//! `--deny-failures` exits non-zero when any invariant was violated —
-//! the CI nightly job's tripwire. The JSON report depends only on the
-//! seed count: same `--seeds N`, same bytes.
+//! Forensics: `--artifacts-dir DIR` makes every failing seed drop
+//! `explain-<seed>.txt` / `explain-<seed>.json` causal-slice artifacts
+//! under `DIR/<scenario>/` before shrinking. `--explain SEED` skips the
+//! sweep entirely and re-runs that one seed through each scenario's
+//! explainer, dumping the annotated slice to stdout (restrict with
+//! `--scenario NAME`). `--ledger-json PATH` writes the merged
+//! guess/apology accounting per scenario. `--deny-failures` exits
+//! non-zero when any invariant was violated, `--deny-open-guesses` when
+//! any scenario's ledger still holds unresolved guesses after
+//! quiescence — the CI nightly job's tripwires. The JSON report depends
+//! only on the seed count: same `--seeds N`, same bytes.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
 use quicksand::cart::CartMode;
 use quicksand::chaos::{
     bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, tandem_chaos, ChaosReport,
+    ChaosRun,
 };
 use quicksand::dynamo::WorkloadConfig;
 use quicksand::logship::ShipMode;
+use quicksand::sim::Explanation;
 use quicksand::tandem::Mode;
+
+/// A type-erased sweep: seed count + optional artifacts dir in, report out.
+type SweepFn = Box<dyn Fn(u64, Option<&Path>) -> ChaosReport>;
+
+/// One substrate scenario, type-erased so the driver can sweep and
+/// explain a heterogeneous list.
+struct Scenario {
+    name: &'static str,
+    sweep: SweepFn,
+    explain: Box<dyn Fn(u64) -> Option<Explanation>>,
+}
+
+fn scenario<R: 'static>(name: &'static str, make: impl Fn() -> ChaosRun<R> + 'static) -> Scenario {
+    let make = Rc::new(make);
+    let mk = make.clone();
+    Scenario {
+        name,
+        sweep: Box::new(move |n, dir| {
+            let run = mk();
+            let run = match dir {
+                Some(d) => run.artifacts_into(d.join(name)),
+                None => run,
+            };
+            run.sweep(0..n)
+        }),
+        explain: Box::new(move |seed| make().explain_seed(seed)),
+    }
+}
 
 /// Every substrate scenario the sweep hammers, in a fixed order so the
 /// report is byte-stable.
-#[allow(clippy::type_complexity)]
-fn scenarios() -> Vec<(&'static str, Box<dyn Fn(u64) -> ChaosReport>)> {
+fn scenarios() -> Vec<Scenario> {
     vec![
-        ("cart_oplog", Box::new(|n| cart_chaos(CartMode::OpLog).sweep(0..n)) as _),
-        ("cart_orset", Box::new(|n| cart_chaos(CartMode::OrSet).sweep(0..n)) as _),
-        ("dynamo_workload", Box::new(|n| dynamo_chaos(WorkloadConfig::default()).sweep(0..n)) as _),
-        ("tandem_dp1", Box::new(|n| tandem_chaos(Mode::Dp1).sweep(0..n)) as _),
-        ("tandem_dp2", Box::new(|n| tandem_chaos(Mode::Dp2).sweep(0..n)) as _),
-        ("logship_async", Box::new(|n| logship_chaos(ShipMode::Asynchronous).sweep(0..n)) as _),
-        ("logship_sync", Box::new(|n| logship_chaos(ShipMode::Synchronous).sweep(0..n)) as _),
-        ("bank_clearing", Box::new(|n| bank_chaos().sweep(0..n)) as _),
-        ("escrow_fleet", Box::new(|n| escrow_chaos().sweep(0..n)) as _),
+        scenario("cart_oplog", || cart_chaos(CartMode::OpLog)),
+        scenario("cart_orset", || cart_chaos(CartMode::OrSet)),
+        scenario("dynamo_workload", || dynamo_chaos(WorkloadConfig::default())),
+        scenario("tandem_dp1", || tandem_chaos(Mode::Dp1)),
+        scenario("tandem_dp2", || tandem_chaos(Mode::Dp2)),
+        scenario("logship_async", || logship_chaos(ShipMode::Asynchronous)),
+        scenario("logship_sync", || logship_chaos(ShipMode::Synchronous)),
+        scenario("bank_clearing", bank_chaos),
+        scenario("escrow_fleet", escrow_chaos),
     ]
 }
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seeds: u64 = 50;
-    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
-        args.remove(pos);
-        seeds = args.get(pos).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-            eprintln!("--seeds needs a number");
-            std::process::exit(2);
-        });
-        args.remove(pos);
-    }
-    let deny_failures = if let Some(pos) = args.iter().position(|a| a == "--deny-failures") {
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
         args.remove(pos);
         true
     } else {
         false
-    };
-    let json_out = if let Some(pos) = args.iter().position(|a| a == "--json-out") {
-        args.remove(pos);
-        if pos >= args.len() {
-            eprintln!("--json-out needs a path");
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    Some(args.remove(pos))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: u64 = match take_value(&mut args, "--seeds") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("--seeds needs a number");
             std::process::exit(2);
-        }
-        Some(args.remove(pos))
-    } else {
-        None
+        }),
+        None => 50,
     };
+    let deny_failures = take_flag(&mut args, "--deny-failures");
+    let deny_open_guesses = take_flag(&mut args, "--deny-open-guesses");
+    let json_out = take_value(&mut args, "--json-out");
+    let ledger_json = take_value(&mut args, "--ledger-json");
+    let artifacts_dir = take_value(&mut args, "--artifacts-dir").map(PathBuf::from);
+    let explain_seed: Option<u64> = take_value(&mut args, "--explain").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--explain needs a seed number");
+            std::process::exit(2);
+        })
+    });
+    let only_scenario = take_value(&mut args, "--scenario");
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
-        eprintln!("usage: chaos [--seeds N] [--deny-failures] [--json-out PATH]");
+        eprintln!(
+            "usage: chaos [--seeds N] [--deny-failures] [--deny-open-guesses] \
+             [--json-out PATH] [--ledger-json PATH] [--artifacts-dir DIR] \
+             [--explain SEED] [--scenario NAME]"
+        );
         std::process::exit(2);
+    }
+
+    let selected: Vec<Scenario> = scenarios()
+        .into_iter()
+        .filter(|s| only_scenario.as_deref().is_none_or(|n| n == s.name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no scenario named {:?}", only_scenario.unwrap_or_default());
+        std::process::exit(2);
+    }
+
+    // --explain SEED: no sweep, just the forensic re-run of one seed.
+    if let Some(seed) = explain_seed {
+        let mut found = false;
+        for sc in &selected {
+            match (sc.explain)(seed) {
+                Some(e) => {
+                    found = true;
+                    println!("=== [{}] seed {seed} ===", sc.name);
+                    println!("{}", e.render_text());
+                    if let Some(dir) = &artifacts_dir {
+                        match ChaosRun::<()>::write_artifacts(&dir.join(sc.name), &e) {
+                            Ok((txt, json)) => {
+                                eprintln!("artifacts: {} and {}", txt.display(), json.display())
+                            }
+                            Err(err) => {
+                                eprintln!("writing artifacts for {}: {err}", sc.name);
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                }
+                None => println!("=== [{}] seed {seed}: no explainer/slice ===", sc.name),
+            }
+        }
+        std::process::exit(if found { 0 } else { 1 });
     }
 
     println!("chaos sweep: {seeds} seeds per scenario\n");
     let mut json = format!("{{\"seeds_per_scenario\":{seeds},\"scenarios\":[");
+    let mut ledgers = String::from("{\"scenarios\":[");
     let mut total_failures = 0usize;
     let mut total_faults = 0u64;
-    for (i, (name, sweep)) in scenarios().into_iter().enumerate() {
-        let report = sweep(seeds);
-        println!("[{name}] {report}");
+    let mut open_guesses = 0u64;
+    for (i, sc) in selected.iter().enumerate() {
+        let report = (sc.sweep)(seeds, artifacts_dir.as_deref());
+        println!("[{}] {report}", sc.name);
         total_failures += report.failures.len();
         total_faults += report.faults_injected.values().sum::<u64>();
+        open_guesses += report.ledger.open();
         if i > 0 {
             json.push(',');
+            ledgers.push(',');
         }
-        json.push_str(&format!("{{\"name\":\"{name}\",\"report\":{}}}", report.to_json()));
+        json.push_str(&format!("{{\"name\":\"{}\",\"report\":{}}}", sc.name, report.to_json()));
+        ledgers.push_str(&format!(
+            "{{\"name\":\"{}\",\"ledger\":{}}}",
+            sc.name,
+            report.ledger.to_json()
+        ));
     }
     json.push_str(&format!(
         "],\"total_faults_injected\":{total_faults},\"total_failures\":{total_failures}}}"
     ));
+    ledgers.push_str(&format!("],\"open_guesses\":{open_guesses}}}"));
 
     if let Some(path) = &json_out {
         std::fs::write(path, &json).unwrap_or_else(|e| {
@@ -96,12 +201,28 @@ fn main() {
         });
         eprintln!("chaos report JSON written to {path}");
     }
+    if let Some(path) = &ledger_json {
+        std::fs::write(path, &ledgers).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("ledger accounting JSON written to {path}");
+    }
 
     println!(
-        "total: {total_faults} faults injected, {total_failures} invariant failure(s) across all scenarios"
+        "total: {total_faults} faults injected, {total_failures} invariant failure(s), \
+         {open_guesses} guess(es) left open across all scenarios"
     );
+    let mut fail = false;
     if deny_failures && total_failures > 0 {
         eprintln!("--deny-failures: failing the run");
+        fail = true;
+    }
+    if deny_open_guesses && open_guesses > 0 {
+        eprintln!("--deny-open-guesses: a ledger ended with unresolved guesses");
+        fail = true;
+    }
+    if fail {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,79 @@
+//! E18: the guess/apology audit ledger under chaos (§5).
+//!
+//! Every substrate now books each optimistic action — an ack before the
+//! backup has the tail, a hint parked for a down store, a check cleared
+//! on a stale balance — as a **guess** in one [`sim::Ledger`], resolved
+//! later as confirmed or apologized (or orphaned by a crash). E18 sweeps
+//! each substrate's chaos harness and audits the merged accounting: a
+//! healthy substrate settles every guess by quiescence; the planted
+//! `rearm_gossip_on_restart` defect shows up as durable guesses still
+//! open — the exact signature the nightly `--deny-open-guesses` gate
+//! trips on.
+
+use quicksand::cart::CartMode;
+use quicksand::chaos::{
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, ChaosReport,
+};
+use quicksand::dynamo::WorkloadConfig;
+use quicksand::logship::ShipMode;
+use quicksand::sim::LedgerAccounting;
+
+use crate::table::{f, Table};
+
+/// Seeds swept per scenario. Small enough to keep the report fast,
+/// large enough that every fault class fires.
+const SEEDS: u64 = 25;
+
+fn ledger_row(t: &mut Table, label: &str, report: &ChaosReport) {
+    let l: &LedgerAccounting = &report.ledger;
+    let settled = l.confirmed() + l.apologized();
+    let apology_rate =
+        if settled == 0 { 0.0 } else { l.apologized() as f64 / settled as f64 * 100.0 };
+    t.row(vec![
+        label.into(),
+        SEEDS.to_string(),
+        l.opened().to_string(),
+        l.confirmed().to_string(),
+        l.apologized().to_string(),
+        l.orphaned().to_string(),
+        l.open().to_string(),
+        format!("{}%", f(apology_rate)),
+    ]);
+}
+
+/// E18: guess/apology accounting across every substrate's chaos sweep,
+/// plus the planted stranded-hint bug as the open-guess counterexample.
+pub fn e18(_seed: u64) -> Table {
+    let mut t = Table::new(
+        "E18",
+        "Guess/apology audit ledger under chaos sweeps",
+        "\"the system is on quicksand: each node acts on its local memory — a guess — and when \
+         the authoritative answer differs, an apology must follow\" (§5); every guess must be \
+         confirmed, apologized for, or honestly recorded as orphaned by a crash — never silently \
+         dropped",
+        &[
+            "scenario",
+            "seeds",
+            "guesses opened",
+            "confirmed",
+            "apologized",
+            "orphaned (crash)",
+            "open after quiescence",
+            "apology rate",
+        ],
+    );
+    // Healthy sweeps: every substrate settles its books. (Sweeps run the
+    // fixed internal seed-mixing stream, so the rows are deterministic
+    // regardless of the report seed.)
+    ledger_row(&mut t, "cart (op-log)", &cart_chaos(CartMode::OpLog).sweep(0..SEEDS));
+    ledger_row(&mut t, "dynamo workload", &dynamo_chaos(WorkloadConfig::default()).sweep(0..SEEDS));
+    ledger_row(&mut t, "logship (async)", &logship_chaos(ShipMode::Asynchronous).sweep(0..SEEDS));
+    ledger_row(&mut t, "bank clearing", &bank_chaos().sweep(0..SEEDS));
+    ledger_row(&mut t, "escrow fleet", &escrow_chaos().sweep(0..SEEDS));
+    // The counterexample: strand hints by not re-arming gossip after a
+    // restart, and the durable guesses stay open for the gate to catch.
+    let mut buggy = WorkloadConfig::default();
+    buggy.dynamo.rearm_gossip_on_restart = false;
+    ledger_row(&mut t, "dynamo (planted rearm bug)", &dynamo_chaos(buggy).sweep(0..SEEDS));
+    t
+}

@@ -6,6 +6,7 @@ pub mod cart_exp;
 pub mod crdt_exp;
 pub mod deposits_exp;
 pub mod escrow_exp;
+pub mod forensics_exp;
 pub mod gossip_exp;
 pub mod logship_exp;
 pub mod mga_exp;

@@ -42,6 +42,7 @@ pub fn all_tables(seed: u64) -> Vec<Table> {
         twopc_exp::e14(seed),
         quorum_exp::e15(seed),
         crdt_exp::e16(seed),
+        forensics_exp::e18(seed),
         ablations::a1(seed),
         ablations::a2(seed),
         gossip_exp::a3(seed),
@@ -73,7 +74,9 @@ pub fn observability_report(seed: u64) -> (String, String) {
     (out, json)
 }
 
-/// Run one experiment by id ("e1".."e16", "a1".."a3"), if it exists.
+/// Run one experiment by id ("e1".."e16", "e18", "a1".."a3"), if it
+/// exists. ("e17" is the chaos sweep — a driver, not a table; run it
+/// with the `chaos` bin.)
 pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
     use experiments::*;
     let t = match id.to_ascii_lowercase().as_str() {
@@ -93,6 +96,7 @@ pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
         "e14" => twopc_exp::e14(seed),
         "e15" => quorum_exp::e15(seed),
         "e16" => crdt_exp::e16(seed),
+        "e18" => forensics_exp::e18(seed),
         "a1" => ablations::a1(seed),
         "a2" => ablations::a2(seed),
         "a3" => gossip_exp::a3(seed),

@@ -103,6 +103,8 @@ pub struct CrdtShopper {
     pub put_attempts: u64,
     /// GETs that returned more than one sibling.
     pub sibling_gets: u64,
+    /// Open guess for the in-flight PUT (see [`crate::shopper::Shopper`]).
+    put_guess: Option<SpanId>,
 }
 
 impl CrdtShopper {
@@ -133,6 +135,7 @@ impl CrdtShopper {
             put_failures: 0,
             put_attempts: 0,
             sibling_gets: 0,
+            put_guess: None,
         }
     }
 
@@ -183,6 +186,7 @@ impl CrdtShopper {
         ctx: &mut Context<'_, DynamoMsg<CrdtCart>>,
         mut cart: CrdtCart,
         context: VectorClock,
+        basis: &str,
     ) {
         let (_, action) = self.current_op.clone().expect("a cycle is in progress");
         // Fold in the session cache so the edit is applied to a view
@@ -197,6 +201,10 @@ impl CrdtShopper {
         let me = ctx.me();
         let coord = self.pick_coordinator(ctx);
         ctx.set_current_span(self.edit_span);
+        // The PUT is a guess: the shopper acts on whatever view the GET
+        // produced (the lattice join makes the eventual merge safe, but
+        // the individual PUT can still fail or race).
+        self.put_guess = Some(ctx.begin_guess_basis("cart.put", basis));
         ctx.send(
             coord,
             DynamoMsg::ClientPut { req, key: self.key, value: cart, context, resp_to: me },
@@ -205,6 +213,9 @@ impl CrdtShopper {
     }
 
     fn finish_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CrdtCart>>) {
+        if let Some(g) = self.put_guess.take() {
+            ctx.resolve_guess(g, true);
+        }
         let (id, action) = self.current_op.take().expect("finishing an active cycle");
         self.acked.push(AckedEdit { id, action, at: ctx.now() });
         if let Some(span) = self.edit_span.take() {
@@ -222,6 +233,10 @@ impl CrdtShopper {
     }
 
     fn retry_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CrdtCart>>) {
+        if let Some(g) = self.put_guess.take() {
+            // The optimistic PUT did not pan out: apologize and redo.
+            ctx.resolve_guess(g, false);
+        }
         if let Some(span) = self.edit_span {
             ctx.trace_event("cart.retry", &[("shopper", self.id.to_string())]);
             ctx.span_field(span, "retried", "true");
@@ -278,7 +293,9 @@ impl Actor<DynamoMsg<CrdtCart>> for CrdtShopper {
                 }
                 let cart = joined_cart(&versions);
                 let context = joined_context(&versions);
-                self.put_merged(ctx, cart, context);
+                let basis =
+                    if versions.len() > 1 { "reconciled sibling views" } else { "fetched view" };
+                self.put_merged(ctx, cart, context, basis);
             }
             DynamoMsg::GetFailed { req } => {
                 if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
@@ -287,7 +304,12 @@ impl Actor<DynamoMsg<CrdtCart>> for CrdtShopper {
                 // Availability over consistency: proceed on an empty view.
                 self.get_failures += 1;
                 ctx.metrics().inc("cart.get_failures");
-                self.put_merged(ctx, CrdtCart::new(), VectorClock::new());
+                self.put_merged(
+                    ctx,
+                    CrdtCart::new(),
+                    VectorClock::new(),
+                    "empty view after failed GET",
+                );
             }
             DynamoMsg::PutOk { req } => {
                 if !matches!(self.phase, Phase::Putting { req: r } if r == req) {

@@ -12,7 +12,10 @@ use std::collections::BTreeMap;
 
 use dynamo::{build_cluster, build_crdt_cluster, DynamoConfig, DynamoMsg, StoreNode};
 use sim::chaos::FaultPlan;
-use sim::{MetricSet, NodeId, SimDuration, SimTime, Simulation, SpanStore};
+use sim::{
+    FlightRecorder, LedgerAccounting, MetricSet, NodeId, SimDuration, SimTime, Simulation,
+    SpanStore,
+};
 
 use crate::crdt_cart::CrdtCart;
 use crate::crdt_shopper::CrdtShopper;
@@ -58,6 +61,9 @@ pub struct CartScenario {
     pub horizon: SimTime,
     /// Record the sim+app event trace (needed for JSONL export).
     pub trace: bool,
+    /// Enable the forensic flight recorder (causal event graph). Off by
+    /// default; chaos explainers re-run failing seeds with it on.
+    pub flight: bool,
 }
 
 impl Default for CartScenario {
@@ -83,6 +89,7 @@ impl Default for CartScenario {
             faults: FaultPlan::none(),
             horizon: SimTime::from_secs(30),
             trace: false,
+            flight: false,
         }
     }
 }
@@ -143,6 +150,11 @@ pub struct CartReport {
     /// The sim+app event trace as JSONL, when `CartScenario::trace` was
     /// set.
     pub trace_jsonl: Option<String>,
+    /// Guess/apology accounting (`cart.put` guesses: edits acted on a
+    /// possibly-stale view).
+    pub ledger: LedgerAccounting,
+    /// The causal event graph, when `CartScenario::flight` was set.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl CartReport {
@@ -212,6 +224,9 @@ fn run_oplog(scenario: &CartScenario, seed: u64) -> CartReport {
     if scenario.trace {
         sim.enable_trace(1 << 20);
     }
+    if scenario.flight {
+        sim.enable_flight(1 << 16);
+    }
     let cluster = build_cluster(&mut sim, scenario.n_stores, &scenario.dynamo);
 
     // Shoppers attach to disjoint halves of the store fleet so a
@@ -277,9 +292,12 @@ fn run_oplog(scenario: &CartScenario, seed: u64) -> CartReport {
 
     report.final_cart = ledger.materialize();
     report.resurrected_items = count_resurrections(&acked, &report.final_cart);
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
     report.metrics = sim.metrics().clone();
     report.spans = sim.spans().clone();
     report.trace_jsonl = sim.trace().map(|t| t.to_jsonl());
+    report.flight = sim.take_flight();
     report
 }
 
@@ -287,6 +305,9 @@ fn run_orset(scenario: &CartScenario, seed: u64) -> CartReport {
     let mut sim: Simulation<DynamoMsg<CrdtCart>> = Simulation::new(seed);
     if scenario.trace {
         sim.enable_trace(1 << 20);
+    }
+    if scenario.flight {
+        sim.enable_flight(1 << 16);
     }
     // The CRDT cluster squashes sibling sets server-side — sound here
     // because CrdtCart's merge is the application's reconciliation.
@@ -362,9 +383,12 @@ fn run_orset(scenario: &CartScenario, seed: u64) -> CartReport {
     }
 
     report.resurrected_items = count_resurrections(&acked, &report.final_cart);
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
     report.metrics = sim.metrics().clone();
     report.spans = sim.spans().clone();
     report.trace_jsonl = sim.trace().map(|t| t.to_jsonl());
+    report.flight = sim.take_flight();
     report
 }
 

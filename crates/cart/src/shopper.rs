@@ -74,6 +74,10 @@ pub struct Shopper {
     pub put_attempts: u64,
     /// GETs that returned more than one sibling.
     pub sibling_gets: u64,
+    /// Open guess for the in-flight PUT: the shopper bets its merged
+    /// view is current enough to act on. Confirmed on `PutOk`,
+    /// apologized when the PUT fails or the cycle restarts.
+    put_guess: Option<SpanId>,
 }
 
 impl Shopper {
@@ -103,6 +107,7 @@ impl Shopper {
             put_failures: 0,
             put_attempts: 0,
             sibling_gets: 0,
+            put_guess: None,
         }
     }
 
@@ -152,6 +157,7 @@ impl Shopper {
         ctx: &mut Context<'_, DynamoMsg<CartBlob>>,
         mut ledger: CartBlob,
         context: VectorClock,
+        basis: &str,
     ) {
         let op = self.current_op.clone().expect("a cycle is in progress");
         ledger.record(op);
@@ -161,6 +167,9 @@ impl Shopper {
         let me = ctx.me();
         let coord = self.pick_coordinator(ctx);
         ctx.set_current_span(self.edit_span);
+        // The PUT is a guess: the shopper acts on whatever view the GET
+        // produced, knowing a concurrent editor may fork a sibling.
+        self.put_guess = Some(ctx.begin_guess_basis("cart.put", basis));
         ctx.send(
             coord,
             DynamoMsg::ClientPut { req, key: self.key, value: ledger, context, resp_to: me },
@@ -169,6 +178,9 @@ impl Shopper {
     }
 
     fn finish_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
+        if let Some(g) = self.put_guess.take() {
+            ctx.resolve_guess(g, true);
+        }
         let op = self.current_op.take().expect("finishing an active cycle");
         self.acked.push(AckedEdit { id: op.id, action: op.action, at: ctx.now() });
         if let Some(span) = self.edit_span.take() {
@@ -188,6 +200,10 @@ impl Shopper {
     fn retry_cycle(&mut self, ctx: &mut Context<'_, DynamoMsg<CartBlob>>) {
         // Back off briefly, then re-run the whole GET-merge-PUT cycle
         // with the same operation uniquifier.
+        if let Some(g) = self.put_guess.take() {
+            // The optimistic PUT did not pan out: apologize and redo.
+            ctx.resolve_guess(g, false);
+        }
         if let Some(span) = self.edit_span {
             ctx.trace_event("cart.retry", &[("shopper", self.id.to_string())]);
             ctx.span_field(span, "retried", "true");
@@ -246,7 +262,9 @@ impl Actor<DynamoMsg<CartBlob>> for Shopper {
                 }
                 let ledger = reconcile(&versions);
                 let context = merged_context(&versions);
-                self.put_merged(ctx, ledger, context);
+                let basis =
+                    if versions.len() > 1 { "reconciled sibling views" } else { "fetched view" };
+                self.put_merged(ctx, ledger, context, basis);
             }
             DynamoMsg::GetFailed { req } => {
                 if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
@@ -255,7 +273,12 @@ impl Actor<DynamoMsg<CartBlob>> for Shopper {
                 // Availability over consistency: proceed on an empty view.
                 self.get_failures += 1;
                 ctx.metrics().inc("cart.get_failures");
-                self.put_merged(ctx, CartBlob::new(), VectorClock::new());
+                self.put_merged(
+                    ctx,
+                    CartBlob::new(),
+                    VectorClock::new(),
+                    "empty view after failed GET",
+                );
             }
             DynamoMsg::PutOk { req } => {
                 if !matches!(self.phase, Phase::Putting { req: r } if r == req) {

@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
-use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId, SpanStatus};
+use sim::{Actor, Context, GuessId, NodeId, SimDuration, SimTime, SpanId, SpanStatus};
 
 use crate::msg::DynamoMsg;
 use crate::ring::Ring;
@@ -122,8 +122,11 @@ pub struct StoreNode<V> {
     /// disk); survives crashes.
     store: BTreeMap<u64, Vec<Versioned<V>>>,
     /// Writes held for unreachable preferred stores: hint id → (intended
-    /// store, key, handoff span — open until the hint is delivered).
-    hints: HashMap<u64, (StoreId, u64, SpanId)>,
+    /// store, key, handoff span — open until the hint is delivered, and
+    /// the durable ledger guess it represents). Hints are on disk, so
+    /// the guess survives this node's crash: if it is still open after
+    /// quiescence, a promised handoff never happened.
+    hints: HashMap<u64, (StoreId, u64, SpanId, GuessId)>,
     next_hint_id: u64,
     pending: HashMap<u64, PendingOp<V>>,
     /// Monotonic per-node write counter: guarantees that two writes
@@ -378,7 +381,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 // under the hint's handoff span so retries and the final
                 // delivery hop all land in one tree.
                 let mut hints: Vec<(u64, StoreId, u64, SpanId)> =
-                    self.hints.iter().map(|(id, (s, k, sp))| (*id, *s, *k, *sp)).collect();
+                    self.hints.iter().map(|(id, (s, k, sp, _))| (*id, *s, *k, *sp)).collect();
                 hints.sort_unstable_by_key(|(id, ..)| *id);
                 for (hint_id, intended, key, hspan) in hints {
                     let versions = self.versions(key).to_vec();
@@ -553,7 +556,15 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                         let hspan = ctx.child_span(ctx.current_span(), "dynamo.hint_handoff");
                         ctx.span_field(hspan, "intended", format!("s{intended}"));
                         ctx.span_field(hspan, "key", key);
-                        self.hints.insert(hint_id, (intended, key, hspan));
+                        // The parked hint is a durable guess: "I will
+                        // deliver this write to its home store." It
+                        // survives our crash (the hint is on disk) and
+                        // stays open in the ledger until the HintAck.
+                        let guess = ctx.open_durable_guess(
+                            "dynamo.hint_handoff",
+                            &format!("hint parked for s{intended}"),
+                        );
+                        self.hints.insert(hint_id, (intended, key, hspan, guess));
                         let me = ctx.me().to_string();
                         ctx.metrics().inc_with("dynamo.hints_stored", &[("node", me.as_str())]);
                     }
@@ -572,8 +583,9 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 ctx.send(from, DynamoMsg::HintAck { hint_id });
             }
             DynamoMsg::HintAck { hint_id } => {
-                if let Some((_, _, hspan)) = self.hints.remove(&hint_id) {
+                if let Some((_, _, hspan, guess)) = self.hints.remove(&hint_id) {
                     ctx.metrics().inc("dynamo.hints_delivered");
+                    ctx.resolve_durable_guess(guess, true);
                     ctx.finish_span(hspan);
                 }
             }

@@ -9,7 +9,10 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 use sim::chaos::FaultPlan;
-use sim::{Actor, Context, NodeId, SimDuration, SimTime, Simulation, SpanId, SpanStatus};
+use sim::{
+    Actor, Context, FlightRecorder, LedgerAccounting, NodeId, SimDuration, SimTime, Simulation,
+    SpanId, SpanStatus, SpanStore,
+};
 
 use crate::harness::{build_cluster, Cluster};
 use crate::msg::DynamoMsg;
@@ -43,6 +46,9 @@ pub struct WorkloadConfig {
     /// Minimum run length; the run is extended past the plan's last
     /// heal so convergence is a fair question to ask.
     pub horizon: SimTime,
+    /// Enable the forensic flight recorder (causal event graph). Off by
+    /// default; chaos explainers re-run failing seeds with it on.
+    pub flight: bool,
 }
 
 impl Default for WorkloadConfig {
@@ -55,6 +61,7 @@ impl Default for WorkloadConfig {
             mean_interarrival: SimDuration::from_millis(10),
             faults: FaultPlan::none(),
             horizon: SimTime::from_secs(30),
+            flight: false,
         }
     }
 }
@@ -79,6 +86,14 @@ pub struct WorkloadReport {
     pub hints_undelivered: u64,
     /// Total simulated messages.
     pub messages: u64,
+    /// Guess/apology accounting. Parked hints are **durable** guesses
+    /// (`dynamo.hint_handoff`): a hint stranded by the stranded-hint bug
+    /// shows up here as a guess still open after quiescence.
+    pub ledger: LedgerAccounting,
+    /// Every span the run recorded.
+    pub spans: SpanStore,
+    /// The causal event graph, when `WorkloadConfig::flight` was set.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl WorkloadReport {
@@ -241,6 +256,9 @@ pub fn run_workload_sim(cfg: &WorkloadConfig, seed: u64) -> (Simulation<DynamoMs
     );
     let id = sim.add_node(loader);
     debug_assert_eq!(id, NodeId(cfg.n_stores as usize));
+    if cfg.flight {
+        sim.enable_flight(1 << 16);
+    }
     cfg.faults.apply(&mut sim);
     let settle = SimDuration::from_secs(5);
     let end = cfg.horizon.max(cfg.faults.ends_by() + settle);
@@ -250,7 +268,7 @@ pub fn run_workload_sim(cfg: &WorkloadConfig, seed: u64) -> (Simulation<DynamoMs
 
 /// Run the workload under `cfg.faults` and audit the outcome.
 pub fn run_workload(cfg: &WorkloadConfig, seed: u64) -> WorkloadReport {
-    let (sim, cluster) = run_workload_sim(cfg, seed);
+    let (mut sim, cluster) = run_workload_sim(cfg, seed);
     let loader: &Loader = sim.actor(NodeId(cfg.n_stores as usize));
 
     let mut report = WorkloadReport {
@@ -293,6 +311,10 @@ pub fn run_workload(cfg: &WorkloadConfig, seed: u64) -> WorkloadReport {
     report.hints_undelivered =
         cluster.stores.iter().map(|s| sim.actor::<StoreNode<u64>>(*s).hint_count() as u64).sum();
     report.messages = sim.metrics().counter("sim.messages_sent");
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
+    report.spans = sim.spans().clone();
+    report.flight = sim.take_flight();
     report
 }
 

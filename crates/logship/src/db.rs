@@ -115,6 +115,13 @@ impl DbNode {
         &self.wal
     }
 
+    /// Async acks whose shipping confirmation has not arrived, as
+    /// (lsn, guess span) — for harness-level final settlement when the
+    /// peer died and stayed down.
+    pub fn open_guesses(&self) -> &[(Lsn, SpanId)] {
+        &self.guesses
+    }
+
     /// Operations applied more than once (dedup-off ablation).
     pub fn duplicate_applications(&self) -> u64 {
         self.duplicate_applications
@@ -189,7 +196,7 @@ impl DbNode {
             ShipMode::Asynchronous => {
                 // Ack before the backup has the record: a guess that this
                 // datacenter survives until the next ship (§4.2's window).
-                let g = ctx.begin_guess("logship.commit_ack");
+                let g = ctx.begin_guess_basis("logship.commit_ack", "local WAL, tail unshipped");
                 self.guesses.push((lsn, g));
                 ctx.send(resp_to, ShipMsg::CommitAck { id });
             }

@@ -105,6 +105,9 @@ pub fn primary_fails(cfg: &LogshipConfig) -> bool {
 /// Run the configured scenario and report.
 pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
     let (mut sim, lay) = build(cfg, seed);
+    if cfg.flight {
+        sim.enable_flight(1 << 16);
+    }
     sim.run_until(cfg.horizon);
 
     let mut report = LogshipReport { sim_seconds: sim.now().as_secs_f64(), ..Default::default() };
@@ -140,11 +143,40 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
             old.wal().iter().filter(|r| !auth.log().contains(r.op.id)).count() as u64;
     }
 
+    // Final settlement for commit-ack guesses the shipping protocol
+    // could never judge — e.g. a post-takeover primary whose peer died
+    // and stayed down never receives a ShipAck. The run is over, so the
+    // authority's log is ground truth: the ack held iff the op is there.
+    let open: Vec<(sim::SpanId, quicksand_core::uniquifier::Uniquifier)> =
+        [lay.primary, lay.backup]
+            .iter()
+            .flat_map(|db| {
+                let node: &DbNode = sim.actor(*db);
+                node.open_guesses()
+                    .iter()
+                    .filter_map(|(lsn, g)| {
+                        node.wal().iter().find(|r| r.lsn == *lsn).map(|r| (*g, r.op.id))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+    let verdicts: Vec<(sim::SpanId, bool)> = {
+        let auth: &DbNode = sim.actor(authority);
+        open.into_iter().map(|(g, id)| (g, auth.log().contains(id))).collect()
+    };
+    for (g, confirmed) in verdicts {
+        sim.settle_guess(g, confirmed);
+    }
+
     let m = sim.metrics_mut();
     report.commit_mean_ms = m.histogram("logship.commit_us").mean() / 1000.0;
     report.commit_p99_ms = m.histogram("logship.commit_us").percentile(99.0) / 1000.0;
     report.resurrected = m.counter("logship.resurrected");
     report.messages = m.counter("sim.messages_sent");
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
+    report.spans = sim.spans().clone();
+    report.flight = sim.take_flight();
     report
 }
 

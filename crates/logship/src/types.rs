@@ -4,7 +4,7 @@
 use quicksand_core::op::Operation;
 use quicksand_core::uniquifier::Uniquifier;
 use sim::chaos::FaultPlan;
-use sim::{SimDuration, SimTime};
+use sim::{FlightRecorder, LedgerAccounting, SimDuration, SimTime, SpanStore};
 
 /// Log sequence number in a database's WAL.
 pub type Lsn = u64;
@@ -109,6 +109,9 @@ pub struct LogshipConfig {
     pub faults: FaultPlan,
     /// Simulation horizon.
     pub horizon: SimTime,
+    /// Enable the forensic flight recorder (causal event graph). Off by
+    /// default; chaos explainers re-run failing seeds with it on.
+    pub flight: bool,
 }
 
 impl Default for LogshipConfig {
@@ -129,6 +132,7 @@ impl Default for LogshipConfig {
             dedup: true,
             faults: FaultPlan::none(),
             horizon: SimTime::from_secs(60),
+            flight: false,
         }
     }
 }
@@ -157,4 +161,11 @@ pub struct LogshipReport {
     pub messages: u64,
     /// Simulated seconds.
     pub sim_seconds: f64,
+    /// Guess/apology accounting (`logship.commit_ack` guesses: acks
+    /// issued before the tail shipped).
+    pub ledger: LedgerAccounting,
+    /// Every span the run recorded.
+    pub spans: SpanStore,
+    /// The causal event graph, when `LogshipConfig::flight` was set.
+    pub flight: Option<FlightRecorder>,
 }

@@ -15,6 +15,8 @@
 
 use std::any::Any;
 
+use crate::flight::{FlightId, FlightKind, FlightRecorder};
+use crate::ledger::{GuessId, GuessOutcome, Ledger};
 use crate::metrics::MetricSet;
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanStatus, SpanStore};
@@ -101,6 +103,11 @@ pub struct Context<'a, M> {
     pub(crate) spans: &'a mut SpanStore,
     pub(crate) current_span: Option<SpanId>,
     pub(crate) trace: &'a mut Option<Trace>,
+    pub(crate) flight: &'a mut Option<FlightRecorder>,
+    pub(crate) ledger: &'a mut Ledger,
+    /// The flight event being dispatched when this callback runs — the
+    /// causal predecessor of everything the callback records.
+    pub(crate) cause: Option<FlightId>,
 }
 
 impl<M> Context<'_, M> {
@@ -215,6 +222,23 @@ impl<M> Context<'_, M> {
                 fields,
             ));
         }
+        let span = self.current_span;
+        let fields = fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
+        self.record_flight(FlightKind::App, span, Some(name.to_owned()), fields);
+    }
+
+    /// Record a flight-recorder event caused by the event whose callback
+    /// this is. No-op when the flight recorder is disabled.
+    fn record_flight(
+        &mut self,
+        kind: FlightKind,
+        span: Option<SpanId>,
+        label: Option<String>,
+        fields: Vec<(String, String)>,
+    ) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record(self.now, kind, Some(self.me), None, span, self.cause, label, fields);
+        }
     }
 
     // ---- guesses and apologies ----------------------------------------
@@ -225,9 +249,26 @@ impl<M> Context<'_, M> {
     /// under the ambient span; keep the id in actor state and resolve it
     /// with [`Context::resolve_guess`].
     pub fn begin_guess(&mut self, op: &str) -> SpanId {
+        self.begin_guess_basis(op, "local-state")
+    }
+
+    /// [`Context::begin_guess`] with an explicit **memory basis**: the
+    /// local knowledge the guess stands on, in the instrumenter's words
+    /// (`"2-of-3 write quorum"`, `"view from last GET"`). The basis is
+    /// stamped on the span, the audit-[`crate::ledger::Ledger`] row, and
+    /// the flight-recorder `guess?` marker.
+    pub fn begin_guess_basis(&mut self, op: &str, basis: &str) -> SpanId {
         let id =
             self.spans.open_span("guess.outstanding", Some(self.me), self.current_span, self.now);
         self.spans.add_field(id, "op", op.to_owned());
+        self.spans.add_field(id, "basis", basis.to_owned());
+        self.ledger.open_for_span(op, Some(self.me), basis, self.now, id);
+        self.record_flight(
+            FlightKind::GuessOpen,
+            Some(id),
+            Some(op.to_owned()),
+            vec![("basis".to_owned(), basis.to_owned())],
+        );
         id
     }
 
@@ -255,6 +296,57 @@ impl<M> Context<'_, M> {
             "resolution",
             if confirmed { "confirmed" } else { "apology" }.to_owned(),
         );
+        let outcome = if confirmed { GuessOutcome::Confirmed } else { GuessOutcome::Apologized };
+        self.ledger.resolve_span(id, self.now, outcome);
+        self.record_flight(
+            FlightKind::GuessResolve,
+            Some(id),
+            None,
+            vec![("outcome".to_owned(), outcome.as_str().to_owned())],
+        );
         self.finish_span_with(id, status);
+    }
+
+    /// Open a **durable** guess: one whose memory basis survives a crash
+    /// (a hint parked on disk, a WAL entry). Unlike
+    /// [`Context::begin_guess`] it has no span and is *not* orphaned when
+    /// this node crashes — it stays open in the
+    /// [`crate::ledger::Ledger`] until something resolves it, and an
+    /// unresolved durable guess after quiescence is a real finding.
+    pub fn open_durable_guess(&mut self, op: &str, basis: &str) -> GuessId {
+        let id = self.ledger.open(op, Some(self.me), basis, self.now);
+        self.record_flight(
+            FlightKind::GuessOpen,
+            self.current_span,
+            Some(op.to_owned()),
+            vec![
+                ("basis".to_owned(), basis.to_owned()),
+                ("durable".to_owned(), "true".to_owned()),
+                ("guess".to_owned(), id.0.to_string()),
+            ],
+        );
+        id
+    }
+
+    /// Resolve a durable guess opened with
+    /// [`Context::open_durable_guess`]. The first verdict stands;
+    /// resolving twice is a no-op.
+    pub fn resolve_durable_guess(&mut self, id: GuessId, confirmed: bool) {
+        let Some(rec) = self.ledger.get(id) else { return };
+        if !rec.is_open() {
+            return;
+        }
+        let op = rec.op.clone();
+        let outcome = if confirmed { GuessOutcome::Confirmed } else { GuessOutcome::Apologized };
+        self.ledger.resolve(id, self.now, outcome);
+        self.record_flight(
+            FlightKind::GuessResolve,
+            self.current_span,
+            Some(op),
+            vec![
+                ("outcome".to_owned(), outcome.as_str().to_owned()),
+                ("guess".to_owned(), id.0.to_string()),
+            ],
+        );
     }
 }

@@ -31,11 +31,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 
 use rand::Rng;
 
 use crate::actor::NodeId;
+use crate::explain::Explanation;
 use crate::json;
+use crate::ledger::LedgerAccounting;
 use crate::net::LinkConfig;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -592,6 +595,9 @@ pub struct Shrunk {
     pub original_len: usize,
     /// Scenario executions the shrinker spent.
     pub runs: usize,
+    /// The forensic explanation of the failure (the causal slice behind
+    /// the *original* failing plan), when the run has an explainer.
+    pub explanation: Option<Explanation>,
 }
 
 impl Shrunk {
@@ -611,7 +617,18 @@ impl Shrunk {
             }
             out.push_str(&v.to_json());
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(e) = &self.explanation {
+            out.push_str(&format!(
+                ",\"explanation\":{{\"target\":{},\"slice_events\":{},\"total_recorded\":{},\
+                 \"truncated\":{}}}",
+                e.slice.target.0,
+                e.slice.events.len(),
+                e.slice.total_recorded,
+                e.slice.truncated
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -631,6 +648,10 @@ pub struct ChaosReport {
     pub failures: Vec<Shrunk>,
     /// Total scenario executions spent shrinking.
     pub shrink_runs: u64,
+    /// Guess/apology accounting aggregated across every swept seed
+    /// (empty unless the run has a ledger accessor — see
+    /// [`ChaosRun::with_ledger`]).
+    pub ledger: LedgerAccounting,
 }
 
 impl ChaosReport {
@@ -667,7 +688,7 @@ impl ChaosReport {
             }
             out.push_str(&s.to_json());
         }
-        out.push_str("]}");
+        out.push_str(&format!("],\"ledger\":{}}}", self.ledger.to_json()));
         out
     }
 }
@@ -683,6 +704,9 @@ impl fmt::Display for ChaosReport {
         )?;
         for (k, v) in &self.faults_injected {
             writeln!(f, "  injected {k}: {v}")?;
+        }
+        if self.ledger.opened() > 0 {
+            write!(f, "  {}", self.ledger)?;
         }
         for s in &self.failures {
             writeln!(
@@ -715,6 +739,11 @@ pub struct ChaosRun<R> {
     scenario: Box<dyn Fn(&FaultPlan, u64) -> R>,
     invariants: Vec<Box<dyn Invariant<R>>>,
     max_shrink_runs: usize,
+    #[allow(clippy::type_complexity)]
+    explainer: Option<Box<dyn Fn(&FaultPlan, u64) -> Option<Explanation>>>,
+    artifact_dir: Option<PathBuf>,
+    #[allow(clippy::type_complexity)]
+    ledger_of: Option<Box<dyn Fn(&R) -> LedgerAccounting>>,
 }
 
 impl<R: 'static> ChaosRun<R> {
@@ -725,7 +754,65 @@ impl<R: 'static> ChaosRun<R> {
             scenario: Box::new(scenario),
             invariants: Vec::new(),
             max_shrink_runs: 256,
+            explainer: None,
+            artifact_dir: None,
+            ledger_of: None,
         }
+    }
+
+    /// Attach a forensic explainer: a closure that **re-runs** the given
+    /// `(plan, seed)` with the flight recorder enabled and extracts the
+    /// causal slice behind the most interesting event (typically the last
+    /// unresolved guess, falling back to the last event). Sweep runs stay
+    /// cheap — the explainer only executes for failing seeds.
+    pub fn with_explainer(
+        mut self,
+        f: impl Fn(&FaultPlan, u64) -> Option<Explanation> + 'static,
+    ) -> Self {
+        self.explainer = Some(Box::new(f));
+        self
+    }
+
+    /// Write `explain-<seed>.txt` / `explain-<seed>.json` artifacts for
+    /// every failing seed into `dir` (created on demand). Requires an
+    /// explainer.
+    pub fn artifacts_into(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Attach a ledger accessor: how to pull a [`LedgerAccounting`] out
+    /// of one run's report. The sweep merges every seed's accounting
+    /// into [`ChaosReport::ledger`].
+    pub fn with_ledger(mut self, f: impl Fn(&R) -> LedgerAccounting + 'static) -> Self {
+        self.ledger_of = Some(Box::new(f));
+        self
+    }
+
+    /// Re-run one seed through the explainer without sweeping: generate
+    /// its plan, run the scenario to learn what (if anything) it
+    /// violates, and extract the causal slice. Returns `None` when no
+    /// explainer is attached or the explainer found nothing to target.
+    pub fn explain_seed(&self, seed: u64) -> Option<Explanation> {
+        let explainer = self.explainer.as_ref()?;
+        let (plan, _report, violations) = self.run_seed(seed);
+        let names = violations.into_iter().map(|v| v.invariant).collect();
+        explainer(&plan, seed).map(|e| e.with_violations(names))
+    }
+
+    /// Write one explanation's artifact pair into `dir`. Returns the
+    /// paths written. Public so bench bins can emit artifacts for
+    /// `--explain <seed>` runs outside a sweep.
+    pub fn write_artifacts(
+        dir: &std::path::Path,
+        e: &Explanation,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let txt = dir.join(format!("explain-{}.txt", e.seed));
+        let json = dir.join(format!("explain-{}.json", e.seed));
+        std::fs::write(&txt, e.render_text())?;
+        std::fs::write(&json, e.to_json())?;
+        Ok((txt, json))
     }
 
     /// Add a boxed invariant.
@@ -780,13 +867,31 @@ impl<R: 'static> ChaosRun<R> {
             ..ChaosReport::default()
         };
         for seed in seeds {
-            let (plan, _, violations) = self.run_seed(seed);
+            let (plan, run_report, violations) = self.run_seed(seed);
             for f in &plan.faults {
                 *report.faults_injected.entry(f.kind().to_owned()).or_insert(0) += 1;
             }
             report.seeds_swept += 1;
+            if let Some(ledger_of) = &self.ledger_of {
+                report.ledger.merge(&ledger_of(&run_report));
+            }
             if !violations.is_empty() {
-                let shrunk = self.shrink(seed, &plan);
+                // Explain the failure before shrinking mutates the plan:
+                // the causal slice belongs to the run that actually
+                // failed, not to a shrunk candidate.
+                let explanation = self.explainer.as_ref().and_then(|explainer| {
+                    let names = violations.iter().map(|v| v.invariant.clone()).collect();
+                    explainer(&plan, seed).map(|e| e.with_violations(names))
+                });
+                if let (Some(dir), Some(e)) = (&self.artifact_dir, &explanation) {
+                    if let Err(err) = Self::write_artifacts(dir, e) {
+                        eprintln!(
+                            "chaos: failed to write explain artifacts for seed {seed}: {err}"
+                        );
+                    }
+                }
+                let mut shrunk = self.shrink(seed, &plan);
+                shrunk.explanation = explanation;
                 report.shrink_runs += shrunk.runs as u64;
                 report.failures.push(shrunk);
             }
@@ -809,7 +914,14 @@ impl<R: 'static> ChaosRun<R> {
         };
         if violations.is_empty() {
             // Not reproducible — report the original plan unshrunk.
-            return Shrunk { seed, plan: current, violations, original_len: plan.len(), runs };
+            return Shrunk {
+                seed,
+                plan: current,
+                violations,
+                original_len: plan.len(),
+                runs,
+                explanation: None,
+            };
         }
         // Phase 1: bisection — drop whole halves while that still fails.
         while current.len() > 1 && runs < self.max_shrink_runs {
@@ -855,7 +967,14 @@ impl<R: 'static> ChaosRun<R> {
             }
             break;
         }
-        Shrunk { seed, plan: current, violations, original_len: plan.len(), runs }
+        Shrunk {
+            seed,
+            plan: current,
+            violations,
+            original_len: plan.len(),
+            runs,
+            explanation: None,
+        }
     }
 }
 

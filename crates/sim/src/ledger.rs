@@ -1,0 +1,546 @@
+//! The guess/apology audit ledger — §5 of the paper as accounting.
+//!
+//! *Building on Quicksand* says every loosely-coupled system runs on
+//! **memories, guesses, and apologies**: a node acts on its local memory
+//! (a guess), and when the rest of the system catches up the guess is
+//! either confirmed or apologized for. The substrates in this workspace
+//! all make such guesses — a Tandem primary acks a WRITE before the
+//! checkpoint lands, a log-shipping primary acks a commit before the
+//! backup has the tail, a Dynamo store parks a hint promising to deliver
+//! it, a bank branch clears a check against a stale balance, an
+//! inventory replica sells from an escrowed share.
+//!
+//! This module gives every one of those guesses a row in one [`Ledger`]:
+//! the operation, the node, the **memory basis** the guess stood on, and
+//! — once known — its outcome. Accounting comes out the other side:
+//! open/confirmed/apologized/orphaned counts and apology latency
+//! percentiles, broken down per substrate, exported through the metrics
+//! registry and as deterministic JSON (`--ledger-json` on the bench
+//! bins).
+//!
+//! Two guess lifetimes exist, mirroring the durability split in
+//! [`crate::actor::Actor`]:
+//!
+//! - **Volatile** guesses (opened via `Context::begin_guess*`) live in
+//!   the guessing node's memory; a crash orphans them — the node that
+//!   owed the apology forgot it owed one, which the ledger records as
+//!   [`GuessOutcome::Orphaned`] rather than pretending the question was
+//!   answered.
+//! - **Durable** guesses (opened via `Context::open_durable_guess` or
+//!   [`Ledger::open`] directly) survive crashes, like a hint parked on
+//!   disk; they stay open until something resolves them, and an
+//!   unresolved durable guess after quiescence is a real finding.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::actor::NodeId;
+use crate::json;
+use crate::metrics::{Histogram, MetricSet};
+use crate::span::SpanId;
+use crate::time::SimTime;
+
+/// Identifies one guess in a [`Ledger`] (dense, in open order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GuessId(pub u64);
+
+/// How a guess ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuessOutcome {
+    /// The rest of the system agreed; no apology owed.
+    Confirmed,
+    /// The guess was wrong; an apology was issued.
+    Apologized,
+    /// The guessing node crashed with the guess in volatile memory —
+    /// the question was never answered.
+    Orphaned,
+}
+
+impl GuessOutcome {
+    /// Short stable label (used in JSON and rendering).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GuessOutcome::Confirmed => "confirmed",
+            GuessOutcome::Apologized => "apologized",
+            GuessOutcome::Orphaned => "orphaned",
+        }
+    }
+}
+
+impl fmt::Display for GuessOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One guess: an optimistic action taken on local memory, awaiting the
+/// system's verdict.
+#[derive(Debug, Clone)]
+pub struct GuessRecord {
+    /// The guess's id.
+    pub id: GuessId,
+    /// The operation, named `<substrate>.<op>` (e.g. `tandem.write_ack`).
+    pub op: String,
+    /// The node that guessed.
+    pub node: Option<NodeId>,
+    /// The memory the guess stood on, in the instrumenter's words
+    /// (e.g. `"w-of-n quorum"`, `"local balance as of round 12"`).
+    pub basis: String,
+    /// When the guess was made.
+    pub opened_at: SimTime,
+    /// When the verdict arrived (`None` while open).
+    pub resolved_at: Option<SimTime>,
+    /// The verdict (`None` while open).
+    pub outcome: Option<GuessOutcome>,
+    /// The `guess.outstanding` span tracking it, for volatile guesses.
+    pub span: Option<SpanId>,
+}
+
+impl GuessRecord {
+    /// The substrate prefix of `op` (the part before the first `.`).
+    pub fn substrate(&self) -> &str {
+        self.op.split('.').next().unwrap_or(&self.op)
+    }
+
+    /// True while the verdict is pending.
+    pub fn is_open(&self) -> bool {
+        self.outcome.is_none()
+    }
+
+    /// One JSON object describing this guess.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":{},\"op\":{},\"basis\":{},\"opened_at_us\":{}",
+            self.id.0,
+            json::string(&self.op),
+            json::string(&self.basis),
+            self.opened_at.as_micros()
+        );
+        if let Some(n) = self.node {
+            out.push_str(&format!(",\"node\":\"{n}\""));
+        }
+        if let Some(at) = self.resolved_at {
+            out.push_str(&format!(",\"resolved_at_us\":{}", at.as_micros()));
+        }
+        if let Some(o) = self.outcome {
+            out.push_str(&format!(",\"outcome\":\"{o}\""));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Accounting for one substrate's guesses inside a
+/// [`LedgerAccounting`].
+#[derive(Debug, Clone, Default)]
+pub struct SubstrateAccount {
+    /// Guesses opened.
+    pub opened: u64,
+    /// Guesses confirmed.
+    pub confirmed: u64,
+    /// Guesses apologized for.
+    pub apologized: u64,
+    /// Guesses orphaned by crashes.
+    pub orphaned: u64,
+    /// Guesses still open.
+    pub open: u64,
+    /// Open→confirm windows, µs.
+    pub confirm_latency_us: Histogram,
+    /// Open→apology windows, µs.
+    pub apology_latency_us: Histogram,
+}
+
+impl SubstrateAccount {
+    fn absorb(&mut self, other: &SubstrateAccount) {
+        self.opened += other.opened;
+        self.confirmed += other.confirmed;
+        self.apologized += other.apologized;
+        self.orphaned += other.orphaned;
+        self.open += other.open;
+        for v in other.confirm_latency_us.values() {
+            self.confirm_latency_us.record(v);
+        }
+        for v in other.apology_latency_us.values() {
+            self.apology_latency_us.record(v);
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"opened\":{},\"confirmed\":{},\"apologized\":{},\"orphaned\":{},\"open\":{},\
+             \"confirm_latency_us\":{},\"apology_latency_us\":{}}}",
+            self.opened,
+            self.confirmed,
+            self.apologized,
+            self.orphaned,
+            self.open,
+            self.confirm_latency_us.summary().to_json(),
+            self.apology_latency_us.summary().to_json()
+        )
+    }
+}
+
+/// End-to-end guess accounting: totals plus a per-substrate breakdown.
+/// Mergeable across runs (a chaos sweep aggregates one per seed) and
+/// rendered as deterministic JSON.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerAccounting {
+    /// Per-substrate accounts, keyed by the op's substrate prefix.
+    pub per_substrate: BTreeMap<String, SubstrateAccount>,
+}
+
+impl LedgerAccounting {
+    /// Guesses opened, across every substrate.
+    pub fn opened(&self) -> u64 {
+        self.per_substrate.values().map(|a| a.opened).sum()
+    }
+
+    /// Guesses confirmed, across every substrate.
+    pub fn confirmed(&self) -> u64 {
+        self.per_substrate.values().map(|a| a.confirmed).sum()
+    }
+
+    /// Guesses apologized for, across every substrate.
+    pub fn apologized(&self) -> u64 {
+        self.per_substrate.values().map(|a| a.apologized).sum()
+    }
+
+    /// Guesses orphaned by crashes, across every substrate.
+    pub fn orphaned(&self) -> u64 {
+        self.per_substrate.values().map(|a| a.orphaned).sum()
+    }
+
+    /// Guesses still open — after quiescence this should be zero; a
+    /// non-zero count means somebody promised and never reconciled.
+    pub fn open(&self) -> u64 {
+        self.per_substrate.values().map(|a| a.open).sum()
+    }
+
+    /// True when no guess is left open.
+    pub fn is_settled(&self) -> bool {
+        self.open() == 0
+    }
+
+    /// Merge another accounting into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &LedgerAccounting) {
+        for (k, v) in &other.per_substrate {
+            self.per_substrate.entry(k.clone()).or_default().absorb(v);
+        }
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"opened\":{},\"confirmed\":{},\"apologized\":{},\"orphaned\":{},\"open\":{},\
+             \"per_substrate\":{{",
+            self.opened(),
+            self.confirmed(),
+            self.apologized(),
+            self.orphaned(),
+            self.open()
+        );
+        for (i, (k, v)) in self.per_substrate.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::string(k));
+            out.push(':');
+            out.push_str(&v.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for LedgerAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ledger: {} opened, {} confirmed, {} apologized, {} orphaned, {} open",
+            self.opened(),
+            self.confirmed(),
+            self.apologized(),
+            self.orphaned(),
+            self.open()
+        )?;
+        for (k, v) in &self.per_substrate {
+            writeln!(
+                f,
+                "  {k}: {} opened, {} confirmed, {} apologized, {} orphaned, {} open, \
+                 apology p99 {:.0}us",
+                v.opened,
+                v.confirmed,
+                v.apologized,
+                v.orphaned,
+                v.open,
+                v.apology_latency_us.summary().p99
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The audit ledger for one run: every guess, its basis, and its
+/// verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    records: Vec<GuessRecord>,
+    /// Span id → guess index, for volatile guesses resolved by span.
+    by_span: BTreeMap<u64, usize>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Open a durable guess (no span; survives crashes). Round-based
+    /// harnesses without a [`crate::world::Simulation`] feed the ledger
+    /// through this directly.
+    pub fn open(&mut self, op: &str, node: Option<NodeId>, basis: &str, at: SimTime) -> GuessId {
+        self.open_inner(op, node, basis, at, None)
+    }
+
+    /// Open a volatile guess tracked by its `guess.outstanding` span.
+    pub(crate) fn open_for_span(
+        &mut self,
+        op: &str,
+        node: Option<NodeId>,
+        basis: &str,
+        at: SimTime,
+        span: SpanId,
+    ) -> GuessId {
+        let id = self.open_inner(op, node, basis, at, Some(span));
+        self.by_span.insert(span.0, id.0 as usize);
+        id
+    }
+
+    fn open_inner(
+        &mut self,
+        op: &str,
+        node: Option<NodeId>,
+        basis: &str,
+        at: SimTime,
+        span: Option<SpanId>,
+    ) -> GuessId {
+        let id = GuessId(self.records.len() as u64);
+        self.records.push(GuessRecord {
+            id,
+            op: op.to_owned(),
+            node,
+            basis: basis.to_owned(),
+            opened_at: at,
+            resolved_at: None,
+            outcome: None,
+            span,
+        });
+        id
+    }
+
+    /// Record the verdict on a guess. Resolving an already-resolved
+    /// guess is a no-op (the first verdict stands).
+    pub fn resolve(&mut self, id: GuessId, at: SimTime, outcome: GuessOutcome) {
+        if let Some(rec) = self.records.get_mut(id.0 as usize) {
+            if rec.outcome.is_none() {
+                rec.resolved_at = Some(at);
+                rec.outcome = Some(outcome);
+            }
+        }
+    }
+
+    /// Resolve the volatile guess tracked by `span`, if one is open.
+    pub(crate) fn resolve_span(&mut self, span: SpanId, at: SimTime, outcome: GuessOutcome) {
+        if let Some(&ix) = self.by_span.get(&span.0) {
+            self.resolve(GuessId(ix as u64), at, outcome);
+        }
+    }
+
+    /// Orphan every open **volatile** guess held by `node` — called on
+    /// crash, because the guess lived in the node's memory and the
+    /// memory is gone. Durable (span-less) guesses survive. Returns the
+    /// span and op of each orphaned guess so the caller can mark the
+    /// orphaning in the flight recorder.
+    pub(crate) fn orphan_node(&mut self, node: NodeId, at: SimTime) -> Vec<(SpanId, String)> {
+        let mut orphaned = Vec::new();
+        for rec in &mut self.records {
+            if rec.node == Some(node) && rec.outcome.is_none() {
+                if let Some(span) = rec.span {
+                    rec.resolved_at = Some(at);
+                    rec.outcome = Some(GuessOutcome::Orphaned);
+                    orphaned.push((span, rec.op.clone()));
+                }
+            }
+        }
+        orphaned
+    }
+
+    /// Every guess, in open order.
+    pub fn records(&self) -> &[GuessRecord] {
+        &self.records
+    }
+
+    /// Look up one guess.
+    pub fn get(&self, id: GuessId) -> Option<&GuessRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Guesses recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no guess was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Guesses still awaiting a verdict.
+    pub fn open_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.is_open()).count() as u64
+    }
+
+    /// True when every guess has a verdict — the post-quiescence
+    /// invariant every substrate must satisfy.
+    pub fn is_settled(&self) -> bool {
+        self.open_count() == 0
+    }
+
+    /// Roll the ledger up into per-substrate accounting.
+    pub fn accounting(&self) -> LedgerAccounting {
+        let mut acc = LedgerAccounting::default();
+        for rec in &self.records {
+            let entry = acc.per_substrate.entry(rec.substrate().to_owned()).or_default();
+            entry.opened += 1;
+            match rec.outcome {
+                Some(GuessOutcome::Confirmed) => {
+                    entry.confirmed += 1;
+                    if let Some(at) = rec.resolved_at {
+                        entry
+                            .confirm_latency_us
+                            .record(at.saturating_since(rec.opened_at).as_micros() as f64);
+                    }
+                }
+                Some(GuessOutcome::Apologized) => {
+                    entry.apologized += 1;
+                    if let Some(at) = rec.resolved_at {
+                        entry
+                            .apology_latency_us
+                            .record(at.saturating_since(rec.opened_at).as_micros() as f64);
+                    }
+                }
+                Some(GuessOutcome::Orphaned) => entry.orphaned += 1,
+                None => entry.open += 1,
+            }
+        }
+        acc
+    }
+
+    /// Export the accounting into the run's metric registry:
+    /// `ledger.opened` / `.confirmed` / `.apologized` / `.orphaned` /
+    /// `.open` counters labeled by substrate, plus the
+    /// `ledger.confirm_latency_us` and `ledger.apology_latency_us`
+    /// histograms.
+    pub fn export_metrics(&self, metrics: &mut MetricSet) {
+        let acc = self.accounting();
+        for (substrate, a) in &acc.per_substrate {
+            let labels = [("substrate", substrate.as_str())];
+            metrics.add_with("ledger.opened", a.opened, &labels);
+            metrics.add_with("ledger.confirmed", a.confirmed, &labels);
+            metrics.add_with("ledger.apologized", a.apologized, &labels);
+            metrics.add_with("ledger.orphaned", a.orphaned, &labels);
+            metrics.add_with("ledger.open", a.open, &labels);
+            for v in a.confirm_latency_us.values() {
+                metrics.record("ledger.confirm_latency_us", v);
+            }
+            for v in a.apology_latency_us.values() {
+                metrics.record("ledger.apology_latency_us", v);
+            }
+        }
+    }
+
+    /// Deterministic JSON: the accounting plus every record.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"accounting\":{},\"records\":[", self.accounting().to_json());
+        for (i, rec) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&rec.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn lifecycle_counts_and_latencies() {
+        let mut l = Ledger::new();
+        let a = l.open("tandem.write_ack", Some(NodeId(1)), "primary memory", t(10));
+        let b = l.open("tandem.write_ack", Some(NodeId(1)), "primary memory", t(20));
+        let c = l.open("bank.clear_check", Some(NodeId(2)), "local balance", t(30));
+        l.resolve(a, t(110), GuessOutcome::Confirmed);
+        l.resolve(b, t(520), GuessOutcome::Apologized);
+        assert!(!l.is_settled());
+        let acc = l.accounting();
+        assert_eq!(acc.opened(), 3);
+        assert_eq!(acc.confirmed(), 1);
+        assert_eq!(acc.apologized(), 1);
+        assert_eq!(acc.open(), 1);
+        let tandem = &acc.per_substrate["tandem"];
+        assert_eq!(tandem.apology_latency_us.summary().max, 500.0);
+        l.resolve(c, t(600), GuessOutcome::Confirmed);
+        assert!(l.is_settled());
+    }
+
+    #[test]
+    fn first_verdict_stands() {
+        let mut l = Ledger::new();
+        let g = l.open("dynamo.hint_handoff", Some(NodeId(0)), "parked hint", t(1));
+        l.resolve(g, t(2), GuessOutcome::Confirmed);
+        l.resolve(g, t(3), GuessOutcome::Apologized);
+        assert_eq!(l.get(g).unwrap().outcome, Some(GuessOutcome::Confirmed));
+    }
+
+    #[test]
+    fn crash_orphans_volatile_but_not_durable_guesses() {
+        let mut l = Ledger::new();
+        let volatile =
+            l.open_for_span("logship.commit_ack", Some(NodeId(3)), "wal", t(5), SpanId(9));
+        let durable = l.open("dynamo.hint_handoff", Some(NodeId(3)), "parked hint", t(6));
+        l.orphan_node(NodeId(3), t(50));
+        assert_eq!(l.get(volatile).unwrap().outcome, Some(GuessOutcome::Orphaned));
+        assert!(l.get(durable).unwrap().is_open(), "durable guesses survive the crash");
+    }
+
+    #[test]
+    fn merge_aggregates_across_runs() {
+        let mut a = Ledger::new();
+        let g = a.open("cart.put", Some(NodeId(0)), "view", t(1));
+        a.resolve(g, t(2), GuessOutcome::Confirmed);
+        let mut b = Ledger::new();
+        b.open("cart.put", Some(NodeId(1)), "view", t(3));
+        let mut total = a.accounting();
+        total.merge(&b.accounting());
+        assert_eq!(total.opened(), 2);
+        assert_eq!(total.open(), 1);
+        assert!(!total.is_settled());
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let mut l = Ledger::new();
+        let g = l.open("bank.clear_check", Some(NodeId(1)), "balance", t(4));
+        l.resolve(g, t(9), GuessOutcome::Apologized);
+        assert_eq!(l.to_json(), l.to_json());
+        assert!(l.to_json().contains("\"apologized\":1"), "{}", l.to_json());
+    }
+}

@@ -56,7 +56,10 @@
 
 pub mod actor;
 pub mod chaos;
+pub mod explain;
+pub mod flight;
 mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -69,6 +72,9 @@ pub use actor::{Actor, Context, NodeId, TimerId};
 pub use chaos::{
     mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk, Violation,
 };
+pub use explain::Explanation;
+pub use flight::{CausalSlice, FlightEvent, FlightId, FlightKind, FlightRecorder};
+pub use ledger::{GuessId, GuessOutcome, GuessRecord, Ledger, LedgerAccounting};
 pub use metrics::{Histogram, HistogramSummary, MetricSet};
 pub use net::{LinkConfig, Network};
 pub use rng::SimRng;

@@ -118,6 +118,12 @@ impl Histogram {
         self.values.iter().sum()
     }
 
+    /// The raw samples, in recording order (used to merge histograms
+    /// across runs, e.g. when a chaos sweep aggregates ledgers).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
     /// Digest of the current samples. Works on `&self` (sorts a copy if
     /// needed) so `Display` and JSON export can use it.
     pub fn summary(&self) -> HistogramSummary {
@@ -157,6 +163,23 @@ impl Histogram {
             self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN recorded in histogram"));
             self.sorted = true;
         }
+    }
+}
+
+impl HistogramSummary {
+    /// One deterministic JSON object for this digest.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}, \"sum\": {}}}",
+            self.count,
+            json::float(self.mean),
+            json::float(self.p50),
+            json::float(self.p90),
+            json::float(self.p99),
+            json::float(self.min),
+            json::float(self.max),
+            json::float(self.sum),
+        )
     }
 }
 
@@ -328,19 +351,7 @@ impl MetricSet {
             if i > 0 {
                 out.push(',');
             }
-            let s = h.summary();
-            out.push_str(&format!(
-                "\n    {}: {{\"n\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}, \"sum\": {}}}",
-                json::string(k),
-                s.count,
-                json::float(s.mean),
-                json::float(s.p50),
-                json::float(s.p90),
-                json::float(s.p99),
-                json::float(s.min),
-                json::float(s.max),
-                json::float(s.sum),
-            ));
+            out.push_str(&format!("\n    {}: {}", json::string(k), h.summary().to_json()));
         }
         out.push_str("\n  }\n}\n");
         out

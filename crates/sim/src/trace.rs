@@ -181,8 +181,12 @@ impl Trace {
         Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
     }
 
-    /// Record an event (evicting the oldest when full).
+    /// Record an event (evicting the oldest when full). Every recorded
+    /// event counts toward [`Trace::total_recorded`], whether or not the
+    /// ring retains it — a zero-capacity or overflowing ring still
+    /// witnesses the run's full event count.
     pub fn record(&mut self, ev: TraceEvent) {
+        self.total += 1;
         if self.capacity == 0 {
             return;
         }
@@ -190,7 +194,6 @@ impl Trace {
             self.events.pop_front();
         }
         self.events.push_back(ev);
-        self.total += 1;
     }
 
     /// The retained events, oldest first.
@@ -201,6 +204,12 @@ impl Trace {
     /// Events recorded over the run's lifetime (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
         self.total
+    }
+
+    /// Events recorded but no longer retained (evicted by the ring, or
+    /// never stored because the ring has zero capacity).
+    pub fn evicted(&self) -> u64 {
+        self.total - self.events.len() as u64
     }
 
     /// Number of retained events.
@@ -214,10 +223,20 @@ impl Trace {
     }
 
     /// Render the last `n` events, one per line — the thing to print when
-    /// an assertion fails.
+    /// an assertion fails. Truncation is explicit: when earlier events
+    /// exist but are not shown (skipped by `n` or evicted from the
+    /// ring), the first line says how many, so a partial history can
+    /// never pass itself off as the whole story.
     pub fn tail(&self, n: usize) -> String {
         let skip = self.events.len().saturating_sub(n);
+        let hidden = self.total - (self.events.len() - skip) as u64;
         let mut out = String::new();
+        if hidden > 0 {
+            out.push_str(&format!(
+                "... {hidden} earlier event(s) not shown ({} evicted from the ring)\n",
+                self.evicted()
+            ));
+        }
         for ev in self.events.iter().skip(skip) {
             out.push_str(&ev.to_string());
             out.push('\n');
@@ -258,21 +277,35 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_records_nothing() {
+    fn zero_capacity_retains_nothing_but_still_counts() {
         let mut t = Trace::new(0);
         t.record(ev(1, TraceKind::Crash));
         assert!(t.is_empty());
-        assert_eq!(t.total_recorded(), 0);
+        assert_eq!(t.total_recorded(), 1, "evicted events still count");
+        assert_eq!(t.evicted(), 1);
     }
 
     #[test]
-    fn tail_renders_most_recent() {
+    fn tail_renders_most_recent_and_declares_whats_hidden() {
         let mut t = Trace::new(10);
         t.record(ev(1, TraceKind::Deliver));
         t.record(ev(2, TraceKind::Crash));
         let s = t.tail(1);
         assert!(s.contains("crash"), "{s}");
         assert!(!s.contains("deliver"), "{s}");
+        assert!(s.starts_with("... 1 earlier event(s) not shown"), "{s}");
+        // Nothing hidden -> no truncation banner.
+        assert!(!t.tail(10).contains("not shown"), "{}", t.tail(10));
+    }
+
+    #[test]
+    fn tail_reports_evictions() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Deliver));
+        }
+        let s = t.tail(10);
+        assert!(s.starts_with("... 3 earlier event(s) not shown (3 evicted from the ring)"), "{s}");
     }
 
     #[test]

@@ -15,6 +15,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::actor::{Action, Actor, Context, NodeId, TimerId};
+use crate::flight::{FlightId, FlightKind, FlightRecorder};
+use crate::ledger::{GuessOutcome, Ledger};
 use crate::metrics::MetricSet;
 use crate::net::{Delivery, LinkConfig, Network};
 use crate::rng::SimRng;
@@ -24,19 +26,25 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 
 enum EventKind<M> {
     /// `hop` is the `net.hop` span opened when the send was planned; it is
-    /// finished (ok/dropped) when the delivery is dispatched.
+    /// finished (ok/dropped) when the delivery is dispatched. `cause` is
+    /// the flight event being dispatched when the send was issued — the
+    /// send→deliver edge of the causal graph.
     Deliver {
         to: NodeId,
         from: NodeId,
         msg: M,
         hop: Option<SpanId>,
+        cause: Option<FlightId>,
     },
+    /// `cause` is the flight event during which the timer was armed —
+    /// the set→fire edge of the causal graph.
     Timer {
         node: NodeId,
         id: TimerId,
         tag: u64,
         epoch: u64,
         span: Option<SpanId>,
+        cause: Option<FlightId>,
     },
     Crash {
         node: NodeId,
@@ -120,6 +128,11 @@ pub struct Simulation<M> {
     next_timer_id: u64,
     started: bool,
     trace: Option<Trace>,
+    flight: Option<FlightRecorder>,
+    ledger: Ledger,
+    /// The flight event currently being dispatched; sends, timer arms,
+    /// and markers issued during its callback cite it as their cause.
+    current_cause: Option<FlightId>,
 }
 
 impl<M: Clone + 'static> Simulation<M> {
@@ -144,6 +157,9 @@ impl<M: Clone + 'static> Simulation<M> {
             next_timer_id: 0,
             started: false,
             trace: None,
+            flight: None,
+            ledger: Ledger::new(),
+            current_cause: None,
         }
     }
 
@@ -157,6 +173,84 @@ impl<M: Clone + 'static> Simulation<M> {
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Record the causal event graph into a bounded ring (see
+    /// [`crate::flight`]). Call before running; costs nothing when never
+    /// enabled.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Take ownership of the flight recorder (for stashing in a report
+    /// after the run). Further dispatches record nothing.
+    pub fn take_flight(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
+    }
+
+    /// The run's guess/apology ledger (see [`crate::ledger`]). Always
+    /// on: a run that makes no guesses has an empty ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Export the ledger's accounting into the run's metric registry
+    /// (call once, after the run, before reading metrics).
+    pub fn export_ledger_metrics(&mut self) {
+        self.ledger.export_metrics(&mut self.metrics);
+    }
+
+    /// Resolve a still-open guess span at final settlement — for
+    /// harnesses whose ground truth is only knowable at report time
+    /// (e.g. an async commit-ack whose shipping confirmation could never
+    /// arrive because the peer stayed dead). Mirrors
+    /// [`Context::resolve_guess`]: records the outstanding window,
+    /// bumps `guess.confirmed`/`guess.apologies`, closes the ledger
+    /// record, and emits a flight event marked `settled=end-of-run`.
+    /// No-op on spans already closed (e.g. by a crash).
+    pub fn settle_guess(&mut self, span: SpanId, confirmed: bool) {
+        let Some(rec) = self.spans.get(span) else { return };
+        if rec.status != SpanStatus::Open {
+            return;
+        }
+        let node = rec.node;
+        let outstanding = self.now.saturating_since(rec.start).as_micros() as f64;
+        self.metrics.record("guess.outstanding_us", outstanding);
+        let label = node.map_or_else(|| "?".to_owned(), |n| n.to_string());
+        let (counter, status) = if confirmed {
+            ("guess.confirmed", SpanStatus::Ok)
+        } else {
+            ("guess.apologies", SpanStatus::Failed)
+        };
+        self.metrics.inc_with(counter, &[("node", label.as_str())]);
+        self.spans.add_field(
+            span,
+            "resolution",
+            if confirmed { "confirmed" } else { "apology" }.to_owned(),
+        );
+        let outcome = if confirmed { GuessOutcome::Confirmed } else { GuessOutcome::Apologized };
+        self.ledger.resolve_span(span, self.now, outcome);
+        if let Some(f) = self.flight.as_mut() {
+            f.record(
+                self.now,
+                FlightKind::GuessResolve,
+                node,
+                None,
+                Some(span),
+                None,
+                None,
+                vec![
+                    ("outcome".to_owned(), outcome.as_str().to_owned()),
+                    ("settled".to_owned(), "end-of-run".to_owned()),
+                ],
+            );
+        }
+        self.spans.finish_span(span, self.now, status);
     }
 
     /// Add an actor; returns its node id. All nodes must be added before
@@ -282,7 +376,7 @@ impl<M: Clone + 'static> Simulation<M> {
     /// model (for harness-driven injection). `from` is attributed as the
     /// sender.
     pub fn inject_at(&mut self, at: SimTime, to: NodeId, from: NodeId, msg: M) {
-        self.push(at, EventKind::Deliver { to, from, msg, hop: None });
+        self.push(at, EventKind::Deliver { to, from, msg, hop: None, cause: None });
     }
 
     /// Run every event up to and including time `horizon`; the clock ends
@@ -360,25 +454,29 @@ impl<M: Clone + 'static> Simulation<M> {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = self.now.max(ev.at);
         match ev.kind {
-            EventKind::Deliver { to, from, msg, hop } => {
+            EventKind::Deliver { to, from, msg, hop, cause } => {
                 if !self.nodes[to.0].up {
                     if let Some(h) = hop {
                         self.spans.finish_span(h, self.now, SpanStatus::Dropped);
                     }
                     self.metrics.inc("sim.dropped_to_down_node");
                     self.record_trace(TraceKind::DropDown, Some(to), Some(from));
+                    self.record_flight(FlightKind::DropDown, Some(to), Some(from), hop, cause);
                     return false;
                 }
                 if let Some(h) = hop {
                     self.spans.finish_span(h, self.now, SpanStatus::Ok);
                 }
                 self.record_trace(TraceKind::Deliver, Some(to), Some(from));
+                self.current_cause =
+                    self.record_flight(FlightKind::Deliver, Some(to), Some(from), hop, cause);
                 // The receiver runs under the hop span, so spans it opens
                 // land inside the sender's causal tree.
                 self.with_actor(to, hop, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.current_cause = None;
                 true
             }
-            EventKind::Timer { node, id, tag, epoch, span } => {
+            EventKind::Timer { node, id, tag, epoch, span, cause } => {
                 if self.cancelled_timers.remove(&id.0) {
                     return false;
                 }
@@ -387,7 +485,10 @@ impl<M: Clone + 'static> Simulation<M> {
                     return false; // timers do not survive crashes
                 }
                 self.record_trace(TraceKind::Timer, Some(node), None);
+                self.current_cause =
+                    self.record_flight(FlightKind::Timer, Some(node), None, span, cause);
                 self.with_actor(node, span, |actor, ctx| actor.on_timer(ctx, tag));
+                self.current_cause = None;
                 true
             }
             EventKind::Crash { node } => {
@@ -404,6 +505,24 @@ impl<M: Clone + 'static> Simulation<M> {
                 self.spans.close_node_spans(node, now);
                 self.metrics.inc("sim.crashes");
                 self.record_trace(TraceKind::Crash, Some(node), None);
+                let fid = self.record_flight(FlightKind::Crash, Some(node), None, None, None);
+                // The crash also orphans the node's volatile guesses: the
+                // memory that owed the apology is gone. Each orphaning is
+                // itself a flight event, caused by the crash.
+                for (span, op) in self.ledger.orphan_node(node, now) {
+                    if let Some(f) = &mut self.flight {
+                        f.record(
+                            now,
+                            FlightKind::GuessResolve,
+                            Some(node),
+                            None,
+                            Some(span),
+                            fid,
+                            Some(op),
+                            vec![("outcome".to_owned(), "orphaned".to_owned())],
+                        );
+                    }
+                }
                 true
             }
             EventKind::Restart { node } => {
@@ -412,27 +531,38 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
                 self.nodes[node.0].up = true;
                 self.record_trace(TraceKind::Restart, Some(node), None);
+                // `on_restart` runs with the restart as its cause, so a
+                // timer re-armed here (e.g. dynamo's gossip) is causally
+                // downstream of the restart — and its absence shows up as
+                // a missing link in the slice.
+                self.current_cause =
+                    self.record_flight(FlightKind::Restart, Some(node), None, None, None);
                 self.with_actor(node, None, |actor, ctx| actor.on_restart(ctx));
+                self.current_cause = None;
                 self.metrics.inc("sim.restarts");
                 true
             }
             EventKind::PartitionGroups { left, right } => {
                 self.record_trace(TraceKind::Partition, None, None);
+                self.record_flight(FlightKind::Partition, None, None, None, None);
                 self.net.partition_groups(&left, &right);
                 true
             }
             EventKind::PartitionOneWay { from, to } => {
                 self.record_trace(TraceKind::Partition, None, None);
+                self.record_flight(FlightKind::Partition, None, None, None, None);
                 self.net.partition_groups_oneway(&from, &to);
                 true
             }
             EventKind::HealGroups { left, right } => {
                 self.record_trace(TraceKind::Heal, None, None);
+                self.record_flight(FlightKind::Heal, None, None, None, None);
                 self.net.heal_groups(&left, &right);
                 true
             }
             EventKind::HealAll => {
                 self.record_trace(TraceKind::Heal, None, None);
+                self.record_flight(FlightKind::Heal, None, None, None, None);
                 self.net.heal_all();
                 true
             }
@@ -442,6 +572,7 @@ impl<M: Clone + 'static> Simulation<M> {
                 self.net.set_link(a, b, link);
                 self.metrics.inc("sim.degrades");
                 self.record_trace(TraceKind::Degrade, Some(a), Some(b));
+                self.record_flight(FlightKind::Degrade, Some(a), Some(b), None, None);
                 self.push(until, EventKind::RestoreLink { a, b, prev_ab, prev_ba });
                 true
             }
@@ -455,6 +586,7 @@ impl<M: Clone + 'static> Simulation<M> {
                     None => self.net.clear_link_oneway(b, a),
                 }
                 self.record_trace(TraceKind::Heal, Some(a), Some(b));
+                self.record_flight(FlightKind::Heal, Some(a), Some(b), None, None);
                 true
             }
         }
@@ -464,6 +596,19 @@ impl<M: Clone + 'static> Simulation<M> {
         if let Some(t) = &mut self.trace {
             t.record(TraceEvent::sim(self.now, kind, node, from));
         }
+    }
+
+    fn record_flight(
+        &mut self,
+        kind: FlightKind,
+        node: Option<NodeId>,
+        from: Option<NodeId>,
+        span: Option<SpanId>,
+        cause: Option<FlightId>,
+    ) -> Option<FlightId> {
+        self.flight
+            .as_mut()
+            .map(|f| f.record(self.now, kind, node, from, span, cause, None, Vec::new()))
     }
 
     /// Run one actor callback with a fresh context (ambient span =
@@ -489,10 +634,14 @@ impl<M: Clone + 'static> Simulation<M> {
             spans: &mut self.spans,
             current_span: ambient,
             trace: &mut self.trace,
+            flight: &mut self.flight,
+            ledger: &mut self.ledger,
+            cause: self.current_cause,
         };
         f(actor.as_mut(), &mut ctx);
         let actions = ctx.actions;
         self.nodes[node.0].actor = Some(actor);
+        let cause = self.current_cause;
         for action in actions {
             match action {
                 Action::Send { to, msg, span } => {
@@ -510,7 +659,13 @@ impl<M: Clone + 'static> Simulation<M> {
                                 }
                                 self.push(
                                     self.now + d,
-                                    EventKind::Deliver { to, from: node, msg: msg.clone(), hop },
+                                    EventKind::Deliver {
+                                        to,
+                                        from: node,
+                                        msg: msg.clone(),
+                                        hop,
+                                        cause,
+                                    },
                                 );
                             }
                         }
@@ -527,7 +682,10 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
                 Action::SetTimer { id, delay, tag, span } => {
                     let epoch = self.nodes[node.0].epoch;
-                    self.push(self.now + delay, EventKind::Timer { node, id, tag, epoch, span });
+                    self.push(
+                        self.now + delay,
+                        EventKind::Timer { node, id, tag, epoch, span, cause },
+                    );
                 }
                 Action::CancelTimer { id } => {
                     self.cancelled_timers.insert(id.0);

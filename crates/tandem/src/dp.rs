@@ -186,7 +186,7 @@ impl DiskProc {
                 // record lollygags in `unshipped`. The ack is a guess —
                 // the write could still die with this CPU — outstanding
                 // until ADP durability covers its LSN.
-                let g = ctx.begin_guess("tandem.write_ack");
+                let g = ctx.begin_guess_basis("tandem.write_ack", "local log, below ADP watermark");
                 self.guesses.push((lsn, g));
                 ctx.send(resp_to, TandemMsg::WriteAck { write });
             }
@@ -453,7 +453,8 @@ impl Actor<TandemMsg> for DiskProc {
                 parked.sort_by_key(|(lsn, _)| *lsn);
                 for (lsn, (resp_to, write, ck)) in parked {
                     ctx.set_current_span(Some(ck));
-                    let g = ctx.begin_guess("tandem.write_ack");
+                    let g =
+                        ctx.begin_guess_basis("tandem.write_ack", "checkpoint died with backup");
                     self.guesses.push((lsn, g));
                     ctx.send(resp_to, TandemMsg::WriteAck { write });
                     ctx.finish_span(ck);

@@ -125,6 +125,9 @@ pub fn build(cfg: &TandemConfig, seed: u64) -> (Simulation<TandemMsg>, Layout) {
 /// Run the configured workload to completion (or the horizon) and report.
 pub fn run(cfg: &TandemConfig, seed: u64) -> TandemReport {
     let (mut sim, lay) = build(cfg, seed);
+    if cfg.flight {
+        sim.enable_flight(1 << 16);
+    }
     sim.run_until(cfg.horizon);
 
     let mut report = TandemReport::default();
@@ -165,6 +168,10 @@ pub fn run(cfg: &TandemConfig, seed: u64) -> TandemReport {
     report.adp_ios = m.counter("tandem.adp_ios");
     report.adp_records = m.counter("tandem.adp_records");
     report.messages = m.counter("sim.messages_sent");
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
+    report.spans = sim.spans().clone();
+    report.flight = sim.take_flight();
     report
 }
 

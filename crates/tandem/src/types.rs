@@ -2,7 +2,7 @@
 //! report for the Tandem NonStop model.
 
 use sim::chaos::FaultPlan;
-use sim::{SimDuration, SimTime};
+use sim::{FlightRecorder, LedgerAccounting, SimDuration, SimTime, SpanStore};
 
 /// Which disk-process generation the cluster runs (§3.1 vs §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +128,9 @@ pub struct TandemConfig {
     pub faults: FaultPlan,
     /// Simulation horizon: the run stops here even if work remains.
     pub horizon: SimTime,
+    /// Enable the forensic flight recorder (causal event graph). Off by
+    /// default; chaos explainers re-run failing seeds with it on.
+    pub flight: bool,
 }
 
 impl Default for TandemConfig {
@@ -150,6 +153,7 @@ impl Default for TandemConfig {
             retry_timeout: SimDuration::from_millis(50),
             faults: FaultPlan::none(),
             horizon: SimTime::from_secs(60),
+            flight: false,
         }
     }
 }
@@ -188,6 +192,13 @@ pub struct TandemReport {
     pub lost_committed: u64,
     /// Wall-clock of the run (simulated seconds).
     pub sim_seconds: f64,
+    /// Guess/apology accounting (`tandem.write_ack` guesses: acked
+    /// writes awaiting ADP durability).
+    pub ledger: LedgerAccounting,
+    /// Every span the run recorded.
+    pub spans: SpanStore,
+    /// The causal event graph, when `TandemConfig::flight` was set.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl TandemReport {

@@ -29,7 +29,10 @@
 //! [`no_leaked_open_spans`] helper adapts the span-hygiene invariant to
 //! any report type that exposes a [`SpanStore`].
 
-use sim::{NodeId, SimDuration, SimRng, SimTime, SpanStore};
+use sim::{
+    Explanation, FlightRecorder, GuessOutcome, Ledger, LedgerAccounting, NodeId, SimDuration,
+    SimRng, SimTime, SpanStore,
+};
 
 pub use sim::chaos::{
     invariant, mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk,
@@ -37,6 +40,21 @@ pub use sim::chaos::{
 };
 
 use rand::Rng;
+
+/// Build an [`Explanation`] from a flight-enabled re-run: target the
+/// last unresolved guess (a promise the run never closed) and fall back
+/// to the last recorded event when every guess resolved.
+fn explanation_from(
+    seed: u64,
+    plan: &FaultPlan,
+    flight: Option<FlightRecorder>,
+    spans: SpanStore,
+) -> Option<Explanation> {
+    let flight = flight?;
+    let target = flight.last_unresolved_guess().or_else(|| flight.events().last().map(|e| e.id))?;
+    let slice = flight.slice(target, &spans);
+    Some(Explanation::new(seed, slice, plan.clone(), spans))
+}
 
 /// No span may still be open once a run's report is cut: crashed nodes
 /// close theirs with `Crashed` status, finished work closes with `Ok`,
@@ -61,6 +79,7 @@ pub fn no_leaked_open_spans<R: 'static>(
 /// the cart can answer for.
 pub fn cart_chaos(mode: cart::CartMode) -> ChaosRun<cart::CartReport> {
     let base = cart::CartScenario { mode, ..cart::CartScenario::default() };
+    let forensic = base.clone();
     let stores: Vec<NodeId> = (0..base.n_stores as usize).map(NodeId).collect();
     let mut nodes = stores.clone();
     nodes.extend((0..base.plans.len()).map(|i| NodeId(base.n_stores as usize + i)));
@@ -98,6 +117,15 @@ pub fn cart_chaos(mode: cart::CartMode) -> ChaosRun<cart::CartReport> {
         }
     })
     .with_invariant(no_leaked_open_spans(|r: &cart::CartReport| &r.spans))
+    .with_ledger(|r: &cart::CartReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut sc = forensic.clone();
+        sc.faults = plan.clone();
+        sc.horizon = sc.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        sc.flight = true;
+        let r = cart::run(&sc, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
+    })
 }
 
 /// Chaos over the raw Dynamo workload (§6.1): a retrying loader
@@ -105,6 +133,7 @@ pub fn cart_chaos(mode: cart::CartMode) -> ChaosRun<cart::CartReport> {
 /// grammar runs against the stores. The loader itself never crashes —
 /// it plays the paper's patient customer.
 pub fn dynamo_chaos(cfg: dynamo::WorkloadConfig) -> ChaosRun<dynamo::WorkloadReport> {
+    let forensic = cfg.clone();
     let stores: Vec<NodeId> = (0..cfg.n_stores as usize).map(NodeId).collect();
     let mut nodes = stores.clone();
     nodes.push(NodeId(cfg.n_stores as usize)); // the loader
@@ -139,6 +168,14 @@ pub fn dynamo_chaos(cfg: dynamo::WorkloadConfig) -> ChaosRun<dynamo::WorkloadRep
             Err(format!("{} of {total} PUTs acked — availability promise broken", r.acked))
         }
     })
+    .with_ledger(|r: &dynamo::WorkloadReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut c = forensic.clone();
+        c.faults = plan.clone();
+        c.flight = true;
+        let r = dynamo::run_workload(&c, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
+    })
 }
 
 /// Chaos over the process-pair substrate (§4): crash-and-restart plans
@@ -147,6 +184,7 @@ pub fn dynamo_chaos(cfg: dynamo::WorkloadConfig) -> ChaosRun<dynamo::WorkloadRep
 /// generated.
 pub fn tandem_chaos(mode: tandem::Mode) -> ChaosRun<tandem::TandemReport> {
     let base = tandem::TandemConfig { mode, ..tandem::TandemConfig::default() };
+    let forensic = base.clone();
     let primaries: Vec<NodeId> = (0..base.n_dps).map(|i| NodeId(base.n_apps + 2 * i)).collect();
     let nodes: Vec<NodeId> = (0..base.n_apps + 2 * base.n_dps + 1).map(NodeId).collect();
     let total = base.n_apps as u64 * base.txns_per_app;
@@ -175,6 +213,15 @@ pub fn tandem_chaos(mode: tandem::Mode) -> ChaosRun<tandem::TandemReport> {
             ))
         }
     })
+    .with_ledger(|r: &tandem::TandemReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut cfg = forensic.clone();
+        cfg.faults = plan.clone();
+        cfg.horizon = cfg.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        cfg.flight = true;
+        let r = tandem::run(&cfg, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
+    })
 }
 
 /// Chaos over asynchronous log shipping (§5.1): the primary crashes and
@@ -188,6 +235,7 @@ pub fn logship_chaos(mode: logship::ShipMode) -> ChaosRun<logship::LogshipReport
         recovery: logship::RecoveryPolicy::Resurrect,
         ..logship::LogshipConfig::default()
     };
+    let forensic = base.clone();
     let primary = NodeId(base.n_clients);
     let nodes: Vec<NodeId> = (0..base.n_clients + 2).map(NodeId).collect();
     let total = base.n_clients as u64 * base.ops_per_client;
@@ -222,6 +270,15 @@ pub fn logship_chaos(mode: logship::ShipMode) -> ChaosRun<logship::LogshipReport
         } else {
             Err(format!("{} of {total} ops acked — clients starved", r.acked))
         }
+    })
+    .with_ledger(|r: &logship::LogshipReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut cfg = forensic.clone();
+        cfg.faults = plan.clone();
+        cfg.horizon = cfg.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        cfg.flight = true;
+        let r = logship::run(&cfg, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
     })
 }
 
@@ -272,6 +329,7 @@ pub fn bank_chaos() -> ChaosRun<bank::ClearingReport> {
         }
     })
     .with_invariant(no_leaked_open_spans(|r: &bank::ClearingReport| &r.spans))
+    .with_ledger(|r: &bank::ClearingReport| r.ledger.clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -329,6 +387,10 @@ pub struct EscrowReport {
     pub fleet_value: i64,
     /// Whether every replica reads the same fleet value at the end.
     pub replicas_agree: bool,
+    /// Guess/apology accounting (`escrow.sale` guesses: sales admitted
+    /// against a local share, all confirmed at settlement — escrow is
+    /// the §5.3 discipline that never has to apologize).
+    pub ledger: LedgerAccounting,
 }
 
 fn round_of(t: SimTime, round_us: f64) -> u64 {
@@ -387,6 +449,9 @@ pub fn run_escrow(scenario: &EscrowScenario, seed: u64) -> EscrowReport {
     let mut rng = SimRng::new(seed ^ 0xe5c4_0e5c_4e5c_40e5);
     let mut report =
         EscrowReport { capacity: scenario.share * n as i64, ..EscrowReport::default() };
+    let mut ledger = Ledger::new();
+    let mut open_sales = Vec::new();
+    let at_round = |round: u64| SimTime::from_micros((round as f64 * scenario.round_us) as u64);
 
     for round in 0..scenario.rounds {
         for (i, stock) in fleet.iter_mut().enumerate() {
@@ -401,6 +466,15 @@ pub fn run_escrow(scenario: &EscrowScenario, seed: u64) -> EscrowReport {
                     Ok(()) => {
                         stock.commit(txn).expect("an admitted reservation commits");
                         report.accepted += 1;
+                        // Each admitted sale is an optimistic promise
+                        // made against local knowledge; the escrowed
+                        // share bounds it, so settlement always confirms.
+                        open_sales.push(ledger.open(
+                            "escrow.sale",
+                            Some(NodeId(i)),
+                            "escrowed local share",
+                            at_round(round),
+                        ));
                     }
                     Err(_) => {
                         stock.abort(txn).expect("a refused txn aborts cleanly");
@@ -435,6 +509,10 @@ pub fn run_escrow(scenario: &EscrowScenario, seed: u64) -> EscrowReport {
     }
     report.fleet_value = fleet[0].fleet_value();
     report.replicas_agree = fleet.iter().all(|s| s.fleet_value() == report.fleet_value);
+    for g in open_sales {
+        ledger.resolve(g, at_round(scenario.rounds), GuessOutcome::Confirmed);
+    }
+    report.ledger = ledger.accounting();
     report
 }
 
@@ -477,4 +555,16 @@ pub fn escrow_chaos() -> ChaosRun<EscrowReport> {
             Err("replicas read different fleet values after full exchange".into())
         }
     })
+    .invariant("escrow-never-apologizes", |r: &EscrowReport| {
+        if r.ledger.apologized() == 0 && r.ledger.is_settled() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} apology(ies), {} guess(es) left open — escrow must be crisp",
+                r.ledger.apologized(),
+                r.ledger.open()
+            ))
+        }
+    })
+    .with_ledger(|r: &EscrowReport| r.ledger.clone())
 }

@@ -1,0 +1,182 @@
+//! Forensics tests: the flight recorder's causal slices and the
+//! guess/apology ledger, end to end.
+//!
+//! The claims under audit:
+//!
+//! 1. **Happens-before closure** — every event in a slice is a causal
+//!    ancestor of the target: ids never exceed the target's, and every
+//!    cause edge inside the slice lands on another slice member (or is
+//!    explicitly counted as truncated; with a roomy ring nothing is).
+//! 2. **Strict subset** — a slice is an explanation, not a replay: it
+//!    must stay well under 20% of the full recorded history.
+//! 3. **Determinism** — the same seed explains itself byte-identically
+//!    twice, both as rendered text and as JSON artifacts on disk.
+//! 4. **The planted `rearm_gossip_on_restart` defect** — with the bug,
+//!    a crashed-and-restarted hint holder never gossips again, so the
+//!    run ends with the stranded hint's durable guess still open, and
+//!    the explainer targets exactly that promise. With the fix, the
+//!    same seed's hints all resolve, and at least one resolution's
+//!    slice contains the `Restart` event whose re-armed gossip timer
+//!    delivered it — the causal evidence the bug removes.
+
+use std::collections::BTreeSet;
+
+use quicksand::cart::{self, CartMode};
+use quicksand::chaos::{cart_chaos, dynamo_chaos, ChaosRun, FaultPlan};
+use quicksand::dynamo::{self, WorkloadConfig};
+use quicksand::sim::{CausalSlice, FlightKind, FlightRecorder, SimDuration, SpanStore};
+
+/// A flight-enabled cart run under the same plan the chaos builder
+/// would generate for `seed`.
+fn cart_flight_run(seed: u64) -> (FlightRecorder, SpanStore) {
+    let spec = cart_chaos(CartMode::OpLog).spec().clone();
+    let plan = FaultPlan::generate(seed, &spec);
+    let mut sc = cart::CartScenario::default();
+    sc.horizon = sc.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+    sc.faults = plan;
+    sc.flight = true;
+    let r = cart::run(&sc, seed);
+    (r.flight.expect("flight was enabled"), r.spans)
+}
+
+/// The happens-before closure property for one slice.
+fn assert_closed_under_causes(slice: &CausalSlice) {
+    assert!(!slice.truncated, "a 64k ring must retain a cart run in full");
+    assert_eq!(slice.missing_ancestors, 0);
+    let members: BTreeSet<u64> = slice.events.iter().map(|e| e.id.0).collect();
+    assert!(members.contains(&slice.target.0), "the slice must contain its own target");
+    for e in &slice.events {
+        assert!(
+            e.id.0 <= slice.target.0,
+            "{} is later than the target {} — not happens-before",
+            e.id,
+            slice.target
+        );
+        if let Some(c) = e.cause {
+            assert!(
+                members.contains(&c.0),
+                "{}'s cause {} is missing from an untruncated slice",
+                e.id,
+                c
+            );
+        }
+    }
+}
+
+#[test]
+fn slices_are_happens_before_closed_across_seeds() {
+    for seed in 0..20 {
+        let (flight, spans) = cart_flight_run(seed);
+        // Two targets per run: the last event (deepest history) and the
+        // last guess opening (the forensically interesting one).
+        let mut targets = vec![flight.events().last().expect("events recorded").id];
+        if let Some(g) = flight.last_matching(|e| e.kind == FlightKind::GuessOpen) {
+            targets.push(g);
+        }
+        for target in targets {
+            let slice = flight.slice(target, &spans);
+            assert_eq!(slice.total_recorded, flight.total_recorded());
+            assert_closed_under_causes(&slice);
+        }
+    }
+}
+
+#[test]
+fn slices_are_strict_subsets_of_the_full_trace() {
+    for seed in [1, 5, 11] {
+        let (flight, spans) = cart_flight_run(seed);
+        let target = flight.events().last().expect("events recorded").id;
+        let slice = flight.slice(target, &spans);
+        assert!(!slice.events.is_empty());
+        assert!(
+            slice.fraction_of_total() < 0.20,
+            "seed {seed}: slice is {:.1}% of {} events — an explanation, not a replay",
+            slice.fraction_of_total() * 100.0,
+            slice.total_recorded
+        );
+    }
+}
+
+#[test]
+fn planted_rearm_bug_is_explained_and_the_fix_shows_the_rearm() {
+    let mut buggy = WorkloadConfig::default();
+    buggy.dynamo.rearm_gossip_on_restart = false;
+
+    let run = dynamo_chaos(buggy);
+    let report = run.sweep(0..12);
+    assert!(!report.passed(), "a 12-seed sweep must catch the stranded hints:\n{report}");
+    let seed = report.failures[0].seed;
+
+    // The explainer's target is the stranded hint: a durable guess the
+    // run never closed.
+    let e = run.explain_seed(seed).expect("a failing seed explains itself");
+    assert!(!e.violations.is_empty(), "the re-run must reproduce the violation");
+    let target = e
+        .slice
+        .events
+        .iter()
+        .find(|ev| ev.id == e.slice.target)
+        .expect("the slice contains its target");
+    assert_eq!(target.kind, FlightKind::GuessOpen);
+    assert_eq!(target.label.as_deref(), Some("dynamo.hint_handoff"));
+    assert!(
+        target.fields.iter().any(|(k, v)| k == "durable" && v == "true"),
+        "the stranded promise is a durable guess: {target:?}"
+    );
+    // And the sweep-side accounting agrees: the merged ledger still
+    // carries open guesses.
+    assert!(report.ledger.open() > 0, "stranded hints must show as open in the ledger");
+
+    // Same seed, bug fixed: every hint resolves, and at least one
+    // resolution is causally downstream of a Restart — the re-armed
+    // gossip timer the defect removes.
+    let fixed = WorkloadConfig {
+        faults: FaultPlan::generate(seed, run.spec()),
+        flight: true,
+        ..WorkloadConfig::default()
+    };
+    let r = dynamo::run_workload(&fixed, seed);
+    assert!(r.ledger.is_settled(), "with the fix the ledger settles: {:?}", r.ledger);
+    let flight = r.flight.expect("flight was enabled");
+    let resolves: Vec<_> = flight
+        .events()
+        .filter(|ev| {
+            ev.kind == FlightKind::GuessResolve
+                && ev.label.as_deref() == Some("dynamo.hint_handoff")
+        })
+        .map(|ev| ev.id)
+        .collect();
+    assert!(!resolves.is_empty(), "the crash schedule must park and later deliver hints");
+    let rearm_evidenced = resolves.iter().any(|id| {
+        flight.slice(*id, &r.spans).events.iter().any(|ev| ev.kind == FlightKind::Restart)
+    });
+    assert!(
+        rearm_evidenced,
+        "some hint delivery must trace back to the restart's re-armed gossip timer"
+    );
+}
+
+#[test]
+fn explain_artifacts_are_byte_identical_across_runs() {
+    let mut buggy = WorkloadConfig::default();
+    buggy.dynamo.rearm_gossip_on_restart = false;
+    let run = dynamo_chaos(buggy);
+    let report = run.sweep(0..12);
+    assert!(!report.passed());
+    let seed = report.failures[0].seed;
+
+    let a = run.explain_seed(seed).expect("failing seed explains itself");
+    let b = run.explain_seed(seed).expect("failing seed explains itself");
+    assert_eq!(a.render_text(), b.render_text(), "text artifact must be deterministic");
+    assert_eq!(a.to_json(), b.to_json(), "json artifact must be deterministic");
+
+    // And through the artifact writer: same bytes on disk.
+    let base = std::env::temp_dir().join(format!("quicksand-forensics-{}", std::process::id()));
+    let (txt1, json1) =
+        ChaosRun::<()>::write_artifacts(&base.join("run1"), &a).expect("artifacts write");
+    let (txt2, json2) =
+        ChaosRun::<()>::write_artifacts(&base.join("run2"), &b).expect("artifacts write");
+    assert_eq!(std::fs::read(&txt1).unwrap(), std::fs::read(&txt2).unwrap());
+    assert_eq!(std::fs::read(&json1).unwrap(), std::fs::read(&json2).unwrap());
+    let _ = std::fs::remove_dir_all(&base);
+}
