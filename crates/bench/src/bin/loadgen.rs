@@ -1,0 +1,209 @@
+//! Closed-loop load generator for the wall-clock cart service.
+//!
+//! Launches an N-store dynamo ring of CRDT carts plus C closed-loop
+//! clients (every node is its own OS worker thread), drives a
+//! configurable get/put mix, then audits the run: every acknowledged
+//! add must be present in the reconciled store state — a lost acked op
+//! is a nonzero exit, not a log line.
+//!
+//! ```text
+//! cargo run -p quicksand-bench --release --bin loadgen -- \
+//!     --stores 4 --clients 8 --ops 6250 --keys 512 --put-pct 50 \
+//!     --transport loopback --json-out loadgen.json
+//! ```
+//!
+//! Reported: total ops, wall-clock throughput, and p50/p99 GET/PUT
+//! latencies from the shared `MetricSet` histograms. The `--json-out`
+//! file is byte-stable across runs except for the timing fields
+//! (`elapsed_secs`, `throughput_ops_per_sec`, `*_us` percentiles).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use cart::CrdtCart;
+use dynamo::{DynamoConfig, StoreNode};
+use quicksand_bench::service::{add_crdt_stores, LoadClient};
+use quicksand_runtime::{RuntimeBuilder, TransportKind};
+use sim::SimDuration;
+
+use crdt::Crdt;
+
+fn arg_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    Some(args.remove(pos))
+}
+
+struct Config {
+    stores: u32,
+    clients: u32,
+    ops_per_client: u64,
+    keys: u64,
+    put_pct: u32,
+    think_us: u64,
+    transport: TransportKind,
+    seed: Option<u64>,
+    timeout_secs: u64,
+    json_out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = Config {
+        stores: arg_value(&mut args, "--stores").map_or(4, |v| v.parse().expect("--stores")),
+        clients: arg_value(&mut args, "--clients").map_or(8, |v| v.parse().expect("--clients")),
+        ops_per_client: arg_value(&mut args, "--ops").map_or(6250, |v| v.parse().expect("--ops")),
+        keys: arg_value(&mut args, "--keys").map_or(512, |v| v.parse().expect("--keys")),
+        put_pct: arg_value(&mut args, "--put-pct").map_or(50, |v| v.parse().expect("--put-pct")),
+        think_us: arg_value(&mut args, "--think-us").map_or(0, |v| v.parse().expect("--think-us")),
+        transport: arg_value(&mut args, "--transport")
+            .map_or(TransportKind::Loopback, |v| v.parse().unwrap_or_else(|e| panic!("{e}"))),
+        seed: arg_value(&mut args, "--seed").map(|v| v.parse().expect("--seed")),
+        timeout_secs: arg_value(&mut args, "--timeout-secs")
+            .map_or(300, |v| v.parse().expect("--timeout-secs")),
+        json_out: arg_value(&mut args, "--json-out"),
+    };
+    if !args.is_empty() {
+        eprintln!("unknown args: {args:?}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut b = RuntimeBuilder::new();
+    if let Some(s) = cfg.seed {
+        b = b.seed(s);
+    }
+    let store_ids = add_crdt_stores(&mut b, cfg.stores, &DynamoConfig::default());
+    let mut client_ids = Vec::new();
+    for c in 0..cfg.clients {
+        let client =
+            LoadClient::new(c, store_ids.clone(), cfg.ops_per_client, cfg.keys, cfg.put_pct)
+                .with_think(SimDuration::from_micros(cfg.think_us));
+        client_ids.push(b.add_node(client));
+    }
+
+    let total_ops = cfg.clients as u64 * cfg.ops_per_client;
+    eprintln!(
+        "loadgen: {} stores + {} clients on {:?} ({} worker threads), {} ops total, {}% puts",
+        cfg.stores,
+        cfg.clients,
+        cfg.transport,
+        cfg.stores + cfg.clients,
+        total_ops,
+        cfg.put_pct,
+    );
+
+    let started = Instant::now();
+    let rt = b.launch_transport(cfg.transport).expect("launch");
+
+    // Closed loop: poll until every client has worked through its ops.
+    let deadline = started + Duration::from_secs(cfg.timeout_secs);
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let done = client_ids.iter().all(|&c| rt.inspect::<LoadClient, bool, _>(c, |cl| cl.done()));
+        if done {
+            break;
+        }
+        if Instant::now() > deadline {
+            eprintln!("TIMEOUT: clients still running after {}s", cfg.timeout_secs);
+            std::process::exit(1);
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Let a final round of anti-entropy spread the tail, then audit.
+    std::thread::sleep(Duration::from_millis(300));
+    let report = rt.shutdown();
+
+    // Gather client-side truth.
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    let (mut get_failures, mut put_failures, mut stuck) = (0u64, 0u64, 0u64);
+    for &c in &client_ids {
+        let cl = report.actor::<LoadClient>(c);
+        acked.extend(cl.acked_adds.iter().copied());
+        get_failures += cl.get_failures;
+        put_failures += cl.put_failures;
+        stuck += cl.stuck_retries;
+    }
+
+    // Reconcile every store's state per key and audit acked adds.
+    let stores: Vec<&StoreNode<CrdtCart>> =
+        store_ids.iter().map(|&s| report.actor::<StoreNode<CrdtCart>>(s)).collect();
+    let mut reconciled: BTreeMap<u64, BTreeMap<u64, u32>> = BTreeMap::new();
+    for key in 0..cfg.keys {
+        let mut joined = CrdtCart::new();
+        for s in &stores {
+            for v in s.versions(key) {
+                joined.merge(&v.value);
+            }
+        }
+        reconciled.insert(key, joined.materialize());
+    }
+    let lost: Vec<(u64, u64)> = acked
+        .iter()
+        .copied()
+        .filter(|(key, item)| !reconciled.get(key).is_some_and(|c| c.contains_key(item)))
+        .collect();
+
+    let mut core = report.core;
+    let p = |core: &mut sim::EngineCore, name: &str, pct: f64| -> f64 {
+        core.metrics.histogram(name).percentile(pct)
+    };
+    let gets = core.metrics.histogram("load.get_us").count() as u64;
+    let puts = core.metrics.histogram("load.put_us").count() as u64;
+    let (get_p50, get_p99) = (p(&mut core, "load.get_us", 50.0), p(&mut core, "load.get_us", 99.0));
+    let (put_p50, put_p99) = (p(&mut core, "load.put_us", 50.0), p(&mut core, "load.put_us", 99.0));
+    let throughput = total_ops as f64 / elapsed.as_secs_f64();
+
+    eprintln!(
+        "completed {total_ops} ops in {:.2}s — {throughput:.0} ops/s across {} worker threads",
+        elapsed.as_secs_f64(),
+        cfg.stores + cfg.clients,
+    );
+    eprintln!("  GET ({gets}): p50 {get_p50:.0} us, p99 {get_p99:.0} us");
+    eprintln!("  PUT ({puts}): p50 {put_p50:.0} us, p99 {put_p99:.0} us");
+    eprintln!(
+        "  acked adds {} | lost {} | get failures {get_failures} | put failures {put_failures} | stuck retries {stuck}",
+        acked.len(),
+        lost.len(),
+    );
+
+    if let Some(path) = &cfg.json_out {
+        // Key order is fixed and all non-timing fields are functions of
+        // the workload, so two runs of the same config differ only in
+        // the timing values.
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"stores\": {},", cfg.stores);
+        let _ = writeln!(json, "  \"clients\": {},", cfg.clients);
+        let _ = writeln!(json, "  \"worker_threads\": {},", cfg.stores + cfg.clients);
+        let _ = writeln!(json, "  \"transport\": \"{:?}\",", cfg.transport);
+        let _ = writeln!(json, "  \"ops_total\": {total_ops},");
+        let _ = writeln!(json, "  \"put_pct\": {},", cfg.put_pct);
+        let _ = writeln!(json, "  \"acked_adds\": {},", acked.len());
+        let _ = writeln!(json, "  \"lost_acked_adds\": {},", lost.len());
+        let _ = writeln!(json, "  \"elapsed_secs\": {:.3},", elapsed.as_secs_f64());
+        let _ = writeln!(json, "  \"throughput_ops_per_sec\": {throughput:.0},");
+        let _ = writeln!(json, "  \"get_p50_us\": {get_p50:.0},");
+        let _ = writeln!(json, "  \"get_p99_us\": {get_p99:.0},");
+        let _ = writeln!(json, "  \"put_p50_us\": {put_p50:.0},");
+        let _ = writeln!(json, "  \"put_p99_us\": {put_p99:.0}");
+        json.push_str("}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+
+    if !lost.is_empty() {
+        eprintln!("LOST ACKED ADDS (first 10): {:?}", &lost[..lost.len().min(10)]);
+        std::process::exit(1);
+    }
+}

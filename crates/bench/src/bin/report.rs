@@ -65,7 +65,7 @@ fn main() {
             match table_by_id(id, seed) {
                 Some(t) => println!("{t}"),
                 None => {
-                    eprintln!("unknown experiment id: {id} (try e1..e16, a1..a3)");
+                    eprintln!("unknown experiment id: {id} (try e1..e16, e18, e19, a1..a3)");
                     std::process::exit(2);
                 }
             }

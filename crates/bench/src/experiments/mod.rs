@@ -5,6 +5,7 @@ pub mod bank_exp;
 pub mod cart_exp;
 pub mod crdt_exp;
 pub mod deposits_exp;
+pub mod e19;
 pub mod escrow_exp;
 pub mod forensics_exp;
 pub mod gossip_exp;

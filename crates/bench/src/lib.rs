@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod service;
 pub mod table;
 
 pub use table::{metrics_appendix, Table};
@@ -43,6 +44,7 @@ pub fn all_tables(seed: u64) -> Vec<Table> {
         quorum_exp::e15(seed),
         crdt_exp::e16(seed),
         forensics_exp::e18(seed),
+        e19::e19(seed),
         ablations::a1(seed),
         ablations::a2(seed),
         gossip_exp::a3(seed),
@@ -97,6 +99,7 @@ pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
         "e15" => quorum_exp::e15(seed),
         "e16" => crdt_exp::e16(seed),
         "e18" => forensics_exp::e18(seed),
+        "e19" => e19::e19(seed),
         "a1" => ablations::a1(seed),
         "a2" => ablations::a2(seed),
         "a3" => gossip_exp::a3(seed),

@@ -1,0 +1,347 @@
+//! The cart *service* on the wall-clock runtime: the same
+//! [`dynamo::StoreNode`] + [`cart::CrdtCart`] actors the simulator runs,
+//! stood up as real worker threads behind the `serve`/`loadgen` bins and
+//! the E19 cross-check.
+//!
+//! Nothing here is a new implementation of anything — that is the point.
+//! The ring construction mirrors [`dynamo::build_crdt_cluster`] verbatim
+//! (stores occupy node ids `0..n`, squashing siblings server-side), and
+//! the closed-loop [`LoadClient`] speaks the same `ClientGet`/`ClientPut`
+//! protocol the sim shoppers use.
+
+use std::collections::BTreeMap;
+
+use cart::{CartAction, CrdtCart};
+use dynamo::{DynamoConfig, DynamoMsg, Ring, StoreNode, VectorClock, Versioned};
+use quicksand_runtime::RuntimeBuilder;
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use crdt::Crdt;
+
+/// The message type the whole service speaks.
+pub type ServiceMsg = DynamoMsg<CrdtCart>;
+
+/// Add `n_stores` sibling-squashing CRDT store nodes to a runtime
+/// builder — the wall-clock twin of [`dynamo::build_crdt_cluster`].
+/// Stores take node ids `0..n_stores`; clients must be added afterwards.
+pub fn add_crdt_stores(
+    b: &mut RuntimeBuilder<ServiceMsg>,
+    n_stores: u32,
+    cfg: &DynamoConfig,
+) -> Vec<NodeId> {
+    let ring = Ring::new(n_stores, cfg.vnodes);
+    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
+    for s in 0..n_stores {
+        let node = StoreNode::<CrdtCart>::new(s, ring.clone(), stores.clone(), cfg.clone())
+            .with_sibling_squash();
+        let id = b.add_node(node);
+        debug_assert_eq!(id, stores[s as usize]);
+    }
+    stores
+}
+
+const TAG_SHIFT: u64 = 48;
+const TAG_NEXT: u64 = 1;
+const TAG_STUCK: u64 = 2;
+
+fn tag(kind: u64, payload: u64) -> u64 {
+    (kind << TAG_SHIFT) | payload
+}
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    Getting { req: u64 },
+    Putting { req: u64 },
+}
+
+/// The operation currently in flight (kept across retries).
+#[derive(Debug)]
+struct CurrentOp {
+    key: u64,
+    /// `Some(item)` for an add-edit op, `None` for a read-only op.
+    item: Option<u64>,
+    /// Whether the add was already applied into the session cache —
+    /// retries re-PUT the session state instead of re-applying (which
+    /// would inflate the item's PN-counter quantity).
+    applied: bool,
+    issued_at: SimTime,
+}
+
+/// A closed-loop load-generating client: GET the cart at a random key,
+/// optionally apply one unique-item add, PUT it back, repeat. One op
+/// completes before the next begins, so offered load self-regulates to
+/// what the service sustains — throughput is the measurement, not a
+/// knob.
+///
+/// Per-op latencies land in the shared metric histograms `load.get_us`
+/// and `load.put_us`; acked adds are remembered for the loss audit
+/// (`loadgen` fails the run if any acked add is missing from the
+/// reconciled stores).
+#[derive(Debug)]
+pub struct LoadClient {
+    /// Client id (namespaces items, request ids, and the CRDT replica).
+    pub id: u32,
+    stores: Vec<NodeId>,
+    ops_total: u64,
+    keys: u64,
+    put_pct: u32,
+    think: SimDuration,
+    stuck_timeout: SimDuration,
+
+    phase: Phase,
+    current: Option<CurrentOp>,
+    req_counter: u64,
+    next_item: u64,
+    /// Per-key session cache (join of everything this client wrote or
+    /// observed) — required for dot uniqueness, exactly as documented on
+    /// [`cart::CrdtShopper`]'s session field.
+    session: BTreeMap<u64, CrdtCart>,
+
+    /// Completed operations.
+    pub ops_done: u64,
+    /// Adds acknowledged by the store, as `(key, item)`.
+    pub acked_adds: Vec<(u64, u64)>,
+    /// GETs that failed (op proceeded on the session view).
+    pub get_failures: u64,
+    /// PUTs that failed (op retried).
+    pub put_failures: u64,
+    /// Ops restarted by the stuck-request timeout.
+    pub stuck_retries: u64,
+}
+
+impl LoadClient {
+    /// A client that will run `ops_total` operations against `stores`,
+    /// spreading edits over `keys` cart keys, with `put_pct`% of ops
+    /// being add-edits (the rest read-only).
+    pub fn new(id: u32, stores: Vec<NodeId>, ops_total: u64, keys: u64, put_pct: u32) -> Self {
+        LoadClient {
+            id,
+            stores,
+            ops_total,
+            keys: keys.max(1),
+            put_pct: put_pct.min(100),
+            think: SimDuration::ZERO,
+            stuck_timeout: SimDuration::from_millis(500),
+            phase: Phase::Idle,
+            current: None,
+            req_counter: 0,
+            next_item: 0,
+            session: BTreeMap::new(),
+            ops_done: 0,
+            acked_adds: Vec::new(),
+            get_failures: 0,
+            put_failures: 0,
+            stuck_retries: 0,
+        }
+    }
+
+    /// Think time between ops (default zero: fully closed loop).
+    pub fn with_think(mut self, think: SimDuration) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// True when every planned op has completed.
+    pub fn done(&self) -> bool {
+        self.ops_done >= self.ops_total
+    }
+
+    fn replica(&self) -> u64 {
+        0x4C_0000 + self.id as u64
+    }
+
+    fn new_req(&mut self) -> u64 {
+        self.req_counter += 1;
+        ((self.id as u64) << 32) | self.req_counter
+    }
+
+    fn begin_op(&mut self, ctx: &mut Context<'_, ServiceMsg>) {
+        if self.current.is_none() {
+            if self.done() {
+                return;
+            }
+            let key = ctx.rng().gen_range(0..self.keys);
+            let is_put = ctx.rng().gen_range(0..100) < self.put_pct as u64;
+            let item = is_put.then(|| {
+                let item = ((self.id as u64) << 32) | self.next_item;
+                self.next_item += 1;
+                item
+            });
+            self.current = Some(CurrentOp { key, item, applied: false, issued_at: ctx.now() });
+        }
+        let op_key = self.current.as_ref().expect("op in progress").key;
+        let req = self.new_req();
+        self.phase = Phase::Getting { req };
+        self.current.as_mut().expect("op in progress").issued_at = ctx.now();
+        let me = ctx.me();
+        let coord = self.stores[ctx.rng().gen_range(0..self.stores.len())];
+        ctx.send(coord, DynamoMsg::ClientGet { req, key: op_key, resp_to: me });
+        ctx.set_timer(self.stuck_timeout, tag(TAG_STUCK, req));
+    }
+
+    fn put_back(
+        &mut self,
+        ctx: &mut Context<'_, ServiceMsg>,
+        mut cart: CrdtCart,
+        context: VectorClock,
+    ) {
+        let (key, item, already_applied) = {
+            let op = self.current.as_ref().expect("op in progress");
+            (op.key, op.item.expect("put_back only runs for add ops"), op.applied)
+        };
+        // Fold in the session cache first (dot uniqueness), then apply
+        // the add exactly once per op — a retry re-PUTs the session
+        // state, which already carries the item.
+        if let Some(s) = self.session.get(&key) {
+            cart.merge(s);
+        }
+        if !already_applied {
+            cart.apply(self.replica(), &CartAction::Add { item, qty: 1 });
+            self.current.as_mut().expect("op in progress").applied = true;
+        }
+        self.session.insert(key, cart.clone());
+        let req = self.new_req();
+        self.phase = Phase::Putting { req };
+        self.current.as_mut().expect("op in progress").issued_at = ctx.now();
+        let me = ctx.me();
+        let coord = self.stores[ctx.rng().gen_range(0..self.stores.len())];
+        ctx.send(coord, DynamoMsg::ClientPut { req, key, value: cart, context, resp_to: me });
+        ctx.set_timer(self.stuck_timeout, tag(TAG_STUCK, req));
+    }
+
+    fn finish_op(&mut self, ctx: &mut Context<'_, ServiceMsg>) {
+        let op = self.current.take().expect("op in progress");
+        if let Some(item) = op.item {
+            self.acked_adds.push((op.key, item));
+        }
+        self.ops_done += 1;
+        self.phase = Phase::Idle;
+        ctx.metrics().inc("load.ops_done");
+        if self.done() {
+            return;
+        }
+        if self.think == SimDuration::ZERO {
+            self.begin_op(ctx);
+        } else {
+            let jitter = ctx.rng().gen_range(0..=self.think.as_micros());
+            ctx.set_timer(self.think + SimDuration::from_micros(jitter), tag(TAG_NEXT, 0));
+        }
+    }
+
+    fn retry_op(&mut self, ctx: &mut Context<'_, ServiceMsg>) {
+        self.phase = Phase::Idle;
+        ctx.metrics().inc("load.retries");
+        let backoff = SimDuration::from_micros(ctx.rng().gen_range(1_000..20_000));
+        ctx.set_timer(backoff, tag(TAG_NEXT, 0));
+    }
+}
+
+impl Actor<ServiceMsg> for LoadClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, ServiceMsg>) {
+        // Small jitter so a fleet of clients does not start in lockstep.
+        let jitter = ctx.rng().gen_range(0..5_000);
+        ctx.set_timer(SimDuration::from_micros(jitter), tag(TAG_NEXT, 0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ServiceMsg>, t: u64) {
+        match t >> TAG_SHIFT {
+            TAG_NEXT => {
+                if matches!(self.phase, Phase::Idle) {
+                    self.begin_op(ctx);
+                }
+            }
+            TAG_STUCK => {
+                let req = t & ((1 << TAG_SHIFT) - 1);
+                let stuck = match self.phase {
+                    Phase::Getting { req: r } | Phase::Putting { req: r } => r == req,
+                    Phase::Idle => false,
+                };
+                if stuck {
+                    self.stuck_retries += 1;
+                    ctx.metrics().inc("load.stuck_retries");
+                    self.retry_op(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ServiceMsg>, _from: NodeId, msg: ServiceMsg) {
+        match msg {
+            DynamoMsg::GetOk { req, versions, .. } => {
+                if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
+                    return;
+                }
+                let issued = self.current.as_ref().expect("op in progress").issued_at;
+                let lat = (ctx.now() - issued).as_micros() as f64;
+                ctx.metrics().record("load.get_us", lat);
+                let is_put = self.current.as_ref().expect("op in progress").item.is_some();
+                if !is_put {
+                    self.finish_op(ctx);
+                    return;
+                }
+                let mut cart = CrdtCart::new();
+                let mut context = VectorClock::new();
+                for v in &versions {
+                    cart.merge(&v.value);
+                    context = context.merged(&v.effective_clock());
+                }
+                self.put_back(ctx, cart, context);
+            }
+            DynamoMsg::GetFailed { req } => {
+                if !matches!(self.phase, Phase::Getting { req: r } if r == req) {
+                    return;
+                }
+                self.get_failures += 1;
+                ctx.metrics().inc("load.get_failures");
+                if self.current.as_ref().expect("op in progress").item.is_some() {
+                    // Availability over consistency: proceed on the
+                    // session view (the lattice join absorbs the races).
+                    self.put_back(ctx, CrdtCart::new(), VectorClock::new());
+                } else {
+                    self.finish_op(ctx);
+                }
+            }
+            DynamoMsg::PutOk { req } => {
+                if !matches!(self.phase, Phase::Putting { req: r } if r == req) {
+                    return;
+                }
+                let issued = self.current.as_ref().expect("op in progress").issued_at;
+                let lat = (ctx.now() - issued).as_micros() as f64;
+                ctx.metrics().record("load.put_us", lat);
+                self.finish_op(ctx);
+            }
+            DynamoMsg::PutFailed { req } => {
+                if !matches!(self.phase, Phase::Putting { req: r } if r == req) {
+                    return;
+                }
+                self.put_failures += 1;
+                ctx.metrics().inc("load.put_failures");
+                self.retry_op(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The reconciled view of one key: the join of every store's sibling
+/// set, materialized. The loss audit runs against this.
+pub fn reconciled_cart(stores: &[&StoreNode<CrdtCart>], key: u64) -> BTreeMap<u64, u32> {
+    let mut joined = CrdtCart::new();
+    for s in stores {
+        for v in s.versions(key) {
+            joined.merge(&v.value);
+        }
+    }
+    joined.materialize()
+}
+
+/// Every store's versions for `key`, for convergence checks.
+pub fn versions_of<'a>(
+    stores: &[&'a StoreNode<CrdtCart>],
+    key: u64,
+) -> Vec<&'a [Versioned<CrdtCart>]> {
+    stores.iter().map(|s| s.versions(key)).collect()
+}

@@ -25,6 +25,7 @@
 use std::collections::BTreeMap;
 
 use crdt::{Crdt, ORSet, PNCounter};
+use quicksand_core::{WireCodec, WireError};
 
 use crate::op::{Cart, CartAction};
 
@@ -126,6 +127,16 @@ impl Crdt for CrdtCart {
     }
 }
 
+impl WireCodec for CrdtCart {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.members.encode(buf);
+        self.qtys.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CrdtCart { members: ORSet::decode(buf)?, qtys: BTreeMap::decode(buf)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +200,27 @@ mod tests {
         cart.apply(1, &CartAction::Remove { item: 7 });
         cart.apply(1, &CartAction::Add { item: 7, qty: 1 });
         assert_eq!(cart.materialize().get(&7), Some(&1));
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_materialized_view_and_merge_behaviour() {
+        let mut cart = CrdtCart::new();
+        cart.apply(1, &CartAction::Add { item: 3, qty: 2 });
+        cart.apply(2, &CartAction::Add { item: 4, qty: 1 });
+        cart.apply(1, &CartAction::Remove { item: 3 });
+        cart.apply(2, &CartAction::ChangeQty { item: 4, qty: 9 });
+        let bytes = quicksand_core::wire::to_bytes(&cart);
+        let back: CrdtCart = quicksand_core::wire::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, cart);
+        // A decoded cart must keep merging correctly (observed-remove
+        // bookkeeping survived the trip).
+        let mut other = CrdtCart::new();
+        other.apply(3, &CartAction::Add { item: 3, qty: 7 });
+        let mut merged_orig = cart.clone();
+        merged_orig.merge(&other);
+        let mut merged_back = back;
+        merged_back.merge(&other);
+        assert_eq!(merged_back, merged_orig);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use dynamo::Versioned;
 use quicksand_core::op::{OpLog, Operation};
 use quicksand_core::uniquifier::Uniquifier;
+use quicksand_core::{WireCodec, WireError};
 
 /// What a shopper asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +101,45 @@ impl Operation for CartOp {
                 cart.remove(item);
             }
         }
+    }
+}
+
+impl WireCodec for CartAction {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CartAction::Add { item, qty } => {
+                buf.push(0);
+                item.encode(buf);
+                qty.encode(buf);
+            }
+            CartAction::ChangeQty { item, qty } => {
+                buf.push(1);
+                item.encode(buf);
+                qty.encode(buf);
+            }
+            CartAction::Remove { item } => {
+                buf.push(2);
+                item.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(CartAction::Add { item: u64::decode(buf)?, qty: u32::decode(buf)? }),
+            1 => Ok(CartAction::ChangeQty { item: u64::decode(buf)?, qty: u32::decode(buf)? }),
+            2 => Ok(CartAction::Remove { item: u64::decode(buf)? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireCodec for CartOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.action.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CartOp { id: Uniquifier::decode(buf)?, action: CartAction::decode(buf)? })
     }
 }
 
@@ -256,6 +296,18 @@ mod tests {
         log.record(op(5, CartAction::Remove { item: 42 }));
         log.record(op(6, CartAction::ChangeQty { item: 42, qty: 9 }));
         assert_eq!(log.materialize().get(&42), None, "{log:?}");
+    }
+
+    #[test]
+    fn cart_blob_round_trips_over_the_wire() {
+        let mut log = CartBlob::new();
+        log.record(op(1, CartAction::Add { item: 10, qty: 2 }));
+        log.record(op(2, CartAction::ChangeQty { item: 10, qty: 5 }));
+        log.record(op(3, CartAction::Remove { item: 10 }));
+        let bytes = quicksand_core::wire::to_bytes(&log);
+        let back: CartBlob = quicksand_core::wire::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.materialize(), log.materialize());
     }
 
     #[test]

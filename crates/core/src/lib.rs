@@ -20,6 +20,7 @@
 //! | [`resources`] | Over-booking vs over-provisioning, fungibility, redundant grants | §7.1, §7.4, §7.5 |
 //! | [`reservation`] | The seat-reservation pattern with timeout cleanup | §7.3 |
 //! | [`workflow`] | The paper-forms protocol: carbon copies, due dates, unmodified resubmission | §7.7 |
+//! | [`wire`] | Zero-dependency wire encoding for ops crossing real process boundaries | §6.1 contract |
 //!
 //! The crate is deliberately substrate-free: no I/O, no clocks, no
 //! threads. The `sim` crate supplies time and failure; the `tandem`,
@@ -67,6 +68,7 @@ pub mod reservation;
 pub mod resources;
 pub mod rules;
 pub mod uniquifier;
+pub mod wire;
 pub mod workflow;
 
 pub use idempotence::{DedupTable, EffectLedger, Outcome};
@@ -74,4 +76,5 @@ pub use mga::{Apology, ApologyQueue, Decision, Replica, ReplicaId};
 pub use op::{OpLog, Operation};
 pub use rules::{BusinessRule, GuaranteeClass, RiskPolicy, RuleOutcome};
 pub use uniquifier::{Uniquifier, UniquifierSource};
+pub use wire::{WireCodec, WireError};
 pub use workflow::{FormRecord, PaperTrail};

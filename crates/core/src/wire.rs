@@ -1,0 +1,329 @@
+//! Hand-rolled wire encoding for shipping operations between real
+//! processes.
+//!
+//! The simulator clones messages in memory, so nothing in the workspace
+//! needed a serialization story until the wall-clock runtime grew a TCP
+//! transport. This module is that story, kept deliberately boring: a
+//! fixed-width little-endian encoding with length-prefixed containers,
+//! zero dependencies, and no self-description — both ends must agree on
+//! the message type, exactly like the substrate contract says they do.
+//!
+//! Encoding rules:
+//!
+//! - integers: little-endian, fixed width (`u8`..`u128`, `i64`)
+//! - `bool`: one byte, `0` or `1`
+//! - `String`: `u32` byte length + UTF-8 bytes
+//! - `Option<T>`: one tag byte (`0`/`1`) + payload when present
+//! - `Vec<T>`, `BTreeSet<T>`, `BTreeMap<K, V>`: `u32` element count +
+//!   elements in iteration order (sorted, for the ordered containers)
+//! - enums: one `u8` discriminant + the variant's fields in order
+//!
+//! Decoding is strict: trailing garbage inside a counted container,
+//! short buffers, and invalid discriminants all surface as
+//! [`WireError`] rather than panics, because the bytes come from a
+//! network peer, not from this process.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::op::{OpLog, Operation};
+use crate::uniquifier::Uniquifier;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// An enum discriminant byte had no matching variant.
+    BadTag(u8),
+    /// A `String` payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire: buffer truncated"),
+            WireError::BadTag(t) => write!(f, "wire: unknown discriminant {t}"),
+            WireError::BadUtf8 => write!(f, "wire: invalid utf-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type that can be written to and read back from a byte stream.
+///
+/// `decode` consumes bytes from the front of `buf` (advancing the
+/// slice), so composite types decode their fields by chaining calls.
+/// The round-trip law — `decode(encode(x)) == x` — is what the
+/// property tests check for every implementing type.
+pub trait WireCodec: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Read one value from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+}
+
+/// Encode a value into a fresh buffer.
+pub fn to_bytes<T: WireCodec>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decode a value from a buffer, requiring every byte to be consumed.
+pub fn from_bytes<T: WireCodec>(mut buf: &[u8]) -> Result<T, WireError> {
+    let v = T::decode(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    Ok(v)
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl WireCodec for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, u128, i64);
+
+impl WireCodec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireCodec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)? as usize;
+        let bytes = take(buf, n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)? as usize;
+        // Guard against a hostile count: never reserve more than the
+        // bytes that could possibly back it.
+        let mut out = Vec::with_capacity(n.min(buf.len()));
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: WireCodec + Ord> WireCodec for BTreeSet<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)? as usize;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: WireCodec + Ord, V: WireCodec> WireCodec for BTreeMap<K, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(buf)?;
+            let v = V::decode(buf)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl WireCodec for Uniquifier {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_raw().encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Uniquifier::from_raw(u128::decode(buf)?))
+    }
+}
+
+/// The op log travels as its operation list; `record` re-deduplicates
+/// on decode, so a log that crossed the wire is the same set it was.
+impl<O: Operation + WireCodec> WireCodec for OpLog<O> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for op in self.iter() {
+            op.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)? as usize;
+        let mut log = OpLog::new();
+        for _ in 0..n {
+            log.record(O::decode(buf)?);
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acid2::examples::CounterAdd;
+
+    impl WireCodec for CounterAdd {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.id.encode(buf);
+            self.delta.encode(buf);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(CounterAdd { id: Uniquifier::decode(buf)?, delta: i64::decode(buf)? })
+        }
+    }
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes).expect("decodes"), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX - 1);
+        round_trip(u128::MAX / 3);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("quicksand §6.1"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip((5u64, String::from("x")));
+        round_trip(BTreeSet::from([3u64, 1, 2]));
+        round_trip(BTreeMap::from([(1u32, 10u64), (2, 20)]));
+        round_trip(Uniquifier::from_parts(0xABCD, 0x1234));
+    }
+
+    #[test]
+    fn oplog_round_trips_as_a_set() {
+        let mut log = OpLog::new();
+        log.record(CounterAdd::new(1, 50));
+        log.record(CounterAdd::new(2, -20));
+        let bytes = to_bytes(&log);
+        let back: OpLog<CounterAdd> = from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.materialize(), log.materialize());
+    }
+
+    #[test]
+    fn truncated_buffers_error_instead_of_panicking() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<u64>>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // A count claiming 4 billion elements backed by 4 bytes.
+        let mut buf = Vec::new();
+        u32::MAX.encode(&mut buf);
+        0u32.encode(&mut buf);
+        assert_eq!(from_bytes::<Vec<u64>>(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+}

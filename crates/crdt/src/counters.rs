@@ -3,6 +3,8 @@
 
 use std::collections::BTreeMap;
 
+use quicksand_core::{WireCodec, WireError};
+
 use crate::{Crdt, DeltaCrdt};
 
 /// A grow-only counter: one monotone tally per replica; the value is the
@@ -59,6 +61,15 @@ impl DeltaCrdt for GCounter {
     }
 }
 
+impl WireCodec for GCounter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.counts.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(GCounter { counts: BTreeMap::decode(buf)? })
+    }
+}
+
 /// An up-down counter: two [`GCounter`]s, one for increments and one for
 /// decrements. The value may be read while concurrent decrements race —
 /// bounding that race against real stock is what
@@ -107,6 +118,16 @@ impl DeltaCrdt for PNCounter {
 
     fn apply_delta(&mut self, delta: &Self::Delta) {
         self.merge(delta);
+    }
+}
+
+impl WireCodec for PNCounter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.incs.encode(buf);
+        self.decs.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PNCounter { incs: GCounter::decode(buf)?, decs: GCounter::decode(buf)? })
     }
 }
 

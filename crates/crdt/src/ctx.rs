@@ -13,6 +13,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use quicksand_core::{WireCodec, WireError};
+
 /// One write event: `counter`-th write by `replica`. Totally ordered
 /// (by replica, then counter) so dot stores have a canonical layout.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -101,6 +103,31 @@ impl DotContext {
     /// dot.
     pub fn wire_size(&self) -> usize {
         (self.clock.len() + self.cloud.len()) * 16
+    }
+}
+
+impl WireCodec for Dot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.replica.encode(buf);
+        self.counter.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Dot { replica: u64::decode(buf)?, counter: u64::decode(buf)? })
+    }
+}
+
+/// Wire form: compact clock then cloud. A decoded context is
+/// re-compacted so a peer cannot ship a denormalized one (cloud dots
+/// the clock already covers) and break structural equality.
+impl WireCodec for DotContext {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.clock.encode(buf);
+        self.cloud.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let mut ctx = DotContext { clock: BTreeMap::decode(buf)?, cloud: BTreeSet::decode(buf)? };
+        ctx.compact();
+        Ok(ctx)
     }
 }
 

@@ -13,6 +13,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 
+use quicksand_core::{WireCodec, WireError};
+
 use crate::ctx::{Dot, DotContext};
 use crate::{Crdt, DeltaCrdt};
 
@@ -133,6 +135,16 @@ impl<E: Ord + Clone + Debug> DeltaCrdt for ORSet<E> {
 
     fn apply_delta(&mut self, delta: &Self::Delta) {
         self.merge(delta);
+    }
+}
+
+impl<E: Ord + WireCodec> WireCodec for ORSet<E> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.entries.encode(buf);
+        self.ctx.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ORSet { entries: BTreeMap::decode(buf)?, ctx: DotContext::decode(buf)? })
     }
 }
 

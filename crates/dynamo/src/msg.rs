@@ -1,5 +1,6 @@
 //! Protocol messages of the Dynamo-style store.
 
+use quicksand_core::{WireCodec, WireError};
 use sim::NodeId;
 
 use crate::vclock::{StoreId, VectorClock};
@@ -136,4 +137,233 @@ pub enum DynamoMsg<V> {
         /// Who to send the missing versions to.
         resp_to: NodeId,
     },
+}
+
+// `NodeId` lives in `sim` and `WireCodec` in `quicksand-core`, so the
+// orphan rule forbids a direct impl; node ids cross the wire as u64
+// inside this message codec instead.
+fn encode_node(n: NodeId, buf: &mut Vec<u8>) {
+    (n.0 as u64).encode(buf);
+}
+
+fn decode_node(buf: &mut &[u8]) -> Result<NodeId, WireError> {
+    Ok(NodeId(u64::decode(buf)? as usize))
+}
+
+/// One `u8` discriminant (declaration order) + the variant's fields in
+/// order. Both ends of a TCP link must run the same build — the format
+/// carries no versioning, exactly like the in-memory contract.
+impl<V: WireCodec> WireCodec for DynamoMsg<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DynamoMsg::ClientPut { req, key, value, context, resp_to } => {
+                buf.push(0);
+                req.encode(buf);
+                key.encode(buf);
+                value.encode(buf);
+                context.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+            DynamoMsg::PutOk { req } => {
+                buf.push(1);
+                req.encode(buf);
+            }
+            DynamoMsg::PutFailed { req } => {
+                buf.push(2);
+                req.encode(buf);
+            }
+            DynamoMsg::ClientGet { req, key, resp_to } => {
+                buf.push(3);
+                req.encode(buf);
+                key.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+            DynamoMsg::GetOk { req, key, versions } => {
+                buf.push(4);
+                req.encode(buf);
+                key.encode(buf);
+                versions.encode(buf);
+            }
+            DynamoMsg::GetFailed { req } => {
+                buf.push(5);
+                req.encode(buf);
+            }
+            DynamoMsg::ReplicaPut { req, key, versions, hint_for, resp_to } => {
+                buf.push(6);
+                req.encode(buf);
+                key.encode(buf);
+                versions.encode(buf);
+                hint_for.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+            DynamoMsg::ReplicaPutAck { req } => {
+                buf.push(7);
+                req.encode(buf);
+            }
+            DynamoMsg::ReplicaGet { req, key, resp_to } => {
+                buf.push(8);
+                req.encode(buf);
+                key.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+            DynamoMsg::ReplicaGetResp { req, key, versions } => {
+                buf.push(9);
+                req.encode(buf);
+                key.encode(buf);
+                versions.encode(buf);
+            }
+            DynamoMsg::HintDeliver { hint_id, key, versions } => {
+                buf.push(10);
+                hint_id.encode(buf);
+                key.encode(buf);
+                versions.encode(buf);
+            }
+            DynamoMsg::HintAck { hint_id } => {
+                buf.push(11);
+                hint_id.encode(buf);
+            }
+            DynamoMsg::SyncPush { entries } => {
+                buf.push(12);
+                entries.encode(buf);
+            }
+            DynamoMsg::SyncDigest { entries, resp_to } => {
+                buf.push(13);
+                entries.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(DynamoMsg::ClientPut {
+                req: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                value: V::decode(buf)?,
+                context: VectorClock::decode(buf)?,
+                resp_to: decode_node(buf)?,
+            }),
+            1 => Ok(DynamoMsg::PutOk { req: u64::decode(buf)? }),
+            2 => Ok(DynamoMsg::PutFailed { req: u64::decode(buf)? }),
+            3 => Ok(DynamoMsg::ClientGet {
+                req: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                resp_to: decode_node(buf)?,
+            }),
+            4 => Ok(DynamoMsg::GetOk {
+                req: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                versions: Vec::decode(buf)?,
+            }),
+            5 => Ok(DynamoMsg::GetFailed { req: u64::decode(buf)? }),
+            6 => Ok(DynamoMsg::ReplicaPut {
+                req: Option::decode(buf)?,
+                key: u64::decode(buf)?,
+                versions: Vec::decode(buf)?,
+                hint_for: Option::decode(buf)?,
+                resp_to: decode_node(buf)?,
+            }),
+            7 => Ok(DynamoMsg::ReplicaPutAck { req: u64::decode(buf)? }),
+            8 => Ok(DynamoMsg::ReplicaGet {
+                req: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                resp_to: decode_node(buf)?,
+            }),
+            9 => Ok(DynamoMsg::ReplicaGetResp {
+                req: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                versions: Vec::decode(buf)?,
+            }),
+            10 => Ok(DynamoMsg::HintDeliver {
+                hint_id: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                versions: Vec::decode(buf)?,
+            }),
+            11 => Ok(DynamoMsg::HintAck { hint_id: u64::decode(buf)? }),
+            12 => Ok(DynamoMsg::SyncPush { entries: Vec::decode(buf)? }),
+            13 => {
+                Ok(DynamoMsg::SyncDigest { entries: Vec::decode(buf)?, resp_to: decode_node(buf)? })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_core::wire::{from_bytes, to_bytes};
+
+    fn versions(n: u64) -> Vec<Versioned<u64>> {
+        (1..=n)
+            .map(|i| {
+                Versioned::new(
+                    VectorClock::new().incremented(i as StoreId),
+                    Dot { node: i as StoreId, counter: i },
+                    i * 100,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let msgs: Vec<DynamoMsg<u64>> = vec![
+            DynamoMsg::ClientPut {
+                req: 1,
+                key: 2,
+                value: 3,
+                context: VectorClock::new().incremented(4),
+                resp_to: NodeId(5),
+            },
+            DynamoMsg::PutOk { req: 6 },
+            DynamoMsg::PutFailed { req: 7 },
+            DynamoMsg::ClientGet { req: 8, key: 9, resp_to: NodeId(10) },
+            DynamoMsg::GetOk { req: 11, key: 12, versions: versions(2) },
+            DynamoMsg::GetFailed { req: 13 },
+            DynamoMsg::ReplicaPut {
+                req: Some(14),
+                key: 15,
+                versions: versions(1),
+                hint_for: Some(16),
+                resp_to: NodeId(17),
+            },
+            DynamoMsg::ReplicaPut {
+                req: None,
+                key: 18,
+                versions: vec![],
+                hint_for: None,
+                resp_to: NodeId(19),
+            },
+            DynamoMsg::ReplicaPutAck { req: 20 },
+            DynamoMsg::ReplicaGet { req: 21, key: 22, resp_to: NodeId(23) },
+            DynamoMsg::ReplicaGetResp { req: 24, key: 25, versions: versions(3) },
+            DynamoMsg::HintDeliver { hint_id: 26, key: 27, versions: versions(1) },
+            DynamoMsg::HintAck { hint_id: 28 },
+            DynamoMsg::SyncPush { entries: vec![(29, versions(2))] },
+            DynamoMsg::SyncDigest {
+                entries: vec![(30, vec![Dot { node: 1, counter: 2 }])],
+                resp_to: NodeId(31),
+            },
+        ];
+        for msg in msgs {
+            let bytes = to_bytes(&msg);
+            let back: DynamoMsg<u64> = from_bytes(&bytes).expect("decodes");
+            // DynamoMsg is not PartialEq (V need not be); compare debug.
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn unknown_discriminant_is_rejected() {
+        assert!(matches!(from_bytes::<DynamoMsg<u64>>(&[99]), Err(WireError::BadTag(99))));
+    }
+
+    #[test]
+    fn truncated_message_is_rejected() {
+        let bytes = to_bytes(&DynamoMsg::<u64>::GetOk { req: 1, key: 2, versions: versions(2) });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<DynamoMsg<u64>>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
 }

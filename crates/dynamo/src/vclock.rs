@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use quicksand_core::{WireCodec, WireError};
+
 /// Identifies a storage node for clock purposes.
 pub type StoreId = u32;
 
@@ -124,6 +126,17 @@ impl crdt::Crdt for VectorClock {
 
     fn wire_size(&self) -> usize {
         self.entries.len() * 12 // 4-byte store id + 8-byte counter
+    }
+}
+
+/// Wire form: the entry map verbatim. Private fields keep the codec in
+/// this module; the runtime's TCP transport is the consumer.
+impl WireCodec for VectorClock {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.entries.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(VectorClock { entries: BTreeMap::decode(buf)? })
     }
 }
 

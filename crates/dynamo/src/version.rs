@@ -18,6 +18,8 @@
 //! and the §6.1 contract ("Dynamo always accepts a PUT... items added
 //! to the cart will not be lost") actually holds.
 
+use quicksand_core::{WireCodec, WireError};
+
 use crate::vclock::{StoreId, VectorClock};
 
 /// The unique event id of one write: which store coordinated it and its
@@ -59,6 +61,31 @@ impl<V> Versioned<V> {
     /// writer had already seen `other`'s event.
     pub fn supersedes<U>(&self, other: &Versioned<U>) -> bool {
         self.dot == other.dot || self.context.get(other.dot.node) >= other.dot.counter
+    }
+}
+
+impl WireCodec for Dot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.node.encode(buf);
+        self.counter.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Dot { node: StoreId::decode(buf)?, counter: u64::decode(buf)? })
+    }
+}
+
+impl<V: WireCodec> WireCodec for Versioned<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.context.encode(buf);
+        self.dot.encode(buf);
+        self.value.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Versioned {
+            context: VectorClock::decode(buf)?,
+            dot: Dot::decode(buf)?,
+            value: V::decode(buf)?,
+        })
     }
 }
 

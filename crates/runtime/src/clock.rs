@@ -1,0 +1,62 @@
+//! Wall-clock time mapped onto the simulator's [`SimTime`] axis.
+//!
+//! Actors written against the sim contract read `ctx.now()` as a
+//! [`SimTime`] and arm timers in [`sim::SimDuration`]s. The runtime
+//! keeps that contract by declaring its own epoch — the instant the
+//! runtime launched — and reporting elapsed wall time since then in
+//! microseconds. Nothing in an actor needs to know which clock is
+//! underneath; that is the whole point.
+
+use std::time::{Duration, Instant};
+
+use sim::{SimDuration, SimTime};
+
+/// Wall-clock source: `SimTime::ZERO` is the moment the runtime
+/// launched, and time advances with the host clock.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock { start: Instant::now() }
+    }
+
+    /// Elapsed wall time since launch, on the sim's time axis.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// A [`SimDuration`] as a host [`Duration`] (for timer deadlines).
+    pub fn to_host(d: SimDuration) -> Duration {
+        Duration::from_micros(d.as_micros())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_starts_near_zero() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a < SimTime::from_secs(1), "epoch is launch time");
+    }
+
+    #[test]
+    fn duration_conversion_preserves_microseconds() {
+        let d = WallClock::to_host(SimDuration::from_millis(7));
+        assert_eq!(d.as_micros(), 7_000);
+    }
+}

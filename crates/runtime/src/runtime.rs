@@ -1,0 +1,521 @@
+//! The wall-clock runtime: unmodified [`sim::Actor`]s on OS threads.
+//!
+//! Each node gets a worker thread draining an mpsc mailbox; a timer
+//! thread sleeps on a deadline heap; sends travel through a
+//! [`Transport`]. All callback effects — sends, timer arms/cancels,
+//! span/metric/ledger bookkeeping — are applied through the *same*
+//! [`EngineCore`] the simulator drives, so the two engines cannot drift
+//! semantically. What differs is exactly what must: time comes from the
+//! host clock, ordering from the OS scheduler, and crashes from real
+//! panics.
+//!
+//! ## Concurrency model
+//!
+//! The [`EngineCore`] sits behind one mutex, so actor callbacks are
+//! serialized — the same "one callback at a time per run" atomicity the
+//! simulator provides, which is what lets unmodified actors (written
+//! with no internal locking) run correctly. Worker threads still buy
+//! real parallelism for everything outside the callback: wire
+//! encode/decode, socket I/O, and mailbox management all run
+//! concurrently. Scaling the *callbacks* themselves would need per-node
+//! cores and is out of scope here; the contract, not the throughput
+//! ceiling, is what this runtime exists to prove.
+//!
+//! ## Fail-fast crashes (§2.2)
+//!
+//! A panic inside any actor callback is caught at the callback boundary
+//! and converted into the paper's crash semantics: the node stops
+//! processing (messages to it drop, timers die), its in-flight
+//! [`sim::Action`]s are discarded — a crashed node cannot send — its
+//! open spans close as crashed, its volatile guesses orphan, and
+//! `on_crash` runs so the actor wipes volatile state. A later
+//! [`Runtime::restart`] runs `on_restart` against whatever the actor
+//! modelled as durable. Harnesses can also inject crashes directly.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use quicksand_core::WireCodec;
+use sim::{Action, Actor, Context, EngineCore, FlightId, NodeId, SimTime, SpanId, SpanStatus};
+
+use crate::clock::WallClock;
+use crate::timer::{DueTimer, TimerWheel};
+use crate::transport::{Envelope, Loopback, TcpTransport, Transport};
+
+/// A boxed actor as the runtime holds it: the sim contract plus `Send`
+/// so it can live on a worker thread.
+pub type BoxedActor<M> = Box<dyn Actor<M> + Send>;
+
+/// Which transport carries sends between nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels (fast path, no serialization).
+    Loopback,
+    /// Real TCP sockets on localhost with wire-encoded frames.
+    Tcp,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "loopback" => Ok(TransportKind::Loopback),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (loopback|tcp)")),
+        }
+    }
+}
+
+struct Shared<M> {
+    core: Mutex<EngineCore>,
+    clock: WallClock,
+    transport: Arc<dyn Transport<M>>,
+    wheel: Arc<TimerWheel>,
+}
+
+impl<M> Shared<M> {
+    fn lock_core(&self) -> MutexGuard<'_, EngineCore> {
+        // A panicking callback is caught inside the guard's scope, so
+        // the lock is never poisoned by a crash; recover defensively
+        // anyway.
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Seed drawn from OS entropy (via the randomly-keyed std hasher), for
+/// runs that are *not* trying to be reproducible.
+fn entropy_seed() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(std::process::id() as u64);
+    h.finish()
+}
+
+/// Collects actors, then launches them as a running cluster.
+pub struct RuntimeBuilder<M> {
+    actors: Vec<BoxedActor<M>>,
+    seed: Option<u64>,
+}
+
+impl<M: Send + 'static> RuntimeBuilder<M> {
+    /// An empty cluster description.
+    pub fn new() -> Self {
+        RuntimeBuilder { actors: Vec::new(), seed: None }
+    }
+
+    /// Pin the engine RNG seed (for cross-validation against a sim run).
+    /// Unseeded runtimes draw from OS entropy.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Add an actor; returns its node id (dense from zero, exactly like
+    /// [`sim::Simulation::add_node`]).
+    pub fn add_node(&mut self, actor: impl Actor<M> + Send) -> NodeId {
+        let id = NodeId(self.actors.len());
+        self.actors.push(Box::new(actor));
+        id
+    }
+
+    /// Launch on the in-process loopback transport.
+    pub fn launch(self) -> Runtime<M> {
+        self.launch_with(|inboxes| Arc::new(Loopback::new(inboxes)))
+    }
+
+    /// Launch on real TCP sockets (each node listens on an ephemeral
+    /// localhost port). Requires the message type to cross the wire.
+    pub fn launch_tcp(self) -> std::io::Result<Runtime<M>>
+    where
+        M: WireCodec,
+    {
+        let mut err = None;
+        let rt = self.launch_with(|inboxes| match TcpTransport::bind(inboxes) {
+            Ok(t) => t as Arc<dyn Transport<M>>,
+            Err(e) => {
+                err = Some(e);
+                Arc::new(Loopback::new(Vec::new())) // never used; launch aborts below
+            }
+        });
+        match err {
+            Some(e) => {
+                rt.abort();
+                Err(e)
+            }
+            None => Ok(rt),
+        }
+    }
+
+    /// Launch on the given transport kind.
+    pub fn launch_transport(self, kind: TransportKind) -> std::io::Result<Runtime<M>>
+    where
+        M: WireCodec,
+    {
+        match kind {
+            TransportKind::Loopback => Ok(self.launch()),
+            TransportKind::Tcp => self.launch_tcp(),
+        }
+    }
+
+    fn launch_with(
+        self,
+        make_transport: impl FnOnce(Vec<mpsc::Sender<Envelope<M>>>) -> Arc<dyn Transport<M>>,
+    ) -> Runtime<M> {
+        let seed = self.seed.unwrap_or_else(entropy_seed);
+        let n = self.actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let transport = make_transport(senders.clone());
+        let wheel = Arc::new(TimerWheel::new());
+        let shared = Arc::new(Shared {
+            core: Mutex::new(EngineCore::new(seed)),
+            clock: WallClock::new(),
+            transport,
+            wheel: wheel.clone(),
+        });
+
+        let wheel_senders = senders.clone();
+        let wheel_thread = std::thread::spawn(move || {
+            while let Some(t) = wheel.wait_due() {
+                let env =
+                    Envelope::Timer { tag: t.tag, epoch: t.epoch, span: t.span, cause: t.cause };
+                wheel_senders[t.node].send(env).ok();
+            }
+        });
+
+        let workers = self
+            .actors
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(i, (actor, rx))| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    Worker { node: NodeId(i), shared, up: true, epoch: 0 }.run(actor, rx)
+                })
+            })
+            .collect();
+
+        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread) }
+    }
+}
+
+impl<M: Send + 'static> Default for RuntimeBuilder<M> {
+    fn default() -> Self {
+        RuntimeBuilder::new()
+    }
+}
+
+/// One node's event loop: drain the mailbox, run callbacks through the
+/// shared [`EngineCore`], apply effects through clock and transport.
+struct Worker<M> {
+    node: NodeId,
+    shared: Arc<Shared<M>>,
+    /// Local liveness; flips on (injected or panic) crash and restart.
+    up: bool,
+    /// Bumped per crash so stale timers are recognizably dead.
+    epoch: u64,
+}
+
+impl<M: Send + 'static> Worker<M> {
+    fn run(mut self, mut actor: BoxedActor<M>, rx: mpsc::Receiver<Envelope<M>>) -> BoxedActor<M> {
+        // `on_start` runs as the worker's first act. Workers start
+        // concurrently, so cross-node start order is unspecified (the
+        // sim runs starts in NodeId order) — actors already cannot
+        // assume peers started first, because sends to a not-yet-started
+        // node simply queue in its mailbox.
+        self.callback(&mut actor, None, None, |a, ctx| a.on_start(ctx));
+        while let Ok(env) = rx.recv() {
+            match env {
+                Envelope::Msg { from, msg, hop, cause } => {
+                    if !self.up {
+                        let now = self.shared.clock.now();
+                        self.shared.lock_core().dropped_to_down(self.node, from, hop, cause, now);
+                        continue;
+                    }
+                    self.dispatch(
+                        &mut actor,
+                        hop,
+                        |core, node, now| core.deliver_bookkeeping(node, from, hop, cause, now),
+                        |a, ctx| a.on_message(ctx, from, msg),
+                    );
+                }
+                Envelope::Timer { tag, epoch, span, cause } => {
+                    if !self.up || epoch != self.epoch {
+                        continue; // timers do not survive crashes
+                    }
+                    self.dispatch(
+                        &mut actor,
+                        span,
+                        |core, node, now| core.timer_bookkeeping(node, span, cause, now),
+                        |a, ctx| a.on_timer(ctx, tag),
+                    );
+                }
+                Envelope::Crash => {
+                    if !self.up {
+                        continue;
+                    }
+                    let now = self.shared.clock.now();
+                    self.crash(&mut actor, now);
+                }
+                Envelope::Restart => {
+                    if self.up {
+                        continue;
+                    }
+                    self.up = true;
+                    self.dispatch(
+                        &mut actor,
+                        None,
+                        |core, node, now| core.restart_bookkeeping(node, now),
+                        |a, ctx| a.on_restart(ctx),
+                    );
+                }
+                Envelope::Inspect(f) => f(actor.as_mut()),
+                Envelope::Shutdown => break,
+            }
+        }
+        actor
+    }
+
+    /// Fail-fast crash: mirror of the simulator's crash event, §2.2.
+    /// `on_crash` runs outside the core lock (it has no `Context`); if
+    /// it panics too, the node simply stays down with volatile state
+    /// unwiped — it can never run again in this epoch, so no torn state
+    /// is observable.
+    fn crash(&mut self, actor: &mut BoxedActor<M>, now: SimTime) {
+        self.up = false;
+        self.epoch += 1;
+        let _ = catch_unwind(AssertUnwindSafe(|| actor.on_crash(now)));
+        self.shared.lock_core().crash_bookkeeping(self.node, now);
+    }
+
+    /// Run one callback under the core lock with pre-bookkeeping, then
+    /// apply its effects. A panic inside the callback becomes a
+    /// fail-fast crash and all of the callback's actions are discarded —
+    /// a crashed node cannot have sent.
+    fn dispatch(
+        &mut self,
+        actor: &mut BoxedActor<M>,
+        ambient: Option<SpanId>,
+        pre: impl FnOnce(&mut EngineCore, NodeId, SimTime) -> Option<FlightId>,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let now = shared.clock.now();
+        let mut core = shared.lock_core();
+        let cause = pre(&mut core, self.node, now);
+        self.callback_locked(core, actor, now, ambient, cause, f);
+    }
+
+    /// Like [`Worker::dispatch`] but without event bookkeeping (used
+    /// for `on_start`).
+    fn callback(
+        &mut self,
+        actor: &mut BoxedActor<M>,
+        ambient: Option<SpanId>,
+        cause: Option<FlightId>,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let now = shared.clock.now();
+        let core = shared.lock_core();
+        self.callback_locked(core, actor, now, ambient, cause, f);
+    }
+
+    fn callback_locked(
+        &mut self,
+        mut core: MutexGuard<'_, EngineCore>,
+        actor: &mut BoxedActor<M>,
+        now: SimTime,
+        ambient: Option<SpanId>,
+        cause: Option<FlightId>,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    ) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            core.run_callback(self.node, now, ambient, cause, |ctx| f(actor.as_mut(), ctx))
+        }));
+        let actions = match result {
+            Ok(((), actions)) => actions,
+            Err(_) => {
+                // Fail-fast: count it, then crash exactly like an
+                // injected crash (bookkeeping first needs the lock we
+                // already hold; `on_crash` runs after release).
+                core.metrics.inc("runtime.panic_crashes");
+                drop(core);
+                let _ = catch_unwind(AssertUnwindSafe(|| actor.on_crash(now)));
+                self.up = false;
+                self.epoch += 1;
+                self.shared.lock_core().crash_bookkeeping(self.node, now);
+                return;
+            }
+        };
+        // Book sends under the lock (hop spans), then do the actual
+        // I/O and timer arming after releasing it.
+        let mut outgoing = Vec::new();
+        let mut arms = Vec::new();
+        let mut cancels = Vec::new();
+        for action in actions {
+            match action {
+                Action::Send { to, msg, span } => {
+                    core.metrics.inc("sim.messages_sent");
+                    let hop = core.plan_hop(span, to, now);
+                    outgoing.push((to, hop, msg));
+                }
+                Action::SetTimer { id, delay, tag, span } => {
+                    arms.push((
+                        Instant::now() + WallClock::to_host(delay),
+                        DueTimer {
+                            node: self.node.0,
+                            seq: id.seq(),
+                            tag,
+                            epoch: self.epoch,
+                            span,
+                            cause,
+                        },
+                    ));
+                }
+                Action::CancelTimer { id } => {
+                    if core.cancel_allowed(self.node, id) {
+                        cancels.push(id.seq());
+                    }
+                }
+            }
+        }
+        drop(core);
+        for (to, hop, msg) in outgoing {
+            if !self.shared.transport.send(self.node, to, hop, cause, msg) {
+                let at = self.shared.clock.now();
+                let mut core = self.shared.lock_core();
+                core.finish_hop(hop, at, SpanStatus::Dropped);
+                core.metrics.inc("sim.messages_dropped");
+            }
+        }
+        for (deadline, t) in arms {
+            self.shared.wheel.arm(deadline, t);
+        }
+        for seq in cancels {
+            self.shared.wheel.cancel(seq);
+        }
+    }
+}
+
+/// A running cluster of actors on OS threads. Dropping without
+/// [`Runtime::shutdown`] leaks the worker threads; always shut down.
+pub struct Runtime<M> {
+    shared: Arc<Shared<M>>,
+    senders: Vec<mpsc::Sender<Envelope<M>>>,
+    workers: Vec<JoinHandle<BoxedActor<M>>>,
+    wheel_thread: Option<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> Runtime<M> {
+    /// Wall time since launch, on the sim time axis.
+    pub fn now(&self) -> SimTime {
+        self.shared.clock.now()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Inject a fail-fast crash. Enqueued like a message: it takes
+    /// effect after the node drains earlier traffic.
+    pub fn crash(&self, node: NodeId) {
+        self.senders[node.0].send(Envelope::Crash).ok();
+    }
+
+    /// Restart a crashed node (no-op envelope if it is up).
+    pub fn restart(&self, node: NodeId) {
+        self.senders[node.0].send(Envelope::Restart).ok();
+    }
+
+    /// Deliver `msg` to `to` as if sent by `from`, bypassing the
+    /// transport (harness-driven injection, like
+    /// [`sim::Simulation::inject_at`]).
+    pub fn inject(&self, to: NodeId, from: NodeId, msg: M) {
+        self.senders[to.0].send(Envelope::Msg { from, msg, hop: None, cause: None }).ok();
+    }
+
+    /// Run `f` against the node's actor on its own worker thread and
+    /// return the result. Blocks until the worker gets to it — do not
+    /// call from inside an actor callback.
+    ///
+    /// # Panics
+    /// Panics if the node's actor is not a `T`.
+    pub fn inspect<T, R, F>(&self, node: NodeId, f: F) -> R
+    where
+        T: Actor<M>,
+        R: Send + 'static,
+        F: FnOnce(&T) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let probe = Box::new(move |a: &mut dyn Actor<M>| {
+            let t = (a as &dyn Any)
+                .downcast_ref::<T>()
+                .expect("actor type mismatch in Runtime::inspect");
+            tx.send(f(t)).ok();
+        });
+        self.senders[node.0].send(Envelope::Inspect(probe)).expect("node worker exited");
+        rx.recv().expect("worker dropped the inspect response")
+    }
+
+    /// Run `f` with the engine core locked (metrics, spans, ledger).
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut EngineCore) -> R) -> R {
+        f(&mut self.shared.lock_core())
+    }
+
+    /// Stop every node, join the workers and timer thread, tear down
+    /// the transport, and hand back the final state.
+    pub fn shutdown(mut self) -> RuntimeReport<M> {
+        for tx in &self.senders {
+            tx.send(Envelope::Shutdown).ok();
+        }
+        let actors: Vec<BoxedActor<M>> = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("worker thread panicked outside a callback"))
+            .collect();
+        self.shared.wheel.shutdown();
+        if let Some(h) = self.wheel_thread.take() {
+            h.join().ok();
+        }
+        self.shared.transport.shutdown();
+        let core = std::mem::replace(&mut *self.shared.lock_core(), EngineCore::new(0));
+        RuntimeReport { core, actors }
+    }
+
+    /// Tear down without collecting state (failed launch).
+    fn abort(self) {
+        self.shutdown();
+    }
+}
+
+/// Everything a run leaves behind: the engine core (metrics, spans,
+/// ledger, trace/flight if enabled) and the final actors.
+pub struct RuntimeReport<M> {
+    /// The run's engine core.
+    pub core: EngineCore,
+    actors: Vec<BoxedActor<M>>,
+}
+
+impl<M: 'static> RuntimeReport<M> {
+    /// Downcast a node's final actor state.
+    ///
+    /// # Panics
+    /// Panics if the node's actor is not a `T`.
+    pub fn actor<T: Actor<M>>(&self, node: NodeId) -> &T {
+        (self.actors[node.0].as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .expect("actor type mismatch in RuntimeReport::actor")
+    }
+}

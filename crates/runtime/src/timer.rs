@@ -1,0 +1,201 @@
+//! The timer wheel: one thread, a deadline heap, and a condvar.
+//!
+//! Workers arm timers here while applying [`sim::Action::SetTimer`]
+//! effects; a dedicated thread sleeps until the earliest deadline and
+//! routes each due timer back to its node's mailbox. Cancellation
+//! mirrors the simulator's contract exactly: cancelling a pending timer
+//! suppresses it, cancelling an already-fired (or never-armed) timer is
+//! a no-op, and a timer armed before a crash never fires afterwards
+//! because entries carry the arming epoch and the worker checks it.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use sim::{FlightId, SpanId};
+
+/// A timer that is due (or was armed): everything the worker needs to
+/// run `on_timer` with the right causal bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DueTimer {
+    /// Index of the owning node.
+    pub node: usize,
+    /// The timer id's run-unique sequence number.
+    pub seq: u64,
+    /// Tag delivered to `on_timer`.
+    pub tag: u64,
+    /// The owner's crash epoch at arming time.
+    pub epoch: u64,
+    /// Ambient span at arming time.
+    pub span: Option<SpanId>,
+    /// Flight event during which the timer was armed.
+    pub cause: Option<FlightId>,
+}
+
+struct Entry {
+    deadline: Instant,
+    /// Arming order, to break deadline ties deterministically.
+    order: u64,
+    timer: DueTimer,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.order == other.order
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest deadline.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.deadline, other.order).cmp(&(self.deadline, self.order))
+    }
+}
+
+struct State {
+    heap: BinaryHeap<Entry>,
+    /// Seqs currently in the heap — lets `cancel` ignore already-fired
+    /// ids without unbounded growth of the cancelled set.
+    pending: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    shutdown: bool,
+    order: u64,
+}
+
+/// Shared deadline heap; see the module docs.
+pub(crate) struct TimerWheel {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        TimerWheel {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                pending: HashSet::new(),
+                cancelled: HashSet::new(),
+                shutdown: false,
+                order: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arm `timer` to fire at `deadline`.
+    pub fn arm(&self, deadline: Instant, timer: DueTimer) {
+        let mut s = self.lock();
+        let order = s.order;
+        s.order += 1;
+        s.pending.insert(timer.seq);
+        s.heap.push(Entry { deadline, order, timer });
+        self.cv.notify_all();
+    }
+
+    /// Suppress a pending timer. No-op if `seq` already fired or never
+    /// existed — the documented cross-engine contract.
+    pub fn cancel(&self, seq: u64) {
+        let mut s = self.lock();
+        if s.pending.contains(&seq) {
+            s.cancelled.insert(seq);
+        }
+    }
+
+    /// Block until a timer is due, and return it; `None` means the
+    /// wheel was shut down. Cancelled entries are consumed silently.
+    pub fn wait_due(&self) -> Option<DueTimer> {
+        let mut s = self.lock();
+        loop {
+            if s.shutdown {
+                return None;
+            }
+            match s.heap.peek().map(|e| e.deadline) {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        let e = s.heap.pop().expect("peeked");
+                        s.pending.remove(&e.timer.seq);
+                        if s.cancelled.remove(&e.timer.seq) {
+                            continue;
+                        }
+                        return Some(e.timer);
+                    }
+                    let (guard, _) =
+                        self.cv.wait_timeout(s, deadline - now).unwrap_or_else(|e| e.into_inner());
+                    s = guard;
+                }
+                None => {
+                    s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Stop the wheel; `wait_due` returns `None` from now on.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn t(seq: u64) -> DueTimer {
+        DueTimer { node: 0, seq, tag: seq, epoch: 0, span: None, cause: None }
+    }
+
+    #[test]
+    fn due_timers_come_out_in_deadline_order() {
+        let wheel = TimerWheel::new();
+        let now = Instant::now();
+        wheel.arm(now + Duration::from_millis(2), t(2));
+        wheel.arm(now, t(1));
+        assert_eq!(wheel.wait_due().expect("due").seq, 1);
+        assert_eq!(wheel.wait_due().expect("due").seq, 2);
+    }
+
+    #[test]
+    fn cancelled_pending_timer_never_fires() {
+        let wheel = TimerWheel::new();
+        let now = Instant::now();
+        wheel.arm(now, t(1));
+        wheel.arm(now + Duration::from_millis(1), t(2));
+        wheel.cancel(1);
+        assert_eq!(wheel.wait_due().expect("due").seq, 2);
+    }
+
+    #[test]
+    fn cancelling_a_fired_or_unknown_timer_is_a_noop() {
+        let wheel = TimerWheel::new();
+        wheel.arm(Instant::now(), t(1));
+        assert_eq!(wheel.wait_due().expect("due").seq, 1);
+        wheel.cancel(1); // already fired
+        wheel.cancel(99); // never existed
+                          // Neither poisons a later timer that reuses nothing.
+        wheel.arm(Instant::now(), t(2));
+        assert_eq!(wheel.wait_due().expect("due").seq, 2);
+        assert!(wheel.lock().cancelled.is_empty(), "no cancelled-set leak");
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiters() {
+        let wheel = std::sync::Arc::new(TimerWheel::new());
+        let w = wheel.clone();
+        let h = std::thread::spawn(move || w.wait_due());
+        std::thread::sleep(Duration::from_millis(10));
+        wheel.shutdown();
+        assert!(h.join().expect("no panic").is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Message transports: how a send leaves one node and enters another.
+//!
+//! The simulator routes sends through its network model; the runtime
+//! routes them through a [`Transport`]. Two implementations share the
+//! trait:
+//!
+//! - [`Loopback`]: in-process channels. Zero-copy, zero-serialization —
+//!   the fastest way to run a cluster on one machine, and the transport
+//!   the cross-validation tests use.
+//! - [`TcpTransport`]: real sockets with length-prefixed frames and the
+//!   [`quicksand_core::wire`] encoding. Every node listens on its own
+//!   ephemeral 127.0.0.1 port; connections are dialed lazily and shared
+//!   by all local senders targeting the same destination.
+//!
+//! A failed send returns `false` and the caller books the loss as a
+//! dropped message — the same visibility a partition gets in the sim.
+
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use quicksand_core::{WireCodec, WireError};
+use sim::{Actor, FlightId, NodeId, SpanId};
+
+/// A boxed closure run against a node's actor on its own worker thread.
+pub(crate) type InspectFn<M> = Box<dyn FnOnce(&mut dyn Actor<M>) + Send>;
+
+/// Everything that can land in a node's mailbox. Workers drain these in
+/// arrival order; the variants mirror the simulator's event kinds.
+pub(crate) enum Envelope<M> {
+    /// A delivered message.
+    Msg {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: M,
+        /// The sender's `net.hop` span for this delivery.
+        hop: Option<SpanId>,
+        /// The flight event under which the send was issued.
+        cause: Option<FlightId>,
+    },
+    /// A timer due on this node.
+    Timer {
+        /// Tag given at arming time.
+        tag: u64,
+        /// The node's crash epoch at arming time.
+        epoch: u64,
+        /// Ambient span at arming time.
+        span: Option<SpanId>,
+        /// The flight event under which the timer was armed.
+        cause: Option<FlightId>,
+    },
+    /// Harness-injected fail-fast crash.
+    Crash,
+    /// Harness-injected restart.
+    Restart,
+    /// Run a closure against the node's actor (state inspection).
+    Inspect(InspectFn<M>),
+    /// Drain and exit the worker.
+    Shutdown,
+}
+
+/// How sends travel between nodes. `send` returns `false` when the
+/// message could not be handed to the destination (dead connection,
+/// shut-down node); the caller records the drop.
+pub trait Transport<M>: Send + Sync {
+    /// Ship `msg` from `from` to `to`, carrying its causal metadata.
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        hop: Option<SpanId>,
+        cause: Option<FlightId>,
+        msg: M,
+    ) -> bool;
+
+    /// Tear down listeners/connections. Idempotent; default no-op.
+    fn shutdown(&self) {}
+}
+
+/// In-process transport: each node's mailbox is an `mpsc` channel and a
+/// send is a channel push.
+pub(crate) struct Loopback<M> {
+    inboxes: Vec<mpsc::Sender<Envelope<M>>>,
+}
+
+impl<M> Loopback<M> {
+    pub fn new(inboxes: Vec<mpsc::Sender<Envelope<M>>>) -> Self {
+        Loopback { inboxes }
+    }
+}
+
+impl<M: Send> Transport<M> for Loopback<M> {
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        hop: Option<SpanId>,
+        cause: Option<FlightId>,
+        msg: M,
+    ) -> bool {
+        self.inboxes[to.0].send(Envelope::Msg { from, msg, hop, cause }).is_ok()
+    }
+}
+
+/// Upper bound on one frame's payload; a peer announcing more is
+/// treated as corrupt and disconnected.
+const MAX_FRAME: usize = 64 << 20;
+
+fn encode_frame<M: WireCodec>(
+    from: NodeId,
+    hop: Option<SpanId>,
+    cause: Option<FlightId>,
+    msg: &M,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    (from.0 as u64).encode(&mut payload);
+    hop.map(|s| s.0).encode(&mut payload);
+    cause.map(|c| c.0).encode(&mut payload);
+    msg.encode(&mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    (payload.len() as u32).encode(&mut frame);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_payload<M: WireCodec>(
+    mut buf: &[u8],
+) -> Result<(NodeId, Option<SpanId>, Option<FlightId>, M), WireError> {
+    let b = &mut buf;
+    let from = NodeId(u64::decode(b)? as usize);
+    let hop = Option::<u64>::decode(b)?.map(SpanId);
+    let cause = Option::<u64>::decode(b)?.map(FlightId);
+    let msg = M::decode(b)?;
+    if !b.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    Ok((from, hop, cause, msg))
+}
+
+/// TCP transport: one listener per node on an ephemeral localhost port,
+/// `[u32 length][payload]` frames, payload = sender id + causal ids +
+/// the [`WireCodec`] bytes of the message.
+pub(crate) struct TcpTransport<M> {
+    addrs: Vec<SocketAddr>,
+    /// Outgoing connection per destination, dialed lazily and shared by
+    /// every local sender (frames carry the true `from`).
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    down: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    _msg: PhantomData<fn(M) -> M>,
+}
+
+impl<M: WireCodec + Send + 'static> TcpTransport<M> {
+    /// Bind one listener per inbox and start acceptor threads feeding
+    /// decoded frames into the inboxes.
+    pub fn bind(inboxes: Vec<mpsc::Sender<Envelope<M>>>) -> std::io::Result<Arc<Self>> {
+        let mut listeners = Vec::with_capacity(inboxes.len());
+        let mut addrs = Vec::with_capacity(inboxes.len());
+        for _ in &inboxes {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let transport = Arc::new(TcpTransport {
+            conns: addrs.iter().map(|_| Mutex::new(None)).collect(),
+            addrs,
+            down: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            _msg: PhantomData,
+        });
+        for (listener, tx) in listeners.into_iter().zip(inboxes) {
+            let me = transport.clone();
+            let h = std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    if me.down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let tx = tx.clone();
+                    let reader = std::thread::spawn(move || read_loop::<M>(stream, tx));
+                    me.lock_threads().push(reader);
+                }
+            });
+            transport.lock_threads().push(h);
+        }
+        Ok(transport)
+    }
+
+    fn lock_threads(&self) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+        self.threads.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn read_loop<M: WireCodec>(mut stream: TcpStream, tx: mpsc::Sender<Envelope<M>>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return;
+        }
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        let Ok((from, hop, cause, msg)) = decode_payload::<M>(&payload) else {
+            return; // corrupt peer: drop the connection
+        };
+        if tx.send(Envelope::Msg { from, msg, hop, cause }).is_err() {
+            return; // node shut down
+        }
+    }
+}
+
+impl<M: WireCodec + Send + 'static> Transport<M> for TcpTransport<M> {
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        hop: Option<SpanId>,
+        cause: Option<FlightId>,
+        msg: M,
+    ) -> bool {
+        if self.down.load(Ordering::SeqCst) {
+            return false;
+        }
+        let frame = encode_frame(from, hop, cause, &msg);
+        let mut conn = self.conns[to.0].lock().unwrap_or_else(|e| e.into_inner());
+        if conn.is_none() {
+            *conn = TcpStream::connect(self.addrs[to.0]).ok();
+            if let Some(s) = conn.as_ref() {
+                s.set_nodelay(true).ok();
+            }
+        }
+        let Some(stream) = conn.as_mut() else { return false };
+        if stream.write_all(&frame).is_err() {
+            *conn = None; // dead connection; redial on the next send
+            return false;
+        }
+        true
+    }
+
+    fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close every outgoing connection (readers on the other side see
+        // EOF and exit)...
+        for conn in &self.conns {
+            if let Some(s) = conn.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                s.shutdown(Shutdown::Both).ok();
+            }
+        }
+        // ... and poke each listener so its acceptor observes `down`.
+        for addr in &self.addrs {
+            drop(TcpStream::connect(addr));
+        }
+        let threads = std::mem::take(&mut *self.lock_threads());
+        for h in threads {
+            h.join().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_causal_metadata() {
+        let frame = encode_frame(NodeId(3), Some(SpanId(7)), Some(FlightId(9)), &42u64);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (from, hop, cause, msg) = decode_payload::<u64>(&frame[4..]).expect("decodes");
+        assert_eq!(from, NodeId(3));
+        assert_eq!(hop, Some(SpanId(7)));
+        assert_eq!(cause, Some(FlightId(9)));
+        assert_eq!(msg, 42);
+    }
+
+    #[test]
+    fn trailing_garbage_in_a_payload_is_rejected() {
+        let mut frame = encode_frame(NodeId(0), None, None, &1u64);
+        frame.push(0xFF);
+        assert!(decode_payload::<u64>(&frame[4..]).is_err());
+    }
+
+    #[test]
+    fn tcp_delivers_frames_end_to_end() {
+        let (tx0, rx0) = mpsc::channel();
+        let (tx1, rx1) = mpsc::channel();
+        let t = TcpTransport::<u64>::bind(vec![tx0, tx1]).expect("bind");
+        assert!(t.send(NodeId(0), NodeId(1), Some(SpanId(5)), None, 77));
+        match rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("delivered") {
+            Envelope::Msg { from, msg, hop, cause } => {
+                assert_eq!(from, NodeId(0));
+                assert_eq!(msg, 77);
+                assert_eq!(hop, Some(SpanId(5)));
+                assert_eq!(cause, None);
+            }
+            _ => panic!("expected a message"),
+        }
+        // And the reverse direction over its own connection.
+        assert!(t.send(NodeId(1), NodeId(0), None, Some(FlightId(2)), 88));
+        match rx0.recv_timeout(std::time::Duration::from_secs(5)).expect("delivered") {
+            Envelope::Msg { from, msg, cause, .. } => {
+                assert_eq!(from, NodeId(1));
+                assert_eq!(msg, 88);
+                assert_eq!(cause, Some(FlightId(2)));
+            }
+            _ => panic!("expected a message"),
+        }
+        t.shutdown();
+        assert!(!t.send(NodeId(0), NodeId(1), None, None, 99), "sends fail after shutdown");
+    }
+}

@@ -1,0 +1,183 @@
+//! The same unmodified actors, on both transports: a ping/pong pair and
+//! a timer-driven heartbeat run over loopback channels and real TCP
+//! sockets, exercising the whole path (mailboxes, the shared engine
+//! core, the timer wheel, and — for TCP — the wire codec and framing).
+
+use std::time::Duration;
+
+use quicksand_core::{WireCodec, WireError};
+use quicksand_runtime::{RuntimeBuilder, TransportKind};
+use sim::{Actor, Context, NodeId, SimDuration};
+
+#[derive(Clone, Debug, PartialEq)]
+enum Msg {
+    Ping(u64),
+    Pong(u64),
+}
+
+impl WireCodec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Ping(n) => {
+                0u8.encode(out);
+                n.encode(out);
+            }
+            Msg::Pong(n) => {
+                1u8.encode(out);
+                n.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::Ping(u64::decode(buf)?)),
+            1 => Ok(Msg::Pong(u64::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Replies `Pong(n + 1)` to every ping.
+struct Ponger;
+
+impl Actor<Msg> for Ponger {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::Ping(n) = msg {
+            ctx.send(from, Msg::Pong(n + 1));
+        }
+    }
+}
+
+/// Kicks off on a timer, then volleys with the ponger until `rounds`
+/// pongs arrive.
+struct Pinger {
+    peer: NodeId,
+    rounds: u64,
+    got: Vec<u64>,
+    done: std::sync::mpsc::Sender<()>,
+}
+
+impl Actor<Msg> for Pinger {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _tag: u64) {
+        ctx.send(self.peer, Msg::Ping(0));
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Pong(n) = msg {
+            self.got.push(n);
+            if self.got.len() as u64 == self.rounds {
+                self.done.send(()).ok();
+            } else {
+                ctx.send(self.peer, Msg::Ping(n));
+            }
+        }
+    }
+}
+
+fn volley(kind: TransportKind) {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let mut b = RuntimeBuilder::new().seed(42);
+    let ponger = b.add_node(Ponger);
+    let _pinger = b.add_node(Pinger { peer: ponger, rounds: 16, got: Vec::new(), done: done_tx });
+    let rt = b.launch_transport(kind).expect("launch");
+    done_rx.recv_timeout(Duration::from_secs(10)).expect("volley completes");
+    let pinger_node = NodeId(1);
+    let report = rt.shutdown();
+    let pinger = report.actor::<Pinger>(pinger_node);
+    // Each pong carries the previous value + 1: 1, 2, 3, ...
+    assert_eq!(pinger.got, (1..=16).collect::<Vec<u64>>());
+    assert!(report.core.metrics.counter("sim.messages_sent") >= 32);
+}
+
+#[test]
+fn ping_pong_volley_over_loopback() {
+    volley(TransportKind::Loopback);
+}
+
+#[test]
+fn ping_pong_volley_over_tcp() {
+    volley(TransportKind::Tcp);
+}
+
+/// S2 (runtime side): cancelling a pending timer suppresses it, and
+/// cancelling an already-fired or foreign timer id is a harmless no-op
+/// — the same contract the simulator documents.
+#[test]
+fn timer_cancel_contract_holds_on_the_runtime() {
+    #[derive(Clone, Debug)]
+    enum TMsg {
+        Go,
+        ForeignCancel(sim::TimerId),
+        Fired(u64),
+    }
+    struct Canceller {
+        listener: NodeId,
+        fired: Option<sim::TimerId>,
+    }
+    impl Actor<TMsg> for Canceller {
+        fn on_start(&mut self, ctx: &mut Context<'_, TMsg>) {
+            // Arm two: cancel one immediately (must never fire), let the
+            // other fire and then cancel it again (must be a no-op).
+            let doomed = ctx.set_timer(SimDuration::from_millis(5), 1);
+            self.fired = Some(ctx.set_timer(SimDuration::from_millis(10), 2));
+            ctx.cancel_timer(doomed);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, TMsg>, tag: u64) {
+            if let Some(id) = self.fired {
+                ctx.cancel_timer(id); // already fired: documented no-op
+            }
+            ctx.send(self.listener, TMsg::Fired(tag));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, TMsg>, _from: NodeId, msg: TMsg) {
+            if let TMsg::ForeignCancel(id) = msg {
+                ctx.cancel_timer(id); // not ours: documented no-op
+            }
+        }
+    }
+    struct Listener {
+        tx: std::sync::mpsc::Sender<u64>,
+        peer_timer: std::sync::mpsc::Sender<sim::TimerId>,
+        armed: bool,
+    }
+    impl Actor<TMsg> for Listener {
+        fn on_message(&mut self, ctx: &mut Context<'_, TMsg>, _from: NodeId, msg: TMsg) {
+            match msg {
+                TMsg::Fired(tag) => {
+                    self.tx.send(tag).ok();
+                }
+                TMsg::Go if !self.armed => {
+                    self.armed = true;
+                    let id = ctx.set_timer(SimDuration::from_secs(30), 9);
+                    self.peer_timer.send(id).ok();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (id_tx, id_rx) = std::sync::mpsc::channel();
+    let mut b = RuntimeBuilder::new().seed(7);
+    let listener = b.add_node(Listener { tx, peer_timer: id_tx, armed: false });
+    let canceller = b.add_node(Canceller { listener, fired: None });
+    let rt = b.launch();
+
+    // Only tag 2 fires: tag 1 was cancelled while pending.
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("timer fires"), 2);
+    assert!(rx.recv_timeout(Duration::from_millis(100)).is_err(), "cancelled timer must not fire");
+
+    // A foreign cancel must not suppress the listener's own timer.
+    rt.inject(listener, canceller, TMsg::Go);
+    let foreign = id_rx.recv_timeout(Duration::from_secs(5)).expect("listener armed");
+    rt.inject(canceller, listener, TMsg::ForeignCancel(foreign));
+    std::thread::sleep(Duration::from_millis(50));
+
+    let report = rt.shutdown();
+    assert_eq!(
+        report.core.metrics.counter("sim.foreign_timer_cancel_ignored"),
+        1,
+        "foreign cancel was observed and ignored"
+    );
+}

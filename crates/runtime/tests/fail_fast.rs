@@ -1,0 +1,193 @@
+//! S3: fail-fast crash coverage for the wall-clock runtime (§2.2).
+//!
+//! A panic in the middle of a callback must leave the node *crashed*,
+//! never torn: volatile state is wiped by `on_crash`, every `Action`
+//! the doomed callback had queued is discarded (a crashed node cannot
+//! send), and a later restart recovers exactly the durable fields.
+
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::Duration;
+
+use quicksand_runtime::RuntimeBuilder;
+use sim::{Actor, Context, NodeId, SimTime};
+
+/// Messages for the panicking store below.
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Write a value durably, then ack.
+    Put(u64),
+    /// Write to volatile memory only, then ack.
+    Cache(u64),
+    /// Queue an ack *and* a timer, then panic before returning.
+    Poison,
+    /// Ack with current state: (durable, volatile, restarts).
+    Probe,
+    /// Ack carrying the requested payload.
+    Ack(u64),
+    /// Probe response.
+    State(Vec<u64>, Vec<u64>, u64),
+}
+
+/// A store with an explicit durable/volatile split and a poison pill.
+#[derive(Default)]
+struct Store {
+    durable: Vec<u64>,
+    volatile: Vec<u64>,
+    restarts: u64,
+    client: Option<NodeId>,
+}
+
+impl Actor<Msg> for Store {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.client = Some(from);
+        match msg {
+            Msg::Put(v) => {
+                self.durable.push(v);
+                ctx.send(from, Msg::Ack(v));
+            }
+            Msg::Cache(v) => {
+                self.volatile.push(v);
+                ctx.send(from, Msg::Ack(v));
+            }
+            Msg::Poison => {
+                // Both of these effects must be discarded by the crash.
+                ctx.send(from, Msg::Ack(u64::MAX));
+                ctx.set_timer(sim::SimDuration::from_millis(1), 7);
+                panic!("poison pill");
+            }
+            Msg::Probe => {
+                ctx.send(
+                    from,
+                    Msg::State(self.durable.clone(), self.volatile.clone(), self.restarts),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        self.volatile.clear(); // memory does not survive a crash
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Context<'_, Msg>) {
+        self.restarts += 1;
+    }
+}
+
+/// Collector that forwards everything it hears to a test channel.
+struct Collector(std::sync::mpsc::Sender<Msg>);
+
+impl Actor<Msg> for Collector {
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        self.0.send(msg).ok();
+    }
+}
+
+fn recv(rx: &std::sync::mpsc::Receiver<Msg>) -> Msg {
+    rx.recv_timeout(Duration::from_secs(5)).expect("reply within 5s")
+}
+
+#[test]
+fn panic_mid_callback_crashes_the_node_without_tearing_state() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut b = RuntimeBuilder::new().seed(1);
+    let store;
+    let client;
+    {
+        store = b.add_node(Store::default());
+        client = b.add_node(Collector(tx));
+    }
+    let rt = b.launch();
+
+    // Establish durable and volatile state, acked.
+    rt.inject(store, client, Msg::Put(10));
+    rt.inject(store, client, Msg::Cache(20));
+    assert!(matches!(recv(&rx), Msg::Ack(10)));
+    assert!(matches!(recv(&rx), Msg::Ack(20)));
+
+    // The poison callback queues an ack and a timer, then panics. The
+    // node must crash fail-fast: no ack escapes, no timer fires.
+    rt.inject(store, client, Msg::Poison);
+
+    // Messages to a crashed node are dropped, so the probe goes
+    // unanswered — and crucially the poisoned ack never arrived either.
+    rt.inject(store, client, Msg::Probe);
+    match rx.recv_timeout(Duration::from_millis(300)) {
+        Err(RecvTimeoutError::Timeout) => {}
+        other => panic!("crashed node must not respond, got {other:?}"),
+    }
+
+    // Restart: durable state survives, volatile was wiped by on_crash,
+    // and on_restart ran exactly once.
+    rt.restart(store);
+    rt.inject(store, client, Msg::Probe);
+    match recv(&rx) {
+        Msg::State(durable, volatile, restarts) => {
+            assert_eq!(durable, vec![10], "durable state survives the crash");
+            assert!(volatile.is_empty(), "volatile state is wiped, not torn");
+            assert_eq!(restarts, 1);
+        }
+        other => panic!("expected probe state, got {other:?}"),
+    }
+
+    let report = rt.shutdown();
+    let crashes = report.core.metrics.counter("runtime.panic_crashes");
+    assert_eq!(crashes, 1, "the panic was booked as a fail-fast crash");
+    // The probe sent while the node was down was booked as lost.
+    assert!(report.core.metrics.counter("sim.dropped_to_down_node") >= 1);
+}
+
+#[test]
+fn timers_armed_before_a_crash_never_fire_after_restart() {
+    /// Arms a slow timer, then panics on command; counts timer fires.
+    #[derive(Default)]
+    struct TimerVictim {
+        fires: u64,
+    }
+    #[derive(Clone, Debug)]
+    enum TMsg {
+        ArmThenPanic,
+        Probe,
+        Fires(u64),
+    }
+    impl Actor<TMsg> for TimerVictim {
+        fn on_message(&mut self, ctx: &mut Context<'_, TMsg>, from: NodeId, msg: TMsg) {
+            match msg {
+                TMsg::ArmThenPanic => {
+                    ctx.set_timer(sim::SimDuration::from_millis(50), 1);
+                    panic!("down we go");
+                }
+                TMsg::Probe => ctx.send(from, TMsg::Fires(self.fires)),
+                TMsg::Fires(_) => {}
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, TMsg>, _tag: u64) {
+            self.fires += 1;
+        }
+    }
+    struct Probe(std::sync::mpsc::Sender<TMsg>);
+    impl Actor<TMsg> for Probe {
+        fn on_message(&mut self, _ctx: &mut Context<'_, TMsg>, _from: NodeId, msg: TMsg) {
+            self.0.send(msg).ok();
+        }
+    }
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut b = RuntimeBuilder::new().seed(2);
+    let victim = b.add_node(TimerVictim::default());
+    let probe = b.add_node(Probe(tx));
+    let rt = b.launch();
+
+    rt.inject(victim, probe, TMsg::ArmThenPanic);
+    // Give the (discarded) timer's deadline time to pass, restart, and
+    // check the stale timer was recognized by its dead epoch.
+    std::thread::sleep(Duration::from_millis(120));
+    rt.restart(victim);
+    std::thread::sleep(Duration::from_millis(50));
+    rt.inject(victim, probe, TMsg::Probe);
+    match rx.recv_timeout(Duration::from_secs(5)).expect("probe answered") {
+        TMsg::Fires(n) => assert_eq!(n, 0, "pre-crash timer must not fire after restart"),
+        other => panic!("unexpected {other:?}"),
+    }
+    rt.shutdown();
+}

@@ -36,8 +36,29 @@ impl std::fmt::Display for NodeId {
 
 /// Handle for a pending timer, usable with
 /// [`Context::cancel_timer`].
+///
+/// A timer id encodes the node that armed it. Cancelling is only
+/// meaningful for the owner: a *foreign* cancel (an id that crossed
+/// node boundaries, e.g. inside a message) is a documented no-op on
+/// every engine, counted under `sim.foreign_timer_cancel_ignored`.
+/// Cancelling an already-fired timer is likewise a no-op.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
-pub struct TimerId(pub(crate) u64);
+pub struct TimerId {
+    pub(crate) owner: NodeId,
+    pub(crate) seq: u64,
+}
+
+impl TimerId {
+    /// The node that armed this timer.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The run-unique sequence number of this timer.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
 
 /// A simulated process.
 ///
@@ -70,11 +91,38 @@ pub trait Actor<M>: Any {
 /// Deferred effects produced by an actor during one callback. Sends and
 /// timer arms carry the span that was ambient when they were issued, so
 /// causality propagates without the actor doing anything.
+///
+/// Public because both engines — the simulator's event loop and the
+/// wall-clock runtime's workers — apply these through their own clock
+/// and transport after [`crate::engine::EngineCore::run_callback`]
+/// returns them. Actors never see this type.
 #[derive(Debug)]
-pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M, span: Option<SpanId> },
-    SetTimer { id: TimerId, delay: SimDuration, tag: u64, span: Option<SpanId> },
-    CancelTimer { id: TimerId },
+pub enum Action<M> {
+    /// Send `msg` to `to`, under the span ambient at issue time.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+        /// Ambient span at issue time (parents the `net.hop`).
+        span: Option<SpanId>,
+    },
+    /// Arm a one-shot timer on the issuing node.
+    SetTimer {
+        /// The timer's handle (owner = issuing node).
+        id: TimerId,
+        /// Relative delay until it fires.
+        delay: SimDuration,
+        /// Tag delivered to [`Actor::on_timer`].
+        tag: u64,
+        /// Ambient span at issue time (the callback runs under it).
+        span: Option<SpanId>,
+    },
+    /// Cancel a previously armed timer (no-op if fired or foreign).
+    CancelTimer {
+        /// The handle being cancelled.
+        id: TimerId,
+    },
 }
 
 /// The actor's window into the simulation during a callback: clock,
@@ -143,15 +191,17 @@ impl<M> Context<'_, M> {
     /// delivering `tag` to [`Actor::on_timer`]. Timers do not survive a
     /// crash. The timer callback runs under the span that is ambient now.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
+        let id = TimerId { owner: self.me, seq: *self.next_timer_id };
         *self.next_timer_id += 1;
         let span = self.current_span;
         self.actions.push(Action::SetTimer { id, delay, tag, span });
         id
     }
 
-    /// Cancel a timer armed earlier. Cancelling an already-fired timer is
-    /// a no-op.
+    /// Cancel a timer armed earlier by **this** node. Cancelling an
+    /// already-fired timer is a no-op; cancelling a foreign timer (an
+    /// id minted by another node) is a documented no-op on both
+    /// engines, counted under `sim.foreign_timer_cancel_ignored`.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.actions.push(Action::CancelTimer { id });
     }

@@ -56,6 +56,7 @@
 
 pub mod actor;
 pub mod chaos;
+pub mod engine;
 pub mod explain;
 pub mod flight;
 mod json;
@@ -68,10 +69,11 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
-pub use actor::{Actor, Context, NodeId, TimerId};
+pub use actor::{Action, Actor, Context, NodeId, TimerId};
 pub use chaos::{
     mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk, Violation,
 };
+pub use engine::EngineCore;
 pub use explain::Explanation;
 pub use flight::{CausalSlice, FlightEvent, FlightId, FlightKind, FlightRecorder};
 pub use ledger::{GuessId, GuessOutcome, GuessRecord, Ledger, LedgerAccounting};

@@ -15,14 +15,14 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::actor::{Action, Actor, Context, NodeId, TimerId};
+use crate::engine::EngineCore;
 use crate::flight::{FlightId, FlightKind, FlightRecorder};
-use crate::ledger::{GuessOutcome, Ledger};
+use crate::ledger::Ledger;
 use crate::metrics::MetricSet;
 use crate::net::{Delivery, LinkConfig, Network};
-use crate::rng::SimRng;
-use crate::span::{SpanId, SpanStatus, SpanStore};
+use crate::span::{SpanId, SpanStore};
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{Trace, TraceKind};
 
 enum EventKind<M> {
     /// `hop` is the `net.hop` span opened when the send was planned; it is
@@ -121,15 +121,12 @@ pub struct Simulation<M> {
     queue: BinaryHeap<Event<M>>,
     nodes: Vec<NodeSlot<M>>,
     net: Network,
-    rng: SimRng,
-    metrics: MetricSet,
-    spans: SpanStore,
+    /// The engine-independent half (RNG, metrics, spans, trace, flight,
+    /// ledger, timer allocator) — shared by construction with the
+    /// wall-clock runtime, so effect semantics cannot drift.
+    core: EngineCore,
     cancelled_timers: HashSet<u64>,
-    next_timer_id: u64,
     started: bool,
-    trace: Option<Trace>,
-    flight: Option<FlightRecorder>,
-    ledger: Ledger,
     /// The flight event currently being dispatched; sends, timer arms,
     /// and markers issued during its callback cite it as their cause.
     current_cause: Option<FlightId>,
@@ -150,15 +147,9 @@ impl<M: Clone + 'static> Simulation<M> {
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             net,
-            rng: SimRng::new(seed),
-            metrics: MetricSet::new(),
-            spans: SpanStore::new(),
+            core: EngineCore::new(seed),
             cancelled_timers: HashSet::new(),
-            next_timer_id: 0,
             started: false,
-            trace: None,
-            flight: None,
-            ledger: Ledger::new(),
             current_cause: None,
         }
     }
@@ -167,42 +158,42 @@ impl<M: Clone + 'static> Simulation<M> {
     /// [`crate::trace`]). Call before running; costs nothing when never
     /// enabled.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        self.core.trace = Some(Trace::new(capacity));
     }
 
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.core.trace.as_ref()
     }
 
     /// Record the causal event graph into a bounded ring (see
     /// [`crate::flight`]). Call before running; costs nothing when never
     /// enabled.
     pub fn enable_flight(&mut self, capacity: usize) {
-        self.flight = Some(FlightRecorder::new(capacity));
+        self.core.flight = Some(FlightRecorder::new(capacity));
     }
 
     /// The flight recorder, if enabled.
     pub fn flight(&self) -> Option<&FlightRecorder> {
-        self.flight.as_ref()
+        self.core.flight.as_ref()
     }
 
     /// Take ownership of the flight recorder (for stashing in a report
     /// after the run). Further dispatches record nothing.
     pub fn take_flight(&mut self) -> Option<FlightRecorder> {
-        self.flight.take()
+        self.core.flight.take()
     }
 
     /// The run's guess/apology ledger (see [`crate::ledger`]). Always
     /// on: a run that makes no guesses has an empty ledger.
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        &self.core.ledger
     }
 
     /// Export the ledger's accounting into the run's metric registry
     /// (call once, after the run, before reading metrics).
     pub fn export_ledger_metrics(&mut self) {
-        self.ledger.export_metrics(&mut self.metrics);
+        self.core.export_ledger_metrics();
     }
 
     /// Resolve a still-open guess span at final settlement — for
@@ -214,43 +205,8 @@ impl<M: Clone + 'static> Simulation<M> {
     /// record, and emits a flight event marked `settled=end-of-run`.
     /// No-op on spans already closed (e.g. by a crash).
     pub fn settle_guess(&mut self, span: SpanId, confirmed: bool) {
-        let Some(rec) = self.spans.get(span) else { return };
-        if rec.status != SpanStatus::Open {
-            return;
-        }
-        let node = rec.node;
-        let outstanding = self.now.saturating_since(rec.start).as_micros() as f64;
-        self.metrics.record("guess.outstanding_us", outstanding);
-        let label = node.map_or_else(|| "?".to_owned(), |n| n.to_string());
-        let (counter, status) = if confirmed {
-            ("guess.confirmed", SpanStatus::Ok)
-        } else {
-            ("guess.apologies", SpanStatus::Failed)
-        };
-        self.metrics.inc_with(counter, &[("node", label.as_str())]);
-        self.spans.add_field(
-            span,
-            "resolution",
-            if confirmed { "confirmed" } else { "apology" }.to_owned(),
-        );
-        let outcome = if confirmed { GuessOutcome::Confirmed } else { GuessOutcome::Apologized };
-        self.ledger.resolve_span(span, self.now, outcome);
-        if let Some(f) = self.flight.as_mut() {
-            f.record(
-                self.now,
-                FlightKind::GuessResolve,
-                node,
-                None,
-                Some(span),
-                None,
-                None,
-                vec![
-                    ("outcome".to_owned(), outcome.as_str().to_owned()),
-                    ("settled".to_owned(), "end-of-run".to_owned()),
-                ],
-            );
-        }
-        self.spans.finish_span(span, self.now, status);
+        let now = self.now;
+        self.core.settle_guess(span, confirmed, now);
     }
 
     /// Add an actor; returns its node id. All nodes must be added before
@@ -285,19 +241,26 @@ impl<M: Clone + 'static> Simulation<M> {
 
     /// The run's metrics (read-only).
     pub fn metrics(&self) -> &MetricSet {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// The run's metrics (for percentile queries, which need `&mut`).
     pub fn metrics_mut(&mut self) -> &mut MetricSet {
-        &mut self.metrics
+        &mut self.core.metrics
     }
 
     /// Every causal span recorded during the run (see [`crate::span`]).
     /// Always on: span recording is cheap at simulation scale and the
     /// store stays empty when nothing is instrumented.
     pub fn spans(&self) -> &SpanStore {
-        &self.spans
+        &self.core.spans
+    }
+
+    /// The shared engine core (RNG, metrics, spans, trace, flight,
+    /// ledger) — for harnesses that need more than the individual
+    /// accessors expose.
+    pub fn core_mut(&mut self) -> &mut EngineCore {
+        &mut self.core
     }
 
     /// Downcast a node's actor to its concrete type to inspect state.
@@ -456,20 +419,10 @@ impl<M: Clone + 'static> Simulation<M> {
         match ev.kind {
             EventKind::Deliver { to, from, msg, hop, cause } => {
                 if !self.nodes[to.0].up {
-                    if let Some(h) = hop {
-                        self.spans.finish_span(h, self.now, SpanStatus::Dropped);
-                    }
-                    self.metrics.inc("sim.dropped_to_down_node");
-                    self.record_trace(TraceKind::DropDown, Some(to), Some(from));
-                    self.record_flight(FlightKind::DropDown, Some(to), Some(from), hop, cause);
+                    self.core.dropped_to_down(to, from, hop, cause, self.now);
                     return false;
                 }
-                if let Some(h) = hop {
-                    self.spans.finish_span(h, self.now, SpanStatus::Ok);
-                }
-                self.record_trace(TraceKind::Deliver, Some(to), Some(from));
-                self.current_cause =
-                    self.record_flight(FlightKind::Deliver, Some(to), Some(from), hop, cause);
+                self.current_cause = self.core.deliver_bookkeeping(to, from, hop, cause, self.now);
                 // The receiver runs under the hop span, so spans it opens
                 // land inside the sender's causal tree.
                 self.with_actor(to, hop, |actor, ctx| actor.on_message(ctx, from, msg));
@@ -477,16 +430,14 @@ impl<M: Clone + 'static> Simulation<M> {
                 true
             }
             EventKind::Timer { node, id, tag, epoch, span, cause } => {
-                if self.cancelled_timers.remove(&id.0) {
+                if self.cancelled_timers.remove(&id.seq()) {
                     return false;
                 }
                 let slot = &self.nodes[node.0];
                 if !slot.up || slot.epoch != epoch {
                     return false; // timers do not survive crashes
                 }
-                self.record_trace(TraceKind::Timer, Some(node), None);
-                self.current_cause =
-                    self.record_flight(FlightKind::Timer, Some(node), None, span, cause);
+                self.current_cause = self.core.timer_bookkeeping(node, span, cause, self.now);
                 self.with_actor(node, span, |actor, ctx| actor.on_timer(ctx, tag));
                 self.current_cause = None;
                 true
@@ -501,28 +452,9 @@ impl<M: Clone + 'static> Simulation<M> {
                 let now = self.now;
                 slot.actor.as_mut().expect("actor present").on_crash(now);
                 // Fail-fast: whatever the node had in flight ends here,
-                // visibly, rather than leaking as open-forever spans.
-                self.spans.close_node_spans(node, now);
-                self.metrics.inc("sim.crashes");
-                self.record_trace(TraceKind::Crash, Some(node), None);
-                let fid = self.record_flight(FlightKind::Crash, Some(node), None, None, None);
-                // The crash also orphans the node's volatile guesses: the
-                // memory that owed the apology is gone. Each orphaning is
-                // itself a flight event, caused by the crash.
-                for (span, op) in self.ledger.orphan_node(node, now) {
-                    if let Some(f) = &mut self.flight {
-                        f.record(
-                            now,
-                            FlightKind::GuessResolve,
-                            Some(node),
-                            None,
-                            Some(span),
-                            fid,
-                            Some(op),
-                            vec![("outcome".to_owned(), "orphaned".to_owned())],
-                        );
-                    }
-                }
+                // visibly, rather than leaking as open-forever spans —
+                // and the node's volatile guesses orphan with it.
+                self.core.crash_bookkeeping(node, now);
                 true
             }
             EventKind::Restart { node } => {
@@ -530,39 +462,36 @@ impl<M: Clone + 'static> Simulation<M> {
                     return false;
                 }
                 self.nodes[node.0].up = true;
-                self.record_trace(TraceKind::Restart, Some(node), None);
                 // `on_restart` runs with the restart as its cause, so a
                 // timer re-armed here (e.g. dynamo's gossip) is causally
                 // downstream of the restart — and its absence shows up as
                 // a missing link in the slice.
-                self.current_cause =
-                    self.record_flight(FlightKind::Restart, Some(node), None, None, None);
+                self.current_cause = self.core.restart_bookkeeping(node, self.now);
                 self.with_actor(node, None, |actor, ctx| actor.on_restart(ctx));
                 self.current_cause = None;
-                self.metrics.inc("sim.restarts");
                 true
             }
             EventKind::PartitionGroups { left, right } => {
-                self.record_trace(TraceKind::Partition, None, None);
-                self.record_flight(FlightKind::Partition, None, None, None, None);
+                self.core.record_trace(self.now, TraceKind::Partition, None, None);
+                self.core.record_flight(self.now, FlightKind::Partition, None, None, None, None);
                 self.net.partition_groups(&left, &right);
                 true
             }
             EventKind::PartitionOneWay { from, to } => {
-                self.record_trace(TraceKind::Partition, None, None);
-                self.record_flight(FlightKind::Partition, None, None, None, None);
+                self.core.record_trace(self.now, TraceKind::Partition, None, None);
+                self.core.record_flight(self.now, FlightKind::Partition, None, None, None, None);
                 self.net.partition_groups_oneway(&from, &to);
                 true
             }
             EventKind::HealGroups { left, right } => {
-                self.record_trace(TraceKind::Heal, None, None);
-                self.record_flight(FlightKind::Heal, None, None, None, None);
+                self.core.record_trace(self.now, TraceKind::Heal, None, None);
+                self.core.record_flight(self.now, FlightKind::Heal, None, None, None, None);
                 self.net.heal_groups(&left, &right);
                 true
             }
             EventKind::HealAll => {
-                self.record_trace(TraceKind::Heal, None, None);
-                self.record_flight(FlightKind::Heal, None, None, None, None);
+                self.core.record_trace(self.now, TraceKind::Heal, None, None);
+                self.core.record_flight(self.now, FlightKind::Heal, None, None, None, None);
                 self.net.heal_all();
                 true
             }
@@ -570,9 +499,16 @@ impl<M: Clone + 'static> Simulation<M> {
                 let prev_ab = self.net.link_override(a, b);
                 let prev_ba = self.net.link_override(b, a);
                 self.net.set_link(a, b, link);
-                self.metrics.inc("sim.degrades");
-                self.record_trace(TraceKind::Degrade, Some(a), Some(b));
-                self.record_flight(FlightKind::Degrade, Some(a), Some(b), None, None);
+                self.core.metrics.inc("sim.degrades");
+                self.core.record_trace(self.now, TraceKind::Degrade, Some(a), Some(b));
+                self.core.record_flight(
+                    self.now,
+                    FlightKind::Degrade,
+                    Some(a),
+                    Some(b),
+                    None,
+                    None,
+                );
                 self.push(until, EventKind::RestoreLink { a, b, prev_ab, prev_ba });
                 true
             }
@@ -585,30 +521,11 @@ impl<M: Clone + 'static> Simulation<M> {
                     Some(cfg) => self.net.set_link_oneway(b, a, cfg),
                     None => self.net.clear_link_oneway(b, a),
                 }
-                self.record_trace(TraceKind::Heal, Some(a), Some(b));
-                self.record_flight(FlightKind::Heal, Some(a), Some(b), None, None);
+                self.core.record_trace(self.now, TraceKind::Heal, Some(a), Some(b));
+                self.core.record_flight(self.now, FlightKind::Heal, Some(a), Some(b), None, None);
                 true
             }
         }
-    }
-
-    fn record_trace(&mut self, kind: TraceKind, node: Option<NodeId>, from: Option<NodeId>) {
-        if let Some(t) = &mut self.trace {
-            t.record(TraceEvent::sim(self.now, kind, node, from));
-        }
-    }
-
-    fn record_flight(
-        &mut self,
-        kind: FlightKind,
-        node: Option<NodeId>,
-        from: Option<NodeId>,
-        span: Option<SpanId>,
-        cause: Option<FlightId>,
-    ) -> Option<FlightId> {
-        self.flight
-            .as_mut()
-            .map(|f| f.record(self.now, kind, node, from, span, cause, None, Vec::new()))
     }
 
     /// Run one actor callback with a fresh context (ambient span =
@@ -624,39 +541,20 @@ impl<M: Clone + 'static> Simulation<M> {
             .actor
             .take()
             .expect("actor re-entered: actors must not call back into the simulation");
-        let mut ctx = Context {
-            me: node,
-            now: self.now,
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-            actions: Vec::new(),
-            next_timer_id: &mut self.next_timer_id,
-            spans: &mut self.spans,
-            current_span: ambient,
-            trace: &mut self.trace,
-            flight: &mut self.flight,
-            ledger: &mut self.ledger,
-            cause: self.current_cause,
-        };
-        f(actor.as_mut(), &mut ctx);
-        let actions = ctx.actions;
-        self.nodes[node.0].actor = Some(actor);
         let cause = self.current_cause;
+        let ((), actions) =
+            self.core.run_callback(node, self.now, ambient, cause, |ctx| f(actor.as_mut(), ctx));
+        self.nodes[node.0].actor = Some(actor);
         for action in actions {
             match action {
                 Action::Send { to, msg, span } => {
-                    match self.net.plan_delivery(&mut self.rng, node, to) {
+                    match self.net.plan_delivery(&mut self.core.rng, node, to) {
                         Delivery::Deliver(delays) => {
-                            self.metrics.inc("sim.messages_sent");
+                            self.core.metrics.inc("sim.messages_sent");
                             for d in delays {
                                 // One hop span per physical delivery (so
                                 // duplicated messages show as two hops).
-                                let hop = span.map(|parent| {
-                                    self.spans.open_span("net.hop", None, Some(parent), self.now)
-                                });
-                                if let Some(h) = hop {
-                                    self.spans.add_field(h, "to", to.to_string());
-                                }
+                                let hop = self.core.plan_hop(span, to, self.now);
                                 self.push(
                                     self.now + d,
                                     EventKind::Deliver {
@@ -670,13 +568,7 @@ impl<M: Clone + 'static> Simulation<M> {
                             }
                         }
                         Delivery::Dropped => {
-                            if let Some(parent) = span {
-                                let h =
-                                    self.spans.open_span("net.hop", None, Some(parent), self.now);
-                                self.spans.add_field(h, "to", to.to_string());
-                                self.spans.finish_span(h, self.now, SpanStatus::Dropped);
-                            }
-                            self.metrics.inc("sim.messages_dropped");
+                            self.core.drop_send(span, to, self.now);
                         }
                     }
                 }
@@ -688,7 +580,9 @@ impl<M: Clone + 'static> Simulation<M> {
                     );
                 }
                 Action::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id.0);
+                    if self.core.cancel_allowed(node, id) {
+                        self.cancelled_timers.insert(id.seq());
+                    }
                 }
             }
         }

@@ -1,0 +1,85 @@
+//! The timer-cancel contract on the deterministic engine (the runtime
+//! crate holds the mirror test): cancelling an already-fired [`TimerId`]
+//! is a no-op, and cancelling a *foreign* id — one minted by another
+//! node that crossed a node boundary inside a message — is a documented
+//! no-op counted under `sim.foreign_timer_cancel_ignored`.
+
+use sim::{Actor, Context, NodeId, SimDuration, SimTime, Simulation, TimerId};
+
+#[derive(Clone)]
+enum Msg {
+    /// "Here is my timer id — try to cancel it."
+    Leak(TimerId),
+}
+
+/// Arms two timers; when the first fires it cancels the first's own
+/// (now already-fired) id. The second must still fire.
+struct Canceller {
+    first: Option<TimerId>,
+    fired: Vec<u64>,
+}
+
+impl Actor<Msg> for Canceller {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.first = Some(ctx.set_timer(SimDuration::from_millis(10), 1));
+        ctx.set_timer(SimDuration::from_millis(20), 2);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        self.fired.push(tag);
+        if tag == 1 {
+            // Cancel the id that just fired: must be a silent no-op and
+            // must not disturb the still-pending tag-2 timer.
+            ctx.cancel_timer(self.first.expect("armed on start"));
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+}
+
+/// Arms a timer and leaks its id to a meddler node.
+struct Victim {
+    meddler: NodeId,
+    fired: Vec<u64>,
+}
+
+impl Actor<Msg> for Victim {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        let id = ctx.set_timer(SimDuration::from_millis(50), 7);
+        ctx.send(self.meddler, Msg::Leak(id));
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, tag: u64) {
+        self.fired.push(tag);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+}
+
+/// Tries to cancel whatever timer id it is handed.
+struct Meddler;
+
+impl Actor<Msg> for Meddler {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        let Msg::Leak(id) = msg;
+        ctx.cancel_timer(id);
+    }
+}
+
+#[test]
+fn cancelling_a_fired_timer_is_a_noop() {
+    let mut sim = Simulation::new(42);
+    let c = sim.add_node(Canceller { first: None, fired: vec![] });
+    sim.run_until(SimTime::from_secs(1));
+    // Both timers fired despite the post-hoc cancel of the first.
+    assert_eq!(sim.actor::<Canceller>(c).fired, vec![1, 2]);
+    assert_eq!(sim.metrics().counter("sim.foreign_timer_cancel_ignored"), 0);
+}
+
+#[test]
+fn cancelling_a_foreign_timer_is_a_counted_noop() {
+    let mut sim = Simulation::new(42);
+    let meddler = sim.add_node(Meddler);
+    let victim = sim.add_node(Victim { meddler, fired: vec![] });
+    sim.run_until(SimTime::from_secs(1));
+    // The meddler's cancel was ignored: the victim's timer still fired,
+    // and the engine counted the attempt.
+    assert_eq!(sim.actor::<Victim>(victim).fired, vec![7]);
+    assert_eq!(sim.metrics().counter("sim.foreign_timer_cancel_ignored"), 1);
+}

@@ -1,0 +1,193 @@
+//! Cross-validation of the two engines on the same unmodified actors:
+//! the deterministic simulator and the wall-clock multi-threaded
+//! runtime both drive [`dynamo::StoreNode`] + [`cart::CrdtShopper`]
+//! through an identical workload, and the application-level outcome —
+//! which acked edits survive into the reconciled cart — must agree.
+//!
+//! Two checks:
+//! 1. fault-free: the reconciled materialized carts are *exactly*
+//!    equal (same items, same quantities);
+//! 2. with an induced crash+restart of one store on both engines:
+//!    the reconciled item sets are equal and **zero acked adds are
+//!    lost** — the §6.4 promise, engine-independent.
+//!
+//! The workload is add-only with distinct items so the reconciled view
+//! is schedule-independent (the OR-Set join is commutative and no
+//! remove can race an add); quantities may legitimately exceed the
+//! plan under faults because a shopper that retries an unacked edit
+//! re-applies it (at-least-once on purpose — §5's "at-least-once +
+//! idempotence", where membership, not count, is the idempotent part).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use cart::{CartAction, CartMode, CartScenario, CrdtCart, CrdtShopper, CART_KEY};
+use crdt::Crdt;
+use dynamo::{DynamoConfig, DynamoMsg, Ring, StoreNode};
+use quicksand_runtime::{Runtime, RuntimeBuilder};
+use sim::{Fault, FaultPlan, NodeId, SimDuration, SimTime};
+
+const N_STORES: u32 = 4;
+
+/// Three shoppers, eight adds each, all items distinct.
+fn plans() -> Vec<Vec<CartAction>> {
+    (0..3u64)
+        .map(|i| {
+            (0..8u64).map(|j| CartAction::Add { item: 100 * i + j, qty: j as u32 + 1 }).collect()
+        })
+        .collect()
+}
+
+/// Total quantity each planned item should reach when applied exactly
+/// once (retries may inflate it, never deflate it).
+fn planned_qtys() -> BTreeMap<u64, u32> {
+    let mut m = BTreeMap::new();
+    for plan in plans() {
+        for a in plan {
+            if let CartAction::Add { item, qty } = a {
+                m.insert(item, qty);
+            }
+        }
+    }
+    m
+}
+
+/// Stand up the service on the wall-clock runtime: the same ring
+/// construction as [`dynamo::build_crdt_cluster`] (stores at node ids
+/// `0..n`), shoppers added after. Mirrored inline because the root
+/// package sits below the bench crate in the dependency graph.
+fn launch_runtime(seed: u64) -> (Runtime<DynamoMsg<CrdtCart>>, Vec<NodeId>, Vec<NodeId>) {
+    let cfg = DynamoConfig::default();
+    let ring = Ring::new(N_STORES, cfg.vnodes);
+    let mut b = RuntimeBuilder::new().seed(seed);
+    let stores: Vec<NodeId> = (0..N_STORES as usize).map(NodeId).collect();
+    for s in 0..N_STORES {
+        b.add_node(
+            StoreNode::<CrdtCart>::new(s, ring.clone(), stores.clone(), cfg.clone())
+                .with_sibling_squash(),
+        );
+    }
+    let shoppers: Vec<NodeId> = plans()
+        .into_iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            b.add_node(CrdtShopper::new(
+                i as u32,
+                CART_KEY,
+                stores.clone(),
+                plan,
+                SimDuration::from_millis(5),
+            ))
+        })
+        .collect();
+    (b.launch(), stores, shoppers)
+}
+
+/// Wait (wall clock) until every shopper acked its whole plan, let
+/// anti-entropy converge, then reconcile: join every store's sibling
+/// set for the cart key and materialize. Returns (acked edit count,
+/// materialized cart).
+fn finish_runtime(
+    rt: Runtime<DynamoMsg<CrdtCart>>,
+    stores: &[NodeId],
+    shoppers: &[NodeId],
+) -> (u64, BTreeMap<u64, u32>) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let done = shoppers.iter().all(|&s| rt.inspect::<CrdtShopper, bool, _>(s, |sh| sh.done()));
+        if done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "runtime half did not finish in 60s");
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    let report = rt.shutdown();
+    let acked: u64 =
+        shoppers.iter().map(|&s| report.actor::<CrdtShopper>(s).acked.len() as u64).sum();
+    let mut joined = CrdtCart::new();
+    for &s in stores {
+        for v in report.actor::<StoreNode<CrdtCart>>(s).versions(CART_KEY) {
+            joined.merge(&v.value);
+        }
+    }
+    (acked, joined.materialize())
+}
+
+fn sim_run(seed: u64, faults: FaultPlan) -> cart::CartReport {
+    let scenario = CartScenario {
+        mode: CartMode::OrSet,
+        n_stores: N_STORES,
+        plans: plans(),
+        think: SimDuration::from_millis(5),
+        horizon: SimTime::from_secs(60),
+        faults,
+        ..CartScenario::default()
+    };
+    cart::run(&scenario, seed)
+}
+
+#[test]
+fn fault_free_runs_agree_exactly() {
+    let seed = 0xC1DE2009;
+    let sim = sim_run(seed, FaultPlan::none());
+    assert_eq!(sim.lost_edits, 0, "sim lost acked edits fault-free");
+
+    let (rt, stores, shoppers) = launch_runtime(seed);
+    let (rt_acked, rt_cart) = finish_runtime(rt, &stores, &shoppers);
+
+    let total_planned: u64 = plans().iter().map(|p| p.len() as u64).sum();
+    assert_eq!(rt_acked, total_planned, "every planned edit must ack");
+    // Fault-free on a reliable loopback there are no retries, so the
+    // reconciled carts agree item-for-item *and* quantity-for-quantity.
+    assert_eq!(rt_cart, sim.final_cart, "reconciled carts diverged between engines");
+}
+
+#[test]
+fn induced_crash_loses_no_acked_adds_on_either_engine() {
+    let seed = 0xDEAD2009;
+    let victim = NodeId(1);
+
+    // Sim half: crash store 1 at t=30ms, restart at t=130ms.
+    let faults = FaultPlan::from_faults(vec![Fault::Crash {
+        at: SimTime::from_millis(30),
+        node: victim,
+        restart_at: Some(SimTime::from_millis(130)),
+    }]);
+    let sim = sim_run(seed, faults);
+    assert_eq!(sim.lost_edits, 0, "sim lost acked edits under crash");
+
+    // Runtime half: same crash/restart induced in wall time.
+    let (rt, stores, shoppers) = launch_runtime(seed);
+    std::thread::sleep(Duration::from_millis(30));
+    rt.crash(victim);
+    std::thread::sleep(Duration::from_millis(100));
+    rt.restart(victim);
+    let (rt_acked, rt_cart) = finish_runtime(rt, &stores, &shoppers);
+
+    // The §6.4 promise on both engines: nothing acked may be lost.
+    // With distinct add-only items both reconciled item *sets* are the
+    // full plan; quantities may exceed the plan on either engine when a
+    // timed-out edit was retried (at-least-once), so only the lower
+    // bound is engine-independent.
+    let planned = planned_qtys();
+    let sim_items: Vec<u64> = sim.final_cart.keys().copied().collect();
+    let rt_items: Vec<u64> = rt_cart.keys().copied().collect();
+    let want: Vec<u64> = planned.keys().copied().collect();
+    assert_eq!(sim_items, want, "sim cart item set incomplete under crash");
+    assert_eq!(rt_items, want, "runtime cart item set incomplete under crash");
+    assert!(rt_acked >= planned.len() as u64, "every planned edit must ack at least once");
+    for (item, qty) in &planned {
+        assert!(
+            rt_cart[item] >= *qty,
+            "item {item} qty {} below planned {qty} on the runtime",
+            rt_cart[item]
+        );
+        assert!(
+            sim.final_cart[item] >= *qty,
+            "item {item} qty {} below planned {qty} on the sim",
+            sim.final_cart[item]
+        );
+    }
+}
