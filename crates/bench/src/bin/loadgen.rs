@@ -13,19 +13,43 @@
 //! ```
 //!
 //! Reported: total ops, wall-clock throughput, and p50/p99 GET/PUT
-//! latencies from the shared `MetricSet` histograms. The `--json-out`
-//! file is byte-stable across runs except for the timing fields
+//! latencies from the log-bucketed [`sim::LogHistogram`]s — the same
+//! estimator the telemetry endpoint serves, so `loadgen` and a `curl`
+//! of `/metrics` report the same shape. The `--json-out` file is
+//! byte-stable across runs except for the timing fields
 //! (`elapsed_secs`, `throughput_ops_per_sec`, `*_us` percentiles).
+//!
+//! ## Watch mode
+//!
+//! `--watch` attaches the live telemetry surface (binding
+//! `--telemetry-addr`, or an ephemeral port if unset) and polls it over
+//! real HTTP while the run is in flight, rendering a one-line dashboard
+//! — ops/s and windowed p99 from `/metrics`, open guesses from
+//! `/ledger`, node liveness from `/health`. After the clients finish
+//! and the run quiesces, watch mode re-reads `/ledger` and **exits
+//! nonzero if any guess is still open**: a promise somebody made and
+//! never reconciled (§5).
+//!
+//! ## Sweep mode
+//!
+//! `--sweep-out BENCH_6.json` runs the threads × payload grid (clients
+//! × items-per-put) and writes one JSON table with throughput and
+//! latency percentiles per cell — the repo's BENCH_6 artifact. Key
+//! order and all non-timing fields are deterministic.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cart::CrdtCart;
 use dynamo::{DynamoConfig, StoreNode};
+use quicksand_bench::http::{http_get, json_number};
 use quicksand_bench::service::{add_crdt_stores, LoadClient};
 use quicksand_runtime::{RuntimeBuilder, TransportKind};
-use sim::SimDuration;
+use sim::{LogHistogram, SimDuration};
 
 use crdt::Crdt;
 
@@ -39,17 +63,32 @@ fn arg_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(args.remove(pos))
 }
 
+fn arg_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let pos = args.iter().position(|a| a == flag);
+    if let Some(pos) = pos {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+#[derive(Clone)]
 struct Config {
     stores: u32,
     clients: u32,
-    ops_per_client: u64,
+    ops_per_client: Option<u64>,
     keys: u64,
     put_pct: u32,
     think_us: u64,
+    items_per_put: u64,
     transport: TransportKind,
     seed: Option<u64>,
     timeout_secs: u64,
     json_out: Option<String>,
+    sweep_out: Option<String>,
+    telemetry_addr: Option<String>,
+    watch: bool,
 }
 
 fn parse_args() -> Config {
@@ -57,16 +96,21 @@ fn parse_args() -> Config {
     let cfg = Config {
         stores: arg_value(&mut args, "--stores").map_or(4, |v| v.parse().expect("--stores")),
         clients: arg_value(&mut args, "--clients").map_or(8, |v| v.parse().expect("--clients")),
-        ops_per_client: arg_value(&mut args, "--ops").map_or(6250, |v| v.parse().expect("--ops")),
+        ops_per_client: arg_value(&mut args, "--ops").map(|v| v.parse().expect("--ops")),
         keys: arg_value(&mut args, "--keys").map_or(512, |v| v.parse().expect("--keys")),
         put_pct: arg_value(&mut args, "--put-pct").map_or(50, |v| v.parse().expect("--put-pct")),
         think_us: arg_value(&mut args, "--think-us").map_or(0, |v| v.parse().expect("--think-us")),
+        items_per_put: arg_value(&mut args, "--items-per-put")
+            .map_or(1, |v| v.parse().expect("--items-per-put")),
         transport: arg_value(&mut args, "--transport")
             .map_or(TransportKind::Loopback, |v| v.parse().unwrap_or_else(|e| panic!("{e}"))),
         seed: arg_value(&mut args, "--seed").map(|v| v.parse().expect("--seed")),
         timeout_secs: arg_value(&mut args, "--timeout-secs")
             .map_or(300, |v| v.parse().expect("--timeout-secs")),
         json_out: arg_value(&mut args, "--json-out"),
+        sweep_out: arg_value(&mut args, "--sweep-out"),
+        telemetry_addr: arg_value(&mut args, "--telemetry-addr"),
+        watch: arg_flag(&mut args, "--watch"),
     };
     if !args.is_empty() {
         eprintln!("unknown args: {args:?}");
@@ -75,34 +119,124 @@ fn parse_args() -> Config {
     cfg
 }
 
-fn main() {
-    let cfg = parse_args();
+/// Everything one closed-loop run produces.
+struct RunResult {
+    total_ops: u64,
+    elapsed: Duration,
+    throughput: f64,
+    gets: u64,
+    puts: u64,
+    get_p50: f64,
+    get_p99: f64,
+    put_p50: f64,
+    put_p99: f64,
+    acked: usize,
+    lost: Vec<(u64, u64)>,
+    get_failures: u64,
+    put_failures: u64,
+    stuck: u64,
+    /// Open guesses after quiescence (from the final engine core).
+    open_guesses: u64,
+    /// Last ops/s the telemetry endpoint reported, when watching.
+    telemetry_rate: Option<f64>,
+    /// Open-guess count `/ledger` reported after quiescence, when
+    /// watching (the endpoint's answer, cross-checked against the core).
+    ledger_open_via_http: Option<u64>,
+}
+
+/// Poll the telemetry surface and keep a one-line dashboard fresh on
+/// stderr until `stop` flips. Records the last observed ops/s so the
+/// caller can cross-check it against its own measurement.
+fn watch_loop(addr: SocketAddr, stop: Arc<AtomicBool>, last_rate_bits: Arc<AtomicU64>) {
+    // A section-scoped numeric read: the first `"key"` match *after*
+    // `section` (plain `json_number` would hit the counters section).
+    fn section_number(body: &str, section: &str, key: &str) -> Option<f64> {
+        let at = body.find(&format!("\"{section}\""))?;
+        json_number(&body[at..], key)
+    }
+    while !stop.load(Ordering::SeqCst) {
+        let metrics = http_get(addr, "/metrics?format=json").ok();
+        let ledger = http_get(addr, "/ledger").ok();
+        let health = http_get(addr, "/health").ok();
+        let rate =
+            metrics.as_ref().and_then(|(_, b)| section_number(b, "rates_per_sec", "load.ops_done"));
+        let p99_us = metrics.as_ref().and_then(|(_, b)| {
+            let at = b.find("\"window_histograms\"")?;
+            section_number(&b[at..], "load.get_us", "p99")
+        });
+        let open = ledger.as_ref().and_then(|(_, b)| json_number(b, "open"));
+        let (up, total) = health
+            .as_ref()
+            .map(|(_, b)| (json_number(b, "nodes_up"), json_number(b, "nodes_total")))
+            .unwrap_or((None, None));
+        if let Some(r) = rate {
+            last_rate_bits.store(r.to_bits(), Ordering::SeqCst);
+        }
+        let mut line = String::from("watch:");
+        match rate {
+            Some(r) => {
+                let _ = write!(line, " {r:7.0} ops/s");
+            }
+            None => line.push_str(" (rates warming up)"),
+        }
+        if let Some(p) = p99_us {
+            let _ = write!(line, " | get p99 {:.1}ms", p / 1000.0);
+        }
+        if let Some(o) = open {
+            let _ = write!(line, " | open guesses {o:.0}");
+        }
+        if let (Some(u), Some(t)) = (up, total) {
+            let _ = write!(line, " | nodes {u:.0}/{t:.0} up");
+        }
+        eprint!("\r{line}    ");
+        let mut slept = Duration::ZERO;
+        while slept < Duration::from_millis(500) && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+            slept += Duration::from_millis(50);
+        }
+    }
+    eprintln!();
+}
+
+fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
     let mut b = RuntimeBuilder::new();
     if let Some(s) = cfg.seed {
         b = b.seed(s);
     }
+    if cfg.watch || cfg.telemetry_addr.is_some() {
+        let addr = cfg.telemetry_addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned());
+        b = b
+            .telemetry(addr.as_str())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind telemetry on {addr}: {e}");
+                std::process::exit(2);
+            })
+            .snapshot_interval(Duration::from_millis(500));
+    }
     let store_ids = add_crdt_stores(&mut b, cfg.stores, &DynamoConfig::default());
     let mut client_ids = Vec::new();
     for c in 0..cfg.clients {
-        let client =
-            LoadClient::new(c, store_ids.clone(), cfg.ops_per_client, cfg.keys, cfg.put_pct)
-                .with_think(SimDuration::from_micros(cfg.think_us));
+        let client = LoadClient::new(c, store_ids.clone(), ops_per_client, cfg.keys, cfg.put_pct)
+            .with_think(SimDuration::from_micros(cfg.think_us))
+            .with_items_per_put(cfg.items_per_put);
         client_ids.push(b.add_node(client));
     }
 
-    let total_ops = cfg.clients as u64 * cfg.ops_per_client;
-    eprintln!(
-        "loadgen: {} stores + {} clients on {:?} ({} worker threads), {} ops total, {}% puts",
-        cfg.stores,
-        cfg.clients,
-        cfg.transport,
-        cfg.stores + cfg.clients,
-        total_ops,
-        cfg.put_pct,
-    );
-
+    let total_ops = cfg.clients as u64 * ops_per_client;
     let started = Instant::now();
     let rt = b.launch_transport(cfg.transport).expect("launch");
+    if let Some(addr) = rt.telemetry_addr() {
+        eprintln!("telemetry: http://{addr}  (/health /metrics /ledger /trace)");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let last_rate_bits = Arc::new(AtomicU64::new(f64::NAN.to_bits()));
+    let watcher = (cfg.watch && rt.telemetry_addr().is_some()).then(|| {
+        let addr = rt.telemetry_addr().expect("telemetry enabled for watch");
+        let stop = stop.clone();
+        let bits = last_rate_bits.clone();
+        std::thread::spawn(move || watch_loop(addr, stop, bits))
+    });
 
     // Closed loop: poll until every client has worked through its ops.
     let deadline = started + Duration::from_secs(cfg.timeout_secs);
@@ -121,6 +255,16 @@ fn main() {
 
     // Let a final round of anti-entropy spread the tail, then audit.
     std::thread::sleep(Duration::from_millis(300));
+    // The quiescent ledger as the *endpoint* sees it, before teardown.
+    let ledger_open_via_http = rt
+        .telemetry_addr()
+        .and_then(|addr| http_get(addr, "/ledger").ok())
+        .and_then(|(_, body)| json_number(&body, "open"))
+        .map(|v| v as u64);
+    stop.store(true, Ordering::SeqCst);
+    if let Some(w) = watcher {
+        w.join().ok();
+    }
     let report = rt.shutdown();
 
     // Gather client-side truth.
@@ -154,27 +298,163 @@ fn main() {
         .collect();
 
     let mut core = report.core;
-    let p = |core: &mut sim::EngineCore, name: &str, pct: f64| -> f64 {
-        core.metrics.histogram(name).percentile(pct)
+    // Percentiles via the log-bucketed estimator — the exact same shape
+    // the telemetry endpoint serves for these histograms.
+    let (gets, get_p50, get_p99) = {
+        let lh = LogHistogram::from_exact(core.metrics.histogram("load.get_us"));
+        (lh.count(), lh.percentile(50.0), lh.percentile(99.0))
     };
-    let gets = core.metrics.histogram("load.get_us").count() as u64;
-    let puts = core.metrics.histogram("load.put_us").count() as u64;
-    let (get_p50, get_p99) = (p(&mut core, "load.get_us", 50.0), p(&mut core, "load.get_us", 99.0));
-    let (put_p50, put_p99) = (p(&mut core, "load.put_us", 50.0), p(&mut core, "load.put_us", 99.0));
+    let (puts, put_p50, put_p99) = {
+        let lh = LogHistogram::from_exact(core.metrics.histogram("load.put_us"));
+        (lh.count(), lh.percentile(50.0), lh.percentile(99.0))
+    };
+    let open_guesses = core.ledger.open_count();
     let throughput = total_ops as f64 / elapsed.as_secs_f64();
+    let watched_rate = f64::from_bits(last_rate_bits.load(Ordering::SeqCst));
+
+    RunResult {
+        total_ops,
+        elapsed,
+        throughput,
+        gets,
+        puts,
+        get_p50,
+        get_p99,
+        put_p50,
+        put_p99,
+        acked: acked.len(),
+        lost,
+        get_failures,
+        put_failures,
+        stuck,
+        open_guesses,
+        telemetry_rate: watched_rate.is_finite().then_some(watched_rate),
+        ledger_open_via_http,
+    }
+}
+
+/// The BENCH_6 grid: worker-thread count (clients) × payload size
+/// (unique items per PUT).
+const SWEEP_CLIENTS: [u32; 3] = [1, 4, 8];
+const SWEEP_ITEMS: [u64; 2] = [1, 8];
+/// Total ops per sweep cell (split across that cell's clients).
+const SWEEP_OPS_PER_CELL: u64 = 4000;
+
+fn run_sweep(cfg: &Config, path: &str) {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_6\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"wall-clock cart service, closed loop: worker threads (clients) x payload (items per PUT)\","
+    );
+    let _ = writeln!(json, "  \"transport\": \"{:?}\",", cfg.transport);
+    let _ = writeln!(json, "  \"stores\": {},", cfg.stores);
+    let _ = writeln!(json, "  \"keys\": {},", cfg.keys);
+    let _ = writeln!(json, "  \"put_pct\": {},", cfg.put_pct);
+    let _ = writeln!(json, "  \"ops_per_cell\": {SWEEP_OPS_PER_CELL},");
+    json.push_str("  \"cells\": [\n");
+    let mut first = true;
+    for &clients in &SWEEP_CLIENTS {
+        for &items in &SWEEP_ITEMS {
+            let cell_cfg = Config { clients, items_per_put: items, watch: false, ..cfg.clone() };
+            let ops_per_client = (SWEEP_OPS_PER_CELL / clients as u64).max(1);
+            eprintln!("sweep cell: {clients} clients x {items} items/put");
+            let r = run_once(&cell_cfg, ops_per_client);
+            eprintln!(
+                "  {:>6.0} ops/s | get p99 {:>7.0} us | put p99 {:>7.0} us | lost {} | open {}",
+                r.throughput,
+                r.get_p99,
+                r.put_p99,
+                r.lost.len(),
+                r.open_guesses
+            );
+            if r.open_guesses > 0 || !r.lost.is_empty() {
+                eprintln!(
+                    "SWEEP CELL FAILED: {} lost acked adds, {} open guesses",
+                    r.lost.len(),
+                    r.open_guesses
+                );
+                std::process::exit(1);
+            }
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{\"clients\": {clients}, \"items_per_put\": {items}, \
+                 \"worker_threads\": {}, \"ops_total\": {}, \"acked_adds\": {}, \
+                 \"lost_acked_adds\": {}, \"open_guesses_after_quiescence\": {}, \
+                 \"elapsed_secs\": {:.3}, \"throughput_ops_per_sec\": {:.0}, \
+                 \"get_p50_us\": {:.0}, \"get_p99_us\": {:.0}, \
+                 \"put_p50_us\": {:.0}, \"put_p99_us\": {:.0}}}",
+                cfg.stores + clients,
+                r.total_ops,
+                r.acked,
+                r.lost.len(),
+                r.open_guesses,
+                r.elapsed.as_secs_f64(),
+                r.throughput,
+                r.get_p50,
+                r.get_p99,
+                r.put_p50,
+                r.put_p99,
+            );
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("sweep table written to {path}");
+}
+
+fn main() {
+    let cfg = parse_args();
+    if let Some(path) = cfg.sweep_out.clone() {
+        run_sweep(&cfg, &path);
+        return;
+    }
+
+    let ops_per_client = cfg.ops_per_client.unwrap_or(6250);
+    let total_ops = cfg.clients as u64 * ops_per_client;
+    eprintln!(
+        "loadgen: {} stores + {} clients on {:?} ({} worker threads), {} ops total, {}% puts, {} items/put",
+        cfg.stores,
+        cfg.clients,
+        cfg.transport,
+        cfg.stores + cfg.clients,
+        total_ops,
+        cfg.put_pct,
+        cfg.items_per_put,
+    );
+
+    let r = run_once(&cfg, ops_per_client);
 
     eprintln!(
-        "completed {total_ops} ops in {:.2}s — {throughput:.0} ops/s across {} worker threads",
-        elapsed.as_secs_f64(),
+        "completed {} ops in {:.2}s — {:.0} ops/s across {} worker threads",
+        r.total_ops,
+        r.elapsed.as_secs_f64(),
+        r.throughput,
         cfg.stores + cfg.clients,
     );
-    eprintln!("  GET ({gets}): p50 {get_p50:.0} us, p99 {get_p99:.0} us");
-    eprintln!("  PUT ({puts}): p50 {put_p50:.0} us, p99 {put_p99:.0} us");
+    eprintln!("  GET ({}): p50 {:.0} us, p99 {:.0} us", r.gets, r.get_p50, r.get_p99);
+    eprintln!("  PUT ({}): p50 {:.0} us, p99 {:.0} us", r.puts, r.put_p50, r.put_p99);
     eprintln!(
-        "  acked adds {} | lost {} | get failures {get_failures} | put failures {put_failures} | stuck retries {stuck}",
-        acked.len(),
-        lost.len(),
+        "  acked adds {} | lost {} | get failures {} | put failures {} | stuck retries {}",
+        r.acked,
+        r.lost.len(),
+        r.get_failures,
+        r.put_failures,
+        r.stuck,
     );
+    if let Some(rate) = r.telemetry_rate {
+        eprintln!(
+            "  telemetry endpoint saw {rate:.0} ops/s (loadgen measured {:.0} ops/s overall)",
+            r.throughput
+        );
+    }
 
     if let Some(path) = &cfg.json_out {
         // Key order is fixed and all non-timing fields are functions of
@@ -185,16 +465,18 @@ fn main() {
         let _ = writeln!(json, "  \"clients\": {},", cfg.clients);
         let _ = writeln!(json, "  \"worker_threads\": {},", cfg.stores + cfg.clients);
         let _ = writeln!(json, "  \"transport\": \"{:?}\",", cfg.transport);
-        let _ = writeln!(json, "  \"ops_total\": {total_ops},");
+        let _ = writeln!(json, "  \"ops_total\": {},", r.total_ops);
         let _ = writeln!(json, "  \"put_pct\": {},", cfg.put_pct);
-        let _ = writeln!(json, "  \"acked_adds\": {},", acked.len());
-        let _ = writeln!(json, "  \"lost_acked_adds\": {},", lost.len());
-        let _ = writeln!(json, "  \"elapsed_secs\": {:.3},", elapsed.as_secs_f64());
-        let _ = writeln!(json, "  \"throughput_ops_per_sec\": {throughput:.0},");
-        let _ = writeln!(json, "  \"get_p50_us\": {get_p50:.0},");
-        let _ = writeln!(json, "  \"get_p99_us\": {get_p99:.0},");
-        let _ = writeln!(json, "  \"put_p50_us\": {put_p50:.0},");
-        let _ = writeln!(json, "  \"put_p99_us\": {put_p99:.0}");
+        let _ = writeln!(json, "  \"items_per_put\": {},", cfg.items_per_put);
+        let _ = writeln!(json, "  \"acked_adds\": {},", r.acked);
+        let _ = writeln!(json, "  \"lost_acked_adds\": {},", r.lost.len());
+        let _ = writeln!(json, "  \"open_guesses_after_quiescence\": {},", r.open_guesses);
+        let _ = writeln!(json, "  \"elapsed_secs\": {:.3},", r.elapsed.as_secs_f64());
+        let _ = writeln!(json, "  \"throughput_ops_per_sec\": {:.0},", r.throughput);
+        let _ = writeln!(json, "  \"get_p50_us\": {:.0},", r.get_p50);
+        let _ = writeln!(json, "  \"get_p99_us\": {:.0},", r.get_p99);
+        let _ = writeln!(json, "  \"put_p50_us\": {:.0},", r.put_p50);
+        let _ = writeln!(json, "  \"put_p99_us\": {:.0}", r.put_p99);
         json.push_str("}\n");
         std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("writing {path}: {e}");
@@ -202,8 +484,21 @@ fn main() {
         });
     }
 
-    if !lost.is_empty() {
-        eprintln!("LOST ACKED ADDS (first 10): {:?}", &lost[..lost.len().min(10)]);
+    if !r.lost.is_empty() {
+        eprintln!("LOST ACKED ADDS (first 10): {:?}", &r.lost[..r.lost.len().min(10)]);
         std::process::exit(1);
+    }
+    if cfg.watch {
+        // The §5 invariant, enforced from the *outside*: the endpoint's
+        // post-quiescence ledger must show zero open guesses.
+        let open = r.ledger_open_via_http.unwrap_or(r.open_guesses);
+        if open > 0 || r.open_guesses > 0 {
+            eprintln!(
+                "OPEN GUESSES AFTER QUIESCENCE: endpoint saw {}, core has {}",
+                open, r.open_guesses
+            );
+            std::process::exit(1);
+        }
+        eprintln!("  ledger settled: 0 open guesses after quiescence");
     }
 }

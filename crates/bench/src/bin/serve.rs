@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! cargo run -p quicksand-bench --release --bin serve -- \
-//!     --stores 4 --transport tcp --duration-secs 5
+//!     --stores 4 --transport tcp --duration-secs 5 \
+//!     --telemetry-addr 127.0.0.1:9090
 //! ```
+//!
+//! With `--telemetry-addr` the runtime serves its live operator surface
+//! over HTTP while traffic flows — `curl` `/health`, `/metrics`,
+//! `/ledger`, and `/trace` against the printed address (see the
+//! "Operator surface" section of DESIGN.md). The flight recorder and
+//! event trace are enabled alongside so `/trace` has spans to stream.
 //!
 //! Exits nonzero if the probe's PUT or GET fails — a served ring that
 //! cannot answer a client is not serving.
@@ -37,6 +44,7 @@ fn main() {
     let duration: u64 =
         arg_value(&mut args, "--duration-secs").map_or(5, |v| v.parse().expect("--duration-secs"));
     let seed: Option<u64> = arg_value(&mut args, "--seed").map(|v| v.parse().expect("--seed"));
+    let telemetry_addr = arg_value(&mut args, "--telemetry-addr");
     if !args.is_empty() {
         eprintln!("unknown args: {args:?}");
         std::process::exit(2);
@@ -46,6 +54,17 @@ fn main() {
     if let Some(s) = seed {
         b = b.seed(s);
     }
+    if let Some(addr) = &telemetry_addr {
+        // Flight + trace ride along so /trace has forensics to stream.
+        b = b
+            .telemetry(addr.as_str())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind telemetry on {addr}: {e}");
+                std::process::exit(2);
+            })
+            .flight(4096)
+            .trace(4096);
+    }
     let store_ids = add_crdt_stores(&mut b, stores, &DynamoConfig::default());
     let probe = b.add_node(Probe::<CrdtCart>::new());
     let rt = b.launch_transport(transport).expect("launch");
@@ -53,6 +72,9 @@ fn main() {
         "serving: {stores} store nodes + 1 probe on {transport:?} ({} worker threads)",
         rt.node_count()
     );
+    if let Some(addr) = rt.telemetry_addr() {
+        eprintln!("telemetry: http://{addr}  (/health /metrics /ledger /trace)");
+    }
 
     // One probe round trip: PUT a small cart, then read it back from a
     // different coordinator.

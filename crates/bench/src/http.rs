@@ -1,0 +1,102 @@
+//! A minimal HTTP/1.1 GET client for the runtime's telemetry endpoint —
+//! std `TcpStream` only, mirroring the dependency-free server in
+//! `quicksand-runtime`. Used by `loadgen --watch`, the CI smoke curl
+//! tour, and the telemetry integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// `GET path` from the telemetry server at `addr`; returns the status
+/// code and the body. Handles both `Content-Length` and chunked
+/// transfer encoding (the `/trace` endpoint streams chunked).
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok();
+        } else if lower.starts_with("transfer-encoding:") && lower.contains("chunked") {
+            chunked = true;
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                break;
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| std::io::Error::other(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    String::from_utf8(body)
+        .map(|b| (code, b))
+        .map_err(|e| std::io::Error::other(format!("non-utf8 body: {e}")))
+}
+
+/// Pull the first `"key":<number>` out of a JSON body without a parser
+/// (whitespace after the colon is tolerated; the telemetry JSON is
+/// machine-written). Returns `None` if the key is absent.
+pub fn json_number(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_extracts_values() {
+        let body = r#"{"open":3,"rate": 12.5,"nested":{"x":-4}}"#;
+        assert_eq!(json_number(body, "open"), Some(3.0));
+        assert_eq!(json_number(body, "rate"), Some(12.5));
+        assert_eq!(json_number(body, "x"), Some(-4.0));
+        assert_eq!(json_number(body, "missing"), None);
+    }
+}

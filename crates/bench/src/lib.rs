@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod http;
 pub mod service;
 pub mod table;
 

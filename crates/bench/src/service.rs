@@ -60,7 +60,8 @@ enum Phase {
 #[derive(Debug)]
 struct CurrentOp {
     key: u64,
-    /// `Some(item)` for an add-edit op, `None` for a read-only op.
+    /// `Some(first_item)` for an add-edit op (`items_per_put`
+    /// consecutive ids starting here), `None` for a read-only op.
     item: Option<u64>,
     /// Whether the add was already applied into the session cache —
     /// retries re-PUT the session state instead of re-applying (which
@@ -89,6 +90,9 @@ pub struct LoadClient {
     put_pct: u32,
     think: SimDuration,
     stuck_timeout: SimDuration,
+    /// Unique items added per PUT — the payload-size knob: carts (and
+    /// wire frames, on TCP) grow proportionally.
+    items_per_put: u64,
 
     phase: Phase,
     current: Option<CurrentOp>,
@@ -124,6 +128,7 @@ impl LoadClient {
             put_pct: put_pct.min(100),
             think: SimDuration::ZERO,
             stuck_timeout: SimDuration::from_millis(500),
+            items_per_put: 1,
             phase: Phase::Idle,
             current: None,
             req_counter: 0,
@@ -140,6 +145,13 @@ impl LoadClient {
     /// Think time between ops (default zero: fully closed loop).
     pub fn with_think(mut self, think: SimDuration) -> Self {
         self.think = think;
+        self
+    }
+
+    /// Unique items added per PUT (default 1). Larger values fatten the
+    /// cart payload per op — the payload axis of the BENCH_6 sweep.
+    pub fn with_items_per_put(mut self, items: u64) -> Self {
+        self.items_per_put = items.max(1);
         self
     }
 
@@ -166,7 +178,7 @@ impl LoadClient {
             let is_put = ctx.rng().gen_range(0..100) < self.put_pct as u64;
             let item = is_put.then(|| {
                 let item = ((self.id as u64) << 32) | self.next_item;
-                self.next_item += 1;
+                self.next_item += self.items_per_put;
                 item
             });
             self.current = Some(CurrentOp { key, item, applied: false, issued_at: ctx.now() });
@@ -198,7 +210,9 @@ impl LoadClient {
             cart.merge(s);
         }
         if !already_applied {
-            cart.apply(self.replica(), &CartAction::Add { item, qty: 1 });
+            for k in 0..self.items_per_put {
+                cart.apply(self.replica(), &CartAction::Add { item: item + k, qty: 1 });
+            }
             self.current.as_mut().expect("op in progress").applied = true;
         }
         self.session.insert(key, cart.clone());
@@ -214,7 +228,9 @@ impl LoadClient {
     fn finish_op(&mut self, ctx: &mut Context<'_, ServiceMsg>) {
         let op = self.current.take().expect("op in progress");
         if let Some(item) = op.item {
-            self.acked_adds.push((op.key, item));
+            for k in 0..self.items_per_put {
+                self.acked_adds.push((op.key, item + k));
+            }
         }
         self.ops_done += 1;
         self.phase = Phase::Idle;

@@ -1,0 +1,207 @@
+//! Integration test for the live operator surface: boot the cart
+//! service on the wall-clock runtime with the telemetry endpoint
+//! enabled, drive a loadgen burst, and hit every route over real HTTP —
+//! both metric formats, schema stability, counter monotonicity, crash /
+//! restart visibility, and span-schema parity between `/trace` and the
+//! simulator's Perfetto exporter.
+
+use std::time::{Duration, Instant};
+
+use dynamo::DynamoConfig;
+use quicksand_bench::http::{http_get, json_number};
+use quicksand_bench::service::{add_crdt_stores, LoadClient};
+use quicksand_runtime::RuntimeBuilder;
+use sim::{Actor, Context, NodeId};
+
+/// Poll `f` every 20ms until it returns true or ~5s elapse.
+fn wait_for(mut f: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn telemetry_surface_serves_all_endpoints_under_load() {
+    let mut b = RuntimeBuilder::new()
+        .seed(11)
+        .telemetry("127.0.0.1:0")
+        .expect("bind telemetry")
+        .snapshot_interval(Duration::from_millis(100))
+        .flight(2048)
+        .trace(2048);
+    let stores = add_crdt_stores(&mut b, 3, &DynamoConfig::default());
+    let mut clients = Vec::new();
+    for c in 0..2 {
+        clients.push(b.add_node(LoadClient::new(c, stores.clone(), 300, 64, 50)));
+    }
+    let rt = b.launch();
+    let addr = rt.telemetry_addr().expect("telemetry enabled");
+
+    // Route index.
+    let (code, body) = http_get(addr, "/").expect("GET /");
+    assert_eq!(code, 200);
+    assert!(body.contains("/metrics") && body.contains("/ledger"), "{body}");
+
+    // Unknown route: 404, server keeps serving.
+    let (code, _) = http_get(addr, "/nope").expect("GET /nope");
+    assert_eq!(code, 404);
+
+    // Health while everything is up: 200, every node present and up.
+    let (code, health) = http_get(addr, "/health").expect("GET /health");
+    assert_eq!(code, 200, "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert_eq!(json_number(&health, "nodes_total"), Some(5.0), "{health}");
+    assert_eq!(json_number(&health, "nodes_up"), Some(5.0), "{health}");
+    for n in 0..5 {
+        assert!(health.contains(&format!("\"node\":\"n{n}\"")), "{health}");
+    }
+
+    // Counters mid-burst, then after the burst: strictly monotone.
+    // (Poll: the counter is born with the first send.)
+    let mut sent1 = 0.0;
+    assert!(
+        wait_for(|| {
+            http_get(addr, "/metrics?format=json").is_ok_and(|(_, m)| {
+                match json_number(&m, "sim.messages_sent") {
+                    Some(v) => {
+                        sent1 = v;
+                        true
+                    }
+                    None => false,
+                }
+            })
+        }),
+        "sim.messages_sent never appeared in /metrics"
+    );
+    assert!(
+        wait_for(|| {
+            clients.iter().all(|&c| rt.inspect::<LoadClient, bool, _>(c, |cl| cl.done()))
+        }),
+        "load burst did not complete"
+    );
+    let (_, m2) = http_get(addr, "/metrics?format=json").expect("GET /metrics json again");
+    let sent2 = json_number(&m2, "sim.messages_sent").expect("messages_sent in JSON");
+    assert!(sent2 > sent1, "counter went {sent1} -> {sent2}, not monotone-increasing");
+
+    // JSON exposition schema: every top-level section present, braces
+    // balanced, runtime gauges included.
+    for key in [
+        "\"uptime_us\"",
+        "\"counters\"",
+        "\"labeled_counters\"",
+        "\"gauges\"",
+        "\"ledger\"",
+        "\"rates_per_sec\"",
+        "\"window_histograms\"",
+        "\"histograms\"",
+    ] {
+        assert!(m2.contains(key), "missing {key} in {m2}");
+    }
+    assert_eq!(m2.matches('{').count(), m2.matches('}').count(), "unbalanced JSON");
+    assert_eq!(json_number(&m2, "runtime.nodes_up"), Some(5.0), "{m2}");
+    assert!(m2.contains("\"runtime.mailbox_depth{node=n0}\""), "{m2}");
+    assert!(m2.contains("\"load.get_us\""), "{m2}");
+
+    // Prometheus exposition: well-formed families, histogram summaries
+    // with quantile labels, runtime gauges as labeled series.
+    let (code, prom) = http_get(addr, "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    assert!(prom.contains("# TYPE quicksand_sim_messages_sent counter"), "{prom}");
+    assert!(prom.contains("quicksand_uptime_seconds"), "{prom}");
+    assert!(prom.contains("quicksand_load_get_us{quantile=\"0.99\"}"), "{prom}");
+    assert!(prom.contains("quicksand_load_get_us_count"), "{prom}");
+    assert!(prom.contains("quicksand_runtime_mailbox_depth{node=\"n0\"}"), "{prom}");
+    for line in prom.lines() {
+        assert!(
+            line.starts_with('#')
+                || line.is_empty()
+                || line.splitn(2, ' ').nth(1).is_some_and(|v| v.parse::<f64>().is_ok()),
+            "malformed exposition line: {line:?}"
+        );
+    }
+
+    // Ledger: accounting present; nothing left open on a healthy run.
+    let (code, ledger) = http_get(addr, "/ledger").expect("GET /ledger");
+    assert_eq!(code, 200);
+    assert!(ledger.contains("\"accounting\""), "{ledger}");
+    assert!(ledger.contains("\"open_guesses\""), "{ledger}");
+    assert_eq!(json_number(&ledger, "open"), Some(0.0), "{ledger}");
+
+    // Trace: a JSON array of Chrome trace events in exactly the sim
+    // exporter's span schema (complete events with span/trace/status
+    // args; `cat` marks them as spans).
+    let (code, trace) = http_get(addr, "/trace?limit=500").expect("GET /trace");
+    assert_eq!(code, 200);
+    let trimmed = trace.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{trimmed}");
+    assert!(trace.contains("\"ph\":\"X\""), "no completed spans in {trace}");
+    assert!(trace.contains("\"cat\":\"span\""), "{trace}");
+    for key in ["\"name\":", "\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":", "\"args\":"] {
+        assert!(trace.contains(key), "span schema missing {key} in {trace}");
+    }
+    assert!(trace.contains("\"span\":") && trace.contains("\"status\":"), "{trace}");
+
+    // Crash a store: /health flips to 503 with the node marked down,
+    // restart flips it back and the labeled restart counter appears.
+    rt.crash(stores[2]);
+    assert!(
+        wait_for(|| http_get(addr, "/health").is_ok_and(|(c, _)| c == 503)),
+        "health never reported the crash"
+    );
+    let (_, degraded) = http_get(addr, "/health").expect("GET /health degraded");
+    assert!(degraded.contains("\"status\":\"degraded\""), "{degraded}");
+    assert_eq!(json_number(&degraded, "nodes_up"), Some(4.0), "{degraded}");
+    rt.restart(stores[2]);
+    assert!(
+        wait_for(|| http_get(addr, "/health").is_ok_and(|(c, _)| c == 200)),
+        "health never recovered after restart"
+    );
+    let (_, prom) = http_get(addr, "/metrics").expect("GET /metrics after restart");
+    assert!(prom.contains("quicksand_runtime_restarts{node=\"n2\"} 1"), "{prom}");
+
+    rt.shutdown();
+}
+
+/// An actor that panics on its first message — the fail-fast path.
+struct Boom;
+impl Actor<u64> for Boom {
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+        panic!("boom on {msg}");
+    }
+}
+
+#[test]
+fn panic_crashes_show_up_in_health_and_labeled_metrics() {
+    let mut b = RuntimeBuilder::new()
+        .telemetry("127.0.0.1:0")
+        .expect("bind telemetry")
+        .snapshot_interval(Duration::from_millis(100));
+    let a = b.add_node(Boom);
+    let z = b.add_node(Boom);
+    let rt = b.launch();
+    let addr = rt.telemetry_addr().expect("telemetry enabled");
+
+    rt.inject(a, z, 7);
+    assert!(
+        wait_for(|| http_get(addr, "/health").is_ok_and(|(c, _)| c == 503)),
+        "panic crash never reached /health"
+    );
+    let (_, health) = http_get(addr, "/health").expect("GET /health");
+    assert_eq!(json_number(&health, "panic_crashes"), Some(1.0), "{health}");
+    assert!(health.contains("\"up\":false"), "{health}");
+
+    let (_, prom) = http_get(addr, "/metrics").expect("GET /metrics");
+    assert!(prom.contains("quicksand_runtime_panic_crashes{node=\"n0\"} 1"), "{prom}");
+    assert!(prom.contains("# TYPE quicksand_runtime_panic_crashes counter"), "{prom}");
+
+    let (_, json) = http_get(addr, "/metrics?format=json").expect("GET /metrics json");
+    assert_eq!(json_number(&json, "runtime.panic_crashes"), Some(1.0), "{json}");
+    assert!(json.contains("\"runtime.panic_crashes{node=n0}\""), "{json}");
+
+    rt.shutdown();
+}

@@ -33,9 +33,11 @@
 
 pub mod clock;
 pub(crate) mod runtime;
+pub mod telemetry;
 pub(crate) mod timer;
 pub mod transport;
 
 pub use clock::WallClock;
 pub use runtime::{BoxedActor, Runtime, RuntimeBuilder, RuntimeReport, TransportKind};
+pub use telemetry::NodeStatus;
 pub use transport::Transport;

@@ -31,19 +31,36 @@
 //! `on_crash` runs so the actor wipes volatile state. A later
 //! [`Runtime::restart`] runs `on_restart` against whatever the actor
 //! modelled as durable. Harnesses can also inject crashes directly.
+//!
+//! ## Observability
+//!
+//! [`RuntimeBuilder::telemetry`] attaches the live operator surface
+//! (see [`crate::telemetry`]): an HTTP endpoint serving `/health`,
+//! `/metrics`, `/ledger`, and `/trace` straight off the running
+//! cluster. Per-node mailbox depths, crash epochs, restart and
+//! panic-crash counts are tracked whether or not the endpoint is
+//! enabled, and panics/restarts land in the metric registry labeled by
+//! node (`runtime.panic_crashes{node=n3}`), with the unlabeled name
+//! keeping the aggregate.
 
 use std::any::Any;
+use std::net::{TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use quicksand_core::WireCodec;
-use sim::{Action, Actor, Context, EngineCore, FlightId, NodeId, SimTime, SpanId, SpanStatus};
+use sim::{
+    Action, Actor, Context, EngineCore, FlightId, FlightRecorder, NodeId, SimTime, SpanId,
+    SpanStatus, Trace,
+};
 
 use crate::clock::WallClock;
+use crate::telemetry::{CoreHandle, NodeStatus, TelemetrySurface};
 use crate::timer::{DueTimer, TimerWheel};
-use crate::transport::{Envelope, Loopback, TcpTransport, Transport};
+use crate::transport::{Envelope, Inbox, Loopback, TcpTransport, Transport};
 
 /// A boxed actor as the runtime holds it: the sim contract plus `Send`
 /// so it can live on a worker thread.
@@ -74,6 +91,10 @@ struct Shared<M> {
     clock: WallClock,
     transport: Arc<dyn Transport<M>>,
     wheel: Arc<TimerWheel>,
+    /// Per-node live status (telemetry; maintained unconditionally).
+    nodes: Vec<NodeStatus>,
+    /// Per-node mailbox depth counters, shared with the [`Inbox`]es.
+    depths: Vec<Arc<AtomicU64>>,
 }
 
 impl<M> Shared<M> {
@@ -82,6 +103,24 @@ impl<M> Shared<M> {
         // the lock is never poisoned by a crash; recover defensively
         // anyway.
         self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<M: Send + 'static> CoreHandle for Shared<M> {
+    fn lock_core(&self) -> MutexGuard<'_, EngineCore> {
+        Shared::lock_core(self)
+    }
+    fn uptime(&self) -> SimTime {
+        self.clock.now()
+    }
+    fn nodes(&self) -> &[NodeStatus] {
+        &self.nodes
+    }
+    fn mailbox_depth(&self, node: usize) -> u64 {
+        self.depths.get(node).map(|d| d.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+    fn timer_wheel_len(&self) -> usize {
+        self.wheel.pending_len()
     }
 }
 
@@ -99,18 +138,59 @@ fn entropy_seed() -> u64 {
 pub struct RuntimeBuilder<M> {
     actors: Vec<BoxedActor<M>>,
     seed: Option<u64>,
+    telemetry_listener: Option<TcpListener>,
+    snapshot_interval: Duration,
+    flight_cap: Option<usize>,
+    trace_cap: Option<usize>,
 }
 
 impl<M: Send + 'static> RuntimeBuilder<M> {
     /// An empty cluster description.
     pub fn new() -> Self {
-        RuntimeBuilder { actors: Vec::new(), seed: None }
+        RuntimeBuilder {
+            actors: Vec::new(),
+            seed: None,
+            telemetry_listener: None,
+            snapshot_interval: Duration::from_secs(1),
+            flight_cap: None,
+            trace_cap: None,
+        }
     }
 
     /// Pin the engine RNG seed (for cross-validation against a sim run).
     /// Unseeded runtimes draw from OS entropy.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Serve the live telemetry endpoint on `addr` (e.g.
+    /// `"127.0.0.1:9090"`, port `0` for ephemeral). The bind happens
+    /// here, so a taken port fails at configuration time rather than
+    /// silently after launch. The bound address is available from
+    /// [`Runtime::telemetry_addr`].
+    pub fn telemetry(mut self, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        self.telemetry_listener = Some(TcpListener::bind(addr)?);
+        Ok(self)
+    }
+
+    /// How often the telemetry snapshot thread captures counters and
+    /// histograms for rate/windowed-percentile derivation (default 1s).
+    pub fn snapshot_interval(mut self, interval: Duration) -> Self {
+        self.snapshot_interval = interval.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Enable the forensic flight recorder with a bounded ring of
+    /// `capacity` events, exactly as in the simulator.
+    pub fn flight(mut self, capacity: usize) -> Self {
+        self.flight_cap = Some(capacity);
+        self
+    }
+
+    /// Enable the bounded event trace with `capacity` events.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_cap = Some(capacity);
         self
     }
 
@@ -163,7 +243,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
 
     fn launch_with(
         self,
-        make_transport: impl FnOnce(Vec<mpsc::Sender<Envelope<M>>>) -> Arc<dyn Transport<M>>,
+        make_transport: impl FnOnce(Vec<Inbox<M>>) -> Arc<dyn Transport<M>>,
     ) -> Runtime<M> {
         let seed = self.seed.unwrap_or_else(entropy_seed);
         let n = self.actors.len();
@@ -171,16 +251,26 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = mpsc::channel();
-            senders.push(tx);
+            senders.push(Inbox::new(tx));
             receivers.push(rx);
         }
+        let depths: Vec<Arc<AtomicU64>> = senders.iter().map(|s| s.depth_handle()).collect();
         let transport = make_transport(senders.clone());
         let wheel = Arc::new(TimerWheel::new());
+        let mut core = EngineCore::new(seed);
+        if let Some(cap) = self.flight_cap {
+            core.flight = Some(FlightRecorder::new(cap));
+        }
+        if let Some(cap) = self.trace_cap {
+            core.trace = Some(Trace::new(cap));
+        }
         let shared = Arc::new(Shared {
-            core: Mutex::new(EngineCore::new(seed)),
+            core: Mutex::new(core),
             clock: WallClock::new(),
             transport,
             wheel: wheel.clone(),
+            nodes: (0..n).map(|_| NodeStatus::new()).collect(),
+            depths,
         });
 
         let wheel_senders = senders.clone();
@@ -205,7 +295,12 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             })
             .collect();
 
-        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread) }
+        let telemetry = self.telemetry_listener.and_then(|listener| {
+            let core: Arc<dyn CoreHandle> = shared.clone();
+            TelemetrySurface::start(listener, core, self.snapshot_interval).ok()
+        });
+
+        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread), telemetry }
     }
 }
 
@@ -227,7 +322,12 @@ struct Worker<M> {
 }
 
 impl<M: Send + 'static> Worker<M> {
+    fn status(&self) -> &NodeStatus {
+        &self.shared.nodes[self.node.0]
+    }
+
     fn run(mut self, mut actor: BoxedActor<M>, rx: mpsc::Receiver<Envelope<M>>) -> BoxedActor<M> {
+        let depth = self.shared.depths[self.node.0].clone();
         // `on_start` runs as the worker's first act. Workers start
         // concurrently, so cross-node start order is unspecified (the
         // sim runs starts in NodeId order) — actors already cannot
@@ -235,6 +335,7 @@ impl<M: Send + 'static> Worker<M> {
         // node simply queue in its mailbox.
         self.callback(&mut actor, None, None, |a, ctx| a.on_start(ctx));
         while let Ok(env) = rx.recv() {
+            depth.fetch_sub(1, Ordering::Relaxed);
             match env {
                 Envelope::Msg { from, msg, hop, cause } => {
                     if !self.up {
@@ -272,10 +373,15 @@ impl<M: Send + 'static> Worker<M> {
                         continue;
                     }
                     self.up = true;
+                    self.status().note_restart();
+                    let label = format!("n{}", self.node.0);
                     self.dispatch(
                         &mut actor,
                         None,
-                        |core, node, now| core.restart_bookkeeping(node, now),
+                        |core, node, now| {
+                            core.metrics.inc_with("runtime.restarts", &[("node", &label)]);
+                            core.restart_bookkeeping(node, now)
+                        },
                         |a, ctx| a.on_restart(ctx),
                     );
                 }
@@ -294,6 +400,7 @@ impl<M: Send + 'static> Worker<M> {
     fn crash(&mut self, actor: &mut BoxedActor<M>, now: SimTime) {
         self.up = false;
         self.epoch += 1;
+        self.status().note_crash(self.epoch, false);
         let _ = catch_unwind(AssertUnwindSafe(|| actor.on_crash(now)));
         self.shared.lock_core().crash_bookkeeping(self.node, now);
     }
@@ -346,14 +453,17 @@ impl<M: Send + 'static> Worker<M> {
         let actions = match result {
             Ok(((), actions)) => actions,
             Err(_) => {
-                // Fail-fast: count it, then crash exactly like an
+                // Fail-fast: count it (labeled by node, aggregate kept
+                // by the unlabeled name), then crash exactly like an
                 // injected crash (bookkeeping first needs the lock we
                 // already hold; `on_crash` runs after release).
-                core.metrics.inc("runtime.panic_crashes");
+                let label = format!("n{}", self.node.0);
+                core.metrics.inc_with("runtime.panic_crashes", &[("node", &label)]);
                 drop(core);
                 let _ = catch_unwind(AssertUnwindSafe(|| actor.on_crash(now)));
                 self.up = false;
                 self.epoch += 1;
+                self.status().note_crash(self.epoch, true);
                 self.shared.lock_core().crash_bookkeeping(self.node, now);
                 return;
             }
@@ -412,9 +522,10 @@ impl<M: Send + 'static> Worker<M> {
 /// [`Runtime::shutdown`] leaks the worker threads; always shut down.
 pub struct Runtime<M> {
     shared: Arc<Shared<M>>,
-    senders: Vec<mpsc::Sender<Envelope<M>>>,
+    senders: Vec<Inbox<M>>,
     workers: Vec<JoinHandle<BoxedActor<M>>>,
     wheel_thread: Option<JoinHandle<()>>,
+    telemetry: Option<TelemetrySurface>,
 }
 
 impl<M: Send + 'static> Runtime<M> {
@@ -426,6 +537,22 @@ impl<M: Send + 'static> Runtime<M> {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Where the telemetry endpoint is listening, if enabled (the real
+    /// port, even when configured with port `0`).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(|t| t.addr())
+    }
+
+    /// Live status of `node` (telemetry view; updated without locks).
+    pub fn node_status(&self, node: NodeId) -> &NodeStatus {
+        &self.shared.nodes[node.0]
+    }
+
+    /// Current depth of `node`'s mailbox.
+    pub fn mailbox_depth(&self, node: NodeId) -> u64 {
+        self.senders[node.0].depth()
     }
 
     /// Inject a fail-fast crash. Enqueued like a message: it takes
@@ -475,8 +602,13 @@ impl<M: Send + 'static> Runtime<M> {
     }
 
     /// Stop every node, join the workers and timer thread, tear down
-    /// the transport, and hand back the final state.
+    /// the transport, and hand back the final state. The telemetry
+    /// surface stops first so no request observes a half-torn-down
+    /// cluster.
     pub fn shutdown(mut self) -> RuntimeReport<M> {
+        if let Some(t) = self.telemetry.take() {
+            t.shutdown();
+        }
         for tx in &self.senders {
             tx.send(Envelope::Shutdown).ok();
         }

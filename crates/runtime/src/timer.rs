@@ -140,6 +140,12 @@ impl TimerWheel {
         }
     }
 
+    /// Timers armed and not yet fired or cancelled (telemetry gauge).
+    pub fn pending_len(&self) -> usize {
+        let s = self.lock();
+        s.pending.len() - s.cancelled.len()
+    }
+
     /// Stop the wheel; `wait_due` returns `None` from now on.
     pub fn shutdown(&self) {
         self.lock().shutdown = true;

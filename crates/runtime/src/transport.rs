@@ -18,7 +18,7 @@
 use std::io::{Read, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -27,6 +27,51 @@ use sim::{Actor, FlightId, NodeId, SpanId};
 
 /// A boxed closure run against a node's actor on its own worker thread.
 pub(crate) type InspectFn<M> = Box<dyn FnOnce(&mut dyn Actor<M>) + Send>;
+
+/// One node's mailbox sender, instrumented with a depth counter so the
+/// telemetry surface can report backlog per node: every enqueue (from
+/// any transport, the timer wheel, or harness injection) increments it,
+/// and the owning worker decrements it as envelopes are drained.
+pub(crate) struct Inbox<M> {
+    tx: mpsc::Sender<Envelope<M>>,
+    depth: Arc<AtomicU64>,
+}
+
+impl<M> Clone for Inbox<M> {
+    fn clone(&self) -> Self {
+        Inbox { tx: self.tx.clone(), depth: self.depth.clone() }
+    }
+}
+
+impl<M> Inbox<M> {
+    /// Wrap a raw channel sender.
+    pub fn new(tx: mpsc::Sender<Envelope<M>>) -> Self {
+        Inbox { tx, depth: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Enqueue an envelope, counting it toward the mailbox depth. On a
+    /// dead receiver the count is rolled back and the envelope returned.
+    pub fn send(&self, env: Envelope<M>) -> Result<(), mpsc::SendError<Envelope<M>>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(env) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Envelopes enqueued but not yet drained by the worker.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The depth counter, for the worker's decrement side.
+    pub fn depth_handle(&self) -> Arc<AtomicU64> {
+        self.depth.clone()
+    }
+}
 
 /// Everything that can land in a node's mailbox. Workers drain these in
 /// arrival order; the variants mirror the simulator's event kinds.
@@ -84,11 +129,11 @@ pub trait Transport<M>: Send + Sync {
 /// In-process transport: each node's mailbox is an `mpsc` channel and a
 /// send is a channel push.
 pub(crate) struct Loopback<M> {
-    inboxes: Vec<mpsc::Sender<Envelope<M>>>,
+    inboxes: Vec<Inbox<M>>,
 }
 
 impl<M> Loopback<M> {
-    pub fn new(inboxes: Vec<mpsc::Sender<Envelope<M>>>) -> Self {
+    pub fn new(inboxes: Vec<Inbox<M>>) -> Self {
         Loopback { inboxes }
     }
 }
@@ -158,7 +203,7 @@ pub(crate) struct TcpTransport<M> {
 impl<M: WireCodec + Send + 'static> TcpTransport<M> {
     /// Bind one listener per inbox and start acceptor threads feeding
     /// decoded frames into the inboxes.
-    pub fn bind(inboxes: Vec<mpsc::Sender<Envelope<M>>>) -> std::io::Result<Arc<Self>> {
+    pub fn bind(inboxes: Vec<Inbox<M>>) -> std::io::Result<Arc<Self>> {
         let mut listeners = Vec::with_capacity(inboxes.len());
         let mut addrs = Vec::with_capacity(inboxes.len());
         for _ in &inboxes {
@@ -196,7 +241,7 @@ impl<M: WireCodec + Send + 'static> TcpTransport<M> {
     }
 }
 
-fn read_loop<M: WireCodec>(mut stream: TcpStream, tx: mpsc::Sender<Envelope<M>>) {
+fn read_loop<M: WireCodec>(mut stream: TcpStream, tx: Inbox<M>) {
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -296,7 +341,7 @@ mod tests {
     fn tcp_delivers_frames_end_to_end() {
         let (tx0, rx0) = mpsc::channel();
         let (tx1, rx1) = mpsc::channel();
-        let t = TcpTransport::<u64>::bind(vec![tx0, tx1]).expect("bind");
+        let t = TcpTransport::<u64>::bind(vec![Inbox::new(tx0), Inbox::new(tx1)]).expect("bind");
         assert!(t.send(NodeId(0), NodeId(1), Some(SpanId(5)), None, 77));
         match rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("delivered") {
             Envelope::Msg { from, msg, hop, cause } => {

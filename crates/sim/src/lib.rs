@@ -61,6 +61,7 @@ pub mod explain;
 pub mod flight;
 mod json;
 pub mod ledger;
+pub mod loghist;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -77,6 +78,7 @@ pub use engine::EngineCore;
 pub use explain::Explanation;
 pub use flight::{CausalSlice, FlightEvent, FlightId, FlightKind, FlightRecorder};
 pub use ledger::{GuessId, GuessOutcome, GuessRecord, Ledger, LedgerAccounting};
+pub use loghist::LogHistogram;
 pub use metrics::{Histogram, HistogramSummary, MetricSet};
 pub use net::{LinkConfig, Network};
 pub use rng::SimRng;

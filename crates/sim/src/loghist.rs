@@ -1,0 +1,337 @@
+//! Log-bucketed histograms for wall-clock latencies.
+//!
+//! The simulator's [`crate::metrics::Histogram`] keeps every sample and
+//! answers exact percentiles — affordable because a deterministic run
+//! records a bounded number of values and is read once, after the run.
+//! A wall-clock runtime serving live traffic breaks both assumptions:
+//! samples arrive forever, and the operator endpoint reads percentiles
+//! *while* recording continues. [`LogHistogram`] is the runtime-shaped
+//! answer, in the HDR-histogram tradition:
+//!
+//! - **Bounded memory**: a fixed array of buckets whose boundaries grow
+//!   geometrically (several sub-buckets per power of two), so any
+//!   microsecond latency from 1µs to ~years lands in one of a few
+//!   hundred `u64` counters with a bounded relative error.
+//! - **Mergeable**: two histograms with the same layout add bucket-wise
+//!   ([`LogHistogram::merge`]) — `loadgen` and `serve` can each keep
+//!   their own and still report one shape, and a sweep can aggregate
+//!   per-thread recordings without keeping raw samples.
+//! - **Subtractable**: counts only ever grow, so
+//!   [`LogHistogram::delta_since`] recovers "the last 10 seconds" from
+//!   two periodic snapshots — the windowed p99 the telemetry endpoint
+//!   serves is a first-class derived value, not a second recording path.
+//!
+//! Percentiles interpolate linearly inside the winning bucket, so the
+//! quantization error is bounded by the bucket's relative width
+//! (`2^(1/SUB_BUCKETS)` ≈ 9%), which is the honest precision to claim
+//! for wall-clock numbers anyway.
+
+use crate::json;
+use crate::metrics::Histogram;
+
+/// Sub-buckets per power of two. 8 gives bucket boundaries every
+/// `2^(1/8)` ≈ 1.09x — sub-10% relative error, 50-year range in 376
+/// buckets.
+const SUB_BUCKETS: usize = 8;
+
+/// Powers of two covered (microsecond values up to `2^47`µs ≈ 4.5
+/// years; larger samples clamp into the last bucket).
+const OCTAVES: usize = 47;
+
+/// Total bucket count: one underflow bucket for values `< 1.0`, then
+/// `OCTAVES * SUB_BUCKETS` geometric buckets.
+const BUCKETS: usize = 1 + OCTAVES * SUB_BUCKETS;
+
+/// A fixed-layout log-bucketed histogram of non-negative `f64` samples
+/// (by convention: microseconds). See the module docs for why this
+/// exists next to the exact [`Histogram`].
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.clone().percentile(50.0))
+            .field("p99", &self.clone().percentile(99.0))
+            .finish()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Index of the bucket `v` lands in.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        // NaN and sub-1.0 samples (including negatives) share the
+        // underflow bucket: the layout's floor is 1µs.
+        return 0;
+    }
+    let idx = 1 + (v.log2() * SUB_BUCKETS as f64).floor() as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Lower bound of bucket `i` (0 for the underflow bucket).
+fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        2f64.powf((i - 1) as f64 / SUB_BUCKETS as f64)
+    }
+}
+
+/// Upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    2f64.powf(i as f64 / SUB_BUCKETS as f64)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: Box::new([0u64; BUCKETS]), total: 0 }
+    }
+
+    /// Build one from an exact [`Histogram`]'s samples — the bridge
+    /// that lets a run recorded through the shared `MetricSet` be
+    /// reported in the runtime's bucketed shape.
+    pub fn from_exact(h: &Histogram) -> Self {
+        let mut lh = LogHistogram::new();
+        for v in h.values() {
+            lh.record(v);
+        }
+        lh
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Add another histogram's counts into this one (same fixed layout,
+    /// so merging is exact).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The samples recorded since `earlier` was captured, assuming
+    /// `earlier` is a past snapshot of this histogram (counts are
+    /// monotone, so bucket-wise saturating subtraction is exact). This
+    /// is what turns two periodic snapshots into "p99 over the last
+    /// window".
+    pub fn delta_since(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut d = LogHistogram::new();
+        for (i, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            d.counts[i] = a.saturating_sub(*b);
+            d.total += d.counts[i];
+        }
+        d
+    }
+
+    /// Estimated percentile (`p` in `[0, 100]`): find the bucket holding
+    /// the target rank and interpolate linearly inside it. Returns 0.0
+    /// when empty. Error is bounded by the bucket width (≈9% relative).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0) * self.total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= target {
+                let into = (target - seen as f64).max(0.0) / c as f64;
+                let (lo, hi) = (bucket_lower(i), bucket_upper(i));
+                return lo + (hi - lo) * into;
+            }
+            seen = next;
+        }
+        // Rounding pushed the target past the last sample: the highest
+        // non-empty bucket's upper bound is the honest answer.
+        bucket_upper(self.counts.iter().rposition(|&c| c > 0).unwrap_or(0))
+    }
+
+    /// Upper bound of the highest non-empty bucket (≈ max sample), or
+    /// 0.0 when empty.
+    pub fn max_bound(&self) -> f64 {
+        match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => bucket_upper(i),
+            None => 0.0,
+        }
+    }
+
+    /// Lower bound of the lowest non-empty bucket (≈ min sample), or
+    /// 0.0 when empty.
+    pub fn min_bound(&self) -> f64 {
+        match self.counts.iter().position(|&c| c > 0) {
+            Some(i) => bucket_lower(i),
+            None => 0.0,
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs —
+    /// the shape a Prometheus-style cumulative exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
+    /// One deterministic JSON object: count plus the quantiles a
+    /// dashboard line needs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+            self.total,
+            json::float(round2(self.percentile(50.0))),
+            json::float(round2(self.percentile(90.0))),
+            json::float(round2(self.percentile(99.0))),
+            json::float(round2(self.min_bound())),
+            json::float(round2(self.max_bound())),
+        )
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v as f64);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.10, "p50 {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.10, "p99 {p99}");
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [3.0, 700.0, 12_000.0] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9.0, 90.0, 900_000.0] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), both.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn delta_recovers_the_window() {
+        let mut h = LogHistogram::new();
+        h.record(100.0);
+        h.record(200.0);
+        let snap = h.clone();
+        h.record(50_000.0);
+        h.record(60_000.0);
+        let window = h.delta_since(&snap);
+        assert_eq!(window.count(), 2);
+        let p50 = window.percentile(50.0);
+        assert!(p50 > 40_000.0, "window p50 sees only the new samples: {p50}");
+    }
+
+    #[test]
+    fn from_exact_matches_direct_recording() {
+        let mut exact = Histogram::new();
+        let mut log = LogHistogram::new();
+        for v in [1.0, 17.0, 450.0, 88_123.0] {
+            exact.record(v);
+            log.record(v);
+        }
+        let converted = LogHistogram::from_exact(&exact);
+        assert_eq!(converted.count(), log.count());
+        assert_eq!(converted.percentile(99.0), log.percentile(99.0));
+    }
+
+    #[test]
+    fn underflow_overflow_and_empty_are_tame() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.max_bound(), 0.0);
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(1e300); // clamps into the last bucket
+        assert_eq!(h.count(), 4);
+        assert!(h.percentile(0.0) >= 0.0);
+        assert!(h.max_bound() > 0.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let mut h = LogHistogram::new();
+        for v in [2.0, 2.1, 300.0, 4_000.0] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 4);
+        let mut prev = 0;
+        for (bound, cum) in &buckets {
+            assert!(*cum >= prev);
+            assert!(*bound > 0.0);
+            prev = *cum;
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let mut h = LogHistogram::new();
+        h.record(10.0);
+        h.record(1000.0);
+        assert_eq!(h.to_json(), h.to_json());
+        for key in ["\"n\": 2", "\"p50\":", "\"p99\":", "\"max\":"] {
+            assert!(h.to_json().contains(key), "{}", h.to_json());
+        }
+    }
+}

@@ -311,6 +311,12 @@ impl MetricSet {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterate over all labeled gauge series (canonical `name{k=v}`
+    /// keys) in key order.
+    pub fn labeled_gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.labeled_gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Iterate over all histogram names in order.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)

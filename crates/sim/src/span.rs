@@ -125,6 +125,44 @@ impl SpanRecord {
         self.end.map(|e| e.saturating_since(self.start).as_micros())
     }
 
+    /// This span as one Chrome `trace_event` object (the element
+    /// [`SpanStore::to_chrome_trace`] emits per span, no trailing
+    /// separator). Public so the runtime's telemetry endpoint can
+    /// stream a bounded tail of spans in the identical schema.
+    pub fn to_chrome_event(&self) -> String {
+        let tid = self.node.map(|n| n.0 as i64).unwrap_or(-1);
+        let mut args = format!(
+            "\"span\":\"{}\",\"trace\":\"{}\",\"status\":\"{}\"",
+            self.id, self.trace, self.status
+        );
+        if let Some(p) = self.parent {
+            args.push_str(&format!(",\"parent\":\"{p}\""));
+        }
+        for (k, v) in &self.fields {
+            args.push(',');
+            args.push_str(&json::string(k));
+            args.push(':');
+            args.push_str(&json::string(v));
+        }
+        match self.end {
+            Some(end) => format!(
+                "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+                json::string(&self.name),
+                self.start.as_micros(),
+                end.saturating_since(self.start).as_micros(),
+                tid,
+                args
+            ),
+            None => format!(
+                "{{\"name\":{},\"cat\":\"span\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
+                json::string(&self.name),
+                self.start.as_micros(),
+                tid,
+                args
+            ),
+        }
+    }
+
     /// One JSON object describing this span (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128);
@@ -305,37 +343,7 @@ impl SpanStore {
             if i > 0 {
                 out.push_str(",\n");
             }
-            let tid = s.node.map(|n| n.0 as i64).unwrap_or(-1);
-            let mut args = format!(
-                "\"span\":\"{}\",\"trace\":\"{}\",\"status\":\"{}\"",
-                s.id, s.trace, s.status
-            );
-            if let Some(p) = s.parent {
-                args.push_str(&format!(",\"parent\":\"{p}\""));
-            }
-            for (k, v) in &s.fields {
-                args.push(',');
-                args.push_str(&json::string(k));
-                args.push(':');
-                args.push_str(&json::string(v));
-            }
-            match s.end {
-                Some(end) => out.push_str(&format!(
-                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
-                    json::string(&s.name),
-                    s.start.as_micros(),
-                    end.saturating_since(s.start).as_micros(),
-                    tid,
-                    args
-                )),
-                None => out.push_str(&format!(
-                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
-                    json::string(&s.name),
-                    s.start.as_micros(),
-                    tid,
-                    args
-                )),
-            }
+            out.push_str(&s.to_chrome_event());
         }
         out.push_str("\n]\n");
         out
