@@ -26,12 +26,15 @@
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
+use quicksand_bench::artifacts::ArtifactStream;
+
 use quicksand::cart::CartMode;
 use quicksand::chaos::{
-    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, tandem_chaos, ChaosReport,
-    ChaosRun,
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, eventlog_harness, logship_chaos,
+    tandem_chaos, ChaosReport, ChaosRun,
 };
 use quicksand::dynamo::WorkloadConfig;
+use quicksand::eventlog::AckPolicy;
 use quicksand::logship::ShipMode;
 use quicksand::sim::Explanation;
 use quicksand::tandem::Mode;
@@ -75,6 +78,9 @@ fn scenarios() -> Vec<Scenario> {
         scenario("tandem_dp2", || tandem_chaos(Mode::Dp2)),
         scenario("logship_async", || logship_chaos(ShipMode::Asynchronous)),
         scenario("logship_sync", || logship_chaos(ShipMode::Synchronous)),
+        scenario("eventlog_immediate", || eventlog_harness(AckPolicy::Immediate)),
+        scenario("eventlog_fsync", || eventlog_harness(AckPolicy::OnFsync)),
+        scenario("eventlog_replicate2", || eventlog_harness(AckPolicy::OnReplicate(2))),
         scenario("bank_clearing", bank_chaos),
         scenario("escrow_fleet", escrow_chaos),
     ]
@@ -158,6 +164,7 @@ fn main() {
                                 std::process::exit(1);
                             }
                         }
+                        ArtifactStream::open(&dir.join("stream")).append(sc.name, &e);
                     }
                 }
                 None => println!("=== [{}] seed {seed}: no explainer/slice ===", sc.name),
@@ -165,6 +172,24 @@ fn main() {
         }
         std::process::exit(if found { 0 } else { 1 });
     }
+
+    // The durable artifact stream rides along with the loose explain
+    // files: every failure's causal slice is appended (idempotently,
+    // keyed by scenario × seed) to a crash-recoverable event log under
+    // `DIR/stream/`. A torn tail from a killed sweep is truncated here,
+    // on the next open — and reported, because a forensic channel that
+    // silently loses forensics would be its own §5 violation.
+    let mut stream = artifacts_dir.as_deref().map(|dir| {
+        let s = ArtifactStream::open(&dir.join("stream"));
+        let rec = s.recovered();
+        if rec.truncated_bytes > 0 {
+            eprintln!(
+                "artifact stream: recovered, truncated {} torn byte(s) from a previous run",
+                rec.truncated_bytes
+            );
+        }
+        s
+    });
 
     println!("chaos sweep: {seeds} seeds per scenario\n");
     let mut json = format!("{{\"seeds_per_scenario\":{seeds},\"scenarios\":[");
@@ -175,6 +200,13 @@ fn main() {
     for (i, sc) in selected.iter().enumerate() {
         let report = (sc.sweep)(seeds, artifacts_dir.as_deref());
         println!("[{}] {report}", sc.name);
+        if let Some(stream) = &mut stream {
+            for failure in &report.failures {
+                if let Some(e) = &failure.explanation {
+                    stream.append(sc.name, e);
+                }
+            }
+        }
         total_failures += report.failures.len();
         total_faults += report.faults_injected.values().sum::<u64>();
         open_guesses += report.ledger.open();

@@ -1,0 +1,120 @@
+//! E20: producer ack policy × fault plan → loss window and apology
+//! count, on the event-log substrate (§4 at event-stream scale).
+//!
+//! §4's asynchronous-checkpointing spectrum says durability is a knob,
+//! not a boolean: acknowledge before the fsync bus departs
+//! (`Immediate`) and a crash retracts the tail you promised; wait for
+//! the local fsync (`OnFsync`) and a crash costs nothing but a disk
+//! fire still does; wait for n replicas (`OnReplicate`) and even the
+//! leader's disk is expendable. E20 drives the same producer workload
+//! through each policy, calm and under a leader crash landing squarely
+//! inside the group-commit window, and reads out both loss numbers plus
+//! the ledger's account of every optimistic ack.
+
+use quicksand::chaos::FaultPlan;
+use quicksand::eventlog::{run, AckPolicy, EventLogScenario};
+use quicksand::sim::chaos::Fault;
+use quicksand::sim::{SimDuration, SimTime};
+
+use crate::table::{f, Table};
+
+use quicksand::eventlog::harness::layout;
+
+/// The workload every cell runs: 3 producers × 40 appends over a
+/// deliberately lazy 200ms bus, so a 60ms crash lands before the first
+/// departure and the policies' promises diverge as far as they can.
+fn scenario(policy: AckPolicy, crash: bool) -> EventLogScenario {
+    let n_replicas = match policy {
+        AckPolicy::OnReplicate(n) => n as usize,
+        _ => 0,
+    };
+    let mut sc = EventLogScenario {
+        policy,
+        n_replicas,
+        flush_every: SimDuration::from_millis(200),
+        ..EventLogScenario::default()
+    };
+    if crash {
+        let leader = layout(&sc).leader;
+        sc.faults = FaultPlan::from_faults(vec![Fault::Crash {
+            at: SimTime::from_millis(60),
+            node: leader,
+            restart_at: Some(SimTime::from_millis(90)),
+        }]);
+    }
+    sc
+}
+
+/// E20: the ack-policy × fault-plan grid.
+pub fn e20(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E20",
+        "Event log: ack policy x fault plan -> loss window / apologies",
+        "\"the cost of durability can be placed on a spectrum: how much work might be lost when \
+         a failure happens is a business decision, not an absolute\" (§4); Immediate buys latency \
+         by pricing in a crash-loss window the ledger must apologize for, OnFsync closes the \
+         crash window but not the disk, OnReplicate(n) closes both",
+        &[
+            "policy",
+            "fault plan",
+            "planned",
+            "acked",
+            "acked lost (crash)",
+            "acked lost if leader disk dies",
+            "guesses orphaned",
+            "apologies owed",
+            "ack p99 ms",
+            "bus wait mean ms",
+        ],
+    );
+    let policies = [AckPolicy::Immediate, AckPolicy::OnFsync, AckPolicy::OnReplicate(2)];
+    for crash in [false, true] {
+        for policy in policies {
+            let sc = scenario(policy, crash);
+            let r = run(&sc, seed);
+            // An apology is owed for every acked append the crash
+            // retracted: the guess the ledger orphaned at the moment of
+            // the crash, minus the ones re-established by retry.
+            t.row(vec![
+                policy.to_string(),
+                if crash { "leader crash @60ms (bus @200ms)" } else { "calm" }.into(),
+                r.planned.to_string(),
+                r.acked.to_string(),
+                r.lost_acked.to_string(),
+                r.lost_without_leader_disk.to_string(),
+                r.ledger.orphaned().to_string(),
+                r.lost_acked.to_string(),
+                f(r.ack_p99_ms),
+                f(r.group_commit_mean_ms),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance claim for the PR: under the crash plan where
+    /// Immediate apologizes, OnReplicate(2)'s loss window is zero on
+    /// *both* axes — no acked append lost to the crash, and none that
+    /// would die with the leader's disk.
+    #[test]
+    fn replicate_has_zero_loss_window_where_immediate_apologizes() {
+        let seed = crate::DEFAULT_SEED;
+        let immediate = run(&scenario(AckPolicy::Immediate, true), seed);
+        assert!(
+            immediate.lost_acked > 0,
+            "the crash must land inside Immediate's ack-to-bus window: {immediate:?}"
+        );
+        assert!(immediate.ledger.orphaned() >= immediate.lost_acked);
+
+        let replicated = run(&scenario(AckPolicy::OnReplicate(2), true), seed);
+        assert_eq!(replicated.lost_acked, 0);
+        assert_eq!(replicated.lost_without_leader_disk, 0);
+
+        let fsync = run(&scenario(AckPolicy::OnFsync, true), seed);
+        assert_eq!(fsync.lost_acked, 0, "fsynced acks survive the crash");
+    }
+}

@@ -7,6 +7,7 @@ pub mod crdt_exp;
 pub mod deposits_exp;
 pub mod e19;
 pub mod escrow_exp;
+pub mod eventlog_exp;
 pub mod forensics_exp;
 pub mod gossip_exp;
 pub mod logship_exp;

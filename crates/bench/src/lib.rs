@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod experiments;
 pub mod http;
 pub mod service;
@@ -46,6 +47,7 @@ pub fn all_tables(seed: u64) -> Vec<Table> {
         crdt_exp::e16(seed),
         forensics_exp::e18(seed),
         e19::e19(seed),
+        eventlog_exp::e20(seed),
         ablations::a1(seed),
         ablations::a2(seed),
         gossip_exp::a3(seed),
@@ -77,7 +79,7 @@ pub fn observability_report(seed: u64) -> (String, String) {
     (out, json)
 }
 
-/// Run one experiment by id ("e1".."e16", "e18", "a1".."a3"), if it
+/// Run one experiment by id ("e1".."e16", "e18".."e20", "a1".."a3"), if it
 /// exists. ("e17" is the chaos sweep — a driver, not a table; run it
 /// with the `chaos` bin.)
 pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
@@ -101,6 +103,7 @@ pub fn table_by_id(id: &str, seed: u64) -> Option<Table> {
         "e16" => crdt_exp::e16(seed),
         "e18" => forensics_exp::e18(seed),
         "e19" => e19::e19(seed),
+        "e20" => eventlog_exp::e20(seed),
         "a1" => ablations::a1(seed),
         "a2" => ablations::a2(seed),
         "a3" => gossip_exp::a3(seed),

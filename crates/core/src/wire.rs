@@ -217,6 +217,51 @@ impl<K: WireCodec + Ord, V: WireCodec> WireCodec for BTreeMap<K, V> {
     }
 }
 
+/// A log-framed body: a log sequence number plus the payload committed
+/// at that position. Every WAL in the workspace — logship's shipped
+/// records, tandem's retained checkpoint stream, the eventlog segment
+/// format — is "an LSN stapled to a business payload"; this is that
+/// frame, written once. `Deref` exposes the body's fields directly, so
+/// holders read `rec.key` rather than `rec.body.key` — the frame is
+/// plumbing, not domain state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framed<T> {
+    /// Position in the writing node's log.
+    pub lsn: u64,
+    /// The payload committed at that position.
+    pub body: T,
+}
+
+impl<T> Framed<T> {
+    /// Frame `body` at log position `lsn`.
+    pub fn new(lsn: u64, body: T) -> Self {
+        Framed { lsn, body }
+    }
+}
+
+impl<T> std::ops::Deref for Framed<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.body
+    }
+}
+
+impl<T> std::ops::DerefMut for Framed<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.body
+    }
+}
+
+impl<T: WireCodec> WireCodec for Framed<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lsn.encode(buf);
+        self.body.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Framed { lsn: u64::decode(buf)?, body: T::decode(buf)? })
+    }
+}
+
 impl WireCodec for Uniquifier {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.as_raw().encode(buf);
@@ -318,6 +363,16 @@ mod tests {
         u32::MAX.encode(&mut buf);
         0u32.encode(&mut buf);
         assert_eq!(from_bytes::<Vec<u64>>(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn framed_round_trips_and_derefs_to_its_body() {
+        let rec = Framed::new(42, CounterAdd::new(7, -3));
+        round_trip(rec.clone());
+        // The frame is transparent for reads: body fields resolve
+        // through Deref.
+        assert_eq!(rec.delta, -3);
+        assert_eq!(rec.lsn, 42);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Builds an event-log deployment in the simulator, runs it under a
+//! fault plan, and accounts for every promise made.
+//!
+//! Layout: producers `0..n_producers`, the leader broker at
+//! `n_producers`, replicas right after it, and one consumer last. The
+//! report's two loss numbers carve the §4 spectrum at its joints:
+//!
+//! - `lost_acked` — acked appends held by *no* broker at the end of the
+//!   run. Only [`AckPolicy::Immediate`] may show these (its acks run
+//!   ahead of the fsync bus), and each one is an apology the ledger
+//!   already booked.
+//! - `lost_without_leader_disk` — acked appends held by no *replica*:
+//!   what a leader disk fire would cost. [`AckPolicy::OnReplicate`]
+//!   must drive this to zero; `OnFsync` merely prices it in.
+
+use quicksand_core::uniquifier::Uniquifier;
+use sim::chaos::FaultPlan;
+use sim::{
+    FlightRecorder, LedgerAccounting, LinkConfig, Network, NodeId, SimDuration, SimTime,
+    Simulation, SpanStore,
+};
+
+use crate::log::{LogConfig, MemKind};
+use crate::node::{BrokerConfig, Consumer, EvMsg, EventLogNode, Producer};
+use crate::policy::AckPolicy;
+
+/// One simulated event-log deployment.
+#[derive(Debug, Clone)]
+pub struct EventLogScenario {
+    /// Producer count.
+    pub n_producers: usize,
+    /// Appends each producer must get acked.
+    pub appends_per_producer: u64,
+    /// Per-producer pipeline depth.
+    pub window: usize,
+    /// Payload size per record.
+    pub payload_bytes: usize,
+    /// Mean think time between appends (zero = keep the window full).
+    pub mean_interarrival: SimDuration,
+    /// Producer retry sweep period.
+    pub retry_timeout: SimDuration,
+    /// The ack policy under test.
+    pub policy: AckPolicy,
+    /// Group-commit bus period.
+    pub flush_every: SimDuration,
+    /// Compact every N bus departures (0 = never).
+    pub compact_every: u32,
+    /// Data partitions.
+    pub partitions: u32,
+    /// Segment rotation threshold.
+    pub segment_bytes: u64,
+    /// Replica brokers shipping from the leader.
+    pub n_replicas: usize,
+    /// One-way network latency, all links.
+    pub latency: SimDuration,
+    /// Consumer poll period.
+    pub poll_every: SimDuration,
+    /// Fault timeline.
+    pub faults: FaultPlan,
+    /// Wall of simulated time.
+    pub horizon: SimTime,
+    /// Record a flight log for forensics.
+    pub flight: bool,
+}
+
+impl Default for EventLogScenario {
+    fn default() -> Self {
+        EventLogScenario {
+            n_producers: 3,
+            appends_per_producer: 40,
+            window: 4,
+            payload_bytes: 32,
+            mean_interarrival: SimDuration::from_millis(2),
+            retry_timeout: SimDuration::from_millis(50),
+            policy: AckPolicy::OnFsync,
+            flush_every: SimDuration::from_millis(5),
+            compact_every: 0,
+            partitions: 2,
+            segment_bytes: 4 * 1024,
+            n_replicas: 0,
+            latency: SimDuration::from_micros(500),
+            poll_every: SimDuration::from_millis(10),
+            faults: FaultPlan::none(),
+            horizon: SimTime::from_secs(60),
+            flight: false,
+        }
+    }
+}
+
+/// Node ids for a deployment under `sc`.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Producer nodes.
+    pub producers: Vec<NodeId>,
+    /// The leader broker.
+    pub leader: NodeId,
+    /// Replica brokers.
+    pub replicas: Vec<NodeId>,
+    /// The consumer.
+    pub consumer: NodeId,
+}
+
+/// Compute the node layout.
+pub fn layout(sc: &EventLogScenario) -> Layout {
+    let leader = NodeId(sc.n_producers);
+    Layout {
+        producers: (0..sc.n_producers).map(NodeId).collect(),
+        leader,
+        replicas: (0..sc.n_replicas).map(|i| NodeId(sc.n_producers + 1 + i)).collect(),
+        consumer: NodeId(sc.n_producers + 1 + sc.n_replicas),
+    }
+}
+
+/// Build the deployment into a fresh simulation.
+pub fn build(sc: &EventLogScenario, seed: u64) -> (Simulation<EvMsg>, Layout) {
+    let lay = layout(sc);
+    let net = Network::new(LinkConfig::reliable(sc.latency));
+    let mut sim = Simulation::with_network(seed, net);
+
+    for (i, p) in lay.producers.iter().enumerate() {
+        let id = sim.add_node(Producer::new(
+            i as u64,
+            lay.leader,
+            sc.appends_per_producer,
+            sc.window,
+            sc.payload_bytes,
+            sc.mean_interarrival,
+            sc.retry_timeout,
+        ));
+        debug_assert_eq!(id, *p);
+    }
+    let broker_cfg = BrokerConfig {
+        log: LogConfig { partitions: sc.partitions, segment_bytes: sc.segment_bytes },
+        policy: sc.policy,
+        flush_every: sc.flush_every,
+        compact_every: sc.compact_every,
+    };
+    let id = sim.add_node(EventLogNode::leader(MemKind, broker_cfg.clone(), lay.replicas.clone()));
+    debug_assert_eq!(id, lay.leader);
+    for r in &lay.replicas {
+        let id = sim.add_node(EventLogNode::replica(MemKind, broker_cfg.clone()));
+        debug_assert_eq!(id, *r);
+    }
+    let id = sim.add_node(Consumer::new(lay.leader, "readers", sc.poll_every));
+    debug_assert_eq!(id, lay.consumer);
+
+    sc.faults.apply(&mut sim);
+    (sim, lay)
+}
+
+/// What an event-log run promised, delivered, and lost.
+#[derive(Debug, Clone, Default)]
+pub struct EventLogReport {
+    /// Appends planned across all producers.
+    pub planned: u64,
+    /// Appends acked to producers.
+    pub acked: u64,
+    /// Acked appends held by no broker at the end — the crash-loss
+    /// window, nonzero only when the policy priced it in.
+    pub lost_acked: u64,
+    /// Acked appends held by no replica — the leader-disk-loss window.
+    /// Equal to `lost_acked` when there are no replicas.
+    pub lost_without_leader_disk: u64,
+    /// Distinct records the consumer group processed.
+    pub consumer_seen: u64,
+    /// Records the consumer saw more than once (at-least-once tax).
+    pub redeliveries: u64,
+    /// Producer retransmissions.
+    pub retries: u64,
+    /// Broker crash recoveries.
+    pub recoveries: u64,
+    /// Torn-tail bytes recovery truncated.
+    pub truncated_bytes: u64,
+    /// Group-commit bus departures that carried bytes.
+    pub fsyncs: u64,
+    /// Producer-observed ack latency, p50 / p99 (ms).
+    pub ack_p50_ms: f64,
+    /// See `ack_p50_ms`.
+    pub ack_p99_ms: f64,
+    /// Mean wait aboard the group-commit bus (ms), `OnFsync` acks only.
+    pub group_commit_mean_ms: f64,
+    /// Records still held in data partitions at the end.
+    pub records_remaining: u64,
+    /// Segments across the leader's data partitions.
+    pub segments: u64,
+    /// Total messages the simulation delivered.
+    pub messages: u64,
+    /// Simulated seconds elapsed.
+    pub sim_seconds: f64,
+    /// Guess/apology accounting for `eventlog.*` promises.
+    pub ledger: LedgerAccounting,
+    /// Full span store (span-hygiene invariants read this).
+    pub spans: SpanStore,
+    /// Flight recording, when enabled.
+    pub flight: Option<FlightRecorder>,
+}
+
+/// Run the scenario and account for every ack.
+pub fn run(sc: &EventLogScenario, seed: u64) -> EventLogReport {
+    let (mut sim, lay) = build(sc, seed);
+    if sc.flight {
+        sim.enable_flight(1 << 16);
+    }
+    sim.run_until(sc.horizon);
+
+    let mut report = EventLogReport {
+        planned: sc.n_producers as u64 * sc.appends_per_producer,
+        sim_seconds: sim.now().as_secs_f64(),
+        ..Default::default()
+    };
+
+    let mut acked_ids: Vec<Uniquifier> = Vec::new();
+    for p in &lay.producers {
+        let prod: &Producer = sim.actor(*p);
+        report.acked += prod.acked.len() as u64;
+        acked_ids.extend(prod.acked_ids());
+    }
+
+    let (leader_held, open_guesses) = {
+        let leader: &EventLogNode<MemKind> = sim.actor(lay.leader);
+        report.records_remaining = leader.log().record_count() as u64;
+        report.segments = leader.log().segment_count() as u64;
+        (leader.held_ids(), leader.open_guesses())
+    };
+    let mut replica_held: std::collections::HashSet<Uniquifier> = std::collections::HashSet::new();
+    for r in &lay.replicas {
+        let rep: &EventLogNode<MemKind> = sim.actor(*r);
+        replica_held.extend(rep.held_ids());
+    }
+    let leader_held: std::collections::HashSet<Uniquifier> = leader_held.into_iter().collect();
+
+    for id in &acked_ids {
+        let on_leader = leader_held.contains(id);
+        let on_replica = replica_held.contains(id);
+        if !on_leader && !on_replica {
+            report.lost_acked += 1;
+        }
+        let survives_leader_disk_loss =
+            if lay.replicas.is_empty() { on_leader } else { on_replica };
+        if !survives_leader_disk_loss {
+            report.lost_without_leader_disk += 1;
+        }
+    }
+
+    // Final settlement for Immediate-mode guesses the bus never caught
+    // up with: the run is over and the leader never crashed after the
+    // ack (a crash would have orphaned the guess), so the record is
+    // still aboard — the ack held.
+    let verdicts: Vec<(sim::SpanId, bool)> = {
+        let leader: &EventLogNode<MemKind> = sim.actor(lay.leader);
+        open_guesses
+            .into_iter()
+            .map(|(g, p, off)| {
+                let held = leader.log().read(p, off, 1).first().is_some_and(|r| r.offset == off);
+                (g, held)
+            })
+            .collect()
+    };
+    for (g, confirmed) in verdicts {
+        sim.settle_guess(g, confirmed);
+    }
+
+    {
+        let consumer: &Consumer = sim.actor(lay.consumer);
+        report.consumer_seen = consumer.seen.len() as u64;
+        report.redeliveries = consumer.redeliveries;
+    }
+
+    let m = sim.metrics_mut();
+    report.retries = m.counter("eventlog.producer_retries");
+    report.recoveries = m.counter("eventlog.recoveries");
+    report.truncated_bytes = m.counter("eventlog.truncated_bytes");
+    report.fsyncs = m.counter("eventlog.fsyncs");
+    report.ack_p50_ms = m.histogram("eventlog.producer_ack_us").percentile(50.0) / 1000.0;
+    report.ack_p99_ms = m.histogram("eventlog.producer_ack_us").percentile(99.0) / 1000.0;
+    report.group_commit_mean_ms = m.histogram("eventlog.group_commit_wait_us").mean() / 1000.0;
+    report.messages = m.counter("sim.messages_sent");
+    sim.export_ledger_metrics();
+    report.ledger = sim.ledger().accounting();
+    report.spans = sim.spans().clone();
+    report.flight = sim.take_flight();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::chaos::Fault;
+
+    fn crash_leader(sc: &EventLogScenario, at_ms: u64, back_ms: u64) -> FaultPlan {
+        FaultPlan::from_faults(vec![Fault::Crash {
+            at: SimTime::from_millis(at_ms),
+            node: layout(sc).leader,
+            restart_at: Some(SimTime::from_millis(back_ms)),
+        }])
+    }
+
+    #[test]
+    fn fsync_policy_delivers_everything_without_faults() {
+        let sc = EventLogScenario::default();
+        let r = run(&sc, 7);
+        assert_eq!(r.acked, r.planned, "{r:?}");
+        assert_eq!(r.lost_acked, 0);
+        assert_eq!(r.consumer_seen, r.planned, "consumer group falls behind");
+        assert!(r.fsyncs > 0, "the bus must actually depart");
+        assert!(r.ack_p50_ms > 0.0, "fsync acks wait for the bus");
+        assert!(r.ledger.is_settled(), "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn immediate_policy_apologizes_for_the_unflushed_tail() {
+        // A slow bus and a crash right across the busy window: some
+        // acks must outrun their fsync and die with the process.
+        let sc = EventLogScenario {
+            policy: AckPolicy::Immediate,
+            flush_every: SimDuration::from_millis(200),
+            mean_interarrival: SimDuration::ZERO,
+            faults: FaultPlan::none(),
+            ..EventLogScenario::default()
+        };
+        let sc = EventLogScenario { faults: crash_leader(&sc, 20, 40), ..sc };
+        let r = run(&sc, 11);
+        assert!(r.lost_acked > 0, "the crash must beat the 200 ms bus: {r:?}");
+        assert!(
+            r.ledger.orphaned() >= r.lost_acked,
+            "every lost ack was an open guess the crash orphaned: {:?}",
+            r.ledger
+        );
+        assert_eq!(r.acked, r.planned, "survivors keep producing after restart");
+    }
+
+    #[test]
+    fn fsync_policy_survives_the_same_crash_with_zero_loss() {
+        let sc = EventLogScenario {
+            policy: AckPolicy::OnFsync,
+            mean_interarrival: SimDuration::ZERO,
+            ..EventLogScenario::default()
+        };
+        let sc = EventLogScenario { faults: crash_leader(&sc, 20, 40), ..sc };
+        let r = run(&sc, 11);
+        assert_eq!(r.lost_acked, 0, "{r:?}");
+        assert_eq!(r.acked, r.planned);
+        assert!(r.recoveries >= 1, "the broker must have recovered: {r:?}");
+        assert!(r.redeliveries > 0 || r.consumer_seen == r.planned);
+    }
+
+    #[test]
+    fn replicate_policy_keeps_acked_records_off_the_leaders_disk() {
+        let sc = EventLogScenario {
+            policy: AckPolicy::OnReplicate(2),
+            n_replicas: 2,
+            mean_interarrival: SimDuration::ZERO,
+            ..EventLogScenario::default()
+        };
+        let sc = EventLogScenario { faults: crash_leader(&sc, 20, 40), ..sc };
+        let r = run(&sc, 13);
+        assert_eq!(r.acked, r.planned, "{r:?}");
+        assert_eq!(r.lost_acked, 0);
+        assert_eq!(
+            r.lost_without_leader_disk, 0,
+            "every acked record must sit on a replica disk: {r:?}"
+        );
+    }
+
+    #[test]
+    fn compaction_runs_inside_the_broker_and_readers_still_see_every_key() {
+        // Small segments + periodic compaction; producers re-use no
+        // keys here, so compaction only squeezes the offsets partition
+        // and duplicate generations never appear to the consumer.
+        let sc = EventLogScenario {
+            compact_every: 4,
+            segment_bytes: 512,
+            ..EventLogScenario::default()
+        };
+        let r = run(&sc, 17);
+        assert_eq!(r.acked, r.planned, "{r:?}");
+        assert_eq!(r.consumer_seen, r.planned);
+        assert_eq!(r.redeliveries, 0, "no crash, no at-least-once tax");
+        assert!(r.segments > sc.partitions as u64, "512-byte segments must rotate: {r:?}");
+    }
+}

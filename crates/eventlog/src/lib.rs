@@ -1,0 +1,52 @@
+//! # eventlog — a durable, partitioned event-log substrate
+//!
+//! The paper's §4 says the *degree* of durability behind an
+//! acknowledgment is a business decision, not an engineering constant:
+//! work "may be acknowledged ... before all the effects of the work are
+//! completely durable", and the system's job is to know exactly what it
+//! risked. This crate makes that decision a parameter. One log
+//! implementation — segmented, offset-addressed, CRC-framed, compacted
+//! by [`quicksand_core::uniquifier::Uniquifier`] — serves every WAL in
+//! the workspace, and [`AckPolicy`](policy::AckPolicy) picks the point
+//! on the spectrum where the ack escapes:
+//!
+//! - [`Immediate`](policy::AckPolicy::Immediate): ack from memory; the
+//!   unflushed tail is a ledger guess with a crash-sized apology window.
+//! - [`OnFsync`](policy::AckPolicy::OnFsync): ack when the §3.2
+//!   group-commit bus departs (one fsync carries everyone aboard).
+//! - [`OnReplicate(n)`](policy::AckPolicy::OnReplicate): ack when `n`
+//!   replicas hold the record on *their* disks.
+//!
+//! Everything runs on both engines through the
+//! [`StorageKind`](log::StorageKind) seam: [`MemKind`](log::MemKind)
+//! under the deterministic simulator (chaos plans crash it at will, torn
+//! tails included) and [`DirKind`](log::DirKind) under the wall-clock
+//! runtime, where a real `kill -9` and a real fsync play themselves.
+//!
+//! Module map:
+//!
+//! - [`record`] — frame format, CRC-32, recovery scan.
+//! - [`storage`] — the durability boundary (`MemStorage`/`FileStorage`).
+//! - [`log`] — segments, partitions, consumer offsets, compaction.
+//! - [`policy`] — the ack spectrum.
+//! - [`node`] — broker/replica/producer/consumer actors.
+//! - [`harness`] — simulated deployments and loss accounting.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod log;
+pub mod node;
+pub mod policy;
+pub mod record;
+pub mod storage;
+
+pub use harness::{run, EventLogReport, EventLogScenario};
+pub use log::{
+    CompactionStats, DirKind, EventLog, LogConfig, MemKind, Partition, RecoveryReport, StorageKind,
+    OFFSETS_PARTITION,
+};
+pub use node::{BrokerConfig, Consumer, EvMsg, EventLogNode, Producer};
+pub use policy::AckPolicy;
+pub use record::{crc32, encode_frame, scan, Frame, Record, ScanResult};
+pub use storage::{FileStorage, MemStorage, Storage};

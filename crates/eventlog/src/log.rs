@@ -1,0 +1,778 @@
+//! Segments, partitions, and the log itself — everything between the
+//! record codec and the actors.
+//!
+//! Layout follows the Kafka shape (PAPERS.md: Mohammad 2025) at model
+//! scale: a log is `n` partitions; a partition is a list of **segments**
+//! (byte stores scanned by [`crate::record::scan`] on recovery), of
+//! which only the last accepts appends; records are addressed by a
+//! dense partition-local **offset**; consumer groups persist their
+//! committed offsets *in the log itself* — an internal compacted
+//! partition keyed by a uniquifier derived from `(group, partition)`,
+//! so offset durability rides the same fsync discipline as the data and
+//! the compaction path is exercised by every committing consumer.
+//!
+//! Compaction (ISSUE 7 / ROADMAP 3: "log-compaction keyed by
+//! uniquifier") rewrites **sealed** segments, keeping for every key only
+//! its newest record (plus all unkeyed records). Offsets are stored in
+//! each frame, so a compacted segment is sparse but still
+//! offset-addressed; readers never notice beyond the gaps.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+use quicksand_core::uniquifier::Uniquifier;
+use quicksand_core::wire::{from_bytes, to_bytes};
+
+use crate::record::{encode_frame, scan, Record};
+use crate::storage::{FileStorage, MemStorage, Storage};
+
+/// How a log obtains segment stores: the only engine-specific seam.
+pub trait StorageKind {
+    /// The storage this kind produces.
+    type S: Storage;
+    /// Create a fresh, empty segment store for `partition`, first
+    /// offset `base`.
+    fn create(&mut self, partition: &str, base: u64) -> Self::S;
+    /// Pre-existing segment stores for `partition` (a previous process
+    /// lifetime's files), as `(base, storage)` sorted by base. Empty
+    /// for in-memory kinds.
+    fn existing(&mut self, partition: &str) -> Vec<(u64, Self::S)>;
+    /// Apply process-crash semantics to one segment store. In-memory
+    /// kinds drop the unflushed tail (keeping `torn` stray bytes for
+    /// recovery to cut); file kinds keep everything — bytes handed to
+    /// the kernel survive an in-process fail-fast crash, and a real
+    /// `kill -9` exercises the page-cache loss for them.
+    fn crash_storage(storage: &mut Self::S, torn: u64) {
+        let _ = (storage, torn);
+    }
+}
+
+/// In-memory segments for the simulator. "Durability" is the
+/// [`MemStorage`] watermark, crashed deterministically by the actor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemKind;
+
+impl StorageKind for MemKind {
+    type S = MemStorage;
+    fn create(&mut self, _partition: &str, _base: u64) -> MemStorage {
+        MemStorage::new()
+    }
+    fn existing(&mut self, _partition: &str) -> Vec<(u64, MemStorage)> {
+        Vec::new()
+    }
+    fn crash_storage(storage: &mut MemStorage, torn: u64) {
+        storage.crash(torn);
+    }
+}
+
+/// One file per segment under `root/<partition>/<base>.seg`, for the
+/// wall-clock runtime.
+#[derive(Debug, Clone)]
+pub struct DirKind {
+    root: PathBuf,
+}
+
+impl DirKind {
+    /// Segments live under `root`, one directory per partition.
+    pub fn new(root: &Path) -> Self {
+        DirKind { root: root.to_path_buf() }
+    }
+
+    fn seg_path(&self, partition: &str, base: u64) -> PathBuf {
+        self.root.join(partition).join(format!("{base:020}.seg"))
+    }
+}
+
+impl StorageKind for DirKind {
+    type S = FileStorage;
+    fn create(&mut self, partition: &str, base: u64) -> FileStorage {
+        let dir = self.root.join(partition);
+        std::fs::create_dir_all(&dir).expect("segment dir");
+        FileStorage::open(&self.seg_path(partition, base)).expect("segment create")
+    }
+    fn existing(&mut self, partition: &str) -> Vec<(u64, FileStorage)> {
+        let dir = self.root.join(partition);
+        let Ok(entries) = std::fs::read_dir(&dir) else { return Vec::new() };
+        let mut out = Vec::new();
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if let Some(base) = name.strip_suffix(".seg").and_then(|b| b.parse::<u64>().ok()) {
+                out.push((base, FileStorage::open(&e.path()).expect("segment open")));
+            }
+        }
+        out.sort_by_key(|(b, _)| *b);
+        out
+    }
+}
+
+/// What recovery found and fixed while opening a log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records replayed from durable prefixes.
+    pub records: u64,
+    /// Bytes cut from torn tails.
+    pub truncated_bytes: u64,
+    /// Segments that ended in a torn or corrupt frame.
+    pub torn_segments: u64,
+    /// Of those, segments cut on a CRC/decode failure (bit damage or a
+    /// full-length torn frame) rather than a short frame.
+    pub corrupt_segments: u64,
+}
+
+impl RecoveryReport {
+    /// Fold another report into this one (multi-partition recovery).
+    pub fn absorb(&mut self, other: &RecoveryReport) {
+        self.records += other.records;
+        self.truncated_bytes += other.truncated_bytes;
+        self.torn_segments += other.torn_segments;
+        self.corrupt_segments += other.corrupt_segments;
+    }
+}
+
+/// What one [`Partition::compact`] pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Sealed segments rewritten.
+    pub segments_rewritten: u64,
+    /// Superseded records dropped.
+    pub records_dropped: u64,
+    /// Bytes reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+impl CompactionStats {
+    fn absorb(&mut self, other: CompactionStats) {
+        self.segments_rewritten += other.segments_rewritten;
+        self.records_dropped += other.records_dropped;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
+/// One segment: a byte store plus the in-memory index of the records it
+/// holds (rebuilt by scanning on recovery).
+#[derive(Debug)]
+struct Segment<S> {
+    /// First offset this segment may hold.
+    base: u64,
+    storage: S,
+    /// Records in offset order (sparse after compaction).
+    records: Vec<Record>,
+    /// Frame-end byte positions, parallel to `records`.
+    ends: Vec<u64>,
+}
+
+impl<S: Storage> Segment<S> {
+    fn fresh(base: u64, storage: S) -> Self {
+        Segment { base, storage, records: Vec::new(), ends: Vec::new() }
+    }
+
+    /// Scan the storage's bytes, truncate any torn tail, and rebuild
+    /// the in-memory index.
+    fn recover(base: u64, mut storage: S, report: &mut RecoveryReport) -> Self {
+        let scanned = scan(&storage.read_all());
+        if scanned.truncated > 0 {
+            storage.truncate(scanned.valid_len);
+            report.truncated_bytes += scanned.truncated;
+            report.torn_segments += 1;
+            if scanned.corrupt {
+                report.corrupt_segments += 1;
+            }
+        }
+        report.records += scanned.records.len() as u64;
+        Segment { base, storage, records: scanned.records, ends: scanned.ends }
+    }
+
+    /// Number of records fully covered by the durable watermark.
+    fn durable_records(&self) -> usize {
+        let d = self.storage.durable_len();
+        self.ends.partition_point(|&e| e <= d)
+    }
+
+    fn append(&mut self, rec: Record) {
+        let mut frame = Vec::new();
+        encode_frame(&rec, &mut frame);
+        self.storage.append(&frame);
+        self.records.push(rec);
+        self.ends.push(self.storage.len());
+    }
+
+    /// Offset one past the last record (or `base` when empty).
+    fn next_offset(&self) -> u64 {
+        self.records.last().map_or(self.base, |r| r.offset + 1)
+    }
+}
+
+/// One partition: an ordered list of segments, the last of which is
+/// active (accepting appends).
+#[derive(Debug)]
+pub struct Partition<S> {
+    name: String,
+    segments: Vec<Segment<S>>,
+    /// Rotation threshold: the active segment seals once its byte store
+    /// reaches this size.
+    segment_bytes: u64,
+}
+
+impl<S: Storage> Partition<S> {
+    /// Open the partition named `name`: recover any existing segments
+    /// (scanning and truncating torn tails) or start a fresh one.
+    pub fn open<K: StorageKind<S = S>>(
+        kind: &mut K,
+        name: &str,
+        segment_bytes: u64,
+        report: &mut RecoveryReport,
+    ) -> Self {
+        let mut segments: Vec<Segment<S>> = kind
+            .existing(name)
+            .into_iter()
+            .map(|(base, storage)| Segment::recover(base, storage, report))
+            .collect();
+        if segments.is_empty() {
+            segments.push(Segment::fresh(0, kind.create(name, 0)));
+        }
+        Partition { name: name.to_owned(), segments, segment_bytes: segment_bytes.max(1) }
+    }
+
+    /// The partition's name (its directory, for file-backed kinds).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a record, rotating the active segment first if it is
+    /// full. Returns the assigned offset.
+    pub fn append<K: StorageKind<S = S>>(
+        &mut self,
+        kind: &mut K,
+        key: Option<Uniquifier>,
+        payload: Vec<u8>,
+    ) -> u64 {
+        let offset = self.next_offset();
+        let active = self.segments.last().expect("a partition always has an active segment");
+        if active.storage.len() >= self.segment_bytes {
+            let storage = kind.create(&self.name, offset);
+            self.segments.push(Segment::fresh(offset, storage));
+        }
+        let seg = self.segments.last_mut().expect("active segment");
+        seg.append(Record { offset, key, payload });
+        offset
+    }
+
+    /// Offset the next append will get.
+    pub fn next_offset(&self) -> u64 {
+        self.segments.last().expect("active segment").next_offset()
+    }
+
+    /// Offsets strictly below this are durable (fsynced). The watermark
+    /// stops at the first record not fully covered by its segment's
+    /// durable length.
+    pub fn durable_next(&self) -> u64 {
+        let mut next = self.segments[0].base;
+        for seg in &self.segments {
+            let d = seg.durable_records();
+            if d > 0 {
+                next = seg.records[d - 1].offset + 1;
+            }
+            if d < seg.records.len() {
+                break;
+            }
+        }
+        next
+    }
+
+    /// Flush every segment; returns the bytes newly made durable.
+    pub fn fsync(&mut self) -> u64 {
+        self.segments.iter_mut().map(|s| s.storage.fsync()).sum()
+    }
+
+    /// Records with `offset >= from`, in offset order, up to `max`
+    /// records.
+    pub fn read_from(&self, from: u64, max: usize) -> Vec<Record> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if seg.next_offset() <= from {
+                continue;
+            }
+            for rec in &seg.records {
+                if rec.offset >= from {
+                    out.push(rec.clone());
+                    if out.len() >= max {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every record currently held, in offset order.
+    pub fn all_records(&self) -> Vec<Record> {
+        self.segments.iter().flat_map(|s| s.records.iter().cloned()).collect()
+    }
+
+    /// Total records held (post-compaction survivors).
+    pub fn record_count(&self) -> usize {
+        self.segments.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Number of segments (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total bytes across all segment stores.
+    pub fn byte_len(&self) -> u64 {
+        self.segments.iter().map(|s| s.storage.len()).sum()
+    }
+
+    /// Compact sealed segments: for every key, only the partition's
+    /// newest record survives; unkeyed records always survive. The
+    /// active segment is left alone (it is still being written), so a
+    /// key's newest record is never dropped by a concurrent append.
+    pub fn compact(&mut self) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        if self.segments.len() < 2 {
+            return stats;
+        }
+        // Newest offset per key across the whole partition, active
+        // segment included.
+        let mut newest: HashMap<Uniquifier, u64> = HashMap::new();
+        for seg in &self.segments {
+            for rec in &seg.records {
+                if let Some(k) = rec.key {
+                    let e = newest.entry(k).or_insert(rec.offset);
+                    *e = (*e).max(rec.offset);
+                }
+            }
+        }
+        let sealed = self.segments.len() - 1;
+        for seg in &mut self.segments[..sealed] {
+            let keep: Vec<Record> = seg
+                .records
+                .iter()
+                .filter(|r| r.key.is_none_or(|k| newest[&k] == r.offset))
+                .cloned()
+                .collect();
+            if keep.len() == seg.records.len() {
+                continue;
+            }
+            let before = seg.storage.len();
+            let mut bytes = Vec::new();
+            let mut ends = Vec::new();
+            for rec in &keep {
+                encode_frame(rec, &mut bytes);
+                ends.push(bytes.len() as u64);
+            }
+            // Rewrite in place: truncate, re-append, fsync. (A crash
+            // mid-rewrite loses only already-superseded copies; the
+            // newest version of every key lives in a later segment.)
+            seg.storage.truncate(0);
+            seg.storage.append(&bytes);
+            seg.storage.fsync();
+            stats.segments_rewritten += 1;
+            stats.records_dropped += (seg.records.len() - keep.len()) as u64;
+            stats.bytes_reclaimed += before - seg.storage.len();
+            seg.records = keep;
+            seg.ends = ends;
+        }
+        stats
+    }
+}
+
+impl<S: Storage> Partition<S> {
+    /// The owning process died: apply `crash` to each segment store
+    /// (`torn` stray bytes allowed on the active one, modelling a
+    /// half-written frame), then re-scan and truncate exactly as a
+    /// restart would. Returns what recovery cut.
+    fn crash_and_rescan(&mut self, crash: impl Fn(&mut S, u64), torn: u64) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let last = self.segments.len() - 1;
+        for (i, seg) in self.segments.iter_mut().enumerate() {
+            crash(&mut seg.storage, if i == last { torn } else { 0 });
+            let scanned = scan(&seg.storage.read_all());
+            if scanned.truncated > 0 {
+                seg.storage.truncate(scanned.valid_len);
+                report.truncated_bytes += scanned.truncated;
+                report.torn_segments += 1;
+                if scanned.corrupt {
+                    report.corrupt_segments += 1;
+                }
+            }
+            report.records += scanned.records.len() as u64;
+            seg.records = scanned.records;
+            seg.ends = scanned.ends;
+        }
+        // Drop empty trailing segments a crash may have gutted, keeping
+        // at least one active.
+        while self.segments.len() > 1 && self.segments.last().expect("nonempty").records.is_empty()
+        {
+            self.segments.pop();
+        }
+        report
+    }
+}
+
+/// Configuration shared by every partition of a log.
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Data partitions.
+    pub partitions: u32,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig { partitions: 2, segment_bytes: 64 * 1024 }
+    }
+}
+
+/// Name of the internal partition holding consumer-group committed
+/// offsets (compacted; keyed by `(group, partition)` uniquifier).
+pub const OFFSETS_PARTITION: &str = "offsets";
+
+/// The event log: `n` data partitions plus the internal offsets
+/// partition, all on one [`StorageKind`].
+#[derive(Debug)]
+pub struct EventLog<K: StorageKind> {
+    kind: K,
+    parts: Vec<Partition<K::S>>,
+    offsets: Partition<K::S>,
+    /// Committed offsets by `(group, partition)`, materialized from the
+    /// offsets partition.
+    committed: BTreeMap<(String, u32), u64>,
+    /// Dedup index: key → (partition, offset) of its newest record.
+    /// Volatile — rebuilt from durable records on recovery, which is
+    /// why an acked-but-lost append can be retried to a fresh offset.
+    seen: HashMap<Uniquifier, (u32, u64)>,
+}
+
+impl<K: StorageKind> EventLog<K> {
+    /// Open (or create) a log: recover every partition, truncating torn
+    /// tails, and rematerialize committed offsets and the dedup index.
+    pub fn open(mut kind: K, cfg: LogConfig) -> (Self, RecoveryReport) {
+        let mut report = RecoveryReport::default();
+        let parts: Vec<Partition<K::S>> = (0..cfg.partitions.max(1))
+            .map(|p| Partition::open(&mut kind, &format!("p{p}"), cfg.segment_bytes, &mut report))
+            .collect();
+        let offsets = Partition::open(&mut kind, OFFSETS_PARTITION, cfg.segment_bytes, &mut report);
+        let mut log =
+            EventLog { kind, parts, offsets, committed: BTreeMap::new(), seen: HashMap::new() };
+        log.rematerialize();
+        (log, report)
+    }
+
+    fn rematerialize(&mut self) {
+        self.seen.clear();
+        for (p, part) in self.parts.iter().enumerate() {
+            for rec in part.all_records() {
+                if let Some(k) = rec.key {
+                    self.seen.insert(k, (p as u32, rec.offset));
+                }
+            }
+        }
+        self.committed.clear();
+        for rec in self.offsets.all_records() {
+            if let Ok((group, (partition, upto))) = from_bytes::<(String, (u32, u64))>(&rec.payload)
+            {
+                // Later records supersede earlier ones (compaction may
+                // not have run yet), so plain insert-in-order is right.
+                self.committed.insert((group, partition), upto);
+            }
+        }
+    }
+
+    /// Data partition count.
+    pub fn partitions(&self) -> u32 {
+        self.parts.len() as u32
+    }
+
+    /// Route `key` to its partition (§5.4 role 1: the uniquifier is the
+    /// partitioning key).
+    pub fn partition_of(&self, key: Uniquifier) -> u32 {
+        key.partition(self.parts.len()) as u32
+    }
+
+    /// Append a keyed record, routed by its uniquifier. Idempotent:
+    /// re-appending a key already in the log returns the existing
+    /// position without writing (§5.4 role 2 — retries collapse).
+    pub fn append(&mut self, key: Uniquifier, payload: Vec<u8>) -> (u32, u64, bool) {
+        if let Some(&(p, off)) = self.seen.get(&key) {
+            return (p, off, false);
+        }
+        let p = self.partition_of(key);
+        let off = self.parts[p as usize].append(&mut self.kind, Some(key), payload);
+        self.seen.insert(key, (p, off));
+        (p, off, true)
+    }
+
+    /// Append to an explicit partition (unkeyed or externally routed).
+    pub fn append_to(&mut self, partition: u32, key: Option<Uniquifier>, payload: Vec<u8>) -> u64 {
+        let off = self.parts[partition as usize].append(&mut self.kind, key, payload);
+        if let Some(k) = key {
+            self.seen.insert(k, (partition, off));
+        }
+        off
+    }
+
+    /// Where `key`'s newest record lives, if anywhere.
+    pub fn lookup(&self, key: Uniquifier) -> Option<(u32, u64)> {
+        self.seen.get(&key).copied()
+    }
+
+    /// One data partition, by index.
+    pub fn part(&self, partition: u32) -> &Partition<K::S> {
+        &self.parts[partition as usize]
+    }
+
+    /// Records of `partition` from `from`, at most `max`.
+    pub fn read(&self, partition: u32, from: u64, max: usize) -> Vec<Record> {
+        self.parts[partition as usize].read_from(from, max)
+    }
+
+    /// Next offset of `partition`.
+    pub fn next_offset(&self, partition: u32) -> u64 {
+        self.parts[partition as usize].next_offset()
+    }
+
+    /// Durable watermark of `partition`.
+    pub fn durable_next(&self, partition: u32) -> u64 {
+        self.parts[partition as usize].durable_next()
+    }
+
+    /// Flush everything (data + offsets). Returns bytes newly durable —
+    /// the size of the "city bus" that just departed.
+    pub fn fsync(&mut self) -> u64 {
+        let mut bytes = self.offsets.fsync();
+        for p in &mut self.parts {
+            bytes += p.fsync();
+        }
+        bytes
+    }
+
+    /// Record that `group` has consumed `partition` up to (exclusive)
+    /// `upto`. Durable with the next fsync; compaction keeps only the
+    /// newest commit per `(group, partition)`.
+    pub fn commit_offset(&mut self, group: &str, partition: u32, upto: u64) {
+        let key = Uniquifier::derived_from_fields(&[
+            b"offsets",
+            group.as_bytes(),
+            &partition.to_le_bytes(),
+        ]);
+        let payload = to_bytes(&(group.to_owned(), (partition, upto)));
+        self.offsets.append(&mut self.kind, Some(key), payload);
+        self.committed.insert((group.to_owned(), partition), upto);
+    }
+
+    /// The committed offset for `(group, partition)`, if any.
+    pub fn committed(&self, group: &str, partition: u32) -> Option<u64> {
+        self.committed.get(&(group.to_owned(), partition)).copied()
+    }
+
+    /// Compact every partition (offsets included — that one compacts
+    /// down to one record per consumer group and partition).
+    pub fn compact(&mut self) -> CompactionStats {
+        let mut stats = self.offsets.compact();
+        for p in &mut self.parts {
+            stats.absorb(p.compact());
+        }
+        stats
+    }
+
+    /// Total records across data partitions.
+    pub fn record_count(&self) -> usize {
+        self.parts.iter().map(|p| p.record_count()).sum()
+    }
+
+    /// Total bytes across all partitions (offsets included).
+    pub fn byte_len(&self) -> u64 {
+        self.parts.iter().map(|p| p.byte_len()).sum::<u64>() + self.offsets.byte_len()
+    }
+
+    /// Total segments across data partitions.
+    pub fn segment_count(&self) -> usize {
+        self.parts.iter().map(|p| p.segment_count()).sum()
+    }
+}
+
+impl<K: StorageKind> EventLog<K> {
+    /// The owning process crashed fail-fast: apply the kind's crash
+    /// semantics to every segment store (in-memory kinds lose unflushed
+    /// tails; file kinds keep kernel-held bytes), re-scan, truncate
+    /// torn tails, and rebuild the volatile indexes from survivors.
+    pub fn crash(&mut self, torn: u64) -> RecoveryReport {
+        let mut report = self.offsets.crash_and_rescan(K::crash_storage, 0);
+        for p in &mut self.parts {
+            report.absorb(&p.crash_and_rescan(K::crash_storage, torn));
+        }
+        self.rematerialize();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_log(partitions: u32, segment_bytes: u64) -> EventLog<MemKind> {
+        EventLog::open(MemKind, LogConfig { partitions, segment_bytes }).0
+    }
+
+    fn key(i: u64) -> Uniquifier {
+        Uniquifier::derived_from_fields(&[b"k", &i.to_le_bytes()])
+    }
+
+    #[test]
+    fn appends_are_offset_dense_per_partition_and_idempotent() {
+        let mut log = mem_log(4, 1024);
+        let mut per_part: BTreeMap<u32, u64> = BTreeMap::new();
+        for i in 0..100u64 {
+            let (p, off, fresh) = log.append(key(i), vec![i as u8]);
+            assert!(fresh);
+            let next = per_part.entry(p).or_insert(0);
+            assert_eq!(off, *next, "offsets are dense per partition");
+            *next += 1;
+        }
+        // Retries collapse to the original position.
+        let before = log.record_count();
+        let (_, _, fresh) = log.append(key(17), vec![0xFF]);
+        assert!(!fresh);
+        assert_eq!(log.record_count(), before);
+    }
+
+    #[test]
+    fn rotation_seals_segments_at_the_byte_threshold() {
+        let mut log = mem_log(1, 64);
+        for i in 0..40u64 {
+            log.append_to(0, Some(key(i)), vec![0; 16]);
+        }
+        assert!(log.part(0).segment_count() > 1, "64-byte segments must rotate");
+        // Reads still span segments in offset order.
+        let recs = log.read(0, 0, usize::MAX);
+        assert_eq!(recs.len(), 40);
+        assert!(recs.windows(2).all(|w| w[0].offset < w[1].offset));
+    }
+
+    #[test]
+    fn durable_watermark_advances_only_on_fsync() {
+        let mut log = mem_log(1, 1024);
+        for i in 0..10u64 {
+            log.append_to(0, Some(key(i)), vec![1, 2, 3]);
+        }
+        assert_eq!(log.durable_next(0), 0, "nothing flushed yet");
+        assert!(log.fsync() > 0);
+        assert_eq!(log.durable_next(0), 10);
+        log.append_to(0, Some(key(10)), vec![4]);
+        assert_eq!(log.durable_next(0), 10, "the new append rides the next bus");
+    }
+
+    #[test]
+    fn crash_drops_the_unflushed_tail_and_recovery_cuts_torn_bytes() {
+        let mut log = mem_log(1, 1024);
+        for i in 0..5u64 {
+            log.append_to(0, Some(key(i)), vec![7; 8]);
+        }
+        log.fsync();
+        for i in 5..9u64 {
+            log.append_to(0, Some(key(i)), vec![9; 8]);
+        }
+        let report = log.crash(3); // 3 stray bytes of a torn frame
+        assert_eq!(log.next_offset(0), 5, "unflushed appends are gone");
+        assert_eq!(report.truncated_bytes, 3, "the torn fragment was cut");
+        assert_eq!(report.torn_segments, 1);
+        // The dedup index reflects only survivors: a retry re-appends.
+        let (_, off, fresh) = log.append(key(7), vec![9; 8]);
+        assert!(fresh, "the lost record's key is free again");
+        assert_eq!(log.lookup(key(7)), Some((0, off)));
+    }
+
+    #[test]
+    fn compaction_keeps_only_the_newest_record_per_key() {
+        let mut log = mem_log(1, 128);
+        // Three generations of the same 4 keys, forcing several
+        // segments.
+        for generation in 0..3u64 {
+            for k in 0..4u64 {
+                log.append_to(0, Some(key(k)), vec![generation as u8; 24]);
+            }
+        }
+        log.fsync();
+        let before = log.record_count();
+        assert_eq!(before, 12);
+        let stats = log.compact();
+        assert!(stats.records_dropped > 0, "{stats:?}");
+        assert!(stats.bytes_reclaimed > 0);
+        // Every key still resolves, to its newest generation.
+        let survivors = log.read(0, 0, usize::MAX);
+        for k in 0..4u64 {
+            let newest = survivors
+                .iter()
+                .filter(|r| r.key == Some(key(k)))
+                .max_by_key(|r| r.offset)
+                .expect("key survives compaction");
+            assert_eq!(newest.payload[0], 2, "newest generation survives");
+        }
+        // Offsets remain addressable: reading from an arbitrary offset
+        // returns only records at or past it.
+        let tail = log.read(0, 9, usize::MAX);
+        assert!(tail.iter().all(|r| r.offset >= 9));
+        assert_eq!(tail.len(), 3, "the newest generation sits at offsets 8..12");
+    }
+
+    #[test]
+    fn committed_offsets_survive_crash_and_compaction() {
+        let mut log = mem_log(2, 256);
+        for upto in [3u64, 7, 12] {
+            log.commit_offset("readers", 0, upto);
+            log.commit_offset("readers", 1, upto + 1);
+        }
+        log.commit_offset("audit", 0, 2);
+        log.fsync();
+        log.compact();
+        assert_eq!(log.committed("readers", 0), Some(12));
+        assert_eq!(log.committed("readers", 1), Some(13));
+        assert_eq!(log.committed("audit", 0), Some(2));
+        // Crash: committed offsets were fsynced, so they come back.
+        log.crash(0);
+        assert_eq!(log.committed("readers", 0), Some(12));
+        assert_eq!(log.committed("audit", 0), Some(2));
+        assert_eq!(log.committed("nobody", 0), None);
+    }
+
+    #[test]
+    fn file_backed_log_recovers_across_reopen() {
+        let root = std::env::temp_dir().join(format!("evlog-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = LogConfig { partitions: 2, segment_bytes: 256 };
+        let mut acked = Vec::new();
+        {
+            let (mut log, rep) = EventLog::open(DirKind::new(&root), cfg);
+            assert_eq!(rep, RecoveryReport::default());
+            for i in 0..30u64 {
+                let (p, off, _) = log.append(key(i), format!("val-{i}").into_bytes());
+                acked.push((key(i), p, off));
+            }
+            log.fsync();
+            log.commit_offset("g", 0, 5);
+            log.fsync();
+        }
+        // Simulate a torn tail: stray bytes appended to partition 0's
+        // last segment file after the process died.
+        let p0 = root.join("p0");
+        let mut segs: Vec<_> = std::fs::read_dir(&p0).unwrap().flatten().collect();
+        segs.sort_by_key(|e| e.file_name());
+        {
+            use std::io::Write;
+            let mut f =
+                std::fs::OpenOptions::new().append(true).open(segs.last().unwrap().path()).unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        }
+        let (log, rep) = EventLog::open(DirKind::new(&root), cfg);
+        assert_eq!(rep.truncated_bytes, 3, "{rep:?}");
+        assert_eq!(rep.torn_segments, 1);
+        for (k, p, off) in &acked {
+            assert_eq!(log.lookup(*k), Some((*p, *off)), "acked record lost on reopen");
+        }
+        assert_eq!(log.committed("g", 0), Some(5));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

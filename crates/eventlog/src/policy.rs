@@ -1,0 +1,104 @@
+//! When the broker may acknowledge an append — the paper's §4
+//! asynchronous-checkpointing spectrum as one enum.
+//!
+//! The durability spectrum is *where the ack sits relative to the
+//! fsync/ship lag*. Each policy names a point on it, and each point
+//! prices in a different loss window the business must be prepared to
+//! apologize for:
+//!
+//! | policy | ack when | loss window |
+//! |---|---|---|
+//! | [`AckPolicy::Immediate`] | append hits memory | unflushed tail on process crash |
+//! | [`AckPolicy::OnFsync`] | local fsync covers it (the group-commit bus) | local disk destroyed |
+//! | [`AckPolicy::OnReplicate`]`(n)` | `n` replicas confirm durable receipt | none the model can produce |
+//!
+//! Kafka speakers read `Immediate` as `acks=0`-ish, `OnFsync` as
+//! `acks=leader` with forced flush, and `OnReplicate(n)` as `acks=all`
+//! with `min.insync.replicas = n`.
+
+/// When an append is acknowledged to its producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Ack as soon as the record is in the leader's memory; durability
+    /// rides a later bus. Fastest, and the whole unflushed tail is the
+    /// §4.2 loss window.
+    Immediate,
+    /// Ack once the local group-commit fsync covers the record. A
+    /// process crash loses nothing acked; losing the leader's disk
+    /// still loses everything unreplicated.
+    OnFsync,
+    /// Ack once `n` replicas confirm the record is durable *on their*
+    /// disks (the leader's own fsync happens first — replication ships
+    /// only the durable prefix). `OnReplicate(0)` degrades to
+    /// [`AckPolicy::OnFsync`].
+    OnReplicate(u32),
+}
+
+impl AckPolicy {
+    /// True when the policy's contract allows an acked record to
+    /// disappear in a process crash (the policy priced that window in).
+    pub fn prices_in_crash_loss(self) -> bool {
+        matches!(self, AckPolicy::Immediate)
+    }
+
+    /// True when the policy's contract allows an acked record to
+    /// disappear with the leader's disk.
+    pub fn prices_in_disk_loss(self) -> bool {
+        match self {
+            AckPolicy::Immediate | AckPolicy::OnFsync => true,
+            AckPolicy::OnReplicate(n) => n == 0,
+        }
+    }
+
+    /// Parse `"immediate"`, `"fsync"`, or `"replicate:N"` (CLI form).
+    pub fn parse(s: &str) -> Option<AckPolicy> {
+        match s {
+            "immediate" => Some(AckPolicy::Immediate),
+            "fsync" => Some(AckPolicy::OnFsync),
+            _ => s
+                .strip_prefix("replicate:")
+                .and_then(|n| n.parse().ok())
+                .map(AckPolicy::OnReplicate),
+        }
+    }
+}
+
+impl std::str::FromStr for AckPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        AckPolicy::parse(s)
+            .ok_or_else(|| format!("unknown ack policy {s:?} (immediate|fsync|replicate:N)"))
+    }
+}
+
+impl std::fmt::Display for AckPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AckPolicy::Immediate => write!(f, "immediate"),
+            AckPolicy::OnFsync => write!(f, "fsync"),
+            AckPolicy::OnReplicate(n) => write!(f, "replicate:{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for p in [AckPolicy::Immediate, AckPolicy::OnFsync, AckPolicy::OnReplicate(2)] {
+            assert_eq!(AckPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(AckPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn the_spectrum_is_ordered() {
+        assert!(AckPolicy::Immediate.prices_in_crash_loss());
+        assert!(!AckPolicy::OnFsync.prices_in_crash_loss());
+        assert!(AckPolicy::OnFsync.prices_in_disk_loss());
+        assert!(!AckPolicy::OnReplicate(1).prices_in_disk_loss());
+        assert!(AckPolicy::OnReplicate(0).prices_in_disk_loss());
+    }
+}

@@ -1,0 +1,207 @@
+//! Where segment bytes live: the durability boundary.
+//!
+//! Everything above this trait — framing, rotation, compaction, consumer
+//! offsets — is identical on both engines. The trait is deliberately
+//! tiny: append bytes, fsync, read everything back, truncate. The two
+//! implementations model durability honestly in their own worlds:
+//!
+//! - [`MemStorage`] (simulator): keeps a **durable watermark**. Bytes
+//!   past it are the page cache; a crash ([`MemStorage::crash`]) drops
+//!   the unflushed tail, except for a caller-chosen number of torn bytes
+//!   that "made it to the platter" mid-write — which is how the
+//!   deterministic simulator exercises the CRC/torn-tail recovery path
+//!   that a real `kill -9` exercises in CI.
+//! - [`FileStorage`] (runtime): a real file with real `sync_data`. The
+//!   kernel keeps the page cache; a process kill loses whatever was not
+//!   yet flushed, torn frames included, with no modelling required.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A segment's backing bytes. Appends land in volatile cache until
+/// [`Storage::fsync`]; `read_all` sees every appended byte (the writing
+/// process reads its own cache), while a crash only preserves the
+/// durable prefix (plus possibly a torn fragment).
+pub trait Storage {
+    /// Total appended bytes (durable + cached).
+    fn len(&self) -> u64;
+    /// True when nothing has been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Append bytes to the cache.
+    fn append(&mut self, bytes: &[u8]);
+    /// Make every appended byte durable. Returns the bytes newly made
+    /// durable by this call (0 when already clean) — the group-commit
+    /// metrics are built on this.
+    fn fsync(&mut self) -> u64;
+    /// Bytes guaranteed to survive a crash.
+    fn durable_len(&self) -> u64;
+    /// The full byte stream as this process sees it.
+    fn read_all(&self) -> Vec<u8>;
+    /// Cut the stream to `len` bytes (recovery truncating a torn tail).
+    fn truncate(&mut self, len: u64);
+}
+
+/// In-memory storage with an explicit durable watermark, for the
+/// deterministic simulator.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    bytes: Vec<u8>,
+    durable: u64,
+}
+
+impl MemStorage {
+    /// Fresh empty storage.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Simulate the process dying: the unflushed tail is gone, except
+    /// for the first `torn` bytes of it — a write the kernel had pushed
+    /// partway to the platter. Recovery's CRC scan must cut those.
+    pub fn crash(&mut self, torn: u64) {
+        let keep = (self.durable + torn).min(self.bytes.len() as u64);
+        self.bytes.truncate(keep as usize);
+        self.durable = self.durable.min(keep);
+    }
+}
+
+impl Storage for MemStorage {
+    fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+    fn append(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+    fn fsync(&mut self) -> u64 {
+        let newly = self.bytes.len() as u64 - self.durable;
+        self.durable = self.bytes.len() as u64;
+        newly
+    }
+    fn durable_len(&self) -> u64 {
+        self.durable
+    }
+    fn read_all(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+    fn truncate(&mut self, len: u64) {
+        self.bytes.truncate(len as usize);
+        self.durable = self.durable.min(len);
+    }
+}
+
+/// File-backed storage for the wall-clock runtime: appends buffer in the
+/// OS page cache, `fsync` is a real `sync_data`, truncation rewrites the
+/// file length. One file per segment.
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    synced: u64,
+}
+
+impl FileStorage {
+    /// Open (or create) the segment file at `path`, appending after any
+    /// existing content. Existing bytes count as durable: they survived
+    /// at least one process lifetime already.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().create(true).read(true).append(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(FileStorage { path: path.to_path_buf(), file, len, synced: len })
+    }
+
+    /// The file this storage writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn append(&mut self, bytes: &[u8]) {
+        // An append-mode write that fails mid-stream leaves a torn
+        // frame, which is exactly what recovery handles; surfacing the
+        // error any further would just crash the process sooner.
+        self.file.write_all(bytes).expect("segment append");
+        self.len += bytes.len() as u64;
+    }
+    fn fsync(&mut self) -> u64 {
+        let newly = self.len - self.synced;
+        if newly > 0 {
+            self.file.sync_data().expect("segment fsync");
+            self.synced = self.len;
+        }
+        newly
+    }
+    fn durable_len(&self) -> u64 {
+        self.synced
+    }
+    fn read_all(&self) -> Vec<u8> {
+        let mut f = File::open(&self.path).expect("segment reopen");
+        let mut out = Vec::with_capacity(self.len as usize);
+        f.read_to_end(&mut out).expect("segment read");
+        out
+    }
+    fn truncate(&mut self, len: u64) {
+        self.file.set_len(len).expect("segment truncate");
+        self.file.seek(SeekFrom::End(0)).expect("segment seek");
+        self.len = len;
+        self.synced = self.synced.min(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_loses_the_unflushed_tail_on_crash() {
+        let mut s = MemStorage::new();
+        s.append(b"durable");
+        assert_eq!(s.fsync(), 7);
+        s.append(b"-volatile");
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.durable_len(), 7);
+        s.crash(3);
+        assert_eq!(s.read_all(), b"durable-vo");
+        assert_eq!(s.fsync(), 3, "the torn fragment is on disk after recovery syncs");
+    }
+
+    #[test]
+    fn mem_storage_truncate_cuts_the_tail() {
+        let mut s = MemStorage::new();
+        s.append(b"abcdef");
+        s.fsync();
+        s.truncate(4);
+        assert_eq!(s.read_all(), b"abcd");
+        assert_eq!(s.durable_len(), 4);
+    }
+
+    #[test]
+    fn file_storage_round_trips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("evlog-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("0.seg");
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            s.append(b"hello ");
+            s.append(b"world");
+            assert_eq!(s.fsync(), 11);
+            assert_eq!(s.fsync(), 0);
+            assert_eq!(s.read_all(), b"hello world");
+            s.truncate(5);
+            assert_eq!(s.read_all(), b"hello");
+        }
+        // Reopen: existing bytes count as durable and appends continue.
+        let mut s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.durable_len(), 5);
+        s.append(b"!");
+        assert_eq!(s.read_all(), b"hello!");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

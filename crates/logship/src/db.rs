@@ -3,17 +3,24 @@
 //! One actor type plays all three roles because that is what happens in
 //! deployment: the backup *becomes* the primary on takeover, and the old
 //! primary comes back as neither — just a WAL with a tail nobody has
-//! seen (§4.2). Durability is modelled honestly: the WAL survives a
-//! crash (`on_crash` wipes only volatile state), which is precisely why
-//! the stuck tail can be resurrected at all.
+//! seen (§4.2). Durability is modelled honestly: the WAL is an
+//! [`eventlog`] segment partition fsynced at every append — the §4.1
+//! "ack nothing before the WAL append" discipline — so it survives a
+//! crash in full (`on_crash` wipes only volatile state), which is
+//! precisely why the stuck tail can be resurrected at all.
 
 use std::collections::HashMap;
 
+use eventlog::{MemKind, MemStorage, Partition, RecoveryReport};
 use quicksand_core::op::{OpLog, Operation};
+use quicksand_core::wire::{from_bytes, to_bytes, Framed};
 use sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanId};
 
 use crate::msg::ShipMsg;
 use crate::types::{Lsn, RecoveryPolicy, ShipMode, ShipOp, WalRecord};
+
+/// Rotation threshold for the WAL's backing segments.
+const WAL_SEGMENT_BYTES: u64 = 64 * 1024;
 
 /// Timer tag: ship accumulated WAL records to the backup.
 const TAG_SHIP: u64 = 1;
@@ -42,8 +49,9 @@ pub struct DbNode {
     dedup: bool,
 
     // --- durable state (survives crashes) ---
-    /// The write-ahead log. Appended before any ack.
-    wal: Vec<WalRecord>,
+    /// The write-ahead log: an event-log partition, fsynced per append
+    /// so every record is durable before any ack escapes.
+    wal: Partition<MemStorage>,
 
     // --- volatile state ---
     /// Applied operations (uniquifier-deduped memory).
@@ -79,6 +87,8 @@ impl DbNode {
         recovery: RecoveryPolicy,
         dedup: bool,
     ) -> Self {
+        let wal =
+            Partition::open(&mut MemKind, "wal", WAL_SEGMENT_BYTES, &mut RecoveryReport::default());
         DbNode {
             role,
             mode,
@@ -87,7 +97,7 @@ impl DbNode {
             ship_interval,
             recovery,
             dedup,
-            wal: Vec::new(),
+            wal,
             log: OpLog::new(),
             duplicate_applications: 0,
             next_lsn: 0,
@@ -110,9 +120,22 @@ impl DbNode {
         &self.log
     }
 
-    /// The durable WAL (for post-run stuck-tail accounting).
-    pub fn wal(&self) -> &[WalRecord] {
-        &self.wal
+    /// The durable WAL, decoded from its segment frames (for shipping
+    /// and post-run stuck-tail accounting).
+    pub fn wal(&self) -> Vec<WalRecord> {
+        self.wal
+            .all_records()
+            .iter()
+            .filter_map(|r| from_bytes::<WalRecord>(&r.payload).ok())
+            .collect()
+    }
+
+    /// Append one record to the WAL and make it durable immediately:
+    /// log shipping acks nothing whose WAL frame is not on disk, so
+    /// every append rides its own bus.
+    fn wal_push(&mut self, rec: WalRecord) {
+        self.wal.append(&mut MemKind, Some(rec.id), to_bytes(&rec));
+        self.wal.fsync();
     }
 
     /// Async acks whose shipping confirmation has not arrived, as
@@ -154,13 +177,13 @@ impl DbNode {
 
     fn ship_now(&mut self, ctx: &mut Context<'_, ShipMsg>) {
         let from = match self.acked_upto {
-            Some(l) => (l + 1) as usize,
+            Some(l) => l + 1,
             None => 0,
         };
-        if from >= self.wal.len() {
+        let recs: Vec<WalRecord> = self.wal().into_iter().filter(|r| r.lsn >= from).collect();
+        if recs.is_empty() {
             return;
         }
-        let recs: Vec<WalRecord> = self.wal[from..].to_vec();
         let batch_id = self.next_batch_id;
         self.next_batch_id += 1;
         ctx.metrics().inc("logship.batches");
@@ -190,7 +213,7 @@ impl DbNode {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         // WAL append is the durability point: it precedes any ack.
-        self.wal.push(WalRecord { lsn, op: op.clone() });
+        self.wal_push(Framed::new(lsn, op.clone()));
         self.apply_op(op);
         match self.mode {
             ShipMode::Asynchronous => {
@@ -233,9 +256,9 @@ impl Actor<ShipMsg> for DbNode {
                     if rec.lsn >= self.applied_from_peer {
                         self.applied_from_peer = rec.lsn + 1;
                         // The backup's own WAL mirrors the primary's.
-                        self.wal.push(rec.clone());
+                        self.wal_push(rec.clone());
                         self.next_lsn = self.next_lsn.max(rec.lsn + 1);
-                        self.apply_op(rec.op);
+                        self.apply_op(rec.body);
                     }
                     upto = upto.max(rec.lsn);
                 }
@@ -286,11 +309,11 @@ impl Actor<ShipMsg> for DbNode {
             ShipMsg::ResurrectTail { recs } => {
                 // New primary absorbing a recovered node's stuck tail.
                 for rec in recs {
-                    if self.apply_op(rec.op.clone()) {
+                    if self.apply_op(rec.body.clone()) {
                         ctx.metrics().inc("logship.resurrected");
                         let lsn = self.next_lsn;
                         self.next_lsn += 1;
-                        self.wal.push(WalRecord { lsn, op: rec.op });
+                        self.wal_push(Framed::new(lsn, rec.body));
                     }
                 }
             }
@@ -300,7 +323,10 @@ impl Actor<ShipMsg> for DbNode {
     }
 
     fn on_crash(&mut self, _now: SimTime) {
-        // The WAL is on disk; everything else dies with the process.
+        // The WAL is on disk — every frame was fsynced at append, so
+        // the partition's durable watermark covers it all and a crash
+        // costs nothing there. Everything else dies with the process.
+        debug_assert_eq!(self.wal.durable_next(), self.wal.next_offset());
         self.log = OpLog::new();
         self.pending_acks.clear();
         self.ship_spans.clear();
@@ -313,10 +339,10 @@ impl Actor<ShipMsg> for DbNode {
     fn on_restart(&mut self, ctx: &mut Context<'_, ShipMsg>) {
         // Local recovery: replay the durable WAL.
         self.role = DbRole::Recovered;
-        let recs = self.wal.clone();
+        let recs = self.wal();
         self.next_lsn = recs.last().map_or(0, |r| r.lsn + 1);
         for rec in &recs {
-            self.apply_op(rec.op.clone());
+            self.apply_op(rec.body.clone());
         }
         ctx.metrics().inc("logship.recoveries");
         if self.recovery == RecoveryPolicy::Resurrect {

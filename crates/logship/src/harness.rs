@@ -139,8 +139,7 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
     if failed {
         let old: &DbNode = sim.actor(lay.primary);
         let auth: &DbNode = sim.actor(lay.backup);
-        report.stuck_tail =
-            old.wal().iter().filter(|r| !auth.log().contains(r.op.id)).count() as u64;
+        report.stuck_tail = old.wal().iter().filter(|r| !auth.log().contains(r.id)).count() as u64;
     }
 
     // Final settlement for commit-ack guesses the shipping protocol
@@ -155,7 +154,7 @@ pub fn run(cfg: &LogshipConfig, seed: u64) -> LogshipReport {
                 node.open_guesses()
                     .iter()
                     .filter_map(|(lsn, g)| {
-                        node.wal().iter().find(|r| r.lsn == *lsn).map(|r| (*g, r.op.id))
+                        node.wal().iter().find(|r| r.lsn == *lsn).map(|r| (*g, r.id))
                     })
                     .collect::<Vec<_>>()
             })

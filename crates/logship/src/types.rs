@@ -3,6 +3,7 @@
 
 use quicksand_core::op::Operation;
 use quicksand_core::uniquifier::Uniquifier;
+use quicksand_core::wire::{Framed, WireCodec, WireError};
 use sim::chaos::FaultPlan;
 use sim::{FlightRecorder, LedgerAccounting, SimDuration, SimTime, SpanStore};
 
@@ -35,14 +36,25 @@ impl Operation for ShipOp {
     }
 }
 
-/// One durable WAL record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WalRecord {
-    /// Position in the writing node's WAL.
-    pub lsn: Lsn,
-    /// The operation committed at that position.
-    pub op: ShipOp,
+impl WireCodec for ShipOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.account.encode(buf);
+        self.delta.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ShipOp {
+            id: Uniquifier::decode(buf)?,
+            account: u64::decode(buf)?,
+            delta: i64::decode(buf)?,
+        })
+    }
 }
+
+/// One durable WAL record: a [`ShipOp`] framed at its log position.
+/// (The frame shape is shared with every other WAL in the workspace via
+/// [`quicksand_core::wire::Framed`].)
+pub type WalRecord = Framed<ShipOp>;
 
 /// When the primary acknowledges a commit relative to shipping (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -74,8 +74,10 @@ fn bucket_index(v: f64) -> usize {
         // underflow bucket: the layout's floor is 1µs.
         return 0;
     }
-    let idx = 1 + (v.log2() * SUB_BUCKETS as f64).floor() as usize;
-    idx.min(BUCKETS - 1)
+    // `as usize` saturates (infinity -> usize::MAX), so add with
+    // saturation too before clamping into the top bucket.
+    let idx = (v.log2() * SUB_BUCKETS as f64).floor() as usize;
+    idx.saturating_add(1).min(BUCKETS - 1)
 }
 
 /// Lower bound of bucket `i` (0 for the underflow bucket).
@@ -322,6 +324,72 @@ mod tests {
             assert!(*bound > 0.0);
             prev = *cum;
         }
+    }
+
+    #[test]
+    fn delta_across_an_empty_window_is_empty() {
+        let mut h = LogHistogram::new();
+        h.record(42.0);
+        h.record(7_000.0);
+        let snap = h.clone();
+        // Nothing recorded between the snapshots: the window histogram
+        // must be truly empty, not echo the base counts.
+        let window = h.delta_since(&snap);
+        assert!(window.is_empty());
+        assert_eq!(window.count(), 0);
+        assert_eq!(window.percentile(50.0), 0.0);
+        assert_eq!(window.percentile(99.0), 0.0);
+        assert_eq!(window.max_bound(), 0.0);
+        assert!(window.cumulative_buckets().is_empty());
+        // Two empty snapshots behave the same way.
+        let empty = LogHistogram::new();
+        assert!(empty.delta_since(&LogHistogram::new()).is_empty());
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_keeps_both_tails() {
+        // `low` lives entirely in single-digit microseconds, `high`
+        // entirely in the tens of seconds — no shared bucket.
+        let mut low = LogHistogram::new();
+        for _ in 0..99 {
+            low.record(2.0);
+        }
+        let mut high = LogHistogram::new();
+        high.record(30_000_000.0);
+        assert!(low.max_bound() < high.min_bound(), "ranges must be disjoint");
+
+        low.merge(&high);
+        assert_eq!(low.count(), 100);
+        // The low tail still reads like the low cluster...
+        let p50 = low.percentile(50.0);
+        assert!((1.0..4.0).contains(&p50), "p50 {p50}");
+        // ...and the single high sample owns the extreme tail.
+        let p100 = low.percentile(100.0);
+        assert!(p100 > 20_000_000.0, "p100 {p100}");
+        assert!(low.max_bound() > 20_000_000.0);
+        // Bucket-wise the merge is exact: cumulative total is the sum.
+        assert_eq!(low.cumulative_buckets().last().unwrap().1, 100);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        // Everything past 2^47 µs lands in the last bucket; wildly
+        // different magnitudes up there become indistinguishable (and
+        // infinity joins them) rather than panicking or wrapping.
+        let mut h = LogHistogram::new();
+        h.record(1e30);
+        h.record(1e300);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 1, "all three share the saturated top bucket");
+        assert_eq!(buckets[0].1, 3);
+        // The reported bound is the layout's ceiling, not the sample.
+        assert_eq!(h.max_bound(), h.min_bound() * 2f64.powf(1.0 / 8.0));
+        assert!(h.max_bound() < 1e30, "bound comes from the layout, not the sample");
+        // Percentiles stay inside the bucket instead of extrapolating.
+        assert!(h.percentile(99.0) <= h.max_bound());
+        assert!(h.percentile(0.0) >= h.min_bound());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use sim::{Actor, Context, NodeId, SimTime, SpanId};
 
 use crate::msg::TandemMsg;
-use crate::types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TxnId, WriteId};
+use crate::types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TxnId, WriteId, WriteImage};
 
 /// Timer tag: ship the DP2 log buffer down the chain.
 const TAG_GROUP_PUSH: u64 = 1;
@@ -165,7 +165,8 @@ impl DiskProc {
         let lsn = self.lsn;
         self.lsn += 1;
         let old = self.kv.get(&key).copied().unwrap_or(0);
-        let rec = LogRecord { dp: self.dp, lsn, txn: write.txn, write, key, value, old };
+        let rec =
+            LogRecord::new(lsn, WriteImage { dp: self.dp, txn: write.txn, write, key, value, old });
         self.kv.insert(key, value);
         self.undo.entry(write.txn).or_default().push((key, old));
         self.seen_writes.insert(write, lsn);
@@ -380,15 +381,17 @@ impl Actor<TandemMsg> for DiskProc {
                     let lsn = self.lsn;
                     self.lsn += 1;
                     let current = self.kv.get(&key).copied().unwrap_or(0);
-                    let rec = LogRecord {
-                        dp: self.dp,
+                    let rec = LogRecord::new(
                         lsn,
-                        txn,
-                        write: WriteId { txn, idx },
-                        key,
-                        value: old,
-                        old: current,
-                    };
+                        WriteImage {
+                            dp: self.dp,
+                            txn,
+                            write: WriteId { txn, idx },
+                            key,
+                            value: old,
+                            old: current,
+                        },
+                    );
                     idx += 1;
                     self.kv.insert(key, old);
                     self.seen_writes.insert(rec.write, lsn);

@@ -58,4 +58,6 @@ pub use app::AppProc;
 pub use dp::{DiskProc, Role};
 pub use harness::{build, layout, run, Layout};
 pub use msg::TandemMsg;
-pub use types::{DpId, LogRecord, Lsn, Mode, TandemConfig, TandemReport, TxnId, WriteId};
+pub use types::{
+    DpId, LogRecord, Lsn, Mode, TandemConfig, TandemReport, TxnId, WriteId, WriteImage,
+};

@@ -1,6 +1,7 @@
 //! Shared identifiers, log records, configuration, and the experiment
 //! report for the Tandem NonStop model.
 
+use quicksand_core::wire::Framed;
 use sim::chaos::FaultPlan;
 use sim::{FlightRecorder, LedgerAccounting, SimDuration, SimTime, SpanStore};
 
@@ -58,15 +59,12 @@ pub struct WriteId {
 /// Log sequence number within one disk process's log.
 pub type Lsn = u64;
 
-/// One record of the transaction log — which, in DP2, doubles as the
-/// checkpoint stream ("checkpointing and transaction logging were
-/// combined into one mechanism", §3.2).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LogRecord {
+/// The business content of one log record: a write with its before- and
+/// after-image and the identities needed for undo and retry collapsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteImage {
     /// The disk process that generated the record.
     pub dp: DpId,
-    /// Its position in that disk process's log.
-    pub lsn: Lsn,
     /// The transaction on whose behalf the write was performed.
     pub txn: TxnId,
     /// The write's identity (for retry collapsing).
@@ -78,6 +76,13 @@ pub struct LogRecord {
     /// Before-image, used for undo when the transaction aborts.
     pub old: u64,
 }
+
+/// One record of the transaction log — which, in DP2, doubles as the
+/// checkpoint stream ("checkpointing and transaction logging were
+/// combined into one mechanism", §3.2). A [`WriteImage`] framed at its
+/// log position, sharing the workspace-wide WAL frame shape from
+/// [`quicksand_core::wire::Framed`].
+pub type LogRecord = Framed<WriteImage>;
 
 /// Cluster and workload configuration for one simulated run.
 #[derive(Debug, Clone)]

@@ -18,6 +18,9 @@
 //!   is lost, every transaction resolves.
 //! - [`logship_chaos`] — primary crash + resurrection: no acked op lost,
 //!   no duplicate application, every op acks.
+//! - [`eventlog_harness`] — broker crashes against the partitioned
+//!   event log: an acked append may vanish only when the
+//!   [`eventlog::AckPolicy`] explicitly priced that loss in.
 //! - [`bank_chaos`] — the books always balance: faults delay knowledge,
 //!   never corrupt it.
 //! - [`escrow_chaos`] — disconnected escrow shares never over-commit the
@@ -278,6 +281,84 @@ pub fn logship_chaos(mode: logship::ShipMode) -> ChaosRun<logship::LogshipReport
         cfg.horizon = cfg.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
         cfg.flight = true;
         let r = logship::run(&cfg, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
+    })
+}
+
+/// Chaos over the event-log substrate (§4): broker crashes (leader and
+/// replicas) under any healed schedule. The one invariant that varies
+/// by policy is the point of the whole crate: an acked append may be
+/// lost **iff** the [`eventlog::AckPolicy`] priced that window in.
+/// `Immediate` buys speed with a crash-sized apology window (the ledger
+/// books every one); `OnFsync` must never lose an ack to a process
+/// crash; `OnReplicate(n)` must additionally keep every acked record
+/// alive without the leader's disk.
+pub fn eventlog_harness(policy: eventlog::AckPolicy) -> ChaosRun<eventlog::EventLogReport> {
+    let n_replicas = match policy {
+        eventlog::AckPolicy::OnReplicate(n) => (n as usize).max(1),
+        _ => 0,
+    };
+    let base = eventlog::EventLogScenario {
+        policy,
+        n_replicas,
+        compact_every: 8,
+        ..eventlog::EventLogScenario::default()
+    };
+    let forensic = base.clone();
+    let lay = eventlog::harness::layout(&base);
+    let mut brokers = vec![lay.leader];
+    brokers.extend(lay.replicas.iter().copied());
+    let mut nodes = lay.producers.clone();
+    nodes.extend(brokers.iter().copied());
+    nodes.push(lay.consumer);
+    let expected = base.n_producers as u64 * base.appends_per_producer;
+    let spec = FaultSpec::new(nodes).crashable(brokers);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut sc = base.clone();
+        sc.faults = plan.clone();
+        // Give producers room to retry past the last heal.
+        sc.horizon = sc.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        eventlog::run(&sc, seed)
+    })
+    .invariant("acked-append-never-lost-under-policy", move |r: &eventlog::EventLogReport| {
+        if !policy.prices_in_crash_loss() && r.lost_acked > 0 {
+            return Err(format!(
+                "{} acked append(s) held by no broker under {policy}, which sold durability",
+                r.lost_acked
+            ));
+        }
+        if !policy.prices_in_disk_loss() && r.lost_without_leader_disk > 0 {
+            return Err(format!(
+                "{} acked append(s) would die with the leader's disk under {policy}",
+                r.lost_without_leader_disk
+            ));
+        }
+        // When the policy priced the loss in, every loss must still be
+        // an apology the ledger knows about — priced-in is not silent.
+        if policy.prices_in_crash_loss() && r.lost_acked > r.ledger.orphaned() {
+            return Err(format!(
+                "{} loss(es) but only {} orphaned guess(es) — an ack escaped unbooked",
+                r.lost_acked,
+                r.ledger.orphaned()
+            ));
+        }
+        Ok(())
+    })
+    .invariant("every-append-acked", move |r: &eventlog::EventLogReport| {
+        if r.acked == expected {
+            Ok(())
+        } else {
+            Err(format!("{} of {expected} appends acked — producers starved", r.acked))
+        }
+    })
+    .with_invariant(no_leaked_open_spans(|r: &eventlog::EventLogReport| &r.spans))
+    .with_ledger(|r: &eventlog::EventLogReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut sc = forensic.clone();
+        sc.faults = plan.clone();
+        sc.horizon = sc.horizon.max(plan.ends_by() + SimDuration::from_secs(10));
+        sc.flight = true;
+        let r = eventlog::run(&sc, seed);
         explanation_from(seed, plan, r.flight, r.spans)
     })
 }

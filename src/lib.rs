@@ -28,6 +28,7 @@ pub use bank;
 pub use cart;
 pub use crdt;
 pub use dynamo;
+pub use eventlog;
 pub use inventory;
 pub use logship;
 pub use quicksand_core as core;

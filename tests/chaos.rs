@@ -15,10 +15,11 @@
 
 use quicksand::cart::CartMode;
 use quicksand::chaos::{
-    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, logship_chaos, mix_seed, tandem_chaos,
-    FaultPlan,
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, eventlog_harness, logship_chaos, mix_seed,
+    tandem_chaos, FaultPlan,
 };
 use quicksand::dynamo::WorkloadConfig;
+use quicksand::eventlog::AckPolicy;
 use quicksand::logship::ShipMode;
 use quicksand::tandem::Mode;
 
@@ -99,6 +100,20 @@ fn logship_resurrection_survives_seed_swept_crash_plans() {
         let report = logship_chaos(mode).sweep(0..12);
         assert_eq!(report.seeds_swept, 12);
         assert!(report.passed(), "{mode:?}:\n{report}");
+    }
+}
+
+/// The event log under randomized broker crash/partition plans, once
+/// per ack policy: an acked append may be lost only if the policy
+/// priced that loss in (§4's spectrum), every priced-in loss shows up
+/// as an orphaned guess in the ledger, every planned append eventually
+/// acks, and no span leaks open.
+#[test]
+fn eventlog_acked_appends_survive_seed_swept_fault_plans() {
+    for policy in [AckPolicy::Immediate, AckPolicy::OnFsync, AckPolicy::OnReplicate(2)] {
+        let report = eventlog_harness(policy).sweep(0..12);
+        assert_eq!(report.seeds_swept, 12);
+        assert!(report.passed(), "{policy}:\n{report}");
     }
 }
 
