@@ -1,0 +1,346 @@
+//! E21: the wall-clock chaos grid. Seeded [`FaultPlan`]s — the same
+//! clause types the deterministic sweeps schedule — run against *live*
+//! services on real worker threads, and every cell is audited for the
+//! paper's bottom line: an acked operation is a promise, and no fault
+//! the plan injects may break it.
+//!
+//! Two services, both built from unmodified sim actors:
+//!
+//! - **cart**: an N-store dynamo ring of CRDT carts over real TCP
+//!   sockets with closed-loop [`LoadClient`]s. Audit: every acked add is
+//!   in the reconciled join of the stores; the guess ledger is settled.
+//! - **evlog**: a file-backed [`EventLogNode`] broker (OnFsync acks)
+//!   with a windowed [`Producer`], on the loopback transport. Audit:
+//!   every acked append survives crash-torn recovery in the leader's
+//!   log; orphaned guesses (promises the crash voided) are apologized,
+//!   not left open.
+//!
+//! Each row pins its seed with [`FaultPlan::covering_seed`], so every
+//! cell exercises a crash, a partition (two-sided or one-way), *and* a
+//! degraded link, while remaining a plain `generate` product anyone can
+//! replay from the seed.
+//!
+//! ```text
+//! cargo run -p quicksand-bench --release --bin chaos_rt -- --out E21.json
+//! cargo run -p quicksand-bench --release --bin chaos_rt -- --quick   # CI smoke
+//! ```
+//!
+//! Exit is nonzero if any cell loses an acked op, leaves a guess open
+//! after quiescence, or mis-accounts the plan (clause edges applied !=
+//! timeline length, restarts != crash clauses).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use cart::CrdtCart;
+use dynamo::{DynamoConfig, StoreNode};
+use quicksand::eventlog::{AckPolicy, BrokerConfig, DirKind, EventLogNode, LogConfig, Producer};
+use quicksand_bench::service::{add_crdt_stores, LoadClient};
+use quicksand_runtime::{Runtime, RuntimeBuilder};
+use sim::{FaultPlan, FaultSpec, NodeId, SimDuration, SimTime};
+
+fn arg_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    Some(args.remove(pos))
+}
+
+/// One audited cell of the grid.
+struct Cell {
+    service: &'static str,
+    base_seed: u64,
+    seed: u64,
+    clauses: usize,
+    crash_clauses: usize,
+    acked: u64,
+    lost: u64,
+    open_guesses: u64,
+    orphaned_guesses: u64,
+    restarts: u64,
+    clause_edges: u64,
+    elapsed_secs: f64,
+}
+
+impl Cell {
+    /// The invariants every cell must satisfy, as one pass/fail.
+    fn ok(&self) -> bool {
+        self.lost == 0
+            && self.open_guesses == 0
+            && self.restarts == self.crash_clauses as u64
+            && self.clause_edges > 0
+    }
+}
+
+/// Wait for the attached plan to finish, then let anti-entropy settle.
+fn drain_chaos<M: Send + 'static>(rt: &Runtime<M>, what: &str, settle: Duration) {
+    let chaos = rt.chaos().expect("chaos attached");
+    if !chaos.wait_finished(Duration::from_secs(120)) {
+        eprintln!("{what}: fault plan still running after 120s");
+        std::process::exit(1);
+    }
+    std::thread::sleep(settle);
+}
+
+// ----------------------------------------------------------------- cart
+
+const CART_STORES: u32 = 4;
+const CART_CLIENTS: u32 = 3;
+const CART_KEYS: u64 = 64;
+
+fn cart_spec(window_ms: u64, clauses: usize) -> FaultSpec {
+    let all: Vec<NodeId> = (0..(CART_STORES + CART_CLIENTS) as usize).map(NodeId).collect();
+    let stores: Vec<NodeId> = (0..CART_STORES as usize).map(NodeId).collect();
+    FaultSpec::new(all)
+        .crashable(stores)
+        .window(SimTime::from_millis(150), SimTime::from_millis(window_ms))
+        .faults(clauses, clauses)
+        // covering_seed needs a clause of every enabled kind; with only
+        // 3 clauses that leaves room for crash + partition + degrade.
+        .oneway(clauses >= 4)
+}
+
+fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64) -> Cell {
+    let spec = cart_spec(2200, clauses);
+    let seed = FaultPlan::covering_seed(base_seed, &spec);
+    let plan = FaultPlan::generate(seed, &spec);
+    eprintln!("cart cell (seed {seed}, {clauses} clauses):\n{plan}");
+
+    let mut b = RuntimeBuilder::new().chaos(plan.clone(), seed);
+    let store_ids = add_crdt_stores(&mut b, CART_STORES, &DynamoConfig::default());
+    let clients: Vec<NodeId> = (0..CART_CLIENTS)
+        .map(|c| b.add_node(LoadClient::new(c, store_ids.clone(), ops_per_client, CART_KEYS, 60)))
+        .collect();
+    let started = Instant::now();
+    let rt = b.launch_tcp().expect("tcp launch");
+    let deadline = started + Duration::from_secs(120);
+    while !clients.iter().all(|&c| rt.inspect::<LoadClient, bool, _>(c, |cl| cl.done())) {
+        if Instant::now() > deadline {
+            eprintln!("cart cell seed {seed}: clients stalled");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    drain_chaos(&rt, "cart", Duration::from_millis(900));
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = rt.shutdown();
+
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    for &c in &clients {
+        acked.extend(report.actor::<LoadClient>(c).acked_adds.iter().copied());
+    }
+    let stores: Vec<&StoreNode<CrdtCart>> =
+        store_ids.iter().map(|&s| report.actor::<StoreNode<CrdtCart>>(s)).collect();
+    let lost = acked
+        .iter()
+        .filter(|(key, item)| {
+            !quicksand_bench::service::reconciled_cart(&stores, *key).contains_key(item)
+        })
+        .count() as u64;
+
+    let acc = report.core.ledger.accounting();
+    Cell {
+        service: "cart/tcp",
+        base_seed,
+        seed,
+        clauses,
+        crash_clauses: plan.count_kind("crash"),
+        acked: acked.len() as u64,
+        lost,
+        open_guesses: acc.open(),
+        orphaned_guesses: acc.orphaned(),
+        restarts: report.core.metrics.counter("runtime.restarts"),
+        clause_edges: report.core.metrics.counter("runtime.chaos_clauses"),
+        elapsed_secs: elapsed,
+    }
+}
+
+// ---------------------------------------------------------------- evlog
+
+fn evlog_cell(base_seed: u64, clauses: usize, appends: u64, dir: &Path) -> Cell {
+    // Two nodes: producer (0) holds the promise file in memory and must
+    // never crash; the broker (1) takes every crash clause — each one
+    // tears its unfsynced tail, which OnFsync acks must survive.
+    let spec = FaultSpec::new(vec![NodeId(0), NodeId(1)])
+        .crashable(vec![NodeId(1)])
+        .window(SimTime::from_millis(100), SimTime::from_millis(1800))
+        .faults(clauses, clauses)
+        .oneway(clauses >= 4);
+    let seed = FaultPlan::covering_seed(base_seed, &spec);
+    let plan = FaultPlan::generate(seed, &spec);
+    eprintln!("evlog cell (seed {seed}, {clauses} clauses):\n{plan}");
+
+    let cell_dir = dir.join(format!("evlog-{seed}"));
+    let _ = std::fs::remove_dir_all(&cell_dir);
+    let cfg = BrokerConfig {
+        log: LogConfig::default(),
+        policy: AckPolicy::OnFsync,
+        flush_every: SimDuration::from_millis(5),
+        compact_every: 0,
+    };
+    let mut b = RuntimeBuilder::new().chaos(plan.clone(), seed);
+    let leader = NodeId(1);
+    let producer = b.add_node(Producer::new(
+        0,
+        leader,
+        appends,
+        32,
+        64,
+        SimDuration::ZERO,
+        SimDuration::from_millis(200),
+    ));
+    let id = b.add_node(EventLogNode::leader(DirKind::new(&cell_dir.join("leader")), cfg, vec![]));
+    assert_eq!(id, leader);
+    let started = Instant::now();
+    let rt = b.launch();
+    let deadline = started + Duration::from_secs(120);
+    while !rt.inspect::<Producer, _, _>(producer, |p| p.done()) {
+        if Instant::now() > deadline {
+            eprintln!("evlog cell seed {seed}: producer stalled");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    drain_chaos(&rt, "evlog", Duration::from_millis(400));
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = rt.shutdown();
+
+    let acked = report.actor::<Producer>(producer).acked_ids();
+    let broker = report.actor::<EventLogNode<DirKind>>(leader);
+    let lost = acked.iter().filter(|id| broker.log().lookup(**id).is_none()).count() as u64;
+
+    let acc = report.core.ledger.accounting();
+    Cell {
+        service: "evlog/fsync",
+        base_seed,
+        seed,
+        clauses,
+        crash_clauses: plan.count_kind("crash"),
+        acked: acked.len() as u64,
+        lost,
+        open_guesses: acc.open(),
+        orphaned_guesses: acc.orphaned(),
+        restarts: report.core.metrics.counter("runtime.restarts"),
+        clause_edges: report.core.metrics.counter("runtime.chaos_clauses"),
+        elapsed_secs: elapsed,
+    }
+}
+
+// ----------------------------------------------------------------- main
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = arg_value(&mut args, "--out");
+    let quick = {
+        let pos = args.iter().position(|a| a == "--quick");
+        if let Some(p) = pos {
+            args.remove(p);
+        }
+        pos.is_some()
+    };
+    let dir = PathBuf::from(
+        arg_value(&mut args, "--dir")
+            .unwrap_or_else(|| std::env::temp_dir().join("chaos-rt").display().to_string()),
+    );
+    if !args.is_empty() {
+        eprintln!("unknown args: {args:?}");
+        std::process::exit(2);
+    }
+
+    // The grid: base seed x clause count, per service. `--quick` runs
+    // one cell of each service for the CI smoke.
+    let cart_rows: &[(u64, usize, u64)] =
+        if quick { &[(1, 3, 500)] } else { &[(1, 3, 800), (1000, 5, 800)] };
+    let evlog_rows: &[(u64, usize, u64)] =
+        if quick { &[(1, 3, 300)] } else { &[(1, 3, 500), (1000, 5, 500)] };
+
+    let mut cells = Vec::new();
+    for &(base, clauses, ops) in cart_rows {
+        cells.push(cart_cell(base, clauses, ops));
+    }
+    for &(base, clauses, appends) in evlog_rows {
+        cells.push(evlog_cell(base, clauses, appends, &dir));
+    }
+
+    println!(
+        "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>7}",
+        "service",
+        "seed",
+        "clauses",
+        "crashes",
+        "acked",
+        "lost",
+        "open",
+        "orphaned",
+        "restarts",
+        "edges",
+        "secs"
+    );
+    let mut failed = false;
+    for c in &cells {
+        println!(
+            "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>7.2}{}",
+            c.service,
+            c.seed,
+            c.clauses,
+            c.crash_clauses,
+            c.acked,
+            c.lost,
+            c.open_guesses,
+            c.orphaned_guesses,
+            c.restarts,
+            c.clause_edges,
+            c.elapsed_secs,
+            if c.ok() { "" } else { "  <-- FAIL" },
+        );
+        failed |= !c.ok();
+    }
+
+    if let Some(path) = out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"experiment\": \"E21\",");
+        let _ = writeln!(
+            json,
+            "  \"description\": \"wall-clock chaos grid: seeded FaultPlans vs live services; \
+             acked ops must survive every clause\","
+        );
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            let comma = if i + 1 < cells.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"service\": \"{}\", \"base_seed\": {}, \"seed\": {}, \"clauses\": {}, \
+                 \"crash_clauses\": {}, \"acked\": {}, \"lost_acked\": {}, \
+                 \"open_guesses\": {}, \"orphaned_guesses\": {}, \"restarts\": {}, \
+                 \"clause_edges\": {}}}{comma}",
+                c.service,
+                c.base_seed,
+                c.seed,
+                c.clauses,
+                c.crash_clauses,
+                c.acked,
+                c.lost,
+                c.open_guesses,
+                c.orphaned_guesses,
+                c.restarts,
+                c.clause_edges,
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("grid written to {path}");
+    }
+
+    if failed {
+        eprintln!("CHAOS GRID FAILED: see rows above");
+        std::process::exit(1);
+    }
+    eprintln!("chaos grid clean: every acked op survived every plan");
+}

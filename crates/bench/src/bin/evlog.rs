@@ -4,7 +4,8 @@
 //! broker process mid-stream and audit what survived:
 //!
 //! ```text
-//! evlog serve   --dir DIR --port 7171 --policy fsync     # broker process
+//! evlog serve   --dir DIR --port 0 --policy fsync        # broker process
+//!               # prints "listening on 127.0.0.1:PORT" (0 = ephemeral)
 //! evlog produce --addr 127.0.0.1:7171 --count 500 \
 //!               --acked-out acked.txt                    # client process
 //! evlog consume --addr 127.0.0.1:7171 --group smoke \
@@ -182,7 +183,11 @@ fn serve(mut args: Vec<String>) {
         eprintln!("bind 127.0.0.1:{port}: {e}");
         std::process::exit(2);
     });
-    println!("evlog serve: policy {policy}, {partitions} partition(s), {replicas} replica(s), listening on 127.0.0.1:{port}");
+    // With `--port 0` the OS picks the port; print the real address so
+    // scripts (and the CI smoke) can grep it instead of racing for a
+    // fixed port.
+    let addr = listener.local_addr().expect("bound listener has an address");
+    println!("evlog serve: policy {policy}, {partitions} partition(s), {replicas} replica(s), listening on {addr}");
 
     std::thread::scope(|scope| {
         for conn in listener.incoming() {

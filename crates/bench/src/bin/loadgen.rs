@@ -49,7 +49,7 @@ use dynamo::{DynamoConfig, StoreNode};
 use quicksand_bench::http::{http_get, json_number};
 use quicksand_bench::service::{add_crdt_stores, LoadClient};
 use quicksand_runtime::{RuntimeBuilder, TransportKind};
-use sim::{LogHistogram, SimDuration};
+use sim::{FaultPlan, FaultSpec, LogHistogram, NodeId, SimDuration, SimTime};
 
 use crdt::Crdt;
 
@@ -89,6 +89,10 @@ struct Config {
     sweep_out: Option<String>,
     telemetry_addr: Option<String>,
     watch: bool,
+    /// Seed for a generated [`FaultPlan`] run under the load (chaos).
+    fault_plan: Option<u64>,
+    fault_clauses: usize,
+    fault_window_ms: u64,
 }
 
 fn parse_args() -> Config {
@@ -111,12 +115,35 @@ fn parse_args() -> Config {
         sweep_out: arg_value(&mut args, "--sweep-out"),
         telemetry_addr: arg_value(&mut args, "--telemetry-addr"),
         watch: arg_flag(&mut args, "--watch"),
+        fault_plan: arg_value(&mut args, "--fault-plan").map(|v| v.parse().expect("--fault-plan")),
+        fault_clauses: arg_value(&mut args, "--fault-clauses")
+            .map_or(3, |v| v.parse().expect("--fault-clauses")),
+        fault_window_ms: arg_value(&mut args, "--fault-window-ms")
+            .map_or(2500, |v| v.parse().expect("--fault-window-ms")),
     };
     if !args.is_empty() {
         eprintln!("unknown args: {args:?}");
         std::process::exit(2);
     }
     cfg
+}
+
+/// The chaos spec for a stores+clients topology: any node can be
+/// partitioned or degraded, but only *stores* are crashable — the
+/// clients hold the audit's ground truth (acked adds) in process
+/// memory, and the invariant under test is "the service never loses an
+/// acked op", not "the auditor survives".
+fn fault_spec(cfg: &Config) -> FaultSpec {
+    let all: Vec<NodeId> = (0..(cfg.stores + cfg.clients) as usize).map(NodeId).collect();
+    let stores: Vec<NodeId> = (0..cfg.stores as usize).map(NodeId).collect();
+    FaultSpec::new(all)
+        .crashable(stores)
+        .window(SimTime::from_millis(150), SimTime::from_millis(cfg.fault_window_ms))
+        .faults(cfg.fault_clauses, cfg.fault_clauses)
+        // A 3-clause plan should be able to cover crash + partition +
+        // degrade (the CI smoke pins such a seed); one-way partitions
+        // join the pool once there is room for a fourth kind.
+        .oneway(cfg.fault_clauses >= 4)
 }
 
 /// Everything one closed-loop run produces.
@@ -213,6 +240,15 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
             })
             .snapshot_interval(Duration::from_millis(500));
     }
+    let chaos_plan = match cfg.fault_plan {
+        Some(fseed) => {
+            let plan = FaultPlan::generate(fseed, &fault_spec(cfg));
+            eprintln!("fault plan (seed {fseed}, {} clauses): {plan}", plan.len());
+            b = b.chaos(plan.clone(), fseed);
+            Some(plan)
+        }
+        None => None,
+    };
     let store_ids = add_crdt_stores(&mut b, cfg.stores, &DynamoConfig::default());
     let mut client_ids = Vec::new();
     for c in 0..cfg.clients {
@@ -253,14 +289,64 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
     }
     let elapsed = started.elapsed();
 
+    // Under chaos, the plan's clauses may outlive the client work: wait
+    // for the controller to finish (every heal applied) before auditing,
+    // then give anti-entropy longer to repair what the faults tore.
+    if chaos_plan.is_some() {
+        let chaos = rt.chaos().expect("chaos attached");
+        if !chaos.wait_finished(Duration::from_secs(cfg.timeout_secs)) {
+            eprintln!("TIMEOUT: fault plan still running after {}s", cfg.timeout_secs);
+            std::process::exit(1);
+        }
+        for line in chaos.applied() {
+            eprintln!("  fault: {line}");
+        }
+    }
+
     // Let a final round of anti-entropy spread the tail, then audit.
-    std::thread::sleep(Duration::from_millis(300));
+    std::thread::sleep(Duration::from_millis(if chaos_plan.is_some() { 900 } else { 300 }));
     // The quiescent ledger as the *endpoint* sees it, before teardown.
     let ledger_open_via_http = rt
         .telemetry_addr()
         .and_then(|addr| http_get(addr, "/ledger").ok())
         .and_then(|(_, body)| json_number(&body, "open"))
         .map(|v| v as u64);
+    // After the plan has fully run out, every crashed node is back up:
+    // `/health` must say 200 and its per-node crash counters must sum
+    // to exactly the plan's crash clauses.
+    if let (Some(plan), Some(addr)) = (&chaos_plan, rt.telemetry_addr()) {
+        match http_get(addr, "/health") {
+            Ok((status, body)) => {
+                let total: u64 = body
+                    .match_indices("\"crashes\":")
+                    .map(|(i, pat)| {
+                        body[i + pat.len()..]
+                            .chars()
+                            .take_while(char::is_ascii_digit)
+                            .collect::<String>()
+                            .parse()
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                let want = plan.count_kind("crash") as u64;
+                if status != 200 || total != want {
+                    eprintln!(
+                        "HEALTH CHECK FAILED after chaos: status {status}, \
+                         node crash counters sum to {total} (want {want})"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "  /health 200 after heal; node crash counters sum to {total} \
+                     (= plan's crash clauses)"
+                );
+            }
+            Err(e) => {
+                eprintln!("/health after chaos: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     stop.store(true, Ordering::SeqCst);
     if let Some(w) = watcher {
         w.join().ok();
@@ -309,6 +395,26 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         (lh.count(), lh.percentile(50.0), lh.percentile(99.0))
     };
     let open_guesses = core.ledger.open_count();
+    if let Some(plan) = &chaos_plan {
+        // The injected faults must be accounted for: every clause edge
+        // bumped `runtime.chaos_clauses`, and every crash clause came
+        // back as exactly one restart. A mismatch means the chaos layer
+        // skipped or double-applied a clause — fail loudly.
+        let restarts = core.metrics.counter("runtime.restarts");
+        let clauses = core.metrics.counter("runtime.chaos_clauses");
+        let want_restarts = plan.count_kind("crash") as u64;
+        let want_clauses = plan.timeline().len() as u64;
+        if restarts != want_restarts || clauses != want_clauses {
+            eprintln!(
+                "CHAOS ACCOUNTING MISMATCH: {restarts} restarts (want {want_restarts}), \
+                 {clauses} clause edges (want {want_clauses})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  chaos accounted: {clauses} clause edges applied, {restarts} crash/restart cycles"
+        );
+    }
     let throughput = total_ops as f64 / elapsed.as_secs_f64();
     let watched_rate = f64::from_bits(last_rate_bits.load(Ordering::SeqCst));
 
@@ -487,6 +593,15 @@ fn main() {
     if !r.lost.is_empty() {
         eprintln!("LOST ACKED ADDS (first 10): {:?}", &r.lost[..r.lost.len().min(10)]);
         std::process::exit(1);
+    }
+    if cfg.fault_plan.is_some() {
+        // A chaos run is only a pass if the ledger settled too: a guess
+        // left open after quiescence is a promise nobody reconciled.
+        if r.open_guesses > 0 {
+            eprintln!("OPEN GUESSES AFTER CHAOS QUIESCENCE: {}", r.open_guesses);
+            std::process::exit(1);
+        }
+        eprintln!("  chaos run clean: 0 lost acked adds, 0 open guesses");
     }
     if cfg.watch {
         // The §5 invariant, enforced from the *outside*: the endpoint's

@@ -101,4 +101,62 @@ mod tests {
         assert!(!AckPolicy::OnReplicate(1).prices_in_disk_loss());
         assert!(AckPolicy::OnReplicate(0).prices_in_disk_loss());
     }
+
+    #[test]
+    fn from_str_rejects_everything_that_is_not_a_policy() {
+        for bad in [
+            "",
+            " ",
+            "Immediate", // case-sensitive: CLI forms are lowercase
+            "FSYNC",
+            "fsync ",
+            " fsync",
+            "replicate",
+            "replicate:",
+            "replicate:x",
+            "replicate:-1",
+            "replicate:1.5",
+            "replicate:1 ",
+            "replicate:99999999999999999999", // overflows u32
+            "onfsync",
+            "acks=all",
+        ] {
+            let err = bad.parse::<AckPolicy>().unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "error names the input: {err}");
+            assert!(err.contains("immediate|fsync|replicate:N"), "error lists the forms: {err}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_every_cli_form() {
+        assert_eq!("immediate".parse::<AckPolicy>(), Ok(AckPolicy::Immediate));
+        assert_eq!("fsync".parse::<AckPolicy>(), Ok(AckPolicy::OnFsync));
+        assert_eq!("replicate:0".parse::<AckPolicy>(), Ok(AckPolicy::OnReplicate(0)));
+        assert_eq!("replicate:2".parse::<AckPolicy>(), Ok(AckPolicy::OnReplicate(2)));
+        assert_eq!(
+            "replicate:4294967295".parse::<AckPolicy>(),
+            Ok(AckPolicy::OnReplicate(u32::MAX))
+        );
+    }
+
+    /// The full §4 truth table: what each point on the spectrum admits
+    /// losing. `OnReplicate(0)` degrades to `OnFsync` — same row.
+    #[test]
+    fn loss_window_truth_table() {
+        let table: [(AckPolicy, bool, bool); 5] = [
+            // policy                      crash-loss  disk-loss
+            (AckPolicy::Immediate, true, true),
+            (AckPolicy::OnFsync, false, true),
+            (AckPolicy::OnReplicate(0), false, true),
+            (AckPolicy::OnReplicate(1), false, false),
+            (AckPolicy::OnReplicate(2), false, false),
+        ];
+        for (policy, crash, disk) in table {
+            assert_eq!(policy.prices_in_crash_loss(), crash, "{policy}: crash-loss window");
+            assert_eq!(policy.prices_in_disk_loss(), disk, "{policy}: disk-loss window");
+            // Crash loss implies disk loss: destroying the disk is
+            // strictly worse than killing the process.
+            assert!(!policy.prices_in_crash_loss() || policy.prices_in_disk_loss());
+        }
+    }
 }

@@ -1,0 +1,788 @@
+//! Wall-clock chaos: the simulator's [`FaultPlan`] executed against
+//! real threads and real sockets.
+//!
+//! The simulator schedules a plan's clauses onto its deterministic
+//! event queue; this module replays the *same*
+//! [`FaultPlan::timeline`] against the host clock. Three pieces:
+//!
+//! - [`NetChaos`]: the shared fault state a send consults — directional
+//!   blocked pairs (partitions), degraded links ([`LinkConfig`]:
+//!   latency, loss, duplication) and a seeded [`SimRng`] for the
+//!   per-frame draws.
+//! - [`ChaosTransport`]: a fault-injecting wrapper over any
+//!   [`Transport`]. Blocked or unlucky frames return `false` so the
+//!   sending worker books the loss exactly like a failed real send (a
+//!   `net.hop` span closed `Dropped` plus `sim.messages_dropped` — the
+//!   same visibility a partition gets in the sim). Delayed frames park
+//!   on a [`TimerWheel`]-style delay line and ship when due; duplicated
+//!   frames ship twice at independently drawn latencies, mirroring the
+//!   sim network's `LinkConfig` semantics.
+//! - [`ChaosController`]: a scheduler thread that sleeps until each
+//!   timeline edge's offset from launch and applies it — partitions
+//!   block pairs and sever live TCP connections (the healed link must
+//!   lazily redial, like a real switch port flap), crashes and restarts
+//!   ride the existing worker envelopes through the same epoch +
+//!   `on_crash`/`on_restart` machinery harness injection uses, degrades
+//!   install and restore link configs.
+//!
+//! Runs are **reproducible by seed, not byte-deterministic**: the same
+//! plan always applies the same clause edges in the same order (that is
+//! [`ChaosController::applied`] and the parity tests' contract), and
+//! per-frame drop/delay draws come from the seeded RNG — but which
+//! frames exist and when they arrive depends on the OS scheduler, as it
+//! must on real hardware.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use sim::plan::{ClauseEdge, ClauseEvent};
+use sim::{Fault, FaultPlan, FlightId, LinkConfig, NodeId, SimRng, SpanId};
+
+use crate::transport::{Envelope, Inbox, Transport};
+
+/// What [`NetChaos`] decides for one frame crossing a link.
+enum Verdict {
+    /// Link is clean: hand the frame straight to the inner transport.
+    Pass,
+    /// Partitioned or unlucky on a lossy link: refuse the send.
+    Drop,
+    /// Degraded link: deliver after `delay`, plus an optional duplicate
+    /// after an independently drawn second delay.
+    Delay { delay: Duration, duplicate: Option<Duration> },
+}
+
+/// Counters for what the chaos layer did to traffic (monotonic,
+/// lock-free reads). Exposed via [`ChaosController::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames refused because the directed pair was partitioned.
+    pub partition_drops: u64,
+    /// Frames refused by a degraded link's `drop_prob` draw.
+    pub chance_drops: u64,
+    /// Frames parked on the delay line by a degraded link.
+    pub delayed: u64,
+    /// Extra copies shipped by a degraded link's `duplicate_prob` draw.
+    pub duplicated: u64,
+}
+
+/// Mutable link state, behind one mutex (consulted per send).
+struct NetState {
+    /// Directed `(from, to)` pairs currently partitioned.
+    blocked: HashSet<(usize, usize)>,
+    /// Directed `(from, to)` pairs under a degraded link config.
+    degraded: HashMap<(usize, usize), LinkConfig>,
+    /// Seeded draws for drop/latency/duplication.
+    rng: SimRng,
+}
+
+/// The shared fault surface: what the active plan has currently done to
+/// the network. [`ChaosTransport`] consults it per frame; the
+/// [`ChaosController`] mutates it per clause edge.
+pub struct NetChaos {
+    state: Mutex<NetState>,
+    partition_drops: AtomicU64,
+    chance_drops: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl NetChaos {
+    /// A clean network surface drawing per-frame chances from `seed`
+    /// (mixed through the same splitmix64 finalizer the plan generator
+    /// uses, so plan-seed and draw-seed streams never collide).
+    pub fn new(seed: u64) -> Self {
+        NetChaos {
+            state: Mutex::new(NetState {
+                blocked: HashSet::new(),
+                degraded: HashMap::new(),
+                rng: SimRng::new(sim::mix_seed(seed ^ 0xc4a0_5c0f_fee1_dead)),
+            }),
+            partition_drops: AtomicU64::new(0),
+            chance_drops: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, NetState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+            chance_drops: self.chance_drops.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True when `from → to` frames are currently partitioned away.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.lock().blocked.contains(&(from.0, to.0))
+    }
+
+    /// Block the directed pairs `left × right` (and optionally the
+    /// reverse direction).
+    fn block(&self, left: &[NodeId], right: &[NodeId], both_ways: bool) {
+        let mut s = self.lock();
+        for &a in left {
+            for &b in right {
+                s.blocked.insert((a.0, b.0));
+                if both_ways {
+                    s.blocked.insert((b.0, a.0));
+                }
+            }
+        }
+    }
+
+    /// Undo [`NetChaos::block`] for the same groups.
+    fn unblock(&self, left: &[NodeId], right: &[NodeId], both_ways: bool) {
+        let mut s = self.lock();
+        for &a in left {
+            for &b in right {
+                s.blocked.remove(&(a.0, b.0));
+                if both_ways {
+                    s.blocked.remove(&(b.0, a.0));
+                }
+            }
+        }
+    }
+
+    /// Install (or remove, on `None`) a degraded config on `a ↔ b`.
+    fn degrade(&self, a: NodeId, b: NodeId, link: Option<LinkConfig>) {
+        let mut s = self.lock();
+        match link {
+            Some(cfg) => {
+                s.degraded.insert((a.0, b.0), cfg);
+                s.degraded.insert((b.0, a.0), cfg);
+            }
+            None => {
+                s.degraded.remove(&(a.0, b.0));
+                s.degraded.remove(&(b.0, a.0));
+            }
+        }
+    }
+
+    /// Decide one frame's fate on the `from → to` link.
+    fn judge(&self, from: NodeId, to: NodeId) -> Verdict {
+        let mut s = self.lock();
+        if s.blocked.contains(&(from.0, to.0)) {
+            drop(s);
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Drop;
+        }
+        let Some(link) = s.degraded.get(&(from.0, to.0)).copied() else {
+            return Verdict::Pass;
+        };
+        if link.drop_prob > 0.0 && s.rng.gen_bool(link.drop_prob.clamp(0.0, 1.0)) {
+            drop(s);
+            self.chance_drops.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Drop;
+        }
+        let draw_latency = |s: &mut NetState| {
+            let lo = link.latency_min.as_micros();
+            let hi = link.latency_max.as_micros().max(lo);
+            Duration::from_micros(if hi > lo { s.rng.gen_range(lo..=hi) } else { lo })
+        };
+        let delay = draw_latency(&mut s);
+        let duplicate = (link.duplicate_prob > 0.0
+            && s.rng.gen_bool(link.duplicate_prob.clamp(0.0, 1.0)))
+        .then(|| draw_latency(&mut s));
+        drop(s);
+        self.delayed.fetch_add(1, Ordering::Relaxed);
+        if duplicate.is_some() {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        Verdict::Delay { delay, duplicate }
+    }
+}
+
+/// A frame parked on the delay line, with everything needed to re-issue
+/// the send when due.
+struct Parked<M> {
+    due: Instant,
+    /// Arming order, to break deadline ties deterministically.
+    order: u64,
+    from: NodeId,
+    to: NodeId,
+    hop: Option<SpanId>,
+    cause: Option<FlightId>,
+    msg: M,
+}
+
+impl<M> PartialEq for Parked<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.order == other.order
+    }
+}
+impl<M> Eq for Parked<M> {}
+impl<M> PartialOrd for Parked<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Parked<M> {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest due.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.order).cmp(&(self.due, self.order))
+    }
+}
+
+struct DelayState<M> {
+    heap: BinaryHeap<Parked<M>>,
+    shutdown: bool,
+    order: u64,
+}
+
+/// The delay line: a deadline heap plus one thread that re-issues each
+/// parked frame into the inner transport when its latency has elapsed
+/// (the wall-clock analogue of the sim network's latency model).
+struct DelayLine<M> {
+    state: Mutex<DelayState<M>>,
+    cv: Condvar,
+}
+
+impl<M: Send + 'static> DelayLine<M> {
+    fn start(inner: Arc<dyn Transport<M>>) -> (Arc<Self>, JoinHandle<()>) {
+        let line = Arc::new(DelayLine {
+            state: Mutex::new(DelayState { heap: BinaryHeap::new(), shutdown: false, order: 0 }),
+            cv: Condvar::new(),
+        });
+        let me = line.clone();
+        let handle = std::thread::spawn(move || {
+            while let Some(p) = me.wait_due() {
+                // A frame that dies here (conn refused, node shut down)
+                // is a silent wire loss: the hop span stays open and no
+                // drop is booked, exactly like a packet lost after the
+                // sender's successful write.
+                inner.send(p.from, p.to, p.hop, p.cause, p.msg);
+            }
+        });
+        (line, handle)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DelayState<M>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn park(
+        &self,
+        due: Instant,
+        from: NodeId,
+        to: NodeId,
+        hop: Option<SpanId>,
+        cause: Option<FlightId>,
+        msg: M,
+    ) {
+        let mut s = self.lock();
+        if s.shutdown {
+            return;
+        }
+        let order = s.order;
+        s.order += 1;
+        s.heap.push(Parked { due, order, from, to, hop, cause, msg });
+        self.cv.notify_all();
+    }
+
+    fn wait_due(&self) -> Option<Parked<M>> {
+        let mut s = self.lock();
+        loop {
+            if s.shutdown {
+                return None;
+            }
+            match s.heap.peek().map(|p| p.due) {
+                Some(due) => {
+                    let now = Instant::now();
+                    if due <= now {
+                        return Some(s.heap.pop().expect("peeked"));
+                    }
+                    let (guard, _) =
+                        self.cv.wait_timeout(s, due - now).unwrap_or_else(|e| e.into_inner());
+                    s = guard;
+                }
+                None => {
+                    s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Stop the thread; frames still parked are discarded (the cluster
+    /// is tearing down — nobody is listening).
+    fn shutdown(&self) {
+        let mut s = self.lock();
+        s.shutdown = true;
+        s.heap.clear();
+        self.cv.notify_all();
+    }
+}
+
+/// A fault-injecting [`Transport`] wrapper: consults [`NetChaos`] per
+/// frame and drops, delays, duplicates, or passes through to the inner
+/// transport. Severs delegate, so partition onsets can cut real TCP
+/// connections through the wrapper.
+pub(crate) struct ChaosTransport<M> {
+    inner: Arc<dyn Transport<M>>,
+    net: Arc<NetChaos>,
+    line: Arc<DelayLine<M>>,
+    line_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<M: Clone + Send + 'static> ChaosTransport<M> {
+    pub fn new(inner: Arc<dyn Transport<M>>, net: Arc<NetChaos>) -> Self {
+        let (line, line_thread) = DelayLine::start(inner.clone());
+        ChaosTransport { inner, net, line, line_thread: Mutex::new(Some(line_thread)) }
+    }
+}
+
+impl<M: Clone + Send + 'static> Transport<M> for ChaosTransport<M> {
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        hop: Option<SpanId>,
+        cause: Option<FlightId>,
+        msg: M,
+    ) -> bool {
+        match self.net.judge(from, to) {
+            Verdict::Pass => self.inner.send(from, to, hop, cause, msg),
+            Verdict::Drop => false,
+            Verdict::Delay { delay, duplicate } => {
+                let now = Instant::now();
+                if let Some(extra) = duplicate {
+                    self.line.park(now + extra, from, to, hop, cause, msg.clone());
+                }
+                self.line.park(now + delay, from, to, hop, cause, msg);
+                true
+            }
+        }
+    }
+
+    fn sever(&self, to: NodeId) {
+        self.inner.sever(to);
+    }
+
+    fn shutdown(&self) {
+        self.line.shutdown();
+        if let Some(h) = self.line_thread.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            h.join().ok();
+        }
+        self.inner.shutdown();
+    }
+}
+
+/// Bumps the `runtime.chaos_clauses` metric (labeled by kind and edge)
+/// as the controller applies each timeline event; installed by the
+/// runtime so the operator surface shows chaos progress live.
+pub(crate) type OnApply = Box<dyn Fn(&'static str, &'static str) + Send>;
+
+struct Gate {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// Sleep until `deadline` or a stop signal; true means "stopped".
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut stopped = self.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *stopped {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(stopped, deadline - now).unwrap_or_else(|e| e.into_inner());
+            stopped = guard;
+        }
+    }
+
+    fn stop(&self) {
+        *self.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The wall-clock clause scheduler: walks [`FaultPlan::timeline`]
+/// against the host clock, applying each edge to the [`NetChaos`]
+/// surface, the transport (severs), and the node workers
+/// (crash/restart envelopes). Owned by the [`crate::Runtime`]; stopped
+/// at shutdown.
+pub struct ChaosController {
+    plan: FaultPlan,
+    net: Arc<NetChaos>,
+    applied: Arc<Mutex<Vec<String>>>,
+    finished: Arc<AtomicBool>,
+    gate: Arc<Gate>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosController {
+    /// Spawn the scheduler thread. Clause offsets are measured from
+    /// this call (which the runtime makes during launch, after workers
+    /// exist).
+    pub(crate) fn start<M: Send + 'static>(
+        plan: FaultPlan,
+        net: Arc<NetChaos>,
+        transport: Arc<dyn Transport<M>>,
+        senders: Vec<Inbox<M>>,
+        on_apply: OnApply,
+    ) -> Self {
+        let applied = Arc::new(Mutex::new(Vec::new()));
+        let finished = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(Gate { stopped: Mutex::new(false), cv: Condvar::new() });
+        let thread = {
+            let plan = plan.clone();
+            let net = net.clone();
+            let applied = applied.clone();
+            let finished = finished.clone();
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                for ev in plan.timeline() {
+                    let deadline = start + Duration::from_micros(ev.at.as_micros());
+                    if gate.wait_until(deadline) {
+                        return; // runtime is shutting down mid-plan
+                    }
+                    let fault = &plan.faults[ev.clause];
+                    apply_edge(fault, ev.edge, &net, transport.as_ref(), &senders);
+                    on_apply(fault.kind(), edge_label(ev.edge));
+                    applied.lock().unwrap_or_else(|e| e.into_inner()).push(describe(&ev, fault));
+                }
+                finished.store(true, Ordering::SeqCst);
+            })
+        };
+        ChaosController { plan, net, applied, finished, gate, thread: Some(thread) }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The clause edges applied so far, in application order. Two runs
+    /// of the same plan produce the same log — the reproducibility
+    /// contract wall-clock chaos keeps (and the parity tests check).
+    pub fn applied(&self) -> Vec<String> {
+        self.applied.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// True once every timeline edge has been applied.
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    /// Traffic counters from the network surface.
+    pub fn stats(&self) -> ChaosStats {
+        self.net.stats()
+    }
+
+    /// Block until the whole timeline has been applied or `timeout`
+    /// elapses; true means the plan completed.
+    pub fn wait_finished(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.finished() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Stop the scheduler (idempotent); pending clause edges are
+    /// abandoned. Called by runtime shutdown before workers stop, so no
+    /// crash/restart envelope races a shutdown envelope.
+    pub(crate) fn stop(&mut self) {
+        self.gate.stop();
+        if let Some(h) = self.thread.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for ChaosController {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn edge_label(edge: ClauseEdge) -> &'static str {
+    match edge {
+        ClauseEdge::Onset => "onset",
+        ClauseEdge::Heal => "heal",
+    }
+}
+
+/// Stable rendering of one applied edge for the log (`onset
+/// crash#2[n1] @250000us`).
+fn describe(ev: &ClauseEvent, fault: &Fault) -> String {
+    let target = match fault {
+        Fault::Crash { node, .. } => format!("[{node}]"),
+        Fault::Degrade { a, b, .. } => format!("[{a}~{b}]"),
+        Fault::Partition { .. } | Fault::PartitionOneWay { .. } => String::new(),
+    };
+    format!(
+        "{} {}#{}{} @{}us",
+        edge_label(ev.edge),
+        fault.kind(),
+        ev.clause,
+        target,
+        ev.at.as_micros()
+    )
+}
+
+/// The applied-log an uninterrupted run of `plan` produces, in order —
+/// the replay contract made checkable: once [`ChaosController::finished`]
+/// is true, [`ChaosController::applied`] equals this exactly.
+pub fn rendered_timeline(plan: &FaultPlan) -> Vec<String> {
+    plan.timeline().iter().map(|ev| describe(ev, &plan.faults[ev.clause])).collect()
+}
+
+/// Apply one timeline edge to the live cluster.
+fn apply_edge<M: Send + 'static>(
+    fault: &Fault,
+    edge: ClauseEdge,
+    net: &NetChaos,
+    transport: &dyn Transport<M>,
+    senders: &[Inbox<M>],
+) {
+    match (fault, edge) {
+        (Fault::Partition { left, right, .. }, ClauseEdge::Onset) => {
+            net.block(left, right, true);
+            // Cut live conns so in-flight bytes die with the link; the
+            // heal proves lazy redial. (Conns *to* a group member are
+            // shared by all senders; same-side peers just redial.)
+            for n in left.iter().chain(right) {
+                transport.sever(*n);
+            }
+        }
+        (Fault::Partition { left, right, .. }, ClauseEdge::Heal) => {
+            net.unblock(left, right, true);
+        }
+        (Fault::PartitionOneWay { from, to, .. }, ClauseEdge::Onset) => {
+            net.block(from, to, false);
+            for n in to {
+                transport.sever(*n);
+            }
+        }
+        (Fault::PartitionOneWay { from, to, .. }, ClauseEdge::Heal) => {
+            net.unblock(from, to, false);
+        }
+        (Fault::Crash { node, .. }, ClauseEdge::Onset) => {
+            // Ride the harness-injection path: same epoch bump, same
+            // on_crash, same NodeStatus counters as Runtime::crash.
+            senders[node.0].send(Envelope::Crash).ok();
+            // A crashed process takes its sockets with it.
+            transport.sever(*node);
+        }
+        (Fault::Crash { node, .. }, ClauseEdge::Heal) => {
+            senders[node.0].send(Envelope::Restart).ok();
+        }
+        (Fault::Degrade { a, b, link, .. }, ClauseEdge::Onset) => {
+            net.degrade(*a, *b, Some(*link));
+        }
+        (Fault::Degrade { a, b, .. }, ClauseEdge::Heal) => {
+            net.degrade(*a, *b, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A transport that records sends and sever calls.
+    struct Probe {
+        sent: Mutex<Vec<(usize, usize, u64)>>,
+        severed: Mutex<Vec<usize>>,
+    }
+
+    impl Probe {
+        fn new() -> Arc<Self> {
+            Arc::new(Probe { sent: Mutex::new(Vec::new()), severed: Mutex::new(Vec::new()) })
+        }
+    }
+
+    impl Transport<u64> for Probe {
+        fn send(
+            &self,
+            from: NodeId,
+            to: NodeId,
+            _hop: Option<SpanId>,
+            _cause: Option<FlightId>,
+            msg: u64,
+        ) -> bool {
+            self.sent.lock().unwrap().push((from.0, to.0, msg));
+            true
+        }
+        fn sever(&self, to: NodeId) {
+            self.severed.lock().unwrap().push(to.0);
+        }
+    }
+
+    #[test]
+    fn blocked_pairs_refuse_sends_until_unblocked() {
+        let probe = Probe::new();
+        let net = Arc::new(NetChaos::new(1));
+        let t = ChaosTransport::new(probe.clone() as Arc<dyn Transport<u64>>, net.clone());
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 7));
+        net.block(&[NodeId(0)], &[NodeId(1)], false);
+        assert!(!t.send(NodeId(0), NodeId(1), None, None, 8), "partitioned");
+        assert!(t.send(NodeId(1), NodeId(0), None, None, 9), "one-way: reverse flows");
+        net.unblock(&[NodeId(0)], &[NodeId(1)], false);
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 10), "healed");
+        assert_eq!(net.stats().partition_drops, 1);
+        assert_eq!(probe.sent.lock().unwrap().len(), 3);
+        t.shutdown();
+    }
+
+    #[test]
+    fn degraded_link_delays_and_can_duplicate() {
+        let probe = Probe::new();
+        let net = Arc::new(NetChaos::new(2));
+        let t = ChaosTransport::new(probe.clone() as Arc<dyn Transport<u64>>, net.clone());
+        net.degrade(
+            NodeId(0),
+            NodeId(1),
+            Some(LinkConfig {
+                latency_min: sim::SimDuration::from_millis(5),
+                latency_max: sim::SimDuration::from_millis(10),
+                drop_prob: 0.0,
+                duplicate_prob: 1.0,
+            }),
+        );
+        let before = Instant::now();
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 42), "delayed, not dropped");
+        assert!(probe.sent.lock().unwrap().is_empty(), "not delivered synchronously");
+        while probe.sent.lock().unwrap().len() < 2 {
+            assert!(before.elapsed() < Duration::from_secs(5), "frames never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(before.elapsed() >= Duration::from_millis(5), "latency floor respected");
+        let sent = probe.sent.lock().unwrap().clone();
+        assert_eq!(sent, vec![(0, 1, 42), (0, 1, 42)], "original + duplicate");
+        let stats = net.stats();
+        assert_eq!((stats.delayed, stats.duplicated), (1, 1));
+        t.shutdown();
+    }
+
+    #[test]
+    fn drop_prob_one_loses_every_frame() {
+        let probe = Probe::new();
+        let net = Arc::new(NetChaos::new(3));
+        let t = ChaosTransport::new(probe.clone() as Arc<dyn Transport<u64>>, net.clone());
+        net.degrade(
+            NodeId(0),
+            NodeId(1),
+            Some(LinkConfig {
+                latency_min: sim::SimDuration::ZERO,
+                latency_max: sim::SimDuration::ZERO,
+                drop_prob: 1.0,
+                duplicate_prob: 0.0,
+            }),
+        );
+        for i in 0..20 {
+            assert!(!t.send(NodeId(0), NodeId(1), None, None, i));
+        }
+        assert_eq!(net.stats().chance_drops, 20);
+        assert!(probe.sent.lock().unwrap().is_empty());
+        t.shutdown();
+    }
+
+    #[test]
+    fn controller_applies_the_timeline_in_order_and_is_replayable() {
+        let plan = FaultPlan::from_faults(vec![
+            Fault::Crash {
+                at: sim::SimTime::from_millis(10),
+                node: NodeId(1),
+                restart_at: Some(sim::SimTime::from_millis(30)),
+            },
+            Fault::Partition {
+                at: sim::SimTime::from_millis(5),
+                until: sim::SimTime::from_millis(20),
+                left: vec![NodeId(0)],
+                right: vec![NodeId(1)],
+            },
+        ]);
+        let run = |plan: &FaultPlan| {
+            let probe = Probe::new();
+            let net = Arc::new(NetChaos::new(9));
+            let (tx0, _rx0) = mpsc::channel();
+            let (tx1, rx1) = mpsc::channel();
+            let senders = vec![Inbox::new(tx0), Inbox::new(tx1)];
+            let mut c = ChaosController::start(
+                plan.clone(),
+                net,
+                probe.clone() as Arc<dyn Transport<u64>>,
+                senders,
+                Box::new(|_, _| {}),
+            );
+            assert!(c.wait_finished(Duration::from_secs(10)), "plan completes");
+            let log = c.applied();
+            c.stop();
+            // The crashed node got its crash and restart envelopes.
+            let mut kinds = Vec::new();
+            while let Ok(env) = rx1.try_recv() {
+                kinds.push(match env {
+                    Envelope::Crash => "crash",
+                    Envelope::Restart => "restart",
+                    _ => "other",
+                });
+            }
+            let severed = probe.severed.lock().unwrap().clone();
+            (log, kinds, severed)
+        };
+        let (log_a, kinds_a, severed_a) = run(&plan);
+        assert_eq!(
+            log_a,
+            vec![
+                "onset partition#0 @5000us",
+                "onset crash#1[n1] @10000us",
+                "heal partition#0 @20000us",
+                "heal crash#1[n1] @30000us",
+            ],
+            "applied log matches the timeline"
+        );
+        assert_eq!(kinds_a, vec!["crash", "restart"]);
+        // Partition onset severed both sides; crash severed its node.
+        assert_eq!(severed_a, vec![0, 1, 1]);
+        let (log_b, kinds_b, severed_b) = run(&plan);
+        assert_eq!(log_a, log_b, "same plan, same clause sequence");
+        assert_eq!(kinds_a, kinds_b);
+        assert_eq!(severed_a, severed_b);
+    }
+
+    #[test]
+    fn stopping_mid_plan_abandons_later_edges() {
+        let plan = FaultPlan::from_faults(vec![Fault::Partition {
+            at: sim::SimTime::from_secs(3600),
+            until: sim::SimTime::from_secs(7200),
+            left: vec![NodeId(0)],
+            right: vec![NodeId(1)],
+        }]);
+        let net = Arc::new(NetChaos::new(4));
+        let probe = Probe::new();
+        let started = Instant::now();
+        let mut c = ChaosController::start(
+            plan,
+            net,
+            probe as Arc<dyn Transport<u64>>,
+            Vec::new(),
+            Box::new(|_, _| {}),
+        );
+        c.stop();
+        assert!(started.elapsed() < Duration::from_secs(60), "stop does not wait for the clause");
+        assert!(c.applied().is_empty());
+        assert!(!c.finished());
+    }
+}

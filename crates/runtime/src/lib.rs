@@ -31,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub(crate) mod runtime;
 pub mod telemetry;
 pub(crate) mod timer;
 pub mod transport;
 
+pub use chaos::{rendered_timeline, ChaosController, ChaosStats, NetChaos};
 pub use clock::WallClock;
 pub use runtime::{BoxedActor, Runtime, RuntimeBuilder, RuntimeReport, TransportKind};
 pub use telemetry::NodeStatus;

@@ -57,6 +57,7 @@ use sim::{
     SpanStatus, Trace,
 };
 
+use crate::chaos::{ChaosController, ChaosTransport, NetChaos};
 use crate::clock::WallClock;
 use crate::telemetry::{CoreHandle, NodeStatus, TelemetrySurface};
 use crate::timer::{DueTimer, TimerWheel};
@@ -134,6 +135,17 @@ fn entropy_seed() -> u64 {
     h.finish()
 }
 
+/// A configured fault plan waiting for launch: the plan, the shared
+/// network-fault surface, and a wrap closure built where the `M: Clone`
+/// bound is available (duplicated frames need cloning; the rest of the
+/// builder doesn't).
+struct ChaosPrep<M> {
+    plan: sim::FaultPlan,
+    net: Arc<NetChaos>,
+    #[allow(clippy::type_complexity)]
+    wrap: Box<dyn FnOnce(Arc<dyn Transport<M>>, Arc<NetChaos>) -> Arc<dyn Transport<M>>>,
+}
+
 /// Collects actors, then launches them as a running cluster.
 pub struct RuntimeBuilder<M> {
     actors: Vec<BoxedActor<M>>,
@@ -142,6 +154,7 @@ pub struct RuntimeBuilder<M> {
     snapshot_interval: Duration,
     flight_cap: Option<usize>,
     trace_cap: Option<usize>,
+    chaos: Option<ChaosPrep<M>>,
 }
 
 impl<M: Send + 'static> RuntimeBuilder<M> {
@@ -154,6 +167,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             snapshot_interval: Duration::from_secs(1),
             flight_cap: None,
             trace_cap: None,
+            chaos: None,
         }
     }
 
@@ -191,6 +205,26 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
     /// Enable the bounded event trace with `capacity` events.
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_cap = Some(capacity);
+        self
+    }
+
+    /// Execute `plan` against the launched cluster: a wall-clock chaos
+    /// controller (see [`crate::chaos`]) walks the plan's timeline from
+    /// launch, partitioning/degrading the transport, crashing and
+    /// restarting workers. `seed` drives the per-frame drop/latency/
+    /// duplication draws on degraded links; the clause sequence itself
+    /// is fully determined by the plan. Requires `M: Clone` because a
+    /// degraded link may duplicate frames.
+    pub fn chaos(mut self, plan: sim::FaultPlan, seed: u64) -> Self
+    where
+        M: Clone,
+    {
+        let net = Arc::new(NetChaos::new(seed));
+        self.chaos = Some(ChaosPrep {
+            plan,
+            net,
+            wrap: Box::new(|inner, net| Arc::new(ChaosTransport::new(inner, net))),
+        });
         self
     }
 
@@ -255,7 +289,11 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             receivers.push(rx);
         }
         let depths: Vec<Arc<AtomicU64>> = senders.iter().map(|s| s.depth_handle()).collect();
-        let transport = make_transport(senders.clone());
+        let mut transport = make_transport(senders.clone());
+        let chaos_prep = self.chaos.map(|prep| {
+            transport = (prep.wrap)(transport.clone(), prep.net.clone());
+            (prep.plan, prep.net)
+        });
         let wheel = Arc::new(TimerWheel::new());
         let mut core = EngineCore::new(seed);
         if let Some(cap) = self.flight_cap {
@@ -300,7 +338,22 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             TelemetrySurface::start(listener, core, self.snapshot_interval).ok()
         });
 
-        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread), telemetry }
+        // The chaos clock starts now: clause offsets are measured from
+        // launch, after every worker exists to receive crash envelopes.
+        let chaos = chaos_prep.map(|(plan, net)| {
+            let on_apply = {
+                let shared = shared.clone();
+                Box::new(move |kind: &'static str, edge: &'static str| {
+                    shared
+                        .lock_core()
+                        .metrics
+                        .inc_with("runtime.chaos_clauses", &[("kind", kind), ("edge", edge)]);
+                })
+            };
+            ChaosController::start(plan, net, shared.transport.clone(), senders.clone(), on_apply)
+        });
+
+        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread), telemetry, chaos }
     }
 }
 
@@ -526,6 +579,7 @@ pub struct Runtime<M> {
     workers: Vec<JoinHandle<BoxedActor<M>>>,
     wheel_thread: Option<JoinHandle<()>>,
     telemetry: Option<TelemetrySurface>,
+    chaos: Option<ChaosController>,
 }
 
 impl<M: Send + 'static> Runtime<M> {
@@ -543,6 +597,12 @@ impl<M: Send + 'static> Runtime<M> {
     /// port, even when configured with port `0`).
     pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
         self.telemetry.as_ref().map(|t| t.addr())
+    }
+
+    /// The chaos controller, when the builder configured a fault plan —
+    /// its applied-clause log, traffic stats, and completion flag.
+    pub fn chaos(&self) -> Option<&ChaosController> {
+        self.chaos.as_ref()
     }
 
     /// Live status of `node` (telemetry view; updated without locks).
@@ -606,6 +666,11 @@ impl<M: Send + 'static> Runtime<M> {
     /// surface stops first so no request observes a half-torn-down
     /// cluster.
     pub fn shutdown(mut self) -> RuntimeReport<M> {
+        // Stop the chaos scheduler first so no crash/restart envelope
+        // races a shutdown envelope into a mailbox.
+        if let Some(mut c) = self.chaos.take() {
+            c.stop();
+        }
         if let Some(t) = self.telemetry.take() {
             t.shutdown();
         }

@@ -122,6 +122,12 @@ pub trait Transport<M>: Send + Sync {
         msg: M,
     ) -> bool;
 
+    /// Cut any live connection *to* `to` (fault injection: a partition
+    /// onset or crash kills the wire mid-flight). A later send must
+    /// lazily re-establish the path — no silent permanent blackhole.
+    /// Default no-op for transports with nothing to cut (loopback).
+    fn sever(&self, _to: NodeId) {}
+
     /// Tear down listeners/connections. Idempotent; default no-op.
     fn shutdown(&self) {}
 }
@@ -292,6 +298,16 @@ impl<M: WireCodec + Send + 'static> Transport<M> for TcpTransport<M> {
         true
     }
 
+    fn sever(&self, to: NodeId) {
+        // Take the shared outgoing conn and slam it; the destination's
+        // read loop sees EOF and exits. The next send to `to` (from any
+        // local node) finds `None` and redials — the reconnect contract
+        // the chaos tests pin down.
+        if let Some(s) = self.conns[to.0].lock().unwrap_or_else(|e| e.into_inner()).take() {
+            s.shutdown(Shutdown::Both).ok();
+        }
+    }
+
     fn shutdown(&self) {
         if self.down.swap(true, Ordering::SeqCst) {
             return;
@@ -364,5 +380,43 @@ mod tests {
         }
         t.shutdown();
         assert!(!t.send(NodeId(0), NodeId(1), None, None, 99), "sends fail after shutdown");
+    }
+
+    #[test]
+    fn severed_connection_redials_lazily_and_delivers_subsequent_frames() {
+        let (tx0, _rx0) = mpsc::channel();
+        let (tx1, rx1) = mpsc::channel();
+        let t = TcpTransport::<u64>::bind(vec![Inbox::new(tx0), Inbox::new(tx1)]).expect("bind");
+        // Establish the conn with a first frame.
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 1));
+        match rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("delivered") {
+            Envelope::Msg { msg, .. } => assert_eq!(msg, 1),
+            _ => panic!("expected a message"),
+        }
+        // Sever it: the shared outgoing stream is gone.
+        t.sever(NodeId(1));
+        assert!(t.conns[1].lock().unwrap().is_none(), "sever cleared the cached conn");
+        // The very next send must lazily redial and deliver — a healed
+        // link is not a permanent blackhole. (A send racing the sever
+        // could also surface as one `false` + drop bookkeeping; sends
+        // *after* the sever completes must succeed, which is what this
+        // pins down.)
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 2), "redial on next send");
+        match rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("redelivered") {
+            Envelope::Msg { from, msg, .. } => {
+                assert_eq!(from, NodeId(0));
+                assert_eq!(msg, 2);
+            }
+            _ => panic!("expected a message"),
+        }
+        // Sever is idempotent on an already-cut conn.
+        t.sever(NodeId(1));
+        t.sever(NodeId(1));
+        assert!(t.send(NodeId(0), NodeId(1), None, None, 3));
+        match rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("redelivered") {
+            Envelope::Msg { msg, .. } => assert_eq!(msg, 3),
+            _ => panic!("expected a message"),
+        }
+        t.shutdown();
     }
 }

@@ -1,0 +1,101 @@
+//! Fault-plan parity between the two engines (satellite): any plan a
+//! [`FaultSpec`] seed generates (a) survives the JSON round-trip
+//! byte-for-byte, (b) renders a timeline with exactly the edges the
+//! clauses imply, in `(at, clause, Onset<Heal)` order, and (c) applies
+//! the *same clause sequence* on the wall-clock controller that the
+//! timeline — the sim engine's execution order — prescribes.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use quicksand_runtime::{rendered_timeline, RuntimeBuilder};
+use sim::{Actor, ClauseEdge, Context, Fault, FaultPlan, FaultSpec, NodeId, SimTime};
+
+const NODES: usize = 4;
+
+fn spec(crashable_only_first_two: bool) -> FaultSpec {
+    let all: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let s = FaultSpec::new(all)
+        .window(SimTime::from_millis(10), SimTime::from_millis(400))
+        .faults(1, 6);
+    if crashable_only_first_two {
+        s.crashable(vec![NodeId(0), NodeId(1)])
+    } else {
+        s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated plan serializes to JSON and parses back equal —
+    /// wall-clock failures can always be replayed in the simulator.
+    #[test]
+    fn generated_plans_round_trip_through_json(seed in 0u64..20_000, restrict in any::<bool>()) {
+        let plan = FaultPlan::generate(seed, &spec(restrict));
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("own JSON parses");
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(back.to_json(), json, "re-serialization is stable");
+    }
+
+    /// The timeline is the clause list, exactly: one Onset per clause at
+    /// its `at()`, a Heal at `ends_at()` unless the clause is a
+    /// crash-without-restart, all sorted by `(at, clause, edge)`.
+    #[test]
+    fn timeline_edges_match_the_clauses(seed in 0u64..20_000) {
+        let plan = FaultPlan::generate(seed, &spec(false));
+        let tl = plan.timeline();
+        for (i, f) in plan.faults.iter().enumerate() {
+            let onsets: Vec<_> =
+                tl.iter().filter(|e| e.clause == i && e.edge == ClauseEdge::Onset).collect();
+            prop_assert_eq!(onsets.len(), 1);
+            prop_assert_eq!(onsets[0].at, f.at());
+            let heals: Vec<_> =
+                tl.iter().filter(|e| e.clause == i && e.edge == ClauseEdge::Heal).collect();
+            if matches!(f, Fault::Crash { restart_at: None, .. }) {
+                prop_assert!(heals.is_empty(), "dead crash has no heal edge");
+            } else {
+                prop_assert_eq!(heals.len(), 1);
+                prop_assert_eq!(heals[0].at, f.ends_at());
+            }
+        }
+        let keys: Vec<_> = tl.iter().map(|e| (e.at, e.clause, e.edge)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted, "timeline is ordered");
+    }
+}
+
+/// A node that ignores everything — parity runs only watch the
+/// controller's applied log, not actor behaviour.
+struct Inert;
+impl Actor<u64> for Inert {
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {}
+}
+
+/// Live parity: the wall-clock controller applies exactly the clause
+/// sequence `timeline()` prescribes — the same sequence `apply` feeds
+/// the simulator — for generated plans compressed into a short window.
+#[test]
+fn controller_applies_the_sim_timeline_verbatim() {
+    for seed in [1u64, 9, 42] {
+        let s = FaultSpec::new((0..NODES).map(NodeId).collect())
+            .window(SimTime::from_millis(5), SimTime::from_millis(120))
+            .faults(2, 4);
+        let plan = FaultPlan::generate(seed, &s);
+        let expected = rendered_timeline(&plan);
+        let mut b = RuntimeBuilder::new().chaos(plan, seed);
+        for _ in 0..NODES {
+            b.add_node(Inert);
+        }
+        let rt = b.launch();
+        assert!(
+            rt.chaos().expect("chaos").wait_finished(Duration::from_secs(30)),
+            "seed {seed}: plan finishes"
+        );
+        let applied = rt.chaos().expect("chaos").applied();
+        rt.shutdown();
+        assert_eq!(applied, expected, "seed {seed}: wall-clock order == sim timeline order");
+    }
+}

@@ -8,11 +8,12 @@
 //! This module turns that discipline into machinery, in the style of
 //! FoundationDB's deterministic simulation testing:
 //!
-//! - A [`FaultPlan`] is a declarative timeline of fault clauses
-//!   (partition + heal, crash + restart, degrade + restore) that can be
-//!   applied to any [`Simulation`]. Plans are either hand-written or
-//!   generated from a seed by [`FaultPlan::generate`] under the
-//!   constraints of a [`FaultSpec`]. Generated plans always heal: every
+//! - A [`FaultPlan`] (defined in [`crate::plan`], re-exported here) is
+//!   a declarative timeline of fault clauses (partition + heal, crash +
+//!   restart, degrade + restore) that can be applied to any
+//!   [`Simulation`]. Plans are either hand-written or generated from a
+//!   seed by [`FaultPlan::generate`] under the constraints of a
+//!   [`FaultSpec`]. Generated plans always heal: every
 //!   partition ends, every crashed node restarts, every degraded link is
 //!   restored by the spec's window end — so liveness invariants
 //!   (convergence, all-acked) are meaningful.
@@ -33,499 +34,50 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 
-use rand::Rng;
-
-use crate::actor::NodeId;
 use crate::explain::Explanation;
 use crate::json;
 use crate::ledger::LedgerAccounting;
-use crate::net::LinkConfig;
-use crate::rng::SimRng;
-use crate::time::{SimDuration, SimTime};
 use crate::world::Simulation;
 
-/// Mix a raw sweep index into a full-entropy RNG seed (splitmix64
-/// finalizer). Unlike a bare `wrapping_mul` by an odd constant — which
-/// maps 0 to 0 and preserves low-bit structure — every input, including
-/// 0, yields a distinct, well-scrambled stream.
-pub fn mix_seed(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// One atomic fault clause. Each clause carries its own end: the heal,
-/// restart, or restore is part of the clause, so removing a clause
-/// during shrinking never leaves the world broken forever.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Fault {
-    /// Two-sided group partition from `at` until `until`.
-    Partition {
-        /// When the partition starts.
-        at: SimTime,
-        /// When the partition heals.
-        until: SimTime,
-        /// One side of the split.
-        left: Vec<NodeId>,
-        /// The other side.
-        right: Vec<NodeId>,
-    },
-    /// Asymmetric partition: `from → to` traffic is dropped from `at`
-    /// until `until`; the reverse direction keeps flowing.
-    PartitionOneWay {
-        /// When the one-way block starts.
-        at: SimTime,
-        /// When it heals.
-        until: SimTime,
-        /// Senders whose messages are dropped.
-        from: Vec<NodeId>,
-        /// Receivers they cannot reach.
-        to: Vec<NodeId>,
-    },
-    /// Fail-fast crash of `node` at `at`, optionally restarting later.
-    Crash {
-        /// When the node crashes.
-        at: SimTime,
-        /// The node that crashes.
-        node: NodeId,
-        /// When it restarts (`None` = stays down).
-        restart_at: Option<SimTime>,
-    },
-    /// Degrade the `a ↔ b` link (latency spike, loss, duplication) from
-    /// `at` until `until`, then restore the previous configuration.
-    Degrade {
-        /// When the degradation starts.
-        at: SimTime,
-        /// When the link is restored.
-        until: SimTime,
-        /// One endpoint.
-        a: NodeId,
-        /// The other endpoint.
-        b: NodeId,
-        /// The degraded link characteristics.
-        link: LinkConfig,
-    },
-}
-
-impl Fault {
-    /// When the fault takes effect.
-    pub fn at(&self) -> SimTime {
-        match self {
-            Fault::Partition { at, .. }
-            | Fault::PartitionOneWay { at, .. }
-            | Fault::Crash { at, .. }
-            | Fault::Degrade { at, .. } => *at,
-        }
-    }
-
-    /// When the fault is fully undone (healed / restarted / restored).
-    /// A crash with no restart ends at its crash time: nothing further
-    /// will happen on its account.
-    pub fn ends_at(&self) -> SimTime {
-        match self {
-            Fault::Partition { until, .. }
-            | Fault::PartitionOneWay { until, .. }
-            | Fault::Degrade { until, .. } => *until,
-            Fault::Crash { at, restart_at, .. } => restart_at.unwrap_or(*at),
-        }
-    }
-
-    /// A short stable label for the clause kind (used in report JSON).
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Fault::Partition { .. } => "partition",
-            Fault::PartitionOneWay { .. } => "partition_oneway",
-            Fault::Crash { .. } => "crash",
-            Fault::Degrade { .. } => "degrade",
-        }
-    }
-
-    /// One JSON object describing this clause.
-    pub fn to_json(&self) -> String {
-        fn nodes(v: &[NodeId]) -> String {
-            let mut out = String::from("[");
-            for (i, n) in v.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&json::string(&n.to_string()));
-            }
-            out.push(']');
-            out
-        }
-        match self {
-            Fault::Partition { at, until, left, right } => format!(
-                "{{\"kind\":\"partition\",\"at_us\":{},\"until_us\":{},\"left\":{},\"right\":{}}}",
-                at.as_micros(),
-                until.as_micros(),
-                nodes(left),
-                nodes(right)
-            ),
-            Fault::PartitionOneWay { at, until, from, to } => format!(
-                "{{\"kind\":\"partition_oneway\",\"at_us\":{},\"until_us\":{},\"from\":{},\"to\":{}}}",
-                at.as_micros(),
-                until.as_micros(),
-                nodes(from),
-                nodes(to)
-            ),
-            Fault::Crash { at, node, restart_at } => format!(
-                "{{\"kind\":\"crash\",\"at_us\":{},\"node\":{},\"restart_at_us\":{}}}",
-                at.as_micros(),
-                json::string(&node.to_string()),
-                restart_at.map_or("null".to_owned(), |r| r.as_micros().to_string())
-            ),
-            Fault::Degrade { at, until, a, b, link } => format!(
-                "{{\"kind\":\"degrade\",\"at_us\":{},\"until_us\":{},\"a\":{},\"b\":{},\
-                 \"latency_us\":[{},{}],\"drop_prob\":{},\"duplicate_prob\":{}}}",
-                at.as_micros(),
-                until.as_micros(),
-                json::string(&a.to_string()),
-                json::string(&b.to_string()),
-                link.latency_min.as_micros(),
-                link.latency_max.as_micros(),
-                json::float(link.drop_prob),
-                json::float(link.duplicate_prob)
-            ),
-        }
-    }
-}
-
-impl fmt::Display for Fault {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn group(v: &[NodeId]) -> String {
-            v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
-        }
-        match self {
-            Fault::Partition { at, until, left, right } => {
-                write!(f, "partition[{} | {}] {at}..{until}", group(left), group(right))
-            }
-            Fault::PartitionOneWay { at, until, from, to } => {
-                write!(f, "oneway[{} -> {}] {at}..{until}", group(from), group(to))
-            }
-            Fault::Crash { at, node, restart_at } => match restart_at {
-                Some(r) => write!(f, "crash[{node}] {at}..{r}"),
-                None => write!(f, "crash[{node}] {at}.. (no restart)"),
-            },
-            Fault::Degrade { at, until, a, b, link } => write!(
-                f,
-                "degrade[{a} ~ {b}] {at}..{until} (lat {}..{}, drop {:.2}, dup {:.2})",
-                link.latency_min, link.latency_max, link.drop_prob, link.duplicate_prob
-            ),
-        }
-    }
-}
-
-/// A declarative timeline of fault clauses, applied to a simulation
-/// before it runs. The empty plan is a valid (fault-free) plan.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct FaultPlan {
-    /// The clauses, in onset order.
-    pub faults: Vec<Fault>,
-}
+pub use crate::plan::{mix_seed, ClauseEdge, ClauseEvent, Fault, FaultPlan, FaultSpec};
 
 impl FaultPlan {
-    /// The empty, fault-free plan.
-    pub fn none() -> Self {
-        FaultPlan::default()
-    }
-
-    /// A plan holding exactly the given clauses (sorted by onset).
-    pub fn from_faults(mut faults: Vec<Fault>) -> Self {
-        faults.sort_by_key(|f| (f.at(), f.ends_at()));
-        FaultPlan { faults }
-    }
-
-    /// Convenience: a single two-sided partition window — the shape the
-    /// old bespoke `partition: Option<(SimTime, SimTime)>` knobs encoded.
-    pub fn partition_window(
-        at: SimTime,
-        until: SimTime,
-        left: &[NodeId],
-        right: &[NodeId],
-    ) -> Self {
-        FaultPlan {
-            faults: vec![Fault::Partition {
-                at,
-                until,
-                left: left.to_vec(),
-                right: right.to_vec(),
-            }],
-        }
-    }
-
-    /// Number of clauses.
-    pub fn len(&self) -> usize {
-        self.faults.len()
-    }
-
-    /// True if the plan injects nothing.
-    pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
-    }
-
-    /// The time by which every clause has been undone — the earliest
-    /// horizon at which it is fair to check convergence invariants.
-    pub fn ends_by(&self) -> SimTime {
-        self.faults.iter().map(Fault::ends_at).max().unwrap_or(SimTime::ZERO)
-    }
-
-    /// Generate a plan from `seed` under `spec`'s constraints. The same
-    /// `(seed, spec)` always yields the same plan. Generated clauses all
-    /// end by `spec.window.1`.
-    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
-        let mut rng = SimRng::new(mix_seed(seed));
-        let kinds = spec.enabled_kinds();
-        if kinds.is_empty() {
-            return FaultPlan::none();
-        }
-        let hi = spec.max_faults.max(spec.min_faults).max(1);
-        let lo = spec.min_faults.clamp(1, hi);
-        let n = rng.gen_range(lo..=hi);
-        let w0 = spec.window.0.as_micros();
-        let w1 = spec.window.1.as_micros();
-        assert!(w1 > w0 + 1, "FaultSpec window must be non-trivial");
-        let mut faults = Vec::with_capacity(n);
-        for _ in 0..n {
-            let kind = kinds[rng.gen_range(0..kinds.len())];
-            let at_us = rng.gen_range(w0..w1 - 1);
-            let until_us = rng.gen_range(at_us + 1..w1);
-            let at = SimTime::from_micros(at_us);
-            let until = SimTime::from_micros(until_us);
-            match kind {
-                FaultKind::Partition | FaultKind::OneWay => {
-                    let (left, right) = split_groups(&mut rng, &spec.nodes);
-                    if kind == FaultKind::Partition {
-                        faults.push(Fault::Partition { at, until, left, right });
-                    } else {
-                        faults.push(Fault::PartitionOneWay { at, until, from: left, to: right });
-                    }
-                }
-                FaultKind::Crash => {
-                    let node = spec.crashable[rng.gen_range(0..spec.crashable.len())];
-                    faults.push(Fault::Crash { at, node, restart_at: Some(until) });
-                }
-                FaultKind::Degrade => {
-                    let a_ix = rng.gen_range(0..spec.nodes.len());
-                    let mut b_ix = rng.gen_range(0..spec.nodes.len() - 1);
-                    if b_ix >= a_ix {
-                        b_ix += 1;
-                    }
-                    let extra = rng.gen_range(0..=spec.max_extra_latency.as_micros());
-                    let link = LinkConfig {
-                        latency_min: SimDuration::from_millis(1),
-                        latency_max: SimDuration::from_millis(1) + SimDuration::from_micros(extra),
-                        drop_prob: rng.gen_range(0.0..=spec.max_drop_prob),
-                        duplicate_prob: rng.gen_range(0.0..=spec.max_dup_prob),
-                    };
-                    faults.push(Fault::Degrade {
-                        at,
-                        until,
-                        a: spec.nodes[a_ix],
-                        b: spec.nodes[b_ix],
-                        link,
-                    });
-                }
-            }
-        }
-        FaultPlan::from_faults(faults)
-    }
-
     /// Schedule every clause onto `sim`. Call before the first `run_*`.
+    ///
+    /// The simulator executes exactly [`FaultPlan::timeline`]: each
+    /// onset edge becomes the fault taking effect, each heal edge the
+    /// undo. The wall-clock runtime's chaos controller walks the same
+    /// timeline against the host clock, which is what makes "same plan,
+    /// same clause sequence" hold across engines.
     pub fn apply<M: Clone + 'static>(&self, sim: &mut Simulation<M>) {
-        for f in &self.faults {
-            match f {
-                Fault::Partition { at, until, left, right } => {
+        for ev in self.timeline() {
+            match (&self.faults[ev.clause], ev.edge) {
+                (Fault::Partition { at, left, right, .. }, ClauseEdge::Onset) => {
                     sim.schedule_partition(*at, left, right);
+                }
+                (Fault::Partition { until, left, right, .. }, ClauseEdge::Heal) => {
                     sim.schedule_heal_groups(*until, left, right);
                 }
-                Fault::PartitionOneWay { at, until, from, to } => {
+                (Fault::PartitionOneWay { at, from, to, .. }, ClauseEdge::Onset) => {
                     sim.schedule_partition_oneway(*at, from, to);
+                }
+                (Fault::PartitionOneWay { until, from, to, .. }, ClauseEdge::Heal) => {
                     sim.schedule_heal_groups(*until, from, to);
                 }
-                Fault::Crash { at, node, restart_at } => {
+                (Fault::Crash { at, node, .. }, ClauseEdge::Onset) => {
                     sim.schedule_crash(*at, *node);
-                    if let Some(r) = restart_at {
-                        sim.schedule_restart(*r, *node);
-                    }
                 }
-                Fault::Degrade { at, until, a, b, link } => {
+                (Fault::Crash { node, restart_at, .. }, ClauseEdge::Heal) => {
+                    // Timelines only emit a heal edge when a restart exists.
+                    sim.schedule_restart(restart_at.expect("heal edge implies restart"), *node);
+                }
+                (Fault::Degrade { at, until, a, b, link }, ClauseEdge::Onset) => {
+                    // The degrade schedules its own restoration at `until`.
                     sim.schedule_degrade(*at, *a, *b, *link, *until);
                 }
+                (Fault::Degrade { .. }, ClauseEdge::Heal) => {}
             }
         }
-    }
-
-    /// The clauses as a JSON array.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("[");
-        for (i, f) in self.faults.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&f.to_json());
-        }
-        out.push(']');
-        out
-    }
-}
-
-impl fmt::Display for FaultPlan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.faults.is_empty() {
-            return write!(f, "(no faults)");
-        }
-        for (i, fault) in self.faults.iter().enumerate() {
-            if i > 0 {
-                writeln!(f)?;
-            }
-            write!(f, "{fault}")?;
-        }
-        Ok(())
-    }
-}
-
-/// Split `nodes` into two non-empty groups, driven by `rng`.
-fn split_groups(rng: &mut SimRng, nodes: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
-    assert!(nodes.len() >= 2, "need at least two nodes to partition");
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &n in nodes {
-        if rng.gen_bool(0.5) {
-            left.push(n);
-        } else {
-            right.push(n);
-        }
-    }
-    if left.is_empty() {
-        left.push(right.pop().expect("nodes non-empty"));
-    } else if right.is_empty() {
-        right.push(left.pop().expect("nodes non-empty"));
-    }
-    (left, right)
-}
-
-/// Which fault classes a generated plan may draw from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FaultKind {
-    Partition,
-    OneWay,
-    Crash,
-    Degrade,
-}
-
-/// Constraints for [`FaultPlan::generate`]: which nodes participate,
-/// which may crash, the time window faults live in, and how many clauses
-/// a plan may hold. Substrates disable fault classes their protocol
-/// assumptions exclude (e.g. tandem's reliable local bus admits crashes
-/// but not partitions).
-#[derive(Debug, Clone)]
-pub struct FaultSpec {
-    /// Nodes that participate in partitions and degrades.
-    pub nodes: Vec<NodeId>,
-    /// Nodes that may crash (typically servers, not workload drivers).
-    pub crashable: Vec<NodeId>,
-    /// Fault onsets fall inside this window; every clause ends by
-    /// `window.1`.
-    pub window: (SimTime, SimTime),
-    /// Minimum clauses per plan (≥ 1).
-    pub min_faults: usize,
-    /// Maximum clauses per plan.
-    pub max_faults: usize,
-    /// Allow two-sided group partitions.
-    pub partitions: bool,
-    /// Allow one-way (asymmetric) partitions.
-    pub oneway: bool,
-    /// Allow crash/restart clauses.
-    pub crashes: bool,
-    /// Allow link degradation clauses.
-    pub degrades: bool,
-    /// Upper bound on the extra latency a degrade may add.
-    pub max_extra_latency: SimDuration,
-    /// Upper bound on a degraded link's drop probability.
-    pub max_drop_prob: f64,
-    /// Upper bound on a degraded link's duplication probability.
-    pub max_dup_prob: f64,
-}
-
-impl FaultSpec {
-    /// A spec over `nodes` with every fault class enabled, all nodes
-    /// crashable, faults within `[10ms, 5s]`, and 1–5 clauses per plan.
-    pub fn new(nodes: Vec<NodeId>) -> Self {
-        FaultSpec {
-            crashable: nodes.clone(),
-            nodes,
-            window: (SimTime::from_millis(10), SimTime::from_secs(5)),
-            min_faults: 1,
-            max_faults: 5,
-            partitions: true,
-            oneway: true,
-            crashes: true,
-            degrades: true,
-            max_extra_latency: SimDuration::from_millis(200),
-            max_drop_prob: 0.3,
-            max_dup_prob: 0.2,
-        }
-    }
-
-    /// Restrict which nodes may crash (empty disables crash clauses).
-    pub fn crashable(mut self, nodes: Vec<NodeId>) -> Self {
-        self.crashable = nodes;
-        self
-    }
-
-    /// Set the fault window.
-    pub fn window(mut self, start: SimTime, end: SimTime) -> Self {
-        self.window = (start, end);
-        self
-    }
-
-    /// Set the clause-count range.
-    pub fn faults(mut self, min: usize, max: usize) -> Self {
-        self.min_faults = min;
-        self.max_faults = max;
-        self
-    }
-
-    /// Enable/disable two-sided partitions.
-    pub fn partitions(mut self, on: bool) -> Self {
-        self.partitions = on;
-        self
-    }
-
-    /// Enable/disable one-way partitions.
-    pub fn oneway(mut self, on: bool) -> Self {
-        self.oneway = on;
-        self
-    }
-
-    /// Enable/disable crash clauses.
-    pub fn crashes(mut self, on: bool) -> Self {
-        self.crashes = on;
-        self
-    }
-
-    /// Enable/disable degrade clauses.
-    pub fn degrades(mut self, on: bool) -> Self {
-        self.degrades = on;
-        self
-    }
-
-    fn enabled_kinds(&self) -> Vec<FaultKind> {
-        let mut kinds = Vec::new();
-        if self.partitions && self.nodes.len() >= 2 {
-            kinds.push(FaultKind::Partition);
-        }
-        if self.oneway && self.nodes.len() >= 2 {
-            kinds.push(FaultKind::OneWay);
-        }
-        if self.crashes && !self.crashable.is_empty() {
-            kinds.push(FaultKind::Crash);
-        }
-        if self.degrades && self.nodes.len() >= 2 {
-            kinds.push(FaultKind::Degrade);
-        }
-        kinds
     }
 }
 
@@ -982,76 +534,11 @@ impl<R: 'static> ChaosRun<R> {
 mod tests {
     use super::*;
 
+    use crate::actor::NodeId;
+    use crate::time::SimTime;
+
     fn n(i: usize) -> NodeId {
         NodeId(i)
-    }
-
-    #[test]
-    fn mix_seed_gives_zero_a_distinct_stream() {
-        assert_ne!(mix_seed(0), 0);
-        let mut seen = std::collections::HashSet::new();
-        for s in 0..1000u64 {
-            assert!(seen.insert(mix_seed(s)), "collision at {s}");
-        }
-    }
-
-    #[test]
-    fn generation_is_deterministic_and_respects_the_spec() {
-        let spec = FaultSpec::new(vec![n(0), n(1), n(2), n(3)]);
-        for seed in 0..200 {
-            let a = FaultPlan::generate(seed, &spec);
-            let b = FaultPlan::generate(seed, &spec);
-            assert_eq!(a, b, "same seed, same plan");
-            assert!(!a.is_empty() && a.len() <= spec.max_faults);
-            for f in &a.faults {
-                assert!(f.at() >= spec.window.0);
-                assert!(f.ends_at() <= spec.window.1, "clauses end inside the window");
-                assert!(f.ends_at() >= f.at());
-            }
-            assert!(a.ends_by() <= spec.window.1);
-        }
-    }
-
-    #[test]
-    fn adjacent_seeds_differ() {
-        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]);
-        let distinct = (0..50)
-            .map(|s| FaultPlan::generate(s, &spec))
-            .collect::<Vec<_>>()
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
-        assert!(distinct >= 45, "only {distinct}/49 adjacent pairs differ");
-    }
-
-    #[test]
-    fn disabled_kinds_never_appear() {
-        let spec =
-            FaultSpec::new(vec![n(0), n(1), n(2)]).partitions(false).oneway(false).degrades(false);
-        for seed in 0..50 {
-            let plan = FaultPlan::generate(seed, &spec);
-            assert!(plan.faults.iter().all(|f| f.kind() == "crash"), "{plan}");
-        }
-    }
-
-    #[test]
-    fn crashable_list_restricts_crash_targets() {
-        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]).crashable(vec![n(2)]);
-        for seed in 0..50 {
-            for f in FaultPlan::generate(seed, &spec).faults {
-                if let Fault::Crash { node, .. } = f {
-                    assert_eq!(node, n(2));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn plan_json_is_deterministic() {
-        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]);
-        let plan = FaultPlan::generate(7, &spec);
-        assert_eq!(plan.to_json(), FaultPlan::generate(7, &spec).to_json());
-        assert!(plan.to_json().starts_with('['));
     }
 
     /// A fake "report" for driver tests: the plan's clause kinds.

@@ -64,6 +64,7 @@ pub mod ledger;
 pub mod loghist;
 pub mod metrics;
 pub mod net;
+pub mod plan;
 pub mod rng;
 pub mod span;
 pub mod time;
@@ -71,9 +72,7 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Action, Actor, Context, NodeId, TimerId};
-pub use chaos::{
-    mix_seed, ChaosReport, ChaosRun, Fault, FaultPlan, FaultSpec, Invariant, Shrunk, Violation,
-};
+pub use chaos::{ChaosReport, ChaosRun, Invariant, Shrunk, Violation};
 pub use engine::EngineCore;
 pub use explain::Explanation;
 pub use flight::{CausalSlice, FlightEvent, FlightId, FlightKind, FlightRecorder};
@@ -81,6 +80,7 @@ pub use ledger::{GuessId, GuessOutcome, GuessRecord, Ledger, LedgerAccounting};
 pub use loghist::LogHistogram;
 pub use metrics::{Histogram, HistogramSummary, MetricSet};
 pub use net::{LinkConfig, Network};
+pub use plan::{mix_seed, ClauseEdge, ClauseEvent, Fault, FaultPlan, FaultSpec};
 pub use rng::SimRng;
 pub use span::{SpanId, SpanRecord, SpanStatus, SpanStore, TraceId};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,1039 @@
+//! Fault plans: the declarative clause timeline both engines consume.
+//!
+//! A [`FaultPlan`] is a list of atomic fault clauses — partition + heal,
+//! crash + restart, degrade + restore — generated from a seed under a
+//! [`FaultSpec`] or written by hand. The plan itself knows nothing about
+//! *how* clauses are executed: the simulator schedules them onto its
+//! deterministic event queue (`FaultPlan::apply` in [`crate::chaos`]),
+//! and the wall-clock runtime's chaos controller replays the same
+//! [`FaultPlan::timeline`] against the host clock. Keeping the types
+//! here, free of any `Simulation` dependency, is what lets one seeded
+//! plan mean the same faults on both engines.
+//!
+//! Plans round-trip through JSON ([`FaultPlan::to_json`] /
+//! [`FaultPlan::from_json`]) so a failing wall-clock run can be replayed
+//! under the simulator byte-for-byte, and vice versa.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::actor::NodeId;
+use crate::json;
+use crate::net::LinkConfig;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Mix a raw sweep index into a full-entropy RNG seed (splitmix64
+/// finalizer). Unlike a bare `wrapping_mul` by an odd constant — which
+/// maps 0 to 0 and preserves low-bit structure — every input, including
+/// 0, yields a distinct, well-scrambled stream.
+pub fn mix_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One atomic fault clause. Each clause carries its own end: the heal,
+/// restart, or restore is part of the clause, so removing a clause
+/// during shrinking never leaves the world broken forever.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Two-sided group partition from `at` until `until`.
+    Partition {
+        /// When the partition starts.
+        at: SimTime,
+        /// When the partition heals.
+        until: SimTime,
+        /// One side of the split.
+        left: Vec<NodeId>,
+        /// The other side.
+        right: Vec<NodeId>,
+    },
+    /// Asymmetric partition: `from → to` traffic is dropped from `at`
+    /// until `until`; the reverse direction keeps flowing.
+    PartitionOneWay {
+        /// When the one-way block starts.
+        at: SimTime,
+        /// When it heals.
+        until: SimTime,
+        /// Senders whose messages are dropped.
+        from: Vec<NodeId>,
+        /// Receivers they cannot reach.
+        to: Vec<NodeId>,
+    },
+    /// Fail-fast crash of `node` at `at`, optionally restarting later.
+    Crash {
+        /// When the node crashes.
+        at: SimTime,
+        /// The node that crashes.
+        node: NodeId,
+        /// When it restarts (`None` = stays down).
+        restart_at: Option<SimTime>,
+    },
+    /// Degrade the `a ↔ b` link (latency spike, loss, duplication) from
+    /// `at` until `until`, then restore the previous configuration.
+    Degrade {
+        /// When the degradation starts.
+        at: SimTime,
+        /// When the link is restored.
+        until: SimTime,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The degraded link characteristics.
+        link: LinkConfig,
+    },
+}
+
+impl Fault {
+    /// When the fault takes effect.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Fault::Partition { at, .. }
+            | Fault::PartitionOneWay { at, .. }
+            | Fault::Crash { at, .. }
+            | Fault::Degrade { at, .. } => *at,
+        }
+    }
+
+    /// When the fault is fully undone (healed / restarted / restored).
+    /// A crash with no restart ends at its crash time: nothing further
+    /// will happen on its account.
+    pub fn ends_at(&self) -> SimTime {
+        match self {
+            Fault::Partition { until, .. }
+            | Fault::PartitionOneWay { until, .. }
+            | Fault::Degrade { until, .. } => *until,
+            Fault::Crash { at, restart_at, .. } => restart_at.unwrap_or(*at),
+        }
+    }
+
+    /// A short stable label for the clause kind (used in report JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Partition { .. } => "partition",
+            Fault::PartitionOneWay { .. } => "partition_oneway",
+            Fault::Crash { .. } => "crash",
+            Fault::Degrade { .. } => "degrade",
+        }
+    }
+
+    /// One JSON object describing this clause.
+    pub fn to_json(&self) -> String {
+        fn nodes(v: &[NodeId]) -> String {
+            let mut out = String::from("[");
+            for (i, n) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(&n.to_string()));
+            }
+            out.push(']');
+            out
+        }
+        match self {
+            Fault::Partition { at, until, left, right } => format!(
+                "{{\"kind\":\"partition\",\"at_us\":{},\"until_us\":{},\"left\":{},\"right\":{}}}",
+                at.as_micros(),
+                until.as_micros(),
+                nodes(left),
+                nodes(right)
+            ),
+            Fault::PartitionOneWay { at, until, from, to } => format!(
+                "{{\"kind\":\"partition_oneway\",\"at_us\":{},\"until_us\":{},\"from\":{},\"to\":{}}}",
+                at.as_micros(),
+                until.as_micros(),
+                nodes(from),
+                nodes(to)
+            ),
+            Fault::Crash { at, node, restart_at } => format!(
+                "{{\"kind\":\"crash\",\"at_us\":{},\"node\":{},\"restart_at_us\":{}}}",
+                at.as_micros(),
+                json::string(&node.to_string()),
+                restart_at.map_or("null".to_owned(), |r| r.as_micros().to_string())
+            ),
+            Fault::Degrade { at, until, a, b, link } => format!(
+                "{{\"kind\":\"degrade\",\"at_us\":{},\"until_us\":{},\"a\":{},\"b\":{},\
+                 \"latency_us\":[{},{}],\"drop_prob\":{},\"duplicate_prob\":{}}}",
+                at.as_micros(),
+                until.as_micros(),
+                json::string(&a.to_string()),
+                json::string(&b.to_string()),
+                link.latency_min.as_micros(),
+                link.latency_max.as_micros(),
+                json::float(link.drop_prob),
+                json::float(link.duplicate_prob)
+            ),
+        }
+    }
+
+    /// Parse one clause from the object shape [`Fault::to_json`] emits.
+    fn from_jval(v: &JVal) -> Result<Fault, String> {
+        let kind = v.get("kind").and_then(JVal::as_str).ok_or("clause missing \"kind\"")?;
+        let time = |key: &str| -> Result<SimTime, String> {
+            v.get(key)
+                .and_then(JVal::as_u64)
+                .map(SimTime::from_micros)
+                .ok_or_else(|| format!("{kind} clause missing {key:?}"))
+        };
+        let nodes = |key: &str| -> Result<Vec<NodeId>, String> {
+            v.get(key)
+                .and_then(JVal::as_arr)
+                .ok_or_else(|| format!("{kind} clause missing {key:?}"))?
+                .iter()
+                .map(|n| n.as_str().ok_or_else(|| format!("non-string node in {key:?}")))
+                .map(|n| n.and_then(parse_node))
+                .collect()
+        };
+        let node = |key: &str| -> Result<NodeId, String> {
+            v.get(key)
+                .and_then(JVal::as_str)
+                .ok_or_else(|| format!("{kind} clause missing {key:?}"))
+                .and_then(parse_node)
+        };
+        match kind {
+            "partition" => Ok(Fault::Partition {
+                at: time("at_us")?,
+                until: time("until_us")?,
+                left: nodes("left")?,
+                right: nodes("right")?,
+            }),
+            "partition_oneway" => Ok(Fault::PartitionOneWay {
+                at: time("at_us")?,
+                until: time("until_us")?,
+                from: nodes("from")?,
+                to: nodes("to")?,
+            }),
+            "crash" => {
+                let restart = match v.get("restart_at_us") {
+                    Some(JVal::Null) | None => None,
+                    Some(r) => Some(
+                        r.as_u64()
+                            .map(SimTime::from_micros)
+                            .ok_or("crash clause has a non-numeric restart_at_us")?,
+                    ),
+                };
+                Ok(Fault::Crash { at: time("at_us")?, node: node("node")?, restart_at: restart })
+            }
+            "degrade" => {
+                let lat = v
+                    .get("latency_us")
+                    .and_then(JVal::as_arr)
+                    .filter(|a| a.len() == 2)
+                    .ok_or("degrade clause missing \"latency_us\" pair")?;
+                let micros = |j: &JVal| {
+                    j.as_u64()
+                        .map(SimDuration::from_micros)
+                        .ok_or("non-numeric latency bound".to_owned())
+                };
+                let prob = |key: &str| {
+                    v.get(key)
+                        .and_then(JVal::as_f64)
+                        .ok_or_else(|| format!("degrade clause missing {key:?}"))
+                };
+                Ok(Fault::Degrade {
+                    at: time("at_us")?,
+                    until: time("until_us")?,
+                    a: node("a")?,
+                    b: node("b")?,
+                    link: LinkConfig {
+                        latency_min: micros(&lat[0])?,
+                        latency_max: micros(&lat[1])?,
+                        drop_prob: prob("drop_prob")?,
+                        duplicate_prob: prob("duplicate_prob")?,
+                    },
+                })
+            }
+            other => Err(format!("unknown fault kind {other:?}")),
+        }
+    }
+}
+
+/// Parse the `"n3"` rendering of a [`NodeId`].
+fn parse_node(s: &str) -> Result<NodeId, String> {
+    s.strip_prefix('n')
+        .and_then(|d| d.parse().ok())
+        .map(NodeId)
+        .ok_or_else(|| format!("bad node id {s:?}"))
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn group(v: &[NodeId]) -> String {
+            v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
+        }
+        match self {
+            Fault::Partition { at, until, left, right } => {
+                write!(f, "partition[{} | {}] {at}..{until}", group(left), group(right))
+            }
+            Fault::PartitionOneWay { at, until, from, to } => {
+                write!(f, "oneway[{} -> {}] {at}..{until}", group(from), group(to))
+            }
+            Fault::Crash { at, node, restart_at } => match restart_at {
+                Some(r) => write!(f, "crash[{node}] {at}..{r}"),
+                None => write!(f, "crash[{node}] {at}.. (no restart)"),
+            },
+            Fault::Degrade { at, until, a, b, link } => write!(
+                f,
+                "degrade[{a} ~ {b}] {at}..{until} (lat {}..{}, drop {:.2}, dup {:.2})",
+                link.latency_min, link.latency_max, link.drop_prob, link.duplicate_prob
+            ),
+        }
+    }
+}
+
+/// Whether a [`ClauseEvent`] is the clause taking effect or being undone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClauseEdge {
+    /// The fault takes effect (partition starts, node crashes, link
+    /// degrades).
+    Onset,
+    /// The fault is undone (heal, restart, restore).
+    Heal,
+}
+
+/// One edge of one clause on the shared execution axis. The full
+/// [`FaultPlan::timeline`] is what an engine executes: the simulator
+/// turns each edge into a scheduled event, the wall-clock chaos
+/// controller sleeps until each edge's offset and applies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClauseEvent {
+    /// Offset from engine start at which the edge fires.
+    pub at: SimTime,
+    /// Index of the clause in [`FaultPlan::faults`].
+    pub clause: usize,
+    /// Onset or heal.
+    pub edge: ClauseEdge,
+}
+
+/// A declarative timeline of fault clauses, applied to a simulation
+/// before it runs. The empty plan is a valid (fault-free) plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The clauses, in onset order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty, fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan holding exactly the given clauses (sorted by onset).
+    pub fn from_faults(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(|f| (f.at(), f.ends_at()));
+        FaultPlan { faults }
+    }
+
+    /// Convenience: a single two-sided partition window — the shape the
+    /// old bespoke `partition: Option<(SimTime, SimTime)>` knobs encoded.
+    pub fn partition_window(
+        at: SimTime,
+        until: SimTime,
+        left: &[NodeId],
+        right: &[NodeId],
+    ) -> Self {
+        FaultPlan {
+            faults: vec![Fault::Partition {
+                at,
+                until,
+                left: left.to_vec(),
+                right: right.to_vec(),
+            }],
+        }
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The time by which every clause has been undone — the earliest
+    /// horizon at which it is fair to check convergence invariants.
+    pub fn ends_by(&self) -> SimTime {
+        self.faults.iter().map(Fault::ends_at).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Clause kinds matching `kind` (`"crash"`, `"partition"`, ...).
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.faults.iter().filter(|f| f.kind() == kind).count()
+    }
+
+    /// The plan's edges in execution order: every clause contributes its
+    /// onset, and — unless it is a crash that never restarts — its heal.
+    /// Ties order by clause index then onset-before-heal, matching the
+    /// insertion order the simulator's event queue would use. Both
+    /// engines execute exactly this sequence; comparing an engine's
+    /// applied-clause log against it is the parity check.
+    pub fn timeline(&self) -> Vec<ClauseEvent> {
+        let mut evs = Vec::with_capacity(self.faults.len() * 2);
+        for (i, f) in self.faults.iter().enumerate() {
+            evs.push(ClauseEvent { at: f.at(), clause: i, edge: ClauseEdge::Onset });
+            let heals = !matches!(f, Fault::Crash { restart_at: None, .. });
+            if heals {
+                evs.push(ClauseEvent { at: f.ends_at(), clause: i, edge: ClauseEdge::Heal });
+            }
+        }
+        evs.sort_by_key(|e| (e.at, e.clause, e.edge));
+        evs
+    }
+
+    /// Generate a plan from `seed` under `spec`'s constraints. The same
+    /// `(seed, spec)` always yields the same plan. Generated clauses all
+    /// end by `spec.window.1`.
+    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
+        let mut rng = SimRng::new(mix_seed(seed));
+        let kinds = spec.enabled_kinds();
+        if kinds.is_empty() {
+            return FaultPlan::none();
+        }
+        let hi = spec.max_faults.max(spec.min_faults).max(1);
+        let lo = spec.min_faults.clamp(1, hi);
+        let n = rng.gen_range(lo..=hi);
+        let w0 = spec.window.0.as_micros();
+        let w1 = spec.window.1.as_micros();
+        assert!(w1 > w0 + 1, "FaultSpec window must be non-trivial");
+        let mut faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let at_us = rng.gen_range(w0..w1 - 1);
+            let until_us = rng.gen_range(at_us + 1..w1);
+            let at = SimTime::from_micros(at_us);
+            let until = SimTime::from_micros(until_us);
+            match kind {
+                FaultKind::Partition | FaultKind::OneWay => {
+                    let (left, right) = split_groups(&mut rng, &spec.nodes);
+                    if kind == FaultKind::Partition {
+                        faults.push(Fault::Partition { at, until, left, right });
+                    } else {
+                        faults.push(Fault::PartitionOneWay { at, until, from: left, to: right });
+                    }
+                }
+                FaultKind::Crash => {
+                    let node = spec.crashable[rng.gen_range(0..spec.crashable.len())];
+                    faults.push(Fault::Crash { at, node, restart_at: Some(until) });
+                }
+                FaultKind::Degrade => {
+                    let a_ix = rng.gen_range(0..spec.nodes.len());
+                    let mut b_ix = rng.gen_range(0..spec.nodes.len() - 1);
+                    if b_ix >= a_ix {
+                        b_ix += 1;
+                    }
+                    let extra = rng.gen_range(0..=spec.max_extra_latency.as_micros());
+                    let link = LinkConfig {
+                        latency_min: SimDuration::from_millis(1),
+                        latency_max: SimDuration::from_millis(1) + SimDuration::from_micros(extra),
+                        drop_prob: rng.gen_range(0.0..=spec.max_drop_prob),
+                        duplicate_prob: rng.gen_range(0.0..=spec.max_dup_prob),
+                    };
+                    faults.push(Fault::Degrade {
+                        at,
+                        until,
+                        a: spec.nodes[a_ix],
+                        b: spec.nodes[b_ix],
+                        link,
+                    });
+                }
+            }
+        }
+        FaultPlan::from_faults(faults)
+    }
+
+    /// The smallest seed ≥ `base` whose generated plan holds at least
+    /// one clause of every fault class `spec` enables (crash, some
+    /// partition, degrade). CI smoke jobs use this to pin a seed that is
+    /// guaranteed to exercise all three machineries while staying a
+    /// plain `FaultPlan::generate` product — replayable anywhere.
+    ///
+    /// # Panics
+    /// Panics if no seed within `base + 100_000` covers the spec (only
+    /// possible with a degenerate spec, e.g. `max_faults` below the
+    /// number of enabled kinds).
+    pub fn covering_seed(base: u64, spec: &FaultSpec) -> u64 {
+        let kinds = spec.enabled_kinds();
+        for seed in base..base.saturating_add(100_000) {
+            let plan = FaultPlan::generate(seed, spec);
+            let covered = kinds.iter().all(|k| {
+                plan.faults.iter().any(|f| match k {
+                    FaultKind::Partition => f.kind() == "partition",
+                    FaultKind::OneWay => f.kind() == "partition_oneway",
+                    FaultKind::Crash => f.kind() == "crash",
+                    FaultKind::Degrade => f.kind() == "degrade",
+                })
+            });
+            if covered {
+                return seed;
+            }
+        }
+        panic!("no covering seed within 100000 of {base} for spec {spec:?}");
+    }
+
+    /// The clauses as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// Parse a plan from the array [`FaultPlan::to_json`] emits, so a
+    /// plan can travel between a wall-clock run and a simulator replay.
+    /// Clauses are re-sorted by onset (a no-op for emitted plans).
+    pub fn from_json(s: &str) -> Result<FaultPlan, String> {
+        let v = JVal::parse(s)?;
+        let arr = v.as_arr().ok_or("expected a JSON array of clauses")?;
+        let faults = arr.iter().map(Fault::from_jval).collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan::from_faults(faults))
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "(no faults)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Split `nodes` into two non-empty groups, driven by `rng`.
+fn split_groups(rng: &mut SimRng, nodes: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert!(nodes.len() >= 2, "need at least two nodes to partition");
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &n in nodes {
+        if rng.gen_bool(0.5) {
+            left.push(n);
+        } else {
+            right.push(n);
+        }
+    }
+    if left.is_empty() {
+        left.push(right.pop().expect("nodes non-empty"));
+    } else if right.is_empty() {
+        right.push(left.pop().expect("nodes non-empty"));
+    }
+    (left, right)
+}
+
+/// Which fault classes a generated plan may draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Partition,
+    OneWay,
+    Crash,
+    Degrade,
+}
+
+/// Constraints for [`FaultPlan::generate`]: which nodes participate,
+/// which may crash, the time window faults live in, and how many clauses
+/// a plan may hold. Substrates disable fault classes their protocol
+/// assumptions exclude (e.g. tandem's reliable local bus admits crashes
+/// but not partitions).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Nodes that participate in partitions and degrades.
+    pub nodes: Vec<NodeId>,
+    /// Nodes that may crash (typically servers, not workload drivers).
+    pub crashable: Vec<NodeId>,
+    /// Fault onsets fall inside this window; every clause ends by
+    /// `window.1`.
+    pub window: (SimTime, SimTime),
+    /// Minimum clauses per plan (≥ 1).
+    pub min_faults: usize,
+    /// Maximum clauses per plan.
+    pub max_faults: usize,
+    /// Allow two-sided group partitions.
+    pub partitions: bool,
+    /// Allow one-way (asymmetric) partitions.
+    pub oneway: bool,
+    /// Allow crash/restart clauses.
+    pub crashes: bool,
+    /// Allow link degradation clauses.
+    pub degrades: bool,
+    /// Upper bound on the extra latency a degrade may add.
+    pub max_extra_latency: SimDuration,
+    /// Upper bound on a degraded link's drop probability.
+    pub max_drop_prob: f64,
+    /// Upper bound on a degraded link's duplication probability.
+    pub max_dup_prob: f64,
+}
+
+impl FaultSpec {
+    /// A spec over `nodes` with every fault class enabled, all nodes
+    /// crashable, faults within `[10ms, 5s]`, and 1–5 clauses per plan.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        FaultSpec {
+            crashable: nodes.clone(),
+            nodes,
+            window: (SimTime::from_millis(10), SimTime::from_secs(5)),
+            min_faults: 1,
+            max_faults: 5,
+            partitions: true,
+            oneway: true,
+            crashes: true,
+            degrades: true,
+            max_extra_latency: SimDuration::from_millis(200),
+            max_drop_prob: 0.3,
+            max_dup_prob: 0.2,
+        }
+    }
+
+    /// Restrict which nodes may crash (empty disables crash clauses).
+    pub fn crashable(mut self, nodes: Vec<NodeId>) -> Self {
+        self.crashable = nodes;
+        self
+    }
+
+    /// Set the fault window.
+    pub fn window(mut self, start: SimTime, end: SimTime) -> Self {
+        self.window = (start, end);
+        self
+    }
+
+    /// Set the clause-count range.
+    pub fn faults(mut self, min: usize, max: usize) -> Self {
+        self.min_faults = min;
+        self.max_faults = max;
+        self
+    }
+
+    /// Enable/disable two-sided partitions.
+    pub fn partitions(mut self, on: bool) -> Self {
+        self.partitions = on;
+        self
+    }
+
+    /// Enable/disable one-way partitions.
+    pub fn oneway(mut self, on: bool) -> Self {
+        self.oneway = on;
+        self
+    }
+
+    /// Enable/disable crash clauses.
+    pub fn crashes(mut self, on: bool) -> Self {
+        self.crashes = on;
+        self
+    }
+
+    /// Enable/disable degrade clauses.
+    pub fn degrades(mut self, on: bool) -> Self {
+        self.degrades = on;
+        self
+    }
+
+    fn enabled_kinds(&self) -> Vec<FaultKind> {
+        let mut kinds = Vec::new();
+        if self.partitions && self.nodes.len() >= 2 {
+            kinds.push(FaultKind::Partition);
+        }
+        if self.oneway && self.nodes.len() >= 2 {
+            kinds.push(FaultKind::OneWay);
+        }
+        if self.crashes && !self.crashable.is_empty() {
+            kinds.push(FaultKind::Crash);
+        }
+        if self.degrades && self.nodes.len() >= 2 {
+            kinds.push(FaultKind::Degrade);
+        }
+        kinds
+    }
+}
+
+/// A parsed JSON value — just enough of the grammar to read back what
+/// the plan emitters write (the workspace builds offline, so no serde).
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn parse(s: &str) -> Result<JVal, String> {
+        let mut p = JParser { bytes: s.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&JVal> {
+        match self {
+            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[JVal]> {
+        match self {
+            JVal::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Exact for the integers the emitters write (micros < 2^53).
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct JParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b" \t\r\n".contains(b)) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JVal) -> Result<JVal, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'n' => self.literal("null", JVal::Null),
+            b't' => self.literal("true", JVal::Bool(true)),
+            b'f' => self.literal("false", JVal::Bool(false)),
+            b'"' => Ok(JVal::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(JVal::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("unterminated escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or("bad \\u escape")?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character (already-valid input).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JVal::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn mix_seed_gives_zero_a_distinct_stream() {
+        assert_ne!(mix_seed(0), 0);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..1000u64 {
+            assert!(seen.insert(mix_seed(s)), "collision at {s}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_respects_the_spec() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2), n(3)]);
+        for seed in 0..200 {
+            let a = FaultPlan::generate(seed, &spec);
+            let b = FaultPlan::generate(seed, &spec);
+            assert_eq!(a, b, "same seed, same plan");
+            assert!(!a.is_empty() && a.len() <= spec.max_faults);
+            for f in &a.faults {
+                assert!(f.at() >= spec.window.0);
+                assert!(f.ends_at() <= spec.window.1, "clauses end inside the window");
+                assert!(f.ends_at() >= f.at());
+            }
+            assert!(a.ends_by() <= spec.window.1);
+        }
+    }
+
+    #[test]
+    fn adjacent_seeds_differ() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]);
+        let distinct = (0..50)
+            .map(|s| FaultPlan::generate(s, &spec))
+            .collect::<Vec<_>>()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        assert!(distinct >= 45, "only {distinct}/49 adjacent pairs differ");
+    }
+
+    #[test]
+    fn disabled_kinds_never_appear() {
+        let spec =
+            FaultSpec::new(vec![n(0), n(1), n(2)]).partitions(false).oneway(false).degrades(false);
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, &spec);
+            assert!(plan.faults.iter().all(|f| f.kind() == "crash"), "{plan}");
+        }
+    }
+
+    #[test]
+    fn crashable_list_restricts_crash_targets() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]).crashable(vec![n(2)]);
+        for seed in 0..50 {
+            for f in FaultPlan::generate(seed, &spec).faults {
+                if let Fault::Crash { node, .. } = f {
+                    assert_eq!(node, n(2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_json_is_deterministic() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2)]);
+        let plan = FaultPlan::generate(7, &spec);
+        assert_eq!(plan.to_json(), FaultPlan::generate(7, &spec).to_json());
+        assert!(plan.to_json().starts_with('['));
+    }
+
+    #[test]
+    fn json_round_trips_every_clause_kind() {
+        let plan = FaultPlan::from_faults(vec![
+            Fault::Partition {
+                at: SimTime::from_millis(10),
+                until: SimTime::from_millis(50),
+                left: vec![n(0), n(1)],
+                right: vec![n(2)],
+            },
+            Fault::PartitionOneWay {
+                at: SimTime::from_millis(20),
+                until: SimTime::from_millis(40),
+                from: vec![n(2)],
+                to: vec![n(0)],
+            },
+            Fault::Crash { at: SimTime::from_millis(15), node: n(1), restart_at: None },
+            Fault::Crash {
+                at: SimTime::from_millis(25),
+                node: n(2),
+                restart_at: Some(SimTime::from_millis(60)),
+            },
+            Fault::Degrade {
+                at: SimTime::from_millis(5),
+                until: SimTime::from_millis(35),
+                a: n(0),
+                b: n(2),
+                link: LinkConfig {
+                    latency_min: SimDuration::from_millis(1),
+                    latency_max: SimDuration::from_millis(7),
+                    drop_prob: 0.28130000000317,
+                    duplicate_prob: 0.125,
+                },
+            },
+        ]);
+        let parsed = FaultPlan::from_json(&plan.to_json()).expect("parses");
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_json(), plan.to_json(), "stable through a second trip");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_plans() {
+        assert!(FaultPlan::from_json("{}").is_err(), "not an array");
+        assert!(FaultPlan::from_json("[{\"kind\":\"meteor\"}]").is_err(), "unknown kind");
+        assert!(
+            FaultPlan::from_json("[{\"kind\":\"crash\",\"at_us\":1,\"node\":\"x9\"}]").is_err(),
+            "bad node id"
+        );
+        assert!(FaultPlan::from_json("[,]").is_err(), "syntax error");
+        assert!(FaultPlan::from_json("[] trailing").is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn timeline_orders_every_edge_and_skips_dead_restarts() {
+        let plan = FaultPlan::from_faults(vec![
+            Fault::Crash { at: SimTime::from_millis(30), node: n(0), restart_at: None },
+            Fault::Partition {
+                at: SimTime::from_millis(10),
+                until: SimTime::from_millis(40),
+                left: vec![n(0)],
+                right: vec![n(1)],
+            },
+        ]);
+        let tl = plan.timeline();
+        // Partition onset, crash onset (no heal — it never restarts),
+        // partition heal.
+        assert_eq!(tl.len(), 3);
+        assert_eq!(
+            tl[0],
+            ClauseEvent { at: SimTime::from_millis(10), clause: 0, edge: ClauseEdge::Onset }
+        );
+        assert_eq!(
+            tl[1],
+            ClauseEvent { at: SimTime::from_millis(30), clause: 1, edge: ClauseEdge::Onset }
+        );
+        assert_eq!(
+            tl[2],
+            ClauseEvent { at: SimTime::from_millis(40), clause: 0, edge: ClauseEdge::Heal }
+        );
+        assert!(tl.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+    }
+
+    #[test]
+    fn covering_seed_yields_all_enabled_kinds() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2), n(3)]).oneway(false).faults(3, 5);
+        let seed = FaultPlan::covering_seed(0, &spec);
+        let plan = FaultPlan::generate(seed, &spec);
+        for kind in ["crash", "partition", "degrade"] {
+            assert!(plan.count_kind(kind) >= 1, "seed {seed} missing {kind}: {plan}");
+        }
+        assert_eq!(seed, FaultPlan::covering_seed(0, &spec), "deterministic");
+    }
+}
