@@ -26,8 +26,12 @@
 //! ```
 //!
 //! Exit is nonzero if any cell loses an acked op, leaves a guess open
-//! after quiescence, or mis-accounts the plan (clause edges applied !=
-//! timeline length, restarts != crash clauses).
+//! after quiescence, mis-accounts the plan (clause edges applied !=
+//! timeline length, restarts != crash clauses), or fails the incident
+//! audit: every crash clause must have filed exactly one chaos-crash
+//! incident whose causal slice contains the crash edge, and the cell's
+//! incident ring must survive a durable round trip through an
+//! [`IncidentStream`] under `--dir`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -36,9 +40,13 @@ use std::time::{Duration, Instant};
 use cart::CrdtCart;
 use dynamo::{DynamoConfig, StoreNode};
 use quicksand::eventlog::{AckPolicy, BrokerConfig, DirKind, EventLogNode, LogConfig, Producer};
+use quicksand_bench::incidents::IncidentStream;
 use quicksand_bench::service::{add_crdt_stores, LoadClient};
 use quicksand_runtime::{Runtime, RuntimeBuilder};
-use sim::{FaultPlan, FaultSpec, NodeId, SimDuration, SimTime};
+use sim::{
+    EngineCore, FaultPlan, FaultSpec, FlightKind, Incident, IncidentKind, NodeId, SimDuration,
+    SimTime,
+};
 
 fn arg_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let pos = args.iter().position(|a| a == flag)?;
@@ -63,6 +71,12 @@ struct Cell {
     orphaned_guesses: u64,
     restarts: u64,
     clause_edges: u64,
+    /// Chaos-crash incidents the runtime's black box filed.
+    incidents: u64,
+    /// Every incident's causal slice contains its own crash edge.
+    incident_slices_ok: bool,
+    /// Records in the cell's durable incident stream after reopen.
+    incidents_durable: u64,
     elapsed_secs: f64,
 }
 
@@ -73,7 +87,35 @@ impl Cell {
             && self.open_guesses == 0
             && self.restarts == self.crash_clauses as u64
             && self.clause_edges > 0
+            && self.incidents == self.crash_clauses as u64
+            && self.incident_slices_ok
+            && self.incidents_durable >= self.incidents
     }
+}
+
+/// Audit the black box and make it durable: count the chaos-crash
+/// incidents filed, verify each slice contains its own crash edge,
+/// persist the whole ring to an [`IncidentStream`] under `dir`, and
+/// reopen from disk to prove the records outlive the writer. Returns
+/// `(chaos_crash_incidents, slices_ok, durable_records)`.
+fn audit_incidents(core: &EngineCore, dir: &Path) -> (u64, bool, u64) {
+    let crashes: Vec<&Incident> =
+        core.incidents.iter().filter(|i| i.kind == IncidentKind::ChaosCrash).collect();
+    let slices_ok = crashes.iter().all(|inc| {
+        inc.explanation
+            .slice
+            .events
+            .iter()
+            .any(|e| e.id == inc.target && e.kind == FlightKind::Crash)
+    });
+    let stream_dir = dir.join("incidents");
+    let mut s = IncidentStream::open(&stream_dir);
+    for inc in core.incidents.iter() {
+        s.append(inc);
+    }
+    drop(s);
+    let durable = IncidentStream::open(&stream_dir).replay().len() as u64;
+    (crashes.len() as u64, slices_ok, durable)
 }
 
 /// Wait for the attached plan to finish, then let anti-entropy settle.
@@ -104,11 +146,13 @@ fn cart_spec(window_ms: u64, clauses: usize) -> FaultSpec {
         .oneway(clauses >= 4)
 }
 
-fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64) -> Cell {
+fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64, dir: &Path) -> Cell {
     let spec = cart_spec(2200, clauses);
     let seed = FaultPlan::covering_seed(base_seed, &spec);
     let plan = FaultPlan::generate(seed, &spec);
     eprintln!("cart cell (seed {seed}, {clauses} clauses):\n{plan}");
+    let cell_dir = dir.join(format!("cart-{seed}"));
+    let _ = std::fs::remove_dir_all(&cell_dir);
 
     let mut b = RuntimeBuilder::new().chaos(plan.clone(), seed);
     let store_ids = add_crdt_stores(&mut b, CART_STORES, &DynamoConfig::default());
@@ -143,6 +187,8 @@ fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64) -> Cell {
         .count() as u64;
 
     let acc = report.core.ledger.accounting();
+    let (incidents, incident_slices_ok, incidents_durable) =
+        audit_incidents(&report.core, &cell_dir);
     Cell {
         service: "cart/tcp",
         base_seed,
@@ -155,6 +201,9 @@ fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64) -> Cell {
         orphaned_guesses: acc.orphaned(),
         restarts: report.core.metrics.counter("runtime.restarts"),
         clause_edges: report.core.metrics.counter("runtime.chaos_clauses"),
+        incidents,
+        incident_slices_ok,
+        incidents_durable,
         elapsed_secs: elapsed,
     }
 }
@@ -214,6 +263,8 @@ fn evlog_cell(base_seed: u64, clauses: usize, appends: u64, dir: &Path) -> Cell 
     let lost = acked.iter().filter(|id| broker.log().lookup(**id).is_none()).count() as u64;
 
     let acc = report.core.ledger.accounting();
+    let (incidents, incident_slices_ok, incidents_durable) =
+        audit_incidents(&report.core, &cell_dir);
     Cell {
         service: "evlog/fsync",
         base_seed,
@@ -226,6 +277,9 @@ fn evlog_cell(base_seed: u64, clauses: usize, appends: u64, dir: &Path) -> Cell 
         orphaned_guesses: acc.orphaned(),
         restarts: report.core.metrics.counter("runtime.restarts"),
         clause_edges: report.core.metrics.counter("runtime.chaos_clauses"),
+        incidents,
+        incident_slices_ok,
+        incidents_durable,
         elapsed_secs: elapsed,
     }
 }
@@ -260,14 +314,14 @@ fn main() {
 
     let mut cells = Vec::new();
     for &(base, clauses, ops) in cart_rows {
-        cells.push(cart_cell(base, clauses, ops));
+        cells.push(cart_cell(base, clauses, ops, &dir));
     }
     for &(base, clauses, appends) in evlog_rows {
         cells.push(evlog_cell(base, clauses, appends, &dir));
     }
 
     println!(
-        "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>7}",
+        "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>6} {:>7}",
         "service",
         "seed",
         "clauses",
@@ -278,12 +332,13 @@ fn main() {
         "orphaned",
         "restarts",
         "edges",
+        "incid",
         "secs"
     );
     let mut failed = false;
     for c in &cells {
         println!(
-            "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>7.2}{}",
+            "{:<12} {:>9} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>8} {:>6} {:>6} {:>7.2}{}",
             c.service,
             c.seed,
             c.clauses,
@@ -294,6 +349,7 @@ fn main() {
             c.orphaned_guesses,
             c.restarts,
             c.clause_edges,
+            c.incidents,
             c.elapsed_secs,
             if c.ok() { "" } else { "  <-- FAIL" },
         );
@@ -316,7 +372,8 @@ fn main() {
                 "    {{\"service\": \"{}\", \"base_seed\": {}, \"seed\": {}, \"clauses\": {}, \
                  \"crash_clauses\": {}, \"acked\": {}, \"lost_acked\": {}, \
                  \"open_guesses\": {}, \"orphaned_guesses\": {}, \"restarts\": {}, \
-                 \"clause_edges\": {}}}{comma}",
+                 \"clause_edges\": {}, \"incidents\": {}, \"incident_slices_ok\": {}, \
+                 \"incidents_durable\": {}}}{comma}",
                 c.service,
                 c.base_seed,
                 c.seed,
@@ -328,6 +385,9 @@ fn main() {
                 c.orphaned_guesses,
                 c.restarts,
                 c.clause_edges,
+                c.incidents,
+                c.incident_slices_ok,
+                c.incidents_durable,
             );
         }
         json.push_str("  ]\n}\n");

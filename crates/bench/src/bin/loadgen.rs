@@ -24,11 +24,23 @@
 //! `--watch` attaches the live telemetry surface (binding
 //! `--telemetry-addr`, or an ephemeral port if unset) and polls it over
 //! real HTTP while the run is in flight, rendering a one-line dashboard
-//! — ops/s and windowed p99 from `/metrics`, open guesses from
-//! `/ledger`, node liveness from `/health`. After the clients finish
-//! and the run quiesces, watch mode re-reads `/ledger` and **exits
-//! nonzero if any guess is still open**: a promise somebody made and
-//! never reconciled (§5).
+//! — ops/s and windowed p99 from `/metrics`, open guesses and the
+//! worst per-substrate apology p99 from `/ledger`, node liveness from
+//! `/health`. After the clients finish and the run quiesces, watch
+//! mode re-reads `/ledger` and **exits nonzero if any guess is still
+//! open**: a promise somebody made and never reconciled (§5).
+//!
+//! ## Incident forensics
+//!
+//! Under `--fault-plan`, the run audits the runtime's black box after
+//! the plan completes: every planned crash clause must have filed
+//! exactly one incident whose causal slice contains the crash edge,
+//! and (when telemetry is up) `/incidents` and `/explain?incident=N`
+//! must serve the post-mortems live — text and Perfetto both. With
+//! `--incidents-dir DIR` the incident ring is drained to a durable
+//! [`IncidentStream`] under `DIR/stream/`, reopened to prove the
+//! records survive the process, and rendered to `incidents.json` plus
+//! one `incident-*.txt` per record for the CI artifact tab.
 //!
 //! ## Sweep mode
 //!
@@ -47,9 +59,13 @@ use std::time::{Duration, Instant};
 use cart::CrdtCart;
 use dynamo::{DynamoConfig, StoreNode};
 use quicksand_bench::http::{http_get, json_number};
+use quicksand_bench::incidents::IncidentStream;
 use quicksand_bench::service::{add_crdt_stores, LoadClient};
 use quicksand_runtime::{RuntimeBuilder, TransportKind};
-use sim::{FaultPlan, FaultSpec, LogHistogram, NodeId, SimDuration, SimTime};
+use sim::{
+    FaultPlan, FaultSpec, FlightKind, Incident, IncidentKind, LogHistogram, NodeId, SimDuration,
+    SimTime,
+};
 
 use crdt::Crdt;
 
@@ -93,6 +109,9 @@ struct Config {
     fault_plan: Option<u64>,
     fault_clauses: usize,
     fault_window_ms: u64,
+    /// Persist the run's incident ring to a durable [`IncidentStream`]
+    /// under this directory (plus text/index artifacts for CI).
+    incidents_dir: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -120,6 +139,7 @@ fn parse_args() -> Config {
             .map_or(3, |v| v.parse().expect("--fault-clauses")),
         fault_window_ms: arg_value(&mut args, "--fault-window-ms")
             .map_or(2500, |v| v.parse().expect("--fault-window-ms")),
+        incidents_dir: arg_value(&mut args, "--incidents-dir"),
     };
     if !args.is_empty() {
         eprintln!("unknown args: {args:?}");
@@ -192,6 +212,14 @@ fn watch_loop(addr: SocketAddr, stop: Arc<AtomicBool>, last_rate_bits: Arc<Atomi
             section_number(&b[at..], "load.get_us", "p99")
         });
         let open = ledger.as_ref().and_then(|(_, b)| json_number(b, "open"));
+        // Worst-case apology p99 across substrates, from the ledger's
+        // per-substrate open→apology histograms (§5: how long did a
+        // customer wait to hear "sorry"?).
+        let apology_p99 = ledger.as_ref().and_then(|(_, b)| {
+            b.match_indices("\"apology_latency_us\"")
+                .filter_map(|(at, _)| json_number(&b[at..], "p99"))
+                .fold(None, |best: Option<f64>, v| Some(best.map_or(v, |b| b.max(v))))
+        });
         let (up, total) = health
             .as_ref()
             .map(|(_, b)| (json_number(b, "nodes_up"), json_number(b, "nodes_total")))
@@ -211,6 +239,9 @@ fn watch_loop(addr: SocketAddr, stop: Arc<AtomicBool>, last_rate_bits: Arc<Atomi
         }
         if let Some(o) = open {
             let _ = write!(line, " | open guesses {o:.0}");
+        }
+        if let Some(p) = apology_p99 {
+            let _ = write!(line, " | apology p99 {:.1}ms", p / 1000.0);
         }
         if let (Some(u), Some(t)) = (up, total) {
             let _ = write!(line, " | nodes {u:.0}/{t:.0} up");
@@ -262,7 +293,9 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
     let started = Instant::now();
     let rt = b.launch_transport(cfg.transport).expect("launch");
     if let Some(addr) = rt.telemetry_addr() {
-        eprintln!("telemetry: http://{addr}  (/health /metrics /ledger /trace)");
+        eprintln!(
+            "telemetry: http://{addr}  (/health /metrics /ledger /trace /incidents /explain)"
+        );
     }
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -347,6 +380,54 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
             }
         }
     }
+    // Live forensics check: while the surface is still up (and traffic
+    // may still be settling), the black box must already hold every
+    // chaos crash, and `/explain` must serve both renderings for each.
+    if let (Some(_), Some(addr)) = (&chaos_plan, rt.telemetry_addr()) {
+        let crash_seqs: Vec<u64> = rt.with_core(|c| {
+            c.incidents
+                .iter()
+                .filter(|i| i.kind == IncidentKind::ChaosCrash)
+                .map(|i| i.seq)
+                .collect()
+        });
+        match http_get(addr, "/incidents") {
+            Ok((200, body)) => {
+                let count = json_number(&body, "count").unwrap_or(-1.0) as i64;
+                if count < crash_seqs.len() as i64 {
+                    eprintln!(
+                        "/incidents reports {count} incidents; core holds {} chaos crashes",
+                        crash_seqs.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            other => {
+                eprintln!("/incidents did not serve the index: {other:?}");
+                std::process::exit(1);
+            }
+        }
+        for &seq in &crash_seqs {
+            match http_get(addr, &format!("/explain?incident={seq}")) {
+                Ok((200, text)) if text.contains("crash") => {}
+                other => {
+                    eprintln!("/explain?incident={seq} bad text rendering: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+            match http_get(addr, &format!("/explain?incident={seq}&format=perfetto")) {
+                Ok((200, body)) if body.trim_start().starts_with('[') => {}
+                other => {
+                    eprintln!("/explain?incident={seq}&format=perfetto not a trace: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!(
+            "  /incidents + /explain serve {} chaos-crash post-mortem(s) live",
+            crash_seqs.len()
+        );
+    }
     stop.store(true, Ordering::SeqCst);
     if let Some(w) = watcher {
         w.join().ok();
@@ -413,6 +494,86 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         }
         eprintln!(
             "  chaos accounted: {clauses} clause edges applied, {restarts} crash/restart cycles"
+        );
+        // The tentpole invariant: every planned crash produced exactly
+        // one incident whose causal slice contains the crash edge
+        // itself. Fewer means the black box missed a crash; more means
+        // something double-filed; a slice without its own crash edge
+        // would be a post-mortem that cannot explain the death.
+        let crashes: Vec<&Incident> =
+            core.incidents.iter().filter(|i| i.kind == IncidentKind::ChaosCrash).collect();
+        let want = plan.count_kind("crash");
+        if crashes.len() != want {
+            eprintln!(
+                "INCIDENT AUDIT FAILED: {} chaos-crash incident(s) filed (want {want})",
+                crashes.len()
+            );
+            std::process::exit(1);
+        }
+        for inc in &crashes {
+            let has_edge = inc
+                .explanation
+                .slice
+                .events
+                .iter()
+                .any(|e| e.id == inc.target && e.kind == FlightKind::Crash);
+            if !has_edge {
+                eprintln!(
+                    "INCIDENT AUDIT FAILED: incident #{} (node n{}) slice is missing its \
+                     crash edge E{}",
+                    inc.seq, inc.node.0, inc.target.0
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "  incident audit: {want} planned crash(es), {want} incident(s), every slice \
+             contains its crash edge"
+        );
+    }
+    if let Some(dir) = &cfg.incidents_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("creating {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let all: Vec<Incident> = core.incidents.iter().cloned().collect();
+        let mut stream = IncidentStream::open(&dir.join("stream"));
+        let fresh = all.iter().filter(|i| stream.append(i)).count();
+        drop(stream);
+        // Reopen from disk: the black box must survive the process
+        // that wrote it, and a re-drain must be a pure dedup no-op.
+        let mut reopened = IncidentStream::open(&dir.join("stream"));
+        let redrained = all.iter().filter(|i| reopened.append(i)).count();
+        if redrained != 0 {
+            eprintln!("INCIDENT STREAM NOT IDEMPOTENT: {redrained} records re-appended");
+            std::process::exit(1);
+        }
+        let held = reopened.replay();
+        if held.len() < all.len() {
+            eprintln!(
+                "INCIDENT STREAM LOST RECORDS: appended {} but only {} survive reopen",
+                all.len(),
+                held.len()
+            );
+            std::process::exit(1);
+        }
+        std::fs::write(dir.join("incidents.json"), reopened.index_json()).unwrap_or_else(|e| {
+            eprintln!("writing incidents.json: {e}");
+            std::process::exit(1);
+        });
+        for rec in &held {
+            let name = format!("incident-n{}-e{}-{}.txt", rec.node, rec.epoch, rec.seq);
+            std::fs::write(dir.join(name), &rec.text).unwrap_or_else(|e| {
+                eprintln!("writing incident text: {e}");
+                std::process::exit(1);
+            });
+        }
+        eprintln!(
+            "  incidents: {} durable under {} ({} new this run, reopen verified)",
+            held.len(),
+            dir.display(),
+            fresh
         );
     }
     let throughput = total_ops as f64 / elapsed.as_secs_f64();

@@ -16,6 +16,7 @@
 pub mod artifacts;
 pub mod experiments;
 pub mod http;
+pub mod incidents;
 pub mod service;
 pub mod table;
 

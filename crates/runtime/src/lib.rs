@@ -40,6 +40,9 @@ pub mod transport;
 
 pub use chaos::{rendered_timeline, ChaosController, ChaosStats, NetChaos};
 pub use clock::WallClock;
-pub use runtime::{BoxedActor, Runtime, RuntimeBuilder, RuntimeReport, TransportKind};
+pub use runtime::{
+    BoxedActor, Runtime, RuntimeBuilder, RuntimeReport, TransportKind, DEFAULT_FLIGHT_CAP,
+    DEFAULT_GUESS_DEADLINE,
+};
 pub use telemetry::NodeStatus;
 pub use transport::Transport;

@@ -53,8 +53,8 @@ use std::time::{Duration, Instant};
 
 use quicksand_core::WireCodec;
 use sim::{
-    Action, Actor, Context, EngineCore, FlightId, FlightRecorder, NodeId, SimTime, SpanId,
-    SpanStatus, Trace,
+    Action, Actor, Context, EngineCore, FlightId, FlightRecorder, IncidentKind, NodeId,
+    SimDuration, SimTime, SpanId, SpanStatus, Trace,
 };
 
 use crate::chaos::{ChaosController, ChaosTransport, NetChaos};
@@ -66,6 +66,16 @@ use crate::transport::{Envelope, Inbox, Loopback, TcpTransport, Transport};
 /// A boxed actor as the runtime holds it: the sim contract plus `Send`
 /// so it can live on a worker thread.
 pub type BoxedActor<M> = Box<dyn Actor<M> + Send>;
+
+/// Flight-recorder ring capacity when the builder doesn't choose one.
+/// Incident forensics is always on: every crash post-mortem needs a
+/// slice, so the recorder runs by default ([`RuntimeBuilder::flight`]
+/// with `0` disables it).
+pub const DEFAULT_FLIGHT_CAP: usize = 4096;
+
+/// Default deadline after which a still-open guess files a
+/// guess-deadline incident (the apology is overdue).
+pub const DEFAULT_GUESS_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Which transport carries sends between nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,6 +164,7 @@ pub struct RuntimeBuilder<M> {
     snapshot_interval: Duration,
     flight_cap: Option<usize>,
     trace_cap: Option<usize>,
+    guess_deadline: Option<Duration>,
     chaos: Option<ChaosPrep<M>>,
 }
 
@@ -167,6 +178,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             snapshot_interval: Duration::from_secs(1),
             flight_cap: None,
             trace_cap: None,
+            guess_deadline: Some(DEFAULT_GUESS_DEADLINE),
             chaos: None,
         }
     }
@@ -195,10 +207,20 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
         self
     }
 
-    /// Enable the forensic flight recorder with a bounded ring of
-    /// `capacity` events, exactly as in the simulator.
+    /// Size the forensic flight recorder's bounded ring. The recorder
+    /// is **on by default** ([`DEFAULT_FLIGHT_CAP`] events) because
+    /// incident forensics depends on it; pass `0` to disable it and
+    /// with it the black box.
     pub fn flight(mut self, capacity: usize) -> Self {
         self.flight_cap = Some(capacity);
+        self
+    }
+
+    /// How long a guess may stay open before a guess-deadline incident
+    /// is filed (default [`DEFAULT_GUESS_DEADLINE`]). `None` disables
+    /// the sweep.
+    pub fn guess_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.guess_deadline = deadline;
         self
     }
 
@@ -296,11 +318,16 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
         });
         let wheel = Arc::new(TimerWheel::new());
         let mut core = EngineCore::new(seed);
-        if let Some(cap) = self.flight_cap {
-            core.flight = Some(FlightRecorder::new(cap));
+        let flight_cap = self.flight_cap.unwrap_or(DEFAULT_FLIGHT_CAP);
+        if flight_cap > 0 {
+            core.flight = Some(FlightRecorder::new(flight_cap));
         }
         if let Some(cap) = self.trace_cap {
             core.trace = Some(Trace::new(cap));
+        }
+        if let Some((plan, _)) = &chaos_prep {
+            // Explanations and incidents render the clauses in force.
+            core.plan = plan.clone();
         }
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
@@ -338,6 +365,26 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             TelemetrySurface::start(listener, core, self.snapshot_interval).ok()
         });
 
+        // The guess-deadline sweeper: a light always-on auditor that
+        // files an incident for any promise left open too long.
+        let sweeper_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sweeper = self.guess_deadline.filter(|_| flight_cap > 0).map(|deadline| {
+            let shared = shared.clone();
+            let stop = sweeper_stop.clone();
+            std::thread::spawn(move || {
+                let tick = (deadline / 4).clamp(Duration::from_millis(50), Duration::from_secs(1));
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    let now = shared.clock.now();
+                    let deadline = SimDuration::from_micros(deadline.as_micros() as u64);
+                    let nodes = &shared.nodes;
+                    shared.lock_core().sweep_overdue_guesses(now, deadline, |n| {
+                        nodes.get(n.0).map_or(0, |s| s.epoch())
+                    });
+                }
+            })
+        });
+
         // The chaos clock starts now: clause offsets are measured from
         // launch, after every worker exists to receive crash envelopes.
         let chaos = chaos_prep.map(|(plan, net)| {
@@ -353,7 +400,16 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             ChaosController::start(plan, net, shared.transport.clone(), senders.clone(), on_apply)
         });
 
-        Runtime { shared, senders, workers, wheel_thread: Some(wheel_thread), telemetry, chaos }
+        Runtime {
+            shared,
+            senders,
+            workers,
+            wheel_thread: Some(wheel_thread),
+            telemetry,
+            chaos,
+            sweeper,
+            sweeper_stop,
+        }
     }
 }
 
@@ -455,7 +511,9 @@ impl<M: Send + 'static> Worker<M> {
         self.epoch += 1;
         self.status().note_crash(self.epoch, false);
         let _ = catch_unwind(AssertUnwindSafe(|| actor.on_crash(now)));
-        self.shared.lock_core().crash_bookkeeping(self.node, now);
+        let mut core = self.shared.lock_core();
+        let outcome = core.crash_bookkeeping(self.node, now);
+        core.record_crash_incident(self.node, self.epoch, IncidentKind::ChaosCrash, now, &outcome);
     }
 
     /// Run one callback under the core lock with pre-bookkeeping, then
@@ -517,7 +575,15 @@ impl<M: Send + 'static> Worker<M> {
                 self.up = false;
                 self.epoch += 1;
                 self.status().note_crash(self.epoch, true);
-                self.shared.lock_core().crash_bookkeeping(self.node, now);
+                let mut core = self.shared.lock_core();
+                let outcome = core.crash_bookkeeping(self.node, now);
+                core.record_crash_incident(
+                    self.node,
+                    self.epoch,
+                    IncidentKind::PanicCrash,
+                    now,
+                    &outcome,
+                );
                 return;
             }
         };
@@ -580,6 +646,8 @@ pub struct Runtime<M> {
     wheel_thread: Option<JoinHandle<()>>,
     telemetry: Option<TelemetrySurface>,
     chaos: Option<ChaosController>,
+    sweeper: Option<JoinHandle<()>>,
+    sweeper_stop: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl<M: Send + 'static> Runtime<M> {
@@ -670,6 +738,10 @@ impl<M: Send + 'static> Runtime<M> {
         // races a shutdown envelope into a mailbox.
         if let Some(mut c) = self.chaos.take() {
             c.stop();
+        }
+        self.sweeper_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.sweeper.take() {
+            h.join().ok();
         }
         if let Some(t) = self.telemetry.take() {
             t.shutdown();

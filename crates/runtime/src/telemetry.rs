@@ -5,8 +5,8 @@
 //! means an operator needs to see the guesses outstanding and the
 //! apologies issued **while traffic flows**, not in a post-mortem
 //! export. This module gives every [`crate::Runtime`] an optional,
-//! dependency-free HTTP server (std `TcpListener`, one short-lived
-//! thread per request) exposing:
+//! dependency-free HTTP server (std `TcpListener`, a small fixed pool
+//! of worker threads behind a bounded accept queue) exposing:
 //!
 //! - `GET /health` — per-node up/down, crash epoch, restart and
 //!   panic-crash counts, mailbox depth; `200` when every node is up,
@@ -14,14 +14,26 @@
 //! - `GET /metrics` — Prometheus text exposition by default, JSON with
 //!   `?format=json`: every [`sim::EngineCore`] counter/gauge/histogram,
 //!   the runtime-only gauges (mailbox depths, timer-wheel size, nodes
-//!   up), ledger accounting, and **snapshot-derived rates** (ops/s and
-//!   windowed p50/p99 over roughly the last ten seconds).
+//!   up), ledger accounting with per-substrate confirm/apology latency
+//!   quantiles, and **snapshot-derived rates** (ops/s and windowed
+//!   p50/p99 over roughly the last ten seconds).
 //! - `GET /ledger` — the guess/apology books, per substrate, plus every
 //!   still-open guess: the §5 accounting, live.
 //! - `GET /trace` — a bounded tail of the span store streamed as Chrome
 //!   `trace_event` JSON (chunked transfer), loadable in Perfetto with
 //!   the exact schema the simulator's exporter emits
-//!   ([`sim::SpanRecord::to_chrome_event`]).
+//!   ([`sim::SpanRecord::to_chrome_event`]); `?span=S7` narrows to one
+//!   request's span subtree.
+//! - `GET /incidents` — the black box: every crash post-mortem the
+//!   runtime filed ([`sim::IncidentLog`]), as an index with per-incident
+//!   guess/crash summaries.
+//! - `GET /explain?incident=N` / `?guess=G7` — the causal-slice
+//!   rendering for one incident or one guess, as a text timeline by
+//!   default, `?format=perfetto` for a Chrome trace, `?format=json` for
+//!   the full structured record.
+//!
+//! Malformed query parameters (`?limit=`, `?format=`, `?incident=`,
+//! `?guess=`, `?span=`) are a `400`, never a silent default.
 //!
 //! ## The snapshot layer
 //!
@@ -39,11 +51,12 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sim::{EngineCore, LogHistogram, SimTime};
+use sim::{EngineCore, GuessId, LogHistogram, SimTime, SpanId};
 
 /// Live status of one node, updated by its worker thread and read by
 /// the telemetry surface without taking the core lock.
@@ -206,6 +219,15 @@ fn derive(ring: &SnapRing) -> Option<Derived> {
     Some(Derived { window_secs: dt, rates, window_hists })
 }
 
+/// Fixed number of request-handling worker threads: enough for a
+/// scraper plus a human poking around, small enough that a curl storm
+/// cannot exhaust the process's thread budget.
+const WORKER_POOL: usize = 4;
+
+/// Accepted-but-unserved connections the pool will queue before the
+/// acceptor starts shedding load with `503`s.
+const PENDING_CAP: usize = 32;
+
 /// A running telemetry endpoint. Created by
 /// [`crate::RuntimeBuilder::telemetry`]; shut down with the runtime.
 pub(crate) struct TelemetrySurface {
@@ -213,7 +235,7 @@ pub(crate) struct TelemetrySurface {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     snap_thread: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TelemetrySurface {
@@ -230,8 +252,6 @@ impl TelemetrySurface {
             consumed: BTreeMap::new(),
             cumulative: BTreeMap::new(),
         }));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
         let snap_stop = stop.clone();
         let snap_core = core.clone();
         let snap_ring = ring.clone();
@@ -253,21 +273,43 @@ impl TelemetrySurface {
             }
         });
 
+        // Bounded worker pool: the acceptor only hands sockets to a
+        // fixed-size channel; when every worker is busy and the queue
+        // is full it sheds load with a 503 instead of spawning an
+        // unbounded thread per connection.
+        let (tx, rx) = sync_channel::<TcpStream>(PENDING_CAP);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..WORKER_POOL)
+            .map(|_| {
+                let rx = rx.clone();
+                let core = core.clone();
+                let ring = ring.clone();
+                std::thread::spawn(move || loop {
+                    let next = lock(&rx).recv();
+                    match next {
+                        Ok(stream) => handle_connection(stream, core.clone(), ring.clone()),
+                        Err(_) => break, // acceptor gone, pool drains out
+                    }
+                })
+            })
+            .collect();
+
         let accept_stop = stop.clone();
-        let accept_handlers = handlers.clone();
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let core = core.clone();
-                let ring = ring.clone();
-                let h = std::thread::spawn(move || handle_connection(stream, core, ring));
-                let mut hs = accept_handlers.lock().unwrap_or_else(|e| e.into_inner());
-                hs.retain(|h| !h.is_finished());
-                hs.push(h);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        respond(&mut stream, 503, "text/plain", "telemetry worker pool full\n");
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
             }
+            // Dropping `tx` here unblocks every idle worker's recv().
         });
 
         Ok(TelemetrySurface {
@@ -275,7 +317,7 @@ impl TelemetrySurface {
             stop,
             accept_thread: Some(accept_thread),
             snap_thread: Some(snap_thread),
-            handlers,
+            workers,
         })
     }
 
@@ -295,8 +337,9 @@ impl TelemetrySurface {
         if let Some(h) = self.snap_thread.take() {
             h.join().ok();
         }
-        let hs = std::mem::take(&mut *self.handlers.lock().unwrap_or_else(|e| e.into_inner()));
-        for h in hs {
+        // The acceptor dropped its channel sender on exit, so each
+        // worker finishes its in-flight request and sees Disconnected.
+        for h in std::mem::take(&mut self.workers) {
             h.join().ok();
         }
     }
@@ -351,17 +394,27 @@ fn handle_connection(stream: TcpStream, core: Arc<dyn CoreHandle>, ring: Arc<Mut
             200,
             "text/plain",
             "quicksand runtime telemetry\n\
-             GET /health   per-node liveness (200 iff all up)\n\
-             GET /metrics  Prometheus exposition (?format=json for JSON)\n\
-             GET /ledger   guess/apology accounting + open guesses\n\
-             GET /trace    span tail as Perfetto/Chrome trace JSON (?limit=N)\n",
+             GET /health     per-node liveness (200 iff all up)\n\
+             GET /metrics    Prometheus exposition (?format=json for JSON)\n\
+             GET /ledger     guess/apology accounting + open guesses\n\
+             GET /trace      span tail as Perfetto/Chrome trace JSON (?limit=N, ?span=S7)\n\
+             GET /incidents  crash post-mortem index (the black box)\n\
+             GET /explain    ?incident=N or ?guess=G7; ?format=text|perfetto|json\n",
         ),
         "/health" => {
             let (all_up, body) = render_health(core.as_ref());
             respond(&mut stream, if all_up { 200 } else { 503 }, "application/json", &body);
         }
         "/metrics" => {
-            let json = query_param(query, "format").is_some_and(|f| f == "json");
+            let json = match query_param(query, "format") {
+                None | Some("prom") => false,
+                Some("json") => true,
+                Some(other) => {
+                    let msg = format!("bad format {:?}: expected json or prom\n", other);
+                    respond(&mut stream, 400, "text/plain", &msg);
+                    return;
+                }
+            };
             let derived = derive(&lock(&ring));
             if json {
                 let body = render_metrics_json(core.as_ref(), derived.as_ref());
@@ -376,12 +429,109 @@ fn handle_connection(stream: TcpStream, core: Arc<dyn CoreHandle>, ring: Arc<Mut
             respond(&mut stream, 200, "application/json", &body);
         }
         "/trace" => {
-            let limit =
-                query_param(query, "limit").and_then(|v| v.parse::<usize>().ok()).unwrap_or(20_000);
-            stream_trace(&mut stream, core.as_ref(), limit);
+            let limit = match query_param(query, "limit") {
+                None => 20_000,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        let msg = format!("bad limit {:?}: expected a non-negative integer\n", v);
+                        respond(&mut stream, 400, "text/plain", &msg);
+                        return;
+                    }
+                },
+            };
+            let span = match query_param(query, "span") {
+                None => None,
+                Some(v) => match parse_id(v, 'S') {
+                    Some(id) => Some(SpanId(id)),
+                    None => {
+                        let msg = format!("bad span {:?}: expected S<n> or a span number\n", v);
+                        respond(&mut stream, 400, "text/plain", &msg);
+                        return;
+                    }
+                },
+            };
+            if let Some(id) = span {
+                if core.lock_core().spans.get(id).is_none() {
+                    let msg = format!("no span S{} recorded\n", id.0);
+                    respond(&mut stream, 404, "text/plain", &msg);
+                    return;
+                }
+            }
+            stream_trace(&mut stream, core.as_ref(), limit, span);
         }
+        "/incidents" => {
+            let body = core.lock_core().incidents.index_json();
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/explain" => handle_explain(&mut stream, core.as_ref(), query),
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
+}
+
+/// `"G7"`/`"S7"`/`"E7"` (any single-letter prefix matching `tag`,
+/// case-insensitive) or a bare `"7"` → `7`.
+fn parse_id(v: &str, tag: char) -> Option<u64> {
+    let digits =
+        v.strip_prefix(tag).or_else(|| v.strip_prefix(tag.to_ascii_lowercase())).unwrap_or(v);
+    digits.parse::<u64>().ok()
+}
+
+/// `GET /explain?incident=N` or `?guess=G7` — render the causal slice
+/// behind one filed incident or one guess, live.
+fn handle_explain(stream: &mut TcpStream, core: &dyn CoreHandle, query: &str) {
+    let format = match query_param(query, "format") {
+        None | Some("text") => "text",
+        Some(f @ ("perfetto" | "json")) => f,
+        Some(other) => {
+            let msg = format!("bad format {:?}: expected text, perfetto, or json\n", other);
+            respond(stream, 400, "text/plain", &msg);
+            return;
+        }
+    };
+    let incident = query_param(query, "incident");
+    let guess = query_param(query, "guess");
+    let (code, content_type, body) = match (incident, guess) {
+        (Some(_), Some(_)) => {
+            (400, "text/plain", "pass either ?incident=N or ?guess=G7, not both\n".to_owned())
+        }
+        (None, None) => {
+            (400, "text/plain", "pass ?incident=N or ?guess=G7 (see /incidents)\n".to_owned())
+        }
+        (Some(v), None) => match parse_id(v, '#') {
+            None => (400, "text/plain", format!("bad incident {:?}: expected a sequence\n", v)),
+            Some(seq) => {
+                let c = core.lock_core();
+                match c.incidents.get(seq) {
+                    None => (404, "text/plain", format!("no incident #{} retained\n", seq)),
+                    Some(inc) => match format {
+                        "perfetto" => (200, "application/json", inc.explanation.perfetto_json()),
+                        "json" => (200, "application/json", inc.to_json()),
+                        _ => (200, "text/plain", inc.render_text()),
+                    },
+                }
+            }
+        },
+        (None, Some(v)) => match parse_id(v, 'G') {
+            None => (400, "text/plain", format!("bad guess {:?}: expected G<n>\n", v)),
+            Some(id) => {
+                let c = core.lock_core();
+                match c.explain_guess(GuessId(id)) {
+                    None => (
+                        404,
+                        "text/plain",
+                        format!("guess G{} has no recorded flight events\n", id),
+                    ),
+                    Some(e) => match format {
+                        "perfetto" => (200, "application/json", e.perfetto_json()),
+                        "json" => (200, "application/json", e.to_json()),
+                        _ => (200, "text/plain", e.render_text()),
+                    },
+                }
+            }
+        },
+    };
+    respond(stream, code, content_type, &body);
 }
 
 fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
@@ -394,6 +544,7 @@ fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
 fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         503 => "Service Unavailable",
@@ -413,15 +564,39 @@ fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
 }
 
 /// Stream the most recent `limit` spans as a Chrome trace array using
-/// chunked transfer encoding. The span JSON is rendered under the core
-/// lock (bounded by `limit`), but socket writes happen after release so
-/// a slow reader cannot stall the runtime.
-fn stream_trace(stream: &mut TcpStream, core: &dyn CoreHandle, limit: usize) {
+/// chunked transfer encoding. With `root` set, only the subtree under
+/// that span (the span plus its transitive descendants — one request's
+/// causal footprint) is emitted. The span JSON is rendered under the
+/// core lock (bounded by `limit`), but socket writes happen after
+/// release so a slow reader cannot stall the runtime.
+fn stream_trace(stream: &mut TcpStream, core: &dyn CoreHandle, limit: usize, root: Option<SpanId>) {
     let events: Vec<String> = {
         let core = core.lock_core();
         let spans = core.spans.spans();
-        let start = spans.len().saturating_sub(limit);
-        spans[start..].iter().map(|s| s.to_chrome_event()).collect()
+        match root {
+            None => {
+                let start = spans.len().saturating_sub(limit);
+                spans[start..].iter().map(|s| s.to_chrome_event()).collect()
+            }
+            Some(root) => {
+                // Spans are stored in open order, so a parent always
+                // precedes its children: one forward pass with a
+                // membership set covers the whole subtree.
+                let mut member = vec![false; spans.len()];
+                let mut events = Vec::new();
+                for s in spans {
+                    let in_tree = s.id == root
+                        || s.parent.is_some_and(|p| member.get(p.0 as usize) == Some(&true));
+                    if let Some(slot) = member.get_mut(s.id.0 as usize) {
+                        *slot = in_tree;
+                    }
+                    if in_tree && events.len() < limit {
+                        events.push(s.to_chrome_event());
+                    }
+                }
+                events
+            }
+        }
     };
     let head = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
                 Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
@@ -688,6 +863,24 @@ fn render_metrics_prom(core: &dyn CoreHandle, derived: Option<&Derived>) -> Stri
                     "quicksand_ledger_{what}{{substrate=\"{substrate}\"}} {v}\n"
                 ));
             }
+            // Open→resolve windows: how long a guess lived before it was
+            // confirmed, and how long a customer waited for the apology.
+            for (what, h) in
+                [("confirm", &a.confirm_latency_us), ("apology", &a.apology_latency_us)]
+            {
+                let s = h.summary();
+                for (q, v) in [("0.5", s.p50), ("0.99", s.p99)] {
+                    out.push_str(&format!(
+                        "quicksand_ledger_{what}_latency_us{{substrate=\"{substrate}\",\
+                         quantile=\"{q}\"}} {}\n",
+                        fmt_prom(v)
+                    ));
+                }
+                out.push_str(&format!(
+                    "quicksand_ledger_{what}_latency_us_count{{substrate=\"{substrate}\"}} {}\n",
+                    s.count
+                ));
+            }
         }
     }
     for (k, v) in runtime_gauges(core) {
@@ -771,6 +964,16 @@ mod tests {
         assert_eq!(query_param("format=json&limit=5", "format"), Some("json"));
         assert_eq!(query_param("format=json&limit=5", "limit"), Some("5"));
         assert_eq!(query_param("", "format"), None);
+    }
+
+    #[test]
+    fn id_parsing_accepts_prefixed_and_bare() {
+        assert_eq!(parse_id("G7", 'G'), Some(7));
+        assert_eq!(parse_id("g7", 'G'), Some(7));
+        assert_eq!(parse_id("7", 'G'), Some(7));
+        assert_eq!(parse_id("S12", 'S'), Some(12));
+        assert_eq!(parse_id("x7", 'G'), None);
+        assert_eq!(parse_id("", 'G'), None);
     }
 
     #[test]

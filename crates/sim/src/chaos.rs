@@ -50,6 +50,9 @@ impl FaultPlan {
     /// timeline against the host clock, which is what makes "same plan,
     /// same clause sequence" hold across engines.
     pub fn apply<M: Clone + 'static>(&self, sim: &mut Simulation<M>) {
+        // Stash the plan on the core so explanations and incidents
+        // render the clauses that were actually in force.
+        sim.core_mut().plan = self.clone();
         for ev in self.timeline() {
             match (&self.faults[ev.clause], ev.edge) {
                 (Fault::Partition { at, left, right, .. }, ClauseEdge::Onset) => {

@@ -26,13 +26,33 @@
 //! (op-set union convergence, zero lost acked work) are promised.
 
 use crate::actor::{Action, Context, NodeId, TimerId};
+use crate::explain::Explanation;
 use crate::flight::{FlightId, FlightKind, FlightRecorder};
-use crate::ledger::{GuessOutcome, Ledger};
+use crate::incident::{IncidentKind, IncidentLog};
+use crate::ledger::{GuessId, GuessOutcome, Ledger};
 use crate::metrics::MetricSet;
+use crate::plan::FaultPlan;
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanStatus, SpanStore};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// How many incidents [`EngineCore`] retains by default.
+pub const DEFAULT_INCIDENT_CAP: usize = 64;
+
+/// What a fail-fast crash left behind: the crash flight event (when the
+/// recorder is enabled) and the ops of the volatile guesses it
+/// orphaned. Returned by [`EngineCore::crash_bookkeeping`] so the
+/// engine driving the crash can file the incident.
+#[derive(Debug, Clone)]
+pub struct CrashOutcome {
+    /// The recorded [`FlightKind::Crash`] event, when the flight
+    /// recorder is on.
+    pub flight: Option<FlightId>,
+    /// Ops of the volatile guesses the crash orphaned — promises whose
+    /// owed apology died with the node's memory.
+    pub orphaned: Vec<String>,
+}
 
 /// The engine-independent half of an actor engine: all run-wide
 /// observability state plus the rules for applying callback effects.
@@ -40,6 +60,9 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 /// Both engines hold exactly one of these per run. Fields are public so
 /// harnesses can read metrics, spans, and the ledger after a run ends.
 pub struct EngineCore {
+    /// The seed the run was driven by (stamped into every explanation
+    /// and incident, so artifacts are replayable).
+    pub seed: u64,
     /// The run's random source. Seeded deterministically under the
     /// simulator; seeded from OS entropy by the runtime (unless pinned
     /// for a cross-validation run).
@@ -54,6 +77,15 @@ pub struct EngineCore {
     pub flight: Option<FlightRecorder>,
     /// The guess/apology ledger. Always on.
     pub ledger: Ledger,
+    /// The fault plan active during the run (empty when none is
+    /// attached). Set by `FaultPlan::apply` under the simulator and by
+    /// the runtime builder's chaos hook, so explanations render the
+    /// clauses that were actually in force.
+    pub plan: FaultPlan,
+    /// The bounded incident log — the run's black box. Always on;
+    /// incidents are only *filed* when the flight recorder is enabled
+    /// (an incident without a slice explains nothing).
+    pub incidents: IncidentLog,
     /// Timer-id sequence allocator (ids are globally unique per run).
     pub(crate) next_timer_id: u64,
 }
@@ -62,12 +94,15 @@ impl EngineCore {
     /// A fresh core seeded with `seed`.
     pub fn new(seed: u64) -> Self {
         EngineCore {
+            seed,
             rng: SimRng::new(seed),
             metrics: MetricSet::new(),
             spans: SpanStore::new(),
             trace: None,
             flight: None,
             ledger: Ledger::new(),
+            plan: FaultPlan::none(),
+            incidents: IncidentLog::new(DEFAULT_INCIDENT_CAP),
             next_timer_id: 0,
         }
     }
@@ -208,12 +243,15 @@ impl EngineCore {
     /// actor's `on_crash` hook: every span still open on the node
     /// closes as crashed (fail-fast means nothing keeps running), and
     /// the node's volatile guesses are orphaned — the memory that owed
-    /// the apology is gone, which is itself an auditable event.
-    pub fn crash_bookkeeping(&mut self, node: NodeId, now: SimTime) {
+    /// the apology is gone, which is itself an auditable event. The
+    /// returned [`CrashOutcome`] is what
+    /// [`EngineCore::record_crash_incident`] files.
+    pub fn crash_bookkeeping(&mut self, node: NodeId, now: SimTime) -> CrashOutcome {
         self.spans.close_node_spans(node, now);
         self.metrics.inc("sim.crashes");
         self.record_trace(now, TraceKind::Crash, Some(node), None);
         let fid = self.record_flight(now, FlightKind::Crash, Some(node), None, None, None);
+        let mut orphaned = Vec::new();
         for (span, op) in self.ledger.orphan_node(node, now) {
             if let Some(f) = &mut self.flight {
                 f.record(
@@ -223,11 +261,13 @@ impl EngineCore {
                     None,
                     Some(span),
                     fid,
-                    Some(op),
+                    Some(op.clone()),
                     vec![("outcome".to_owned(), "orphaned".to_owned())],
                 );
             }
+            orphaned.push(op);
         }
+        CrashOutcome { flight: fid, orphaned }
     }
 
     /// Bookkeeping for a node restarting after a crash. Returns the
@@ -252,6 +292,130 @@ impl EngineCore {
             return false;
         }
         true
+    }
+
+    /// Engine-agnostic [`Explanation`] construction — the one shared
+    /// path both engines render post-mortems through. Snapshots the
+    /// O(ancestors) causal slice behind `target` together with the
+    /// active plan and span store. `None` when the flight recorder is
+    /// disabled.
+    pub fn explain_target(&self, target: FlightId) -> Option<Explanation> {
+        let flight = self.flight.as_ref()?;
+        let slice = flight.slice(target, &self.spans);
+        Some(Explanation::new(self.seed, slice, self.plan.clone(), self.spans.clone()))
+    }
+
+    /// Explain the most forensically interesting event: the last
+    /// unresolved guess, falling back to the most recent event. `None`
+    /// when the flight recorder is disabled or empty.
+    pub fn explain_latest(&self) -> Option<Explanation> {
+        let flight = self.flight.as_ref()?;
+        let target = flight.last_unresolved_guess().or_else(|| flight.last_matching(|_| true))?;
+        self.explain_target(target)
+    }
+
+    /// The flight event where guess `id` was opened, when retained:
+    /// durable guesses are found by their stamped `guess` field,
+    /// volatile ones through their `guess.outstanding` span.
+    fn guess_open_event(&self, id: GuessId) -> Option<FlightId> {
+        let flight = self.flight.as_ref()?;
+        let rec = self.ledger.get(id)?;
+        let key = id.0.to_string();
+        flight
+            .last_matching(|e| {
+                e.kind == FlightKind::GuessOpen
+                    && e.fields.iter().any(|(k, v)| k == "guess" && *v == key)
+            })
+            .or_else(|| {
+                let span = rec.span?;
+                flight
+                    .events_for_span(span)
+                    .into_iter()
+                    .find(|e| e.kind == FlightKind::GuessOpen)
+                    .map(|e| e.id)
+            })
+    }
+
+    /// Explain one guess from the ledger: the slice behind its open
+    /// event. `None` when the guess is unknown, the recorder is off, or
+    /// the open has been evicted.
+    pub fn explain_guess(&self, id: GuessId) -> Option<Explanation> {
+        self.explain_target(self.guess_open_event(id)?)
+    }
+
+    /// File a crash incident from a [`CrashOutcome`]. Returns the
+    /// incident's seq, or `None` when the flight recorder is off (no
+    /// slice to file). The explanation is extracted *now*, so later
+    /// ring eviction cannot hollow out the record.
+    pub fn record_crash_incident(
+        &mut self,
+        node: NodeId,
+        epoch: u64,
+        kind: IncidentKind,
+        now: SimTime,
+        outcome: &CrashOutcome,
+    ) -> Option<u64> {
+        let target = outcome.flight?;
+        let explanation = self.explain_target(target)?;
+        let seq = self.incidents.push(
+            node,
+            epoch,
+            kind,
+            now,
+            target,
+            outcome.orphaned.clone(),
+            explanation,
+        );
+        self.metrics.inc_with("incident.recorded", &[("kind", kind.as_str())]);
+        Some(seq)
+    }
+
+    /// Sweep the ledger for guesses open longer than `deadline` and
+    /// file one guess-deadline incident per newly overdue guess
+    /// (sweeps are idempotent: a guess is filed at most once).
+    /// `epoch_of` supplies each node's current crash epoch — the
+    /// runtime reads its status board, the simulator its node slots.
+    /// Returns the seqs filed this sweep.
+    pub fn sweep_overdue_guesses(
+        &mut self,
+        now: SimTime,
+        deadline: SimDuration,
+        epoch_of: impl Fn(NodeId) -> u64,
+    ) -> Vec<u64> {
+        if self.flight.is_none() {
+            return Vec::new();
+        }
+        let overdue: Vec<(GuessId, Option<NodeId>, String)> = self
+            .ledger
+            .records()
+            .iter()
+            .filter(|r| r.is_open() && now.saturating_since(r.opened_at) >= deadline)
+            .map(|r| (r.id, r.node, r.op.clone()))
+            .collect();
+        let mut filed = Vec::new();
+        for (id, node, op) in overdue {
+            // An overdue guess with no recorded owner lands on n0's lane
+            // rather than vanishing from the black box.
+            let node = node.unwrap_or(NodeId(0));
+            let Some(target) = self.guess_open_event(id) else { continue };
+            if !self.incidents.flag_guess(id.0) {
+                continue;
+            }
+            let Some(explanation) = self.explain_target(target) else { continue };
+            let seq = self.incidents.push(
+                node,
+                epoch_of(node),
+                IncidentKind::GuessDeadline,
+                now,
+                target,
+                vec![op],
+                explanation,
+            );
+            self.metrics
+                .inc_with("incident.recorded", &[("kind", IncidentKind::GuessDeadline.as_str())]);
+            filed.push(seq);
+        }
+        filed
     }
 
     /// Export the ledger's accounting into the metric registry (call

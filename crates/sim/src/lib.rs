@@ -59,6 +59,7 @@ pub mod chaos;
 pub mod engine;
 pub mod explain;
 pub mod flight;
+pub mod incident;
 mod json;
 pub mod ledger;
 pub mod loghist;
@@ -73,9 +74,10 @@ pub mod world;
 
 pub use actor::{Action, Actor, Context, NodeId, TimerId};
 pub use chaos::{ChaosReport, ChaosRun, Invariant, Shrunk, Violation};
-pub use engine::EngineCore;
+pub use engine::{CrashOutcome, EngineCore, DEFAULT_INCIDENT_CAP};
 pub use explain::Explanation;
 pub use flight::{CausalSlice, FlightEvent, FlightId, FlightKind, FlightRecorder};
+pub use incident::{Incident, IncidentKind, IncidentLog};
 pub use ledger::{GuessId, GuessOutcome, GuessRecord, Ledger, LedgerAccounting};
 pub use loghist::LogHistogram;
 pub use metrics::{Histogram, HistogramSummary, MetricSet};

@@ -449,12 +449,22 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
                 slot.up = false;
                 slot.epoch += 1;
+                let epoch = slot.epoch;
                 let now = self.now;
                 slot.actor.as_mut().expect("actor present").on_crash(now);
                 // Fail-fast: whatever the node had in flight ends here,
                 // visibly, rather than leaking as open-forever spans —
-                // and the node's volatile guesses orphan with it.
-                self.core.crash_bookkeeping(node, now);
+                // and the node's volatile guesses orphan with it. The
+                // crash files an incident (when the flight recorder is
+                // on), through the same path the runtime uses.
+                let outcome = self.core.crash_bookkeeping(node, now);
+                self.core.record_crash_incident(
+                    node,
+                    epoch,
+                    crate::incident::IncidentKind::ChaosCrash,
+                    now,
+                    &outcome,
+                );
                 true
             }
             EventKind::Restart { node } => {

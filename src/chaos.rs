@@ -53,10 +53,14 @@ fn explanation_from(
     flight: Option<FlightRecorder>,
     spans: SpanStore,
 ) -> Option<Explanation> {
-    let flight = flight?;
-    let target = flight.last_unresolved_guess().or_else(|| flight.events().last().map(|e| e.id))?;
-    let slice = flight.slice(target, &spans);
-    Some(Explanation::new(seed, slice, plan.clone(), spans))
+    // Construction lives on `EngineCore` (the path the wall-clock
+    // runtime's /explain endpoint uses too); reassemble the harness
+    // report's observability state into a core and go through it.
+    let mut core = sim::EngineCore::new(seed);
+    core.flight = flight;
+    core.spans = spans;
+    core.plan = plan.clone();
+    core.explain_latest()
 }
 
 /// No span may still be open once a run's report is cut: crashed nodes
