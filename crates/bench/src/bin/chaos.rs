@@ -31,7 +31,7 @@ use quicksand_bench::artifacts::ArtifactStream;
 use quicksand::cart::CartMode;
 use quicksand::chaos::{
     bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, eventlog_harness, logship_chaos,
-    tandem_chaos, ChaosReport, ChaosRun,
+    membership_chaos, tandem_chaos, ChaosReport, ChaosRun,
 };
 use quicksand::dynamo::WorkloadConfig;
 use quicksand::eventlog::AckPolicy;
@@ -74,6 +74,7 @@ fn scenarios() -> Vec<Scenario> {
         scenario("cart_oplog", || cart_chaos(CartMode::OpLog)),
         scenario("cart_orset", || cart_chaos(CartMode::OrSet)),
         scenario("dynamo_workload", || dynamo_chaos(WorkloadConfig::default())),
+        scenario("membership_rebalance", membership_chaos),
         scenario("tandem_dp1", || tandem_chaos(Mode::Dp1)),
         scenario("tandem_dp2", || tandem_chaos(Mode::Dp2)),
         scenario("logship_async", || logship_chaos(ShipMode::Asynchronous)),

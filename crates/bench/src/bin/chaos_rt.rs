@@ -4,11 +4,17 @@
 //! paper's bottom line: an acked operation is a promise, and no fault
 //! the plan injects may break it.
 //!
-//! Two services, both built from unmodified sim actors:
+//! Three services, all built from unmodified sim actors:
 //!
 //! - **cart**: an N-store dynamo ring of CRDT carts over real TCP
 //!   sockets with closed-loop [`LoadClient`]s. Audit: every acked add is
 //!   in the reconciled join of the stores; the guess ledger is settled.
+//! - **membership**: the same cart service with a standby store, under
+//!   plans that mix `add_node`/`remove_node` clauses (applied through
+//!   the chaos controller's membership hook as live `CtlJoin`/`CtlLeave`)
+//!   with crashes and partitions. Audit: the spare ends in the ring, the
+//!   leaver ends departed, every rebalance transfer acked, and no acked
+//!   add was lost across the resize.
 //! - **evlog**: a file-backed [`EventLogNode`] broker (OnFsync acks)
 //!   with a windowed [`Producer`], on the loopback transport. Audit:
 //!   every acked append survives crash-torn recovery in the leader's
@@ -41,7 +47,9 @@ use cart::CrdtCart;
 use dynamo::{DynamoConfig, StoreNode};
 use quicksand::eventlog::{AckPolicy, BrokerConfig, DirKind, EventLogNode, LogConfig, Producer};
 use quicksand_bench::incidents::IncidentStream;
-use quicksand_bench::service::{add_crdt_stores, LoadClient};
+use quicksand_bench::service::{
+    add_crdt_stores, add_crdt_stores_with_spares, LoadClient, ServiceMsg,
+};
 use quicksand_runtime::{Runtime, RuntimeBuilder};
 use sim::{
     EngineCore, FaultPlan, FaultSpec, FlightKind, Incident, IncidentKind, NodeId, SimDuration,
@@ -208,6 +216,138 @@ fn cart_cell(base_seed: u64, clauses: usize, ops_per_client: u64, dir: &Path) ->
     }
 }
 
+// ----------------------------------------------------------- membership
+
+const MEM_STORES: u32 = 4;
+const MEM_SPARES: u32 = 1;
+const MEM_CLIENTS: u32 = 3;
+
+/// The membership grid's spec: the founding members may crash and
+/// partition, the spare may be directed to join, and one member may be
+/// directed to leave. The leaver and the spare are *not* crashable — a
+/// control message injected into a crashed inbox is dropped, and this
+/// cell audits the rebalance protocol, not message loss on the control
+/// path (the sim sweeps cover that interleaving).
+fn membership_spec(window_ms: u64, clauses: usize) -> FaultSpec {
+    let all: Vec<NodeId> =
+        (0..(MEM_STORES + MEM_SPARES + MEM_CLIENTS) as usize).map(NodeId).collect();
+    let crashable: Vec<NodeId> = (0..MEM_STORES as usize - 1).map(NodeId).collect();
+    FaultSpec::new(all)
+        .crashable(crashable)
+        .joinable(vec![NodeId(MEM_STORES as usize)])
+        .leavable(vec![NodeId(MEM_STORES as usize - 1)])
+        .window(SimTime::from_millis(150), SimTime::from_millis(window_ms))
+        .faults(clauses, clauses)
+        // covering_seed wants one clause of every enabled kind; crash +
+        // partition + add_node + remove_node fit in 4 clauses. One-way
+        // splits and degrades stay with the other services' cells.
+        .oneway(false)
+        .degrades(false)
+}
+
+fn membership_cell(base_seed: u64, clauses: usize, ops_per_client: u64, dir: &Path) -> Cell {
+    let spec = membership_spec(2200, clauses);
+    let seed = FaultPlan::covering_seed(base_seed, &spec);
+    let plan = FaultPlan::generate(seed, &spec);
+    eprintln!("membership cell (seed {seed}, {clauses} clauses):\n{plan}");
+    let cell_dir = dir.join(format!("membership-{seed}"));
+    let _ = std::fs::remove_dir_all(&cell_dir);
+
+    let mut b =
+        RuntimeBuilder::new().chaos(plan.clone(), seed).membership_ctl(|kind, _node| match kind {
+            "add_node" => Some(ServiceMsg::CtlJoin),
+            "remove_node" => Some(ServiceMsg::CtlLeave),
+            _ => None,
+        });
+    let store_ids =
+        add_crdt_stores_with_spares(&mut b, MEM_STORES, MEM_SPARES, &DynamoConfig::default());
+    let members: Vec<NodeId> = store_ids[..MEM_STORES as usize].to_vec();
+    let clients: Vec<NodeId> = (0..MEM_CLIENTS)
+        .map(|c| b.add_node(LoadClient::new(c, members.clone(), ops_per_client, CART_KEYS, 60)))
+        .collect();
+    let started = Instant::now();
+    let rt = b.launch_tcp().expect("tcp launch");
+    let deadline = started + Duration::from_secs(120);
+    while !clients.iter().all(|&c| rt.inspect::<LoadClient, bool, _>(c, |cl| cl.done())) {
+        if Instant::now() > deadline {
+            eprintln!("membership cell seed {seed}: clients stalled");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    drain_chaos(&rt, "membership", Duration::from_millis(900));
+    // Rebalance settle: every moved key range must be acked before the
+    // durability audit is fair — a transfer is a durable guess, and an
+    // open one here is a cell failure, not a timing artifact.
+    let tdeadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let drained = store_ids
+            .iter()
+            .all(|&s| rt.inspect::<StoreNode<CrdtCart>, bool, _>(s, |n| n.transfer_count() == 0));
+        if drained {
+            break;
+        }
+        if Instant::now() > tdeadline {
+            eprintln!("membership cell seed {seed}: transfers never drained");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = rt.shutdown();
+
+    // The plan covered both membership kinds, so the end state is
+    // unconditional: the spare ends in the ring, the leaver ends
+    // departed with every owed key streamed out.
+    let joiner = report.actor::<StoreNode<CrdtCart>>(NodeId(MEM_STORES as usize));
+    let leaver = report.actor::<StoreNode<CrdtCart>>(NodeId(MEM_STORES as usize - 1));
+    if !joiner.gossiper.status().in_ring() || !leaver.gossiper.departed() {
+        eprintln!(
+            "membership cell seed {seed}: joiner {:?} (in ring: {}), leaver {:?} (departed: {})",
+            joiner.gossiper.status(),
+            joiner.gossiper.status().in_ring(),
+            leaver.gossiper.status(),
+            leaver.gossiper.departed(),
+        );
+        std::process::exit(1);
+    }
+
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    for &c in &clients {
+        acked.extend(report.actor::<LoadClient>(c).acked_adds.iter().copied());
+    }
+    let stores: Vec<&StoreNode<CrdtCart>> =
+        store_ids.iter().map(|&s| report.actor::<StoreNode<CrdtCart>>(s)).collect();
+    let lost = acked
+        .iter()
+        .filter(|(key, item)| {
+            !quicksand_bench::service::reconciled_cart(&stores, *key).contains_key(item)
+        })
+        .count() as u64;
+
+    let acc = report.core.ledger.accounting();
+    let (incidents, incident_slices_ok, incidents_durable) =
+        audit_incidents(&report.core, &cell_dir);
+    Cell {
+        service: "member/tcp",
+        base_seed,
+        seed,
+        clauses,
+        crash_clauses: plan.count_kind("crash"),
+        acked: acked.len() as u64,
+        lost,
+        open_guesses: acc.open(),
+        orphaned_guesses: acc.orphaned(),
+        restarts: report.core.metrics.counter("runtime.restarts"),
+        clause_edges: report.core.metrics.counter("runtime.chaos_clauses"),
+        incidents,
+        incident_slices_ok,
+        incidents_durable,
+        elapsed_secs: elapsed,
+    }
+}
+
 // ---------------------------------------------------------------- evlog
 
 fn evlog_cell(base_seed: u64, clauses: usize, appends: u64, dir: &Path) -> Cell {
@@ -309,12 +449,17 @@ fn main() {
     // one cell of each service for the CI smoke.
     let cart_rows: &[(u64, usize, u64)] =
         if quick { &[(1, 3, 500)] } else { &[(1, 3, 800), (1000, 5, 800)] };
+    let member_rows: &[(u64, usize, u64)] =
+        if quick { &[(1, 4, 400)] } else { &[(1, 4, 600), (1000, 5, 600)] };
     let evlog_rows: &[(u64, usize, u64)] =
         if quick { &[(1, 3, 300)] } else { &[(1, 3, 500), (1000, 5, 500)] };
 
     let mut cells = Vec::new();
     for &(base, clauses, ops) in cart_rows {
         cells.push(cart_cell(base, clauses, ops, &dir));
+    }
+    for &(base, clauses, ops) in member_rows {
+        cells.push(membership_cell(base, clauses, ops, &dir));
     }
     for &(base, clauses, appends) in evlog_rows {
         cells.push(evlog_cell(base, clauses, appends, &dir));

@@ -42,6 +42,22 @@
 //! records survive the process, and rendered to `incidents.json` plus
 //! one `incident-*.txt` per record for the CI artifact tab.
 //!
+//! ## Membership mode
+//!
+//! `--spares N` provisions N standby stores outside the ring, and
+//! `--join-at MS` / `--leave-at MS` fire a live `CtlJoin` (first
+//! spare) / `CtlLeave` (last member) at the given wall-clock offsets
+//! while the clients drive load. The run then audits the whole
+//! rebalance before exiting: every acked add must be present in the
+//! **final** ring's reconciled stores, every key-transfer guess must
+//! settle, the joiner must end in-ring with zero open transfers, the
+//! leaver must drain and depart, and `membership.ring_version` —
+//! sampled via HTTP `/metrics` before and after the change when
+//! telemetry is up — must advance. Any miss is a nonzero exit.
+//! Composes with `--watch` (the ledger audit covers the transfer
+//! guesses too); `--leave-at` requires `--stores 4` or more so an
+//! N=3 quorum survives the departure.
+//!
 //! ## Sweep mode
 //!
 //! `--sweep-out BENCH_6.json` runs the threads × payload grid (clients
@@ -60,7 +76,7 @@ use cart::CrdtCart;
 use dynamo::{DynamoConfig, StoreNode};
 use quicksand_bench::http::{http_get, json_number};
 use quicksand_bench::incidents::IncidentStream;
-use quicksand_bench::service::{add_crdt_stores, LoadClient};
+use quicksand_bench::service::{add_crdt_stores_with_spares, LoadClient, ServiceMsg};
 use quicksand_runtime::{RuntimeBuilder, TransportKind};
 use sim::{
     FaultPlan, FaultSpec, FlightKind, Incident, IncidentKind, LogHistogram, NodeId, SimDuration,
@@ -92,6 +108,12 @@ fn arg_flag(args: &mut Vec<String>, flag: &str) -> bool {
 #[derive(Clone)]
 struct Config {
     stores: u32,
+    /// Standby stores provisioned outside the ring (`--join-at` targets).
+    spares: u32,
+    /// Wall-clock ms after launch at which the first spare joins.
+    join_at_ms: Option<u64>,
+    /// Wall-clock ms after launch at which the last member leaves.
+    leave_at_ms: Option<u64>,
     clients: u32,
     ops_per_client: Option<u64>,
     keys: u64,
@@ -118,6 +140,9 @@ fn parse_args() -> Config {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = Config {
         stores: arg_value(&mut args, "--stores").map_or(4, |v| v.parse().expect("--stores")),
+        spares: arg_value(&mut args, "--spares").map_or(0, |v| v.parse().expect("--spares")),
+        join_at_ms: arg_value(&mut args, "--join-at").map(|v| v.parse().expect("--join-at")),
+        leave_at_ms: arg_value(&mut args, "--leave-at").map(|v| v.parse().expect("--leave-at")),
         clients: arg_value(&mut args, "--clients").map_or(8, |v| v.parse().expect("--clients")),
         ops_per_client: arg_value(&mut args, "--ops").map(|v| v.parse().expect("--ops")),
         keys: arg_value(&mut args, "--keys").map_or(512, |v| v.parse().expect("--keys")),
@@ -145,6 +170,14 @@ fn parse_args() -> Config {
         eprintln!("unknown args: {args:?}");
         std::process::exit(2);
     }
+    if cfg.join_at_ms.is_some() && cfg.spares == 0 {
+        eprintln!("--join-at needs at least one standby store (--spares N)");
+        std::process::exit(2);
+    }
+    if cfg.leave_at_ms.is_some() && cfg.stores < 4 {
+        eprintln!("--leave-at needs --stores >= 4 so an N=3 quorum survives the leave");
+        std::process::exit(2);
+    }
     cfg
 }
 
@@ -154,7 +187,8 @@ fn parse_args() -> Config {
 /// memory, and the invariant under test is "the service never loses an
 /// acked op", not "the auditor survives".
 fn fault_spec(cfg: &Config) -> FaultSpec {
-    let all: Vec<NodeId> = (0..(cfg.stores + cfg.clients) as usize).map(NodeId).collect();
+    let all: Vec<NodeId> =
+        (0..(cfg.stores + cfg.spares + cfg.clients) as usize).map(NodeId).collect();
     let stores: Vec<NodeId> = (0..cfg.stores as usize).map(NodeId).collect();
     FaultSpec::new(all)
         .crashable(stores)
@@ -189,6 +223,9 @@ struct RunResult {
     /// Open-guess count `/ledger` reported after quiescence, when
     /// watching (the endpoint's answer, cross-checked against the core).
     ledger_open_via_http: Option<u64>,
+    /// `membership.ring_version` before and after a `--join-at` /
+    /// `--leave-at` change, as the metrics surface reported it.
+    ring_versions: Option<(f64, f64)>,
 }
 
 /// Poll the telemetry surface and keep a one-line dashboard fresh on
@@ -280,10 +317,15 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         }
         None => None,
     };
-    let store_ids = add_crdt_stores(&mut b, cfg.stores, &DynamoConfig::default());
+    let store_ids =
+        add_crdt_stores_with_spares(&mut b, cfg.stores, cfg.spares, &DynamoConfig::default());
+    // Clients route through the founding members only; a spare becomes
+    // reachable through *them* once it joins the ring (that's the point
+    // of the audit — no client ever learns the spare's address).
+    let member_ids: Vec<NodeId> = store_ids[..cfg.stores as usize].to_vec();
     let mut client_ids = Vec::new();
     for c in 0..cfg.clients {
-        let client = LoadClient::new(c, store_ids.clone(), ops_per_client, cfg.keys, cfg.put_pct)
+        let client = LoadClient::new(c, member_ids.clone(), ops_per_client, cfg.keys, cfg.put_pct)
             .with_think(SimDuration::from_micros(cfg.think_us))
             .with_items_per_put(cfg.items_per_put);
         client_ids.push(b.add_node(client));
@@ -307,10 +349,43 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         std::thread::spawn(move || watch_loop(addr, stop, bits))
     });
 
-    // Closed loop: poll until every client has worked through its ops.
+    // The ring digest every store publishes as `membership.ring_version`
+    // — read through the live `/metrics` endpoint when it's up (the
+    // operator's view), falling back to the engine core's gauge.
+    let ring_version_now = |rt: &quicksand_runtime::Runtime<ServiceMsg>| -> f64 {
+        if let Some(addr) = rt.telemetry_addr() {
+            if let Ok((_, body)) = http_get(addr, "/metrics?format=json") {
+                if let Some(v) = json_number(&body, "membership.ring_version") {
+                    return v;
+                }
+            }
+        }
+        rt.with_core(|c| c.metrics.gauge("membership.ring_version"))
+    };
+    let joiner = NodeId(cfg.stores as usize); // first spare
+    let leaver = NodeId(cfg.stores as usize - 1); // last founding member
+    let mut join_fired = false;
+    let mut leave_fired = false;
+    let mut ring_before: Option<f64> = None;
+
+    // Closed loop: poll until every client has worked through its ops,
+    // firing any scheduled membership changes at their wall-clock marks.
     let deadline = started + Duration::from_secs(cfg.timeout_secs);
     loop {
         std::thread::sleep(Duration::from_millis(50));
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        if !join_fired && cfg.join_at_ms.is_some_and(|at| elapsed_ms >= at) {
+            let v = *ring_before.get_or_insert_with(|| ring_version_now(&rt));
+            eprintln!("  membership: CtlJoin -> n{} at {elapsed_ms}ms (ring v{v:.0})", joiner.0);
+            rt.inject(joiner, joiner, ServiceMsg::CtlJoin);
+            join_fired = true;
+        }
+        if !leave_fired && cfg.leave_at_ms.is_some_and(|at| elapsed_ms >= at) {
+            let v = *ring_before.get_or_insert_with(|| ring_version_now(&rt));
+            eprintln!("  membership: CtlLeave -> n{} at {elapsed_ms}ms (ring v{v:.0})", leaver.0);
+            rt.inject(leaver, leaver, ServiceMsg::CtlLeave);
+            leave_fired = true;
+        }
         let done = client_ids.iter().all(|&c| rt.inspect::<LoadClient, bool, _>(c, |cl| cl.done()));
         if done {
             break;
@@ -319,6 +394,18 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
             eprintln!("TIMEOUT: clients still running after {}s", cfg.timeout_secs);
             std::process::exit(1);
         }
+    }
+    // A mark past the end of client work still fires — the audit wants
+    // the join/leave to happen, not to silently miss the window.
+    if cfg.join_at_ms.is_some() && !join_fired {
+        ring_before.get_or_insert_with(|| ring_version_now(&rt));
+        eprintln!("  membership: CtlJoin -> n{} (after client work)", joiner.0);
+        rt.inject(joiner, joiner, ServiceMsg::CtlJoin);
+    }
+    if cfg.leave_at_ms.is_some() && !leave_fired {
+        ring_before.get_or_insert_with(|| ring_version_now(&rt));
+        eprintln!("  membership: CtlLeave -> n{} (after client work)", leaver.0);
+        rt.inject(leaver, leaver, ServiceMsg::CtlLeave);
     }
     let elapsed = started.elapsed();
 
@@ -334,6 +421,57 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         for line in chaos.applied() {
             eprintln!("  fault: {line}");
         }
+    }
+
+    // Membership settle: the joiner must reach the ring, the leaver must
+    // drain its transfers and depart, and every rebalance transfer
+    // anywhere must ack — only then is the durability audit fair.
+    let mut ring_after: Option<f64> = None;
+    if cfg.join_at_ms.is_some() || cfg.leave_at_ms.is_some() {
+        let mdeadline = Instant::now() + Duration::from_secs(cfg.timeout_secs);
+        loop {
+            let drained = store_ids.iter().all(|&s| {
+                rt.inspect::<StoreNode<CrdtCart>, bool, _>(s, |n| n.transfer_count() == 0)
+            });
+            let joined = cfg.join_at_ms.is_none()
+                || rt.inspect::<StoreNode<CrdtCart>, bool, _>(joiner, |n| {
+                    n.gossiper.status().in_ring()
+                });
+            let departed = cfg.leave_at_ms.is_none()
+                || rt.inspect::<StoreNode<CrdtCart>, bool, _>(leaver, |n| n.gossiper.departed());
+            if drained && joined && departed {
+                break;
+            }
+            if Instant::now() > mdeadline {
+                eprintln!("TIMEOUT: membership change did not settle in {}s", cfg.timeout_secs);
+                for &s in &store_ids {
+                    let line = rt.inspect::<StoreNode<CrdtCart>, String, _>(s, move |n| {
+                        format!(
+                            "n{} {:?} departed={} transfers={} keys={} ring v{}",
+                            s.0,
+                            n.gossiper.status(),
+                            n.gossiper.departed(),
+                            n.transfer_count(),
+                            n.key_count(),
+                            n.ring_version()
+                        )
+                    });
+                    eprintln!("    {line}");
+                }
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // One more gossip round so every survivor converges on the new
+        // view, then read the operator-visible ring version back.
+        std::thread::sleep(Duration::from_millis(300));
+        ring_after = Some(ring_version_now(&rt));
+        let (before, after) = (ring_before.unwrap_or(0.0), ring_after.unwrap_or(0.0));
+        if before == after {
+            eprintln!("RING VERSION DID NOT ADVANCE: v{before:.0} before and after the change");
+            std::process::exit(1);
+        }
+        eprintln!("  membership settled: ring v{before:.0} -> v{after:.0}, all transfers acked");
     }
 
     // Let a final round of anti-entropy spread the tail, then audit.
@@ -463,6 +601,43 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         .copied()
         .filter(|(key, item)| !reconciled.get(key).is_some_and(|c| c.contains_key(item)))
         .collect();
+
+    // Post-mortem membership audit against the actors' final state.
+    if cfg.join_at_ms.is_some() {
+        let spare = report.actor::<StoreNode<CrdtCart>>(joiner);
+        if !spare.gossiper.status().in_ring() || spare.transfer_count() != 0 {
+            eprintln!(
+                "JOIN AUDIT FAILED: n{} ended {:?} with {} transfer(s) unacked",
+                joiner.0,
+                spare.gossiper.status(),
+                spare.transfer_count()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  join audit: n{} is {:?} in the ring holding {} key(s)",
+            joiner.0,
+            spare.gossiper.status(),
+            spare.key_count()
+        );
+    }
+    if cfg.leave_at_ms.is_some() {
+        let gone = report.actor::<StoreNode<CrdtCart>>(leaver);
+        if gone.gossiper.status().in_ring()
+            || !gone.gossiper.departed()
+            || gone.transfer_count() != 0
+        {
+            eprintln!(
+                "LEAVE AUDIT FAILED: n{} ended {:?} (departed: {}) with {} transfer(s) unacked",
+                leaver.0,
+                gone.gossiper.status(),
+                gone.gossiper.departed(),
+                gone.transfer_count()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("  leave audit: n{} departed cleanly, every owed key streamed out", leaver.0);
+    }
 
     let mut core = report.core;
     // Percentiles via the log-bucketed estimator — the exact same shape
@@ -597,6 +772,7 @@ fn run_once(cfg: &Config, ops_per_client: u64) -> RunResult {
         open_guesses,
         telemetry_rate: watched_rate.is_finite().then_some(watched_rate),
         ledger_open_via_http,
+        ring_versions: ring_before.zip(ring_after),
     }
 }
 
@@ -763,6 +939,21 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("  chaos run clean: 0 lost acked adds, 0 open guesses");
+    }
+    if cfg.join_at_ms.is_some() || cfg.leave_at_ms.is_some() {
+        // A membership run passes only if the rebalance settled its
+        // books: an open guess here is a key range somebody promised to
+        // move and never confirmed.
+        if r.open_guesses > 0 {
+            eprintln!("OPEN GUESSES AFTER MEMBERSHIP CHANGE: {}", r.open_guesses);
+            std::process::exit(1);
+        }
+        if let Some((before, after)) = r.ring_versions {
+            eprintln!(
+                "  membership run clean: ring v{before:.0} -> v{after:.0}, \
+                 0 lost acked adds, 0 open guesses"
+            );
+        }
     }
     if cfg.watch {
         // The §5 invariant, enforced from the *outside*: the endpoint's

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use cart::{CartAction, CrdtCart};
-use dynamo::{DynamoConfig, DynamoMsg, Ring, StoreNode, VectorClock, Versioned};
+use dynamo::{standby_view, DynamoConfig, DynamoMsg, StoreNode, VectorClock, Versioned};
 use quicksand_runtime::RuntimeBuilder;
 use rand::Rng;
 use sim::{Actor, Context, NodeId, SimDuration, SimTime};
@@ -30,10 +30,23 @@ pub fn add_crdt_stores(
     n_stores: u32,
     cfg: &DynamoConfig,
 ) -> Vec<NodeId> {
-    let ring = Ring::new(n_stores, cfg.vnodes);
-    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
-    for s in 0..n_stores {
-        let node = StoreNode::<CrdtCart>::new(s, ring.clone(), stores.clone(), cfg.clone())
+    add_crdt_stores_with_spares(b, n_stores, 0, cfg)
+}
+
+/// Like [`add_crdt_stores`], plus `spares` standby stores (ids
+/// `n_stores..n_stores+spares`) provisioned outside the ring, waiting
+/// for a `CtlJoin` — the wall-clock twin of
+/// [`dynamo::build_crdt_cluster_with_spares`].
+pub fn add_crdt_stores_with_spares(
+    b: &mut RuntimeBuilder<ServiceMsg>,
+    n_stores: u32,
+    spares: u32,
+    cfg: &DynamoConfig,
+) -> Vec<NodeId> {
+    let view = standby_view(n_stores, spares);
+    let stores: Vec<NodeId> = (0..(n_stores + spares) as usize).map(NodeId).collect();
+    for s in 0..n_stores + spares {
+        let node = StoreNode::<CrdtCart>::new(s, view.clone(), stores.clone(), cfg.clone())
             .with_sibling_squash();
         let id = b.add_node(node);
         debug_assert_eq!(id, stores[s as usize]);

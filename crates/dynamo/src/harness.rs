@@ -1,20 +1,45 @@
 //! Cluster construction helpers and a probe client for driving the store
 //! from tests and experiment harnesses.
+//!
+//! Clusters boot from a [`MembershipView`] rather than a fixed store
+//! count: `n_stores` members start `Up`, and an optional tail of
+//! **spares** is pre-provisioned `Down` at incarnation 0 — standby
+//! actors outside the ring that enter only when a
+//! [`DynamoMsg::CtlJoin`] arrives (the chaos `AddNode` clause, or
+//! `loadgen --join-at` in the wall-clock runtime).
 
+use membership::{boot_view, HashRing, MemberRecord, MemberStatus, MembershipView};
 use sim::{Actor, Context, NodeId, Simulation};
 
 use crate::msg::DynamoMsg;
 use crate::node::{DynamoConfig, StoreNode};
-use crate::ring::Ring;
 use crate::version::Versioned;
 
 /// The node ids of a built cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    /// Store nodes, indexed by store id.
+    /// Store nodes, indexed by store id — ring members first, then any
+    /// pre-provisioned spares.
     pub stores: Vec<NodeId>,
-    /// The ring shared by every node.
-    pub ring: Ring,
+    /// The boot-time ring (nodes evolve their own copies via gossip).
+    pub ring: HashRing,
+    /// The boot-time membership view.
+    pub view: MembershipView,
+}
+
+/// The standard boot view plus `spares` standby members: stores
+/// `0..n_stores` are `Up` at incarnation 1; stores
+/// `n_stores..n_stores+spares` are `Down` at incarnation 0, waiting for
+/// a `CtlJoin` to begin their first life.
+pub fn standby_view(n_stores: u32, spares: u32) -> MembershipView {
+    let mut view = boot_view(&(0..n_stores as u64).collect::<Vec<_>>());
+    for m in n_stores..n_stores + spares {
+        view.observe(
+            m,
+            MemberRecord { status: MemberStatus::Down, incarnation: 0, node: m as u64, tokens: 0 },
+        );
+    }
+    view
 }
 
 /// Add `n_stores` store nodes to a fresh-but-empty simulation. Store `s`
@@ -24,13 +49,24 @@ pub fn build_cluster<V: Clone + std::fmt::Debug + 'static>(
     n_stores: u32,
     cfg: &DynamoConfig,
 ) -> Cluster {
-    let ring = Ring::new(n_stores, cfg.vnodes);
-    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
-    for s in 0..n_stores {
-        let id = sim.add_node(StoreNode::<V>::new(s, ring.clone(), stores.clone(), cfg.clone()));
+    build_cluster_with_spares(sim, n_stores, 0, cfg)
+}
+
+/// Like [`build_cluster`], plus `spares` standby stores (ids
+/// `n_stores..n_stores+spares`) provisioned outside the ring.
+pub fn build_cluster_with_spares<V: Clone + std::fmt::Debug + 'static>(
+    sim: &mut Simulation<DynamoMsg<V>>,
+    n_stores: u32,
+    spares: u32,
+    cfg: &DynamoConfig,
+) -> Cluster {
+    let view = standby_view(n_stores, spares);
+    let stores: Vec<NodeId> = (0..(n_stores + spares) as usize).map(NodeId).collect();
+    for s in 0..n_stores + spares {
+        let id = sim.add_node(StoreNode::<V>::new(s, view.clone(), stores.clone(), cfg.clone()));
         debug_assert_eq!(id, stores[s as usize]);
     }
-    Cluster { stores, ring }
+    Cluster { stores, ring: HashRing::from_view(&view, cfg.vnodes as u32), view }
 }
 
 /// Like [`build_cluster`], but the stored value is a [`crdt::Crdt`] and
@@ -43,15 +79,26 @@ pub fn build_crdt_cluster<V: crdt::Crdt + 'static>(
     n_stores: u32,
     cfg: &DynamoConfig,
 ) -> Cluster {
-    let ring = Ring::new(n_stores, cfg.vnodes);
-    let stores: Vec<NodeId> = (0..n_stores as usize).map(NodeId).collect();
-    for s in 0..n_stores {
+    build_crdt_cluster_with_spares(sim, n_stores, 0, cfg)
+}
+
+/// Like [`build_crdt_cluster`], plus `spares` standby stores outside the
+/// ring.
+pub fn build_crdt_cluster_with_spares<V: crdt::Crdt + 'static>(
+    sim: &mut Simulation<DynamoMsg<V>>,
+    n_stores: u32,
+    spares: u32,
+    cfg: &DynamoConfig,
+) -> Cluster {
+    let view = standby_view(n_stores, spares);
+    let stores: Vec<NodeId> = (0..(n_stores + spares) as usize).map(NodeId).collect();
+    for s in 0..n_stores + spares {
         let node =
-            StoreNode::<V>::new(s, ring.clone(), stores.clone(), cfg.clone()).with_sibling_squash();
+            StoreNode::<V>::new(s, view.clone(), stores.clone(), cfg.clone()).with_sibling_squash();
         let id = sim.add_node(node);
         debug_assert_eq!(id, stores[s as usize]);
     }
-    Cluster { stores, ring }
+    Cluster { stores, ring: HashRing::from_view(&view, cfg.vnodes as u32), view }
 }
 
 /// What a probe saw come back for one request.
@@ -418,5 +465,85 @@ mod tests {
             sim.metrics().counter("sim.messages_sent")
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn spare_joins_and_receives_its_key_range() {
+        let mut sim: Simulation<Msg> = Simulation::new(11);
+        let c = build_cluster_with_spares(&mut sim, 3, 1, &DynamoConfig::default());
+        let spare = c.stores[3];
+        let probe = sim.add_node(Probe::<&'static str>::new());
+        // Seed data while the spare is a silent standby.
+        for (i, key) in (0..20u64).enumerate() {
+            put_at(
+                &mut sim,
+                SimTime::from_millis(1 + i as u64),
+                c.stores[(i % 3) as usize],
+                probe,
+                i as u64,
+                key,
+                "v",
+                VectorClock::new(),
+            );
+        }
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.actor::<StoreNode<&'static str>>(spare).key_count(), 0, "standby is idle");
+        // Join: the spare enters the ring and old owners stream its range.
+        sim.inject_at(SimTime::from_millis(500), spare, spare, DynamoMsg::CtlJoin);
+        sim.run_until(SimTime::from_secs(4));
+        let node: &StoreNode<&'static str> = sim.actor(spare);
+        assert_eq!(node.gossiper.status(), MemberStatus::Up, "join settles into Up");
+        assert!(node.key_count() > 0, "the joiner must receive its key range");
+        assert!(node.ring().contains(3), "the joiner's own ring includes it");
+        // Every member converged on a 4-store ring.
+        for s in &c.stores {
+            let n: &StoreNode<&'static str> = sim.actor(*s);
+            assert_eq!(n.ring().len(), 4, "store {s} sees the grown ring");
+            assert!(n.ring().contains(3), "store {s} routes around the joiner");
+            assert_eq!(n.transfer_count(), 0, "all transfers settled");
+        }
+        assert!(sim.metrics().counter("dynamo.transfers_completed") > 0);
+        assert_eq!(sim.ledger().open_count(), 0, "no transfer guess left open");
+    }
+
+    #[test]
+    fn graceful_leave_streams_keys_out_before_departing() {
+        let mut sim: Simulation<Msg> = Simulation::new(12);
+        let c = build_cluster(&mut sim, 4, &DynamoConfig::default());
+        let probe = sim.add_node(Probe::<&'static str>::new());
+        for (i, key) in (0..20u64).enumerate() {
+            put_at(
+                &mut sim,
+                SimTime::from_millis(1 + i as u64),
+                c.stores[(i % 4) as usize],
+                probe,
+                i as u64,
+                key,
+                "v",
+                VectorClock::new(),
+            );
+        }
+        sim.run_until(SimTime::from_millis(500));
+        sim.inject_at(SimTime::from_millis(500), c.stores[2], c.stores[2], DynamoMsg::CtlLeave);
+        sim.run_until(SimTime::from_secs(4));
+        let leaver: &StoreNode<&'static str> = sim.actor(c.stores[2]);
+        assert_eq!(leaver.gossiper.status(), MemberStatus::Down, "drain completes into Down");
+        assert!(leaver.gossiper.departed(), "the leave was chosen, not a rumor");
+        assert_eq!(leaver.transfer_count(), 0, "every drain batch was acked");
+        // Every acked write is still held by a current preference-list
+        // member — the acid test of `no-acked-write-lost-across-rebalance`.
+        let survivor: &StoreNode<&'static str> = sim.actor(c.stores[0]);
+        let ring = survivor.ring().clone();
+        assert!(!ring.contains(2), "the ring forgot the leaver");
+        for key in 0..20u64 {
+            let holders = ring.preference_list(key, 3);
+            let held = holders.iter().any(|s| {
+                !sim.actor::<StoreNode<&'static str>>(c.stores[*s as usize])
+                    .versions(key)
+                    .is_empty()
+            });
+            assert!(held, "key {key} must live on a current owner");
+        }
+        assert_eq!(sim.ledger().open_count(), 0, "no transfer guess left open");
     }
 }

@@ -19,6 +19,11 @@
 //!   peer: N/R/W quorums, **sloppy quorum with hinted handoff** (a PUT is
 //!   never refused for consistency reasons), read repair, and periodic
 //!   anti-entropy.
+//! - Live membership: every node embeds a [`membership::Gossiper`] and
+//!   routes by a [`membership::HashRing`] derived from the gossiped
+//!   view. `CtlJoin`/`CtlLeave` control messages grow and shrink the
+//!   ring at runtime; moved key ranges stream to their new owners as
+//!   durable-guess-backed transfers (see [`node::StoreNode`]).
 //!
 //! The store is generic over the blob type `V` and deliberately knows
 //! nothing about reconciliation: "the shopping cart application on top of
@@ -37,7 +42,10 @@ pub mod vclock;
 pub mod version;
 pub mod workload;
 
-pub use harness::{build_cluster, build_crdt_cluster, Cluster, Probe, ProbeResult};
+pub use harness::{
+    build_cluster, build_cluster_with_spares, build_crdt_cluster, build_crdt_cluster_with_spares,
+    standby_view, Cluster, Probe, ProbeResult,
+};
 pub use msg::DynamoMsg;
 pub use node::{DynamoConfig, GossipMode, StoreNode};
 pub use ring::Ring;

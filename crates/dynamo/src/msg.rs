@@ -137,6 +137,39 @@ pub enum DynamoMsg<V> {
         /// Who to send the missing versions to.
         resp_to: NodeId,
     },
+
+    // ----- membership & rebalancing -----
+    /// Operator control: join the ring (a spare promotes itself to
+    /// `Joining`, gossips the new view, and starts receiving its key
+    /// range). Injected by chaos `AddNode` clauses and `loadgen --join-at`.
+    CtlJoin,
+    /// Operator control: leave the ring gracefully — drain owned keys to
+    /// their new owners, then mark the member `Down`.
+    CtlLeave,
+    /// Gossip exchange of the membership view (full view; the CRDT merge
+    /// makes repeats idempotent and reordering harmless).
+    ViewGossip {
+        /// The sender's current view.
+        view: membership::MembershipView,
+    },
+    /// Rebalance stream: keys whose ownership moved to `resp_to`'s store
+    /// in a newer ring. Each in-flight transfer is a durable guess at the
+    /// sender — retried until acked, so an acked write survives any
+    /// join/leave interleaving.
+    TransferKeys {
+        /// Sender-local transfer correlation id.
+        xfer_id: u64,
+        /// The moved entries: key → full sibling set.
+        entries: Vec<(u64, Vec<Versioned<V>>)>,
+        /// Who to ack.
+        resp_to: NodeId,
+    },
+    /// The new owner has the transferred keys durably; the sender settles
+    /// the guess.
+    TransferAck {
+        /// Transfer correlation id.
+        xfer_id: u64,
+    },
 }
 
 // `NodeId` lives in `sim` and `WireCodec` in `quicksand-core`, so the
@@ -231,6 +264,22 @@ impl<V: WireCodec> WireCodec for DynamoMsg<V> {
                 entries.encode(buf);
                 encode_node(*resp_to, buf);
             }
+            DynamoMsg::CtlJoin => buf.push(14),
+            DynamoMsg::CtlLeave => buf.push(15),
+            DynamoMsg::ViewGossip { view } => {
+                buf.push(16);
+                view.encode(buf);
+            }
+            DynamoMsg::TransferKeys { xfer_id, entries, resp_to } => {
+                buf.push(17);
+                xfer_id.encode(buf);
+                entries.encode(buf);
+                encode_node(*resp_to, buf);
+            }
+            DynamoMsg::TransferAck { xfer_id } => {
+                buf.push(18);
+                xfer_id.encode(buf);
+            }
         }
     }
 
@@ -284,6 +333,15 @@ impl<V: WireCodec> WireCodec for DynamoMsg<V> {
             13 => {
                 Ok(DynamoMsg::SyncDigest { entries: Vec::decode(buf)?, resp_to: decode_node(buf)? })
             }
+            14 => Ok(DynamoMsg::CtlJoin),
+            15 => Ok(DynamoMsg::CtlLeave),
+            16 => Ok(DynamoMsg::ViewGossip { view: membership::MembershipView::decode(buf)? }),
+            17 => Ok(DynamoMsg::TransferKeys {
+                xfer_id: u64::decode(buf)?,
+                entries: Vec::decode(buf)?,
+                resp_to: decode_node(buf)?,
+            }),
+            18 => Ok(DynamoMsg::TransferAck { xfer_id: u64::decode(buf)? }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -345,6 +403,15 @@ mod tests {
                 entries: vec![(30, vec![Dot { node: 1, counter: 2 }])],
                 resp_to: NodeId(31),
             },
+            DynamoMsg::CtlJoin,
+            DynamoMsg::CtlLeave,
+            DynamoMsg::ViewGossip { view: membership::boot_view(&[0, 1, 2]) },
+            DynamoMsg::TransferKeys {
+                xfer_id: 32,
+                entries: vec![(33, versions(2))],
+                resp_to: NodeId(34),
+            },
+            DynamoMsg::TransferAck { xfer_id: 35 },
         ];
         for msg in msgs {
             let bytes = to_bytes(&msg);

@@ -8,14 +8,27 @@
 //! (sloppy quorum + hinted handoff). GETs gather R replies and surface
 //! every concurrent sibling to the application, which owns
 //! reconciliation (§6.1, §6.4).
+//!
+//! Membership is no longer a fixed peer list: each node embeds a
+//! [`membership::Gossiper`] and derives its [`membership::HashRing`]
+//! from the gossiped view. Joins and leaves arrive as
+//! [`DynamoMsg::CtlJoin`] / [`DynamoMsg::CtlLeave`] control messages;
+//! every ring change streams the moved key ranges to their new owners
+//! as [`DynamoMsg::TransferKeys`] batches, each booked as a durable
+//! ledger guess and settled on [`DynamoMsg::TransferAck`] — an acked
+//! write survives any join/leave interleaved with the transfer, or the
+//! ledger shows an open guess (an apology owed, never silent loss).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
+use eventlog::{EventLog, LogConfig, MemKind, RecoveryReport};
+use membership::{Gossiper, HashRing, MemberStatus, MembershipView};
+use quicksand_core::uniquifier::Uniquifier;
+use quicksand_core::wire::{from_bytes, to_bytes};
 use rand::Rng;
 use sim::{Actor, Context, GuessId, NodeId, SimDuration, SimTime, SpanId, SpanStatus};
 
 use crate::msg::DynamoMsg;
-use crate::ring::Ring;
 use crate::vclock::{StoreId, VectorClock};
 use crate::version::{merge_version, merge_versions, Dot, Versioned};
 
@@ -69,6 +82,12 @@ pub struct DynamoConfig {
     /// catches the resulting stranded-hint divergence and shrinks it to
     /// a minimal crash schedule.
     pub rearm_gossip_on_restart: bool,
+    /// Gossip rounds of membership silence before a peer is declared
+    /// `Down` (see [`membership::GossipConfig::suspicion_ticks`]).
+    /// `0` (the default) disables suspicion: the ring changes only on
+    /// explicit joins and leaves, so transient partitions never evict a
+    /// store — the availability-first posture the quorum tests assume.
+    pub suspicion_ticks: u32,
 }
 
 impl Default for DynamoConfig {
@@ -83,8 +102,22 @@ impl Default for DynamoConfig {
             gossip_mode: GossipMode::FullStore,
             sloppy: true,
             rearm_gossip_on_restart: true,
+            suspicion_ticks: 0,
         }
     }
+}
+
+/// One in-flight rebalance batch: keys owed to `target`'s store under an
+/// open durable guess. Modelled as durable alongside the store (the keys
+/// themselves are on disk; the transfer obligation is replayed from the
+/// ring diff), so it survives this node's crash and is retried on every
+/// gossip tick until acked.
+#[derive(Debug)]
+struct Transfer {
+    target: StoreId,
+    keys: Vec<u64>,
+    span: SpanId,
+    guess: GuessId,
 }
 
 #[derive(Debug)]
@@ -114,8 +147,15 @@ enum PendingOp<V> {
 pub struct StoreNode<V> {
     /// This node's store id on the ring.
     pub store_id: StoreId,
-    ring: Ring,
-    /// store id → simulation node.
+    /// The membership engine: owns the gossiped view this node's ring is
+    /// derived from. Public for harness and test inspection.
+    pub gossiper: Gossiper,
+    /// The consistent-hash ring the current view prescribes.
+    ring: HashRing,
+    /// The view digest `ring` was last rebuilt at.
+    view_version: u64,
+    /// store id → engine node, for every store that may ever exist
+    /// (ring members *and* pre-provisioned spares).
     peers: Vec<NodeId>,
     cfg: DynamoConfig,
     /// key → sibling set. Modelled as durable (Dynamo persists to local
@@ -123,11 +163,26 @@ pub struct StoreNode<V> {
     store: BTreeMap<u64, Vec<Versioned<V>>>,
     /// Writes held for unreachable preferred stores: hint id → (intended
     /// store, key, handoff span — open until the hint is delivered, and
-    /// the durable ledger guess it represents). Hints are on disk, so
-    /// the guess survives this node's crash: if it is still open after
-    /// quiescence, a promised handoff never happened.
+    /// the durable ledger guess it represents). The durable matter
+    /// behind this index is `hint_log`: a crash rebuilds the parked set
+    /// from whatever the log's recovery scan kept. If a guess is still
+    /// open after quiescence, a promised handoff never happened.
     hints: HashMap<u64, (StoreId, u64, SpanId, GuessId)>,
+    /// The hint WAL: one [`eventlog`] partition, fsynced per park so a
+    /// hint's durability rides the same CRC-framed, torn-tail-truncating
+    /// recovery path as every other WAL in the workspace. Parks append a
+    /// record keyed by the hint's uniquifier; deliveries append a
+    /// tombstone under the same key, so compaction collapses settled
+    /// hints to nothing.
+    hint_log: EventLog<MemKind>,
+    /// What hint-log recovery cut across this node's crashes so far.
+    pub hint_recovery: RecoveryReport,
     next_hint_id: u64,
+    /// In-flight rebalance batches: transfer id → obligation. Durable,
+    /// like the hints — an open transfer survives a crash and keeps
+    /// retrying until the new owner acks.
+    transfers: HashMap<u64, Transfer>,
+    next_xfer_id: u64,
     pending: HashMap<u64, PendingOp<V>>,
     /// Monotonic per-node write counter: guarantees that two writes
     /// coordinated here carry distinct clocks even when their causal
@@ -142,16 +197,35 @@ pub struct StoreNode<V> {
 }
 
 impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
-    /// Build a node. `peers[s]` must be the simulation node of store `s`.
-    pub fn new(store_id: StoreId, ring: Ring, peers: Vec<NodeId>, cfg: DynamoConfig) -> Self {
+    /// Build a node from a membership view. `peers[s]` must be the
+    /// engine node of store `s` for **every** store the view may ever
+    /// name (including pre-provisioned spares). A store whose own record
+    /// starts `Down` boots as a standby outside the ring and enters only
+    /// on [`DynamoMsg::CtlJoin`].
+    pub fn new(
+        store_id: StoreId,
+        view: MembershipView,
+        peers: Vec<NodeId>,
+        cfg: DynamoConfig,
+    ) -> Self {
+        let ring = HashRing::from_view(&view, cfg.vnodes as u32);
+        let view_version = view.ring_version();
+        let gossiper = Gossiper::new(store_id, view, cfg.suspicion_ticks);
         StoreNode {
             store_id,
+            gossiper,
             ring,
+            view_version,
             peers,
             cfg,
             store: BTreeMap::new(),
             hints: HashMap::new(),
+            hint_log: EventLog::open(MemKind, LogConfig { partitions: 1, segment_bytes: 4 * 1024 })
+                .0,
+            hint_recovery: RecoveryReport::default(),
             next_hint_id: 0,
+            transfers: HashMap::new(),
+            next_xfer_id: 0,
             pending: HashMap::new(),
             events: 0,
             merger: None,
@@ -209,6 +283,139 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
     /// Number of undelivered hints held.
     pub fn hint_count(&self) -> usize {
         self.hints.len()
+    }
+
+    /// Number of unacked rebalance transfers in flight.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Records currently in the hint WAL (parks + undelivered
+    /// tombstones; compaction trims settled pairs).
+    pub fn hint_log_records(&self) -> usize {
+        self.hint_log.record_count()
+    }
+
+    fn hint_uniquifier(&self, hint_id: u64) -> Uniquifier {
+        Uniquifier::derived_from_fields(&[
+            b"dynamo.hint",
+            &self.store_id.to_le_bytes(),
+            &hint_id.to_le_bytes(),
+        ])
+    }
+
+    /// Append one hint event (`done = false` parks, `true` settles) and
+    /// fsync — the ack that follows a park is only sent once the hint is
+    /// actually durable, same contract the old "hints are on disk" model
+    /// asserted by fiat.
+    fn log_hint(&mut self, hint_id: u64, intended: StoreId, key: u64, done: bool) {
+        let payload = to_bytes(&((hint_id, intended), (key, done)));
+        self.hint_log.append_to(0, Some(self.hint_uniquifier(hint_id)), payload);
+        self.hint_log.fsync();
+    }
+
+    /// The consistent-hash ring this node currently routes by.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// This node's view digest (the `membership.ring_version` gauge).
+    pub fn ring_version(&self) -> u64 {
+        self.gossiper.view.ring_version()
+    }
+
+    fn publish_membership(&self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        let m = ctx.metrics();
+        m.set_gauge("membership.ring_version", self.gossiper.view.ring_version() as f64);
+        let me = format!("s{}", self.store_id);
+        m.set_gauge_with(
+            "membership.status",
+            self.gossiper.status().rank() as f64,
+            &[("store", me.as_str())],
+        );
+    }
+
+    /// Send (or resend) one transfer batch, re-reading the entries from
+    /// the live store so retries carry the freshest sibling sets.
+    fn send_transfer(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>, xfer_id: u64) {
+        let Some(t) = self.transfers.get(&xfer_id) else { return };
+        let entries: Vec<(u64, Vec<Versioned<V>>)> =
+            t.keys.iter().filter_map(|k| self.store.get(k).map(|v| (*k, v.clone()))).collect();
+        let me = ctx.me();
+        ctx.set_current_span(Some(t.span));
+        ctx.send(
+            self.peers[t.target as usize],
+            DynamoMsg::TransferKeys { xfer_id, entries, resp_to: me },
+        );
+        ctx.set_current_span(None);
+    }
+
+    /// Push our view to every known member — used when a membership move
+    /// must not wait a gossip period (joins, leaves, departures).
+    fn broadcast_view(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        for (_, node) in self.gossiper.gossip_targets() {
+            ctx.send(
+                NodeId(node as usize),
+                DynamoMsg::ViewGossip { view: self.gossiper.view.clone() },
+            );
+        }
+    }
+
+    /// A graceful leave is complete once every transfer it opened has
+    /// been acked: mark ourselves `Down` (by choice) and tell the world.
+    fn maybe_depart(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        if self.gossiper.status() == MemberStatus::Leaving && self.transfers.is_empty() {
+            self.gossiper.depart();
+            ctx.metrics().inc("membership.departures");
+            self.broadcast_view(ctx);
+            self.refresh_ring(ctx);
+        }
+    }
+
+    /// Rebuild the ring if the view moved, and stream every held key
+    /// whose ownership changed to its **new** owners. Each batch is a
+    /// durable guess settled on ack; keys are never dropped here (a
+    /// stale extra replica is harmless — reads route by the new ring),
+    /// so the transfer can only add coverage, never lose it.
+    fn refresh_ring(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        let vv = self.gossiper.view.ring_version();
+        if vv == self.view_version {
+            return;
+        }
+        self.view_version = vv;
+        self.publish_membership(ctx);
+        let new_ring = HashRing::from_view(&self.gossiper.view, self.cfg.vnodes as u32);
+        if new_ring.version() == self.ring.version() {
+            return; // status-rank move only (e.g. Joining → Up): same tokens
+        }
+        let old = std::mem::replace(&mut self.ring, new_ring);
+        // Every holder streams, not just the old owners: replicas of a
+        // moved range may outlive its former coordinator, and the merge
+        // is idempotent, so redundancy costs bandwidth, not correctness.
+        let mut moved: BTreeMap<StoreId, Vec<u64>> = BTreeMap::new();
+        for &key in self.store.keys() {
+            let prefs_new = self.ring.preference_list(key, self.cfg.n);
+            let prefs_old = old.preference_list(key, self.cfg.n);
+            for s in prefs_new {
+                if s != self.store_id && !prefs_old.contains(&s) {
+                    moved.entry(s).or_default().push(key);
+                }
+            }
+        }
+        for (target, keys) in moved {
+            let xfer_id = self.next_xfer_id;
+            self.next_xfer_id += 1;
+            let span = ctx.start_span("dynamo.transfer");
+            ctx.span_field(span, "target", format!("s{target}"));
+            ctx.span_field(span, "keys", keys.len());
+            let guess = ctx.open_durable_guess(
+                "membership.transfer",
+                &format!("rebalance {} keys to s{target}", keys.len()),
+            );
+            ctx.metrics().inc("dynamo.transfers_started");
+            self.transfers.insert(xfer_id, Transfer { target, keys, span, guess });
+            self.send_transfer(ctx, xfer_id);
+        }
     }
 
     fn local_merge(&mut self, key: u64, version: Versioned<V>) {
@@ -308,6 +515,7 @@ impl<V: Clone + std::fmt::Debug + 'static> StoreNode<V> {
 
 impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> {
     fn on_start(&mut self, ctx: &mut Context<'_, DynamoMsg<V>>) {
+        self.publish_membership(ctx);
         if let Some(interval) = self.cfg.gossip_interval {
             // Desynchronize gossip across nodes.
             let jitter =
@@ -379,7 +587,9 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
             TAG_GOSSIP => {
                 // Hint delivery: try every held hint. Each attempt is sent
                 // under the hint's handoff span so retries and the final
-                // delivery hop all land in one tree.
+                // delivery hop all land in one tree. Runs whatever our
+                // membership status — a leaving (or even departed) holder
+                // still owes its parked writes to their homes.
                 let mut hints: Vec<(u64, StoreId, u64, SpanId)> =
                     self.hints.iter().map(|(id, (s, k, sp, _))| (*id, *s, *k, *sp)).collect();
                 hints.sort_unstable_by_key(|(id, ..)| *id);
@@ -394,12 +604,42 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                         ctx.set_current_span(None);
                     }
                 }
-                // Anti-entropy with one random peer.
-                if self.peers.len() > 1 && !self.store.is_empty() {
-                    let mut peer = ctx.rng().gen_range(0..self.peers.len());
-                    if peer == self.store_id as usize {
-                        peer = (peer + 1) % self.peers.len();
+                // Rebalance retry: every unacked transfer goes out again
+                // (same guess, same span) until its new owner acks.
+                let mut xfer_ids: Vec<u64> = self.transfers.keys().copied().collect();
+                xfer_ids.sort_unstable();
+                for id in xfer_ids {
+                    self.send_transfer(ctx, id);
+                }
+                // Membership round: age suspicion counters, settle a
+                // fresh join into `Up`, and exchange views with one
+                // random member. Spares that never joined (departed) stay
+                // silent — they only listen.
+                for _ in self.gossiper.tick() {
+                    ctx.metrics().inc("membership.suspicions");
+                }
+                self.gossiper.promote();
+                self.refresh_ring(ctx);
+                if !self.gossiper.departed() {
+                    let targets = self.gossiper.gossip_targets();
+                    if !targets.is_empty() {
+                        let (_, node) = targets[ctx.rng().gen_range(0..targets.len())];
+                        ctx.send(
+                            NodeId(node as usize),
+                            DynamoMsg::ViewGossip { view: self.gossiper.view.clone() },
+                        );
                     }
+                }
+                // Anti-entropy with one random in-ring peer. Routing by
+                // the gossiper (not the full peer table) keeps data off
+                // standbys and departed stores.
+                let ae_peers = self.gossiper.peers();
+                if self.gossiper.status().in_ring()
+                    && !ae_peers.is_empty()
+                    && !self.store.is_empty()
+                {
+                    let (_, node) = ae_peers[ctx.rng().gen_range(0..ae_peers.len())];
+                    let peer = NodeId(node as usize);
                     ctx.metrics().inc("dynamo.gossip_pushes");
                     match self.cfg.gossip_mode {
                         GossipMode::FullStore => {
@@ -407,7 +647,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                                 self.store.iter().map(|(k, v)| (*k, v.clone())).collect();
                             let versions: usize = entries.iter().map(|(_, v)| v.len()).sum();
                             ctx.metrics().add("dynamo.gossip_versions_sent", versions as u64);
-                            ctx.send(self.peers[peer], DynamoMsg::SyncPush { entries });
+                            ctx.send(peer, DynamoMsg::SyncPush { entries });
                         }
                         GossipMode::Digest => {
                             let me = ctx.me();
@@ -418,10 +658,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                                 .collect();
                             let dots: usize = entries.iter().map(|(_, d)| d.len()).sum();
                             ctx.metrics().add("dynamo.gossip_digest_dots", dots as u64);
-                            ctx.send(
-                                self.peers[peer],
-                                DynamoMsg::SyncDigest { entries, resp_to: me },
-                            );
+                            ctx.send(peer, DynamoMsg::SyncDigest { entries, resp_to: me });
                         }
                     }
                 }
@@ -564,6 +801,7 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                             "dynamo.hint_handoff",
                             &format!("hint parked for s{intended}"),
                         );
+                        self.log_hint(hint_id, intended, key, false);
                         self.hints.insert(hint_id, (intended, key, hspan, guess));
                         let me = ctx.me().to_string();
                         ctx.metrics().inc_with("dynamo.hints_stored", &[("node", me.as_str())]);
@@ -583,8 +821,12 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 ctx.send(from, DynamoMsg::HintAck { hint_id });
             }
             DynamoMsg::HintAck { hint_id } => {
-                if let Some((_, _, hspan, guess)) = self.hints.remove(&hint_id) {
+                if let Some((intended, key, hspan, guess)) = self.hints.remove(&hint_id) {
                     ctx.metrics().inc("dynamo.hints_delivered");
+                    // Tombstone the park under the same uniquifier;
+                    // compaction then erases the settled pair entirely.
+                    self.log_hint(hint_id, intended, key, true);
+                    self.hint_log.compact();
                     ctx.resolve_durable_guess(guess, true);
                     ctx.finish_span(hspan);
                 }
@@ -620,6 +862,62 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
                 }
             }
 
+            // ----- membership & rebalancing -----
+            DynamoMsg::CtlJoin => {
+                ctx.metrics().inc("membership.joins");
+                self.gossiper.join();
+                self.refresh_ring(ctx);
+                // Announce eagerly: the sooner the cluster learns, the
+                // sooner old owners stream our range over.
+                self.broadcast_view(ctx);
+                self.publish_membership(ctx);
+            }
+            DynamoMsg::CtlLeave => {
+                if self.gossiper.leave() {
+                    ctx.metrics().inc("membership.leaves");
+                    // The shrunken ring no longer names us: refresh_ring
+                    // streams every key we hold to its new owners, each
+                    // batch under a durable guess.
+                    self.refresh_ring(ctx);
+                    self.broadcast_view(ctx);
+                    self.publish_membership(ctx);
+                    // Nothing to drain? Depart immediately.
+                    self.maybe_depart(ctx);
+                }
+            }
+            DynamoMsg::ViewGossip { view } => {
+                if let Some(peer) = self.gossiper.member_on(from.0 as u64) {
+                    self.gossiper.heard_from(peer);
+                }
+                let outcome = self.gossiper.absorb(&view);
+                if outcome.refuted {
+                    ctx.metrics().inc("membership.refutations");
+                }
+                if outcome.sender_stale {
+                    ctx.send(from, DynamoMsg::ViewGossip { view: self.gossiper.view.clone() });
+                }
+                if outcome.changed || outcome.refuted {
+                    self.refresh_ring(ctx);
+                }
+            }
+            DynamoMsg::TransferKeys { xfer_id, entries, resp_to } => {
+                for (key, versions) in entries {
+                    merge_versions(self.store.entry(key).or_default(), &versions);
+                    self.maybe_squash(ctx, key);
+                }
+                // The store is durable, so once merged the batch is safe:
+                // ack so the sender settles its guess.
+                ctx.send(resp_to, DynamoMsg::TransferAck { xfer_id });
+            }
+            DynamoMsg::TransferAck { xfer_id } => {
+                if let Some(t) = self.transfers.remove(&xfer_id) {
+                    ctx.metrics().inc("dynamo.transfers_completed");
+                    ctx.resolve_durable_guess(t.guess, true);
+                    ctx.finish_span(t.span);
+                    self.maybe_depart(ctx);
+                }
+            }
+
             // Client-facing responses are not for us.
             DynamoMsg::PutOk { .. }
             | DynamoMsg::PutFailed { .. }
@@ -628,8 +926,32 @@ impl<V: Clone + std::fmt::Debug + 'static> Actor<DynamoMsg<V>> for StoreNode<V> 
         }
     }
 
-    fn on_crash(&mut self, _now: SimTime) {
+    fn on_crash(&mut self, now: SimTime) {
         // The store itself is on disk; coordination state is volatile.
         self.pending.clear();
+        // The hint queue's durable matter is its event log: crash it
+        // with a pseudo-random torn tail and let the recovery scan
+        // decide which parks survived — the same CRC-framed truncation
+        // path every WAL in the workspace goes through. Every park is
+        // fsynced before the replica ack, so recovery keeps them all;
+        // the torn tail can only cut a mid-write frame.
+        let torn = (now.as_micros() ^ self.hint_log.byte_len()) % 23;
+        let report = self.hint_log.crash(torn);
+        self.hint_recovery.absorb(&report);
+        let mut parked: HashSet<u64> = HashSet::new();
+        for rec in self.hint_log.part(0).all_records() {
+            if let Ok(((hint_id, _), (_, done))) =
+                from_bytes::<((u64, StoreId), (u64, bool))>(&rec.payload)
+            {
+                if done {
+                    parked.remove(&hint_id);
+                } else {
+                    parked.insert(hint_id);
+                }
+            }
+        }
+        // A hint the log lost keeps its ledger guess open — the crash
+        // cost a promised handoff, and the ledger says so.
+        self.hints.retain(|id, _| parked.contains(id));
     }
 }

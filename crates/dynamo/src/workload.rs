@@ -14,7 +14,7 @@ use sim::{
     SpanId, SpanStatus, SpanStore,
 };
 
-use crate::harness::{build_cluster, Cluster};
+use crate::harness::{build_cluster_with_spares, Cluster};
 use crate::msg::DynamoMsg;
 use crate::node::{DynamoConfig, StoreNode};
 use crate::vclock::VectorClock;
@@ -35,6 +35,9 @@ pub struct WorkloadConfig {
     pub dynamo: DynamoConfig,
     /// Cluster size.
     pub n_stores: u32,
+    /// Standby stores provisioned outside the ring (ids
+    /// `n_stores..n_stores+spares`), available as `AddNode` targets.
+    pub spares: u32,
     /// Keys the loader cycles through.
     pub n_keys: u64,
     /// Blind PUTs the loader issues (each with a globally unique value).
@@ -56,6 +59,7 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             dynamo: DynamoConfig::default(),
             n_stores: 5,
+            spares: 0,
             n_keys: 4,
             puts: 40,
             mean_interarrival: SimDuration::from_millis(10),
@@ -80,6 +84,15 @@ pub struct WorkloadReport {
     /// Acked values absent from *every* store at the end of the run —
     /// promised durability that evaporated.
     pub acked_lost: u64,
+    /// Acked values absent from every store the **final** ring's
+    /// preference list names for their key — the
+    /// `no-acked-write-lost-across-rebalance` invariant: surviving only
+    /// on a departed or demoted store does not count, because no read
+    /// will ever route there again.
+    pub acked_lost_in_ring: u64,
+    /// Rebalance transfers still unacked at the end of the run (each is
+    /// also an open `membership.transfer` guess in the ledger).
+    pub transfers_unacked: u64,
     /// Keys on which two stores still hold conflicting sibling sets.
     pub diverged_keys: u64,
     /// Hinted writes still parked on a stand-in store.
@@ -247,19 +260,36 @@ impl Actor<DynamoMsg<u64>> for Loader {
 /// heal plus a gossip-settling margin.
 pub fn run_workload_sim(cfg: &WorkloadConfig, seed: u64) -> (Simulation<DynamoMsg<u64>>, Cluster) {
     let mut sim: Simulation<DynamoMsg<u64>> = Simulation::new(seed);
-    let cluster = build_cluster(&mut sim, cfg.n_stores, &cfg.dynamo);
+    let cluster = build_cluster_with_spares(&mut sim, cfg.n_stores, cfg.spares, &cfg.dynamo);
+    // Coordinators are the boot-time ring members; spares (and leavers)
+    // are reachable through the ring, not addressed directly.
     let loader = Loader::new(
-        cluster.stores.clone(),
+        cluster.stores[..cfg.n_stores as usize].to_vec(),
         cfg.puts,
         cfg.n_keys.min(cfg.puts.max(1)),
         cfg.mean_interarrival,
     );
     let id = sim.add_node(loader);
-    debug_assert_eq!(id, NodeId(cfg.n_stores as usize));
+    debug_assert_eq!(id, NodeId((cfg.n_stores + cfg.spares) as usize));
     if cfg.flight {
         sim.enable_flight(1 << 16);
     }
     cfg.faults.apply(&mut sim);
+    // The plan engine applies crashes and partitions itself but is
+    // mechanism-agnostic about membership; the scenario owns the
+    // translation of AddNode/RemoveNode clauses into the data plane's
+    // control messages.
+    for f in &cfg.faults.faults {
+        match f {
+            sim::chaos::Fault::AddNode { at, node } => {
+                sim.inject_at(*at, *node, *node, DynamoMsg::CtlJoin);
+            }
+            sim::chaos::Fault::RemoveNode { at, node } => {
+                sim.inject_at(*at, *node, *node, DynamoMsg::CtlLeave);
+            }
+            _ => {}
+        }
+    }
     let settle = SimDuration::from_secs(5);
     let end = cfg.horizon.max(cfg.faults.ends_by() + settle);
     sim.run_until(end);
@@ -269,7 +299,7 @@ pub fn run_workload_sim(cfg: &WorkloadConfig, seed: u64) -> (Simulation<DynamoMs
 /// Run the workload under `cfg.faults` and audit the outcome.
 pub fn run_workload(cfg: &WorkloadConfig, seed: u64) -> WorkloadReport {
     let (mut sim, cluster) = run_workload_sim(cfg, seed);
-    let loader: &Loader = sim.actor(NodeId(cfg.n_stores as usize));
+    let loader: &Loader = sim.actor(NodeId((cfg.n_stores + cfg.spares) as usize));
 
     let mut report = WorkloadReport {
         acked: loader.acked.len() as u64,
@@ -291,14 +321,45 @@ pub fn run_workload(cfg: &WorkloadConfig, seed: u64) -> WorkloadReport {
         }
     }
 
+    // Rebalance durability: route each acked value by the **final** ring
+    // (as converged on by a surviving in-ring member) and require it on
+    // a store reads would actually reach. Catches the subtler loss mode
+    // where a value survives only on a node the ring no longer names.
+    let final_ring = cluster
+        .stores
+        .iter()
+        .map(|s| sim.actor::<StoreNode<u64>>(*s))
+        .find(|n| n.gossiper.status().in_ring())
+        .map(|n| n.ring().clone())
+        .unwrap_or_else(|| cluster.ring.clone());
+    for (value, key) in &loader.acked {
+        let held = final_ring.preference_list(*key, cfg.dynamo.n).iter().any(|s| {
+            sim.actor::<StoreNode<u64>>(cluster.stores[*s as usize])
+                .versions(*key)
+                .iter()
+                .any(|v| v.value == *value)
+        });
+        if !held {
+            report.acked_lost_in_ring += 1;
+        }
+    }
+    report.transfers_unacked = cluster
+        .stores
+        .iter()
+        .map(|s| sim.actor::<StoreNode<u64>>(*s).transfer_count() as u64)
+        .sum();
+
     // Convergence: with the plan healed and anti-entropy settled, every
-    // store holding a key agrees with every other holder, and no hinted
-    // write is still parked on a stand-in.
+    // **in-ring** store holding a key agrees with every other holder,
+    // and no hinted write is still parked on a stand-in. Departed
+    // stores are expected to go stale — anti-entropy stops routing to
+    // them the moment the ring forgets them.
     for key in 0..cfg.n_keys {
         let holders: Vec<&StoreNode<u64>> = cluster
             .stores
             .iter()
             .map(|s| sim.actor::<StoreNode<u64>>(*s))
+            .filter(|n| n.gossiper.status().in_ring())
             .filter(|n| !n.versions(key).is_empty())
             .collect();
         if let Some(first) = holders.first() {
@@ -378,6 +439,26 @@ mod tests {
         );
         let r = run_workload(&cfg, 14);
         assert!(!r.converged(), "without gossip the damage must persist: {r:?}");
+    }
+
+    #[test]
+    fn join_and_leave_mid_run_lose_nothing() {
+        // A spare joins while the loader is writing, then a founding
+        // member drains out — the acceptance shape of
+        // `no-acked-write-lost-across-rebalance` in miniature.
+        let mut cfg = base();
+        cfg.spares = 1;
+        cfg.faults = FaultPlan::from_faults(vec![
+            Fault::AddNode { at: SimTime::from_millis(60), node: NodeId(5) },
+            Fault::RemoveNode { at: SimTime::from_millis(200), node: NodeId(1) },
+        ]);
+        let r = run_workload(&cfg, 21);
+        assert_eq!(r.acked, 30, "{r:?}");
+        assert_eq!(r.acked_lost, 0, "{r:?}");
+        assert_eq!(r.acked_lost_in_ring, 0, "acked writes must follow the ring: {r:?}");
+        assert_eq!(r.transfers_unacked, 0, "{r:?}");
+        assert!(r.converged(), "{r:?}");
+        assert_eq!(r.ledger.open(), 0, "every transfer and hint guess settles: {r:?}");
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! The gossip protocol engine: periodic view exchange, suspicion, and
+//! incarnation-bumped refutation.
+//!
+//! [`Gossiper`] is deliberately embeddable — it owns the view and the
+//! protocol decisions but performs no I/O, so a data-plane actor (see
+//! `dynamo::StoreNode`) can drive it from its own timers and sends.
+//! [`GossipActor`] wraps it as a standalone [`sim::Actor`] for
+//! deterministic protocol tests: the same suspicion timeouts and
+//! refutation moves, exercised under partitions with nothing else in
+//! the way.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use sim::{Actor, Context, NodeId, SimDuration};
+
+use crate::view::{MemberId, MemberRecord, MemberStatus, MembershipView};
+
+/// One gossip frame: the sender's full view (views are small — tens of
+/// members — so delta optimization is not worth the protocol surface).
+#[derive(Debug, Clone)]
+pub struct ViewMsg(pub MembershipView);
+
+/// Protocol knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// How often to exchange views with one random peer.
+    pub interval: SimDuration,
+    /// Gossip rounds of silence before a peer is declared `Down`
+    /// (`0` disables suspicion — membership changes then come only from
+    /// explicit joins and leaves).
+    pub suspicion_ticks: u32,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig { interval: SimDuration::from_millis(100), suspicion_ticks: 0 }
+    }
+}
+
+/// What one [`Gossiper::absorb`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Absorbed {
+    /// The local view changed (ring version moved).
+    pub changed: bool,
+    /// The remote view had us dead or draining; we bumped our
+    /// incarnation to outbid the rumor.
+    pub refuted: bool,
+    /// We hold records the sender lacks — reply with our view so the
+    /// exchange converges in one round trip.
+    pub sender_stale: bool,
+}
+
+/// The embeddable membership engine: a view plus the suspicion and
+/// refutation rules.
+#[derive(Debug, Clone)]
+pub struct Gossiper {
+    me: MemberId,
+    /// The local membership view (the CRDT).
+    pub view: MembershipView,
+    suspicion_ticks: u32,
+    /// Gossip rounds since each in-ring peer was last heard from.
+    silence: BTreeMap<MemberId, u32>,
+    /// True while this member has *chosen* to be out (never joined, or
+    /// gracefully departed) — a `Down` record is then ours, not a rumor,
+    /// and must not be refuted.
+    departed: bool,
+    /// True while this member has *chosen* to drain (`Leaving`): its
+    /// out-of-ring status is then deliberate and must not be refuted
+    /// back to `Up`, only defended against premature `Down` rumors.
+    draining: bool,
+}
+
+impl Gossiper {
+    /// An engine for `me` over `view`. A member whose own record starts
+    /// `Down` (a pre-provisioned standby) is treated as departed until
+    /// [`Gossiper::join`].
+    pub fn new(me: MemberId, view: MembershipView, suspicion_ticks: u32) -> Self {
+        let departed = view.get(me).is_none_or(|r| r.status == MemberStatus::Down);
+        let draining = view.get(me).is_some_and(|r| r.status == MemberStatus::Leaving);
+        Gossiper { me, view, suspicion_ticks, silence: BTreeMap::new(), departed, draining }
+    }
+
+    /// This member's id.
+    pub fn me(&self) -> MemberId {
+        self.me
+    }
+
+    /// Our own current status (`Down` if the view has lost us).
+    pub fn status(&self) -> MemberStatus {
+        self.view.get(self.me).map_or(MemberStatus::Down, |r| r.status)
+    }
+
+    /// Whether this member has chosen to be out of the cluster.
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Begin (or re-begin) a life in the cluster: bump the incarnation
+    /// past everything the view has seen and enter as `Joining`.
+    /// Returns the new incarnation. No-op if already in the ring.
+    pub fn join(&mut self) -> u64 {
+        if self.status().in_ring() {
+            return self.view.get(self.me).map_or(0, |r| r.incarnation);
+        }
+        self.departed = false;
+        self.draining = false;
+        self.silence.clear();
+        self.view.reincarnate(self.me, MemberStatus::Joining)
+    }
+
+    /// Settle from `Joining` into `Up` (no-op otherwise).
+    pub fn promote(&mut self) -> bool {
+        self.status() == MemberStatus::Joining && self.view.advance(self.me, MemberStatus::Up)
+    }
+
+    /// Start a graceful drain: mark ourselves `Leaving`. The data plane
+    /// streams our keys out, then calls [`Gossiper::depart`].
+    pub fn leave(&mut self) -> bool {
+        let left = self.view.advance(self.me, MemberStatus::Leaving);
+        self.draining |= left;
+        left
+    }
+
+    /// Complete the drain: mark ourselves `Down`, by choice.
+    pub fn depart(&mut self) -> bool {
+        self.departed = true;
+        self.draining = false;
+        self.view.advance(self.me, MemberStatus::Down)
+    }
+
+    /// The peers we gossip with: in-ring members other than ourselves,
+    /// as `(member, engine node)`.
+    pub fn peers(&self) -> Vec<(MemberId, u64)> {
+        self.view
+            .ring_members()
+            .filter(|(m, _)| *m != self.me)
+            .map(|(m, rec)| (m, rec.node))
+            .collect()
+    }
+
+    /// Everyone we may *send* gossip to: every known member but
+    /// ourselves, whatever its status. Crucially wider than
+    /// [`Gossiper::peers`]: a member we hold `Down` must still hear the
+    /// rumor of its death, or it can never refute it — two halves of a
+    /// healed partition that suspected each other would otherwise stay
+    /// split forever. A truly dead node just drops the frame.
+    pub fn gossip_targets(&self) -> Vec<(MemberId, u64)> {
+        self.view.members().filter(|(m, _)| *m != self.me).map(|(m, rec)| (m, rec.node)).collect()
+    }
+
+    /// Note life from `peer` (any message counts as gossip liveness).
+    pub fn heard_from(&mut self, peer: MemberId) {
+        self.silence.insert(peer, 0);
+    }
+
+    /// The member living on engine node `node`, if any.
+    pub fn member_on(&self, node: u64) -> Option<MemberId> {
+        self.view.members().find(|(_, rec)| rec.node == node).map(|(m, _)| m)
+    }
+
+    /// One gossip round: age every in-ring peer's silence counter and
+    /// declare the ones past the threshold `Down` at their current
+    /// incarnation. Returns the members newly suspected this round.
+    pub fn tick(&mut self) -> Vec<MemberId> {
+        if self.suspicion_ticks == 0 || !self.status().in_ring() {
+            return Vec::new();
+        }
+        let peers: Vec<MemberId> = self.peers().into_iter().map(|(m, _)| m).collect();
+        let mut suspected = Vec::new();
+        for m in peers {
+            let c = self.silence.entry(m).or_insert(0);
+            *c += 1;
+            if *c > self.suspicion_ticks && self.view.suspect(m) {
+                suspected.push(m);
+            }
+        }
+        suspected
+    }
+
+    /// Merge a received view and apply the refutation rule: if the
+    /// merged view says we are `Down` (or `Leaving`) while we have not
+    /// chosen to be, outbid the rumor with a fresh incarnation. A member
+    /// mid-drain defends its *chosen* `Leaving` against premature `Down`
+    /// rumors but never bounces itself back to `Up` — an early version
+    /// did exactly that, and every graceful leave that overlapped one
+    /// gossip frame silently un-left.
+    pub fn absorb(&mut self, remote: &MembershipView) -> Absorbed {
+        let before = self.view.ring_version();
+        crdt::Crdt::merge(&mut self.view, remote);
+        let mut out = Absorbed::default();
+        if self.draining {
+            if self.status() == MemberStatus::Down {
+                self.view.reincarnate(self.me, MemberStatus::Leaving);
+                out.refuted = true;
+            }
+        } else if !self.departed && !self.status().in_ring() {
+            self.view.reincarnate(self.me, MemberStatus::Up);
+            out.refuted = true;
+        }
+        out.changed = self.view.ring_version() != before;
+        out.sender_stale = self.view != *remote;
+        out
+    }
+}
+
+/// A membership view over members `0..n`, all `Up` at incarnation 1,
+/// member `m` living on engine node `nodes[m]`. The standard boot view
+/// for a fixed starting cluster.
+pub fn boot_view(nodes: &[u64]) -> MembershipView {
+    let mut view = MembershipView::new();
+    for (m, &node) in nodes.iter().enumerate() {
+        view.observe(
+            m as MemberId,
+            MemberRecord { status: MemberStatus::Up, incarnation: 1, node, tokens: 0 },
+        );
+    }
+    view
+}
+
+const TAG_GOSSIP: u64 = 1;
+
+/// A standalone gossip node: the [`Gossiper`] on a timer, speaking
+/// [`ViewMsg`] over the normal actor `send` path. Volatile state is the
+/// timer only — the view itself is this actor's durable matter and
+/// survives a crash (the node resumes its old incarnation; if the
+/// cluster declared it dead meanwhile, refutation bumps it on the first
+/// exchange).
+#[derive(Debug)]
+pub struct GossipActor {
+    /// The protocol engine (public for harness inspection).
+    pub gossiper: Gossiper,
+    cfg: GossipConfig,
+}
+
+impl GossipActor {
+    /// A gossip node for `me` starting from `view`.
+    pub fn new(me: MemberId, view: MembershipView, cfg: GossipConfig) -> Self {
+        GossipActor { gossiper: Gossiper::new(me, view, cfg.suspicion_ticks), cfg }
+    }
+
+    fn publish(&self, ctx: &mut Context<'_, ViewMsg>) {
+        let v = self.gossiper.view.ring_version();
+        ctx.metrics().set_gauge("membership.ring_version", v as f64);
+    }
+}
+
+impl Actor<ViewMsg> for GossipActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, ViewMsg>) {
+        ctx.set_timer(self.cfg.interval, TAG_GOSSIP);
+        self.publish(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ViewMsg>, tag: u64) {
+        if tag != TAG_GOSSIP {
+            return;
+        }
+        for m in self.gossiper.tick() {
+            ctx.metrics().inc("membership.suspicions");
+            let _ = m;
+        }
+        self.gossiper.promote();
+        let targets = self.gossiper.gossip_targets();
+        if !targets.is_empty() {
+            let (_, node) = targets[ctx.rng().gen_range(0..targets.len())];
+            ctx.send(NodeId(node as usize), ViewMsg(self.gossiper.view.clone()));
+        }
+        self.publish(ctx);
+        ctx.set_timer(self.cfg.interval, TAG_GOSSIP);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ViewMsg>, from: NodeId, msg: ViewMsg) {
+        if let Some(peer) = self.gossiper.member_on(from.0 as u64) {
+            self.gossiper.heard_from(peer);
+        }
+        let outcome = self.gossiper.absorb(&msg.0);
+        if outcome.refuted {
+            ctx.metrics().inc("membership.refutations");
+        }
+        if outcome.sender_stale {
+            ctx.send(from, ViewMsg(self.gossiper.view.clone()));
+        }
+        self.publish(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, ViewMsg>) {
+        ctx.set_timer(self.cfg.interval, TAG_GOSSIP);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::{SimTime, Simulation};
+
+    fn cluster(n: usize, cfg: GossipConfig) -> (Simulation<ViewMsg>, Vec<NodeId>) {
+        let mut sim = Simulation::new(42);
+        let view = boot_view(&(0..n as u64).collect::<Vec<_>>());
+        let ids: Vec<NodeId> = (0..n)
+            .map(|m| sim.add_node(GossipActor::new(m as MemberId, view.clone(), cfg)))
+            .collect();
+        (sim, ids)
+    }
+
+    fn status_of(sim: &mut Simulation<ViewMsg>, holder: NodeId, member: MemberId) -> MemberStatus {
+        sim.actor::<GossipActor>(holder).gossiper.view.get(member).unwrap().status
+    }
+
+    #[test]
+    fn suspicion_declares_a_partitioned_peer_down_and_refutation_revives_it() {
+        let cfg = GossipConfig { interval: SimDuration::from_millis(50), suspicion_ticks: 4 };
+        let (mut sim, ids) = cluster(4, cfg);
+        // Isolate n3 from everyone for long enough to trip suspicion.
+        sim.schedule_partition(SimTime::from_millis(100), &ids[..3], &ids[3..]);
+        sim.schedule_heal_groups(SimTime::from_secs(2), &ids[..3], &ids[3..]);
+        sim.run_until(SimTime::from_millis(1_900));
+        assert_eq!(status_of(&mut sim, ids[0], 3), MemberStatus::Down, "suspicion verdict");
+        let old_inc = sim.actor::<GossipActor>(ids[0]).gossiper.view.get(3).unwrap().incarnation;
+        // After the heal, n3 hears the rumor of its death and refutes it.
+        sim.run_until(SimTime::from_secs(4));
+        for &id in &ids {
+            let rec = sim.actor::<GossipActor>(id).gossiper.view.get(3).unwrap().clone();
+            assert_eq!(rec.status, MemberStatus::Up, "holder {id:?}");
+            assert!(rec.incarnation > old_inc, "refutation must bump the incarnation");
+        }
+    }
+
+    /// Regression: a member that chose `Leaving` must not treat its own
+    /// out-of-ring status as a rumor. The original refutation rule
+    /// bounced any non-in-ring self back to `Up`, so a graceful leave
+    /// that overlapped a single incoming gossip frame un-left itself
+    /// with a bumped incarnation that outbid the drain everywhere.
+    #[test]
+    fn a_draining_member_defends_leaving_without_bouncing_back_up() {
+        let view = boot_view(&[0, 1, 2]);
+        let mut g = Gossiper::new(2, view.clone(), 0);
+        assert!(g.leave());
+        // A peer's stale view that still has us `Up` merges away (our
+        // Leaving outranks it at the same incarnation) — no refutation.
+        let out = g.absorb(&view);
+        assert!(!out.refuted, "choosing to leave is not a rumor to refute");
+        assert_eq!(g.status(), MemberStatus::Leaving);
+        // A rumor of our *death* mid-drain is outbid — back to Leaving,
+        // never to Up: the drain continues, the eviction does not stick.
+        let mut death = g.view.clone();
+        assert!(death.suspect(2));
+        let out = g.absorb(&death);
+        assert!(out.refuted);
+        assert_eq!(g.status(), MemberStatus::Leaving);
+        // Completing the drain still works and stays chosen.
+        assert!(g.depart());
+        let snapshot = g.view.clone();
+        assert!(!g.absorb(&snapshot).refuted, "a departed member never refutes");
+        assert_eq!(g.status(), MemberStatus::Down);
+    }
+
+    #[test]
+    fn views_converge_without_faults() {
+        let cfg = GossipConfig { interval: SimDuration::from_millis(50), suspicion_ticks: 0 };
+        let (mut sim, ids) = cluster(5, cfg);
+        sim.run_until(SimTime::from_secs(2));
+        let v0 = sim.actor::<GossipActor>(ids[0]).gossiper.view.clone();
+        for &id in &ids[1..] {
+            assert_eq!(sim.actor::<GossipActor>(id).gossiper.view, v0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # membership — gossip-based cluster membership (ROADMAP item 2)
+//!
+//! *Building on Quicksand* treats "the shifting sands of
+//! non-deterministic asynchrony" as the ground truth a system stands on:
+//! machines do not just crash and restart, they arrive and leave. This
+//! crate is the control plane that lets the rest of the workspace cope
+//! with that — the membership view itself is a join-semilattice, so the
+//! ACID 2.0 discipline (§8) that protects the data plane protects the
+//! node list too:
+//!
+//! - [`MembershipView`] — a per-member last-writer-wins map keyed by
+//!   `(incarnation, status rank)`. Merge is the lattice join, certified
+//!   by `crdt::check_merge_laws`; any gossip schedule that eventually
+//!   delivers everything converges every replica to the same view.
+//! - [`HashRing`] — consistent hashing with virtual-node tokens, built
+//!   from whichever members the view currently places in the ring.
+//!   Joins and leaves move a bounded slice of the key space (≈ 1/n),
+//!   never reshuffle it.
+//! - [`Gossiper`] — the embeddable protocol engine: periodic view
+//!   exchange over the normal actor `send` path, suspicion via
+//!   missed-gossip timeouts, and incarnation-bumped refutation (a node
+//!   declared down by rumor outbids the rumor by incrementing its own
+//!   incarnation — SWIM's trick, expressed as a lattice move).
+//! - [`GossipActor`] — a standalone [`sim::Actor`] speaking
+//!   [`ViewMsg`], for deterministic protocol tests and as the reference
+//!   for embedding the [`Gossiper`] in a data-plane actor (see
+//!   `dynamo::StoreNode`).
+//!
+//! Rebalance transfers themselves live with the data planes that own
+//! the data; this crate only decides *who owns what*. The §5
+//! guess/apology contract still applies: every transfer a data plane
+//! streams on a ring change is booked as a durable ledger guess and
+//! settled on ack, so a crash mid-rebalance produces an apology, never
+//! silent loss.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gossip;
+pub mod ring;
+pub mod view;
+
+pub use gossip::{boot_view, GossipActor, GossipConfig, Gossiper, ViewMsg};
+pub use ring::{hash_key, HashRing};
+pub use view::{MemberId, MemberRecord, MemberStatus, MembershipView};

@@ -1,0 +1,351 @@
+//! The membership view: a per-member LWW map that is a join-semilattice.
+//!
+//! Every member's record carries an **incarnation** (bumped only by the
+//! member itself) and a **status** whose rank is monotone *within* an
+//! incarnation: `Joining < Up < Leaving < Down`. Merge keeps, per
+//! member, the record with the larger `(incarnation, rank)` — a total
+//! order, so the join is trivially commutative, associative, and
+//! idempotent. The consequences are exactly the protocol rules:
+//!
+//! - within one incarnation a member only moves *forward* (a `Down`
+//!   verdict cannot be talked back down to `Up` by stale gossip);
+//! - refuting a false `Down` (or rejoining after a real one) requires
+//!   the member to bump its incarnation, which outbids every record of
+//!   the previous life.
+
+use std::collections::BTreeMap;
+
+use quicksand_core::wire::{WireCodec, WireError};
+
+/// A member's stable identity (the data plane's store id).
+pub type MemberId = u32;
+
+/// Where a member stands in its current incarnation. Rank order is
+/// `Joining < Up < Leaving < Down`; within an incarnation a status only
+/// advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemberStatus {
+    /// Announced itself; receiving its key range but not yet settled.
+    Joining,
+    /// A full ring member.
+    Up,
+    /// Draining: streaming owned keys out before going down.
+    Leaving,
+    /// Out of the ring — gracefully departed, or declared dead by
+    /// suspicion. Only an incarnation bump revives the member.
+    Down,
+}
+
+impl MemberStatus {
+    /// Monotone in-incarnation rank.
+    pub fn rank(self) -> u8 {
+        match self {
+            MemberStatus::Joining => 0,
+            MemberStatus::Up => 1,
+            MemberStatus::Leaving => 2,
+            MemberStatus::Down => 3,
+        }
+    }
+
+    /// Whether a member with this status owns ring tokens. `Leaving`
+    /// members are already out: the drain protocol transfers their keys
+    /// to the owners the shrunken ring names.
+    pub fn in_ring(self) -> bool {
+        matches!(self, MemberStatus::Joining | MemberStatus::Up)
+    }
+
+    fn from_rank(rank: u8) -> Result<Self, WireError> {
+        Ok(match rank {
+            0 => MemberStatus::Joining,
+            1 => MemberStatus::Up,
+            2 => MemberStatus::Leaving,
+            3 => MemberStatus::Down,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// Stable label for metrics and rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemberStatus::Joining => "joining",
+            MemberStatus::Up => "up",
+            MemberStatus::Leaving => "leaving",
+            MemberStatus::Down => "down",
+        }
+    }
+}
+
+impl std::fmt::Display for MemberStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One member's record in the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberRecord {
+    /// Current status (see [`MemberStatus`] for the lattice rules).
+    pub status: MemberStatus,
+    /// The member's self-asserted lifetime counter. Bumped only by the
+    /// member itself: on (re)join and on refuting a false `Down`.
+    pub incarnation: u64,
+    /// The engine node the member lives on (`sim::NodeId` as `u64`, the
+    /// same widening `DynamoMsg` uses on the wire).
+    pub node: u64,
+    /// Virtual-node tokens this member contributes to the ring
+    /// (`0` means "use the ring's default").
+    pub tokens: u32,
+}
+
+impl MemberRecord {
+    /// The LWW key: records compare by `(incarnation, rank)` first;
+    /// `tokens` and `node` only break (pathological) ties so the order
+    /// is total and the merge deterministic.
+    fn lww_key(&self) -> (u64, u8, u32, u64) {
+        (self.incarnation, self.status.rank(), self.tokens, self.node)
+    }
+}
+
+/// The membership view CRDT: member id → newest [`MemberRecord`].
+///
+/// [`crdt::Crdt::merge`] keeps, per member, the record with the larger
+/// LWW key; absent members are unioned in. `check_merge_laws` certifies
+/// the lattice laws over concrete samples in this crate's tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MembershipView {
+    members: BTreeMap<MemberId, MemberRecord>,
+}
+
+impl MembershipView {
+    /// The empty view.
+    pub fn new() -> Self {
+        MembershipView::default()
+    }
+
+    /// Record `member` (merging against any existing record).
+    pub fn observe(&mut self, member: MemberId, record: MemberRecord) {
+        match self.members.get_mut(&member) {
+            Some(existing) => {
+                if record.lww_key() > existing.lww_key() {
+                    *existing = record;
+                }
+            }
+            None => {
+                self.members.insert(member, record);
+            }
+        }
+    }
+
+    /// The current record for `member`.
+    pub fn get(&self, member: MemberId) -> Option<&MemberRecord> {
+        self.members.get(&member)
+    }
+
+    /// Every member, in id order.
+    pub fn members(&self) -> impl Iterator<Item = (MemberId, &MemberRecord)> {
+        self.members.iter().map(|(id, rec)| (*id, rec))
+    }
+
+    /// Members the ring should currently contain (status `in_ring`).
+    pub fn ring_members(&self) -> impl Iterator<Item = (MemberId, &MemberRecord)> {
+        self.members().filter(|(_, rec)| rec.status.in_ring())
+    }
+
+    /// Number of known members (any status).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view knows no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Advance `member`'s status *within its current incarnation*.
+    /// Ignored (returns `false`) if the move would lower the rank or the
+    /// member is unknown — within one life a member only moves forward.
+    pub fn advance(&mut self, member: MemberId, status: MemberStatus) -> bool {
+        match self.members.get_mut(&member) {
+            Some(rec) if status.rank() > rec.status.rank() => {
+                rec.status = status;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Begin a new incarnation for `member`: bump past every record the
+    /// view has seen and enter it as `status` (typically `Joining` for a
+    /// rejoin, `Up` for a refutation). Returns the new incarnation.
+    pub fn reincarnate(&mut self, member: MemberId, status: MemberStatus) -> u64 {
+        let rec = self.members.get_mut(&member).expect("reincarnate requires a known member");
+        rec.incarnation += 1;
+        rec.status = status;
+        rec.incarnation
+    }
+
+    /// Declare `member` dead at its current incarnation (a suspicion
+    /// verdict). Returns `false` when already `Down` or unknown.
+    pub fn suspect(&mut self, member: MemberId) -> bool {
+        self.advance(member, MemberStatus::Down)
+    }
+
+    /// A single-member view fragment — the delta a mutation gossips.
+    pub fn delta_of(&self, member: MemberId) -> MembershipView {
+        let mut v = MembershipView::new();
+        if let Some(rec) = self.members.get(&member) {
+            v.members.insert(member, rec.clone());
+        }
+        v
+    }
+
+    /// A deterministic digest of the whole view: any membership change —
+    /// status, incarnation, tokens — changes it. Exposed as the
+    /// `membership.ring_version` gauge.
+    pub fn ring_version(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.members.len() * 21);
+        for (id, rec) in &self.members {
+            bytes.extend_from_slice(&id.to_le_bytes());
+            bytes.extend_from_slice(&rec.incarnation.to_le_bytes());
+            bytes.push(rec.status.rank());
+            bytes.extend_from_slice(&rec.tokens.to_le_bytes());
+        }
+        crate::ring::hash_key(&bytes)
+    }
+}
+
+impl crdt::Crdt for MembershipView {
+    fn merge(&mut self, other: &Self) {
+        for (id, rec) in &other.members {
+            self.observe(*id, rec.clone());
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.members.len() * 25
+    }
+}
+
+impl crdt::DeltaCrdt for MembershipView {
+    type Delta = MembershipView;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        crdt::Crdt::merge(self, delta);
+    }
+}
+
+impl WireCodec for MembershipView {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.members.len() as u32).encode(buf);
+        for (id, rec) in &self.members {
+            id.encode(buf);
+            rec.status.rank().encode(buf);
+            rec.incarnation.encode(buf);
+            rec.node.encode(buf);
+            rec.tokens.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)?;
+        let mut view = MembershipView::new();
+        for _ in 0..n {
+            let id = MemberId::decode(buf)?;
+            let status = MemberStatus::from_rank(u8::decode(buf)?)?;
+            let incarnation = u64::decode(buf)?;
+            let node = u64::decode(buf)?;
+            let tokens = u32::decode(buf)?;
+            view.members.insert(id, MemberRecord { status, incarnation, node, tokens });
+        }
+        Ok(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::{check_merge_laws, Crdt};
+
+    fn rec(status: MemberStatus, incarnation: u64) -> MemberRecord {
+        MemberRecord { status, incarnation, node: 7, tokens: 0 }
+    }
+
+    fn sample_views() -> Vec<MembershipView> {
+        let mut a = MembershipView::new();
+        a.observe(0, rec(MemberStatus::Up, 1));
+        a.observe(1, rec(MemberStatus::Joining, 1));
+        let mut b = MembershipView::new();
+        b.observe(0, rec(MemberStatus::Down, 1));
+        b.observe(2, rec(MemberStatus::Up, 3));
+        let mut c = a.clone();
+        c.observe(0, rec(MemberStatus::Up, 2)); // refutation of b's verdict
+        c.observe(1, rec(MemberStatus::Leaving, 1));
+        let mut d = MembershipView::new();
+        d.observe(2, rec(MemberStatus::Leaving, 2)); // stale incarnation
+        vec![MembershipView::new(), a, b, c, d]
+    }
+
+    #[test]
+    fn merge_laws_hold() {
+        check_merge_laws(&sample_views()).unwrap();
+    }
+
+    #[test]
+    fn within_incarnation_rank_wins_across_incarnations_incarnation_wins() {
+        let mut v = MembershipView::new();
+        v.observe(0, rec(MemberStatus::Up, 1));
+        // Same incarnation: Down outranks Up.
+        let mut down = MembershipView::new();
+        down.observe(0, rec(MemberStatus::Down, 1));
+        v.merge(&down);
+        assert_eq!(v.get(0).unwrap().status, MemberStatus::Down);
+        // Stale gossip of the old Up cannot resurrect it.
+        let mut stale = MembershipView::new();
+        stale.observe(0, rec(MemberStatus::Up, 1));
+        v.merge(&stale);
+        assert_eq!(v.get(0).unwrap().status, MemberStatus::Down);
+        // A bumped incarnation outbids the verdict.
+        let mut refuted = MembershipView::new();
+        refuted.observe(0, rec(MemberStatus::Up, 2));
+        v.merge(&refuted);
+        assert_eq!(v.get(0).unwrap().status, MemberStatus::Up);
+        assert_eq!(v.get(0).unwrap().incarnation, 2);
+    }
+
+    #[test]
+    fn advance_is_monotone_and_reincarnate_bumps() {
+        let mut v = MembershipView::new();
+        v.observe(3, rec(MemberStatus::Up, 1));
+        assert!(!v.advance(3, MemberStatus::Joining), "rank cannot go backwards");
+        assert!(v.advance(3, MemberStatus::Leaving));
+        assert!(v.suspect(3));
+        assert_eq!(v.get(3).unwrap().status, MemberStatus::Down);
+        let inc = v.reincarnate(3, MemberStatus::Joining);
+        assert_eq!(inc, 2);
+        assert_eq!(v.get(3).unwrap().status, MemberStatus::Joining);
+    }
+
+    #[test]
+    fn ring_version_tracks_any_change() {
+        let mut v = MembershipView::new();
+        v.observe(0, rec(MemberStatus::Up, 1));
+        let v0 = v.ring_version();
+        v.observe(1, rec(MemberStatus::Up, 1));
+        let v1 = v.ring_version();
+        assert_ne!(v0, v1);
+        v.advance(1, MemberStatus::Down);
+        let v2 = v.ring_version();
+        assert_ne!(v1, v2);
+        // The digest is a pure function of the state.
+        assert_eq!(v.ring_version(), v2);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        use quicksand_core::wire::{from_bytes, to_bytes};
+        for v in sample_views() {
+            let got: MembershipView = from_bytes(&to_bytes(&v)).unwrap();
+            assert_eq!(got, v);
+        }
+    }
+}

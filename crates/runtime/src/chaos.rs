@@ -382,6 +382,16 @@ impl<M: Clone + Send + 'static> Transport<M> for ChaosTransport<M> {
 /// runtime so the operator surface shows chaos progress live.
 pub(crate) type OnApply = Box<dyn Fn(&'static str, &'static str) + Send>;
 
+/// Translates a membership clause into the cluster's own control
+/// message: called with the clause kind (`"add_node"` / `"remove_node"`)
+/// and the target node, returns the message to inject into that node's
+/// inbox (or `None` to skip). Installed via
+/// [`crate::RuntimeBuilder::membership_ctl`]; without a hook the
+/// controller applies membership edges as accounting-only no-ops, so
+/// plans with membership clauses still replay cleanly on clusters that
+/// have no membership machinery.
+pub type CtlHook<M> = Box<dyn Fn(&'static str, NodeId) -> Option<M> + Send>;
+
 struct Gate {
     stopped: Mutex<bool>,
     cv: Condvar,
@@ -435,6 +445,7 @@ impl ChaosController {
         transport: Arc<dyn Transport<M>>,
         senders: Vec<Inbox<M>>,
         on_apply: OnApply,
+        ctl: Option<CtlHook<M>>,
     ) -> Self {
         let applied = Arc::new(Mutex::new(Vec::new()));
         let finished = Arc::new(AtomicBool::new(false));
@@ -453,7 +464,7 @@ impl ChaosController {
                         return; // runtime is shutting down mid-plan
                     }
                     let fault = &plan.faults[ev.clause];
-                    apply_edge(fault, ev.edge, &net, transport.as_ref(), &senders);
+                    apply_edge(fault, ev.edge, &net, transport.as_ref(), &senders, ctl.as_ref());
                     on_apply(fault.kind(), edge_label(ev.edge));
                     applied.lock().unwrap_or_else(|e| e.into_inner()).push(describe(&ev, fault));
                 }
@@ -526,7 +537,9 @@ fn edge_label(edge: ClauseEdge) -> &'static str {
 /// crash#2[n1] @250000us`).
 fn describe(ev: &ClauseEvent, fault: &Fault) -> String {
     let target = match fault {
-        Fault::Crash { node, .. } => format!("[{node}]"),
+        Fault::Crash { node, .. }
+        | Fault::AddNode { node, .. }
+        | Fault::RemoveNode { node, .. } => format!("[{node}]"),
         Fault::Degrade { a, b, .. } => format!("[{a}~{b}]"),
         Fault::Partition { .. } | Fault::PartitionOneWay { .. } => String::new(),
     };
@@ -554,6 +567,7 @@ fn apply_edge<M: Send + 'static>(
     net: &NetChaos,
     transport: &dyn Transport<M>,
     senders: &[Inbox<M>],
+    ctl: Option<&CtlHook<M>>,
 ) {
     match (fault, edge) {
         (Fault::Partition { left, right, .. }, ClauseEdge::Onset) => {
@@ -593,6 +607,19 @@ fn apply_edge<M: Send + 'static>(
         (Fault::Degrade { a, b, .. }, ClauseEdge::Heal) => {
             net.degrade(*a, *b, None);
         }
+        // Membership clauses are onset-only; the hook turns the clause
+        // into the cluster's control message, delivered to the target
+        // node through its normal inbox (same path a remote peer's
+        // frame takes). The self-addressed `from` keeps the envelope
+        // shape identity with harness injection.
+        (Fault::AddNode { node, .. } | Fault::RemoveNode { node, .. }, ClauseEdge::Onset) => {
+            if let Some(msg) = ctl.and_then(|hook| hook(fault.kind(), *node)) {
+                senders[node.0]
+                    .send(Envelope::Msg { from: *node, msg, hop: None, cause: None })
+                    .ok();
+            }
+        }
+        (Fault::AddNode { .. } | Fault::RemoveNode { .. }, ClauseEdge::Heal) => {}
     }
 }
 
@@ -726,6 +753,7 @@ mod tests {
                 probe.clone() as Arc<dyn Transport<u64>>,
                 senders,
                 Box::new(|_, _| {}),
+                None,
             );
             assert!(c.wait_finished(Duration::from_secs(10)), "plan completes");
             let log = c.applied();
@@ -763,6 +791,45 @@ mod tests {
     }
 
     #[test]
+    fn membership_clauses_inject_the_hooked_control_message() {
+        let plan = FaultPlan::from_faults(vec![
+            Fault::AddNode { at: sim::SimTime::from_millis(5), node: NodeId(1) },
+            Fault::RemoveNode { at: sim::SimTime::from_millis(10), node: NodeId(0) },
+        ]);
+        let probe = Probe::new();
+        let net = Arc::new(NetChaos::new(11));
+        let (tx0, rx0) = mpsc::channel();
+        let (tx1, rx1) = mpsc::channel();
+        let senders = vec![Inbox::new(tx0), Inbox::new(tx1)];
+        let hook: CtlHook<u64> = Box::new(|kind, node| match kind {
+            "add_node" => Some(1000 + node.0 as u64),
+            _ => Some(2000 + node.0 as u64),
+        });
+        let mut c = ChaosController::start(
+            plan.clone(),
+            net,
+            probe as Arc<dyn Transport<u64>>,
+            senders,
+            Box::new(|_, _| {}),
+            Some(hook),
+        );
+        assert!(c.wait_finished(Duration::from_secs(10)), "plan completes");
+        assert_eq!(c.applied(), rendered_timeline(&plan));
+        assert_eq!(
+            c.applied(),
+            vec!["onset add_node#0[n1] @5000us", "onset remove_node#1[n0] @10000us"]
+        );
+        c.stop();
+        let msg_of = |rx: &mpsc::Receiver<Envelope<u64>>| match rx.try_recv() {
+            Ok(Envelope::Msg { from, msg, .. }) => (from.0, msg),
+            other => panic!("expected a control message, got {:?}", other.is_ok()),
+        };
+        assert_eq!(msg_of(&rx1), (1, 1001), "join ctl delivered to the joiner");
+        assert_eq!(msg_of(&rx0), (0, 2000), "leave ctl delivered to the leaver");
+        assert!(rx0.try_recv().is_err() && rx1.try_recv().is_err(), "nothing else injected");
+    }
+
+    #[test]
     fn stopping_mid_plan_abandons_later_edges() {
         let plan = FaultPlan::from_faults(vec![Fault::Partition {
             at: sim::SimTime::from_secs(3600),
@@ -779,6 +846,7 @@ mod tests {
             probe as Arc<dyn Transport<u64>>,
             Vec::new(),
             Box::new(|_, _| {}),
+            None,
         );
         c.stop();
         assert!(started.elapsed() < Duration::from_secs(60), "stop does not wait for the clause");

@@ -57,7 +57,7 @@ use sim::{
     SimDuration, SimTime, SpanId, SpanStatus, Trace,
 };
 
-use crate::chaos::{ChaosController, ChaosTransport, NetChaos};
+use crate::chaos::{ChaosController, ChaosTransport, CtlHook, NetChaos};
 use crate::clock::WallClock;
 use crate::telemetry::{CoreHandle, NodeStatus, TelemetrySurface};
 use crate::timer::{DueTimer, TimerWheel};
@@ -154,6 +154,7 @@ struct ChaosPrep<M> {
     net: Arc<NetChaos>,
     #[allow(clippy::type_complexity)]
     wrap: Box<dyn FnOnce(Arc<dyn Transport<M>>, Arc<NetChaos>) -> Arc<dyn Transport<M>>>,
+    ctl: Option<CtlHook<M>>,
 }
 
 /// Collects actors, then launches them as a running cluster.
@@ -246,7 +247,24 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
             plan,
             net,
             wrap: Box::new(|inner, net| Arc::new(ChaosTransport::new(inner, net))),
+            ctl: None,
         });
+        self
+    }
+
+    /// Install the membership control hook: when the chaos plan reaches
+    /// an `add_node` / `remove_node` clause, `hook(kind, node)` produces
+    /// the cluster's own control message (e.g. dynamo's `CtlJoin`),
+    /// which the controller injects into the target node's inbox at the
+    /// clause's wall-clock offset. Call after [`RuntimeBuilder::chaos`];
+    /// a hook without a plan is inert.
+    pub fn membership_ctl(
+        mut self,
+        hook: impl Fn(&'static str, NodeId) -> Option<M> + Send + 'static,
+    ) -> Self {
+        if let Some(prep) = self.chaos.as_mut() {
+            prep.ctl = Some(Box::new(hook));
+        }
         self
     }
 
@@ -314,7 +332,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
         let mut transport = make_transport(senders.clone());
         let chaos_prep = self.chaos.map(|prep| {
             transport = (prep.wrap)(transport.clone(), prep.net.clone());
-            (prep.plan, prep.net)
+            (prep.plan, prep.net, prep.ctl)
         });
         let wheel = Arc::new(TimerWheel::new());
         let mut core = EngineCore::new(seed);
@@ -325,7 +343,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
         if let Some(cap) = self.trace_cap {
             core.trace = Some(Trace::new(cap));
         }
-        if let Some((plan, _)) = &chaos_prep {
+        if let Some((plan, _, _)) = &chaos_prep {
             // Explanations and incidents render the clauses in force.
             core.plan = plan.clone();
         }
@@ -387,7 +405,7 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
 
         // The chaos clock starts now: clause offsets are measured from
         // launch, after every worker exists to receive crash envelopes.
-        let chaos = chaos_prep.map(|(plan, net)| {
+        let chaos = chaos_prep.map(|(plan, net, ctl)| {
             let on_apply = {
                 let shared = shared.clone();
                 Box::new(move |kind: &'static str, edge: &'static str| {
@@ -397,7 +415,14 @@ impl<M: Send + 'static> RuntimeBuilder<M> {
                         .inc_with("runtime.chaos_clauses", &[("kind", kind), ("edge", edge)]);
                 })
             };
-            ChaosController::start(plan, net, shared.transport.clone(), senders.clone(), on_apply)
+            ChaosController::start(
+                plan,
+                net,
+                shared.transport.clone(),
+                senders.clone(),
+                on_apply,
+                ctl,
+            )
         });
 
         Runtime {

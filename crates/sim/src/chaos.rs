@@ -79,6 +79,11 @@ impl FaultPlan {
                     sim.schedule_degrade(*at, *a, *b, *link, *until);
                 }
                 (Fault::Degrade { .. }, ClauseEdge::Heal) => {}
+                // Membership clauses carry no network/crash mechanics the
+                // plan engine can execute; the scenario translates them
+                // into its own control messages (see dynamo's workload
+                // driver and the runtime's chaos controller).
+                (Fault::AddNode { .. } | Fault::RemoveNode { .. }, _) => {}
             }
         }
     }

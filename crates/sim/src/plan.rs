@@ -86,6 +86,26 @@ pub enum Fault {
         /// The degraded link characteristics.
         link: LinkConfig,
     },
+    /// Direct a pre-provisioned standby `node` to join the cluster ring
+    /// at `at`. Onset-only, like a crash with no restart: the join is
+    /// not "undone" by the plan — leaving again is its own clause. The
+    /// plan engine itself has no membership machinery; scenarios that
+    /// enable this clause translate it into their control message
+    /// (e.g. dynamo's `CtlJoin`).
+    AddNode {
+        /// When the node starts joining.
+        at: SimTime,
+        /// The standby node that joins.
+        node: NodeId,
+    },
+    /// Direct ring member `node` to leave gracefully (drain its keys,
+    /// then depart) starting at `at`. Onset-only, like [`Fault::AddNode`].
+    RemoveNode {
+        /// When the node starts leaving.
+        at: SimTime,
+        /// The member that leaves.
+        node: NodeId,
+    },
 }
 
 impl Fault {
@@ -95,7 +115,9 @@ impl Fault {
             Fault::Partition { at, .. }
             | Fault::PartitionOneWay { at, .. }
             | Fault::Crash { at, .. }
-            | Fault::Degrade { at, .. } => *at,
+            | Fault::Degrade { at, .. }
+            | Fault::AddNode { at, .. }
+            | Fault::RemoveNode { at, .. } => *at,
         }
     }
 
@@ -108,6 +130,7 @@ impl Fault {
             | Fault::PartitionOneWay { until, .. }
             | Fault::Degrade { until, .. } => *until,
             Fault::Crash { at, restart_at, .. } => restart_at.unwrap_or(*at),
+            Fault::AddNode { at, .. } | Fault::RemoveNode { at, .. } => *at,
         }
     }
 
@@ -118,6 +141,8 @@ impl Fault {
             Fault::PartitionOneWay { .. } => "partition_oneway",
             Fault::Crash { .. } => "crash",
             Fault::Degrade { .. } => "degrade",
+            Fault::AddNode { .. } => "add_node",
+            Fault::RemoveNode { .. } => "remove_node",
         }
     }
 
@@ -166,6 +191,16 @@ impl Fault {
                 link.latency_max.as_micros(),
                 json::float(link.drop_prob),
                 json::float(link.duplicate_prob)
+            ),
+            Fault::AddNode { at, node } => format!(
+                "{{\"kind\":\"add_node\",\"at_us\":{},\"node\":{}}}",
+                at.as_micros(),
+                json::string(&node.to_string())
+            ),
+            Fault::RemoveNode { at, node } => format!(
+                "{{\"kind\":\"remove_node\",\"at_us\":{},\"node\":{}}}",
+                at.as_micros(),
+                json::string(&node.to_string())
             ),
         }
     }
@@ -247,6 +282,8 @@ impl Fault {
                     },
                 })
             }
+            "add_node" => Ok(Fault::AddNode { at: time("at_us")?, node: node("node")? }),
+            "remove_node" => Ok(Fault::RemoveNode { at: time("at_us")?, node: node("node")? }),
             other => Err(format!("unknown fault kind {other:?}")),
         }
     }
@@ -281,6 +318,8 @@ impl fmt::Display for Fault {
                 "degrade[{a} ~ {b}] {at}..{until} (lat {}..{}, drop {:.2}, dup {:.2})",
                 link.latency_min, link.latency_max, link.drop_prob, link.duplicate_prob
             ),
+            Fault::AddNode { at, node } => write!(f, "add_node[{node}] {at}"),
+            Fault::RemoveNode { at, node } => write!(f, "remove_node[{node}] {at}"),
         }
     }
 }
@@ -378,7 +417,12 @@ impl FaultPlan {
         let mut evs = Vec::with_capacity(self.faults.len() * 2);
         for (i, f) in self.faults.iter().enumerate() {
             evs.push(ClauseEvent { at: f.at(), clause: i, edge: ClauseEdge::Onset });
-            let heals = !matches!(f, Fault::Crash { restart_at: None, .. });
+            let heals = !matches!(
+                f,
+                Fault::Crash { restart_at: None, .. }
+                    | Fault::AddNode { .. }
+                    | Fault::RemoveNode { .. }
+            );
             if heals {
                 evs.push(ClauseEvent { at: f.ends_at(), clause: i, edge: ClauseEdge::Heal });
             }
@@ -392,8 +436,7 @@ impl FaultPlan {
     /// end by `spec.window.1`.
     pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
         let mut rng = SimRng::new(mix_seed(seed));
-        let kinds = spec.enabled_kinds();
-        if kinds.is_empty() {
+        if spec.enabled_kinds().is_empty() {
             return FaultPlan::none();
         }
         let hi = spec.max_faults.max(spec.min_faults).max(1);
@@ -402,8 +445,22 @@ impl FaultPlan {
         let w0 = spec.window.0.as_micros();
         let w1 = spec.window.1.as_micros();
         assert!(w1 > w0 + 1, "FaultSpec window must be non-trivial");
+        // Membership clauses sample without replacement: each standby
+        // joins at most once per plan, each member leaves at most once.
+        let mut join_pool = spec.joinable.clone();
+        let mut leave_pool = spec.leavable.clone();
         let mut faults = Vec::with_capacity(n);
         for _ in 0..n {
+            let mut kinds = spec.enabled_kinds();
+            if join_pool.is_empty() {
+                kinds.retain(|k| *k != FaultKind::AddNode);
+            }
+            if leave_pool.is_empty() {
+                kinds.retain(|k| *k != FaultKind::RemoveNode);
+            }
+            if kinds.is_empty() {
+                break;
+            }
             let kind = kinds[rng.gen_range(0..kinds.len())];
             let at_us = rng.gen_range(w0..w1 - 1);
             let until_us = rng.gen_range(at_us + 1..w1);
@@ -443,6 +500,14 @@ impl FaultPlan {
                         link,
                     });
                 }
+                FaultKind::AddNode => {
+                    let node = join_pool.swap_remove(rng.gen_range(0..join_pool.len()));
+                    faults.push(Fault::AddNode { at, node });
+                }
+                FaultKind::RemoveNode => {
+                    let node = leave_pool.swap_remove(rng.gen_range(0..leave_pool.len()));
+                    faults.push(Fault::RemoveNode { at, node });
+                }
             }
         }
         FaultPlan::from_faults(faults)
@@ -468,6 +533,8 @@ impl FaultPlan {
                     FaultKind::OneWay => f.kind() == "partition_oneway",
                     FaultKind::Crash => f.kind() == "crash",
                     FaultKind::Degrade => f.kind() == "degrade",
+                    FaultKind::AddNode => f.kind() == "add_node",
+                    FaultKind::RemoveNode => f.kind() == "remove_node",
                 })
             });
             if covered {
@@ -543,6 +610,8 @@ enum FaultKind {
     OneWay,
     Crash,
     Degrade,
+    AddNode,
+    RemoveNode,
 }
 
 /// Constraints for [`FaultPlan::generate`]: which nodes participate,
@@ -577,6 +646,14 @@ pub struct FaultSpec {
     pub max_drop_prob: f64,
     /// Upper bound on a degraded link's duplication probability.
     pub max_dup_prob: f64,
+    /// Pre-provisioned standby nodes that [`Fault::AddNode`] clauses may
+    /// direct to join (empty disables the kind). Each joins at most once
+    /// per plan.
+    pub joinable: Vec<NodeId>,
+    /// Ring members that [`Fault::RemoveNode`] clauses may direct to
+    /// leave (empty disables the kind). Each leaves at most once per
+    /// plan.
+    pub leavable: Vec<NodeId>,
 }
 
 impl FaultSpec {
@@ -596,6 +673,8 @@ impl FaultSpec {
             max_extra_latency: SimDuration::from_millis(200),
             max_drop_prob: 0.3,
             max_dup_prob: 0.2,
+            joinable: Vec::new(),
+            leavable: Vec::new(),
         }
     }
 
@@ -642,6 +721,20 @@ impl FaultSpec {
         self
     }
 
+    /// Set the standby pool for [`Fault::AddNode`] clauses (empty
+    /// disables the kind).
+    pub fn joinable(mut self, nodes: Vec<NodeId>) -> Self {
+        self.joinable = nodes;
+        self
+    }
+
+    /// Set the member pool for [`Fault::RemoveNode`] clauses (empty
+    /// disables the kind).
+    pub fn leavable(mut self, nodes: Vec<NodeId>) -> Self {
+        self.leavable = nodes;
+        self
+    }
+
     fn enabled_kinds(&self) -> Vec<FaultKind> {
         let mut kinds = Vec::new();
         if self.partitions && self.nodes.len() >= 2 {
@@ -655,6 +748,12 @@ impl FaultSpec {
         }
         if self.degrades && self.nodes.len() >= 2 {
             kinds.push(FaultKind::Degrade);
+        }
+        if !self.joinable.is_empty() {
+            kinds.push(FaultKind::AddNode);
+        }
+        if !self.leavable.is_empty() {
+            kinds.push(FaultKind::RemoveNode);
         }
         kinds
     }
@@ -978,6 +1077,8 @@ mod tests {
                     duplicate_prob: 0.125,
                 },
             },
+            Fault::AddNode { at: SimTime::from_millis(12), node: n(4) },
+            Fault::RemoveNode { at: SimTime::from_millis(45), node: n(1) },
         ]);
         let parsed = FaultPlan::from_json(&plan.to_json()).expect("parses");
         assert_eq!(parsed, plan);
@@ -1024,6 +1125,53 @@ mod tests {
             ClauseEvent { at: SimTime::from_millis(40), clause: 0, edge: ClauseEdge::Heal }
         );
         assert!(tl.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+    }
+
+    #[test]
+    fn membership_clauses_sample_pools_without_replacement() {
+        let spec = FaultSpec::new(vec![n(0), n(1), n(2)])
+            .partitions(false)
+            .oneway(false)
+            .crashes(false)
+            .degrades(false)
+            .joinable(vec![n(3), n(4)])
+            .leavable(vec![n(1)])
+            .faults(5, 8);
+        for seed in 0..100 {
+            let plan = FaultPlan::generate(seed, &spec);
+            assert!(!plan.is_empty());
+            // Pools bound the plan: ≤ 2 joins, ≤ 1 leave, nothing else.
+            assert!(plan.count_kind("add_node") <= 2, "{plan}");
+            assert!(plan.count_kind("remove_node") <= 1, "{plan}");
+            assert_eq!(plan.len(), plan.count_kind("add_node") + plan.count_kind("remove_node"));
+            // No node joins (or leaves) twice in one plan.
+            let mut joined: Vec<NodeId> = Vec::new();
+            for f in &plan.faults {
+                if let Fault::AddNode { node, .. } = f {
+                    assert!(!joined.contains(node), "{node} joined twice: {plan}");
+                    assert!(spec.joinable.contains(node));
+                    joined.push(*node);
+                }
+                if let Fault::RemoveNode { node, .. } = f {
+                    assert_eq!(*node, n(1));
+                }
+            }
+            // Membership clauses are onset-only: no heal edge.
+            for ev in plan.timeline() {
+                assert_eq!(ev.edge, ClauseEdge::Onset);
+            }
+        }
+    }
+
+    #[test]
+    fn membership_pools_leave_plain_fault_generation_unchanged() {
+        // Adding empty pools must not perturb the RNG stream: seeds
+        // pinned by CI jobs keep meaning the same plans.
+        let base = FaultSpec::new(vec![n(0), n(1), n(2), n(3)]);
+        let with_pools = base.clone().joinable(Vec::new()).leavable(Vec::new());
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::generate(seed, &base), FaultPlan::generate(seed, &with_pools));
+        }
     }
 
     #[test]

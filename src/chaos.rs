@@ -185,6 +185,98 @@ pub fn dynamo_chaos(cfg: dynamo::WorkloadConfig) -> ChaosRun<dynamo::WorkloadRep
     })
 }
 
+/// Chaos over live membership (the quicksand-membership subsystem):
+/// the Dynamo workload runs while the plan grows and shrinks the ring —
+/// [`Fault::AddNode`] directs a pre-provisioned standby store to join,
+/// [`Fault::RemoveNode`] directs a member to leave gracefully — with
+/// crashes and partitions interleaved against the same stores. Every
+/// moved key range rides a durable `membership.transfer` guess, so the
+/// headline invariant `no-acked-write-lost-across-rebalance` is checked
+/// against the **final** ring's preference lists: an acked PUT that
+/// survives only on a departed store is a loss, because no read will
+/// ever route there again.
+///
+/// Two of the five founding members are leavable, so the worst plan
+/// (both leave, nobody joins) still leaves an N=3 write quorum standing.
+/// Suspicion stays off (the [`dynamo::DynamoConfig`] default): a
+/// transient partition must never be escalated into an eviction the
+/// plan didn't order, which keeps the sweep's membership changes
+/// exactly the planned ones. One-way splits and link degradation are
+/// left out — they exercise the message layer, not the rebalance
+/// protocol, and [`dynamo_chaos`] already sweeps them.
+pub fn membership_chaos() -> ChaosRun<dynamo::WorkloadReport> {
+    let cfg = dynamo::WorkloadConfig { spares: 2, ..dynamo::WorkloadConfig::default() };
+    let forensic = cfg.clone();
+    let members: Vec<NodeId> = (0..cfg.n_stores as usize).map(NodeId).collect();
+    let spares: Vec<NodeId> =
+        (cfg.n_stores as usize..(cfg.n_stores + cfg.spares) as usize).map(NodeId).collect();
+    let mut nodes = members.clone();
+    nodes.extend(spares.iter().copied());
+    nodes.push(NodeId((cfg.n_stores + cfg.spares) as usize)); // the loader
+    let total = cfg.puts;
+    let spec = FaultSpec::new(nodes)
+        .crashable(members.clone())
+        .joinable(spares)
+        .leavable(members[..2].to_vec())
+        .oneway(false)
+        .degrades(false)
+        .faults(2, 5);
+    ChaosRun::new(spec, move |plan, seed| {
+        let mut c = cfg.clone();
+        c.faults = plan.clone();
+        dynamo::run_workload(&c, seed)
+    })
+    .invariant("no-acked-write-lost-across-rebalance", |r: &dynamo::WorkloadReport| {
+        if r.acked_lost_in_ring == 0 && r.transfers_unacked == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} acked value(s) unreachable through the final ring, {} transfer(s) unacked",
+                r.acked_lost_in_ring, r.transfers_unacked
+            ))
+        }
+    })
+    .invariant("no-acked-put-lost", |r: &dynamo::WorkloadReport| {
+        if r.acked_lost == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} acked value(s) held by no store — durability evaporated", r.acked_lost))
+        }
+    })
+    .invariant("eventual-convergence", |r: &dynamo::WorkloadReport| {
+        if r.converged() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} diverged key(s), {} hint(s) still parked after heal + settle",
+                r.diverged_keys, r.hints_undelivered
+            ))
+        }
+    })
+    .invariant("every-put-acked", move |r: &dynamo::WorkloadReport| {
+        if r.acked == total {
+            Ok(())
+        } else {
+            Err(format!("{} of {total} PUTs acked — availability promise broken", r.acked))
+        }
+    })
+    .invariant("all-guesses-settled", |r: &dynamo::WorkloadReport| {
+        if r.ledger.open() == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} guess(es) still open after quiescence", r.ledger.open()))
+        }
+    })
+    .with_ledger(|r: &dynamo::WorkloadReport| r.ledger.clone())
+    .with_explainer(move |plan, seed| {
+        let mut c = forensic.clone();
+        c.faults = plan.clone();
+        c.flight = true;
+        let r = dynamo::run_workload(&c, seed);
+        explanation_from(seed, plan, r.flight, r.spans)
+    })
+}
+
 /// Chaos over the process-pair substrate (§4): crash-and-restart plans
 /// against the initial primaries, with the Guardian promoting backups.
 /// The Tandem bus is reliable by assumption, so only crash faults are

@@ -14,6 +14,8 @@
 //! - [`tandem`] — the NonStop model: DP1 (1984) vs DP2 (1986).
 //! - [`logship`] — asynchronous log shipping and stuck-tail recovery.
 //! - [`dynamo`] — the availability-first replicated blob store.
+//! - [`membership`] — gossip-based cluster membership: a view CRDT, a
+//!   consistent-hash ring, and live rebalancing with durable guesses.
 //! - [`twopc`] — the Two-Phase Commit baseline the paper argues against.
 //! - [`cart`], [`bank`], [`inventory`] — the worked example applications.
 //! - [`chaos`] — cross-substrate chaos scenarios: per-substrate
@@ -31,6 +33,7 @@ pub use dynamo;
 pub use eventlog;
 pub use inventory;
 pub use logship;
+pub use membership;
 pub use quicksand_core as core;
 pub use sim;
 pub use tandem;

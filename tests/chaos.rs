@@ -15,8 +15,8 @@
 
 use quicksand::cart::CartMode;
 use quicksand::chaos::{
-    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, eventlog_harness, logship_chaos, mix_seed,
-    tandem_chaos, FaultPlan,
+    bank_chaos, cart_chaos, dynamo_chaos, escrow_chaos, eventlog_harness, logship_chaos,
+    membership_chaos, mix_seed, tandem_chaos, FaultPlan,
 };
 use quicksand::dynamo::WorkloadConfig;
 use quicksand::eventlog::AckPolicy;
@@ -71,6 +71,24 @@ fn cart_survives_seed_swept_fault_plans() {
 fn dynamo_workload_survives_seed_swept_fault_plans() {
     let report = dynamo_chaos(WorkloadConfig::default()).sweep(0..16);
     assert_eq!(report.seeds_swept, 16);
+    assert!(report.passed(), "{report}");
+}
+
+/// Live membership under randomized join/leave/crash/partition plans:
+/// standby stores join mid-run, members leave gracefully, and the
+/// `no-acked-write-lost-across-rebalance` invariant holds — every acked
+/// PUT stays reachable through the **final** ring's preference lists,
+/// every rebalance transfer acks, and no durable guess is left open.
+#[test]
+fn membership_rebalance_survives_seed_swept_join_leave_plans() {
+    let report = membership_chaos().sweep(0..12);
+    assert_eq!(report.seeds_swept, 12);
+    let add = report.faults_injected.get("add_node").copied().unwrap_or(0);
+    let remove = report.faults_injected.get("remove_node").copied().unwrap_or(0);
+    assert!(
+        add > 0 && remove > 0,
+        "a 12-seed sweep must exercise both membership clauses (add={add}, remove={remove})"
+    );
     assert!(report.passed(), "{report}");
 }
 

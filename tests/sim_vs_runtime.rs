@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use cart::{CartAction, CartMode, CartScenario, CrdtCart, CrdtShopper, CART_KEY};
 use crdt::Crdt;
-use dynamo::{DynamoConfig, DynamoMsg, Ring, StoreNode};
+use dynamo::{standby_view, DynamoConfig, DynamoMsg, StoreNode};
 use quicksand_runtime::{Runtime, RuntimeBuilder};
 use sim::{Fault, FaultPlan, NodeId, SimDuration, SimTime};
 
@@ -58,12 +58,12 @@ fn planned_qtys() -> BTreeMap<u64, u32> {
 /// package sits below the bench crate in the dependency graph.
 fn launch_runtime(seed: u64) -> (Runtime<DynamoMsg<CrdtCart>>, Vec<NodeId>, Vec<NodeId>) {
     let cfg = DynamoConfig::default();
-    let ring = Ring::new(N_STORES, cfg.vnodes);
+    let view = standby_view(N_STORES, 0);
     let mut b = RuntimeBuilder::new().seed(seed);
     let stores: Vec<NodeId> = (0..N_STORES as usize).map(NodeId).collect();
     for s in 0..N_STORES {
         b.add_node(
-            StoreNode::<CrdtCart>::new(s, ring.clone(), stores.clone(), cfg.clone())
+            StoreNode::<CrdtCart>::new(s, view.clone(), stores.clone(), cfg.clone())
                 .with_sibling_squash(),
         );
     }
